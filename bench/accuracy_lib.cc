@@ -1,0 +1,300 @@
+#include "bench/accuracy_lib.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "baselines/uniform_model.h"
+#include "bench/common.h"
+#include "core/difficulty.h"
+#include "core/trainer.h"
+#include "eval/bootstrap.h"
+#include "eval/metrics.h"
+#include "eval/significance.h"
+
+namespace upskill {
+namespace bench {
+
+namespace {
+
+struct SkillRun {
+  std::string name;
+  SkillModel model;
+  SkillAssignments assignments;
+  std::vector<double> flat_levels;
+};
+
+// Trains one model variant and flattens its per-action levels.
+Result<SkillRun> RunVariant(const std::string& name, const Dataset& dataset,
+                            const SkillModelConfig& config, bool uniform) {
+  SkillRun run;
+  run.name = name;
+  if (uniform) {
+    Result<UniformBaselineResult> result =
+        TrainUniformBaseline(dataset, config);
+    if (!result.ok()) return result.status();
+    run.model = std::move(result.value().model);
+    run.assignments = std::move(result.value().assignments);
+  } else {
+    Trainer trainer(config);
+    Result<TrainResult> result = trainer.Train(dataset);
+    if (!result.ok()) return result.status();
+    run.model = std::move(result.value().model);
+    run.assignments = std::move(result.value().assignments);
+  }
+  run.flat_levels = FlattenLevels(run.assignments);
+  return run;
+}
+
+// Squared per-action errors against the flattened truth.
+std::vector<double> SquaredErrors(const std::vector<double>& estimated,
+                                  const std::vector<double>& truth) {
+  std::vector<double> errors(estimated.size());
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    const double d = estimated[i] - truth[i];
+    errors[i] = d * d;
+  }
+  return errors;
+}
+
+// The feature-subset variants of Table VI, in paper order.
+struct Variant {
+  std::string name;
+  std::vector<std::string> keep;  // non-ID features retained
+  bool uniform = false;
+  bool all_features = false;
+};
+
+std::vector<Variant> SkillVariants() {
+  return {
+      {"Uniform", {}, /*uniform=*/true, /*all_features=*/true},
+      {"ID [6]", {}, false, false},
+      {"ID+categorical", {"category"}, false, false},
+      {"ID+gamma", {"intensity"}, false, false},
+      {"ID+Poisson", {"complexity"}, false, false},
+      {"Multi-faceted", {}, false, true},
+  };
+}
+
+Result<std::vector<SkillRun>> TrainAllVariants(
+    const Dataset& dataset, const SkillModelConfig& config,
+    const std::vector<Variant>& variants) {
+  std::vector<SkillRun> runs;
+  for (const Variant& variant : variants) {
+    const Dataset* view = &dataset;
+    Dataset projected;
+    if (!variant.all_features) {
+      Result<Dataset> result = ProjectToFeatures(dataset, variant.keep);
+      if (!result.ok()) return result.status();
+      projected = std::move(result).value();
+      view = &projected;
+    }
+    Result<SkillRun> run =
+        RunVariant(variant.name, *view, config, variant.uniform);
+    if (!run.ok()) return run.status();
+    runs.push_back(std::move(run).value());
+  }
+  return runs;
+}
+
+void PrintWilcoxon(const std::string& better, const std::string& baseline,
+                   const std::vector<double>& better_se,
+                   const std::vector<double>& baseline_se,
+                   int num_comparisons) {
+  const auto test = eval::WilcoxonSignedRank(better_se, baseline_se);
+  if (!test.ok()) {
+    std::printf("  Wilcoxon %s vs %s: %s\n", better.c_str(), baseline.c_str(),
+                test.status().ToString().c_str());
+    return;
+  }
+  const double corrected =
+      eval::BonferroniCorrect(test.value().p_value, num_comparisons);
+  std::printf(
+      "  Wilcoxon(SE) %s vs %s: z=%.2f, Bonferroni p=%s (paper: p<0.01)\n",
+      better.c_str(), baseline.c_str(), test.value().z,
+      corrected < 0.01 ? "<0.01" : "n.s.");
+}
+
+void PrintPearsonCi(const std::string& name, const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  Rng rng(555);
+  const auto ci = eval::BootstrapConfidenceInterval(
+      x, y,
+      [](std::span<const double> a, std::span<const double> b) {
+        return eval::PearsonCorrelation(a, b);
+      },
+      /*num_resamples=*/200, /*alpha=*/0.05, rng);
+  if (ci.ok()) {
+    std::printf("  95%% CI of Pearson's r for %s: [%.3f, %.3f]\n",
+                name.c_str(), ci.value().lower, ci.value().upper);
+  }
+}
+
+}  // namespace
+
+int RunSkillAccuracy(const datagen::SyntheticConfig& config,
+                     const std::string& dataset_name,
+                     const std::string& paper_ref) {
+  PrintHeader("Skill-assignment accuracy on " + dataset_name, paper_ref);
+
+  auto data = datagen::GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<double> truth = FlattenLevels(data.value().truth.skill);
+  std::printf("dataset: %d users, %d items, %zu actions\n",
+              data.value().dataset.num_users(),
+              data.value().dataset.items().num_items(),
+              data.value().dataset.num_actions());
+
+  SkillModelConfig train_config = DefaultTrainConfig(config.num_levels);
+  auto runs =
+      TrainAllVariants(data.value().dataset, train_config, SkillVariants());
+  if (!runs.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 runs.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-28s %8s %8s %8s %8s\n", "Model", "r", "rho", "tau", "RMSE");
+  std::map<std::string, std::vector<double>> flat_by_name;
+  for (const SkillRun& run : runs.value()) {
+    const auto report =
+        eval::ComputeCorrelationReport(run.flat_levels, truth);
+    if (report.ok()) PrintCorrelationRow(run.name, report.value());
+    flat_by_name[run.name] = run.flat_levels;
+  }
+
+  std::printf("\nPaper (Table VI, sparse) / (Table VIII, dense) reference:\n");
+  std::printf("  sparse: Uniform r=0.345, ID r=0.499, Multi-faceted r=0.819\n");
+  std::printf("  dense:  Uniform r=0.340, ID r=0.925, Multi-faceted r=0.929\n");
+
+  PrintPearsonCi("Multi-faceted", flat_by_name["Multi-faceted"], truth);
+  PrintPearsonCi("ID [6]", flat_by_name["ID [6]"], truth);
+  PrintPearsonCi("Uniform", flat_by_name["Uniform"], truth);
+
+  const std::vector<double> multi_se =
+      SquaredErrors(flat_by_name["Multi-faceted"], truth);
+  PrintWilcoxon("Multi-faceted", "Uniform", multi_se,
+                SquaredErrors(flat_by_name["Uniform"], truth), 2);
+  PrintWilcoxon("Multi-faceted", "ID [6]", multi_se,
+                SquaredErrors(flat_by_name["ID [6]"], truth), 2);
+  return 0;
+}
+
+int RunDifficultyAccuracy(const datagen::SyntheticConfig& config,
+                          const std::string& dataset_name,
+                          const std::string& paper_ref) {
+  PrintHeader("Item-difficulty accuracy on " + dataset_name, paper_ref);
+
+  auto data = datagen::GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = data.value().dataset;
+  const std::vector<double>& truth = data.value().truth.difficulty;
+
+  // Occurrence counts for the rare-item analysis.
+  std::vector<int> occurrences(static_cast<size_t>(dataset.items().num_items()), 0);
+  dataset.ForEachAction([&occurrences](UserId, const Action& a) {
+    ++occurrences[static_cast<size_t>(a.item)];
+  });
+
+  SkillModelConfig train_config = DefaultTrainConfig(config.num_levels);
+  const std::vector<Variant> variants = {
+      {"Uniform", {}, true, true},
+      {"ID [6]", {}, false, false},
+      {"Multi-faceted", {}, false, true},
+  };
+  auto runs = TrainAllVariants(dataset, train_config, variants);
+  if (!runs.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 runs.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-28s %8s %8s %8s %8s\n", "Skill / Difficulty", "r", "rho",
+              "tau", "RMSE");
+
+  // Evaluates one difficulty vector over items the estimator covers
+  // (NaN-skipped for the assignment estimator), plus the rare-item RMSE.
+  const auto evaluate = [&](const std::string& name,
+                            const std::vector<double>& difficulty) {
+    std::vector<double> est;
+    std::vector<double> ref;
+    std::vector<double> rare_est;
+    std::vector<double> rare_ref;
+    const double midpoint = 0.5 * (1.0 + config.num_levels);
+    for (size_t i = 0; i < difficulty.size(); ++i) {
+      const double d = std::isnan(difficulty[i]) ? midpoint : difficulty[i];
+      est.push_back(d);
+      ref.push_back(truth[i]);
+      if (occurrences[i] > 0 && occurrences[i] < 3) {
+        rare_est.push_back(d);
+        rare_ref.push_back(truth[i]);
+      }
+    }
+    const auto report = eval::ComputeCorrelationReport(est, ref);
+    if (report.ok()) PrintCorrelationRow(name, report.value());
+    return std::make_pair(eval::Rmse(rare_est, rare_ref), rare_est.size());
+  };
+
+  double rare_assignment_rmse = 0.0;
+  double rare_empirical_rmse = 0.0;
+  size_t rare_count = 0;
+  for (const SkillRun& run : runs.value()) {
+    // Assignment-based estimator works for every skill model.
+    const std::vector<double> assignment =
+        EstimateDifficultyByAssignment(dataset, run.assignments);
+    auto rare = evaluate(run.name + " / Assignment", assignment);
+    if (run.name == "Multi-faceted") {
+      rare_assignment_rmse = rare.first;
+      rare_count = rare.second;
+    }
+    if (run.name == "Uniform") continue;  // no generative components fitted
+                                          // to rank (paper Table VII note)
+    const auto uniform_prior = EstimateDifficultyByGeneration(
+        dataset.items(), run.model, DifficultyPrior::kUniform,
+        run.assignments);
+    if (uniform_prior.ok()) {
+      evaluate(run.name + " / Uniform", uniform_prior.value());
+    }
+    const auto empirical_prior = EstimateDifficultyByGeneration(
+        dataset.items(), run.model, DifficultyPrior::kEmpirical,
+        run.assignments);
+    if (empirical_prior.ok()) {
+      auto rare_gen = evaluate(run.name + " / Empirical",
+                               empirical_prior.value());
+      if (run.name == "Multi-faceted") rare_empirical_rmse = rare_gen.first;
+    }
+    // Shrinkage combination (library extension; not a paper row): trusts
+    // the observed audience for popular items, the generative estimate
+    // for rare ones.
+    const auto shrunken = EstimateDifficultyShrunken(
+        dataset, run.model, run.assignments, DifficultyPrior::kEmpirical);
+    if (shrunken.ok()) {
+      evaluate(run.name + " / Shrunken*", shrunken.value());
+    }
+  }
+
+  std::printf(
+      "\nRare items (selected < 3 times): n=%zu, Assignment RMSE=%.3f, "
+      "Empirical RMSE=%.3f\n",
+      rare_count, rare_assignment_rmse, rare_empirical_rmse);
+  std::printf(
+      "Paper (Table VII): Multi-faceted Assignment r=0.858 RMSE=0.777;\n"
+      "Empirical r=0.921 RMSE=0.614;\n"
+      "  rare items: Assignment RMSE=1.131, Empirical RMSE=0.833\n");
+  std::printf(
+      "Paper (Table IX, dense): Multi-faceted Assignment r=0.950 RMSE=0.632; "
+      "Empirical r=0.932 RMSE=0.528\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace upskill

@@ -1,0 +1,30 @@
+#ifndef UPSKILL_BENCH_ACCURACY_LIB_H_
+#define UPSKILL_BENCH_ACCURACY_LIB_H_
+
+#include <string>
+
+#include "datagen/synthetic.h"
+
+namespace upskill {
+namespace bench {
+
+/// Runs the Table VI / VIII protocol on `config`: trains the Uniform, ID,
+/// ID+feature ablations and Multi-faceted skill models on a synthetic
+/// dataset and prints r / rho / tau / RMSE of the recovered action levels
+/// against ground truth, plus the bootstrap CI and Wilcoxon tests the
+/// paper reports. `dataset_name` labels the output.
+int RunSkillAccuracy(const datagen::SyntheticConfig& config,
+                     const std::string& dataset_name,
+                     const std::string& paper_ref);
+
+/// Runs the Table VII / IX protocol on `config`: the skill-model x
+/// difficulty-estimator grid, plus the rare-item (< 3 occurrences) RMSE
+/// analysis.
+int RunDifficultyAccuracy(const datagen::SyntheticConfig& config,
+                          const std::string& dataset_name,
+                          const std::string& paper_ref);
+
+}  // namespace bench
+}  // namespace upskill
+
+#endif  // UPSKILL_BENCH_ACCURACY_LIB_H_

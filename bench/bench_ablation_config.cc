@@ -1,0 +1,87 @@
+// Ablation of the two fixed hyper-parameters the paper inherits from
+// prior work: the categorical smoothing pseudo-count lambda = 0.01 (Shin
+// et al.) and the initialization threshold N = 50 actions (Section IV-B).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/difficulty.h"
+#include "core/trainer.h"
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Config ablation: smoothing lambda and init threshold N",
+              "Section IV-B (lambda = 0.01, N = 50)");
+
+  datagen::SyntheticConfig gen = SyntheticSparseConfig();
+  gen.num_users = std::max(200, gen.num_users / 2);
+  auto data = datagen::GenerateSynthetic(gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = data.value().dataset;
+  const std::vector<double> skill_truth =
+      FlattenLevels(data.value().truth.skill);
+
+  std::printf("(a) categorical smoothing lambda:\n");
+  std::printf("    %-10s %10s %14s %8s\n", "lambda", "skill r",
+              "difficulty r", "iters");
+  for (double lambda : {0.0, 0.001, 0.01, 0.1, 1.0}) {
+    SkillModelConfig config = DefaultTrainConfig(gen.num_levels);
+    config.smoothing = lambda;
+    const auto result = Trainer(config).Train(dataset);
+    if (!result.ok()) continue;
+    const double skill_r = eval::PearsonCorrelation(
+        FlattenLevels(result.value().assignments), skill_truth);
+    const auto difficulty = EstimateDifficultyByGeneration(
+        dataset.items(), result.value().model, DifficultyPrior::kEmpirical,
+        result.value().assignments);
+    const double difficulty_r =
+        difficulty.ok()
+            ? eval::PearsonCorrelation(difficulty.value(),
+                                       data.value().truth.difficulty)
+            : 0.0;
+    std::printf("    %-10g %10.3f %14.3f %8d%s\n", lambda, skill_r,
+                difficulty_r, result.value().iterations,
+                lambda == 0.01 ? "   <- paper" : "");
+  }
+
+  std::printf("\n(b) initialization threshold N (min actions to join the "
+              "initial fit):\n");
+  std::printf("    %-12s %10s %8s\n", "N", "skill r", "iters");
+  for (int n : {5, 20, 50, 100, 1 << 30}) {
+    SkillModelConfig config = DefaultTrainConfig(gen.num_levels);
+    config.min_init_actions = n;
+    const auto result = Trainer(config).Train(dataset);
+    if (!result.ok()) continue;
+    const double skill_r = eval::PearsonCorrelation(
+        FlattenLevels(result.value().assignments), skill_truth);
+    if (n == (1 << 30)) {
+      std::printf("    %-12s %10.3f %8d   (falls back to all users)\n",
+                  "unreachable", skill_r, result.value().iterations);
+    } else {
+      std::printf("    %-12d %10.3f %8d%s\n", n, skill_r,
+                  result.value().iterations, n == 50 ? "   <- paper" : "");
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: lambda = 0 cripples training (held-out items hit\n"
+      "zero-probability spikes); beyond that, more smoothing shrinks the\n"
+      "sparse item-ID feature toward uniform and can *help* recovery on\n"
+      "sparse data — the paper's 0.01 is a conservative guard, not a\n"
+      "tuned optimum. The init threshold is forgiving, with the paper's\n"
+      "N = 50 a solid choice.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

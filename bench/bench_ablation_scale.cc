@@ -1,0 +1,117 @@
+// Ablation: data efficiency. How much history does the progression model
+// need? Sweeps (a) the number of users and (b) per-user sequence length
+// on the synthetic dataset and reports skill/difficulty recovery. This
+// backs the paper's data-sparsity narrative (Section VI-D) from a third
+// angle: Tables VI-IX vary items per action; here the action budget
+// itself varies.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/difficulty.h"
+#include "core/trainer.h"
+#include "data/sample.h"
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+struct Recovery {
+  double skill_r = -2.0;
+  double difficulty_r = -2.0;
+  size_t actions = 0;
+};
+
+Recovery Evaluate(const Dataset& dataset, const datagen::GroundTruth& truth,
+                  std::span<const UserId> user_map,
+                  std::span<const double> full_difficulty) {
+  Recovery recovery;
+  recovery.actions = dataset.num_actions();
+  SkillModelConfig config = DefaultTrainConfig(5);
+  const auto result = Trainer(config).Train(dataset);
+  if (!result.ok()) return recovery;
+
+  // Align flattened truth with the (possibly subsampled/truncated) users.
+  std::vector<double> estimated;
+  std::vector<double> truth_levels;
+  for (size_t original = 0; original < user_map.size(); ++original) {
+    const UserId mapped = user_map[original];
+    if (mapped < 0) continue;
+    const auto& est = result.value().assignments[static_cast<size_t>(mapped)];
+    const auto& ref = truth.skill[original];
+    for (size_t n = 0; n < est.size() && n < ref.size(); ++n) {
+      estimated.push_back(est[n]);
+      truth_levels.push_back(ref[n]);
+    }
+  }
+  recovery.skill_r = eval::PearsonCorrelation(estimated, truth_levels);
+
+  const auto difficulty = EstimateDifficultyByGeneration(
+      dataset.items(), result.value().model, DifficultyPrior::kEmpirical,
+      result.value().assignments);
+  if (difficulty.ok() &&
+      difficulty.value().size() == full_difficulty.size()) {
+    recovery.difficulty_r =
+        eval::PearsonCorrelation(difficulty.value(), full_difficulty);
+  }
+  return recovery;
+}
+
+int Run() {
+  PrintHeader("Scale ablation: recovery vs. data volume",
+              "Section VI-D (data sparsity, third axis)");
+
+  datagen::SyntheticConfig gen = SyntheticSparseConfig();
+  auto data = datagen::GenerateSynthetic(gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& full = data.value().dataset;
+  std::vector<UserId> identity_map(static_cast<size_t>(full.num_users()));
+  for (size_t u = 0; u < identity_map.size(); ++u) {
+    identity_map[u] = static_cast<UserId>(u);
+  }
+
+  std::printf("(a) user subsampling (full sequences):\n");
+  std::printf("    %-10s %10s %10s %14s\n", "users", "actions", "skill r",
+              "difficulty r");
+  for (double fraction : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+    Rng rng(99);
+    const auto sampled = SampleUsers(full, fraction, rng);
+    if (!sampled.ok()) continue;
+    const Recovery recovery =
+        Evaluate(sampled.value().dataset, data.value().truth,
+                 sampled.value().user_map, data.value().truth.difficulty);
+    std::printf("    %-10d %10zu %10.3f %14.3f\n",
+                sampled.value().dataset.num_users(), recovery.actions,
+                recovery.skill_r, recovery.difficulty_r);
+  }
+
+  std::printf("\n(b) sequence truncation (all users):\n");
+  std::printf("    %-10s %10s %10s %14s\n", "max len", "actions", "skill r",
+              "difficulty r");
+  for (size_t cap : {5, 10, 25, 50, 100}) {
+    const auto truncated = TruncateSequences(full, cap);
+    if (!truncated.ok()) continue;
+    const Recovery recovery =
+        Evaluate(truncated.value(), data.value().truth, identity_map,
+                 data.value().truth.difficulty);
+    std::printf("    %-10zu %10zu %10.3f %14.3f\n", cap, recovery.actions,
+                recovery.skill_r, recovery.difficulty_r);
+  }
+
+  std::printf(
+      "\nExpected shape: both recovery columns improve with data volume and\n"
+      "saturate; truncation hurts more than user subsampling at equal\n"
+      "action budgets, because short sequences rarely witness a level-up\n"
+      "(the paper's rationale for its >= 50-action filters).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

@@ -1,0 +1,73 @@
+// Ablation: item prediction under a *temporal* split (train on the past,
+// test on the future — the deployment-realistic protocol) versus the
+// paper's per-user last-position holdout (Table XI). Each user can have
+// several future test actions here, and the train/test boundary is a
+// global timestamp rather than per-user, so this is the harder setting.
+
+#include <cstdio>
+
+#include "baselines/uniform_model.h"
+#include "bench/common.h"
+#include "core/trainer.h"
+#include "eval/tasks.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+void RunDomain(const char* name, const Dataset& dataset) {
+  const auto split = SplitActionsByTimeQuantile(dataset, 0.9);
+  if (!split.ok()) {
+    std::printf("%-10s FAILED (%s)\n", name,
+                split.status().ToString().c_str());
+    return;
+  }
+  const Dataset& train = split.value().train;
+  const auto& test = split.value().test;
+  const SkillModelConfig config = DefaultTrainConfig(5);
+
+  auto evaluate_multi = [&]() -> double {
+    Trainer trainer(config);
+    const auto trained = trainer.Train(train);
+    if (!trained.ok()) return -1.0;
+    const auto report = eval::EvaluateItemPrediction(
+        train, trained.value().assignments, trained.value().model, test);
+    return report.ok() ? report.value().accuracy_at_k : -1.0;
+  };
+  auto evaluate_uniform = [&]() -> double {
+    const auto baseline = TrainUniformBaseline(train, config);
+    if (!baseline.ok()) return -1.0;
+    const auto report = eval::EvaluateItemPrediction(
+        train, baseline.value().assignments, baseline.value().model, test);
+    return report.ok() ? report.value().accuracy_at_k : -1.0;
+  };
+
+  std::printf("%-10s %8zu test actions   Uniform Acc@10 %.3f   Multi "
+              "Acc@10 %.3f\n",
+              name, test.size(), evaluate_uniform(), evaluate_multi());
+}
+
+int Run() {
+  PrintHeader("Item prediction under a temporal split",
+              "extension of Table XI (forecast-realistic protocol)");
+  {
+    auto data = datagen::GenerateCooking(CookingConfigScaled());
+    if (data.ok()) RunDomain("Cooking", data.value().dataset);
+  }
+  {
+    auto data = datagen::GenerateBeer(BeerConfigScaled());
+    if (data.ok()) RunDomain("Beer", data.value().dataset);
+  }
+  std::printf(
+      "\nExpected shape: accuracies land below the last-position numbers\n"
+      "of Table XI's protocol (multiple future actions per user, level\n"
+      "inference from an older anchor), with the Multi-faceted model\n"
+      "still ahead of the Uniform baseline.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

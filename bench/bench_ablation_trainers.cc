@@ -1,0 +1,82 @@
+// Ablation: hard-assignment coordinate ascent vs. soft-assignment EM.
+// Section IV-B adopts hard assignment citing a reported 1,000x speedup
+// over EM "with comparable fitting quality"; this bench measures both
+// claims on the synthetic dataset (the gap depends on implementation and
+// scale — EM's E-step is a constant factor heavier per iteration and
+// needs dense posteriors, while hard assignment runs one Viterbi pass).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "common/stopwatch.h"
+#include "core/em_trainer.h"
+#include "core/trainer.h"
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Trainer ablation: hard assignment vs. EM",
+              "Section IV-B (hard assignment adopted over EM)");
+
+  datagen::SyntheticConfig gen = SyntheticSparseConfig();
+  gen.num_users = std::max(200, gen.num_users / 4);  // EM is the bottleneck
+  auto data = datagen::GenerateSynthetic(gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<double> truth = FlattenLevels(data.value().truth.skill);
+  std::printf("dataset: %d users, %d items, %zu actions\n\n",
+              data.value().dataset.num_users(),
+              data.value().dataset.items().num_items(),
+              data.value().dataset.num_actions());
+
+  std::printf("%-18s %10s %8s %14s %10s\n", "Trainer", "seconds", "iters",
+              "final logL", "skill r");
+
+  double hard_seconds = 0.0;
+  double em_seconds = 0.0;
+  {
+    SkillModelConfig config = DefaultTrainConfig(gen.num_levels);
+    Stopwatch watch;
+    const auto result = Trainer(config).Train(data.value().dataset);
+    hard_seconds = watch.ElapsedSeconds();
+    if (!result.ok()) return 1;
+    const double r = eval::PearsonCorrelation(
+        FlattenLevels(result.value().assignments), truth);
+    std::printf("%-18s %10.3f %8d %14.1f %10.3f\n", "hard (paper)",
+                hard_seconds, result.value().iterations,
+                result.value().final_log_likelihood, r);
+  }
+  {
+    EmTrainerConfig config;
+    config.model = DefaultTrainConfig(gen.num_levels);
+    Stopwatch watch;
+    const auto result = EmTrainer(config).Train(data.value().dataset);
+    em_seconds = watch.ElapsedSeconds();
+    if (!result.ok()) return 1;
+    const double r = eval::PearsonCorrelation(
+        FlattenLevels(result.value().assignments), truth);
+    std::printf("%-18s %10.3f %8d %14.1f %10.3f\n", "EM (soft)", em_seconds,
+                result.value().iterations,
+                result.value().final_log_likelihood, r);
+  }
+  std::printf(
+      "\nspeedup hard over EM: %.1fx (the paper cites ~1000x at their data\n"
+      "scale and implementation). Expect the hard trainer to be markedly\n"
+      "faster; EM's soft posteriors can recover skill slightly better on\n"
+      "small data, consistent with the paper's \"comparable fitting\n"
+      "quality\". The two final logL columns measure different objectives\n"
+      "(best-path vs. marginal), so compare the r column for quality.\n",
+      hard_seconds > 0.0 ? em_seconds / hard_seconds : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

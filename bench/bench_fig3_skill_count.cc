@@ -1,0 +1,78 @@
+// Regenerates Figure 3: choosing the number of skill levels S for a
+// domain without prior knowledge (Cooking) by held-out log-likelihood on
+// a 90/10 split. The paper's curve peaks at S = 5.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/information_criteria.h"
+#include "core/model_selection.h"
+#include "core/trainer.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Skill-count selection on Cooking",
+              "Figure 3 (held-out log-likelihood vs. S)");
+
+  auto data = datagen::GenerateCooking(CookingConfigScaled());
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  SkillModelConfig base = DefaultTrainConfig(/*num_levels=*/5);
+  base.max_iterations = 30;
+  const std::vector<int> candidates = {2, 3, 4, 5, 6, 7, 8};
+  Rng rng(90);
+  const auto selection = SelectSkillCount(data.value().dataset, candidates,
+                                          base, /*test_fraction=*/0.1, rng);
+  if (!selection.ok()) {
+    std::fprintf(stderr, "%s\n", selection.status().ToString().c_str());
+    return 1;
+  }
+
+  // BIC on the full data: a no-split alternative (extension; the paper
+  // uses held-out likelihood only).
+  std::printf("%6s %22s %16s\n", "S", "held-out log-lik", "BIC (full)");
+  int bic_best = 0;
+  double bic_best_value = 0.0;
+  for (const SkillCountPoint& point : selection.value().curve) {
+    SkillModelConfig config = base;
+    config.num_levels = point.num_levels;
+    double bic = 0.0;
+    const auto trained = Trainer(config).Train(data.value().dataset);
+    if (trained.ok()) {
+      const auto criteria = ComputeInformationCriteria(
+          data.value().dataset, trained.value().model);
+      if (criteria.ok()) bic = criteria.value().bic;
+    }
+    if (bic != 0.0 && (bic_best == 0 || bic < bic_best_value)) {
+      bic_best = point.num_levels;
+      bic_best_value = bic;
+    }
+    std::printf("%6d %22.1f %16.0f\n", point.num_levels,
+                point.held_out_log_likelihood, bic);
+  }
+  std::printf(
+      "BIC would select S = %d — with an item-ID vocabulary every extra\n"
+      "level costs ~|I| parameters, so BIC's penalty overwhelms the fit\n"
+      "gain; the paper's held-out procedure is the right tool here.\n",
+      bic_best);
+  std::printf(
+      "\nselected S = %d (paper selects S = 5 for Cooking). Expected shape:\n"
+      "a steep rise from S=2 and a peak at 4-5. The simulator's planted\n"
+      "novice violation (level-1 users follow the mid-level difficulty\n"
+      "profile, Fig. 5) compresses the bottom of the scale, so the argmax\n"
+      "can land at 4, adjacent to the generator's nominal 5 levels.\n",
+      selection.value().best_num_levels);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

@@ -1,0 +1,76 @@
+// Regenerates Figure 5: cooking-domain model components (S = 5). The
+// paper observes that levels 2-4 grow monotonically in cooking time and
+// step count, while level 1 *resembles the mid levels* — novices select
+// recipes beyond their capacity, the assumption violation discussed in
+// Section VI-C.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/trainer.h"
+#include "dist/categorical.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Cooking-domain model components",
+              "Figure 5 (time and step-count distributions per level)");
+
+  auto data = datagen::GenerateCooking(CookingConfigScaled());
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = data.value().dataset;
+  Trainer trainer(DefaultTrainConfig(/*num_levels=*/5));
+  const auto trained = trainer.Train(dataset);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  const SkillModel& model = trained.value().model;
+
+  const int f_time = dataset.schema().FeatureIndex("time_class").value();
+  const int f_steps = dataset.schema().FeatureIndex("num_steps").value();
+  const int f_ingredients =
+      dataset.schema().FeatureIndex("num_ingredients").value();
+  const FeatureSpec& time_spec = dataset.schema().feature(f_time);
+
+  std::printf("(a) Cooking-time class distributions P(class | level):\n");
+  std::printf("%6s", "level");
+  for (const std::string& label : time_spec.labels) {
+    std::printf(" %9s", label.c_str());
+  }
+  std::printf("\n");
+  for (int s = 1; s <= 5; ++s) {
+    const auto& dist =
+        static_cast<const Categorical&>(model.component(f_time, s));
+    std::printf("%6d", s);
+    for (int c = 0; c < time_spec.cardinality; ++c) {
+      std::printf(" %9.3f", dist.Probability(c));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) Count components (Poisson means):\n");
+  std::printf("%6s %12s %16s\n", "level", "steps", "ingredients");
+  for (int s = 1; s <= 5; ++s) {
+    std::printf("%6d %12.3f %16.3f\n", s, model.component(f_steps, s).Mean(),
+                model.component(f_ingredients, s).Mean());
+  }
+
+  std::printf(
+      "\nPaper (Fig. 5): levels 2->4 shift toward longer times and more\n"
+      "steps; level 1 looks like a mid level (novices over-select complex\n"
+      "recipes). Expect level 1's rows to resemble level ~3, not the\n"
+      "bottom of the scale.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

@@ -1,0 +1,252 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the paper's
+// complexity analysis (Section IV-C / V-C): the DP assignment step,
+// distribution MLE fits, the item log-probability cache, difficulty
+// estimators, rank metrics and one FFM epoch. These back the DESIGN.md
+// ablation notes (hard assignment's cheap inner loop is what buys the
+// reported 1000x-over-EM speedup).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/difficulty.h"
+#include "core/dp.h"
+#include "core/posterior.h"
+#include "core/recommend.h"
+#include "core/trainer.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "dist/categorical.h"
+#include "dist/gamma.h"
+#include "dist/poisson.h"
+#include "eval/metrics.h"
+#include "ffm/ffm.h"
+
+namespace upskill {
+namespace {
+
+void BM_SolveMonotonePath(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int levels = static_cast<int>(state.range(1));
+  Rng rng(1);
+  std::vector<double> log_probs(n * static_cast<size_t>(levels));
+  for (double& v : log_probs) v = -10.0 * rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMonotonePath(log_probs, levels));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SolveMonotonePath)->Args({50, 5})->Args({500, 5})->Args({500, 10});
+
+void BM_GammaFit(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) v = rng.NextGamma(3.0, 2.0);
+  Gamma dist;
+  for (auto _ : state) {
+    dist.Fit(values);
+    benchmark::DoNotOptimize(dist.shape());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GammaFit)->Arg(1000)->Arg(100000);
+
+void BM_CategoricalFit(benchmark::State& state) {
+  Rng rng(3);
+  const int cardinality = 1000;
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) {
+    v = static_cast<double>(rng.NextInt(cardinality));
+  }
+  Categorical dist(cardinality, 0.01);
+  for (auto _ : state) {
+    dist.Fit(values);
+    benchmark::DoNotOptimize(dist.Probability(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CategoricalFit)->Arg(1000)->Arg(100000);
+
+void BM_PoissonLogProb(benchmark::State& state) {
+  Poisson dist(7.3);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1.0;
+    if (x > 60.0) x = 0.0;
+    benchmark::DoNotOptimize(dist.LogProb(x));
+  }
+}
+BENCHMARK(BM_PoissonLogProb);
+
+// Shared synthetic fixture for the pipeline-level benches.
+const datagen::GeneratedData& PipelineData() {
+  static const datagen::GeneratedData* data = [] {
+    datagen::SyntheticConfig config;
+    config.num_users = 500;
+    config.num_items = 2000;
+    config.mean_sequence_length = 40.0;
+    auto result = datagen::GenerateSynthetic(config);
+    return new datagen::GeneratedData(std::move(result).value());
+  }();
+  return *data;
+}
+
+const TrainResult& PipelineModel() {
+  static const TrainResult* result = [] {
+    SkillModelConfig config;
+    config.num_levels = 5;
+    config.min_init_actions = 25;
+    config.max_iterations = 10;
+    Trainer trainer(config);
+    auto trained = trainer.Train(PipelineData().dataset);
+    return new TrainResult(std::move(trained).value());
+  }();
+  return *result;
+}
+
+void BM_ItemLogProbCache(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trained.model.ItemLogProbCache(data.dataset.items()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          data.dataset.items().num_items());
+}
+BENCHMARK(BM_ItemLogProbCache);
+
+void BM_AssignmentStep(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  for (auto _ : state) {
+    double ll = 0.0;
+    benchmark::DoNotOptimize(
+        AssignSkills(data.dataset, trained.model, nullptr, {}, &ll));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
+BENCHMARK(BM_AssignmentStep);
+
+void BM_UpdateStep(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  SkillModel model = trained.model;
+  for (auto _ : state) {
+    FitParameters(data.dataset, trained.assignments, &model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
+BENCHMARK(BM_UpdateStep);
+
+void BM_DifficultyAssignment(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateDifficultyByAssignment(data.dataset, trained.assignments));
+  }
+}
+BENCHMARK(BM_DifficultyAssignment);
+
+void BM_DifficultyGeneration(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateDifficultyByGeneration(
+        data.dataset.items(), trained.model, DifficultyPrior::kEmpirical,
+        trained.assignments));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          data.dataset.items().num_items());
+}
+BENCHMARK(BM_DifficultyGeneration);
+
+void BM_SequencePosterior(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  // The longest user exercises the forward-backward loop hardest.
+  UserId user = 0;
+  for (UserId u = 1; u < data.dataset.num_users(); ++u) {
+    if (data.dataset.sequence(u).size() >
+        data.dataset.sequence(user).size()) {
+      user = u;
+    }
+  }
+  const TransitionWeights weights = UninformativeTransitions(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSequencePosterior(
+        data.dataset.items(), data.dataset.sequence(user), trained.model,
+        weights));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(data.dataset.sequence(user).size()));
+}
+BENCHMARK(BM_SequencePosterior);
+
+void BM_RecommendForUpskilling(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  static const std::vector<double>* difficulty = [] {
+    auto result = EstimateDifficultyByGeneration(
+        PipelineData().dataset.items(), PipelineModel().model,
+        DifficultyPrior::kEmpirical, PipelineModel().assignments);
+    return new std::vector<double>(std::move(result).value());
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecommendForUpskilling(
+        data.dataset, trained.model, trained.assignments, *difficulty, 3));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          data.dataset.items().num_items());
+}
+BENCHMARK(BM_RecommendForUpskilling);
+
+void BM_KendallTauB(benchmark::State& state) {
+  Rng rng(9);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(rng.NextInt(5));
+    y[i] = x[i] + static_cast<double>(rng.NextInt(3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::KendallTauB(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KendallTauB)->Arg(1000)->Arg(100000);
+
+void BM_FfmEpoch(benchmark::State& state) {
+  Rng rng(11);
+  const int num_users = 200;
+  const int num_items = 300;
+  std::vector<ffm::Example> examples;
+  for (int i = 0; i < 5000; ++i) {
+    const int u = static_cast<int>(rng.NextInt(num_users));
+    const int item = static_cast<int>(rng.NextInt(num_items));
+    examples.push_back(ffm::Example{
+        {{0, u, 1.0}, {1, num_users + item, 1.0}},
+        3.0 + rng.NextGaussian()});
+  }
+  auto model = ffm::FfmModel::Create(2, num_users + num_items, ffm::FfmConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.value().TrainEpoch(examples));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(examples.size()));
+}
+BENCHMARK(BM_FfmEpoch);
+
+}  // namespace
+}  // namespace upskill
+
+BENCHMARK_MAIN();

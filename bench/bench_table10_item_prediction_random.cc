@@ -1,0 +1,10 @@
+// Regenerates Table X: item prediction at a random held-out position per
+// user (missing-data recovery).
+
+#include "bench/prediction_lib.h"
+
+int main() {
+  return upskill::bench::RunItemPrediction(
+      upskill::HoldoutPosition::kRandom,
+      "Table X (item prediction, random positions)");
+}

@@ -1,0 +1,10 @@
+// Regenerates Table XI: item prediction at the last position of each
+// sequence (future forecasting).
+
+#include "bench/prediction_lib.h"
+
+int main() {
+  return upskill::bench::RunItemPrediction(
+      upskill::HoldoutPosition::kLast,
+      "Table XI (item prediction, last positions)");
+}

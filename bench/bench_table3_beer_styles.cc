@@ -1,0 +1,57 @@
+// Regenerates Table III: beer styles dominated by unskilled and skilled
+// users. The paper finds lagers at the unskilled end (Pale Lager first)
+// and strong/hoppy styles at the skilled end (Imperial/Double IPA first).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/dominance.h"
+#include "core/trainer.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Beer-style dominance",
+              "Table III (top-10 styles by skill dominance)");
+
+  auto data = datagen::GenerateBeer(BeerConfigScaled());
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Trainer trainer(DefaultTrainConfig(/*num_levels=*/5));
+  const auto trained = trainer.Train(data.value().dataset);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  const int feature =
+      data.value().dataset.schema().FeatureIndex("style").value();
+
+  const auto print_side = [&](bool skilled, const char* title) {
+    std::printf("\n%s\n%-26s %10s\n", title, "Style", "Score");
+    const auto top =
+        TopDominantCategories(trained.value().model, feature, 10, skilled);
+    if (!top.ok()) return;
+    for (const DominanceEntry& entry : top.value()) {
+      std::printf("%-26s %10.4f\n", entry.label.c_str(), entry.score);
+    }
+  };
+  print_side(false, "(a) Users with lowest skill level");
+  print_side(true, "(b) Users with highest skill level");
+
+  std::printf(
+      "\nPaper (Table III): unskilled list led by Pale Lager (-0.123) and\n"
+      "other lagers; skilled list led by Imperial/Double IPA (0.056),\n"
+      "Imperial Stout, Sour/Wild Ale. Expect lagers below, imperial and\n"
+      "sour styles above.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

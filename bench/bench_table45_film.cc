@@ -1,0 +1,104 @@
+// Regenerates Tables IV and V: the film-domain lastness effect. Without
+// preprocessing, the progression model mistakes release-recency drift for
+// skill (Table IV: lowest level = older releases, highest = the newest).
+// After removing movies released after the first action (Section VI-C),
+// the recovered levels reflect taste instead: blockbusters at the bottom,
+// classics at the top (Table V).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/dominance.h"
+#include "core/trainer.h"
+#include "data/filter.h"
+
+namespace upskill {
+namespace bench {
+namespace {
+
+// Prints the top-10 movies by ID-feature probability for the lowest and
+// highest levels, with release years, plus the mean release year per
+// level for the drift diagnosis.
+int AnalyzeAndPrint(const Dataset& dataset, const char* title) {
+  Trainer trainer(DefaultTrainConfig(/*num_levels=*/5));
+  const auto trained = trainer.Train(dataset);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  const auto release =
+      dataset.items().Metadata(datagen::kFilmReleaseTimeKey);
+  if (!release.ok()) return 1;
+  const int id_feature = dataset.schema().id_feature();
+
+  std::printf("\n%s\n", title);
+  for (int level : {1, 5}) {
+    std::printf("  Top 10 movies at %s skill level:\n",
+                level == 1 ? "lowest" : "highest");
+    const auto top =
+        TopFrequentCategories(trained.value().model, id_feature, level, 10);
+    if (!top.ok()) return 1;
+    double year_sum = 0.0;
+    for (const DominanceEntry& entry : top.value()) {
+      const double year =
+          release.value()[static_cast<size_t>(entry.category)] / 365.25;
+      year_sum += year;
+      std::printf("    %-50s %6.0f\n",
+                  dataset.items().name(entry.category).c_str(), year);
+    }
+    std::printf("  mean release year of the list: %.1f\n",
+                year_sum / static_cast<double>(top.value().size()));
+  }
+  return 0;
+}
+
+int Run() {
+  PrintHeader("Film-domain lastness effect",
+              "Tables IV & V (top movies per level, with and without "
+              "release-date preprocessing)");
+
+  auto data = datagen::GenerateFilm(FilmConfigScaled());
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  if (AnalyzeAndPrint(data.value().dataset,
+                      "=== Table IV: WITHOUT preprocessing (lastness "
+                      "confounds skill) ===") != 0) {
+    return 1;
+  }
+
+  const auto filtered =
+      FilterOldItems(data.value().dataset, datagen::kFilmReleaseTimeKey);
+  if (!filtered.ok()) {
+    std::fprintf(stderr, "%s\n", filtered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\npreprocessing removed %d of %d movies (released after the "
+              "first action)\n",
+              data.value().dataset.items().num_items() -
+                  filtered.value().dataset.items().num_items(),
+              data.value().dataset.items().num_items());
+  if (AnalyzeAndPrint(filtered.value().dataset,
+                      "=== Table V: WITH preprocessing (taste signal "
+                      "dominates) ===") != 0) {
+    return 1;
+  }
+
+  std::printf(
+      "\nPaper: without preprocessing the highest level is dominated by\n"
+      "the newest releases (The Dark Knight, Iron Man, Avatar, ...). With\n"
+      "preprocessing, the lowest level lists blockbusters (Pulp Fiction,\n"
+      "Star Wars, Jurassic Park) and the highest level lists classics\n"
+      "(Rear Window, Casablanca, Citizen Kane). Expect the same pattern:\n"
+      "a large year gap between levels before preprocessing, and a\n"
+      "blockbuster/classic split after.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upskill
+
+int main() { return upskill::bench::Run(); }

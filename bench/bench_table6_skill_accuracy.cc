@@ -1,0 +1,12 @@
+// Regenerates Table VI: skill-assignment accuracy on the sparse Synthetic
+// dataset (50k-item shape), comparing Uniform / ID / ID+feature ablations /
+// Multi-faceted.
+
+#include "bench/accuracy_lib.h"
+#include "bench/common.h"
+
+int main() {
+  return upskill::bench::RunSkillAccuracy(
+      upskill::bench::SyntheticSparseConfig(), "Synthetic (sparse)",
+      "Table VI (skill accuracy, sparse synthetic data)");
+}

@@ -1,0 +1,12 @@
+// Regenerates Table VII: item-difficulty accuracy on the sparse Synthetic
+// dataset, over the skill-model x difficulty-estimator grid, including the
+// rare-item robustness analysis.
+
+#include "bench/accuracy_lib.h"
+#include "bench/common.h"
+
+int main() {
+  return upskill::bench::RunDifficultyAccuracy(
+      upskill::bench::SyntheticSparseConfig(), "Synthetic (sparse)",
+      "Table VII (difficulty accuracy, sparse synthetic data)");
+}

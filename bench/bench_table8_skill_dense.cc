@@ -1,0 +1,11 @@
+// Regenerates Table VIII: skill-assignment accuracy on Synthetic_dense
+// (one fifth the items of Synthetic), probing the data-sparsity claim.
+
+#include "bench/accuracy_lib.h"
+#include "bench/common.h"
+
+int main() {
+  return upskill::bench::RunSkillAccuracy(
+      upskill::bench::SyntheticDenseConfig(), "Synthetic_dense",
+      "Table VIII (skill accuracy, dense synthetic data)");
+}

@@ -1,0 +1,10 @@
+// Regenerates Table IX: item-difficulty accuracy on Synthetic_dense.
+
+#include "bench/accuracy_lib.h"
+#include "bench/common.h"
+
+int main() {
+  return upskill::bench::RunDifficultyAccuracy(
+      upskill::bench::SyntheticDenseConfig(), "Synthetic_dense",
+      "Table IX (difficulty accuracy, dense synthetic data)");
+}

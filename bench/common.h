@@ -1,0 +1,55 @@
+#ifndef UPSKILL_BENCH_COMMON_H_
+#define UPSKILL_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/skill_model.h"
+#include "datagen/beer.h"
+#include "datagen/cooking.h"
+#include "datagen/film.h"
+#include "datagen/language.h"
+#include "datagen/synthetic.h"
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace bench {
+
+/// Global size multiplier read from the UPSKILL_BENCH_SCALE environment
+/// variable (default 1.0). It scales the number of users in every
+/// generated dataset, so `UPSKILL_BENCH_SCALE=5 ./bench_table6_...`
+/// approaches the paper's full dataset sizes while the default stays
+/// laptop-friendly.
+double ScaleFactor();
+
+/// Applies the scale factor with a floor of `minimum`.
+int Scaled(int base, int minimum = 1);
+
+/// Scaled dataset configurations shared across bench binaries (defaults
+/// documented in DESIGN.md; all derive from the paper's Table I shapes).
+datagen::SyntheticConfig SyntheticSparseConfig();   // "Synthetic"
+datagen::SyntheticConfig SyntheticDenseConfig();    // "Synthetic_dense"
+datagen::LanguageConfig LanguageConfigScaled();
+datagen::CookingConfig CookingConfigScaled();
+datagen::BeerConfig BeerConfigScaled();
+datagen::FilmConfig FilmConfigScaled();
+
+/// Standard training configuration used by the accuracy benches.
+SkillModelConfig DefaultTrainConfig(int num_levels);
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref);
+
+/// Prints one "model-name  r  rho  tau  rmse" row.
+void PrintCorrelationRow(const std::string& name,
+                         const eval::CorrelationReport& report);
+
+/// Flattens per-user per-action levels into one vector aligned with
+/// ForEachAction order.
+std::vector<double> FlattenLevels(const SkillAssignments& assignments);
+
+}  // namespace bench
+}  // namespace upskill
+
+#endif  // UPSKILL_BENCH_COMMON_H_

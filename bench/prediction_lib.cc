@@ -1,0 +1,168 @@
+#include "bench/prediction_lib.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "baselines/sequence_baselines.h"
+#include "baselines/uniform_model.h"
+#include "bench/common.h"
+#include "core/trainer.h"
+#include "eval/ranking.h"
+#include "eval/significance.h"
+#include "eval/tasks.h"
+
+namespace upskill {
+namespace bench {
+
+namespace {
+
+struct DomainResult {
+  bool ok = false;
+  eval::ItemPredictionReport uniform;
+  eval::ItemPredictionReport id;
+  eval::ItemPredictionReport multi;
+  BaselinePredictionReport sequence_baselines;
+  int num_items = 0;
+};
+
+DomainResult RunDomain(const Dataset& dataset, HoldoutPosition position,
+                       int num_levels) {
+  DomainResult result;
+  Rng rng(2718);
+  auto split = MakeHoldoutSplit(dataset, position, rng);
+  if (!split.ok()) return result;
+  const Dataset& train = split.value().train;
+  const auto& test = split.value().test;
+  result.num_items = dataset.items().num_items();
+
+  const SkillModelConfig config = DefaultTrainConfig(num_levels);
+
+  // Uniform baseline.
+  {
+    const auto baseline = TrainUniformBaseline(train, config);
+    if (!baseline.ok()) return result;
+    const auto report = eval::EvaluateItemPrediction(
+        train, baseline.value().assignments, baseline.value().model, test);
+    if (!report.ok()) return result;
+    result.uniform = report.value();
+  }
+  // ID model (Yang et al.).
+  {
+    const auto projected = ProjectToIdOnly(train);
+    if (!projected.ok()) return result;
+    Trainer trainer(config);
+    const auto trained = trainer.Train(projected.value());
+    if (!trained.ok()) return result;
+    const auto report = eval::EvaluateItemPrediction(
+        projected.value(), trained.value().assignments, trained.value().model,
+        test);
+    if (!report.ok()) return result;
+    result.id = report.value();
+  }
+  // Multi-faceted.
+  {
+    Trainer trainer(config);
+    const auto trained = trainer.Train(train);
+    if (!trained.ok()) return result;
+    const auto report = eval::EvaluateItemPrediction(
+        train, trained.value().assignments, trained.value().model, test);
+    if (!report.ok()) return result;
+    result.multi = report.value();
+  }
+  // Popularity / Markov-chain floor (library extension; the paper's
+  // related work positions progression models against this family).
+  {
+    const auto report = EvaluateSequenceBaselines(train, test);
+    if (report.ok()) result.sequence_baselines = report.value();
+  }
+  result.ok = true;
+  return result;
+}
+
+void PrintDomain(const char* name, const DomainResult& result) {
+  if (!result.ok) {
+    std::printf("%-10s FAILED\n", name);
+    return;
+  }
+  std::printf("%-10s %9.3f %7.4f   %9.3f %7.4f   %9.3f %7.4f   | random: "
+              "%.4f %.4f\n",
+              name, result.uniform.accuracy_at_k,
+              result.uniform.mean_reciprocal_rank, result.id.accuracy_at_k,
+              result.id.mean_reciprocal_rank, result.multi.accuracy_at_k,
+              result.multi.mean_reciprocal_rank,
+              eval::RandomGuessAccuracyAtK(result.num_items, 10),
+              eval::RandomGuessMeanReciprocalRank(result.num_items));
+  const auto test =
+      eval::WilcoxonSignedRank(result.multi.reciprocal_ranks,
+                               result.id.reciprocal_ranks);
+  if (test.ok()) {
+    std::printf("%-10s Wilcoxon(RR) Multi vs ID: z=%.2f p=%s", "",
+                test.value().z,
+                test.value().p_value < 0.01 ? "<0.01" : "n.s.");
+  }
+  // nDCG@10 (library extension beyond the paper's two measures).
+  std::vector<int> multi_ranks;
+  for (double rr : result.multi.reciprocal_ranks) {
+    multi_ranks.push_back(static_cast<int>(std::lround(1.0 / rr)));
+  }
+  const auto ndcg = eval::AggregateSingleRelevant(multi_ranks, 10);
+  if (ndcg.ok()) {
+    std::printf("   Multi nDCG@10 %.4f", ndcg.value().ndcg_at_k);
+  }
+  std::printf("\n%-10s popularity Acc@10 %.3f RR %.4f | markov Acc@10 "
+              "%.3f RR %.4f\n",
+              "", result.sequence_baselines.popularity_accuracy_at_k,
+              result.sequence_baselines.popularity_mrr,
+              result.sequence_baselines.markov_accuracy_at_k,
+              result.sequence_baselines.markov_mrr);
+}
+
+}  // namespace
+
+int RunItemPrediction(HoldoutPosition position, const char* paper_ref) {
+  PrintHeader(position == HoldoutPosition::kRandom
+                  ? "Item prediction at random positions"
+                  : "Item prediction at last positions",
+              paper_ref);
+  std::printf("%-10s %9s %7s   %9s %7s   %9s %7s\n", "", "Uniform", "",
+              "ID [6]", "", "Multi", "");
+  std::printf("%-10s %9s %7s   %9s %7s   %9s %7s\n", "Dataset", "Acc@10",
+              "RR", "Acc@10", "RR", "Acc@10", "RR");
+
+  {
+    auto data = datagen::GenerateCooking(CookingConfigScaled());
+    if (data.ok()) {
+      PrintDomain("Cooking", RunDomain(data.value().dataset, position, 5));
+    }
+  }
+  {
+    auto data = datagen::GenerateBeer(BeerConfigScaled());
+    if (data.ok()) {
+      PrintDomain("Beer", RunDomain(data.value().dataset, position, 5));
+    }
+  }
+  {
+    auto data = datagen::GenerateFilm(FilmConfigScaled());
+    if (data.ok()) {
+      PrintDomain("Film", RunDomain(data.value().dataset, position, 5));
+    }
+  }
+
+  if (position == HoldoutPosition::kRandom) {
+    std::printf(
+        "\nPaper (Table X, random): Cooking 0.023/0.050/0.073 Acc@10 for\n"
+        "Uniform/ID/Multi; Beer 0.019/0.025/0.029; Film 0.095/0.102/0.109.\n"
+        "Expect Multi > ID > Uniform everywhere, with the largest margin on\n"
+        "the item-rich Cooking domain.\n");
+  } else {
+    std::printf(
+        "\nPaper (Table XI, last): Cooking 0.012/0.043/0.060 Acc@10; Beer\n"
+        "0.008/0.015/0.018; Film roughly tied (0.045/0.044/0.047). Expect\n"
+        "Multi >= ID > Uniform, with a smaller margin on Film.\n");
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace upskill

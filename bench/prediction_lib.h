@@ -1,0 +1,18 @@
+#ifndef UPSKILL_BENCH_PREDICTION_LIB_H_
+#define UPSKILL_BENCH_PREDICTION_LIB_H_
+
+#include "data/split.h"
+
+namespace upskill {
+namespace bench {
+
+/// Runs the Table X / XI protocol: item prediction at the given holdout
+/// position on the Cooking, Beer and Film stand-ins, with Uniform / ID /
+/// Multi-faceted models, reporting Acc@10 and mean reciprocal rank plus
+/// the random-guess floor and a Wilcoxon test on reciprocal ranks.
+int RunItemPrediction(HoldoutPosition position, const char* paper_ref);
+
+}  // namespace bench
+}  // namespace upskill
+
+#endif  // UPSKILL_BENCH_PREDICTION_LIB_H_

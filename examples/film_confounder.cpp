@@ -1,0 +1,104 @@
+// Film-domain walkthrough: detecting and fixing a temporal confounder.
+//
+// In domains where users prefer *recent* items (movies, news, fashion),
+// release-recency drift masquerades as skill: a progression model happily
+// "learns" that early actions (old releases) are low-skill and late
+// actions (new releases) are high-skill (the paper's Table IV). This
+// example shows the diagnostic — mean release year per learned level —
+// and the fix: drop items released after the first observed action
+// (Section VI-C / Table V), after which genuine taste maturation emerges.
+//
+// Build & run:  ./build/examples/example_film_confounder
+
+#include <cstdio>
+
+#include "core/dominance.h"
+#include "core/trainer.h"
+#include "data/filter.h"
+#include "datagen/film.h"
+
+namespace {
+
+using namespace upskill;
+
+// Mean release year of each level's top-20 movies: the drift diagnostic.
+int PrintDiagnostic(const Dataset& dataset, const char* label) {
+  SkillModelConfig config;
+  config.num_levels = 5;
+  config.min_init_actions = 50;
+  Trainer trainer(config);
+  const auto trained = trainer.Train(dataset);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  const auto release =
+      dataset.items().Metadata(datagen::kFilmReleaseTimeKey);
+  if (!release.ok()) return 1;
+  const int id_feature = dataset.schema().id_feature();
+
+  std::printf("%s\n", label);
+  std::printf("  %-6s %-18s %s\n", "level", "mean release year",
+              "top movie");
+  for (int s = 1; s <= 5; ++s) {
+    const auto top =
+        TopFrequentCategories(trained.value().model, id_feature, s, 20);
+    if (!top.ok()) return 1;
+    double year_sum = 0.0;
+    for (const DominanceEntry& entry : top.value()) {
+      year_sum += release.value()[static_cast<size_t>(entry.category)] /
+                  365.25;
+    }
+    std::printf("  %-6d %-18.1f %s\n", s,
+                year_sum / static_cast<double>(top.value().size()),
+                dataset.items().name(top.value()[0].category).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  datagen::FilmConfig config;
+  config.num_users = 600;
+  config.num_filler_movies = 800;
+  config.mean_sequence_length = 60.0;
+  auto data = datagen::GenerateFilm(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Step 1: train naively. If the per-level mean release year\n"
+              "climbs steadily, the model has learned the calendar, not\n"
+              "the users.\n\n");
+  if (PrintDiagnostic(data.value().dataset,
+                      "naive model (lastness confounded):") != 0) {
+    return 1;
+  }
+
+  std::printf("\nStep 2: apply the paper's preprocessing — drop items\n"
+              "released after the earliest action, so every remaining item\n"
+              "was selectable at every time.\n\n");
+  const auto filtered =
+      FilterOldItems(data.value().dataset, datagen::kFilmReleaseTimeKey);
+  if (!filtered.ok()) {
+    std::fprintf(stderr, "%s\n", filtered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("removed %d of %d movies\n\n",
+              data.value().dataset.items().num_items() -
+                  filtered.value().dataset.items().num_items(),
+              data.value().dataset.items().num_items());
+  if (PrintDiagnostic(filtered.value().dataset,
+                      "after preprocessing (taste signal):") != 0) {
+    return 1;
+  }
+
+  std::printf(
+      "\nReading the result: before preprocessing the year column climbs\n"
+      "with the level (drift = skill); after it, the top level skews\n"
+      "toward old classics while the bottom holds 90s blockbusters — the\n"
+      "taste-maturation signal the paper reports in Table V.\n");
+  return 0;
+}

@@ -1,0 +1,483 @@
+// upskill_cli — command-line front end for the library. Commands:
+//
+//   generate       build a simulated dataset (synthetic | language |
+//                  cooking | beer | film)
+//   import         ingest a raw user,time,item[,rating] CSV event log
+//   stats          dataset counts, schema, optional per-feature detail
+//   select-levels  choose S by held-out likelihood (Fig. 3 procedure)
+//   train          fit the progression model (hard, --em, --transitions,
+//                  --threads)
+//   assign         per-action skill levels (histogram, --user trace,
+//                  --out CSV)
+//   summary        trajectory statistics (starts/ends per level, pace)
+//   model          human-readable report of the learned components
+//   difficulty     per-item difficulty (CSV or --top list)
+//   recommend      upskilling shortlist for one user
+//
+// Run with no arguments for full flag syntax. Datasets are the CSV
+// directories written by SaveDataset (schema.csv, items.csv, users.csv,
+// actions.csv), so generated data can be inspected and edited with
+// ordinary tools.
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/assignments_io.h"
+#include "core/difficulty.h"
+#include "core/em_trainer.h"
+#include "core/model_report.h"
+#include "core/model_selection.h"
+#include "core/recommend.h"
+#include "core/trainer.h"
+#include "core/trajectory.h"
+#include "data/io.h"
+#include "common/string_util.h"
+#include "data/describe.h"
+#include "data/log_builder.h"
+#include "data/statistics.h"
+#include "datagen/beer.h"
+#include "datagen/cooking.h"
+#include "datagen/film.h"
+#include "datagen/language.h"
+#include "datagen/synthetic.h"
+
+namespace {
+
+using namespace upskill;
+
+// Minimal flag parser: positional arguments plus --key value / --switch.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool HasFlag(const std::string& name) const { return flags.count(name) > 0; }
+  long long IntFlag(const std::string& name, long long fallback) const {
+    const auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    const auto parsed = ParseInt(it->second);
+    return parsed.ok() ? parsed.value() : fallback;
+  }
+  std::string StringFlag(const std::string& name,
+                         const std::string& fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[name] = argv[++i];
+      } else {
+        args.flags[name] = "";  // boolean switch
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: upskill_cli <command> ...\n"
+      "  generate <domain> <out_dir> [--users N] [--seed X]\n"
+      "  import <log.csv> <out_dir>        (user,time,item[,rating] rows)\n"
+      "  stats <data_dir> [--detail]\n"
+      "  select-levels <data_dir> [--min 2] [--max 8]\n"
+      "  train <data_dir> <model_out.csv> [--levels S] [--em]\n"
+      "        [--transitions] [--threads N] [--verbose]\n"
+      "  assign <data_dir> <model.csv> [--levels S] [--user U] [--out f.csv]\n"
+      "  summary <data_dir> <model.csv> [--levels S]\n"
+      "  model <data_dir> <model.csv> [--levels S] [--top 3]\n"
+      "  difficulty <data_dir> <model.csv> [--levels S]\n"
+      "        [--prior empirical|uniform] [--top K]\n"
+      "  recommend <data_dir> <model.csv> --user U [--levels S]\n"
+      "        [--stretch 1.0] [--top 10]\n");
+  return 2;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const std::string& domain = args.positional[0];
+  const std::string& out_dir = args.positional[1];
+  const int users = static_cast<int>(args.IntFlag("users", 0));
+  const uint64_t seed = static_cast<uint64_t>(args.IntFlag("seed", 0));
+
+  Result<datagen::GeneratedData> data = [&]() -> Result<datagen::GeneratedData> {
+    if (domain == "synthetic") {
+      datagen::SyntheticConfig config;
+      if (users > 0) config.num_users = users;
+      if (seed > 0) config.seed = seed;
+      return datagen::GenerateSynthetic(config);
+    }
+    if (domain == "language") {
+      datagen::LanguageConfig config;
+      if (users > 0) config.num_users = users;
+      if (seed > 0) config.seed = seed;
+      return datagen::GenerateLanguage(config);
+    }
+    if (domain == "cooking") {
+      datagen::CookingConfig config;
+      if (users > 0) config.num_users = users;
+      if (seed > 0) config.seed = seed;
+      return datagen::GenerateCooking(config);
+    }
+    if (domain == "beer") {
+      datagen::BeerConfig config;
+      if (users > 0) config.num_users = users;
+      if (seed > 0) config.seed = seed;
+      return datagen::GenerateBeer(config);
+    }
+    if (domain == "film") {
+      datagen::FilmConfig config;
+      if (users > 0) config.num_users = users;
+      if (seed > 0) config.seed = seed;
+      return datagen::GenerateFilm(config);
+    }
+    return Status::InvalidArgument("unknown domain: " + domain);
+  }();
+  if (!data.ok()) return Fail(data.status());
+
+  const Status saved = SaveDataset(data.value().dataset, out_dir);
+  if (!saved.ok()) return Fail(saved);
+  const DatasetStats stats = ComputeDatasetStats(data.value().dataset);
+  std::printf("wrote %s: %d users, %d items, %zu actions\n", out_dir.c_str(),
+              stats.num_users, stats.num_table_items, stats.num_actions);
+  return 0;
+}
+
+int CmdImport(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto dataset = LoadActionLogCsv(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const Status saved = SaveDataset(dataset.value(), args.positional[1]);
+  if (!saved.ok()) return Fail(saved);
+  const DatasetStats stats = ComputeDatasetStats(dataset.value());
+  std::printf("imported %zu actions (%d users, %d items) -> %s\n",
+              stats.num_actions, stats.num_users, stats.num_table_items,
+              args.positional[1].c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const DatasetStats stats = ComputeDatasetStats(dataset.value());
+  std::printf("users:             %d\n", stats.num_users);
+  std::printf("items (table):     %d\n", stats.num_table_items);
+  std::printf("items (selected):  %d\n", stats.num_used_items);
+  std::printf("actions:           %zu\n", stats.num_actions);
+  std::printf("sequence length:   mean %.1f, min %zu, max %zu\n",
+              stats.mean_sequence_length, stats.min_sequence_length,
+              stats.max_sequence_length);
+  std::printf("rating coverage:   %.1f%%\n", 100.0 * stats.rating_coverage);
+  std::printf("features:\n");
+  for (int f = 0; f < dataset.value().schema().num_features(); ++f) {
+    const FeatureSpec& spec = dataset.value().schema().feature(f);
+    std::printf("  %-24s %s (%s)%s\n", spec.name.c_str(),
+                FeatureTypeToString(spec.type),
+                DistributionKindToString(spec.distribution),
+                f == dataset.value().schema().id_feature() ? "  [item id]"
+                                                           : "");
+  }
+  if (args.HasFlag("detail")) {
+    // Per-feature distributions over the selected actions.
+    const DatasetDescription description =
+        DescribeDataset(dataset.value());
+    std::printf("\naction-weighted feature summary:\n%s",
+                FormatDescription(description, dataset.value().schema())
+                    .c_str());
+  }
+  return 0;
+}
+
+SkillModelConfig ConfigFromArgs(const Args& args) {
+  SkillModelConfig config;
+  config.num_levels = static_cast<int>(args.IntFlag("levels", 5));
+  config.verbose = args.HasFlag("verbose");
+  const int threads = static_cast<int>(args.IntFlag("threads", 1));
+  if (threads > 1) {
+    config.parallel.num_threads = threads;
+    config.parallel.users = true;
+    config.parallel.levels = true;
+    config.parallel.features = true;
+  }
+  if (args.HasFlag("transitions")) {
+    config.transitions = TransitionModel::kGlobal;
+  }
+  return config;
+}
+
+int CmdTrain(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const SkillModelConfig config = ConfigFromArgs(args);
+
+  SkillModel model;
+  double final_ll = 0.0;
+  int iterations = 0;
+  if (args.HasFlag("em")) {
+    EmTrainerConfig em_config;
+    em_config.model = config;
+    const auto result = EmTrainer(em_config).Train(dataset.value());
+    if (!result.ok()) return Fail(result.status());
+    model = result.value().model;
+    final_ll = result.value().final_log_likelihood;
+    iterations = result.value().iterations;
+  } else {
+    const auto result = Trainer(config).Train(dataset.value());
+    if (!result.ok()) return Fail(result.status());
+    model = result.value().model;
+    final_ll = result.value().final_log_likelihood;
+    iterations = result.value().iterations;
+  }
+  const Status saved = model.Save(args.positional[1]);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("trained %d levels in %d iterations (log-likelihood %.1f); "
+              "model -> %s\n",
+              config.num_levels, iterations, final_ll,
+              args.positional[1].c_str());
+  return 0;
+}
+
+int CmdAssign(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  SkillModelConfig config = ConfigFromArgs(args);
+  const auto model =
+      SkillModel::Load(args.positional[1], dataset.value().schema(), config);
+  if (!model.ok()) return Fail(model.status());
+
+  const SkillAssignments assignments =
+      AssignSkills(dataset.value(), model.value());
+  if (args.HasFlag("out")) {
+    const std::string out = args.StringFlag("out", "");
+    const Status saved = SaveAssignments(assignments, out);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("assignments -> %s\n", out.c_str());
+  }
+  if (args.HasFlag("user")) {
+    const UserId user = static_cast<UserId>(args.IntFlag("user", 0));
+    if (user < 0 || user >= dataset.value().num_users()) {
+      return Fail(Status::OutOfRange("no such user"));
+    }
+    std::printf("user %d (%s):", user,
+                dataset.value().user_name(user).c_str());
+    for (int level : assignments[static_cast<size_t>(user)]) {
+      std::printf(" %d", level);
+    }
+    std::printf("\n");
+    return 0;
+  }
+  // Level histogram over all actions.
+  std::vector<size_t> histogram(static_cast<size_t>(config.num_levels), 0);
+  size_t total = 0;
+  for (const auto& seq : assignments) {
+    for (int level : seq) {
+      ++histogram[static_cast<size_t>(level - 1)];
+      ++total;
+    }
+  }
+  std::printf("actions per skill level:\n");
+  for (int s = 1; s <= config.num_levels; ++s) {
+    std::printf("  level %d: %8zu (%.1f%%)\n", s,
+                histogram[static_cast<size_t>(s - 1)],
+                total == 0 ? 0.0
+                           : 100.0 * histogram[static_cast<size_t>(s - 1)] /
+                                 static_cast<double>(total));
+  }
+  return 0;
+}
+
+int CmdDifficulty(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  SkillModelConfig config = ConfigFromArgs(args);
+  const auto model =
+      SkillModel::Load(args.positional[1], dataset.value().schema(), config);
+  if (!model.ok()) return Fail(model.status());
+
+  const SkillAssignments assignments =
+      AssignSkills(dataset.value(), model.value());
+  const std::string prior = args.StringFlag("prior", "empirical");
+  const auto difficulty = EstimateDifficultyByGeneration(
+      dataset.value().items(), model.value(),
+      prior == "uniform" ? DifficultyPrior::kUniform
+                         : DifficultyPrior::kEmpirical,
+      assignments);
+  if (!difficulty.ok()) return Fail(difficulty.status());
+
+  const int top = static_cast<int>(args.IntFlag("top", 0));
+  if (top > 0) {
+    std::vector<ItemId> order(difficulty.value().size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<ItemId>(i);
+    }
+    std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+      return difficulty.value()[static_cast<size_t>(a)] >
+             difficulty.value()[static_cast<size_t>(b)];
+    });
+    std::printf("hardest %d items:\n", top);
+    for (int i = 0; i < top && i < static_cast<int>(order.size()); ++i) {
+      const ItemId item = order[static_cast<size_t>(i)];
+      std::printf("  %8d  %.3f  %s\n", item,
+                  difficulty.value()[static_cast<size_t>(item)],
+                  dataset.value().items().name(item).c_str());
+    }
+    return 0;
+  }
+  std::printf("item,difficulty\n");
+  for (size_t i = 0; i < difficulty.value().size(); ++i) {
+    std::printf("%zu,%.6f\n", i, difficulty.value()[i]);
+  }
+  return 0;
+}
+
+int CmdModel(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  SkillModelConfig config = ConfigFromArgs(args);
+  const auto model =
+      SkillModel::Load(args.positional[1], dataset.value().schema(), config);
+  if (!model.ok()) return Fail(model.status());
+  std::printf("%s",
+              FormatModelReport(model.value(),
+                                static_cast<int>(args.IntFlag("top", 3)))
+                  .c_str());
+  return 0;
+}
+
+int CmdSummary(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  SkillModelConfig config = ConfigFromArgs(args);
+  const auto model =
+      SkillModel::Load(args.positional[1], dataset.value().schema(), config);
+  if (!model.ok()) return Fail(model.status());
+  const SkillAssignments assignments =
+      AssignSkills(dataset.value(), model.value());
+  const auto summary =
+      SummarizeTrajectories(assignments, config.num_levels);
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("%-8s %12s %10s %10s\n", "level", "actions", "starts",
+              "ends");
+  for (int s = 1; s <= config.num_levels; ++s) {
+    std::printf("%-8d %12zu %10zu %10zu\n", s,
+                summary.value().actions_per_level[static_cast<size_t>(s - 1)],
+                summary.value()
+                    .users_starting_at_level[static_cast<size_t>(s - 1)],
+                summary.value()
+                    .users_ending_at_level[static_cast<size_t>(s - 1)]);
+  }
+  std::printf("level-ups: %zu (one every %.1f actions)\n",
+              summary.value().level_ups,
+              summary.value().actions_per_level_up);
+  if (summary.value().level_downs > 0) {
+    std::printf("level-downs: %zu\n", summary.value().level_downs);
+  }
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  if (args.positional.size() != 2 || !args.HasFlag("user")) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  SkillModelConfig config = ConfigFromArgs(args);
+  const auto model =
+      SkillModel::Load(args.positional[1], dataset.value().schema(), config);
+  if (!model.ok()) return Fail(model.status());
+  const SkillAssignments assignments =
+      AssignSkills(dataset.value(), model.value());
+  const auto difficulty = EstimateDifficultyByGeneration(
+      dataset.value().items(), model.value(), DifficultyPrior::kEmpirical,
+      assignments);
+  if (!difficulty.ok()) return Fail(difficulty.status());
+
+  const UserId user = static_cast<UserId>(args.IntFlag("user", 0));
+  UpskillRecommendationOptions options;
+  options.max_results = static_cast<int>(args.IntFlag("top", 10));
+  const auto stretch = args.flags.find("stretch");
+  if (stretch != args.flags.end()) {
+    const auto parsed = ParseDouble(stretch->second);
+    if (parsed.ok()) options.stretch = parsed.value();
+  }
+  const auto picks = RecommendForUpskilling(
+      dataset.value(), model.value(), assignments, difficulty.value(), user,
+      options);
+  if (!picks.ok()) return Fail(picks.status());
+
+  const int level = assignments[static_cast<size_t>(user)].back();
+  std::printf("user %d is at level %d of %d; stretch window (%d, %.2f]\n",
+              user, level, config.num_levels, level,
+              level + options.stretch);
+  for (const UpskillRecommendation& pick : picks.value()) {
+    std::printf("  %8d  difficulty %.2f  logP %.2f  %s\n", pick.item,
+                pick.difficulty, pick.log_prob,
+                dataset.value().items().name(pick.item).c_str());
+  }
+  if (picks.value().empty()) std::printf("  (no eligible items)\n");
+  return 0;
+}
+
+int CmdSelectLevels(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const int lo = static_cast<int>(args.IntFlag("min", 2));
+  const int hi = static_cast<int>(args.IntFlag("max", 8));
+  if (lo < 1 || hi < lo) return Fail(Status::InvalidArgument("bad range"));
+  std::vector<int> candidates;
+  for (int s = lo; s <= hi; ++s) candidates.push_back(s);
+  SkillModelConfig base;
+  base.max_iterations = 30;
+  Rng rng(static_cast<uint64_t>(args.IntFlag("seed", 90)));
+  const auto selection =
+      SelectSkillCount(dataset.value(), candidates, base, 0.1, rng);
+  if (!selection.ok()) return Fail(selection.status());
+  for (const SkillCountPoint& point : selection.value().curve) {
+    std::printf("S=%d  held-out log-likelihood %.1f\n", point.num_levels,
+                point.held_out_log_likelihood);
+  }
+  std::printf("selected S = %d\n", selection.value().best_num_levels);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "import") return CmdImport(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "assign") return CmdAssign(args);
+  if (command == "summary") return CmdSummary(args);
+  if (command == "model") return CmdModel(args);
+  if (command == "difficulty") return CmdDifficulty(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "select-levels") return CmdSelectLevels(args);
+  return Usage();
+}

@@ -1,0 +1,189 @@
+#include "baselines/sequence_baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace upskill {
+
+PopularityModel PopularityModel::Train(const Dataset& train) {
+  PopularityModel model;
+  model.counts_.assign(static_cast<size_t>(train.items().num_items()), 0);
+  train.ForEachAction([&model](UserId, const Action& a) {
+    ++model.counts_[static_cast<size_t>(a.item)];
+  });
+  // Precompute ranks: sort ids by (count desc, id asc).
+  std::vector<ItemId> order(model.counts_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&model](ItemId a, ItemId b) {
+    const size_t ca = model.counts_[static_cast<size_t>(a)];
+    const size_t cb = model.counts_[static_cast<size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  model.rank_.resize(model.counts_.size());
+  for (size_t position = 0; position < order.size(); ++position) {
+    model.rank_[static_cast<size_t>(order[position])] =
+        static_cast<int>(position) + 1;
+  }
+  return model;
+}
+
+Result<int> PopularityModel::Rank(ItemId target) const {
+  if (target < 0 || static_cast<size_t>(target) >= rank_.size()) {
+    return Status::OutOfRange(StringPrintf("item %d", target));
+  }
+  return rank_[static_cast<size_t>(target)];
+}
+
+std::vector<ItemId> PopularityModel::TopItems(int k) const {
+  std::vector<ItemId> order(counts_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](ItemId a, ItemId b) {
+    return rank_[static_cast<size_t>(a)] < rank_[static_cast<size_t>(b)];
+  });
+  order.resize(std::min(order.size(), static_cast<size_t>(std::max(0, k))));
+  return order;
+}
+
+MarkovChainModel MarkovChainModel::Train(const Dataset& train,
+                                         double smoothing) {
+  MarkovChainModel model;
+  model.num_items_ = train.items().num_items();
+  model.smoothing_ = smoothing;
+  model.transitions_.resize(static_cast<size_t>(model.num_items_));
+  model.row_totals_.assign(static_cast<size_t>(model.num_items_), 0);
+  model.popularity_ = PopularityModel::Train(train);
+
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const std::vector<Action>& seq = train.sequence(u);
+    for (size_t n = 1; n < seq.size(); ++n) {
+      auto& row = model.transitions_[static_cast<size_t>(seq[n - 1].item)];
+      const ItemId next = seq[n].item;
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), next,
+          [](const std::pair<ItemId, size_t>& entry, ItemId value) {
+            return entry.first < value;
+          });
+      if (it != row.end() && it->first == next) {
+        ++it->second;
+      } else {
+        row.insert(it, {next, 1});
+      }
+      ++model.row_totals_[static_cast<size_t>(seq[n - 1].item)];
+    }
+  }
+  return model;
+}
+
+double MarkovChainModel::TransitionProbability(ItemId previous,
+                                               ItemId next) const {
+  if (previous < 0 || previous >= num_items_ || next < 0 ||
+      next >= num_items_) {
+    return 0.0;
+  }
+  const auto& row = transitions_[static_cast<size_t>(previous)];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), next,
+      [](const std::pair<ItemId, size_t>& entry, ItemId value) {
+        return entry.first < value;
+      });
+  const size_t count =
+      (it != row.end() && it->first == next) ? it->second : 0;
+  const double denom =
+      static_cast<double>(row_totals_[static_cast<size_t>(previous)]) +
+      smoothing_ * static_cast<double>(num_items_);
+  if (denom <= 0.0) return 0.0;
+  return (static_cast<double>(count) + smoothing_) / denom;
+}
+
+Result<int> MarkovChainModel::Rank(ItemId previous, ItemId target) const {
+  if (previous < 0 || previous >= num_items_) {
+    return Status::OutOfRange(StringPrintf("previous item %d", previous));
+  }
+  if (target < 0 || target >= num_items_) {
+    return Status::OutOfRange(StringPrintf("target item %d", target));
+  }
+  // An unseen predecessor carries no signal: fall back to popularity.
+  if (row_totals_[static_cast<size_t>(previous)] == 0) {
+    return popularity_.Rank(target);
+  }
+  // With additive smoothing, only explicitly-observed successors can beat
+  // the smoothed floor; everything else ties at the floor. Rank = 1 +
+  // #(observed successors with higher count) + floor ties before target.
+  const auto& row = transitions_[static_cast<size_t>(previous)];
+  size_t target_count = 0;
+  for (const auto& [next, count] : row) {
+    if (next == target) {
+      target_count = count;
+      break;
+    }
+  }
+  int rank = 1;
+  if (target_count > 0) {
+    for (const auto& [next, count] : row) {
+      if (count > target_count || (count == target_count && next < target)) {
+        ++rank;
+      }
+    }
+    return rank;
+  }
+  // Target sits at the smoothing floor: all observed successors rank
+  // above it, plus the floor-tied items with smaller ids.
+  rank += static_cast<int>(row.size());
+  for (ItemId i = 0; i < target; ++i) {
+    // Items in `row` were already counted above; skip them among the ties.
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), i,
+        [](const std::pair<ItemId, size_t>& entry, ItemId value) {
+          return entry.first < value;
+        });
+    if (it == row.end() || it->first != i) ++rank;
+  }
+  return rank;
+}
+
+Result<BaselinePredictionReport> EvaluateSequenceBaselines(
+    const Dataset& train, const std::vector<HeldOutAction>& test, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const PopularityModel popularity = PopularityModel::Train(train);
+  const MarkovChainModel markov = MarkovChainModel::Train(train);
+
+  BaselinePredictionReport report;
+  size_t popularity_hits = 0;
+  size_t markov_hits = 0;
+  double popularity_rr = 0.0;
+  double markov_rr = 0.0;
+  for (const HeldOutAction& held : test) {
+    const std::vector<Action>& seq = train.sequence(held.user);
+    if (seq.empty()) continue;
+    // Predecessor: last training action strictly before the held-out
+    // time; the first action when none precedes it.
+    ItemId previous = seq.front().item;
+    for (const Action& a : seq) {
+      if (a.time >= held.action.time) break;
+      previous = a.item;
+    }
+    const Result<int> popularity_rank = popularity.Rank(held.action.item);
+    if (!popularity_rank.ok()) return popularity_rank.status();
+    const Result<int> markov_rank = markov.Rank(previous, held.action.item);
+    if (!markov_rank.ok()) return markov_rank.status();
+    popularity_hits += popularity_rank.value() <= k;
+    markov_hits += markov_rank.value() <= k;
+    popularity_rr += 1.0 / popularity_rank.value();
+    markov_rr += 1.0 / markov_rank.value();
+    ++report.num_cases;
+  }
+  if (report.num_cases > 0) {
+    const double n = static_cast<double>(report.num_cases);
+    report.popularity_accuracy_at_k =
+        static_cast<double>(popularity_hits) / n;
+    report.markov_accuracy_at_k = static_cast<double>(markov_hits) / n;
+    report.popularity_mrr = popularity_rr / n;
+    report.markov_mrr = markov_rr / n;
+  }
+  return report;
+}
+
+}  // namespace upskill

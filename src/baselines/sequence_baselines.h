@@ -1,0 +1,82 @@
+#ifndef UPSKILL_BASELINES_SEQUENCE_BASELINES_H_
+#define UPSKILL_BASELINES_SEQUENCE_BASELINES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/split.h"
+
+namespace upskill {
+
+/// Non-progression baselines for the item-prediction task (Section VI-E).
+/// The paper compares against Yang et al.'s ID model and notes prior work
+/// beat logistic-regression and HMM baselines; these two cover the
+/// standard sequential-recommendation floor: global popularity and a
+/// first-order Markov chain (Rendle et al.'s FPMC ancestor).
+
+/// Ranks items by their global selection count in the training data.
+class PopularityModel {
+ public:
+  /// Counts selections per item over `train`.
+  static PopularityModel Train(const Dataset& train);
+
+  /// 1-based rank of `target` (count ties break toward the smaller id).
+  Result<int> Rank(ItemId target) const;
+
+  /// Top-k items by count.
+  std::vector<ItemId> TopItems(int k) const;
+
+  int num_items() const { return static_cast<int>(counts_.size()); }
+
+ private:
+  std::vector<size_t> counts_;
+  /// rank_[i] = precomputed 1-based rank of item i.
+  std::vector<int> rank_;
+};
+
+/// First-order Markov chain over consecutive selections:
+/// P(next = j | previous = i) with additive smoothing. Items never seen
+/// as a predecessor fall back to the popularity distribution.
+class MarkovChainModel {
+ public:
+  /// Counts consecutive (previous, next) pairs over `train`.
+  /// `smoothing` is the additive pseudo-count per (i, j) cell.
+  static MarkovChainModel Train(const Dataset& train,
+                                double smoothing = 0.01);
+
+  /// 1-based rank of `target` among all items given the predecessor
+  /// `previous` (probability ties break toward the smaller id).
+  Result<int> Rank(ItemId previous, ItemId target) const;
+
+  /// Smoothed transition probability P(next | previous).
+  double TransitionProbability(ItemId previous, ItemId next) const;
+
+  int num_items() const { return num_items_; }
+
+ private:
+  int num_items_ = 0;
+  double smoothing_ = 0.01;
+  /// Sparse rows: transitions_[i] holds (next, count) pairs sorted by id.
+  std::vector<std::vector<std::pair<ItemId, size_t>>> transitions_;
+  std::vector<size_t> row_totals_;
+  PopularityModel popularity_;
+};
+
+/// Item-prediction scores for the two baselines under the standard
+/// protocol (the held-out action's predecessor is the chronologically
+/// nearest *earlier* training action; users with no earlier action use
+/// their first training action).
+struct BaselinePredictionReport {
+  double popularity_accuracy_at_k = 0.0;
+  double popularity_mrr = 0.0;
+  double markov_accuracy_at_k = 0.0;
+  double markov_mrr = 0.0;
+  size_t num_cases = 0;
+};
+Result<BaselinePredictionReport> EvaluateSequenceBaselines(
+    const Dataset& train, const std::vector<HeldOutAction>& test, int k = 10);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_BASELINES_SEQUENCE_BASELINES_H_

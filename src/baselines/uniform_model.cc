@@ -1,0 +1,87 @@
+#include "baselines/uniform_model.h"
+
+#include <algorithm>
+
+namespace upskill {
+
+Result<UniformBaselineResult> TrainUniformBaseline(
+    const Dataset& dataset, const SkillModelConfig& config) {
+  if (dataset.num_actions() == 0) {
+    return Status::InvalidArgument("cannot fit a baseline on empty data");
+  }
+  Result<SkillModel> model = SkillModel::Create(dataset.schema(), config);
+  if (!model.ok()) return model.status();
+
+  UniformBaselineResult result;
+  result.model = std::move(model).value();
+  result.assignments.resize(static_cast<size_t>(dataset.num_users()));
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    result.assignments[static_cast<size_t>(u)] =
+        SegmentUniformly(dataset.sequence(u).size(), config.num_levels);
+  }
+  FitParameters(dataset, result.assignments, &result.model);
+  return result;
+}
+
+Result<Dataset> ProjectToFeatures(const Dataset& dataset,
+                                  const std::vector<std::string>& keep) {
+  const FeatureSchema& schema = dataset.schema();
+  if (schema.id_feature() < 0) {
+    return Status::FailedPrecondition("dataset schema has no ID feature");
+  }
+
+  // Build the projected schema, preserving original feature order.
+  FeatureSchema projected;
+  std::vector<int> kept_features;
+  for (int f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.feature(f);
+    const bool is_id = f == schema.id_feature();
+    const bool requested =
+        std::find(keep.begin(), keep.end(), spec.name) != keep.end();
+    if (!is_id && !requested) continue;
+    Result<int> added = [&]() -> Result<int> {
+      if (is_id) return projected.AddIdFeature(spec.cardinality);
+      switch (spec.type) {
+        case FeatureType::kCategorical:
+          return projected.AddCategorical(spec.name, spec.cardinality,
+                                          spec.labels);
+        case FeatureType::kCount:
+          return projected.AddCount(spec.name);
+        case FeatureType::kReal:
+          return projected.AddReal(spec.name, spec.distribution);
+      }
+      return Status::Internal("unhandled feature type");
+    }();
+    if (!added.ok()) return added.status();
+    kept_features.push_back(f);
+  }
+
+  const ItemTable& items = dataset.items();
+  ItemTable projected_items(std::move(projected));
+  std::vector<double> row(kept_features.size());
+  for (ItemId i = 0; i < items.num_items(); ++i) {
+    for (size_t c = 0; c < kept_features.size(); ++c) {
+      row[c] = items.value(i, kept_features[c]);
+    }
+    Result<ItemId> added = projected_items.AddItem(row, items.name(i));
+    if (!added.ok()) return added.status();
+  }
+  for (const auto& [key, column] : items.metadata()) {
+    UPSKILL_RETURN_IF_ERROR(projected_items.SetMetadata(key, column));
+  }
+
+  Dataset out(std::move(projected_items));
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    out.AddUser(dataset.user_name(u));
+    for (const Action& a : dataset.sequence(u)) {
+      UPSKILL_RETURN_IF_ERROR(out.AddAction(u, a.time, a.item, a.rating));
+    }
+  }
+  return out;
+}
+
+Result<Dataset> ProjectToIdOnly(const Dataset& dataset) {
+  return ProjectToFeatures(dataset, {});
+}
+
+}  // namespace upskill

@@ -1,0 +1,38 @@
+#ifndef UPSKILL_BASELINES_UNIFORM_MODEL_H_
+#define UPSKILL_BASELINES_UNIFORM_MODEL_H_
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// The "Uniform" baseline of Section VI-D: each sequence is segmented into
+/// S equal-length groups and the s-th group gets level s; no iteration.
+/// The returned model's parameters are fitted once from those assignments
+/// so the baseline can also rank items for the prediction tasks.
+struct UniformBaselineResult {
+  SkillModel model;
+  SkillAssignments assignments;
+};
+
+/// Segments all sequences and fits model parameters once.
+Result<UniformBaselineResult> TrainUniformBaseline(
+    const Dataset& dataset, const SkillModelConfig& config);
+
+/// Helper for building the ID-only (Yang et al.) schema: a copy of
+/// `items`' schema reduced to just the item-ID feature, with the item
+/// table rebuilt accordingly. Training the standard Trainer on the result
+/// reproduces the paper's "ID" baseline.
+Result<Dataset> ProjectToIdOnly(const Dataset& dataset);
+
+/// Projects `dataset` onto a subset of features named in `keep` (the ID
+/// feature is always retained). Supports the paper's ID+categorical /
+/// ID+gamma / ID+Poisson ablations (Table VI).
+Result<Dataset> ProjectToFeatures(const Dataset& dataset,
+                                  const std::vector<std::string>& keep);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_BASELINES_UNIFORM_MODEL_H_

@@ -1,0 +1,100 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+namespace upskill {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::Corruption("quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  if (in_quotes) return Status::Corruption("unterminated quoted CSV field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    const std::string& field = fields[i];
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+      out += field;
+      continue;
+    }
+    out += '"';
+    for (char c : field) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    Result<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok()) return fields.status();
+    rows.push_back(std::move(fields).value());
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+  for (const auto& row : rows) {
+    file << FormatCsvLine(row) << '\n';
+  }
+  file.flush();
+  if (!file.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace upskill

@@ -1,0 +1,30 @@
+#ifndef UPSKILL_COMMON_CSV_H_
+#define UPSKILL_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upskill {
+
+/// Parses one CSV record. Supports RFC-4180-style double-quoted fields with
+/// embedded commas and doubled quotes; does not support embedded newlines
+/// (records are line-oriented throughout this library).
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Escapes and joins fields into one CSV record (no trailing newline).
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads an entire CSV file into rows of fields. Skips blank lines.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to `path`, overwriting any existing file.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_CSV_H_

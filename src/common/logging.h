@@ -1,0 +1,82 @@
+#ifndef UPSKILL_COMMON_LOGGING_H_
+#define UPSKILL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace upskill {
+
+/// Severity levels in increasing order. Messages below the global threshold
+/// are discarded.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink for disabled log statements; swallows the streamed expression.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define UPSKILL_LOG(level)                                                  \
+  (::upskill::LogLevel::k##level < ::upskill::GetLogLevel())                \
+      ? void(0)                                                             \
+      : ::upskill::internal_logging::Voidify() &                            \
+            ::upskill::internal_logging::LogMessage(                        \
+                ::upskill::LogLevel::k##level, __FILE__, __LINE__)          \
+                .stream()
+
+namespace internal_logging {
+
+/// Helper giving the conditional in UPSKILL_LOG a common void type.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+/// Aborts the process with a message when `condition` is false. Used for
+/// internal invariants (not for user input validation, which returns
+/// Status).
+#define UPSKILL_CHECK(condition)                                        \
+  (condition) ? void(0)                                                 \
+              : ::upskill::internal_logging::CheckFailure(#condition,   \
+                                                          __FILE__, __LINE__)
+
+namespace internal_logging {
+
+[[noreturn]] void CheckFailure(const char* expression, const char* file,
+                               int line);
+
+}  // namespace internal_logging
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_LOGGING_H_

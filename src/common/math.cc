@@ -1,0 +1,78 @@
+#include "common/math.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace upskill {
+
+double LogGamma(double x) {
+  UPSKILL_CHECK(x > 0.0);
+  return std::lgamma(x);
+}
+
+double Digamma(double x) {
+  UPSKILL_CHECK(x > 0.0);
+  // Shift x up until the asymptotic expansion is accurate.
+  double result = 0.0;
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic series: psi(x) ~ ln x - 1/(2x) - sum B_2n / (2n x^{2n}).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv;
+  result -= inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+double Trigamma(double x) {
+  UPSKILL_CHECK(x > 0.0);
+  double result = 0.0;
+  while (x < 10.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // psi'(x) ~ 1/x + 1/(2x^2) + sum B_2n / x^{2n+1}.
+  result += inv * (1.0 +
+                   inv * (0.5 +
+                          inv * (1.0 / 6.0 -
+                                 inv2 * (1.0 / 30.0 -
+                                         inv2 * (1.0 / 42.0 - inv2 / 30.0)))));
+  return result;
+}
+
+double LogFactorial(long long k) {
+  UPSKILL_CHECK(k >= 0);
+  static constexpr int kTableSize = 256;
+  static const std::array<double, kTableSize> kTable = [] {
+    std::array<double, kTableSize> table{};
+    table[0] = 0.0;
+    for (int i = 1; i < kTableSize; ++i) {
+      table[i] = table[i - 1] + std::log(static_cast<double>(i));
+    }
+    return table;
+  }();
+  if (k < kTableSize) return kTable[static_cast<size_t>(k)];
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double LogSumExp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  double max_value = -std::numeric_limits<double>::infinity();
+  for (double v : values) max_value = std::max(max_value, v);
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+}  // namespace upskill

@@ -1,0 +1,27 @@
+#ifndef UPSKILL_COMMON_MATH_H_
+#define UPSKILL_COMMON_MATH_H_
+
+#include <span>
+
+namespace upskill {
+
+/// Natural log of the gamma function for x > 0.
+double LogGamma(double x);
+
+/// Digamma function psi(x) = d/dx log Gamma(x), for x > 0.
+/// Accurate to ~1e-12 via upward recurrence plus asymptotic expansion.
+double Digamma(double x);
+
+/// Trigamma function psi'(x), for x > 0.
+double Trigamma(double x);
+
+/// log(k!) for k >= 0; small arguments are served from a table.
+double LogFactorial(long long k);
+
+/// Numerically stable log(sum_i exp(values[i])). Returns -inf for empty
+/// input.
+double LogSumExp(std::span<const double> values);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_MATH_H_

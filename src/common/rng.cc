@@ -1,0 +1,149 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace upskill {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t bound) {
+  UPSKILL_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t ubound = static_cast<uint64_t>(bound);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % ubound;
+  uint64_t value;
+  do {
+    value = NextUint64();
+  } while (value >= limit);
+  return static_cast<int64_t>(value % ubound);
+}
+
+int64_t Rng::NextIntInRange(int64_t lo, int64_t hi) {
+  UPSKILL_CHECK(lo <= hi);
+  return lo + NextInt(hi - lo + 1);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller transform; u1 kept away from zero to make log finite.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+int64_t Rng::NextPoisson(double lambda) {
+  UPSKILL_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double threshold = std::exp(-lambda);
+    int64_t k = 0;
+    double product = NextDouble();
+    while (product > threshold) {
+      ++k;
+      product *= NextDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for data
+  // generation at the rates this library uses.
+  const double sample = lambda + std::sqrt(lambda) * NextGaussian() + 0.5;
+  return sample < 0.0 ? 0 : static_cast<int64_t>(sample);
+}
+
+double Rng::NextGamma(double shape, double scale) {
+  UPSKILL_CHECK(shape > 0.0);
+  UPSKILL_CHECK(scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    const double u = NextDouble();
+    return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x;
+    double v;
+    do {
+      x = NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  UPSKILL_CHECK(sigma >= 0.0);
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+int Rng::NextCategorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    UPSKILL_CHECK(w >= 0.0);
+    total += w;
+  }
+  UPSKILL_CHECK(total > 0.0);
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int>(i);
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return static_cast<int>(i - 1);
+  }
+  return 0;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace upskill

@@ -1,0 +1,49 @@
+#ifndef UPSKILL_COMMON_STATS_H_
+#define UPSKILL_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace upskill {
+
+/// Streaming accumulator for count / mean / variance (Welford) plus
+/// min/max. Used for descriptive statistics and by the distribution
+/// fitters.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance (denominator n); 0 for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (denominator n-1); 0 for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `values`; 0 for empty input.
+double Mean(std::span<const double> values);
+
+/// Population variance of `values`; 0 for fewer than 2 samples.
+double Variance(std::span<const double> values);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_STATS_H_

@@ -1,0 +1,32 @@
+#ifndef UPSKILL_COMMON_STOPWATCH_H_
+#define UPSKILL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace upskill {
+
+/// Wall-clock stopwatch used by the efficiency experiments (Table XIII,
+/// Figure 7) and the training loop's progress logging.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_STOPWATCH_H_

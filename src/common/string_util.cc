@@ -1,0 +1,100 @@
+#include "common/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace upskill {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && (input[begin] == ' ' || input[begin] == '\t' ||
+                         input[begin] == '\r' || input[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin && (input[end - 1] == ' ' || input[end - 1] == '\t' ||
+                         input[end - 1] == '\r' || input[end - 1] == '\n')) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+Result<long long> ParseInt(std::string_view input) {
+  const std::string buffer(StripWhitespace(input));
+  if (buffer.empty()) return Status::InvalidArgument("empty integer field");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buffer);
+  }
+  if (end == buffer.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: " + buffer);
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  const std::string buffer(StripWhitespace(input));
+  if (buffer.empty()) return Status::InvalidArgument("empty numeric field");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: " + buffer);
+  }
+  if (end == buffer.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: " + buffer);
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() &&
+         input.substr(0, prefix.size()) == prefix;
+}
+
+std::string StringPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (size > 0) {
+    out.resize(static_cast<size_t>(size));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace upskill

@@ -1,0 +1,37 @@
+#ifndef UPSKILL_COMMON_STRING_UTIL_H_
+#define UPSKILL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upskill {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Parses a base-10 integer; rejects trailing garbage.
+Result<long long> ParseInt(std::string_view input);
+
+/// Parses a floating-point value; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view input);
+
+/// True if `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_STRING_UTIL_H_

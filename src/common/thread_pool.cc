@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace upskill {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  UPSKILL_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    UPSKILL_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || count == 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const size_t num_chunks =
+      std::min(count, static_cast<size_t>(pool->num_threads()) * 4);
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
+    const size_t chunk_end = std::min(end, chunk_begin + chunk);
+    pool->Submit([chunk_begin, chunk_end, &body] {
+      for (size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace upskill

@@ -1,0 +1,56 @@
+#ifndef UPSKILL_COMMON_THREAD_POOL_H_
+#define UPSKILL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace upskill {
+
+/// Fixed-size worker pool. Section IV-C of the paper derives three
+/// independent axes of parallelism for training (users in the assignment
+/// step; skill levels and features in the update step); the trainer maps
+/// each axis onto this pool via ParallelFor below.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  // queued + currently executing tasks
+  bool shutting_down_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end). When `pool` is null or the
+/// range is trivial, runs inline on the calling thread; otherwise splits
+/// the range into contiguous chunks, one batch per worker. `body` must be
+/// safe to invoke concurrently for distinct indices.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_COMMON_THREAD_POOL_H_

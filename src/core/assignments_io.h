@@ -1,0 +1,26 @@
+#ifndef UPSKILL_CORE_ASSIGNMENTS_IO_H_
+#define UPSKILL_CORE_ASSIGNMENTS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+
+namespace upskill {
+
+/// Writes per-action skill assignments as CSV (`user,position,level`),
+/// one row per action. Users with empty sequences contribute no rows but
+/// are restored by LoadAssignments via the `num_users` argument.
+Status SaveAssignments(const SkillAssignments& assignments,
+                       const std::string& path);
+
+/// Restores assignments written by SaveAssignments. `num_users` sets the
+/// output size (users absent from the file get empty sequences);
+/// `num_levels` bounds level validation. Rows may appear in any order but
+/// positions per user must form a gapless 0..n-1 range.
+Result<SkillAssignments> LoadAssignments(const std::string& path,
+                                         int num_users, int num_levels);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_ASSIGNMENTS_IO_H_

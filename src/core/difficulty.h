@@ -1,0 +1,66 @@
+#ifndef UPSKILL_CORE_DIFFICULTY_H_
+#define UPSKILL_CORE_DIFFICULTY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Skill prior P(s) used by the generation-based estimator (Section V-B).
+enum class DifficultyPrior {
+  /// P(s) = 1/S.
+  kUniform,
+  /// P(s) = fraction of actions assigned level s.
+  kEmpirical,
+};
+
+/// Assignment-based difficulty (Equation 8): the mean assigned skill level
+/// over the actions that select each item. Items never selected get NaN —
+/// the estimator's documented blind spot for new items.
+std::vector<double> EstimateDifficultyByAssignment(
+    const Dataset& dataset, const SkillAssignments& assignments);
+
+/// Uniform prior vector (1/S per level).
+std::vector<double> UniformSkillPrior(int num_levels);
+
+/// Empirical prior (Section V-B2): level frequencies over all assigned
+/// actions. Falls back to uniform for empty assignments.
+std::vector<double> EmpiricalSkillPrior(const SkillAssignments& assignments,
+                                        int num_levels);
+
+/// Generation-based difficulty (Equations 9-10) for every item in `items`:
+/// d_i = sum_s s * P(s|i) with P(s|i) proportional to P(i|s) * prior[s-1].
+/// Works for items with no selection history, which is the estimator's
+/// point (Section V-B). `prior` must have one non-negative entry per level
+/// with a positive sum.
+Result<std::vector<double>> EstimateDifficultyByGeneration(
+    const ItemTable& items, const SkillModel& model,
+    std::span<const double> prior);
+
+/// Convenience wrapper choosing the prior by enum.
+Result<std::vector<double>> EstimateDifficultyByGeneration(
+    const ItemTable& items, const SkillModel& model, DifficultyPrior prior,
+    const SkillAssignments& assignments);
+
+/// Shrinkage combination of the two estimators (an extension past the
+/// paper, addressing its Section V-B robustness discussion head-on): for
+/// an item selected n times,
+///
+///   d_i = (n * d_assignment + w * d_generation) / (n + w)
+///
+/// so frequently-selected items trust their observed audience while rare
+/// and unseen items fall back to the generative estimate.
+/// `generation_weight` (w > 0) is the pseudo-count of the generative
+/// side; w -> 0 recovers Assignment (where defined), w -> inf recovers
+/// the generation estimator.
+Result<std::vector<double>> EstimateDifficultyShrunken(
+    const Dataset& dataset, const SkillModel& model,
+    const SkillAssignments& assignments, DifficultyPrior prior,
+    double generation_weight = 5.0);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_DIFFICULTY_H_

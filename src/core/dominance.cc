@@ -1,0 +1,91 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+
+#include "dist/categorical.h"
+
+namespace upskill {
+
+namespace {
+
+// Checks `feature` is categorical and returns its components at levels 1
+// and S plus the spec.
+Status CheckCategorical(const SkillModel& model, int feature) {
+  if (feature < 0 || feature >= model.num_features()) {
+    return Status::OutOfRange("feature index out of range");
+  }
+  if (model.schema().feature(feature).type != FeatureType::kCategorical) {
+    return Status::InvalidArgument("dominance requires a categorical feature");
+  }
+  return Status::OK();
+}
+
+std::string LabelFor(const FeatureSpec& spec, int category) {
+  if (static_cast<size_t>(category) < spec.labels.size()) {
+    return spec.labels[static_cast<size_t>(category)];
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::vector<DominanceEntry>> TopDominantCategories(
+    const SkillModel& model, int feature, int k, bool skilled) {
+  UPSKILL_RETURN_IF_ERROR(CheckCategorical(model, feature));
+  const FeatureSpec& spec = model.schema().feature(feature);
+  const auto& lowest =
+      static_cast<const Categorical&>(model.component(feature, 1));
+  const auto& highest = static_cast<const Categorical&>(
+      model.component(feature, model.num_levels()));
+
+  std::vector<DominanceEntry> entries;
+  entries.reserve(static_cast<size_t>(spec.cardinality));
+  for (int c = 0; c < spec.cardinality; ++c) {
+    entries.push_back(DominanceEntry{
+        c, LabelFor(spec, c), highest.Probability(c) - lowest.Probability(c)});
+  }
+  const auto more_extreme = [skilled](const DominanceEntry& a,
+                                      const DominanceEntry& b) {
+    if (a.score != b.score) return skilled ? a.score > b.score
+                                           : a.score < b.score;
+    return a.category < b.category;
+  };
+  const size_t take = std::min(entries.size(),
+                               static_cast<size_t>(std::max(0, k)));
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<ptrdiff_t>(take),
+                    entries.end(), more_extreme);
+  entries.resize(take);
+  return entries;
+}
+
+Result<std::vector<DominanceEntry>> TopFrequentCategories(
+    const SkillModel& model, int feature, int level, int k) {
+  UPSKILL_RETURN_IF_ERROR(CheckCategorical(model, feature));
+  if (level < 1 || level > model.num_levels()) {
+    return Status::OutOfRange("level out of range");
+  }
+  const FeatureSpec& spec = model.schema().feature(feature);
+  const auto& dist =
+      static_cast<const Categorical&>(model.component(feature, level));
+
+  std::vector<DominanceEntry> entries;
+  entries.reserve(static_cast<size_t>(spec.cardinality));
+  for (int c = 0; c < spec.cardinality; ++c) {
+    entries.push_back(DominanceEntry{c, LabelFor(spec, c),
+                                     dist.Probability(c)});
+  }
+  const size_t take = std::min(entries.size(),
+                               static_cast<size_t>(std::max(0, k)));
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<ptrdiff_t>(take),
+                    entries.end(),
+                    [](const DominanceEntry& a, const DominanceEntry& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.category < b.category;
+                    });
+  entries.resize(take);
+  return entries;
+}
+
+}  // namespace upskill

@@ -1,0 +1,36 @@
+#ifndef UPSKILL_CORE_DOMINANCE_H_
+#define UPSKILL_CORE_DOMINANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+
+namespace upskill {
+
+/// A categorical value with its skill-dominance score
+/// P_f(x | theta_f(S)) - P_f(x | theta_f(1)) (Section VI-C, after McAuley
+/// and Leskovec): negative scores mark values dominated by unskilled
+/// users, positive scores values dominated by skilled users.
+struct DominanceEntry {
+  int category = 0;
+  std::string label;
+  double score = 0.0;
+};
+
+/// Scores every value of categorical feature `feature` and returns the
+/// `k` most extreme entries: the most negative when `skilled` is false
+/// (Table IIa / IIIa) or the most positive when true (Table IIb / IIIb).
+Result<std::vector<DominanceEntry>> TopDominantCategories(
+    const SkillModel& model, int feature, int k, bool skilled);
+
+/// The `k` most probable values of categorical feature `feature` at
+/// `level` (Tables IV and V use this with the item-ID feature). `label`
+/// carries the schema label when present.
+Result<std::vector<DominanceEntry>> TopFrequentCategories(
+    const SkillModel& model, int feature, int level, int k);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_DOMINANCE_H_

@@ -1,0 +1,144 @@
+#include "core/dp.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace upskill {
+
+MonotonePath SolveMonotonePath(std::span<const double> log_probs,
+                               int num_levels) {
+  return SolveMonotonePathWithTransitions(log_probs, num_levels,
+                                          /*log_initial=*/{},
+                                          /*log_stay=*/0.0, /*log_up=*/0.0);
+}
+
+MonotonePath SolveMonotonePathWithTransitions(
+    std::span<const double> log_probs, int num_levels,
+    std::span<const double> log_initial, double log_stay, double log_up) {
+  UPSKILL_CHECK(num_levels >= 1);
+  UPSKILL_CHECK(log_initial.empty() ||
+                log_initial.size() == static_cast<size_t>(num_levels));
+  MonotonePath result;
+  if (log_probs.empty()) return result;
+  UPSKILL_CHECK(log_probs.size() % static_cast<size_t>(num_levels) == 0);
+  const size_t n = log_probs.size() / static_cast<size_t>(num_levels);
+  const size_t levels = static_cast<size_t>(num_levels);
+
+  // best[t * levels + s0] = L(t+1, s0+1); from[...] = 1 when the optimal
+  // predecessor is one level below (the "improve" edge), 0 for "stay".
+  std::vector<double> best(n * levels);
+  std::vector<uint8_t> from(n * levels, 0);
+
+  for (size_t s = 0; s < levels; ++s) {
+    best[s] = log_probs[s] + (log_initial.empty() ? 0.0 : log_initial[s]);
+  }
+  for (size_t t = 1; t < n; ++t) {
+    for (size_t s = 0; s < levels; ++s) {
+      // Staying at the top level is the only move there, so it is free.
+      const double stay_cost = (s + 1 < levels) ? log_stay : 0.0;
+      double incoming = best[(t - 1) * levels + s] + stay_cost;
+      uint8_t step = 0;
+      if (s > 0) {
+        // Strict improvement required so ties resolve to "stay", which
+        // keeps the path at the lowest attainable level.
+        const double up = best[(t - 1) * levels + (s - 1)] + log_up;
+        if (up > incoming) {
+          incoming = up;
+          step = 1;
+        }
+      }
+      best[t * levels + s] = incoming + log_probs[t * levels + s];
+      from[t * levels + s] = step;
+    }
+  }
+
+  // Final level: argmax, ties to the lowest level.
+  size_t level = 0;
+  double best_ll = best[(n - 1) * levels];
+  for (size_t s = 1; s < levels; ++s) {
+    const double candidate = best[(n - 1) * levels + s];
+    if (candidate > best_ll) {
+      best_ll = candidate;
+      level = s;
+    }
+  }
+
+  result.levels.resize(n);
+  result.log_likelihood = best_ll;
+  for (size_t t = n; t-- > 0;) {
+    result.levels[t] = static_cast<int>(level) + 1;
+    if (t > 0 && from[t * levels + level]) --level;
+  }
+  return result;
+}
+
+MonotonePath SolveMonotonePathWithForgetting(
+    std::span<const double> log_probs, int num_levels,
+    std::span<const double> log_initial, double log_stay, double log_up,
+    std::span<const uint8_t> allow_down, double log_down) {
+  UPSKILL_CHECK(num_levels >= 1);
+  UPSKILL_CHECK(log_initial.empty() ||
+                log_initial.size() == static_cast<size_t>(num_levels));
+  MonotonePath result;
+  if (log_probs.empty()) return result;
+  UPSKILL_CHECK(log_probs.size() % static_cast<size_t>(num_levels) == 0);
+  const size_t n = log_probs.size() / static_cast<size_t>(num_levels);
+  UPSKILL_CHECK(allow_down.size() == n - 1);
+  const size_t levels = static_cast<size_t>(num_levels);
+
+  std::vector<double> best(n * levels);
+  // Predecessor offset relative to the current level: -1 (came from
+  // below, "up" move), 0 ("stay"), +1 (came from above, "forget" move).
+  std::vector<int8_t> from(n * levels, 0);
+
+  for (size_t s = 0; s < levels; ++s) {
+    best[s] = log_probs[s] + (log_initial.empty() ? 0.0 : log_initial[s]);
+  }
+  for (size_t t = 1; t < n; ++t) {
+    for (size_t s = 0; s < levels; ++s) {
+      const double stay_cost = (s + 1 < levels) ? log_stay : 0.0;
+      double incoming = best[(t - 1) * levels + s] + stay_cost;
+      int8_t step = 0;
+      if (s > 0) {
+        const double up = best[(t - 1) * levels + (s - 1)] + log_up;
+        if (up > incoming) {
+          incoming = up;
+          step = -1;
+        }
+      }
+      if (s + 1 < levels && allow_down[t - 1]) {
+        const double down = best[(t - 1) * levels + (s + 1)] + log_down;
+        if (down > incoming) {
+          incoming = down;
+          step = 1;
+        }
+      }
+      best[t * levels + s] = incoming + log_probs[t * levels + s];
+      from[t * levels + s] = step;
+    }
+  }
+
+  size_t level = 0;
+  double best_ll = best[(n - 1) * levels];
+  for (size_t s = 1; s < levels; ++s) {
+    const double candidate = best[(n - 1) * levels + s];
+    if (candidate > best_ll) {
+      best_ll = candidate;
+      level = s;
+    }
+  }
+
+  result.levels.resize(n);
+  result.log_likelihood = best_ll;
+  for (size_t t = n; t-- > 0;) {
+    result.levels[t] = static_cast<int>(level) + 1;
+    if (t > 0) {
+      level = static_cast<size_t>(static_cast<int>(level) +
+                                  from[t * levels + level]);
+    }
+  }
+  return result;
+}
+
+}  // namespace upskill

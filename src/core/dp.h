@@ -1,0 +1,54 @@
+#ifndef UPSKILL_CORE_DP_H_
+#define UPSKILL_CORE_DP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace upskill {
+
+/// Result of the per-user dynamic program (Figure 2 / Equation 4).
+struct MonotonePath {
+  /// 1-based skill level per action; empty for an empty sequence.
+  std::vector<int> levels;
+  /// Log-likelihood of the best path (sum of the chosen entries).
+  double log_likelihood = 0.0;
+};
+
+/// Finds the monotone non-decreasing, unit-step level path that maximizes
+/// sum_n log_probs[n * num_levels + (s_n - 1)] over an action-skill
+/// lattice with `n = log_probs.size() / num_levels` actions. The first
+/// action may take any level (users can start above level 1); each
+/// subsequent action stays or moves up one level. Ties prefer the lower
+/// level, making results deterministic.
+///
+/// Runs in O(n * S) time and memory, matching the complexity analysis in
+/// Section IV-C.
+MonotonePath SolveMonotonePath(std::span<const double> log_probs,
+                               int num_levels);
+
+/// Variant with an explicit probabilistic progression component (the
+/// extension Section IV-A points to via Shin et al.): the path score adds
+/// `log_initial[s0 - 1]` for the start level, `log_stay` per same-level
+/// transition below the top level, and `log_up` per level-up. The top
+/// level's self-transition costs 0 (staying is the only option there).
+/// `log_initial` may be empty, meaning a free (uniform, unscored) start.
+/// Ties still prefer the lower level.
+MonotonePath SolveMonotonePathWithTransitions(
+    std::span<const double> log_probs, int num_levels,
+    std::span<const double> log_initial, double log_stay, double log_up);
+
+/// Variant with forgetting (Section VII's future-work extension): at
+/// positions where `allow_down[t - 1]` is set (the time gap before action
+/// t exceeded the configured threshold), the path may additionally drop
+/// exactly one level at cost `log_down`. Elsewhere the usual monotone
+/// stay/up moves apply. `allow_down` has one entry per transition
+/// (n - 1 total).
+MonotonePath SolveMonotonePathWithForgetting(
+    std::span<const double> log_probs, int num_levels,
+    std::span<const double> log_initial, double log_stay, double log_up,
+    std::span<const uint8_t> allow_down, double log_down);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_DP_H_

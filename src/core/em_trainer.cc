@@ -1,0 +1,278 @@
+#include "core/em_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "core/dp.h"
+#include "core/trainer.h"
+
+namespace upskill {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kMinTransitionProb = 1e-4;
+
+// Flat per-action offsets so worker threads can write disjoint gamma
+// regions.
+std::vector<size_t> ActionOffsets(const Dataset& dataset) {
+  std::vector<size_t> offsets(static_cast<size_t>(dataset.num_users()) + 1,
+                              0);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    offsets[static_cast<size_t>(u) + 1] =
+        offsets[static_cast<size_t>(u)] + dataset.sequence(u).size();
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
+  if (dataset.num_actions() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  if (!(config_.initial_level_up_probability > 0.0 &&
+        config_.initial_level_up_probability < 1.0)) {
+    return Status::InvalidArgument("initial_level_up_probability in (0,1)");
+  }
+  Result<SkillModel> created =
+      SkillModel::Create(dataset.schema(), config_.model);
+  if (!created.ok()) return created.status();
+
+  EmTrainResult result;
+  result.model = std::move(created).value();
+  const int S = config_.model.num_levels;
+  const size_t levels = static_cast<size_t>(S);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.model.parallel.any()) {
+    pool = std::make_unique<ThreadPool>(config_.model.parallel.num_threads);
+  }
+  ThreadPool* user_pool =
+      (config_.model.parallel.users && pool != nullptr) ? pool.get() : nullptr;
+
+  // Initialization: same uniform-segmentation hard fit as the hard
+  // trainer, so the two are directly comparable.
+  {
+    const SkillAssignments init = InitializeAssignments(
+        dataset, S, config_.model.min_init_actions);
+    FitParameters(dataset, init, &result.model, pool.get(),
+                  config_.model.parallel);
+  }
+  result.initial_distribution.assign(levels, 1.0 / static_cast<double>(S));
+  result.level_up_probability = config_.initial_level_up_probability;
+
+  const std::vector<size_t> offsets = ActionOffsets(dataset);
+  const size_t total_actions = dataset.num_actions();
+  std::vector<double> gamma(total_actions * levels, 0.0);
+  std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()));
+  std::vector<double> per_user_ups(static_cast<size_t>(dataset.num_users()));
+  std::vector<double> per_user_stays(
+      static_cast<size_t>(dataset.num_users()));
+  std::vector<double> initial_counts(levels);
+
+  double previous_ll = kNegInf;
+  for (int iteration = 0; iteration < config_.model.max_iterations;
+       ++iteration) {
+    const std::vector<double> cache =
+        result.model.ItemLogProbCache(dataset.items(), user_pool);
+    std::vector<double> log_initial(levels);
+    for (size_t s = 0; s < levels; ++s) {
+      log_initial[s] = result.initial_distribution[s] > 0.0
+                           ? std::log(result.initial_distribution[s])
+                           : kNegInf;
+    }
+    const double log_up = std::log(result.level_up_probability);
+    const double log_stay = std::log(1.0 - result.level_up_probability);
+
+    // ---- E-step: forward-backward per user. --------------------------
+    ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
+                [&](size_t u) {
+      const std::vector<Action>& seq =
+          dataset.sequence(static_cast<UserId>(u));
+      per_user_ll[u] = 0.0;
+      per_user_ups[u] = 0.0;
+      per_user_stays[u] = 0.0;
+      if (seq.empty()) return;
+      const size_t n = seq.size();
+      auto lp = [&](size_t t, size_t s) {
+        return cache[static_cast<size_t>(seq[t].item) * levels + s];
+      };
+      // stay cost: free at the top level (no other move exists there).
+      auto stay_cost = [&](size_t s) {
+        return s + 1 < levels ? log_stay : 0.0;
+      };
+
+      std::vector<double> alpha(n * levels);
+      std::vector<double> beta(n * levels);
+      for (size_t s = 0; s < levels; ++s) {
+        alpha[s] = log_initial[s] + lp(0, s);
+      }
+      for (size_t t = 1; t < n; ++t) {
+        for (size_t s = 0; s < levels; ++s) {
+          const double stay = alpha[(t - 1) * levels + s] + stay_cost(s);
+          double incoming = stay;
+          if (s > 0) {
+            const double up = alpha[(t - 1) * levels + (s - 1)] + log_up;
+            const double pair[] = {stay, up};
+            incoming = LogSumExp(pair);
+          }
+          alpha[t * levels + s] = incoming + lp(t, s);
+        }
+      }
+      for (size_t s = 0; s < levels; ++s) beta[(n - 1) * levels + s] = 0.0;
+      for (size_t t = n - 1; t-- > 0;) {
+        for (size_t s = 0; s < levels; ++s) {
+          const double stay =
+              stay_cost(s) + lp(t + 1, s) + beta[(t + 1) * levels + s];
+          double outgoing = stay;
+          if (s + 1 < levels) {
+            const double up = log_up + lp(t + 1, s + 1) +
+                              beta[(t + 1) * levels + (s + 1)];
+            const double pair[] = {stay, up};
+            outgoing = LogSumExp(pair);
+          }
+          beta[t * levels + s] = outgoing;
+        }
+      }
+
+      const double log_z = LogSumExp(
+          std::span<const double>(alpha).subspan((n - 1) * levels, levels));
+      per_user_ll[u] = log_z;
+      double* user_gamma = &gamma[offsets[u] * levels];
+      if (!std::isfinite(log_z)) {
+        // Sequence impossible under the current parameters (can happen
+        // with zero smoothing); contribute nothing this round.
+        std::fill(user_gamma, user_gamma + n * levels, 0.0);
+        return;
+      }
+      for (size_t t = 0; t < n; ++t) {
+        for (size_t s = 0; s < levels; ++s) {
+          user_gamma[t * levels + s] =
+              std::exp(alpha[t * levels + s] + beta[t * levels + s] - log_z);
+        }
+      }
+      // Expected transition counts for the level-up probability.
+      for (size_t t = 0; t + 1 < n; ++t) {
+        for (size_t s = 0; s + 1 < levels; ++s) {
+          const double stay = alpha[t * levels + s] + stay_cost(s) +
+                              lp(t + 1, s) + beta[(t + 1) * levels + s];
+          const double up = alpha[t * levels + s] + log_up +
+                            lp(t + 1, s + 1) +
+                            beta[(t + 1) * levels + (s + 1)];
+          per_user_stays[u] += std::exp(stay - log_z);
+          per_user_ups[u] += std::exp(up - log_z);
+        }
+      }
+    });
+
+    double ll = 0.0;
+    for (double user_ll : per_user_ll) {
+      if (std::isfinite(user_ll)) ll += user_ll;
+    }
+    result.log_likelihood_trace.push_back(ll);
+    result.iterations = iteration + 1;
+    result.final_log_likelihood = ll;
+    if (config_.model.verbose) {
+      UPSKILL_LOG(Info) << "EM iteration " << iteration + 1
+                        << " log-likelihood " << ll;
+    }
+    const bool small_gain =
+        std::isfinite(previous_ll) &&
+        ll - previous_ll <=
+            config_.model.relative_tolerance * std::abs(previous_ll);
+    if (small_gain) {
+      result.converged = true;
+      break;
+    }
+    previous_ll = ll;
+
+    // ---- M-step. ------------------------------------------------------
+    // Initial distribution from first-action posteriors.
+    std::fill(initial_counts.begin(), initial_counts.end(), 0.0);
+    for (UserId u = 0; u < dataset.num_users(); ++u) {
+      if (dataset.sequence(u).empty()) continue;
+      const double* user_gamma =
+          &gamma[offsets[static_cast<size_t>(u)] * levels];
+      for (size_t s = 0; s < levels; ++s) initial_counts[s] += user_gamma[s];
+    }
+    double initial_total = 0.0;
+    for (double c : initial_counts) initial_total += c;
+    if (initial_total > 0.0) {
+      for (size_t s = 0; s < levels; ++s) {
+        result.initial_distribution[s] =
+            (initial_counts[s] + config_.model.smoothing) /
+            (initial_total +
+             config_.model.smoothing * static_cast<double>(S));
+      }
+    }
+    // Level-up probability from expected transition counts.
+    if (config_.learn_transitions) {
+      double ups = 0.0;
+      double stays = 0.0;
+      for (UserId u = 0; u < dataset.num_users(); ++u) {
+        ups += per_user_ups[static_cast<size_t>(u)];
+        stays += per_user_stays[static_cast<size_t>(u)];
+      }
+      if (ups + stays > 0.0) {
+        result.level_up_probability =
+            std::clamp(ups / (ups + stays), kMinTransitionProb,
+                       1.0 - kMinTransitionProb);
+      }
+    }
+    // Emission components: weighted refits. One task per (feature, level)
+    // cell, sharing the per-action value gather across levels.
+    const int num_features = result.model.num_features();
+    std::vector<double> values(total_actions);
+    for (int f = 0; f < num_features; ++f) {
+      {
+        size_t index = 0;
+        for (UserId u = 0; u < dataset.num_users(); ++u) {
+          for (const Action& a : dataset.sequence(u)) {
+            values[index++] = dataset.items().value(a.item, f);
+          }
+        }
+      }
+      // Weights for level s are a strided view; copy into a dense buffer.
+      std::vector<double> weights(total_actions);
+      for (int s = 1; s <= S; ++s) {
+        for (size_t i = 0; i < total_actions; ++i) {
+          weights[i] = gamma[i * levels + static_cast<size_t>(s - 1)];
+        }
+        result.model.mutable_component(f, s)->FitWeighted(values, weights);
+      }
+    }
+  }
+
+  // Hard readout with the learned transition weights.
+  std::vector<double> log_initial(levels);
+  for (size_t s = 0; s < levels; ++s) {
+    log_initial[s] = std::log(result.initial_distribution[s]);
+  }
+  const double log_up = std::log(result.level_up_probability);
+  const double log_stay = std::log(1.0 - result.level_up_probability);
+  const std::vector<double> cache =
+      result.model.ItemLogProbCache(dataset.items(), user_pool);
+  result.assignments.resize(static_cast<size_t>(dataset.num_users()));
+  ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
+              [&](size_t u) {
+    const std::vector<Action>& seq = dataset.sequence(static_cast<UserId>(u));
+    std::vector<double> log_probs(seq.size() * levels);
+    for (size_t t = 0; t < seq.size(); ++t) {
+      for (size_t s = 0; s < levels; ++s) {
+        log_probs[t * levels + s] =
+            cache[static_cast<size_t>(seq[t].item) * levels + s];
+      }
+    }
+    result.assignments[u] =
+        SolveMonotonePathWithTransitions(log_probs, S, log_initial, log_stay,
+                                         log_up)
+            .levels;
+  });
+  return result;
+}
+
+}  // namespace upskill

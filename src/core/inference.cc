@@ -1,0 +1,98 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "dist/categorical.h"
+
+namespace upskill {
+
+namespace {
+
+// The ID-feature categorical at `level`, or an error when the schema has
+// no ID feature.
+Result<const Categorical*> IdComponent(const SkillModel& model, int level) {
+  const int id_feature = model.schema().id_feature();
+  if (id_feature < 0) {
+    return Status::FailedPrecondition(
+        "model schema has no item-ID feature; item ranking is undefined");
+  }
+  const Distribution& dist = model.component(id_feature, level);
+  return static_cast<const Categorical*>(&dist);
+}
+
+}  // namespace
+
+int NearestActionLevel(const std::vector<Action>& train_sequence,
+                       const std::vector<int>& train_levels, int64_t time) {
+  UPSKILL_CHECK(train_sequence.size() == train_levels.size());
+  if (train_sequence.empty()) return 1;
+  // Sequences are chronologically sorted: binary-search the insertion
+  // point, then compare the two neighbours.
+  const auto it = std::lower_bound(
+      train_sequence.begin(), train_sequence.end(), time,
+      [](const Action& a, int64_t t) { return a.time < t; });
+  const size_t after = static_cast<size_t>(it - train_sequence.begin());
+  if (after == 0) return train_levels.front();
+  if (after == train_sequence.size()) return train_levels.back();
+  const int64_t gap_before = time - train_sequence[after - 1].time;
+  const int64_t gap_after = train_sequence[after].time - time;
+  return gap_before <= gap_after ? train_levels[after - 1]
+                                 : train_levels[after];
+}
+
+double HeldOutLogLikelihood(const Dataset& train,
+                            const SkillAssignments& assignments,
+                            const SkillModel& model,
+                            const std::vector<HeldOutAction>& test) {
+  double total = 0.0;
+  for (const HeldOutAction& held : test) {
+    const int level =
+        NearestActionLevel(train.sequence(held.user),
+                           assignments[static_cast<size_t>(held.user)],
+                           held.action.time);
+    total += model.ItemLogProb(train.items(), held.action.item, level);
+  }
+  return total;
+}
+
+Result<int> ItemRankAtLevel(const SkillModel& model, int level,
+                            ItemId target) {
+  Result<const Categorical*> id = IdComponent(model, level);
+  if (!id.ok()) return id.status();
+  const Categorical& dist = *id.value();
+  if (target < 0 || target >= dist.cardinality()) {
+    return Status::OutOfRange("target item outside the ID vocabulary");
+  }
+  const double target_prob = dist.Probability(target);
+  int rank = 1;
+  for (int i = 0; i < dist.cardinality(); ++i) {
+    const double p = dist.Probability(i);
+    if (p > target_prob || (p == target_prob && i < target)) ++rank;
+  }
+  return rank;
+}
+
+Result<std::vector<ItemId>> TopItemsAtLevel(const SkillModel& model, int level,
+                                            int k) {
+  Result<const Categorical*> id = IdComponent(model, level);
+  if (!id.ok()) return id.status();
+  const Categorical& dist = *id.value();
+  std::vector<ItemId> order(static_cast<size_t>(dist.cardinality()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<ItemId>(i);
+  const size_t take =
+      std::min(order.size(), static_cast<size_t>(std::max(0, k)));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(take), order.end(),
+                    [&dist](ItemId a, ItemId b) {
+                      const double pa = dist.Probability(a);
+                      const double pb = dist.Probability(b);
+                      if (pa != pb) return pa > pb;
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace upskill

@@ -1,0 +1,43 @@
+#ifndef UPSKILL_CORE_INFERENCE_H_
+#define UPSKILL_CORE_INFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+#include "data/split.h"
+
+namespace upskill {
+
+/// Infers the skill level a user holds at `time` from their *training*
+/// sequence: the level assigned to the chronologically closest training
+/// action (the rule used for held-out likelihood and both prediction tasks,
+/// Sections VI-B and VI-E). Ties (equidistant neighbours) resolve to the
+/// earlier action. Returns 1 for a user with no training actions.
+int NearestActionLevel(const std::vector<Action>& train_sequence,
+                       const std::vector<int>& train_levels, int64_t time);
+
+/// Log-likelihood of held-out actions under `model`, with each action's
+/// level inferred by NearestActionLevel against `train` and its
+/// `assignments`. Used to pick the skill count S (Figure 3).
+double HeldOutLogLikelihood(const Dataset& train,
+                            const SkillAssignments& assignments,
+                            const SkillModel& model,
+                            const std::vector<HeldOutAction>& test);
+
+/// Rank (1-based) of `target` among all items ordered by the ID-feature
+/// probability at `level`, descending. Ties count items with equal
+/// probability and a smaller id as ranked above the target, making the
+/// metric deterministic. Requires the model's schema to have an ID
+/// feature.
+Result<int> ItemRankAtLevel(const SkillModel& model, int level, ItemId target);
+
+/// Top-`k` item ids by ID-feature probability at `level`, descending
+/// (probability ties break toward the smaller id).
+Result<std::vector<ItemId>> TopItemsAtLevel(const SkillModel& model, int level,
+                                            int k);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_INFERENCE_H_

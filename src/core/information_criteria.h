@@ -1,0 +1,39 @@
+#ifndef UPSKILL_CORE_INFORMATION_CRITERIA_H_
+#define UPSKILL_CORE_INFORMATION_CRITERIA_H_
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Model-complexity diagnostics: an in-sample alternative to the paper's
+/// held-out procedure for choosing S (Section VI-B). Penalized criteria
+/// trade the training-data fit of Equation 3 against the parameter count
+/// of the component grid, so no split is needed.
+struct InformationCriteria {
+  /// Training log-likelihood of the best assignments (Equation 3).
+  double log_likelihood = 0.0;
+  /// Free parameters: per level, (C_f - 1) per categorical feature, 1 per
+  /// Poisson, 2 per gamma / log-normal.
+  long long num_parameters = 0;
+  size_t num_actions = 0;
+  /// -2 LL + k ln n.
+  double bic = 0.0;
+  /// -2 LL + 2 k.
+  double aic = 0.0;
+};
+
+/// Computes the criteria for a trained model: runs one assignment pass to
+/// obtain the Equation-3 value, counts parameters from the schema, and
+/// applies the penalties. Fails on an empty dataset.
+Result<InformationCriteria> ComputeInformationCriteria(
+    const Dataset& dataset, const SkillModel& model);
+
+/// Free-parameter count of the component grid for `schema` at
+/// `num_levels` levels (exposed for tests and custom criteria).
+long long CountModelParameters(const FeatureSchema& schema, int num_levels);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_INFORMATION_CRITERIA_H_

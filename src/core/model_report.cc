@@ -1,0 +1,65 @@
+#include "core/model_report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dist/categorical.h"
+
+namespace upskill {
+
+namespace {
+
+std::string CategoricalLine(const Categorical& dist, const FeatureSpec& spec,
+                            int top_categories) {
+  std::vector<int> order(static_cast<size_t>(dist.cardinality()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  const size_t take = std::min(
+      order.size(), static_cast<size_t>(std::max(0, top_categories)));
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
+                    order.end(), [&dist](int a, int b) {
+                      const double pa = dist.Probability(a);
+                      const double pb = dist.Probability(b);
+                      if (pa != pb) return pa > pb;
+                      return a < b;
+                    });
+  std::string line;
+  for (size_t i = 0; i < take; ++i) {
+    const int value = order[i];
+    const std::string label =
+        static_cast<size_t>(value) < spec.labels.size()
+            ? spec.labels[static_cast<size_t>(value)]
+            : StringPrintf("#%d", value);
+    line += StringPrintf("%s%s=%.3f", i == 0 ? "" : ", ", label.c_str(),
+                         dist.Probability(value));
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string FormatModelReport(const SkillModel& model, int top_categories) {
+  std::string out;
+  for (int f = 0; f < model.num_features(); ++f) {
+    const FeatureSpec& spec = model.schema().feature(f);
+    out += StringPrintf("%s (%s)%s\n", spec.name.c_str(),
+                        FeatureTypeToString(spec.type),
+                        f == model.schema().id_feature() ? "  [item id]" : "");
+    for (int s = 1; s <= model.num_levels(); ++s) {
+      const Distribution& dist = model.component(f, s);
+      if (spec.type == FeatureType::kCategorical) {
+        out += StringPrintf(
+            "  level %d: %s\n", s,
+            CategoricalLine(static_cast<const Categorical&>(dist), spec,
+                            top_categories)
+                .c_str());
+      } else {
+        out += StringPrintf("  level %d: %s, mean %.3f\n", s,
+                            dist.DebugString().c_str(), dist.Mean());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace upskill

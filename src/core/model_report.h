@@ -1,0 +1,21 @@
+#ifndef UPSKILL_CORE_MODEL_REPORT_H_
+#define UPSKILL_CORE_MODEL_REPORT_H_
+
+#include <string>
+
+#include "core/skill_model.h"
+
+namespace upskill {
+
+/// Renders a trained model as a human-readable report: one block per
+/// feature, one line per level. Count/real components print their
+/// parameterization and mean; categorical components print their
+/// `top_categories` most probable values (with schema labels when
+/// available). This is the textual form of the analyses behind the
+/// paper's Figs. 4-6.
+std::string FormatModelReport(const SkillModel& model,
+                              int top_categories = 3);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_MODEL_REPORT_H_

@@ -1,0 +1,44 @@
+#include "core/model_selection.h"
+
+#include "common/logging.h"
+#include "core/inference.h"
+#include "core/trainer.h"
+#include "data/split.h"
+
+namespace upskill {
+
+Result<SkillCountSelection> SelectSkillCount(const Dataset& dataset,
+                                             std::span<const int> candidates,
+                                             const SkillModelConfig& base,
+                                             double test_fraction, Rng& rng) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate skill counts");
+  }
+  Result<ActionSplit> split =
+      SplitActionsRandomly(dataset, test_fraction, rng);
+  if (!split.ok()) return split.status();
+
+  SkillCountSelection selection;
+  double best_ll = 0.0;
+  for (int num_levels : candidates) {
+    SkillModelConfig config = base;
+    config.num_levels = num_levels;
+    Trainer trainer(config);
+    Result<TrainResult> trained = trainer.Train(split.value().train);
+    if (!trained.ok()) return trained.status();
+    const double ll =
+        HeldOutLogLikelihood(split.value().train, trained.value().assignments,
+                             trained.value().model, split.value().test);
+    if (base.verbose) {
+      UPSKILL_LOG(Info) << "S=" << num_levels << " held-out LL " << ll;
+    }
+    selection.curve.push_back(SkillCountPoint{num_levels, ll});
+    if (selection.best_num_levels == 0 || ll > best_ll) {
+      selection.best_num_levels = num_levels;
+      best_ll = ll;
+    }
+  }
+  return selection;
+}
+
+}  // namespace upskill

@@ -1,0 +1,38 @@
+#ifndef UPSKILL_CORE_MODEL_SELECTION_H_
+#define UPSKILL_CORE_MODEL_SELECTION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// One point on the Figure-3 curve.
+struct SkillCountPoint {
+  int num_levels = 0;
+  double held_out_log_likelihood = 0.0;
+};
+
+/// Result of the data-driven choice of S (Section VI-B).
+struct SkillCountSelection {
+  int best_num_levels = 0;
+  std::vector<SkillCountPoint> curve;
+};
+
+/// Picks the number of skill levels by held-out likelihood: split the
+/// dataset 1-`test_fraction` / `test_fraction` at random, train a model
+/// per candidate S on the training part, and score the held-out actions
+/// with the level of each user's chronologically nearest training action.
+/// `base` supplies every config knob except num_levels.
+Result<SkillCountSelection> SelectSkillCount(const Dataset& dataset,
+                                             std::span<const int> candidates,
+                                             const SkillModelConfig& base,
+                                             double test_fraction, Rng& rng);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_MODEL_SELECTION_H_

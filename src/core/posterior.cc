@@ -1,0 +1,149 @@
+#include "core/posterior.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double SequencePosterior::MeanLevel(size_t t) const {
+  double mean = 0.0;
+  for (int s = 1; s <= num_levels; ++s) {
+    mean += static_cast<double>(s) * Probability(t, s);
+  }
+  return mean;
+}
+
+TransitionWeights UninformativeTransitions(int num_levels) {
+  TransitionWeights weights;
+  weights.log_initial.assign(static_cast<size_t>(num_levels),
+                             -std::log(static_cast<double>(num_levels)));
+  weights.log_stay = std::log(0.5);
+  weights.log_up = std::log(0.5);
+  return weights;
+}
+
+Result<SequencePosterior> ComputeSequencePosterior(
+    const ItemTable& items, std::span<const Action> sequence,
+    const SkillModel& model, const TransitionWeights& transitions) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("empty sequence");
+  }
+  const int S = model.num_levels();
+  const size_t levels = static_cast<size_t>(S);
+  if (transitions.log_initial.size() != levels) {
+    return Status::InvalidArgument("transition weights level mismatch");
+  }
+  for (const Action& a : sequence) {
+    if (a.item < 0 || a.item >= items.num_items()) {
+      return Status::OutOfRange(StringPrintf("item %d", a.item));
+    }
+  }
+  const size_t n = sequence.size();
+
+  auto lp = [&](size_t t, size_t s) {
+    return model.ItemLogProb(items, sequence[t].item,
+                             static_cast<int>(s) + 1);
+  };
+  auto stay_cost = [&](size_t s) {
+    return s + 1 < levels ? transitions.log_stay : 0.0;
+  };
+
+  std::vector<double> alpha(n * levels);
+  std::vector<double> beta(n * levels);
+  for (size_t s = 0; s < levels; ++s) {
+    alpha[s] = transitions.log_initial[s] + lp(0, s);
+  }
+  for (size_t t = 1; t < n; ++t) {
+    for (size_t s = 0; s < levels; ++s) {
+      const double stay = alpha[(t - 1) * levels + s] + stay_cost(s);
+      double incoming = stay;
+      if (s > 0) {
+        const double up =
+            alpha[(t - 1) * levels + (s - 1)] + transitions.log_up;
+        const double pair[] = {stay, up};
+        incoming = LogSumExp(pair);
+      }
+      alpha[t * levels + s] = incoming + lp(t, s);
+    }
+  }
+  for (size_t s = 0; s < levels; ++s) beta[(n - 1) * levels + s] = 0.0;
+  for (size_t t = n - 1; t-- > 0;) {
+    for (size_t s = 0; s < levels; ++s) {
+      const double stay =
+          stay_cost(s) + lp(t + 1, s) + beta[(t + 1) * levels + s];
+      double outgoing = stay;
+      if (s + 1 < levels) {
+        const double up = transitions.log_up + lp(t + 1, s + 1) +
+                          beta[(t + 1) * levels + (s + 1)];
+        const double pair[] = {stay, up};
+        outgoing = LogSumExp(pair);
+      }
+      beta[t * levels + s] = outgoing;
+    }
+  }
+
+  SequencePosterior posterior;
+  posterior.num_levels = S;
+  posterior.log_marginal = LogSumExp(
+      std::span<const double>(alpha).subspan((n - 1) * levels, levels));
+  if (!std::isfinite(posterior.log_marginal)) {
+    return Status::FailedPrecondition(
+        "sequence impossible under the model (zero-probability item)");
+  }
+  posterior.gamma.resize(n * levels);
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t s = 0; s < levels; ++s) {
+      posterior.gamma[t * levels + s] = std::exp(
+          alpha[t * levels + s] + beta[t * levels + s] -
+          posterior.log_marginal);
+    }
+  }
+  return posterior;
+}
+
+Result<std::vector<double>> ItemLevelPosterior(
+    const ItemTable& items, const SkillModel& model, ItemId item,
+    std::span<const double> prior) {
+  const int S = model.num_levels();
+  if (item < 0 || item >= items.num_items()) {
+    return Status::OutOfRange(StringPrintf("item %d", item));
+  }
+  if (static_cast<int>(prior.size()) != S) {
+    return Status::InvalidArgument("prior size mismatch");
+  }
+  std::vector<double> log_posterior(static_cast<size_t>(S));
+  for (int s = 1; s <= S; ++s) {
+    const double p = prior[static_cast<size_t>(s - 1)];
+    if (p < 0.0) return Status::InvalidArgument("negative prior entry");
+    log_posterior[static_cast<size_t>(s - 1)] =
+        (p > 0.0 ? std::log(p) : kNegInf) +
+        model.ItemLogProb(items, item, s);
+  }
+  const double log_norm = LogSumExp(log_posterior);
+  std::vector<double> posterior(static_cast<size_t>(S));
+  if (!std::isfinite(log_norm)) {
+    // Impossible item: fall back to the prior's shape.
+    double total = 0.0;
+    for (double p : prior) total += p;
+    if (total <= 0.0) return Status::InvalidArgument("prior sums to zero");
+    for (int s = 0; s < S; ++s) {
+      posterior[static_cast<size_t>(s)] =
+          prior[static_cast<size_t>(s)] / total;
+    }
+    return posterior;
+  }
+  for (int s = 0; s < S; ++s) {
+    posterior[static_cast<size_t>(s)] =
+        std::exp(log_posterior[static_cast<size_t>(s)] - log_norm);
+  }
+  return posterior;
+}
+
+}  // namespace upskill

@@ -1,0 +1,58 @@
+#ifndef UPSKILL_CORE_POSTERIOR_H_
+#define UPSKILL_CORE_POSTERIOR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Marginal posterior of a user's latent skill trajectory under a trained
+/// model: soft (per-action, per-level) probabilities rather than the
+/// single Viterbi path the hard trainer returns. This is the inference
+/// counterpart of the EM trainer's E-step, exposed for applications that
+/// need uncertainty (e.g. abstaining from recommendations when the level
+/// is ambiguous).
+struct SequencePosterior {
+  /// gamma[t * num_levels + (s - 1)] = P(level at action t is s | data).
+  std::vector<double> gamma;
+  /// log P(sequence | model, transitions).
+  double log_marginal = 0.0;
+  int num_levels = 0;
+
+  double Probability(size_t t, int level) const {
+    return gamma[t * static_cast<size_t>(num_levels) +
+                 static_cast<size_t>(level - 1)];
+  }
+  /// Posterior mean level at action t, on the [1, S] scale.
+  double MeanLevel(size_t t) const;
+};
+
+/// Runs the forward-backward algorithm over the monotone stay/up lattice
+/// for one sequence. `transitions` supplies log pi / log stay / log up
+/// (use FitTransitionWeights output, a trained EmTrainResult's
+/// parameters, or uniform weights). Fails on an empty sequence or an
+/// out-of-range item.
+Result<SequencePosterior> ComputeSequencePosterior(
+    const ItemTable& items, std::span<const Action> sequence,
+    const SkillModel& model, const TransitionWeights& transitions);
+
+/// Uniform transition weights (free start, stay/up equally likely) for
+/// posterior queries when no progression component was learned.
+TransitionWeights UninformativeTransitions(int num_levels);
+
+/// Posterior P(s | i) over the level that generated a single item, under
+/// `prior` (size S, non-negative, positive sum) — Equation 10 exposed
+/// directly.
+Result<std::vector<double>> ItemLevelPosterior(const ItemTable& items,
+                                               const SkillModel& model,
+                                               ItemId item,
+                                               std::span<const double> prior);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_POSTERIOR_H_

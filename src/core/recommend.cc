@@ -1,0 +1,71 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace upskill {
+
+Result<std::vector<UpskillRecommendation>> RecommendForUpskilling(
+    const Dataset& dataset, const SkillModel& model,
+    const SkillAssignments& assignments, std::span<const double> difficulty,
+    UserId user, const UpskillRecommendationOptions& options) {
+  if (user < 0 || user >= dataset.num_users()) {
+    return Status::OutOfRange(StringPrintf("user %d", user));
+  }
+  if (static_cast<int>(difficulty.size()) != dataset.items().num_items()) {
+    return Status::InvalidArgument("difficulty vector size mismatch");
+  }
+  if (options.max_results < 1) {
+    return Status::InvalidArgument("max_results must be >= 1");
+  }
+  if (!(options.stretch > 0.0)) {
+    return Status::InvalidArgument("stretch must be positive");
+  }
+  const std::vector<int>& trajectory =
+      assignments[static_cast<size_t>(user)];
+  if (trajectory.empty()) {
+    return Status::FailedPrecondition("user has no assigned actions");
+  }
+  const int current = trajectory.back();
+  const int target = options.rank_by_next_level
+                         ? std::min(current + 1, model.num_levels())
+                         : current;
+
+  std::vector<char> tried(static_cast<size_t>(dataset.items().num_items()),
+                          0);
+  if (options.exclude_tried) {
+    for (const Action& a : dataset.sequence(user)) {
+      tried[static_cast<size_t>(a.item)] = 1;
+    }
+  }
+
+  std::vector<UpskillRecommendation> picks;
+  for (ItemId i = 0; i < dataset.items().num_items(); ++i) {
+    if (tried[static_cast<size_t>(i)]) continue;
+    const double d = difficulty[static_cast<size_t>(i)];
+    if (std::isnan(d)) continue;
+    if (d <= static_cast<double>(current) ||
+        d > static_cast<double>(current) + options.stretch) {
+      continue;
+    }
+    picks.push_back(UpskillRecommendation{
+        i, d, model.ItemLogProb(dataset.items(), i, target)});
+  }
+  const size_t take = std::min(picks.size(),
+                               static_cast<size_t>(options.max_results));
+  std::partial_sort(picks.begin(), picks.begin() + static_cast<ptrdiff_t>(take),
+                    picks.end(),
+                    [](const UpskillRecommendation& a,
+                       const UpskillRecommendation& b) {
+                      if (a.log_prob != b.log_prob) {
+                        return a.log_prob > b.log_prob;
+                      }
+                      return a.item < b.item;
+                    });
+  picks.resize(take);
+  return picks;
+}
+
+}  // namespace upskill

@@ -1,0 +1,52 @@
+#ifndef UPSKILL_CORE_RECOMMEND_H_
+#define UPSKILL_CORE_RECOMMEND_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Knobs of the difficulty-aware recommender (the application Figure 1 of
+/// the paper motivates: surface items *slightly above* the user's current
+/// capacity so they can grow into them).
+struct UpskillRecommendationOptions {
+  /// Items are eligible when their difficulty lies in
+  /// (current_level, current_level + stretch].
+  double stretch = 1.0;
+  /// Maximum number of recommendations returned.
+  int max_results = 10;
+  /// Skip items already present in the user's history.
+  bool exclude_tried = true;
+  /// Rank eligible items by log P(i | s*) where s* is the user's *next*
+  /// level (true) or current level (false). The next-level view prefers
+  /// items typical of where the user is heading.
+  bool rank_by_next_level = true;
+};
+
+/// One recommendation.
+struct UpskillRecommendation {
+  ItemId item = -1;
+  double difficulty = 0.0;
+  /// Ranking score: log-probability of the item under the ranking level's
+  /// generative model.
+  double log_prob = 0.0;
+};
+
+/// Recommends items for upskilling `user`: eligible items are those whose
+/// `difficulty[i]` sits in the stretch window above the user's current
+/// level (the last entry of their assignment), ranked by the model's
+/// plausibility at the target level. `difficulty` must cover every item;
+/// NaN entries are skipped. Fails when the user id is out of range or has
+/// no actions.
+Result<std::vector<UpskillRecommendation>> RecommendForUpskilling(
+    const Dataset& dataset, const SkillModel& model,
+    const SkillAssignments& assignments, std::span<const double> difficulty,
+    UserId user, const UpskillRecommendationOptions& options = {});
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_RECOMMEND_H_

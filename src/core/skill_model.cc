@@ -1,0 +1,189 @@
+#include "core/skill_model.h"
+
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dist/categorical.h"
+#include "dist/gamma.h"
+#include "dist/lognormal.h"
+#include "dist/poisson.h"
+
+namespace upskill {
+
+bool AssignmentsAreMonotone(const SkillAssignments& assignments,
+                            int num_levels) {
+  for (const std::vector<int>& seq : assignments) {
+    int previous = 1;
+    for (size_t n = 0; n < seq.size(); ++n) {
+      const int level = seq[n];
+      if (level < 1 || level > num_levels) return false;
+      if (n > 0 && (level < previous || level > previous + 1)) return false;
+      previous = level;
+    }
+  }
+  return true;
+}
+
+SkillModel::SkillModel(FeatureSchema schema, SkillModelConfig config)
+    : schema_(std::move(schema)), config_(config) {}
+
+Result<SkillModel> SkillModel::Create(const FeatureSchema& schema,
+                                      const SkillModelConfig& config) {
+  if (config.num_levels < 1) {
+    return Status::InvalidArgument("num_levels must be >= 1");
+  }
+  if (schema.num_features() == 0) {
+    return Status::InvalidArgument("schema has no features");
+  }
+  if (config.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be non-negative");
+  }
+  SkillModel model(schema, config);
+  model.components_.reserve(static_cast<size_t>(schema.num_features()) *
+                            static_cast<size_t>(config.num_levels));
+  for (int f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.feature(f);
+    for (int s = 1; s <= config.num_levels; ++s) {
+      switch (spec.distribution) {
+        case DistributionKind::kCategorical:
+          model.components_.push_back(
+              std::make_unique<Categorical>(spec.cardinality, config.smoothing));
+          break;
+        case DistributionKind::kPoisson:
+          model.components_.push_back(std::make_unique<Poisson>());
+          break;
+        case DistributionKind::kGamma:
+          model.components_.push_back(std::make_unique<Gamma>());
+          break;
+        case DistributionKind::kLogNormal:
+          model.components_.push_back(std::make_unique<LogNormal>());
+          break;
+      }
+    }
+  }
+  return model;
+}
+
+SkillModel::SkillModel(const SkillModel& other)
+    : schema_(other.schema_), config_(other.config_) {
+  components_.reserve(other.components_.size());
+  for (const auto& component : other.components_) {
+    components_.push_back(component->Clone());
+  }
+}
+
+SkillModel& SkillModel::operator=(const SkillModel& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  config_ = other.config_;
+  components_.clear();
+  components_.reserve(other.components_.size());
+  for (const auto& component : other.components_) {
+    components_.push_back(component->Clone());
+  }
+  return *this;
+}
+
+const Distribution& SkillModel::component(int feature, int level) const {
+  UPSKILL_CHECK(feature >= 0 && feature < num_features());
+  UPSKILL_CHECK(level >= 1 && level <= num_levels());
+  return *components_[GridIndex(feature, level)];
+}
+
+Distribution* SkillModel::mutable_component(int feature, int level) {
+  UPSKILL_CHECK(feature >= 0 && feature < num_features());
+  UPSKILL_CHECK(level >= 1 && level <= num_levels());
+  return components_[GridIndex(feature, level)].get();
+}
+
+double SkillModel::ItemLogProb(const ItemTable& items, ItemId item,
+                               int level) const {
+  double total = 0.0;
+  for (int f = 0; f < num_features(); ++f) {
+    total += components_[GridIndex(f, level)]->LogProb(items.value(item, f));
+  }
+  return total;
+}
+
+std::vector<double> SkillModel::ItemLogProbCache(const ItemTable& items,
+                                                 ThreadPool* pool) const {
+  const int levels = num_levels();
+  std::vector<double> cache(static_cast<size_t>(items.num_items()) *
+                            static_cast<size_t>(levels));
+  ParallelFor(pool, 0, static_cast<size_t>(items.num_items()),
+              [&](size_t item) {
+                for (int s = 1; s <= levels; ++s) {
+                  cache[item * static_cast<size_t>(levels) +
+                        static_cast<size_t>(s - 1)] =
+                      ItemLogProb(items, static_cast<ItemId>(item), s);
+                }
+              });
+  return cache;
+}
+
+Status SkillModel::Save(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"feature", "level", "kind", "parameters"});
+  for (int f = 0; f < num_features(); ++f) {
+    for (int s = 1; s <= num_levels(); ++s) {
+      const Distribution& dist = component(f, s);
+      std::string params;
+      for (double p : dist.Parameters()) {
+        if (!params.empty()) params += '|';
+        params += StringPrintf("%.17g", p);
+      }
+      rows.push_back({StringPrintf("%d", f), StringPrintf("%d", s),
+                      DistributionKindToString(dist.kind()), std::move(params)});
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<SkillModel> SkillModel::Load(const std::string& path,
+                                    const FeatureSchema& schema,
+                                    const SkillModelConfig& config) {
+  Result<SkillModel> model = Create(schema, config);
+  if (!model.ok()) return model.status();
+  Result<std::vector<std::vector<std::string>>> rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  size_t restored = 0;
+  for (size_t r = 1; r < rows.value().size(); ++r) {
+    const std::vector<std::string>& row = rows.value()[r];
+    if (row.size() != 4) return Status::Corruption("bad model row");
+    Result<long long> feature = ParseInt(row[0]);
+    Result<long long> level = ParseInt(row[1]);
+    if (!feature.ok()) return feature.status();
+    if (!level.ok()) return level.status();
+    if (feature.value() < 0 || feature.value() >= schema.num_features() ||
+        level.value() < 1 || level.value() > config.num_levels) {
+      return Status::Corruption("model row out of range");
+    }
+    Result<DistributionKind> kind = DistributionKindFromString(row[2]);
+    if (!kind.ok()) return kind.status();
+    Distribution* dist = model.value().mutable_component(
+        static_cast<int>(feature.value()), static_cast<int>(level.value()));
+    if (dist->kind() != kind.value()) {
+      return Status::Corruption(StringPrintf(
+          "model row %zu: kind %s does not match schema", r, row[2].c_str()));
+    }
+    std::vector<double> params;
+    for (const std::string& field : Split(row[3], '|')) {
+      Result<double> value = ParseDouble(field);
+      if (!value.ok()) return value.status();
+      params.push_back(value.value());
+    }
+    UPSKILL_RETURN_IF_ERROR(dist->SetParameters(params));
+    ++restored;
+  }
+  const size_t expected = static_cast<size_t>(schema.num_features()) *
+                          static_cast<size_t>(config.num_levels);
+  if (restored != expected) {
+    return Status::Corruption(StringPrintf(
+        "model file restored %zu of %zu components", restored, expected));
+  }
+  return model;
+}
+
+}  // namespace upskill

@@ -1,0 +1,443 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/dp.h"
+
+namespace upskill {
+
+std::vector<int> SegmentUniformly(size_t length, int num_levels) {
+  std::vector<int> levels(length);
+  if (length < static_cast<size_t>(num_levels)) {
+    // Fewer actions than levels: "equal groups" would skip levels and
+    // break the unit-step constraint (Equation 1); climb one level per
+    // action instead.
+    for (size_t n = 0; n < length; ++n) {
+      levels[n] = 1 + static_cast<int>(n);
+    }
+    return levels;
+  }
+  for (size_t n = 0; n < length; ++n) {
+    levels[n] = 1 + static_cast<int>((n * static_cast<size_t>(num_levels)) /
+                                     length);
+    if (levels[n] > num_levels) levels[n] = num_levels;
+  }
+  return levels;
+}
+
+SkillAssignments InitializeAssignments(const Dataset& dataset, int num_levels,
+                                       int min_init_actions) {
+  SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
+  bool any = false;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const size_t len = dataset.sequence(u).size();
+    if (static_cast<int>(len) >= min_init_actions) {
+      assignments[static_cast<size_t>(u)] = SegmentUniformly(len, num_levels);
+      any = true;
+    }
+  }
+  if (!any) {
+    // Nobody reaches the bar; fall back to segmenting everyone so the
+    // initial fit still sees data at every level.
+    for (UserId u = 0; u < dataset.num_users(); ++u) {
+      assignments[static_cast<size_t>(u)] =
+          SegmentUniformly(dataset.sequence(u).size(), num_levels);
+    }
+  }
+  return assignments;
+}
+
+void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
+                   SkillModel* model, ThreadPool* pool,
+                   ParallelOptions parallel) {
+  UPSKILL_CHECK(model != nullptr);
+  const int num_levels = model->num_levels();
+  const int num_features = model->num_features();
+
+  // Group item occurrences by assigned level (O(|A|), as in Section IV-C).
+  std::vector<std::vector<ItemId>> by_level(
+      static_cast<size_t>(num_levels));
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
+    if (levels.empty()) continue;  // user excluded (initialization)
+    const std::vector<Action>& seq = dataset.sequence(u);
+    UPSKILL_CHECK(levels.size() == seq.size());
+    for (size_t n = 0; n < seq.size(); ++n) {
+      by_level[static_cast<size_t>(levels[n] - 1)].push_back(seq[n].item);
+    }
+  }
+
+  // One task per (level, feature) cell; which axis actually fans out across
+  // the pool is controlled by ParallelOptions. When only one axis is
+  // enabled, the other axis runs inside the task, mirroring the paper's
+  // separate "skill" and "feature" parallelization conditions.
+  const ItemTable& items = dataset.items();
+  auto fit_cell = [&](int feature, int level) {
+    const std::vector<ItemId>& members =
+        by_level[static_cast<size_t>(level - 1)];
+    if (members.empty()) return;  // keep current parameters
+    std::vector<double> values;
+    values.reserve(members.size());
+    for (ItemId item : members) values.push_back(items.value(item, feature));
+    model->mutable_component(feature, level)->Fit(values);
+  };
+
+  const bool parallel_levels = parallel.levels && pool != nullptr;
+  const bool parallel_features = parallel.features && pool != nullptr;
+  if (parallel_levels && parallel_features) {
+    ParallelFor(pool, 0,
+                static_cast<size_t>(num_levels) *
+                    static_cast<size_t>(num_features),
+                [&](size_t index) {
+                  fit_cell(static_cast<int>(index) % num_features,
+                           1 + static_cast<int>(index) / num_features);
+                });
+  } else if (parallel_levels) {
+    ParallelFor(pool, 0, static_cast<size_t>(num_levels), [&](size_t s) {
+      for (int f = 0; f < num_features; ++f) {
+        fit_cell(f, static_cast<int>(s) + 1);
+      }
+    });
+  } else if (parallel_features) {
+    ParallelFor(pool, 0, static_cast<size_t>(num_features), [&](size_t f) {
+      for (int s = 1; s <= num_levels; ++s) {
+        fit_cell(static_cast<int>(f), s);
+      }
+    });
+  } else {
+    for (int s = 1; s <= num_levels; ++s) {
+      for (int f = 0; f < num_features; ++f) fit_cell(f, s);
+    }
+  }
+}
+
+SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
+                              ThreadPool* pool, ParallelOptions parallel,
+                              double* total_log_likelihood,
+                              const TransitionWeights* transitions) {
+  const int num_levels = model.num_levels();
+  ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
+
+  // The per-(item, level) log-probability cache is shared across all
+  // occurrences of an item; computing it is part of the assignment step.
+  const std::vector<double> cache =
+      model.ItemLogProbCache(dataset.items(), user_pool);
+
+  SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
+  std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()),
+                                  0.0);
+  ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
+              [&](size_t u) {
+                const std::vector<Action>& seq =
+                    dataset.sequence(static_cast<UserId>(u));
+                std::vector<double> log_probs(seq.size() *
+                                              static_cast<size_t>(num_levels));
+                for (size_t n = 0; n < seq.size(); ++n) {
+                  const size_t row =
+                      static_cast<size_t>(seq[n].item) *
+                      static_cast<size_t>(num_levels);
+                  for (int s = 0; s < num_levels; ++s) {
+                    log_probs[n * static_cast<size_t>(num_levels) +
+                              static_cast<size_t>(s)] =
+                        cache[row + static_cast<size_t>(s)];
+                  }
+                }
+                const ForgettingConfig& forgetting =
+                    model.config().forgetting;
+                MonotonePath path;
+                if (forgetting.enabled && seq.size() > 1) {
+                  std::vector<uint8_t> allow_down(seq.size() - 1, 0);
+                  for (size_t n = 1; n < seq.size(); ++n) {
+                    allow_down[n - 1] = (seq[n].time - seq[n - 1].time) >
+                                        forgetting.gap_threshold;
+                  }
+                  path = SolveMonotonePathWithForgetting(
+                      log_probs, num_levels,
+                      transitions == nullptr
+                          ? std::span<const double>{}
+                          : std::span<const double>(transitions->log_initial),
+                      transitions == nullptr ? 0.0 : transitions->log_stay,
+                      transitions == nullptr ? 0.0 : transitions->log_up,
+                      allow_down, std::log(forgetting.drop_probability));
+                } else if (transitions == nullptr) {
+                  path = SolveMonotonePath(log_probs, num_levels);
+                } else {
+                  path = SolveMonotonePathWithTransitions(
+                      log_probs, num_levels, transitions->log_initial,
+                      transitions->log_stay, transitions->log_up);
+                }
+                per_user_ll[u] = seq.empty() ? 0.0 : path.log_likelihood;
+                assignments[u] = std::move(path.levels);
+              });
+
+  if (total_log_likelihood != nullptr) {
+    double total = 0.0;
+    for (double ll : per_user_ll) total += ll;
+    *total_log_likelihood = total;
+  }
+  return assignments;
+}
+
+SkillAssignments AssignSkillsWithClasses(
+    const Dataset& dataset, const SkillModel& model,
+    std::span<const ProgressionClassWeights> classes, ThreadPool* pool,
+    ParallelOptions parallel, double* total_log_likelihood,
+    std::vector<int>* user_classes) {
+  UPSKILL_CHECK(!classes.empty());
+  const int num_levels = model.num_levels();
+  ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
+  const std::vector<double> cache =
+      model.ItemLogProbCache(dataset.items(), user_pool);
+
+  SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
+  std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()),
+                                  0.0);
+  std::vector<int> chosen(static_cast<size_t>(dataset.num_users()), 0);
+  ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
+              [&](size_t u) {
+                const std::vector<Action>& seq =
+                    dataset.sequence(static_cast<UserId>(u));
+                std::vector<double> log_probs(
+                    seq.size() * static_cast<size_t>(num_levels));
+                for (size_t n = 0; n < seq.size(); ++n) {
+                  const size_t row = static_cast<size_t>(seq[n].item) *
+                                     static_cast<size_t>(num_levels);
+                  for (int s = 0; s < num_levels; ++s) {
+                    log_probs[n * static_cast<size_t>(num_levels) +
+                              static_cast<size_t>(s)] =
+                        cache[row + static_cast<size_t>(s)];
+                  }
+                }
+                double best_score =
+                    -std::numeric_limits<double>::infinity();
+                MonotonePath best_path;
+                int best_class = 0;
+                for (size_t c = 0; c < classes.size(); ++c) {
+                  MonotonePath path = SolveMonotonePathWithTransitions(
+                      log_probs, num_levels, classes[c].weights.log_initial,
+                      classes[c].weights.log_stay, classes[c].weights.log_up);
+                  const double score =
+                      path.log_likelihood + classes[c].log_prior;
+                  if (score > best_score) {
+                    best_score = score;
+                    best_path = std::move(path);
+                    best_class = static_cast<int>(c);
+                  }
+                }
+                per_user_ll[u] = seq.empty() ? 0.0 : best_score;
+                assignments[u] = std::move(best_path.levels);
+                chosen[u] = best_class;
+              });
+
+  if (total_log_likelihood != nullptr) {
+    double total = 0.0;
+    for (double ll : per_user_ll) total += ll;
+    *total_log_likelihood = total;
+  }
+  if (user_classes != nullptr) *user_classes = std::move(chosen);
+  return assignments;
+}
+
+TransitionWeights FitTransitionWeights(const SkillAssignments& assignments,
+                                       int num_levels, double smoothing) {
+  UPSKILL_CHECK(num_levels >= 1);
+  TransitionWeights weights;
+  std::vector<double> initial_counts(static_cast<size_t>(num_levels), 0.0);
+  double ups = 0.0;
+  double stays_below_top = 0.0;
+  for (const std::vector<int>& seq : assignments) {
+    if (seq.empty()) continue;
+    initial_counts[static_cast<size_t>(seq.front() - 1)] += 1.0;
+    for (size_t n = 1; n < seq.size(); ++n) {
+      if (seq[n] > seq[n - 1]) {
+        ups += 1.0;
+      } else if (seq[n] == seq[n - 1] && seq[n] < num_levels) {
+        // Down-steps (possible under the forgetting extension) belong to
+        // neither bucket of the up/stay odds.
+        stays_below_top += 1.0;
+      }
+    }
+  }
+  double initial_total = 0.0;
+  for (double c : initial_counts) initial_total += c;
+  weights.log_initial.resize(static_cast<size_t>(num_levels));
+  const double denom =
+      initial_total + smoothing * static_cast<double>(num_levels);
+  for (int s = 0; s < num_levels; ++s) {
+    const double p =
+        denom > 0.0
+            ? (initial_counts[static_cast<size_t>(s)] + smoothing) / denom
+            : 1.0 / static_cast<double>(num_levels);
+    weights.log_initial[static_cast<size_t>(s)] =
+        p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+  }
+  // Smoothed level-up probability, clamped away from the {0, 1} endpoints
+  // so the DP weights stay finite. No observed transitions (and zero
+  // smoothing) falls back to an uninformative 0.5.
+  const double transition_mass = ups + stays_below_top + 2.0 * smoothing;
+  const double p_up =
+      transition_mass > 0.0
+          ? std::clamp((ups + smoothing) / transition_mass, 1e-4, 1.0 - 1e-4)
+          : 0.5;
+  weights.log_up = std::log(p_up);
+  weights.log_stay = std::log(1.0 - p_up);
+  return weights;
+}
+
+Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
+  if (dataset.num_actions() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  Result<SkillModel> created = SkillModel::Create(dataset.schema(), config_);
+  if (!created.ok()) return created.status();
+
+  TrainResult result;
+  result.model = std::move(created).value();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.parallel.any()) {
+    pool = std::make_unique<ThreadPool>(config_.parallel.num_threads);
+  }
+
+  // Optional progression components, refit each iteration.
+  const bool use_transitions =
+      config_.transitions == TransitionModel::kGlobal;
+  const bool use_classes = config_.transitions == TransitionModel::kPerClass;
+  if (use_classes && config_.num_progression_classes < 1) {
+    return Status::InvalidArgument("num_progression_classes must be >= 1");
+  }
+  TransitionWeights transition_weights;
+  std::vector<ProgressionClassWeights> classes;
+
+  Stopwatch total_watch;
+  // Initialization (Section IV-B): uniform segmentation of long sequences.
+  {
+    Stopwatch watch;
+    const SkillAssignments init = InitializeAssignments(
+        dataset, config_.num_levels, config_.min_init_actions);
+    FitParameters(dataset, init, &result.model, pool.get(), config_.parallel);
+    if (use_transitions) {
+      transition_weights =
+          FitTransitionWeights(init, config_.num_levels, config_.smoothing);
+    }
+    if (use_classes) {
+      // Seed K classes around the initial fit with geometrically spread
+      // level-up speeds, so fast and slow learners can separate.
+      const TransitionWeights base =
+          FitTransitionWeights(init, config_.num_levels, config_.smoothing);
+      const int k = config_.num_progression_classes;
+      classes.resize(static_cast<size_t>(k));
+      for (int c = 0; c < k; ++c) {
+        const double spread =
+            std::pow(2.0, static_cast<double>(c) - (k - 1) / 2.0);
+        const double p_up = std::clamp(
+            std::exp(base.log_up) * spread, 1e-4, 1.0 - 1e-4);
+        classes[static_cast<size_t>(c)].weights = base;
+        classes[static_cast<size_t>(c)].weights.log_up = std::log(p_up);
+        classes[static_cast<size_t>(c)].weights.log_stay =
+            std::log(1.0 - p_up);
+        classes[static_cast<size_t>(c)].log_prior =
+            -std::log(static_cast<double>(k));
+      }
+    }
+    result.init_seconds = watch.ElapsedSeconds();
+  }
+
+  double previous_ll = -std::numeric_limits<double>::infinity();
+  for (int iteration = 0; iteration < config_.max_iterations; ++iteration) {
+    Stopwatch assign_watch;
+    double ll = 0.0;
+    SkillAssignments assignments =
+        use_classes
+            ? AssignSkillsWithClasses(dataset, result.model, classes,
+                                      pool.get(), config_.parallel, &ll,
+                                      &result.user_classes)
+            : AssignSkills(dataset, result.model, pool.get(),
+                           config_.parallel, &ll,
+                           use_transitions ? &transition_weights : nullptr);
+    result.assignment_seconds += assign_watch.ElapsedSeconds();
+
+    const bool unchanged =
+        iteration > 0 && assignments == result.assignments;
+    result.assignments = std::move(assignments);
+    result.log_likelihood_trace.push_back(ll);
+    result.iterations = iteration + 1;
+    if (config_.verbose) {
+      UPSKILL_LOG(Info) << "iteration " << iteration + 1
+                        << " log-likelihood " << ll;
+    }
+
+    const bool small_gain =
+        std::isfinite(previous_ll) &&
+        ll - previous_ll <= config_.relative_tolerance * std::abs(previous_ll);
+    if (unchanged || small_gain) {
+      result.converged = true;
+      result.final_log_likelihood = ll;
+      break;
+    }
+    previous_ll = ll;
+
+    Stopwatch update_watch;
+    FitParameters(dataset, result.assignments, &result.model, pool.get(),
+                  config_.parallel);
+    if (use_transitions) {
+      transition_weights = FitTransitionWeights(
+          result.assignments, config_.num_levels, config_.smoothing);
+    }
+    if (use_classes) {
+      // Refit each class from its current members (classes that lost all
+      // members keep their previous weights).
+      const int k = config_.num_progression_classes;
+      std::vector<size_t> members(static_cast<size_t>(k), 0);
+      for (int c = 0; c < k; ++c) {
+        SkillAssignments subset(result.assignments.size());
+        size_t count = 0;
+        for (size_t u = 0; u < result.assignments.size(); ++u) {
+          if (result.user_classes[u] == c) {
+            subset[u] = result.assignments[u];
+            ++count;
+          }
+        }
+        members[static_cast<size_t>(c)] = count;
+        if (count > 0) {
+          classes[static_cast<size_t>(c)].weights = FitTransitionWeights(
+              subset, config_.num_levels, config_.smoothing);
+        }
+      }
+      const double total = static_cast<double>(dataset.num_users()) +
+                           config_.smoothing * static_cast<double>(k);
+      for (int c = 0; c < k; ++c) {
+        classes[static_cast<size_t>(c)].log_prior = std::log(
+            (static_cast<double>(members[static_cast<size_t>(c)]) +
+             config_.smoothing + 1e-12) /
+            (total + 1e-12));
+      }
+    }
+    result.update_seconds += update_watch.ElapsedSeconds();
+    result.final_log_likelihood = ll;
+  }
+
+  if (use_transitions) {
+    result.level_up_probability = std::exp(transition_weights.log_up);
+    result.initial_distribution.resize(
+        static_cast<size_t>(config_.num_levels));
+    for (int s = 0; s < config_.num_levels; ++s) {
+      result.initial_distribution[static_cast<size_t>(s)] =
+          std::exp(transition_weights.log_initial[static_cast<size_t>(s)]);
+    }
+  }
+  if (use_classes) result.progression_classes = std::move(classes);
+
+  if (config_.verbose) {
+    UPSKILL_LOG(Info) << "training finished in " << total_watch.ElapsedSeconds()
+                      << "s (" << result.iterations << " iterations, "
+                      << (result.converged ? "converged" : "iteration cap")
+                      << ")";
+  }
+  return result;
+}
+
+}  // namespace upskill

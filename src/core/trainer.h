@@ -1,0 +1,125 @@
+#ifndef UPSKILL_CORE_TRAINER_H_
+#define UPSKILL_CORE_TRAINER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Log-space transition weights consumed by the assignment step when a
+/// progression component is enabled.
+struct TransitionWeights {
+  /// log pi(s), one entry per level (may be empty: free start).
+  std::vector<double> log_initial;
+  /// log(1 - p_up); the top level's self-transition is always free.
+  double log_stay = 0.0;
+  /// log p_up.
+  double log_up = 0.0;
+};
+
+/// One learned progression class (TransitionModel::kPerClass): its
+/// transition weights plus the (log) fraction of users it claims.
+struct ProgressionClassWeights {
+  TransitionWeights weights;
+  double log_prior = 0.0;
+};
+
+/// Output of Trainer::Train.
+struct TrainResult {
+  SkillModel model;
+  SkillAssignments assignments;
+  /// Total log-likelihood measured at each assignment step (Equation 3);
+  /// non-decreasing by the coordinate-ascent argument of Section IV-B.
+  std::vector<double> log_likelihood_trace;
+  int iterations = 0;
+  bool converged = false;
+  double final_log_likelihood = 0.0;
+  /// Wall-clock split, for the efficiency experiments (Section VI-F).
+  double assignment_seconds = 0.0;
+  double update_seconds = 0.0;
+  double init_seconds = 0.0;
+  /// Learned progression component (meaningful when the config enables
+  /// TransitionModel::kGlobal; otherwise left at defaults).
+  std::vector<double> initial_distribution;
+  double level_up_probability = 0.0;
+  /// Learned classes and per-user class labels (kPerClass only).
+  std::vector<ProgressionClassWeights> progression_classes;
+  std::vector<int> user_classes;
+};
+
+/// Hard-assignment coordinate-ascent trainer for the progression model
+/// (Section IV-B): initialize from uniformly segmented long sequences,
+/// then alternate the DP assignment step and the per-(feature, level)
+/// maximum-likelihood update step until the likelihood stops improving.
+class Trainer {
+ public:
+  explicit Trainer(SkillModelConfig config) : config_(config) {}
+
+  /// Runs the full training loop on `dataset`. Fails when the dataset is
+  /// empty or the schema/config are invalid.
+  Result<TrainResult> Train(const Dataset& dataset) const;
+
+  const SkillModelConfig& config() const { return config_; }
+
+ private:
+  SkillModelConfig config_;
+};
+
+/// Uniform-segmentation levels for one sequence length: action n of len
+/// gets level 1 + floor(n * S / len). Shared by the initializer and the
+/// Uniform baseline.
+std::vector<int> SegmentUniformly(size_t length, int num_levels);
+
+/// Initialization assignments (Section IV-B): users with at least
+/// `min_init_actions` actions get uniform segmentation; everyone else gets
+/// an empty vector (excluded from the initial parameter fit). Falls back
+/// to including all users when nobody qualifies.
+SkillAssignments InitializeAssignments(const Dataset& dataset, int num_levels,
+                                       int min_init_actions);
+
+/// The update step (Equations 5-7): refits every component of `model` from
+/// the actions assigned to its level. Users with empty assignment vectors
+/// are skipped; levels with no assigned actions keep their current
+/// parameters. Parallelizes over levels and/or features per `parallel`
+/// using `pool`.
+void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
+                   SkillModel* model, ThreadPool* pool = nullptr,
+                   ParallelOptions parallel = {});
+
+/// The assignment step (Equation 4): per-user DP against the item
+/// log-probability cache. Returns the new assignments and, via
+/// `total_log_likelihood`, the objective value of Equation 3 under them
+/// (including transition terms when `transitions` is non-null).
+/// Parallelizes over users per `parallel` using `pool`.
+SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
+                              ThreadPool* pool = nullptr,
+                              ParallelOptions parallel = {},
+                              double* total_log_likelihood = nullptr,
+                              const TransitionWeights* transitions = nullptr);
+
+/// Maximum-likelihood refit of the global progression component from hard
+/// assignments: pi from (smoothed) first-action level counts, p_up from
+/// the fraction of below-top transitions that step up. Requires every
+/// level in [1, num_levels].
+TransitionWeights FitTransitionWeights(const SkillAssignments& assignments,
+                                       int num_levels, double smoothing);
+
+/// The per-class assignment step (Yang et al.'s progression classes):
+/// for every user, solves one DP per class (transition weights + class
+/// log-prior) and keeps the best-scoring pair. Outputs the chosen class
+/// per user via `user_classes` (resized to num_users).
+SkillAssignments AssignSkillsWithClasses(
+    const Dataset& dataset, const SkillModel& model,
+    std::span<const ProgressionClassWeights> classes,
+    ThreadPool* pool = nullptr, ParallelOptions parallel = {},
+    double* total_log_likelihood = nullptr,
+    std::vector<int>* user_classes = nullptr);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_TRAINER_H_

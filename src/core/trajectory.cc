@@ -1,0 +1,56 @@
+#include "core/trajectory.h"
+
+namespace upskill {
+
+Result<TrajectorySummary> SummarizeTrajectories(
+    const SkillAssignments& assignments, int num_levels) {
+  if (num_levels < 1) {
+    return Status::InvalidArgument("num_levels must be >= 1");
+  }
+  TrajectorySummary summary;
+  summary.actions_per_level.assign(static_cast<size_t>(num_levels), 0);
+  summary.users_ending_at_level.assign(static_cast<size_t>(num_levels), 0);
+  summary.users_starting_at_level.assign(static_cast<size_t>(num_levels), 0);
+  for (const std::vector<int>& seq : assignments) {
+    if (seq.empty()) continue;
+    for (size_t n = 0; n < seq.size(); ++n) {
+      const int level = seq[n];
+      if (level < 1 || level > num_levels) {
+        return Status::InvalidArgument("level outside [1, num_levels]");
+      }
+      ++summary.actions_per_level[static_cast<size_t>(level - 1)];
+      if (n > 0) {
+        ++summary.transitions;
+        if (seq[n] > seq[n - 1]) ++summary.level_ups;
+        if (seq[n] < seq[n - 1]) ++summary.level_downs;
+      }
+    }
+    ++summary.users_starting_at_level[static_cast<size_t>(seq.front() - 1)];
+    ++summary.users_ending_at_level[static_cast<size_t>(seq.back() - 1)];
+  }
+  summary.actions_per_level_up =
+      summary.level_ups == 0
+          ? 0.0
+          : static_cast<double>(summary.transitions) /
+                static_cast<double>(summary.level_ups);
+  return summary;
+}
+
+std::vector<int64_t> ActionsUntilLevel(const SkillAssignments& assignments,
+                                       int level) {
+  std::vector<int64_t> result;
+  result.reserve(assignments.size());
+  for (const std::vector<int>& seq : assignments) {
+    int64_t count = -1;
+    for (size_t n = 0; n < seq.size(); ++n) {
+      if (seq[n] >= level) {
+        count = static_cast<int64_t>(n);
+        break;
+      }
+    }
+    result.push_back(count);
+  }
+  return result;
+}
+
+}  // namespace upskill

@@ -1,0 +1,47 @@
+#ifndef UPSKILL_CORE_TRAJECTORY_H_
+#define UPSKILL_CORE_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Aggregate statistics of a set of skill trajectories — the quantities
+/// the paper's qualitative analyses (Section VI-C) and the upskilling
+/// use case read off the assignments.
+struct TrajectorySummary {
+  /// Actions observed at each level (index s-1).
+  std::vector<size_t> actions_per_level;
+  /// Users whose final level is s (index s-1).
+  std::vector<size_t> users_ending_at_level;
+  /// Users whose first level is s (index s-1).
+  std::vector<size_t> users_starting_at_level;
+  /// Total level-up transitions across all users.
+  size_t level_ups = 0;
+  /// Total level-down transitions (possible under the forgetting
+  /// extension only).
+  size_t level_downs = 0;
+  /// Total consecutive-action pairs.
+  size_t transitions = 0;
+  /// transitions / level_ups; 0 when no user ever levels up.
+  double actions_per_level_up = 0.0;
+};
+
+/// Computes the summary. Assignments must hold levels in [1, num_levels];
+/// empty user vectors are skipped.
+Result<TrajectorySummary> SummarizeTrajectories(
+    const SkillAssignments& assignments, int num_levels);
+
+/// Per-user time spent before first reaching `level`: the number of
+/// actions taken strictly before the first action assigned a level
+/// >= `level`. Users who never reach it get -1.
+std::vector<int64_t> ActionsUntilLevel(const SkillAssignments& assignments,
+                                       int level);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_CORE_TRAJECTORY_H_

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace upskill {
+
+ItemTable::ItemTable(FeatureSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.num_features()));
+}
+
+Result<ItemId> ItemTable::AddItem(std::span<const double> values,
+                                  std::string name) {
+  if (static_cast<int>(values.size()) != schema_.num_features()) {
+    return Status::InvalidArgument(
+        StringPrintf("item has %zu values, schema has %d features",
+                     values.size(), schema_.num_features()));
+  }
+  const ItemId id = num_items_;
+  for (int f = 0; f < schema_.num_features(); ++f) {
+    double value = values[static_cast<size_t>(f)];
+    if (f == schema_.id_feature() && value == -1.0) {
+      value = static_cast<double>(id);
+    }
+    UPSKILL_RETURN_IF_ERROR(schema_.ValidateValue(f, value));
+    columns_[static_cast<size_t>(f)].push_back(value);
+  }
+  names_.push_back(std::move(name));
+  ++num_items_;
+  return id;
+}
+
+Status ItemTable::SetMetadata(const std::string& key,
+                              std::vector<double> values) {
+  if (key.empty()) return Status::InvalidArgument("empty metadata key");
+  if (static_cast<int>(values.size()) != num_items_) {
+    return Status::InvalidArgument(
+        StringPrintf("metadata %s has %zu values for %d items", key.c_str(),
+                     values.size(), num_items_));
+  }
+  metadata_[key] = std::move(values);
+  return Status::OK();
+}
+
+Result<std::span<const double>> ItemTable::Metadata(
+    const std::string& key) const {
+  const auto it = metadata_.find(key);
+  if (it == metadata_.end()) {
+    return Status::NotFound("no metadata column " + key);
+  }
+  return std::span<const double>(it->second);
+}
+
+Dataset::Dataset(ItemTable items) : items_(std::move(items)) {}
+
+UserId Dataset::AddUser(std::string name) {
+  sequences_.emplace_back();
+  user_names_.push_back(std::move(name));
+  return static_cast<UserId>(sequences_.size() - 1);
+}
+
+Status Dataset::AddAction(UserId user, int64_t time, ItemId item,
+                          double rating) {
+  if (user < 0 || user >= num_users()) {
+    return Status::OutOfRange(StringPrintf("user %d", user));
+  }
+  if (item < 0 || item >= items_.num_items()) {
+    return Status::OutOfRange(StringPrintf("item %d", item));
+  }
+  std::vector<Action>& seq = sequences_[static_cast<size_t>(user)];
+  if (!seq.empty() && seq.back().time > time) {
+    return Status::FailedPrecondition(StringPrintf(
+        "action at time %lld precedes the sequence tail at %lld; use "
+        "SortSequences() for out-of-order loads",
+        static_cast<long long>(time), static_cast<long long>(seq.back().time)));
+  }
+  seq.push_back(Action{time, item, rating});
+  ++num_actions_;
+  return Status::OK();
+}
+
+void Dataset::SortSequences() {
+  for (auto& seq : sequences_) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const Action& a, const Action& b) {
+                       return a.time < b.time;
+                     });
+  }
+}
+
+int Dataset::CountUsedItems() const {
+  std::vector<char> used(static_cast<size_t>(items_.num_items()), 0);
+  ForEachAction([&used](UserId, const Action& a) {
+    used[static_cast<size_t>(a.item)] = 1;
+  });
+  int count = 0;
+  for (char u : used) count += u;
+  return count;
+}
+
+int64_t Dataset::MinActionTime() const {
+  bool any = false;
+  int64_t min_time = 0;
+  ForEachAction([&](UserId, const Action& a) {
+    if (!any || a.time < min_time) {
+      min_time = a.time;
+      any = true;
+    }
+  });
+  return min_time;
+}
+
+}  // namespace upskill

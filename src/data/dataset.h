@@ -1,0 +1,144 @@
+#ifndef UPSKILL_DATA_DATASET_H_
+#define UPSKILL_DATA_DATASET_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace upskill {
+
+using UserId = int32_t;
+using ItemId = int32_t;
+
+/// One action (t, u, i): user `u` (implicit in the owning sequence)
+/// selected item `item` at time `time`. `rating` is the optional explicit
+/// feedback used only by the rating-prediction task (NaN when absent).
+struct Action {
+  int64_t time = 0;
+  ItemId item = -1;
+  double rating = std::numeric_limits<double>::quiet_NaN();
+
+  bool has_rating() const { return !std::isnan(rating); }
+};
+
+/// Column-major table of item feature values plus optional display names
+/// and metadata columns. Metadata (e.g. a film's release time) is carried
+/// alongside the items but is *not* part of the generative model.
+class ItemTable {
+ public:
+  ItemTable() = default;
+  explicit ItemTable(FeatureSchema schema);
+
+  const FeatureSchema& schema() const { return schema_; }
+  int num_items() const { return num_items_; }
+
+  /// Appends an item. `values` has one entry per schema feature; a value of
+  /// -1 in the ID-feature slot is replaced by the new item's index. Values
+  /// are validated against the schema.
+  Result<ItemId> AddItem(std::span<const double> values,
+                         std::string name = "");
+
+  /// Value of feature `f` for item `item`.
+  double value(ItemId item, int f) const {
+    return columns_[static_cast<size_t>(f)][static_cast<size_t>(item)];
+  }
+
+  /// Whole column for feature `f` (one entry per item).
+  std::span<const double> column(int f) const {
+    return columns_[static_cast<size_t>(f)];
+  }
+
+  /// Display name ("" when the item was added without one).
+  const std::string& name(ItemId item) const {
+    return names_[static_cast<size_t>(item)];
+  }
+
+  /// Attaches a named metadata column (one value per current item).
+  Status SetMetadata(const std::string& key, std::vector<double> values);
+
+  /// Reads a metadata column.
+  Result<std::span<const double>> Metadata(const std::string& key) const;
+
+  bool HasMetadata(const std::string& key) const {
+    return metadata_.count(key) > 0;
+  }
+  const std::map<std::string, std::vector<double>>& metadata() const {
+    return metadata_;
+  }
+
+ private:
+  FeatureSchema schema_;
+  int num_items_ = 0;
+  std::vector<std::vector<double>> columns_;  // columns_[f][item]
+  std::vector<std::string> names_;
+  std::map<std::string, std::vector<double>> metadata_;
+};
+
+/// A set of per-user action sequences over a shared item table
+/// (A = union of A_u, Section III). Sequences are kept in chronological
+/// order; AddAction enforces non-decreasing times per user, and
+/// SortSequences() re-establishes the invariant after bulk edits.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(ItemTable items);
+
+  const ItemTable& items() const { return items_; }
+  ItemTable& mutable_items() { return items_; }
+  const FeatureSchema& schema() const { return items_.schema(); }
+
+  /// Adds a user and returns their id.
+  UserId AddUser(std::string name = "");
+
+  /// Appends an action to `user`'s sequence. Fails when the item is out of
+  /// range or the time would break chronological order.
+  Status AddAction(UserId user, int64_t time, ItemId item,
+                   double rating = std::numeric_limits<double>::quiet_NaN());
+
+  /// Stable-sorts every sequence by time (for bulk loaders).
+  void SortSequences();
+
+  int num_users() const { return static_cast<int>(sequences_.size()); }
+  size_t num_actions() const { return num_actions_; }
+
+  const std::vector<Action>& sequence(UserId user) const {
+    return sequences_[static_cast<size_t>(user)];
+  }
+  const std::string& user_name(UserId user) const {
+    return user_names_[static_cast<size_t>(user)];
+  }
+
+  /// Number of distinct items appearing in at least one action.
+  int CountUsedItems() const;
+
+  /// Earliest action time across all users; 0 for an empty dataset.
+  int64_t MinActionTime() const;
+
+  /// Invokes `fn(user, action)` for every action in user order then
+  /// sequence order.
+  template <typename Fn>
+  void ForEachAction(Fn&& fn) const {
+    for (UserId u = 0; u < num_users(); ++u) {
+      for (const Action& a : sequences_[static_cast<size_t>(u)]) {
+        fn(u, a);
+      }
+    }
+  }
+
+ private:
+  ItemTable items_;
+  std::vector<std::vector<Action>> sequences_;
+  std::vector<std::string> user_names_;
+  size_t num_actions_ = 0;
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_DATASET_H_

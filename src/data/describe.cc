@@ -1,0 +1,104 @@
+#include "data/describe.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+
+FeatureSummary SummarizeFeature(const Dataset& dataset, int feature,
+                                bool weight_by_actions, int top_k) {
+  const FeatureSpec& spec = dataset.schema().feature(feature);
+  FeatureSummary summary;
+  summary.name = spec.name;
+  summary.type = spec.type;
+
+  const auto visit = [&](auto&& fn) {
+    if (weight_by_actions) {
+      dataset.ForEachAction([&](UserId, const Action& a) {
+        fn(dataset.items().value(a.item, feature));
+      });
+    } else {
+      for (ItemId i = 0; i < dataset.items().num_items(); ++i) {
+        fn(dataset.items().value(i, feature));
+      }
+    }
+  };
+
+  if (spec.type == FeatureType::kCategorical) {
+    std::unordered_map<int, size_t> counts;
+    visit([&counts](double v) { ++counts[static_cast<int>(v)]; });
+    summary.distinct_values = counts.size();
+    std::vector<std::pair<int, size_t>> sorted(counts.begin(), counts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const size_t take =
+        std::min(sorted.size(), static_cast<size_t>(std::max(0, top_k)));
+    summary.top_categories.assign(sorted.begin(),
+                                  sorted.begin() + static_cast<long>(take));
+    return summary;
+  }
+
+  RunningStats stats;
+  visit([&stats](double v) { stats.Add(v); });
+  summary.mean = stats.mean();
+  summary.stddev = stats.stddev();
+  summary.min = stats.min();
+  summary.max = stats.max();
+  return summary;
+}
+
+}  // namespace
+
+DatasetDescription DescribeDataset(const Dataset& dataset,
+                                   bool weight_by_actions, int top_k) {
+  DatasetDescription description;
+  description.stats = ComputeDatasetStats(dataset);
+  for (int f = 0; f < dataset.schema().num_features(); ++f) {
+    description.features.push_back(
+        SummarizeFeature(dataset, f, weight_by_actions, top_k));
+  }
+  return description;
+}
+
+std::string FormatDescription(const DatasetDescription& description,
+                              const FeatureSchema& schema) {
+  std::string out;
+  out += StringPrintf("users: %d, items: %d (%d selected), actions: %zu\n",
+                      description.stats.num_users,
+                      description.stats.num_table_items,
+                      description.stats.num_used_items,
+                      description.stats.num_actions);
+  for (size_t f = 0; f < description.features.size(); ++f) {
+    const FeatureSummary& summary = description.features[f];
+    if (summary.type == FeatureType::kCategorical) {
+      out += StringPrintf("  %-24s categorical, %zu distinct;",
+                          summary.name.c_str(), summary.distinct_values);
+      for (const auto& [value, count] : summary.top_categories) {
+        const FeatureSpec& spec = schema.feature(static_cast<int>(f));
+        const std::string label =
+            static_cast<size_t>(value) < spec.labels.size()
+                ? spec.labels[static_cast<size_t>(value)]
+                : StringPrintf("%d", value);
+        out += StringPrintf(" %s:%zu", label.c_str(), count);
+      }
+      out += "\n";
+    } else {
+      out += StringPrintf(
+          "  %-24s %s, mean %.3f, sd %.3f, range [%g, %g]\n",
+          summary.name.c_str(),
+          summary.type == FeatureType::kCount ? "count" : "real",
+          summary.mean, summary.stddev, summary.min, summary.max);
+    }
+  }
+  return out;
+}
+
+}  // namespace upskill

@@ -1,0 +1,50 @@
+#ifndef UPSKILL_DATA_DESCRIBE_H_
+#define UPSKILL_DATA_DESCRIBE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/statistics.h"
+
+namespace upskill {
+
+/// Descriptive summary of one item feature.
+struct FeatureSummary {
+  std::string name;
+  FeatureType type = FeatureType::kCategorical;
+  /// Numeric features (count/real): moments over the described population.
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Categorical features: number of values actually observed, and the
+  /// most frequent (value, count) pairs, descending.
+  size_t distinct_values = 0;
+  std::vector<std::pair<int, size_t>> top_categories;
+};
+
+/// Full dataset description: Table-I-style counts plus per-feature
+/// summaries.
+struct DatasetDescription {
+  DatasetStats stats;
+  std::vector<FeatureSummary> features;
+};
+
+/// Summarizes `dataset`. With `weight_by_actions` (default), each item
+/// contributes once per selection — the population the skill model
+/// actually fits; otherwise each item contributes once. `top_k` bounds
+/// the per-feature category list.
+DatasetDescription DescribeDataset(const Dataset& dataset,
+                                   bool weight_by_actions = true,
+                                   int top_k = 5);
+
+/// Renders a description as a human-readable multi-line string (used by
+/// the CLI's `stats` command).
+std::string FormatDescription(const DatasetDescription& description,
+                              const FeatureSchema& schema);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_DESCRIBE_H_

@@ -1,0 +1,40 @@
+#ifndef UPSKILL_DATA_FEATURE_H_
+#define UPSKILL_DATA_FEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace upskill {
+
+/// Storage type of an item feature. Every feature value is carried as a
+/// double: categorical values are vocabulary indices, counts are
+/// non-negative integers, reals are arbitrary positive values.
+enum class FeatureType {
+  kCategorical,
+  kCount,
+  kReal,
+};
+
+/// Returns "categorical" / "count" / "real".
+const char* FeatureTypeToString(FeatureType type);
+
+/// Description of one multi-faceted item feature (Section III): its name,
+/// storage type, the generative component that models it in the skill
+/// model, and — for categorical features — the value vocabulary.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kCategorical;
+  /// Which P_f(. | theta_f(s)) family models this feature.
+  DistributionKind distribution = DistributionKind::kCategorical;
+  /// Number of distinct values (categorical only).
+  int cardinality = 0;
+  /// Optional human-readable labels for categorical values; either empty
+  /// or exactly `cardinality` entries.
+  std::vector<std::string> labels;
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_FEATURE_H_

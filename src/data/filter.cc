@@ -1,0 +1,210 @@
+#include "data/filter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+
+// Rebuilds the schema with the ID feature resized to `new_num_items`.
+Result<FeatureSchema> RebuildSchema(const FeatureSchema& schema,
+                                    int new_num_items) {
+  FeatureSchema out;
+  for (int f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.feature(f);
+    Result<int> added = [&]() -> Result<int> {
+      // A filter can drop every item; keep the schema valid with a
+      // cardinality-1 ID vocabulary (no item rows will reference it).
+      if (f == schema.id_feature()) {
+        return out.AddIdFeature(std::max(1, new_num_items));
+      }
+      switch (spec.type) {
+        case FeatureType::kCategorical:
+          return out.AddCategorical(spec.name, spec.cardinality, spec.labels);
+        case FeatureType::kCount:
+          return out.AddCount(spec.name);
+        case FeatureType::kReal:
+          return out.AddReal(spec.name, spec.distribution);
+      }
+      return Status::Internal("unhandled feature type");
+    }();
+    if (!added.ok()) return added.status();
+  }
+  return out;
+}
+
+// Distinct items in a sequence.
+int CountUniqueItems(const std::vector<Action>& seq) {
+  std::unordered_set<ItemId> items;
+  for (const Action& a : seq) items.insert(a.item);
+  return static_cast<int>(items.size());
+}
+
+}  // namespace
+
+Result<FilterResult> CompactDataset(const Dataset& dataset,
+                                    const std::vector<char>& keep_user,
+                                    const std::vector<char>& keep_item,
+                                    bool drop_empty_users) {
+  if (static_cast<int>(keep_user.size()) != dataset.num_users()) {
+    return Status::InvalidArgument("keep_user size mismatch");
+  }
+  if (static_cast<int>(keep_item.size()) != dataset.items().num_items()) {
+    return Status::InvalidArgument("keep_item size mismatch");
+  }
+
+  const ItemTable& items = dataset.items();
+  int new_num_items = 0;
+  for (char k : keep_item) new_num_items += k;
+
+  Result<FeatureSchema> schema = RebuildSchema(items.schema(), new_num_items);
+  if (!schema.ok()) return schema.status();
+
+  // Rebuild the item table in original order.
+  ItemTable new_items(std::move(schema).value());
+  std::vector<ItemId> item_map(static_cast<size_t>(items.num_items()), -1);
+  const int num_features = items.schema().num_features();
+  std::vector<double> row(static_cast<size_t>(num_features));
+  for (ItemId i = 0; i < items.num_items(); ++i) {
+    if (!keep_item[static_cast<size_t>(i)]) continue;
+    for (int f = 0; f < num_features; ++f) {
+      row[static_cast<size_t>(f)] =
+          (f == items.schema().id_feature()) ? -1.0 : items.value(i, f);
+    }
+    Result<ItemId> added = new_items.AddItem(row, items.name(i));
+    if (!added.ok()) return added.status();
+    item_map[static_cast<size_t>(i)] = added.value();
+  }
+  // Carry metadata columns through the compaction.
+  for (const auto& [key, column] : items.metadata()) {
+    std::vector<double> compacted;
+    compacted.reserve(static_cast<size_t>(new_num_items));
+    for (ItemId i = 0; i < items.num_items(); ++i) {
+      if (keep_item[static_cast<size_t>(i)]) {
+        compacted.push_back(column[static_cast<size_t>(i)]);
+      }
+    }
+    UPSKILL_RETURN_IF_ERROR(new_items.SetMetadata(key, std::move(compacted)));
+  }
+
+  Dataset out(std::move(new_items));
+  std::vector<UserId> user_map(static_cast<size_t>(dataset.num_users()), -1);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    if (!keep_user[static_cast<size_t>(u)]) continue;
+    // Collect the surviving actions first so empty users can be skipped.
+    std::vector<Action> kept;
+    for (const Action& a : dataset.sequence(u)) {
+      const ItemId mapped = item_map[static_cast<size_t>(a.item)];
+      if (mapped < 0) continue;
+      kept.push_back(Action{a.time, mapped, a.rating});
+    }
+    if (kept.empty() && drop_empty_users) continue;
+    const UserId new_user = out.AddUser(dataset.user_name(u));
+    user_map[static_cast<size_t>(u)] = new_user;
+    for (const Action& a : kept) {
+      UPSKILL_RETURN_IF_ERROR(out.AddAction(new_user, a.time, a.item, a.rating));
+    }
+  }
+
+  FilterResult result;
+  result.dataset = std::move(out);
+  result.user_map = std::move(user_map);
+  result.item_map = std::move(item_map);
+  return result;
+}
+
+Result<FilterResult> FilterByActivity(const Dataset& dataset,
+                                      int min_unique_items_per_user,
+                                      int min_unique_users_per_item,
+                                      int rounds) {
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+
+  // Composition of per-round maps, so the final maps refer to the input.
+  FilterResult current;
+  const Dataset* view = &dataset;
+  std::vector<UserId> total_user_map(static_cast<size_t>(dataset.num_users()));
+  std::vector<ItemId> total_item_map(
+      static_cast<size_t>(dataset.items().num_items()));
+  for (size_t i = 0; i < total_user_map.size(); ++i) {
+    total_user_map[i] = static_cast<UserId>(i);
+  }
+  for (size_t i = 0; i < total_item_map.size(); ++i) {
+    total_item_map[i] = static_cast<ItemId>(i);
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Pass 1: users with enough unique items.
+    std::vector<char> keep_user(static_cast<size_t>(view->num_users()), 1);
+    for (UserId u = 0; u < view->num_users(); ++u) {
+      if (CountUniqueItems(view->sequence(u)) < min_unique_items_per_user) {
+        keep_user[static_cast<size_t>(u)] = 0;
+      }
+    }
+    // Pass 2: items with enough unique users, counted over kept users.
+    std::vector<std::unordered_set<UserId>> users_per_item(
+        static_cast<size_t>(view->items().num_items()));
+    for (UserId u = 0; u < view->num_users(); ++u) {
+      if (!keep_user[static_cast<size_t>(u)]) continue;
+      for (const Action& a : view->sequence(u)) {
+        users_per_item[static_cast<size_t>(a.item)].insert(u);
+      }
+    }
+    std::vector<char> keep_item(static_cast<size_t>(view->items().num_items()),
+                                1);
+    bool changed = false;
+    for (size_t i = 0; i < keep_item.size(); ++i) {
+      if (static_cast<int>(users_per_item[i].size()) <
+          min_unique_users_per_item) {
+        keep_item[i] = 0;
+      }
+    }
+    for (char k : keep_user) changed = changed || !k;
+    for (char k : keep_item) changed = changed || !k;
+
+    Result<FilterResult> pass =
+        CompactDataset(*view, keep_user, keep_item, /*drop_empty_users=*/true);
+    if (!pass.ok()) return pass.status();
+
+    // Compose maps.
+    for (auto& mapped : total_user_map) {
+      if (mapped >= 0) mapped = pass.value().user_map[static_cast<size_t>(mapped)];
+    }
+    for (auto& mapped : total_item_map) {
+      if (mapped >= 0) mapped = pass.value().item_map[static_cast<size_t>(mapped)];
+    }
+    current = std::move(pass).value();
+    view = &current.dataset;
+    if (!changed) break;  // fixpoint reached
+  }
+
+  FilterResult result;
+  result.dataset = std::move(current.dataset);
+  result.user_map = std::move(total_user_map);
+  result.item_map = std::move(total_item_map);
+  return result;
+}
+
+Result<FilterResult> FilterOldItems(const Dataset& dataset,
+                                    const std::string& release_time_key) {
+  Result<std::span<const double>> release =
+      dataset.items().Metadata(release_time_key);
+  if (!release.ok()) return release.status();
+  const int64_t cutoff = dataset.MinActionTime();
+  std::vector<char> keep_item(
+      static_cast<size_t>(dataset.items().num_items()), 1);
+  for (ItemId i = 0; i < dataset.items().num_items(); ++i) {
+    if (release.value()[static_cast<size_t>(i)] >
+        static_cast<double>(cutoff)) {
+      keep_item[static_cast<size_t>(i)] = 0;
+    }
+  }
+  const std::vector<char> keep_user(static_cast<size_t>(dataset.num_users()),
+                                    1);
+  return CompactDataset(dataset, keep_user, keep_item,
+                        /*drop_empty_users=*/true);
+}
+
+}  // namespace upskill

@@ -1,0 +1,51 @@
+#ifndef UPSKILL_DATA_FILTER_H_
+#define UPSKILL_DATA_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Output of a filtering pass: the compacted dataset plus the old-to-new id
+/// mappings (-1 marks a dropped user/item). Item compaction rebuilds the
+/// ID feature's cardinality so trained models stay consistent.
+struct FilterResult {
+  Dataset dataset;
+  std::vector<UserId> user_map;
+  std::vector<ItemId> item_map;
+};
+
+/// The paper's activity filter (Section VI-B): drop users whose sequences
+/// contain fewer than `min_unique_items_per_user` distinct items, then drop
+/// items selected by fewer than `min_unique_users_per_item` distinct users
+/// (either threshold can be 0 to disable that half). `rounds` > 1 repeats
+/// the two passes, since removing items can push users back under the
+/// threshold.
+Result<FilterResult> FilterByActivity(const Dataset& dataset,
+                                      int min_unique_items_per_user,
+                                      int min_unique_users_per_item,
+                                      int rounds = 1);
+
+/// The film-domain lastness preprocessing (Section VI-C): keep only items
+/// whose `release_time_key` metadata is <= the earliest action time in the
+/// dataset, so that every remaining item could have been selected at any
+/// time. Users left with empty sequences are dropped.
+Result<FilterResult> FilterOldItems(const Dataset& dataset,
+                                    const std::string& release_time_key);
+
+/// Rebuilds a dataset keeping only flagged users/items (building block for
+/// the filters above; exposed for custom pipelines). `keep_user` /
+/// `keep_item` must match the dataset's user/item counts. Actions referring
+/// to dropped items are removed; kept users may end up with empty
+/// sequences unless `drop_empty_users` is set.
+Result<FilterResult> CompactDataset(const Dataset& dataset,
+                                    const std::vector<char>& keep_user,
+                                    const std::vector<char>& keep_item,
+                                    bool drop_empty_users = true);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_FILTER_H_

@@ -1,0 +1,208 @@
+#include "data/io.h"
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+
+std::string FormatValue(double v) { return StringPrintf("%.17g", v); }
+
+Status SaveSchema(const FeatureSchema& schema, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"name", "type", "distribution", "cardinality", "is_id",
+                  "labels"});
+  for (int f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.feature(f);
+    std::string labels;
+    for (size_t i = 0; i < spec.labels.size(); ++i) {
+      if (i > 0) labels += '|';
+      labels += spec.labels[i];
+    }
+    rows.push_back({spec.name, FeatureTypeToString(spec.type),
+                    DistributionKindToString(spec.distribution),
+                    StringPrintf("%d", spec.cardinality),
+                    f == schema.id_feature() ? "1" : "0", labels});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<FeatureSchema> LoadSchema(const std::string& path) {
+  Result<std::vector<std::vector<std::string>>> rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  FeatureSchema schema;
+  for (size_t r = 1; r < rows.value().size(); ++r) {
+    const std::vector<std::string>& row = rows.value()[r];
+    if (row.size() != 6) {
+      return Status::Corruption(
+          StringPrintf("schema row %zu has %zu fields", r, row.size()));
+    }
+    const std::string& name = row[0];
+    const std::string& type = row[1];
+    Result<DistributionKind> dist = DistributionKindFromString(row[2]);
+    if (!dist.ok()) return dist.status();
+    Result<long long> cardinality = ParseInt(row[3]);
+    if (!cardinality.ok()) return cardinality.status();
+    const bool is_id = row[4] == "1";
+    Result<int> added = [&]() -> Result<int> {
+      if (is_id) return schema.AddIdFeature(static_cast<int>(cardinality.value()));
+      if (type == "categorical") {
+        std::vector<std::string> labels;
+        if (!row[5].empty()) labels = Split(row[5], '|');
+        return schema.AddCategorical(name,
+                                     static_cast<int>(cardinality.value()),
+                                     std::move(labels));
+      }
+      if (type == "count") return schema.AddCount(name);
+      if (type == "real") return schema.AddReal(name, dist.value());
+      return Status::Corruption("unknown feature type " + type);
+    }();
+    if (!added.ok()) return added.status();
+  }
+  return schema;
+}
+
+Status SaveItems(const ItemTable& items, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"name"};
+  for (int f = 0; f < items.schema().num_features(); ++f) {
+    header.push_back(items.schema().feature(f).name);
+  }
+  for (const auto& [key, _] : items.metadata()) {
+    header.push_back("meta:" + key);
+  }
+  rows.push_back(std::move(header));
+  for (ItemId i = 0; i < items.num_items(); ++i) {
+    std::vector<std::string> row = {items.name(i)};
+    for (int f = 0; f < items.schema().num_features(); ++f) {
+      row.push_back(FormatValue(items.value(i, f)));
+    }
+    for (const auto& [_, column] : items.metadata()) {
+      row.push_back(FormatValue(column[static_cast<size_t>(i)]));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<ItemTable> LoadItems(const FeatureSchema& schema,
+                            const std::string& path) {
+  Result<std::vector<std::vector<std::string>>> rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  if (rows.value().empty()) return Status::Corruption("items.csv is empty");
+  const std::vector<std::string>& header = rows.value()[0];
+  const int num_features = schema.num_features();
+  const size_t base_columns = 1 + static_cast<size_t>(num_features);
+  std::vector<std::string> metadata_keys;
+  for (size_t c = base_columns; c < header.size(); ++c) {
+    if (!StartsWith(header[c], "meta:")) {
+      return Status::Corruption("unexpected items column " + header[c]);
+    }
+    metadata_keys.push_back(header[c].substr(5));
+  }
+
+  ItemTable items(schema);
+  std::vector<std::vector<double>> metadata(metadata_keys.size());
+  std::vector<double> values(static_cast<size_t>(num_features));
+  for (size_t r = 1; r < rows.value().size(); ++r) {
+    const std::vector<std::string>& row = rows.value()[r];
+    if (row.size() != base_columns + metadata_keys.size()) {
+      return Status::Corruption(
+          StringPrintf("items row %zu has %zu fields", r, row.size()));
+    }
+    for (int f = 0; f < num_features; ++f) {
+      Result<double> value = ParseDouble(row[1 + static_cast<size_t>(f)]);
+      if (!value.ok()) return value.status();
+      values[static_cast<size_t>(f)] = value.value();
+    }
+    Result<ItemId> added = items.AddItem(values, row[0]);
+    if (!added.ok()) return added.status();
+    for (size_t m = 0; m < metadata_keys.size(); ++m) {
+      Result<double> value = ParseDouble(row[base_columns + m]);
+      if (!value.ok()) return value.status();
+      metadata[m].push_back(value.value());
+    }
+  }
+  for (size_t m = 0; m < metadata_keys.size(); ++m) {
+    UPSKILL_RETURN_IF_ERROR(
+        items.SetMetadata(metadata_keys[m], std::move(metadata[m])));
+  }
+  return items;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IoError("cannot create " + directory);
+
+  UPSKILL_RETURN_IF_ERROR(
+      SaveSchema(dataset.schema(), directory + "/schema.csv"));
+  UPSKILL_RETURN_IF_ERROR(SaveItems(dataset.items(), directory + "/items.csv"));
+
+  std::vector<std::vector<std::string>> users;
+  users.push_back({"user", "name"});
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    users.push_back({StringPrintf("%d", u), dataset.user_name(u)});
+  }
+  UPSKILL_RETURN_IF_ERROR(WriteCsvFile(directory + "/users.csv", users));
+
+  std::vector<std::vector<std::string>> actions;
+  actions.push_back({"user", "time", "item", "rating"});
+  dataset.ForEachAction([&actions](UserId u, const Action& a) {
+    actions.push_back({StringPrintf("%d", u),
+                       StringPrintf("%lld", static_cast<long long>(a.time)),
+                       StringPrintf("%d", a.item),
+                       a.has_rating() ? StringPrintf("%.17g", a.rating) : ""});
+  });
+  return WriteCsvFile(directory + "/actions.csv", actions);
+}
+
+Result<Dataset> LoadDataset(const std::string& directory) {
+  Result<FeatureSchema> schema = LoadSchema(directory + "/schema.csv");
+  if (!schema.ok()) return schema.status();
+  Result<ItemTable> items =
+      LoadItems(schema.value(), directory + "/items.csv");
+  if (!items.ok()) return items.status();
+  Dataset dataset(std::move(items).value());
+
+  Result<std::vector<std::vector<std::string>>> users =
+      ReadCsvFile(directory + "/users.csv");
+  if (!users.ok()) return users.status();
+  for (size_t r = 1; r < users.value().size(); ++r) {
+    const std::vector<std::string>& row = users.value()[r];
+    if (row.size() != 2) return Status::Corruption("bad users row");
+    dataset.AddUser(row[1]);
+  }
+
+  Result<std::vector<std::vector<std::string>>> actions =
+      ReadCsvFile(directory + "/actions.csv");
+  if (!actions.ok()) return actions.status();
+  for (size_t r = 1; r < actions.value().size(); ++r) {
+    const std::vector<std::string>& row = actions.value()[r];
+    if (row.size() != 4) return Status::Corruption("bad actions row");
+    Result<long long> user = ParseInt(row[0]);
+    Result<long long> time = ParseInt(row[1]);
+    Result<long long> item = ParseInt(row[2]);
+    if (!user.ok()) return user.status();
+    if (!time.ok()) return time.status();
+    if (!item.ok()) return item.status();
+    double rating = std::numeric_limits<double>::quiet_NaN();
+    if (!row[3].empty()) {
+      Result<double> parsed = ParseDouble(row[3]);
+      if (!parsed.ok()) return parsed.status();
+      rating = parsed.value();
+    }
+    UPSKILL_RETURN_IF_ERROR(dataset.AddAction(
+        static_cast<UserId>(user.value()), time.value(),
+        static_cast<ItemId>(item.value()), rating));
+  }
+  return dataset;
+}
+
+}  // namespace upskill

@@ -1,0 +1,22 @@
+#ifndef UPSKILL_DATA_IO_H_
+#define UPSKILL_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Persists `dataset` under `directory` (created if missing) as four CSV
+/// files: schema.csv, items.csv (features + "meta:" columns), users.csv,
+/// actions.csv. Categorical label text must not contain '|' (labels are
+/// stored pipe-joined).
+Status SaveDataset(const Dataset& dataset, const std::string& directory);
+
+/// Loads a dataset previously written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& directory);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_IO_H_

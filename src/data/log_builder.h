@@ -1,0 +1,90 @@
+#ifndef UPSKILL_DATA_LOG_BUILDER_H_
+#define UPSKILL_DATA_LOG_BUILDER_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Builds a Dataset from raw, possibly unordered event logs keyed by
+/// string identifiers — the shape real applications have (web logs,
+/// review dumps), as opposed to the library's integer-indexed CSV
+/// format. Usage:
+///
+///   ActionLogBuilder builder;
+///   builder.DeclareCount("steps");                 // item features
+///   builder.DeclareReal("abv");
+///   builder.AddItem("recipe-42", {4.0, 5.5});      // register items
+///   builder.AddEvent("alice", 17023, "recipe-42"); // then events
+///   Result<Dataset> dataset = std::move(builder).Build();
+///
+/// The produced schema has the item-ID feature first, then the declared
+/// features in declaration order. Users and items get dense ids in
+/// first-seen order; events are sorted chronologically per user (stable
+/// for ties).
+class ActionLogBuilder {
+ public:
+  ActionLogBuilder() = default;
+
+  /// Feature declarations; must all happen before the first AddItem.
+  Status DeclareCategorical(std::string name, int cardinality,
+                            std::vector<std::string> labels = {});
+  Status DeclareCount(std::string name);
+  Status DeclareReal(std::string name,
+                     DistributionKind kind = DistributionKind::kGamma);
+
+  /// Registers an item under `key` with one value per declared feature.
+  /// Re-registering a key fails.
+  Result<ItemId> AddItem(const std::string& key,
+                         std::span<const double> values);
+
+  /// Records one event. The item must have been registered, except when
+  /// no features were declared (pure ID logs) — then unseen items are
+  /// auto-registered.
+  Status AddEvent(const std::string& user_key, int64_t time,
+                  const std::string& item_key,
+                  double rating = std::numeric_limits<double>::quiet_NaN());
+
+  size_t num_events() const { return num_events_; }
+  int num_items() const { return static_cast<int>(item_rows_.size()); }
+  int num_users() const { return static_cast<int>(user_events_.size()); }
+
+  /// Consumes the builder and produces the dataset. Fails when no events
+  /// were recorded.
+  Result<Dataset> Build() &&;
+
+ private:
+  struct Event {
+    int64_t time;
+    ItemId item;
+    double rating;
+    size_t arrival;  // stable tiebreaker
+  };
+
+  bool items_started_ = false;
+  std::vector<FeatureSpec> declared_;
+  std::unordered_map<std::string, ItemId> item_ids_;
+  std::vector<std::vector<double>> item_rows_;  // declared features only
+  std::vector<std::string> item_keys_;
+  std::unordered_map<std::string, UserId> user_ids_;
+  std::vector<std::string> user_keys_;
+  std::vector<std::vector<Event>> user_events_;
+  size_t num_events_ = 0;
+
+  Status CheckDeclarable(const std::string& name) const;
+};
+
+/// Convenience loader for a bare "user,time,item[,rating]" CSV event log
+/// (header optional): items carry no features beyond their ID.
+Result<Dataset> LoadActionLogCsv(const std::string& path);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_LOG_BUILDER_H_

@@ -1,0 +1,57 @@
+#include "data/sample.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace upskill {
+
+Result<FilterResult> SampleUsers(const Dataset& dataset, double fraction,
+                                 Rng& rng) {
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  std::vector<char> keep_user(static_cast<size_t>(dataset.num_users()), 0);
+  for (size_t u = 0; u < keep_user.size(); ++u) {
+    keep_user[u] = rng.NextBernoulli(fraction) ? 1 : 0;
+  }
+  const std::vector<char> keep_item(
+      static_cast<size_t>(dataset.items().num_items()), 1);
+  return CompactDataset(dataset, keep_user, keep_item,
+                        /*drop_empty_users=*/false);
+}
+
+Result<FilterResult> SampleUsersExactly(const Dataset& dataset, int num_users,
+                                        Rng& rng) {
+  if (num_users < 0) {
+    return Status::InvalidArgument("num_users must be non-negative");
+  }
+  std::vector<UserId> order(static_cast<size_t>(dataset.num_users()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<char> keep_user(static_cast<size_t>(dataset.num_users()), 0);
+  const size_t take = std::min(order.size(), static_cast<size_t>(num_users));
+  for (size_t i = 0; i < take; ++i) {
+    keep_user[static_cast<size_t>(order[i])] = 1;
+  }
+  const std::vector<char> keep_item(
+      static_cast<size_t>(dataset.items().num_items()), 1);
+  return CompactDataset(dataset, keep_user, keep_item,
+                        /*drop_empty_users=*/false);
+}
+
+Result<Dataset> TruncateSequences(const Dataset& dataset,
+                                  size_t max_actions) {
+  Dataset out(dataset.items());
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    out.AddUser(dataset.user_name(u));
+    const std::vector<Action>& seq = dataset.sequence(u);
+    const size_t take = std::min(seq.size(), max_actions);
+    for (size_t n = 0; n < take; ++n) {
+      UPSKILL_RETURN_IF_ERROR(
+          out.AddAction(u, seq[n].time, seq[n].item, seq[n].rating));
+    }
+  }
+  return out;
+}
+
+}  // namespace upskill

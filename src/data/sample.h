@@ -1,0 +1,28 @@
+#ifndef UPSKILL_DATA_SAMPLE_H_
+#define UPSKILL_DATA_SAMPLE_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/filter.h"
+
+namespace upskill {
+
+/// Keeps each user independently with probability `fraction` (items are
+/// untouched; items left without any action remain in the table). Useful
+/// for scaling experiments up and down without re-generating data.
+Result<FilterResult> SampleUsers(const Dataset& dataset, double fraction,
+                                 Rng& rng);
+
+/// Keeps exactly `num_users` uniformly random users (all of them when the
+/// dataset has fewer).
+Result<FilterResult> SampleUsersExactly(const Dataset& dataset, int num_users,
+                                        Rng& rng);
+
+/// Truncates every sequence to its first `max_actions` actions (a
+/// "shorter history" view; useful for learning-curve experiments).
+Result<Dataset> TruncateSequences(const Dataset& dataset, size_t max_actions);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_SAMPLE_H_

@@ -1,0 +1,140 @@
+#include "data/schema.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace upskill {
+
+Status FeatureSchema::CheckNewName(const std::string& name) const {
+  if (name.empty()) return Status::InvalidArgument("empty feature name");
+  for (const FeatureSpec& spec : features_) {
+    if (spec.name == name) {
+      return Status::InvalidArgument("duplicate feature name: " + name);
+    }
+  }
+  return Status::OK();
+}
+
+Result<int> FeatureSchema::AddCategorical(std::string name, int cardinality,
+                                          std::vector<std::string> labels) {
+  UPSKILL_RETURN_IF_ERROR(CheckNewName(name));
+  if (cardinality <= 0) {
+    return Status::InvalidArgument("cardinality must be positive for " + name);
+  }
+  if (!labels.empty() && static_cast<int>(labels.size()) != cardinality) {
+    return Status::InvalidArgument(
+        StringPrintf("feature %s: %zu labels for cardinality %d", name.c_str(),
+                     labels.size(), cardinality));
+  }
+  FeatureSpec spec;
+  spec.name = std::move(name);
+  spec.type = FeatureType::kCategorical;
+  spec.distribution = DistributionKind::kCategorical;
+  spec.cardinality = cardinality;
+  spec.labels = std::move(labels);
+  features_.push_back(std::move(spec));
+  return num_features() - 1;
+}
+
+Result<int> FeatureSchema::AddCount(std::string name) {
+  UPSKILL_RETURN_IF_ERROR(CheckNewName(name));
+  FeatureSpec spec;
+  spec.name = std::move(name);
+  spec.type = FeatureType::kCount;
+  spec.distribution = DistributionKind::kPoisson;
+  features_.push_back(std::move(spec));
+  return num_features() - 1;
+}
+
+Result<int> FeatureSchema::AddReal(std::string name,
+                                   DistributionKind distribution) {
+  UPSKILL_RETURN_IF_ERROR(CheckNewName(name));
+  if (distribution != DistributionKind::kGamma &&
+      distribution != DistributionKind::kLogNormal) {
+    return Status::InvalidArgument(
+        "real features must use a gamma or log-normal component");
+  }
+  FeatureSpec spec;
+  spec.name = std::move(name);
+  spec.type = FeatureType::kReal;
+  spec.distribution = distribution;
+  features_.push_back(std::move(spec));
+  return num_features() - 1;
+}
+
+Result<int> FeatureSchema::AddIdFeature(int num_items) {
+  if (id_feature_ >= 0) {
+    return Status::FailedPrecondition("schema already has an ID feature");
+  }
+  Result<int> index = AddCategorical(kItemIdFeatureName, num_items);
+  if (!index.ok()) return index;
+  id_feature_ = index.value();
+  return index;
+}
+
+Result<int> FeatureSchema::FeatureIndex(const std::string& name) const {
+  for (int f = 0; f < num_features(); ++f) {
+    if (features_[static_cast<size_t>(f)].name == name) return f;
+  }
+  return Status::NotFound("no feature named " + name);
+}
+
+Status FeatureSchema::ValidateValue(int f, double value) const {
+  if (f < 0 || f >= num_features()) {
+    return Status::OutOfRange(StringPrintf("feature index %d", f));
+  }
+  const FeatureSpec& spec = features_[static_cast<size_t>(f)];
+  switch (spec.type) {
+    case FeatureType::kCategorical: {
+      const double rounded = std::floor(value);
+      if (rounded != value || value < 0.0 ||
+          value >= static_cast<double>(spec.cardinality)) {
+        return Status::InvalidArgument(
+            StringPrintf("feature %s: %g is not a category in [0, %d)",
+                         spec.name.c_str(), value, spec.cardinality));
+      }
+      return Status::OK();
+    }
+    case FeatureType::kCount: {
+      if (std::floor(value) != value || value < 0.0) {
+        return Status::InvalidArgument(StringPrintf(
+            "feature %s: %g is not a non-negative count", spec.name.c_str(),
+            value));
+      }
+      return Status::OK();
+    }
+    case FeatureType::kReal: {
+      if (!(value > 0.0) || !std::isfinite(value)) {
+        return Status::InvalidArgument(StringPrintf(
+            "feature %s: %g is not a positive real", spec.name.c_str(),
+            value));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled feature type");
+}
+
+FeatureSchema FeatureSchema::WithoutIdFeature() const {
+  FeatureSchema out;
+  for (int f = 0; f < num_features(); ++f) {
+    if (f == id_feature_) continue;
+    out.features_.push_back(features_[static_cast<size_t>(f)]);
+  }
+  return out;
+}
+
+const char* FeatureTypeToString(FeatureType type) {
+  switch (type) {
+    case FeatureType::kCategorical:
+      return "categorical";
+    case FeatureType::kCount:
+      return "count";
+    case FeatureType::kReal:
+      return "real";
+  }
+  return "unknown";
+}
+
+}  // namespace upskill

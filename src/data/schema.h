@@ -1,0 +1,67 @@
+#ifndef UPSKILL_DATA_SCHEMA_H_
+#define UPSKILL_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/feature.h"
+
+namespace upskill {
+
+/// Ordered collection of item features. One feature may be designated the
+/// *item-ID feature* (a categorical over the item universe whose value for
+/// item i is i itself); the ID-only baseline of Yang et al. and the item
+/// prediction task (Section VI-E) both rely on it.
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+
+  /// Adds a categorical feature with `cardinality` values. `labels` may be
+  /// empty or have exactly `cardinality` entries. Returns the feature index.
+  Result<int> AddCategorical(std::string name, int cardinality,
+                             std::vector<std::string> labels = {});
+
+  /// Adds a count feature modeled by a Poisson component.
+  Result<int> AddCount(std::string name);
+
+  /// Adds a positive real-valued feature modeled by `distribution`
+  /// (kGamma or kLogNormal).
+  Result<int> AddReal(std::string name,
+                      DistributionKind distribution = DistributionKind::kGamma);
+
+  /// Adds the item-ID feature: a categorical over `num_items` values.
+  /// At most one ID feature may exist.
+  Result<int> AddIdFeature(int num_items);
+
+  int num_features() const { return static_cast<int>(features_.size()); }
+  const FeatureSpec& feature(int f) const { return features_[static_cast<size_t>(f)]; }
+
+  /// Index of the ID feature, or -1 when none was added.
+  int id_feature() const { return id_feature_; }
+
+  /// Index of the feature named `name`.
+  Result<int> FeatureIndex(const std::string& name) const;
+
+  /// Validates that `value` is in-domain for feature `f` (integral and in
+  /// range for categorical, non-negative integral for counts, positive for
+  /// reals).
+  Status ValidateValue(int f, double value) const;
+
+  /// Schema without the ID feature (used to budget-compare feature sets).
+  /// Indices of remaining features shift down accordingly.
+  FeatureSchema WithoutIdFeature() const;
+
+ private:
+  Status CheckNewName(const std::string& name) const;
+
+  std::vector<FeatureSpec> features_;
+  int id_feature_ = -1;
+};
+
+/// Canonical name given to the feature added by AddIdFeature.
+inline constexpr const char* kItemIdFeatureName = "item_id";
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_SCHEMA_H_

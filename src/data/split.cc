@@ -1,0 +1,119 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+namespace upskill {
+
+namespace {
+
+// Copies dataset structure (users + item table) with empty sequences.
+Dataset CloneShell(const Dataset& dataset) {
+  Dataset out(dataset.items());
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    out.AddUser(dataset.user_name(u));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ActionSplit> MakeHoldoutSplit(const Dataset& dataset,
+                                     HoldoutPosition position, Rng& rng,
+                                     size_t min_sequence_length) {
+  if (min_sequence_length < 2) {
+    return Status::InvalidArgument(
+        "min_sequence_length must be >= 2 so train sequences stay non-empty");
+  }
+  ActionSplit split;
+  split.train = CloneShell(dataset);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<Action>& seq = dataset.sequence(u);
+    size_t held_out = seq.size();  // sentinel: keep everything
+    if (seq.size() >= min_sequence_length) {
+      held_out = (position == HoldoutPosition::kLast)
+                     ? seq.size() - 1
+                     : static_cast<size_t>(
+                           rng.NextInt(static_cast<int64_t>(seq.size())));
+    }
+    for (size_t n = 0; n < seq.size(); ++n) {
+      if (n == held_out) {
+        split.test.push_back(HeldOutAction{u, seq[n], n});
+        continue;
+      }
+      UPSKILL_RETURN_IF_ERROR(
+          split.train.AddAction(u, seq[n].time, seq[n].item, seq[n].rating));
+    }
+  }
+  return split;
+}
+
+Result<ActionSplit> SplitActionsRandomly(const Dataset& dataset,
+                                         double test_fraction, Rng& rng) {
+  if (!(test_fraction >= 0.0 && test_fraction < 1.0)) {
+    return Status::InvalidArgument("test_fraction must be in [0, 1)");
+  }
+  ActionSplit split;
+  split.train = CloneShell(dataset);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<Action>& seq = dataset.sequence(u);
+    // Decide the test subset first so we can protect the last train action.
+    std::vector<char> to_test(seq.size(), 0);
+    size_t train_count = seq.size();
+    for (size_t n = 0; n < seq.size(); ++n) {
+      if (train_count > 1 && rng.NextBernoulli(test_fraction)) {
+        to_test[n] = 1;
+        --train_count;
+      }
+    }
+    for (size_t n = 0; n < seq.size(); ++n) {
+      if (to_test[n]) {
+        split.test.push_back(HeldOutAction{u, seq[n], n});
+      } else {
+        UPSKILL_RETURN_IF_ERROR(
+            split.train.AddAction(u, seq[n].time, seq[n].item, seq[n].rating));
+      }
+    }
+  }
+  return split;
+}
+
+Result<ActionSplit> SplitActionsByTime(const Dataset& dataset,
+                                       int64_t cutoff) {
+  ActionSplit split;
+  split.train = CloneShell(dataset);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<Action>& seq = dataset.sequence(u);
+    for (size_t n = 0; n < seq.size(); ++n) {
+      // The user's first action anchors training even past the cutoff.
+      const bool train = seq[n].time <= cutoff || n == 0;
+      if (train) {
+        UPSKILL_RETURN_IF_ERROR(
+            split.train.AddAction(u, seq[n].time, seq[n].item, seq[n].rating));
+      } else {
+        split.test.push_back(HeldOutAction{u, seq[n], n});
+      }
+    }
+  }
+  return split;
+}
+
+Result<ActionSplit> SplitActionsByTimeQuantile(const Dataset& dataset,
+                                               double quantile) {
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    return Status::InvalidArgument("quantile must be in (0, 1)");
+  }
+  if (dataset.num_actions() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  std::vector<int64_t> times;
+  times.reserve(dataset.num_actions());
+  dataset.ForEachAction(
+      [&times](UserId, const Action& a) { times.push_back(a.time); });
+  std::sort(times.begin(), times.end());
+  const size_t index = std::min(
+      times.size() - 1,
+      static_cast<size_t>(quantile * static_cast<double>(times.size())));
+  return SplitActionsByTime(dataset, times[index]);
+}
+
+}  // namespace upskill

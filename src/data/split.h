@@ -1,0 +1,58 @@
+#ifndef UPSKILL_DATA_SPLIT_H_
+#define UPSKILL_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// A test action detached from a training sequence.
+struct HeldOutAction {
+  UserId user = -1;
+  Action action;
+  /// Index the action held in the user's original sequence.
+  size_t position = 0;
+};
+
+/// Train dataset (same users and item table as the source; some sequences
+/// shortened) plus the detached test actions.
+struct ActionSplit {
+  Dataset train;
+  std::vector<HeldOutAction> test;
+};
+
+/// Which action the item-prediction task holds out per user (Section VI-E).
+enum class HoldoutPosition { kRandom, kLast };
+
+/// Holds out exactly one action from every user with at least
+/// `min_sequence_length` actions (users below the bar contribute all
+/// actions to train and none to test).
+Result<ActionSplit> MakeHoldoutSplit(const Dataset& dataset,
+                                     HoldoutPosition position, Rng& rng,
+                                     size_t min_sequence_length = 2);
+
+/// The 90/10-style random split used for skill-count selection
+/// (Section VI-B): each action lands in test with probability
+/// `test_fraction`, except that a user's final remaining train action is
+/// never taken (nearest-action inference needs a non-empty train sequence).
+Result<ActionSplit> SplitActionsRandomly(const Dataset& dataset,
+                                         double test_fraction, Rng& rng);
+
+/// Temporal split (forecast-style evaluation, beyond the paper's two
+/// protocols): every action with time <= `cutoff` trains; later actions
+/// test. Users whose entire history is after the cutoff keep their first
+/// action in train (nearest-action inference needs an anchor).
+Result<ActionSplit> SplitActionsByTime(const Dataset& dataset,
+                                       int64_t cutoff);
+
+/// Picks the cutoff as the `quantile` (in (0, 1)) of all action times,
+/// then splits. Approximately `1 - quantile` of actions become test.
+Result<ActionSplit> SplitActionsByTimeQuantile(const Dataset& dataset,
+                                               double quantile);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_SPLIT_H_

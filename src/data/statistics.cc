@@ -1,0 +1,47 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace upskill {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users();
+  stats.num_table_items = dataset.items().num_items();
+  stats.num_used_items = dataset.CountUsedItems();
+  stats.num_actions = dataset.num_actions();
+
+  size_t rated = 0;
+  dataset.ForEachAction([&rated](UserId, const Action& a) {
+    if (a.has_rating()) ++rated;
+  });
+  stats.rating_coverage =
+      stats.num_actions == 0
+          ? 0.0
+          : static_cast<double>(rated) / static_cast<double>(stats.num_actions);
+
+  if (dataset.num_users() > 0) {
+    size_t min_len = dataset.sequence(0).size();
+    size_t max_len = min_len;
+    for (UserId u = 1; u < dataset.num_users(); ++u) {
+      const size_t len = dataset.sequence(u).size();
+      min_len = std::min(min_len, len);
+      max_len = std::max(max_len, len);
+    }
+    stats.min_sequence_length = min_len;
+    stats.max_sequence_length = max_len;
+    stats.mean_sequence_length = static_cast<double>(stats.num_actions) /
+                                 static_cast<double>(stats.num_users);
+  }
+  return stats;
+}
+
+std::string FormatStatsRow(const std::string& name,
+                           const DatasetStats& stats) {
+  return StringPrintf("%-12s %10d %10d %12zu", name.c_str(), stats.num_users,
+                      stats.num_used_items, stats.num_actions);
+}
+
+}  // namespace upskill

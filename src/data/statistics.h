@@ -1,0 +1,35 @@
+#ifndef UPSKILL_DATA_STATISTICS_H_
+#define UPSKILL_DATA_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace upskill {
+
+/// Descriptive statistics in the shape of the paper's Table I.
+struct DatasetStats {
+  int num_users = 0;
+  /// Distinct items appearing in at least one action (the paper counts
+  /// items post-filtering, i.e. items actually selected).
+  int num_used_items = 0;
+  /// Total items in the item table (>= num_used_items).
+  int num_table_items = 0;
+  size_t num_actions = 0;
+  double mean_sequence_length = 0.0;
+  size_t min_sequence_length = 0;
+  size_t max_sequence_length = 0;
+  /// Fraction of actions carrying an explicit rating.
+  double rating_coverage = 0.0;
+};
+
+/// Computes statistics over `dataset`.
+DatasetStats ComputeDatasetStats(const Dataset& dataset);
+
+/// One formatted Table-I-style row: "name  #users  #items  #actions".
+std::string FormatStatsRow(const std::string& name, const DatasetStats& stats);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_STATISTICS_H_

@@ -1,0 +1,175 @@
+#include "datagen/beer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace upskill {
+namespace datagen {
+
+namespace {
+
+// Style vocabulary with acquired-taste tiers. Tier-1 and tier-5 entries
+// reuse the style names the paper reports in Table III so the reproduced
+// table reads like the original.
+constexpr BeerStyle kStyles[] = {
+    // Tier 1: what novices reach for.
+    {"Pale Lager", 1},
+    {"Premium Lager", 1},
+    {"American Dark Lager", 1},
+    {"Malt Liquor", 1},
+    {"Vienna", 1},
+    // Tier 2.
+    {"Wheat Ale", 2},
+    {"Amber Ale", 2},
+    {"German Hefeweizen", 2},
+    {"Premium Bitter/ESB", 2},
+    {"Porter", 2},
+    // Tier 3.
+    {"Pilsener", 3},
+    {"Brown Ale", 3},
+    {"Irish Stout", 3},
+    {"Koelsch", 3},
+    {"Bitter", 3},
+    // Tier 4.
+    {"India Pale Ale (IPA)", 4},
+    {"Saison", 4},
+    {"Black IPA", 4},
+    {"Belgian Ale", 4},
+    {"Dubbel", 4},
+    // Tier 5: the connoisseur shelf.
+    {"Imperial/Double IPA", 5},
+    {"Imperial Stout", 5},
+    {"Sour Ale/Wild Ale", 5},
+    {"American Strong Ale", 5},
+    {"Barley Wine", 5},
+    {"Belgian Strong Ale", 5},
+    {"Spice/Herb/Vegetable", 5},
+};
+constexpr int kNumStyles = static_cast<int>(std::size(kStyles));
+
+// ABV climbs with the tier (paper means: 5.85 at s=1, 7.46 at s=5).
+double AbvMean(int tier) { return 4.6 + 0.8 * tier; }
+
+// A user at `level` samples styles with weight decaying in the distance
+// between the style tier and their level, skewed so higher levels retain
+// access to lower tiers (skilled users drink lagers too) but not vice
+// versa.
+double StyleWeight(int tier, int level) {
+  if (tier == level) return 1.6;  // the palate users are growing into
+  if (tier < level) return std::pow(0.55, level - tier) + 0.05;
+  return 0.04 * std::pow(0.45, tier - level - 1);
+}
+
+}  // namespace
+
+std::span<const BeerStyle> BeerStyles() {
+  return std::span<const BeerStyle>(kStyles, kNumStyles);
+}
+
+Result<GeneratedData> GenerateBeer(const BeerConfig& config) {
+  if (config.num_levels != 5) {
+    return Status::InvalidArgument(
+        "beer generator is calibrated for 5 levels (style tiers)");
+  }
+  if (config.num_users < 1 || config.num_beers < kNumStyles) {
+    return Status::InvalidArgument(
+        StringPrintf("need >= 1 user and >= %d beers", kNumStyles));
+  }
+  Rng rng(config.seed);
+  const int S = config.num_levels;
+
+  std::vector<std::string> style_labels;
+  style_labels.reserve(static_cast<size_t>(kNumStyles));
+  for (const BeerStyle& style : kStyles) style_labels.push_back(style.name);
+
+  FeatureSchema schema;
+  Result<int> id = schema.AddIdFeature(config.num_beers);
+  if (!id.ok()) return id.status();
+  Result<int> f_brewer = schema.AddCategorical("brewer", config.num_brewers);
+  if (!f_brewer.ok()) return f_brewer.status();
+  Result<int> f_style =
+      schema.AddCategorical("style", kNumStyles, std::move(style_labels));
+  if (!f_style.ok()) return f_style.status();
+  Result<int> f_abv = schema.AddReal("abv", DistributionKind::kGamma);
+  if (!f_abv.ok()) return f_abv.status();
+
+  // Beers: style round-robin-ish (each style well populated), difficulty =
+  // style tier, ABV ~ Gamma around the tier mean. A per-beer quality term
+  // feeds the rating model.
+  ItemTable items(std::move(schema));
+  GroundTruth truth;
+  std::vector<std::vector<ItemId>> beers_by_tier(static_cast<size_t>(S));
+  std::vector<double> quality(static_cast<size_t>(config.num_beers));
+  for (int b = 0; b < config.num_beers; ++b) {
+    const int style = static_cast<int>(rng.NextInt(kNumStyles));
+    const int tier = kStyles[style].tier;
+    const double abv = rng.NextGamma(30.0, AbvMean(tier) / 30.0);
+    const double values[] = {-1.0,
+                             static_cast<double>(rng.NextInt(config.num_brewers)),
+                             static_cast<double>(style), abv};
+    Result<ItemId> added = items.AddItem(
+        values, StringPrintf("%s #%d", kStyles[style].name, b));
+    if (!added.ok()) return added.status();
+    truth.difficulty.push_back(static_cast<double>(tier));
+    beers_by_tier[static_cast<size_t>(tier - 1)].push_back(added.value());
+    quality[static_cast<size_t>(b)] = rng.NextGaussian() * 0.4;
+  }
+
+  Dataset dataset(std::move(items));
+  truth.skill.resize(static_cast<size_t>(config.num_users));
+  std::vector<double> tier_weights(static_cast<size_t>(S));
+  for (int u = 0; u < config.num_users; ++u) {
+    const UserId user = dataset.AddUser(StringPrintf("taster-%04d", u));
+    const double user_bias = rng.NextGaussian() * 0.3;
+    const int64_t length =
+        std::max<int64_t>(1, rng.NextPoisson(config.mean_sequence_length));
+    int level = 1 + static_cast<int>(rng.NextInt(2));  // starts low
+    std::vector<int>& levels = truth.skill[static_cast<size_t>(user)];
+    levels.reserve(static_cast<size_t>(length));
+    for (int64_t n = 0; n < length; ++n) {
+      for (int t = 1; t <= S; ++t) {
+        tier_weights[static_cast<size_t>(t - 1)] =
+            beers_by_tier[static_cast<size_t>(t - 1)].empty()
+                ? 0.0
+                : StyleWeight(t, level);
+      }
+      const int tier = 1 + rng.NextCategorical(tier_weights);
+      const std::vector<ItemId>& pool =
+          beers_by_tier[static_cast<size_t>(tier - 1)];
+      const ItemId beer = pool[static_cast<size_t>(
+          rng.NextInt(static_cast<int64_t>(pool.size())))];
+
+      // Rating: global mean + user bias + beer quality + match term.
+      // Beers above the user's level rate poorly (can't appreciate them
+      // yet); the match peak moves with skill, which is what U+I+S+D can
+      // exploit and U+I cannot.
+      const double overreach =
+          std::max(0.0, truth.difficulty[static_cast<size_t>(beer)] -
+                            static_cast<double>(level));
+      const double appreciation =
+          0.08 * std::min<double>(level,
+                                  truth.difficulty[static_cast<size_t>(beer)]);
+      double rating = 3.1 + user_bias + quality[static_cast<size_t>(beer)] -
+                      0.65 * overreach + appreciation +
+                      rng.NextGaussian() * config.rating_noise;
+      rating = std::clamp(rating, 0.0, 5.0);
+      UPSKILL_RETURN_IF_ERROR(dataset.AddAction(user, n, beer, rating));
+      levels.push_back(level);
+      if (tier >= level && level < S &&
+          rng.NextBernoulli(config.level_up_probability)) {
+        ++level;
+      }
+    }
+  }
+
+  GeneratedData data;
+  data.dataset = std::move(dataset);
+  data.truth = std::move(truth);
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace upskill

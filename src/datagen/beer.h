@@ -1,0 +1,48 @@
+#ifndef UPSKILL_DATAGEN_BEER_H_
+#define UPSKILL_DATAGEN_BEER_H_
+
+#include <span>
+
+#include "common/status.h"
+#include "datagen/types.h"
+
+namespace upskill {
+namespace datagen {
+
+/// Simulated RateBeer-style review data (substitute for the McAuley &
+/// Leskovec RateBeer dump; see DESIGN.md). Beers carry the paper's
+/// feature mix (Section VI-A): item ID, brewer and style (categorical) and
+/// alcohol-by-volume (gamma). Styles span acquired-taste tiers from
+/// sessionable lagers (tier 1) to imperial/sour styles (tier 5); ABV rises
+/// with the tier (Fig. 6), and a user's style palette drifts upward with
+/// their appreciation skill (Table III).
+///
+/// Every action carries a rating in [0, 5] composed of a user bias, a beer
+/// quality term, and a skill/difficulty match term — the signal the
+/// Table XII FFM experiment feeds on.
+struct BeerConfig {
+  int num_levels = 5;  // the paper follows prior work with S = 5
+  int num_users = 600;
+  int num_beers = 2000;
+  int num_brewers = 160;
+  double mean_sequence_length = 150.0;  // RateBeer sequences are long
+  double level_up_probability = 0.028;
+  double rating_noise = 0.35;
+  uint64_t seed = 2011;
+};
+
+Result<GeneratedData> GenerateBeer(const BeerConfig& config);
+
+/// The style vocabulary used by the generator (exposed for tests and for
+/// labelling Table III). Tiers are 1 (novice-friendly) through 5
+/// (acquired taste).
+struct BeerStyle {
+  const char* name;
+  int tier;
+};
+std::span<const BeerStyle> BeerStyles();
+
+}  // namespace datagen
+}  // namespace upskill
+
+#endif  // UPSKILL_DATAGEN_BEER_H_

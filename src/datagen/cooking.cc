@@ -1,0 +1,216 @@
+#include "datagen/cooking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace upskill {
+namespace datagen {
+
+namespace {
+
+// Cooking-time classes, as on the source website ("about 30 minutes").
+const char* const kTimeClasses[] = {"~10min", "~30min", "~60min",
+                                    "~90min", "~120min", "120min+"};
+constexpr int kNumTimeClasses = static_cast<int>(std::size(kTimeClasses));
+
+// Cost classes ("about JPY 500" etc.).
+const char* const kCostClasses[] = {"~300yen", "~500yen", "~1000yen",
+                                    "~2000yen", "2000yen+"};
+constexpr int kNumCostClasses = static_cast<int>(std::size(kCostClasses));
+
+// Distribution of recipe selection over recipe difficulty for a user at
+// `level`: peak at the user's level, geometric decay below, near zero
+// above (within skill capacity, Section V's assumption).
+std::vector<double> SelectionWeights(int level, int num_levels) {
+  std::vector<double> weights(static_cast<size_t>(num_levels), 0.0);
+  for (int d = 1; d <= num_levels; ++d) {
+    double w;
+    if (d <= level) {
+      w = std::pow(0.3, level - d);  // easier recipes still get cooked
+    } else {
+      w = 0.01 * std::pow(0.4, d - level - 1);  // rare overreach
+    }
+    weights[static_cast<size_t>(d - 1)] = w;
+  }
+  return weights;
+}
+
+// Time-class index distribution given recipe difficulty: harder recipes
+// take longer (Fig. 5a).
+int SampleTimeClass(Rng& rng, int difficulty, int num_levels) {
+  const double center = (static_cast<double>(difficulty) - 0.5) /
+                        num_levels * kNumTimeClasses;
+  std::vector<double> weights(static_cast<size_t>(kNumTimeClasses));
+  for (int c = 0; c < kNumTimeClasses; ++c) {
+    const double d = (c + 0.5) - center;
+    weights[static_cast<size_t>(c)] = std::exp(-2.5 * d * d);
+  }
+  return rng.NextCategorical(weights);
+}
+
+int SampleCostClass(Rng& rng, int difficulty, int num_levels) {
+  const double center = (static_cast<double>(difficulty) - 0.5) /
+                        num_levels * kNumCostClasses;
+  std::vector<double> weights(static_cast<size_t>(kNumCostClasses));
+  for (int c = 0; c < kNumCostClasses; ++c) {
+    const double d = (c + 0.5) - center;
+    weights[static_cast<size_t>(c)] = std::exp(-1.5 * d * d);
+  }
+  return rng.NextCategorical(weights);
+}
+
+}  // namespace
+
+Result<GeneratedData> GenerateCooking(const CookingConfig& config) {
+  if (config.num_levels < 2) {
+    return Status::InvalidArgument("cooking generator needs num_levels >= 2");
+  }
+  if (config.novice_mimics_level > config.num_levels) {
+    return Status::InvalidArgument("novice_mimics_level out of range");
+  }
+  if (config.num_recipes < 1 || config.num_users < 1) {
+    return Status::InvalidArgument("need at least one recipe and one user");
+  }
+  Rng rng(config.seed);
+  const int S = config.num_levels;
+
+  std::vector<std::string> time_labels(kTimeClasses,
+                                       kTimeClasses + kNumTimeClasses);
+  std::vector<std::string> cost_labels(kCostClasses,
+                                       kCostClasses + kNumCostClasses);
+
+  FeatureSchema schema;
+  Result<int> id = schema.AddIdFeature(config.num_recipes);
+  if (!id.ok()) return id.status();
+  Result<int> f_cat = schema.AddCategorical("category", config.num_categories);
+  if (!f_cat.ok()) return f_cat.status();
+  Result<int> f_time = schema.AddCategorical("time_class", kNumTimeClasses,
+                                             std::move(time_labels));
+  if (!f_time.ok()) return f_time.status();
+  Result<int> f_cost = schema.AddCategorical("cost_class", kNumCostClasses,
+                                             std::move(cost_labels));
+  if (!f_cost.ok()) return f_cost.status();
+  Result<int> f_ing =
+      schema.AddCategorical("main_ingredient", config.num_ingredients);
+  if (!f_ing.ok()) return f_ing.status();
+  Result<int> f_ni = schema.AddCount("num_ingredients");
+  if (!f_ni.ok()) return f_ni.status();
+  Result<int> f_ns = schema.AddCount("num_steps");
+  if (!f_ns.ok()) return f_ns.status();
+
+  // Recipes: difficulty uniform over levels; features conditioned on it.
+  ItemTable items(std::move(schema));
+  GroundTruth truth;
+  std::vector<std::vector<ItemId>> recipes_by_difficulty(
+      static_cast<size_t>(S));
+  // Real recipe sites have power-law popularity; a log-normal weight per
+  // recipe reproduces that (and keeps popular recipes visible at every
+  // skill level, as on the source website).
+  std::vector<std::vector<double>> popularity_by_difficulty(
+      static_cast<size_t>(S));
+  for (int r = 0; r < config.num_recipes; ++r) {
+    const int difficulty = 1 + static_cast<int>(rng.NextInt(S));
+    // Harder recipes drift toward the later ingredient ids (specialty
+    // ingredients) and need more parts and steps (Fig. 5b).
+    const double ingredient_center =
+        (static_cast<double>(difficulty) - 0.5) / S * config.num_ingredients;
+    std::vector<double> ingredient_weights(
+        static_cast<size_t>(config.num_ingredients));
+    for (int c = 0; c < config.num_ingredients; ++c) {
+      const double d = (c + 0.5) - ingredient_center;
+      ingredient_weights[static_cast<size_t>(c)] =
+          std::exp(-0.5 * (d / 3.5) * (d / 3.5));
+    }
+    const double values[] = {
+        -1.0,
+        static_cast<double>(rng.NextInt(config.num_categories)),
+        static_cast<double>(SampleTimeClass(rng, difficulty, S)),
+        static_cast<double>(SampleCostClass(rng, difficulty, S)),
+        static_cast<double>(rng.NextCategorical(ingredient_weights)),
+        static_cast<double>(
+            std::max<int64_t>(1, rng.NextPoisson(2.0 + 2.5 * difficulty))),
+        static_cast<double>(
+            std::max<int64_t>(1, rng.NextPoisson(1.0 + 3.0 * difficulty))),
+    };
+    Result<ItemId> added =
+        items.AddItem(values, StringPrintf("recipe-%05d", r));
+    if (!added.ok()) return added.status();
+    truth.difficulty.push_back(static_cast<double>(difficulty));
+    recipes_by_difficulty[static_cast<size_t>(difficulty - 1)].push_back(
+        added.value());
+    popularity_by_difficulty[static_cast<size_t>(difficulty - 1)].push_back(
+        rng.NextLogNormal(0.0, 2.8));
+  }
+
+  // Selection profiles, with the planted novice violation.
+  std::vector<std::vector<double>> profile(static_cast<size_t>(S));
+  for (int s = 1; s <= S; ++s) {
+    profile[static_cast<size_t>(s - 1)] = SelectionWeights(s, S);
+  }
+  if (config.novice_mimics_level >= 1) {
+    // The planted assumption violation (Section VI-C): novices cannot
+    // judge difficulty, so their selections follow the *mid-level*
+    // difficulty profile. They remain distinguishable from genuine
+    // mid-level users through WHICH recipes they pick — novices chase the
+    // famous ones (popularity-squared weighting below) — so the effective
+    // number of behavioral levels stays S while the learned time/step
+    // distributions for level 1 resemble the mid level (Fig. 5).
+    profile[0] = SelectionWeights(config.novice_mimics_level, S);
+  }
+  // Popularity-squared weights for novice picks within a difficulty pool.
+  std::vector<std::vector<double>> novice_popularity(static_cast<size_t>(S));
+  for (int d = 0; d < S; ++d) {
+    novice_popularity[static_cast<size_t>(d)] =
+        popularity_by_difficulty[static_cast<size_t>(d)];
+    for (double& w : novice_popularity[static_cast<size_t>(d)]) w *= w;
+  }
+
+  Dataset dataset(std::move(items));
+  truth.skill.resize(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    const UserId user = dataset.AddUser(StringPrintf("cook-%05d", u));
+    const int64_t length =
+        std::max<int64_t>(1, rng.NextPoisson(config.mean_sequence_length));
+    // Initial level uniform over the scale: the population covers every
+    // level, as in the paper's synthetic protocol (Section VI-A 3b).
+    int level = 1 + static_cast<int>(rng.NextInt(S));
+    std::vector<int>& levels = truth.skill[static_cast<size_t>(user)];
+    levels.reserve(static_cast<size_t>(length));
+    for (int64_t n = 0; n < length; ++n) {
+      int d = 1 + rng.NextCategorical(profile[static_cast<size_t>(level - 1)]);
+      // Small test configurations can leave a difficulty pool empty; walk
+      // down (then up) to the nearest non-empty one.
+      while (d > 1 && recipes_by_difficulty[static_cast<size_t>(d - 1)].empty()) {
+        --d;
+      }
+      while (recipes_by_difficulty[static_cast<size_t>(d - 1)].empty() &&
+             d < S) {
+        ++d;
+      }
+      const std::vector<ItemId>& pool =
+          recipes_by_difficulty[static_cast<size_t>(d - 1)];
+      const bool novice = level == 1 && config.novice_mimics_level >= 1;
+      const ItemId recipe = pool[static_cast<size_t>(rng.NextCategorical(
+          novice ? novice_popularity[static_cast<size_t>(d - 1)]
+                 : popularity_by_difficulty[static_cast<size_t>(d - 1)]))];
+      UPSKILL_RETURN_IF_ERROR(dataset.AddAction(user, n, recipe));
+      levels.push_back(level);
+      // Cooking at (or above) the current level can improve skill.
+      if (d >= level && level < S &&
+          rng.NextBernoulli(config.level_up_probability)) {
+        ++level;
+      }
+    }
+  }
+
+  GeneratedData data;
+  data.dataset = std::move(dataset);
+  data.truth = std::move(truth);
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace upskill

@@ -1,0 +1,235 @@
+#include "datagen/film.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace upskill {
+namespace datagen {
+
+namespace {
+
+// Named roster planted with high popularity so the reproduced Tables IV/V
+// surface recognizable titles. `classic` in [0, 1]: 0 = light
+// blockbuster, 1 = canonical classic.
+struct NamedMovie {
+  const char* title;
+  int year;
+  double classic;
+  double popularity;
+};
+
+constexpr NamedMovie kRoster[] = {
+    // Pre-2000 blockbusters (Table IVa / Va material).
+    {"Star Wars: Episode IV - A New Hope", 1977, 0.15, 14.0},
+    {"Star Wars: Episode V - The Empire Strikes Back", 1980, 0.15, 13.0},
+    {"Star Wars: Episode VI - Return of the Jedi", 1983, 0.12, 12.5},
+    {"Indiana Jones and the Raiders of the Lost Ark", 1981, 0.15, 12.0},
+    {"Back to the Future", 1985, 0.12, 11.5},
+    {"The Princess Bride", 1987, 0.2, 10.0},
+    {"Pulp Fiction", 1994, 0.25, 14.5},
+    {"Batman", 1989, 0.08, 11.0},
+    {"Dances with Wolves", 1990, 0.2, 10.5},
+    {"The Shawshank Redemption", 1994, 0.3, 12.0},
+    {"True Lies", 1994, 0.05, 10.5},
+    {"Jurassic Park", 1993, 0.08, 12.5},
+    {"The Silence of the Lambs", 1991, 0.3, 11.0},
+    {"Fargo", 1996, 0.35, 10.0},
+    {"The Godfather", 1972, 0.6, 12.0},
+    // Canonical classics (Table Vb material).
+    {"Rear Window", 1954, 0.95, 9.0},
+    {"The Sound of Music", 1965, 0.9, 8.5},
+    {"The Graduate", 1967, 0.9, 8.5},
+    {"It's a Wonderful Life", 1946, 0.95, 8.5},
+    {"The Birds", 1963, 0.92, 8.0},
+    {"Gone with the Wind", 1939, 0.95, 8.5},
+    {"Psycho", 1960, 0.93, 9.0},
+    {"Casablanca", 1942, 1.0, 9.5},
+    {"Vertigo", 1958, 0.95, 9.0},
+    {"Citizen Kane", 1941, 1.0, 9.5},
+    // Post-2000 releases: the lastness bait removed by preprocessing
+    // (Table IVb material).
+    {"The Dark Knight", 2008, 0.2, 15.0},
+    {"Iron Man", 2008, 0.08, 13.5},
+    {"Avatar", 2009, 0.05, 13.0},
+    {"V for Vendetta", 2006, 0.2, 11.5},
+    {"Batman Begins", 2005, 0.12, 12.0},
+    {"WALL-E", 2008, 0.25, 12.0},
+    {"Juno", 2007, 0.3, 11.0},
+    {"Little Miss Sunshine", 2006, 0.35, 10.5},
+    {"Inception", 2010, 0.2, 13.5},
+    {"Casino Royale", 2006, 0.1, 11.5},
+};
+constexpr int kRosterSize = static_cast<int>(std::size(kRoster));
+
+constexpr int kEraStart = 2000;   // first action year
+constexpr int kEraEnd = 2015;     // last action year
+constexpr int kOldestRelease = 1935;
+
+}  // namespace
+
+Result<GeneratedData> GenerateFilm(const FilmConfig& config) {
+  if (config.num_levels < 2) {
+    return Status::InvalidArgument("film generator needs num_levels >= 2");
+  }
+  if (config.num_users < 1 || config.num_filler_movies < 0) {
+    return Status::InvalidArgument("bad film generator sizes");
+  }
+  if (!(config.recency_weight >= 0.0 && config.recency_weight <= 1.0)) {
+    return Status::InvalidArgument("recency_weight must be in [0, 1]");
+  }
+  Rng rng(config.seed);
+  const int S = config.num_levels;
+  const int num_movies = kRosterSize + config.num_filler_movies;
+
+  FeatureSchema schema;
+  Result<int> id = schema.AddIdFeature(num_movies);
+  if (!id.ok()) return id.status();
+  Result<int> f_genre = schema.AddCategorical("genre", config.num_genres);
+  if (!f_genre.ok()) return f_genre.status();
+  Result<int> f_director =
+      schema.AddCategorical("director", config.num_directors);
+  if (!f_director.ok()) return f_director.status();
+  Result<int> f_actor = schema.AddCategorical("lead_actor", config.num_actors);
+  if (!f_actor.ok()) return f_actor.status();
+
+  ItemTable items(std::move(schema));
+  GroundTruth truth;
+  std::vector<double> release(static_cast<size_t>(num_movies));
+  std::vector<double> classic(static_cast<size_t>(num_movies));
+  std::vector<double> popularity(static_cast<size_t>(num_movies));
+
+  auto add_movie = [&](const std::string& title, int year, double classic_score,
+                       double pop) -> Status {
+    // Credits correlate with era and classic-ness: directors/actors are
+    // binned so that classics share a credit pool, giving the categorical
+    // features real signal.
+    const double era_unit =
+        std::clamp((year - kOldestRelease) /
+                       static_cast<double>(kEraEnd - kOldestRelease),
+                   0.0, 1.0);
+    const int director =
+        std::min(config.num_directors - 1,
+                 static_cast<int>(era_unit * config.num_directors * 0.7 +
+                                  rng.NextInt(config.num_directors) * 0.3));
+    const int actor =
+        std::min(config.num_actors - 1,
+                 static_cast<int>(era_unit * config.num_actors * 0.7 +
+                                  rng.NextInt(config.num_actors) * 0.3));
+    // Genres: lower ids = action/adventure-ish (light), higher =
+    // drama/noir-ish (classic).
+    const double genre_center = classic_score * (config.num_genres - 1);
+    std::vector<double> genre_weights(static_cast<size_t>(config.num_genres));
+    for (int g = 0; g < config.num_genres; ++g) {
+      const double d = g - genre_center;
+      genre_weights[static_cast<size_t>(g)] = std::exp(-0.08 * d * d);
+    }
+    const double values[] = {-1.0,
+                             static_cast<double>(rng.NextCategorical(genre_weights)),
+                             static_cast<double>(director),
+                             static_cast<double>(actor)};
+    Result<ItemId> added = items.AddItem(values, title);
+    if (!added.ok()) return added.status();
+    const size_t i = static_cast<size_t>(added.value());
+    release[i] = year;
+    classic[i] = classic_score;
+    popularity[i] = pop;
+    truth.difficulty.push_back(1.0 + classic_score * (S - 1));
+    return Status::OK();
+  };
+
+  for (const NamedMovie& movie : kRoster) {
+    UPSKILL_RETURN_IF_ERROR(
+        add_movie(movie.title, movie.year, movie.classic, movie.popularity));
+  }
+  for (int m = 0; m < config.num_filler_movies; ++m) {
+    const int year = kOldestRelease +
+                     static_cast<int>(rng.NextInt(kEraEnd - kOldestRelease));
+    // Older filler skews classic, newer skews light.
+    const double age_unit = 1.0 - (year - kOldestRelease) /
+                                      static_cast<double>(kEraEnd -
+                                                          kOldestRelease);
+    const double classic_score =
+        std::clamp(0.7 * age_unit + 0.3 * rng.NextDouble(), 0.0, 1.0);
+    const double pop = rng.NextLogNormal(0.0, 0.8);
+    UPSKILL_RETURN_IF_ERROR(add_movie(StringPrintf("Movie #%04d", m), year,
+                                      classic_score, pop));
+  }
+
+  Dataset dataset(std::move(items));
+  UPSKILL_RETURN_IF_ERROR(dataset.mutable_items().SetMetadata(
+      kFilmReleaseTimeKey, release));
+
+  // Precompute the taste force per (level, movie).
+  std::vector<std::vector<double>> taste(static_cast<size_t>(S));
+  for (int s = 1; s <= S; ++s) {
+    std::vector<double>& row = taste[static_cast<size_t>(s - 1)];
+    row.resize(static_cast<size_t>(num_movies));
+    const double alignment = S > 1
+                                 ? (static_cast<double>(s - 1) / (S - 1)) * 2.0 - 1.0
+                                 : 0.0;
+    for (int m = 0; m < num_movies; ++m) {
+      const double polarity = classic[static_cast<size_t>(m)] * 2.0 - 1.0;
+      row[static_cast<size_t>(m)] = std::exp(1.8 * alignment * polarity);
+    }
+  }
+
+  truth.skill.resize(static_cast<size_t>(config.num_users));
+  std::vector<double> weights(static_cast<size_t>(num_movies));
+  for (int u = 0; u < config.num_users; ++u) {
+    const UserId user = dataset.AddUser(StringPrintf("viewer-%04d", u));
+    const int64_t length =
+        std::max<int64_t>(1, rng.NextPoisson(config.mean_sequence_length));
+    int level = 1 + static_cast<int>(rng.NextInt(2));
+    std::vector<int>& levels = truth.skill[static_cast<size_t>(user)];
+    levels.reserve(static_cast<size_t>(length));
+    for (int64_t n = 0; n < length; ++n) {
+      // Action times sweep the era so release-year drift aligns with
+      // sequence position (the lastness confounder).
+      const double when =
+          kEraStart + (kEraEnd - kEraStart) *
+                          (static_cast<double>(n) + rng.NextDouble()) /
+                          static_cast<double>(length);
+      const std::vector<double>& taste_row =
+          taste[static_cast<size_t>(level - 1)];
+      for (int m = 0; m < num_movies; ++m) {
+        const size_t i = static_cast<size_t>(m);
+        double recency = 0.0;
+        if (release[i] <= when) {
+          recency = std::exp(-config.recency_decay * (when - release[i]));
+        }
+        weights[i] = popularity[i] *
+                     (config.recency_weight * recency +
+                      (1.0 - config.recency_weight) * taste_row[i] * 0.05);
+      }
+      const ItemId movie = static_cast<ItemId>(rng.NextCategorical(weights));
+      UPSKILL_RETURN_IF_ERROR(
+          dataset.AddAction(user, static_cast<int64_t>(when * 365.25), movie));
+      levels.push_back(level);
+      if (level < S && rng.NextBernoulli(config.level_up_probability)) {
+        ++level;
+      }
+    }
+  }
+
+  // Release metadata must be comparable with action times: convert years
+  // to the same day-resolution axis used above.
+  {
+    std::vector<double> release_days(release.size());
+    for (size_t i = 0; i < release.size(); ++i) {
+      release_days[i] = release[i] * 365.25;
+    }
+    UPSKILL_RETURN_IF_ERROR(dataset.mutable_items().SetMetadata(
+        kFilmReleaseTimeKey, std::move(release_days)));
+  }
+
+  GeneratedData data;
+  data.dataset = std::move(dataset);
+  data.truth = std::move(truth);
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace upskill

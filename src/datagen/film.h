@@ -1,0 +1,54 @@
+#ifndef UPSKILL_DATAGEN_FILM_H_
+#define UPSKILL_DATAGEN_FILM_H_
+
+#include "common/status.h"
+#include "datagen/types.h"
+
+namespace upskill {
+namespace datagen {
+
+/// Simulated MovieLens-style film data (substitute for MovieLens plus the
+/// crawled credits; see DESIGN.md). Movies carry the paper's features
+/// (Section VI-A): item ID, genre, director and lead actor (all
+/// categorical), plus a non-model "release_time" metadata column.
+///
+/// Two selection forces are planted:
+///  - **Lastness** (Section VI-C): users strongly prefer recently released
+///    movies, so release year drifts upward along every sequence. Without
+///    preprocessing, a progression model mistakes this drift for skill
+///    (Table IV). `FilterOldItems(dataset, kFilmReleaseTimeKey)` removes
+///    movies released after the earliest action, after which the true
+///    taste signal dominates (Table V).
+///  - **Taste maturation**: low skill favors light blockbusters, high
+///    skill favors classics. A roster of well-known titles (Star Wars,
+///    Casablanca, Citizen Kane, The Dark Knight, ...) is planted with high
+///    popularity so the reproduced Tables IV/V read like the paper's.
+struct FilmConfig {
+  int num_levels = 5;
+  int num_users = 1200;
+  /// Synthetic filler movies in addition to the named roster.
+  int num_filler_movies = 1400;
+  int num_genres = 18;
+  int num_directors = 240;
+  int num_actors = 400;
+  double mean_sequence_length = 80.0;
+  double level_up_probability = 0.03;
+  /// Decay (per year) of the recency preference; larger = stronger
+  /// lastness effect.
+  double recency_decay = 0.35;
+  /// Mixing weight of the recency force against the taste force, in
+  /// [0, 1].
+  double recency_weight = 0.75;
+  uint64_t seed = 1995;
+};
+
+/// Metadata key holding each movie's release time (same unit as action
+/// times: years).
+inline constexpr const char* kFilmReleaseTimeKey = "release_time";
+
+Result<GeneratedData> GenerateFilm(const FilmConfig& config);
+
+}  // namespace datagen
+}  // namespace upskill
+
+#endif  // UPSKILL_DATAGEN_FILM_H_

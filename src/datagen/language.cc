@@ -1,0 +1,164 @@
+#include "datagen/language.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace upskill {
+namespace datagen {
+
+namespace {
+
+// Correction-rule vocabulary. The first block is dominated by beginners
+// (capitalization, basic punctuation, missing pronouns), the second by
+// advanced learners (articles, brackets/annotator comments, prepositions),
+// and the tail is skill-neutral noise. Labels follow Table II's
+// "before -> after" style with "eps" for an empty side.
+struct RuleSpec {
+  const char* label;
+  // Unnormalized selection weight per skill tier: {beginner, mid, advanced}.
+  double weight[3];
+};
+
+constexpr RuleSpec kRules[] = {
+    // Beginner-dominated.
+    {"i -> I", {9.0, 4.0, 1.0}},
+    {"eps -> I", {6.0, 3.0, 1.0}},
+    {"english -> English", {5.0, 2.0, 0.7}},
+    {"eps -> a", {5.0, 3.0, 1.5}},
+    {"eps -> .", {5.0, 2.5, 1.0}},
+    {"eps -> my", {3.5, 2.0, 0.8}},
+    {". -> eps", {3.5, 2.0, 0.9}},
+    {"eps -> English", {3.0, 1.5, 0.6}},
+    {", -> eps", {3.0, 2.0, 1.0}},
+    {"i -> eps", {3.0, 1.5, 0.6}},
+    // Advanced-dominated.
+    {"eps -> the", {1.5, 3.5, 8.0}},
+    {"eps -> (", {0.5, 1.5, 5.0}},
+    {"eps -> )", {0.5, 1.5, 5.0}},
+    {"the -> eps", {1.0, 2.5, 5.0}},
+    {"eps -> of", {0.8, 2.0, 4.5}},
+    {"of -> eps", {0.6, 1.5, 3.0}},
+    {"eps -> [", {0.3, 1.0, 2.5}},
+    {"eps -> ]", {0.3, 1.0, 2.5}},
+    {"a -> the", {0.8, 1.8, 3.5}},
+    {"eps -> /", {0.3, 0.8, 2.0}},
+    // Skill-neutral noise rules.
+    {"is -> was", {2.0, 2.0, 2.0}},
+    {"go -> went", {2.0, 2.0, 2.0}},
+    {"eps -> ,", {2.5, 2.5, 2.5}},
+    {"very -> really", {1.5, 1.5, 1.5}},
+    {"eps -> to", {2.0, 2.0, 2.0}},
+    {"in -> on", {1.8, 1.8, 1.8}},
+    {"on -> in", {1.8, 1.8, 1.8}},
+    {"this -> that", {1.2, 1.2, 1.2}},
+    {"eps -> so", {1.0, 1.0, 1.0}},
+    {"because -> since", {0.8, 0.8, 0.8}},
+};
+
+constexpr int kNumRules = static_cast<int>(std::size(kRules));
+
+// Maps a 1-based level in [1, S] to a tier in {0, 1, 2}.
+int TierForLevel(int level, int num_levels) {
+  if (num_levels == 1) return 1;
+  const double t = static_cast<double>(level - 1) /
+                   static_cast<double>(num_levels - 1);
+  if (t < 1.0 / 3.0) return 0;
+  if (t < 2.0 / 3.0) return 1;
+  return 2;
+}
+
+// Fig. 4b: corrections per corrector falls with skill (paper means 5.06,
+// 4.85, 2.64 for S = 3).
+double CorrectionsMean(int tier) {
+  constexpr double kMeans[3] = {5.0, 4.8, 2.6};
+  return kMeans[tier];
+}
+
+// Percentage of sentences corrected, also falling with skill.
+double PctCorrectedMean(int tier) {
+  constexpr double kMeans[3] = {62.0, 45.0, 24.0};
+  return kMeans[tier];
+}
+
+}  // namespace
+
+Result<GeneratedData> GenerateLanguage(const LanguageConfig& config) {
+  if (config.num_levels < 2) {
+    return Status::InvalidArgument("language generator needs num_levels >= 2");
+  }
+  if (config.num_users < 1) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+  Rng rng(config.seed);
+
+  std::vector<std::string> rule_labels;
+  rule_labels.reserve(static_cast<size_t>(kNumRules));
+  for (const RuleSpec& rule : kRules) rule_labels.push_back(rule.label);
+
+  FeatureSchema schema;
+  Result<int> f0 = schema.AddCount("sentence_count");
+  if (!f0.ok()) return f0.status();
+  Result<int> f1 =
+      schema.AddReal("corrections_per_corrector", DistributionKind::kGamma);
+  if (!f1.ok()) return f1.status();
+  Result<int> f2 = schema.AddReal("pct_corrected", DistributionKind::kGamma);
+  if (!f2.ok()) return f2.status();
+  Result<int> f3 = schema.AddCategorical("correction_rule", kNumRules,
+                                         std::move(rule_labels));
+  if (!f3.ok()) return f3.status();
+
+  Dataset dataset((ItemTable(std::move(schema))));
+  GroundTruth truth;
+  truth.skill.resize(static_cast<size_t>(config.num_users));
+
+  std::vector<double> rule_weights(static_cast<size_t>(kNumRules));
+  for (int u = 0; u < config.num_users; ++u) {
+    const UserId user = dataset.AddUser(StringPrintf("learner-%05d", u));
+    const bool dedicated = rng.NextBernoulli(config.dedicated_user_fraction);
+    const int64_t length = std::max<int64_t>(
+        1, rng.NextPoisson(dedicated ? config.dedicated_mean_articles
+                                     : config.casual_mean_articles));
+    int level = 1;  // learners start at the bottom in this domain
+    std::vector<int>& levels = truth.skill[static_cast<size_t>(user)];
+    levels.reserve(static_cast<size_t>(length));
+    for (int64_t n = 0; n < length; ++n) {
+      const int tier = TierForLevel(level, config.num_levels);
+      // Each action writes a brand-new article (item occurs once).
+      const double sentences =
+          static_cast<double>(std::max<int64_t>(1, rng.NextPoisson(11.0)));
+      const double corrections =
+          rng.NextGamma(3.0, CorrectionsMean(tier) / 3.0);
+      const double pct = rng.NextGamma(6.0, PctCorrectedMean(tier) / 6.0);
+      for (int r = 0; r < kNumRules; ++r) {
+        rule_weights[static_cast<size_t>(r)] = kRules[r].weight[tier];
+      }
+      const double rule =
+          static_cast<double>(rng.NextCategorical(rule_weights));
+      const double values[] = {sentences, corrections, pct, rule};
+      Result<ItemId> item = dataset.mutable_items().AddItem(
+          values, StringPrintf("article-%d-%lld", u,
+                               static_cast<long long>(n)));
+      if (!item.ok()) return item.status();
+      // Item difficulty tracks the author's level: harder articles are the
+      // ones only skilled writers produce.
+      truth.difficulty.push_back(static_cast<double>(level));
+      UPSKILL_RETURN_IF_ERROR(dataset.AddAction(user, n, item.value()));
+      levels.push_back(level);
+      if (level < config.num_levels &&
+          rng.NextBernoulli(config.level_up_probability)) {
+        ++level;
+      }
+    }
+  }
+
+  GeneratedData data;
+  data.dataset = std::move(dataset);
+  data.truth = std::move(truth);
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace upskill

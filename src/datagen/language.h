@@ -1,0 +1,44 @@
+#ifndef UPSKILL_DATAGEN_LANGUAGE_H_
+#define UPSKILL_DATAGEN_LANGUAGE_H_
+
+#include "common/status.h"
+#include "datagen/types.h"
+
+namespace upskill {
+namespace datagen {
+
+/// Simulated Lang-8-style language-learning data (substitute for the NAIST
+/// Lang-8 corpus; see DESIGN.md). Every action posts a *new* article, so
+/// each item occurs exactly once and the schema has no item-ID feature —
+/// the property that motivates the paper's multi-faceted model for this
+/// domain. Articles carry four features:
+///   - sentence count (Poisson, level-independent — the paper found no
+///     trend, Fig. 4a);
+///   - mean corrections per corrector (gamma, decreasing with skill,
+///     Fig. 4b);
+///   - percentage of corrected sentences (gamma, decreasing with skill);
+///   - dominant correction rule (categorical; capitalization/punctuation
+///     rules dominate low skill, article/bracket rules high skill —
+///     Table II).
+struct LanguageConfig {
+  int num_levels = 3;  // the paper selects S = 3 for this domain
+  int num_users = 4000;
+  /// Most users post a handful of articles; a heavy tail posts many
+  /// (mirrors Lang-8's mean of ~4.8 actions/user with some power users).
+  double casual_mean_articles = 4.0;
+  double dedicated_mean_articles = 70.0;
+  double dedicated_user_fraction = 0.08;
+  /// Per-action probability of improving one level.
+  double level_up_probability = 0.05;
+  uint64_t seed = 81;
+};
+
+/// Index of rule labels in the generated "correction_rule" vocabulary is
+/// stable; labels include the rules the paper lists in Table II (e.g.
+/// "i -> I", "eps -> the").
+Result<GeneratedData> GenerateLanguage(const LanguageConfig& config);
+
+}  // namespace datagen
+}  // namespace upskill
+
+#endif  // UPSKILL_DATAGEN_LANGUAGE_H_

@@ -1,0 +1,153 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace upskill {
+namespace datagen {
+
+namespace {
+
+// Level-conditioned feature distributions (Section VI-A step 1).
+
+// Categorical: the favored value is (s-1) mod C with the bulk of the
+// mass; remaining mass spreads uniformly, so neighbouring levels overlap
+// but remain separable.
+std::vector<double> CategoricalWeights(int level, int cardinality) {
+  std::vector<double> weights(static_cast<size_t>(cardinality),
+                              0.4 / (cardinality - 1));
+  weights[static_cast<size_t>((level - 1) % cardinality)] = 0.6;
+  return weights;
+}
+
+// Gamma: fixed shape, level-increasing mean.
+constexpr double kGammaShape = 6.0;
+double GammaMean(int level) { return 1.5 + 2.0 * level; }
+
+// Poisson: level-increasing rate.
+double PoissonRate(int level) { return 2.0 + 2.0 * level; }
+
+}  // namespace
+
+Result<GeneratedData> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.num_levels < 1) {
+    return Status::InvalidArgument("num_levels must be >= 1");
+  }
+  if (config.num_items % config.num_levels != 0) {
+    return Status::InvalidArgument(
+        "num_items must be a multiple of num_levels (equal pools)");
+  }
+  if (config.categorical_cardinality < 2) {
+    return Status::InvalidArgument("categorical cardinality must be >= 2");
+  }
+  if (!(config.at_level_probability >= 0.0 &&
+        config.at_level_probability <= 1.0) ||
+      !(config.level_up_probability >= 0.0 &&
+        config.level_up_probability <= 1.0)) {
+    return Status::InvalidArgument("probabilities must be in [0, 1]");
+  }
+
+  Rng rng(config.seed);
+  const int S = config.num_levels;
+  const int per_level = config.num_items / S;
+
+  // Schema: item ID + one categorical + one gamma + one Poisson feature.
+  FeatureSchema schema;
+  Result<int> id = schema.AddIdFeature(config.num_items);
+  if (!id.ok()) return id.status();
+  Result<int> cat =
+      schema.AddCategorical("category", config.categorical_cardinality);
+  if (!cat.ok()) return cat.status();
+  Result<int> real = schema.AddReal("intensity", DistributionKind::kGamma);
+  if (!real.ok()) return real.status();
+  Result<int> count = schema.AddCount("complexity");
+  if (!count.ok()) return count.status();
+
+  // Step 2: the same number of items per level; difficulty = level.
+  ItemTable items(std::move(schema));
+  GroundTruth truth;
+  truth.difficulty.reserve(static_cast<size_t>(config.num_items));
+  for (int s = 1; s <= S; ++s) {
+    const std::vector<double> weights =
+        CategoricalWeights(s, config.categorical_cardinality);
+    for (int n = 0; n < per_level; ++n) {
+      const double category = static_cast<double>(rng.NextCategorical(weights));
+      const double intensity =
+          rng.NextGamma(kGammaShape, GammaMean(s) / kGammaShape);
+      // Poisson counts may be 0; the schema allows that.
+      const double complexity =
+          static_cast<double>(rng.NextPoisson(PoissonRate(s)));
+      const double values[] = {-1.0, category, intensity, complexity};
+      Result<ItemId> added = items.AddItem(values);
+      if (!added.ok()) return added.status();
+      truth.difficulty.push_back(static_cast<double>(s));
+    }
+  }
+
+  // Step 3: user sequences with monotone latent skill.
+  Dataset dataset(std::move(items));
+  truth.skill.resize(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    const UserId user = dataset.AddUser(StringPrintf("user-%05d", u));
+    // (a) Sequence length ~ Poisson(mean), at least 1.
+    const int64_t length =
+        std::max<int64_t>(1, rng.NextPoisson(config.mean_sequence_length));
+    // (b) Initial level uniform over S.
+    int level = 1 + static_cast<int>(rng.NextInt(S));
+    // Learner speed class (heterogeneous speeds are an extension knob).
+    const bool fast = config.fast_user_fraction > 0.0 &&
+                      rng.NextBernoulli(config.fast_user_fraction);
+    if (config.fast_user_fraction > 0.0) {
+      truth.user_class.push_back(fast ? 1 : 0);
+    }
+    const double level_up_probability =
+        fast ? std::min(1.0, config.level_up_probability *
+                                 config.fast_multiplier)
+             : config.level_up_probability;
+    std::vector<int>& levels = truth.skill[static_cast<size_t>(user)];
+    levels.reserve(static_cast<size_t>(length));
+    int64_t now = 0;
+    for (int64_t n = 0; n < length; ++n) {
+      // Forgetting extension: an occasional long break degrades skill.
+      if (n > 0) {
+        if (config.break_probability > 0.0 &&
+            rng.NextBernoulli(config.break_probability)) {
+          now += config.break_gap;
+          if (level > 1 && rng.NextBernoulli(config.forget_probability)) {
+            --level;
+          }
+        } else {
+          now += 1;
+        }
+      }
+      // (c) At-level pool with probability p, else a uniformly chosen
+      // easier pool (level 1 users only have the at-level pool).
+      int pool_level = level;
+      const bool at_level =
+          level == 1 || rng.NextBernoulli(config.at_level_probability);
+      if (!at_level) {
+        pool_level = 1 + static_cast<int>(rng.NextInt(level - 1));
+      }
+      const ItemId item = static_cast<ItemId>(
+          static_cast<int64_t>(pool_level - 1) * per_level +
+          rng.NextInt(per_level));
+      UPSKILL_RETURN_IF_ERROR(dataset.AddAction(user, now, item));
+      levels.push_back(level);
+      // (d) Level up only after an at-level selection.
+      if (pool_level == level && level < S &&
+          rng.NextBernoulli(level_up_probability)) {
+        ++level;
+      }
+    }
+  }
+
+  GeneratedData data;
+  data.dataset = std::move(dataset);
+  data.truth = std::move(truth);
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace upskill

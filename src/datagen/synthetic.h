@@ -1,0 +1,55 @@
+#ifndef UPSKILL_DATAGEN_SYNTHETIC_H_
+#define UPSKILL_DATAGEN_SYNTHETIC_H_
+
+#include "common/status.h"
+#include "datagen/types.h"
+
+namespace upskill {
+namespace datagen {
+
+/// Parameters of the paper's synthetic generator (Section VI-A, steps
+/// 1-3). Defaults reproduce the "Synthetic" dataset: 10,000 users, 50,000
+/// items (10,000 per level), sequence lengths ~ Poisson(50), at-level
+/// selection probability 0.5, level-up probability 0.1. Setting num_items
+/// to 10,000 reproduces "Synthetic_dense" (Section VI-D, data sparsity).
+struct SyntheticConfig {
+  int num_levels = 5;
+  int num_users = 10000;
+  /// Total items; must be a multiple of num_levels (equal pools).
+  int num_items = 50000;
+  /// Cardinality of the non-ID categorical feature.
+  int categorical_cardinality = 10;
+  double mean_sequence_length = 50.0;
+  /// Probability of drawing the next item from the at-level pool
+  /// (otherwise an easier pool is used).
+  double at_level_probability = 0.5;
+  /// Probability the user levels up after an at-level selection.
+  double level_up_probability = 0.1;
+  /// Heterogeneous learner speeds (off by default): this fraction of
+  /// users levels up `fast_multiplier` times more readily. Ground truth
+  /// records each user's class (0 = regular, 1 = fast) so the
+  /// progression-class component (TransitionModel::kPerClass) can be
+  /// validated.
+  double fast_user_fraction = 0.0;
+  double fast_multiplier = 4.0;
+  /// Forgetting extension (off by default, matching the paper's setup):
+  /// with `break_probability` per step the user goes on a long break of
+  /// `break_gap` time units, after which their skill drops one level with
+  /// `forget_probability` (Ebbinghaus-style decay, Section VII).
+  double break_probability = 0.0;
+  int64_t break_gap = 1000;
+  double forget_probability = 0.8;
+  uint64_t seed = 20200407;  // ICDE 2020 start date
+};
+
+/// Generates the dataset. Items carry four features: the item ID, a
+/// categorical whose favored value cycles with the level, a gamma with
+/// level-increasing mean, and a Poisson with level-increasing mean. Each
+/// item's true difficulty equals the level whose distributions produced
+/// it.
+Result<GeneratedData> GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace datagen
+}  // namespace upskill
+
+#endif  // UPSKILL_DATAGEN_SYNTHETIC_H_

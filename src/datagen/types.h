@@ -1,0 +1,35 @@
+#ifndef UPSKILL_DATAGEN_TYPES_H_
+#define UPSKILL_DATAGEN_TYPES_H_
+
+#include <vector>
+
+#include "core/skill_model.h"
+#include "data/dataset.h"
+
+namespace upskill {
+namespace datagen {
+
+/// Latent state used to generate a dataset, kept alongside it so
+/// experiments can score recovered skill/difficulty against the truth
+/// (Section VI-D) and tests can verify that generators plant the intended
+/// structure.
+struct GroundTruth {
+  /// True skill level of each action, aligned with the dataset sequences.
+  SkillAssignments skill;
+  /// True difficulty per item, on the same [1, S] scale.
+  std::vector<double> difficulty;
+  /// Latent per-user progression class, when the generator distinguishes
+  /// learner speeds (0 = default/slow; empty when homogeneous).
+  std::vector<int> user_class;
+};
+
+/// A generated dataset plus its latent ground truth.
+struct GeneratedData {
+  Dataset dataset;
+  GroundTruth truth;
+};
+
+}  // namespace datagen
+}  // namespace upskill
+
+#endif  // UPSKILL_DATAGEN_TYPES_H_

@@ -1,0 +1,133 @@
+#include "dist/categorical.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+Categorical::Categorical(int cardinality, double smoothing)
+    : cardinality_(cardinality), smoothing_(smoothing) {
+  UPSKILL_CHECK(cardinality_ > 0);
+  UPSKILL_CHECK(smoothing_ >= 0.0);
+  probs_.assign(static_cast<size_t>(cardinality_),
+                1.0 / static_cast<double>(cardinality_));
+  RecomputeLogProbs();
+}
+
+double Categorical::LogProb(double x) const {
+  const int c = static_cast<int>(x);
+  if (c < 0 || c >= cardinality_ || static_cast<double>(c) != x) {
+    return kNegInf;
+  }
+  return log_probs_[static_cast<size_t>(c)];
+}
+
+void Categorical::Fit(std::span<const double> values) {
+  if (values.empty()) return;
+  std::vector<double> counts(static_cast<size_t>(cardinality_), 0.0);
+  double total = 0.0;
+  for (double v : values) {
+    const int c = static_cast<int>(v);
+    UPSKILL_CHECK(c >= 0 && c < cardinality_);
+    counts[static_cast<size_t>(c)] += 1.0;
+    total += 1.0;
+  }
+  const double denom = smoothing_ * static_cast<double>(cardinality_) + total;
+  UPSKILL_CHECK(denom > 0.0);
+  for (int c = 0; c < cardinality_; ++c) {
+    probs_[static_cast<size_t>(c)] =
+        (smoothing_ + counts[static_cast<size_t>(c)]) / denom;
+  }
+  RecomputeLogProbs();
+}
+
+void Categorical::FitWeighted(std::span<const double> values,
+                              std::span<const double> weights) {
+  UPSKILL_CHECK(values.size() == weights.size());
+  std::vector<double> counts(static_cast<size_t>(cardinality_), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double w = weights[i];
+    UPSKILL_CHECK(w >= 0.0);
+    if (w == 0.0) continue;
+    const int c = static_cast<int>(values[i]);
+    UPSKILL_CHECK(c >= 0 && c < cardinality_);
+    counts[static_cast<size_t>(c)] += w;
+    total += w;
+  }
+  if (total <= 0.0) return;
+  const double denom = smoothing_ * static_cast<double>(cardinality_) + total;
+  for (int c = 0; c < cardinality_; ++c) {
+    probs_[static_cast<size_t>(c)] =
+        (smoothing_ + counts[static_cast<size_t>(c)]) / denom;
+  }
+  RecomputeLogProbs();
+}
+
+double Categorical::Sample(Rng& rng) const {
+  return static_cast<double>(rng.NextCategorical(probs_));
+}
+
+double Categorical::Mean() const {
+  double mean = 0.0;
+  for (int c = 0; c < cardinality_; ++c) {
+    mean += static_cast<double>(c) * probs_[static_cast<size_t>(c)];
+  }
+  return mean;
+}
+
+std::unique_ptr<Distribution> Categorical::Clone() const {
+  return std::make_unique<Categorical>(*this);
+}
+
+std::vector<double> Categorical::Parameters() const { return probs_; }
+
+Status Categorical::SetParameters(std::span<const double> params) {
+  return SetProbabilities(params);
+}
+
+Status Categorical::SetProbabilities(std::span<const double> probs) {
+  if (static_cast<int>(probs.size()) != cardinality_) {
+    return Status::InvalidArgument(StringPrintf(
+        "categorical expects %d probabilities, got %zu", cardinality_,
+        probs.size()));
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0) return Status::InvalidArgument("negative probability");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        StringPrintf("probabilities sum to %f, expected 1", total));
+  }
+  probs_.assign(probs.begin(), probs.end());
+  RecomputeLogProbs();
+  return Status::OK();
+}
+
+double Categorical::Probability(int c) const {
+  if (c < 0 || c >= cardinality_) return 0.0;
+  return probs_[static_cast<size_t>(c)];
+}
+
+std::string Categorical::DebugString() const {
+  return StringPrintf("Categorical(C=%d, lambda=%g)", cardinality_,
+                      smoothing_);
+}
+
+void Categorical::RecomputeLogProbs() {
+  log_probs_.resize(probs_.size());
+  for (size_t c = 0; c < probs_.size(); ++c) {
+    log_probs_[c] = probs_[c] > 0.0 ? std::log(probs_[c]) : kNegInf;
+  }
+}
+
+}  // namespace upskill

@@ -1,0 +1,60 @@
+#ifndef UPSKILL_DIST_CATEGORICAL_H_
+#define UPSKILL_DIST_CATEGORICAL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace upskill {
+
+/// Categorical distribution over {0, ..., cardinality-1} with additive
+/// (Laplace) smoothing. The smoothed MLE is Equation 6 of the paper:
+///
+///   theta_c = (lambda + n_c) / (lambda * C + n)
+///
+/// with pseudo-count lambda (paper default 0.01, following Shin et al.).
+class Categorical : public Distribution {
+ public:
+  /// Creates a uniform categorical over `cardinality` values.
+  /// `smoothing` is the additive pseudo-count lambda used by Fit().
+  Categorical(int cardinality, double smoothing);
+
+  DistributionKind kind() const override {
+    return DistributionKind::kCategorical;
+  }
+  double LogProb(double x) const override;
+  void Fit(std::span<const double> values) override;
+  void FitWeighted(std::span<const double> values,
+                   std::span<const double> weights) override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+  std::vector<double> Parameters() const override;
+  Status SetParameters(std::span<const double> params) override;
+  std::string DebugString() const override;
+
+  int cardinality() const { return cardinality_; }
+  double smoothing() const { return smoothing_; }
+
+  /// Probability of category `c` (0 for out-of-range categories).
+  double Probability(int c) const;
+
+  /// Directly sets the probability vector (must be non-negative and sum to
+  /// ~1); used by data generators and tests.
+  Status SetProbabilities(std::span<const double> probs);
+
+ private:
+  int cardinality_;
+  double smoothing_;
+  std::vector<double> probs_;
+  std::vector<double> log_probs_;
+
+  void RecomputeLogProbs();
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DIST_CATEGORICAL_H_

@@ -1,0 +1,27 @@
+#include "dist/distribution.h"
+
+namespace upskill {
+
+const char* DistributionKindToString(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kCategorical:
+      return "categorical";
+    case DistributionKind::kPoisson:
+      return "poisson";
+    case DistributionKind::kGamma:
+      return "gamma";
+    case DistributionKind::kLogNormal:
+      return "lognormal";
+  }
+  return "unknown";
+}
+
+Result<DistributionKind> DistributionKindFromString(const std::string& name) {
+  if (name == "categorical") return DistributionKind::kCategorical;
+  if (name == "poisson") return DistributionKind::kPoisson;
+  if (name == "gamma") return DistributionKind::kGamma;
+  if (name == "lognormal") return DistributionKind::kLogNormal;
+  return Status::InvalidArgument("unknown distribution kind: " + name);
+}
+
+}  // namespace upskill

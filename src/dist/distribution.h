@@ -1,0 +1,80 @@
+#ifndef UPSKILL_DIST_DISTRIBUTION_H_
+#define UPSKILL_DIST_DISTRIBUTION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace upskill {
+
+/// Kinds of per-feature generative components supported by the skill model
+/// (Section IV-A): categorical for discrete attributes, Poisson for counts,
+/// gamma and log-normal for positive real-valued attributes.
+enum class DistributionKind {
+  kCategorical,
+  kPoisson,
+  kGamma,
+  kLogNormal,
+};
+
+/// Short stable name used in serialized models ("categorical", ...).
+const char* DistributionKindToString(DistributionKind kind);
+
+/// Parses the serialized name back into a kind.
+Result<DistributionKind> DistributionKindFromString(const std::string& name);
+
+/// A univariate probability distribution P_f(x | theta_f(s)) for one item
+/// feature at one skill level. Implementations are value-semantic via
+/// Clone(); observations are passed as doubles (categorical values are
+/// non-negative integer indices stored exactly in a double).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual DistributionKind kind() const = 0;
+
+  /// Log density / log mass at `x`. Out-of-support observations yield
+  /// -infinity rather than an error, matching the likelihood semantics of
+  /// Equation 3.
+  virtual double LogProb(double x) const = 0;
+
+  /// Maximum-likelihood re-fit from the given observations (the update
+  /// step, Equations 5-7). Implementations must tolerate an empty span by
+  /// keeping their current parameters, because a skill level can receive
+  /// zero assigned actions in an iteration.
+  virtual void Fit(std::span<const double> values) = 0;
+
+  /// Weighted maximum-likelihood re-fit: observation i carries
+  /// non-negative weight `weights[i]` (the E-step responsibilities of the
+  /// EM trainer). Keeps current parameters when the total weight is
+  /// (numerically) zero. Spans must have equal length.
+  virtual void FitWeighted(std::span<const double> values,
+                           std::span<const double> weights) = 0;
+
+  /// Draws one observation.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Expected value under the current parameters.
+  virtual double Mean() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
+
+  /// Flat parameter vector (layout is implementation-defined but stable,
+  /// and accepted by SetParameters).
+  virtual std::vector<double> Parameters() const = 0;
+
+  /// Restores parameters produced by Parameters().
+  virtual Status SetParameters(std::span<const double> params) = 0;
+
+  /// Human-readable one-line summary, e.g. "Poisson(lambda=4.20)".
+  virtual std::string DebugString() const = 0;
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DIST_DISTRIBUTION_H_

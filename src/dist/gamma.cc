@@ -1,0 +1,118 @@
+#include "dist/gamma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kEpsilon = 1e-10;    // clamp for non-positive observations
+constexpr double kMinShape = 1e-4;
+constexpr double kMaxShape = 1e6;
+constexpr int kMaxNewtonIters = 50;
+}  // namespace
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  UPSKILL_CHECK(shape_ > 0.0);
+  UPSKILL_CHECK(scale_ > 0.0);
+}
+
+double Gamma::LogProb(double x) const {
+  if (x <= 0.0) return kNegInf;
+  return (shape_ - 1.0) * std::log(x) - x / scale_ - LogGamma(shape_) -
+         shape_ * std::log(scale_);
+}
+
+namespace {
+
+// MLE shape from the moment statistics: solves
+// log(k) - psi(k) = log(mean) - mean(log x) by Newton from Minka's
+// closed-form start.
+double SolveShape(double mean, double mean_log) {
+  // s >= 0 by Jensen; s == 0 means all observations are (numerically)
+  // identical, where the MLE degenerates to a point mass. Keep a sharp but
+  // finite fit in that case.
+  const double s = std::log(mean) - mean_log;
+  if (s < 1e-9) return kMaxShape;
+  double shape =
+      (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
+  for (int iter = 0; iter < kMaxNewtonIters; ++iter) {
+    const double f = std::log(shape) - Digamma(shape) - s;
+    const double df = 1.0 / shape - Trigamma(shape);
+    const double next = shape - f / df;
+    if (!(next > 0.0) || !std::isfinite(next)) break;
+    const bool converged = std::abs(next - shape) <= 1e-10 * shape;
+    shape = next;
+    if (converged) break;
+  }
+  return shape;
+}
+
+}  // namespace
+
+void Gamma::Fit(std::span<const double> values) {
+  if (values.empty()) return;
+  double sum = 0.0;
+  double sum_log = 0.0;
+  for (double v : values) {
+    const double x = std::max(v, kEpsilon);
+    sum += x;
+    sum_log += std::log(x);
+  }
+  const double n = static_cast<double>(values.size());
+  shape_ = std::clamp(SolveShape(sum / n, sum_log / n), kMinShape, kMaxShape);
+  scale_ = std::max((sum / n) / shape_, kEpsilon);
+}
+
+void Gamma::FitWeighted(std::span<const double> values,
+                        std::span<const double> weights) {
+  UPSKILL_CHECK(values.size() == weights.size());
+  double sum = 0.0;
+  double sum_log = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double w = weights[i];
+    UPSKILL_CHECK(w >= 0.0);
+    if (w == 0.0) continue;
+    const double x = std::max(values[i], kEpsilon);
+    sum += w * x;
+    sum_log += w * std::log(x);
+    total += w;
+  }
+  if (total <= 0.0) return;
+  shape_ = std::clamp(SolveShape(sum / total, sum_log / total), kMinShape,
+                      kMaxShape);
+  scale_ = std::max((sum / total) / shape_, kEpsilon);
+}
+
+double Gamma::Sample(Rng& rng) const { return rng.NextGamma(shape_, scale_); }
+
+std::unique_ptr<Distribution> Gamma::Clone() const {
+  return std::make_unique<Gamma>(*this);
+}
+
+std::vector<double> Gamma::Parameters() const { return {shape_, scale_}; }
+
+Status Gamma::SetParameters(std::span<const double> params) {
+  if (params.size() != 2) {
+    return Status::InvalidArgument("gamma expects 2 parameters");
+  }
+  if (params[0] <= 0.0 || params[1] <= 0.0) {
+    return Status::InvalidArgument("gamma parameters must be positive");
+  }
+  shape_ = params[0];
+  scale_ = params[1];
+  return Status::OK();
+}
+
+std::string Gamma::DebugString() const {
+  return StringPrintf("Gamma(k=%.4f, theta=%.4f)", shape_, scale_);
+}
+
+}  // namespace upskill

@@ -1,0 +1,89 @@
+#include "dist/lognormal.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kEpsilon = 1e-10;
+constexpr double kMinSigma = 1e-4;
+}  // namespace
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  UPSKILL_CHECK(sigma_ > 0.0);
+}
+
+double LogNormal::LogProb(double x) const {
+  if (x <= 0.0) return kNegInf;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x) - std::log(sigma_) -
+         0.5 * std::log(2.0 * M_PI);
+}
+
+void LogNormal::Fit(std::span<const double> values) {
+  if (values.empty()) return;
+  RunningStats stats;
+  for (double v : values) stats.Add(std::log(std::max(v, kEpsilon)));
+  mu_ = stats.mean();
+  sigma_ = std::max(kMinSigma, stats.stddev());
+}
+
+void LogNormal::FitWeighted(std::span<const double> values,
+                            std::span<const double> weights) {
+  UPSKILL_CHECK(values.size() == weights.size());
+  double total = 0.0;
+  double mean = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    UPSKILL_CHECK(weights[i] >= 0.0);
+    total += weights[i];
+    mean += weights[i] * std::log(std::max(values[i], kEpsilon));
+  }
+  if (total <= 0.0) return;
+  mean /= total;
+  double variance = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double d = std::log(std::max(values[i], kEpsilon)) - mean;
+    variance += weights[i] * d * d;
+  }
+  variance /= total;
+  mu_ = mean;
+  sigma_ = std::max(kMinSigma, std::sqrt(variance));
+}
+
+double LogNormal::Sample(Rng& rng) const {
+  return rng.NextLogNormal(mu_, sigma_);
+}
+
+double LogNormal::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::unique_ptr<Distribution> LogNormal::Clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+std::vector<double> LogNormal::Parameters() const { return {mu_, sigma_}; }
+
+Status LogNormal::SetParameters(std::span<const double> params) {
+  if (params.size() != 2) {
+    return Status::InvalidArgument("lognormal expects 2 parameters");
+  }
+  if (params[1] <= 0.0) {
+    return Status::InvalidArgument("lognormal sigma must be positive");
+  }
+  mu_ = params[0];
+  sigma_ = params[1];
+  return Status::OK();
+}
+
+std::string LogNormal::DebugString() const {
+  return StringPrintf("LogNormal(mu=%.4f, sigma=%.4f)", mu_, sigma_);
+}
+
+}  // namespace upskill

@@ -1,0 +1,45 @@
+#ifndef UPSKILL_DIST_LOGNORMAL_H_
+#define UPSKILL_DIST_LOGNORMAL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace upskill {
+
+/// Log-normal distribution, the paper's alternative to gamma for positive
+/// real-valued features (Section IV-A). Fit() is the exact MLE: mean and
+/// variance of log-observations. A variance floor keeps the density proper
+/// when a level's observations are all identical.
+class LogNormal : public Distribution {
+ public:
+  LogNormal(double mu = 0.0, double sigma = 1.0);
+
+  DistributionKind kind() const override {
+    return DistributionKind::kLogNormal;
+  }
+  double LogProb(double x) const override;
+  void Fit(std::span<const double> values) override;
+  void FitWeighted(std::span<const double> values,
+                   std::span<const double> weights) override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::unique_ptr<Distribution> Clone() const override;
+  std::vector<double> Parameters() const override;
+  Status SetParameters(std::span<const double> params) override;
+  std::string DebugString() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DIST_LOGNORMAL_H_

@@ -1,0 +1,78 @@
+#include "dist/poisson.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "common/string_util.h"
+
+namespace upskill {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+// Smallest rate retained after fitting, so that observing a positive count
+// under an (almost) all-zero level stays finitely unlikely instead of
+// impossible.
+constexpr double kMinRate = 1e-8;
+}  // namespace
+
+Poisson::Poisson(double rate) : rate_(rate) { UPSKILL_CHECK(rate_ > 0.0); }
+
+double Poisson::LogProb(double x) const {
+  const long long k = static_cast<long long>(x);
+  if (k < 0 || static_cast<double>(k) != x) return kNegInf;
+  return static_cast<double>(k) * std::log(rate_) - rate_ - LogFactorial(k);
+}
+
+void Poisson::Fit(std::span<const double> values) {
+  if (values.empty()) return;
+  double sum = 0.0;
+  for (double v : values) {
+    UPSKILL_CHECK(v >= 0.0);
+    sum += v;
+  }
+  rate_ = std::max(kMinRate, sum / static_cast<double>(values.size()));
+}
+
+void Poisson::FitWeighted(std::span<const double> values,
+                          std::span<const double> weights) {
+  UPSKILL_CHECK(values.size() == weights.size());
+  double weighted_sum = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    UPSKILL_CHECK(weights[i] >= 0.0);
+    UPSKILL_CHECK(values[i] >= 0.0);
+    weighted_sum += weights[i] * values[i];
+    total += weights[i];
+  }
+  if (total <= 0.0) return;
+  rate_ = std::max(kMinRate, weighted_sum / total);
+}
+
+double Poisson::Sample(Rng& rng) const {
+  return static_cast<double>(rng.NextPoisson(rate_));
+}
+
+std::unique_ptr<Distribution> Poisson::Clone() const {
+  return std::make_unique<Poisson>(*this);
+}
+
+std::vector<double> Poisson::Parameters() const { return {rate_}; }
+
+Status Poisson::SetParameters(std::span<const double> params) {
+  if (params.size() != 1) {
+    return Status::InvalidArgument("poisson expects 1 parameter");
+  }
+  if (params[0] <= 0.0) {
+    return Status::InvalidArgument("poisson rate must be positive");
+  }
+  rate_ = params[0];
+  return Status::OK();
+}
+
+std::string Poisson::DebugString() const {
+  return StringPrintf("Poisson(lambda=%.4f)", rate_);
+}
+
+}  // namespace upskill

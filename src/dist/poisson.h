@@ -1,0 +1,41 @@
+#ifndef UPSKILL_DIST_POISSON_H_
+#define UPSKILL_DIST_POISSON_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace upskill {
+
+/// Poisson distribution for count-valued item features (e.g. the number of
+/// steps in a recipe). The MLE is the sample mean (Equation 7). A small
+/// floor keeps the rate strictly positive so LogProb stays finite after
+/// fitting an all-zero level.
+class Poisson : public Distribution {
+ public:
+  explicit Poisson(double rate = 1.0);
+
+  DistributionKind kind() const override { return DistributionKind::kPoisson; }
+  double LogProb(double x) const override;
+  void Fit(std::span<const double> values) override;
+  void FitWeighted(std::span<const double> values,
+                   std::span<const double> weights) override;
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return rate_; }
+  std::unique_ptr<Distribution> Clone() const override;
+  std::vector<double> Parameters() const override;
+  Status SetParameters(std::span<const double> params) override;
+  std::string DebugString() const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DIST_POISSON_H_

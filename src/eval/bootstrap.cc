@@ -1,0 +1,55 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace upskill {
+namespace eval {
+
+Result<ConfidenceInterval> BootstrapConfidenceInterval(
+    std::span<const double> x, std::span<const double> y,
+    const PairedStatistic& statistic, int num_resamples, double alpha,
+    Rng& rng) {
+  if (x.size() != y.size()) return Status::InvalidArgument("size mismatch");
+  if (x.empty()) return Status::InvalidArgument("empty sample");
+  if (num_resamples < 2) {
+    return Status::InvalidArgument("need at least 2 resamples");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+
+  const size_t n = x.size();
+  std::vector<double> rx(n);
+  std::vector<double> ry(n);
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<size_t>(num_resamples));
+  for (int b = 0; b < num_resamples; ++b) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j =
+          static_cast<size_t>(rng.NextInt(static_cast<int64_t>(n)));
+      rx[i] = x[j];
+      ry[i] = y[j];
+    }
+    estimates.push_back(statistic(rx, ry));
+  }
+  std::sort(estimates.begin(), estimates.end());
+
+  const auto quantile = [&estimates](double q) {
+    const double pos = q * static_cast<double>(estimates.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = std::min(lo + 1, estimates.size() - 1);
+    const double frac = pos - std::floor(pos);
+    return estimates[lo] * (1.0 - frac) + estimates[hi] * frac;
+  };
+
+  ConfidenceInterval ci;
+  ci.lower = quantile(alpha / 2.0);
+  ci.upper = quantile(1.0 - alpha / 2.0);
+  ci.point = statistic(x, y);
+  return ci;
+}
+
+}  // namespace eval
+}  // namespace upskill

@@ -1,0 +1,36 @@
+#ifndef UPSKILL_EVAL_BOOTSTRAP_H_
+#define UPSKILL_EVAL_BOOTSTRAP_H_
+
+#include <functional>
+#include <span>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace upskill {
+namespace eval {
+
+/// A two-sided percentile confidence interval.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+};
+
+/// Statistic over paired samples (e.g. Pearson's r).
+using PairedStatistic = std::function<double(std::span<const double>,
+                                             std::span<const double>)>;
+
+/// Percentile bootstrap CI for `statistic` over paired data: resample
+/// (x_i, y_i) pairs with replacement `num_resamples` times and take the
+/// alpha/2 and 1-alpha/2 quantiles. The paper reports 95% CIs of
+/// Pearson's r this way (Section VI-D); use alpha = 0.05.
+Result<ConfidenceInterval> BootstrapConfidenceInterval(
+    std::span<const double> x, std::span<const double> y,
+    const PairedStatistic& statistic, int num_resamples, double alpha,
+    Rng& rng);
+
+}  // namespace eval
+}  // namespace upskill
+
+#endif  // UPSKILL_EVAL_BOOTSTRAP_H_

@@ -1,0 +1,211 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace upskill {
+namespace eval {
+
+std::vector<double> AverageRanks(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&values](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j share the value; assign the mean 1-based rank.
+    const double rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  UPSKILL_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y) {
+  UPSKILL_CHECK(x.size() == y.size());
+  const std::vector<double> rx = AverageRanks(x);
+  const std::vector<double> ry = AverageRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+namespace {
+
+// Counts inversions in `values` by bottom-up merge sort. O(n log n).
+uint64_t CountInversions(std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<double> buffer(n);
+  uint64_t swaps = 0;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t left = 0; left < n; left += 2 * width) {
+      const size_t mid = std::min(left + width, n);
+      const size_t right = std::min(left + 2 * width, n);
+      size_t i = left;
+      size_t j = mid;
+      size_t out = left;
+      while (i < mid && j < right) {
+        if (values[j] < values[i]) {
+          swaps += mid - i;  // values[i..mid) all exceed values[j]
+          buffer[out++] = values[j++];
+        } else {
+          buffer[out++] = values[i++];
+        }
+      }
+      while (i < mid) buffer[out++] = values[i++];
+      while (j < right) buffer[out++] = values[j++];
+      std::copy(buffer.begin() + static_cast<ptrdiff_t>(left),
+                buffer.begin() + static_cast<ptrdiff_t>(right),
+                values.begin() + static_cast<ptrdiff_t>(left));
+    }
+  }
+  return swaps;
+}
+
+// Sum over runs of equal keys of t*(t-1)/2.
+uint64_t TiePairs(std::span<const double> sorted_keys) {
+  uint64_t pairs = 0;
+  size_t i = 0;
+  while (i < sorted_keys.size()) {
+    size_t j = i;
+    while (j + 1 < sorted_keys.size() &&
+           sorted_keys[j + 1] == sorted_keys[i]) {
+      ++j;
+    }
+    const uint64_t t = j - i + 1;
+    pairs += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double KendallTauB(std::span<const double> x, std::span<const double> y) {
+  UPSKILL_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+
+  // Sort jointly by (x, y).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // Ties in x, and joint ties in (x, y), from the sorted order.
+  uint64_t n1 = 0;  // pairs tied in x
+  uint64_t n3 = 0;  // pairs tied in both
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      uint64_t joint_run = 1;
+      while (j + 1 < n && x[order[j + 1]] == x[order[i]]) {
+        ++j;
+        if (y[order[j]] == y[order[j - 1]]) {
+          ++joint_run;
+        } else {
+          n3 += joint_run * (joint_run - 1) / 2;
+          joint_run = 1;
+        }
+      }
+      n3 += joint_run * (joint_run - 1) / 2;
+      const uint64_t t = j - i + 1;
+      n1 += t * (t - 1) / 2;
+      i = j + 1;
+    }
+  }
+
+  // Discordant pairs = inversions of y in x-order; ties in y from the
+  // sorted y sequence.
+  std::vector<double> y_in_x_order(n);
+  for (size_t i = 0; i < n; ++i) y_in_x_order[i] = y[order[i]];
+  std::vector<double> y_sorted = y_in_x_order;
+  std::sort(y_sorted.begin(), y_sorted.end());
+  const uint64_t n2 = TiePairs(y_sorted);
+  const uint64_t swaps = CountInversions(y_in_x_order);
+
+  const uint64_t n0 = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const double numerator = static_cast<double>(n0) - static_cast<double>(n1) -
+                           static_cast<double>(n2) + static_cast<double>(n3) -
+                           2.0 * static_cast<double>(swaps);
+  const double denom_x = static_cast<double>(n0) - static_cast<double>(n1);
+  const double denom_y = static_cast<double>(n0) - static_cast<double>(n2);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+  return numerator / std::sqrt(denom_x * denom_y);
+}
+
+double Rmse(std::span<const double> predicted, std::span<const double> actual) {
+  UPSKILL_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predicted.size()));
+}
+
+double MeanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual) {
+  UPSKILL_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    sum += std::abs(predicted[i] - actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+Result<CorrelationReport> ComputeCorrelationReport(
+    std::span<const double> estimated, std::span<const double> truth) {
+  if (estimated.size() != truth.size()) {
+    return Status::InvalidArgument("size mismatch");
+  }
+  if (estimated.empty()) return Status::InvalidArgument("empty input");
+  CorrelationReport report;
+  report.pearson = PearsonCorrelation(estimated, truth);
+  report.spearman = SpearmanCorrelation(estimated, truth);
+  report.kendall = KendallTauB(estimated, truth);
+  report.rmse = Rmse(estimated, truth);
+  return report;
+}
+
+}  // namespace eval
+}  // namespace upskill

@@ -1,0 +1,53 @@
+#ifndef UPSKILL_EVAL_METRICS_H_
+#define UPSKILL_EVAL_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upskill {
+namespace eval {
+
+/// Average ranks (1-based, ties get the mean of their rank range), the
+/// rank transform behind Spearman's rho.
+std::vector<double> AverageRanks(std::span<const double> values);
+
+/// Pearson's r. Returns 0 when either input is constant.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/// Spearman's rho: Pearson on average ranks.
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Kendall's tau-b with tie corrections, computed in O(n log n) by
+/// Knight's algorithm (merge-sort inversion counting). Returns 0 when
+/// either input is constant.
+double KendallTauB(std::span<const double> x, std::span<const double> y);
+
+/// Root mean squared error. Returns 0 for empty input.
+double Rmse(std::span<const double> predicted,
+            std::span<const double> actual);
+
+/// Mean absolute error. Returns 0 for empty input.
+double MeanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+/// The four-column row used by Tables VI-IX.
+struct CorrelationReport {
+  double pearson = 0.0;
+  double spearman = 0.0;
+  double kendall = 0.0;
+  double rmse = 0.0;
+};
+
+/// Computes all four agreement measures between estimates and ground
+/// truth. Requires equal, non-zero sizes.
+Result<CorrelationReport> ComputeCorrelationReport(
+    std::span<const double> estimated, std::span<const double> truth);
+
+}  // namespace eval
+}  // namespace upskill
+
+#endif  // UPSKILL_EVAL_METRICS_H_

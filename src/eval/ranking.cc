@@ -1,0 +1,95 @@
+#include "eval/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace upskill {
+namespace eval {
+
+namespace {
+
+// log2-discounted gain of a 1-based rank.
+double Discount(int rank) { return 1.0 / std::log2(rank + 1.0); }
+
+}  // namespace
+
+double PrecisionAtK(std::span<const int> relevant_ranks, int k) {
+  UPSKILL_CHECK(k >= 1);
+  int hits = 0;
+  for (int rank : relevant_ranks) {
+    UPSKILL_CHECK(rank >= 1);
+    if (rank <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(std::span<const int> relevant_ranks, int k) {
+  UPSKILL_CHECK(k >= 1);
+  if (relevant_ranks.empty()) return 0.0;
+  int hits = 0;
+  for (int rank : relevant_ranks) {
+    UPSKILL_CHECK(rank >= 1);
+    if (rank <= k) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(relevant_ranks.size());
+}
+
+double NdcgAtK(std::span<const int> relevant_ranks, int k) {
+  UPSKILL_CHECK(k >= 1);
+  if (relevant_ranks.empty()) return 0.0;
+  double dcg = 0.0;
+  for (int rank : relevant_ranks) {
+    UPSKILL_CHECK(rank >= 1);
+    if (rank <= k) dcg += Discount(rank);
+  }
+  double ideal = 0.0;
+  const int ideal_hits =
+      std::min(k, static_cast<int>(relevant_ranks.size()));
+  for (int rank = 1; rank <= ideal_hits; ++rank) ideal += Discount(rank);
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double AveragePrecision(std::span<const int> relevant_ranks) {
+  if (relevant_ranks.empty()) return 0.0;
+  std::vector<int> sorted(relevant_ranks.begin(), relevant_ranks.end());
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    UPSKILL_CHECK(sorted[i] >= 1);
+    // Precision at this relevant item's rank: (i+1) relevant items are at
+    // or above rank sorted[i].
+    total += static_cast<double>(i + 1) / static_cast<double>(sorted[i]);
+  }
+  return total / static_cast<double>(sorted.size());
+}
+
+Result<SingleRelevantAggregate> AggregateSingleRelevant(
+    std::span<const int> ranks, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  SingleRelevantAggregate aggregate;
+  aggregate.num_cases = ranks.size();
+  if (ranks.empty()) return aggregate;
+  double hits = 0.0;
+  double rr = 0.0;
+  double ndcg = 0.0;
+  for (int rank : ranks) {
+    if (rank < 1) return Status::InvalidArgument("ranks are 1-based");
+    if (rank <= k) {
+      hits += 1.0;
+      ndcg += Discount(rank);  // ideal DCG for one relevant item is 1
+    }
+    rr += 1.0 / static_cast<double>(rank);
+  }
+  const double n = static_cast<double>(ranks.size());
+  aggregate.accuracy_at_k = hits / n;
+  aggregate.recall_at_k = aggregate.accuracy_at_k;
+  aggregate.mean_reciprocal_rank = rr / n;
+  aggregate.ndcg_at_k = ndcg / n;
+  return aggregate;
+}
+
+}  // namespace eval
+}  // namespace upskill

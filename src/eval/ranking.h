@@ -1,0 +1,47 @@
+#ifndef UPSKILL_EVAL_RANKING_H_
+#define UPSKILL_EVAL_RANKING_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upskill {
+namespace eval {
+
+/// Ranking-quality metrics beyond the paper's Acc@10 / RR, for
+/// applications that adopt the library as a recommender component. All
+/// take the 1-based rank(s) of relevant items within a ranking of
+/// `num_items` candidates.
+
+/// Precision@k: fraction of the top k occupied by relevant items.
+double PrecisionAtK(std::span<const int> relevant_ranks, int k);
+
+/// Recall@k: fraction of relevant items ranked within the top k.
+double RecallAtK(std::span<const int> relevant_ranks, int k);
+
+/// Binary-relevance nDCG@k: DCG of the relevant ranks against the ideal
+/// DCG of placing all |relevant| items first. Returns 0 for empty input.
+double NdcgAtK(std::span<const int> relevant_ranks, int k);
+
+/// Mean average precision for a single query: mean over relevant items of
+/// precision at their rank. Requires sorted or unsorted 1-based ranks.
+double AveragePrecision(std::span<const int> relevant_ranks);
+
+/// Aggregates a per-case metric over many single-relevant-item cases (the
+/// protocol of Tables X/XI, where each test case has exactly one correct
+/// item). Returns the mean of `metric(rank)` over cases.
+struct SingleRelevantAggregate {
+  double accuracy_at_k = 0.0;
+  double recall_at_k = 0.0;  // == accuracy for single-relevant cases
+  double mean_reciprocal_rank = 0.0;
+  double ndcg_at_k = 0.0;
+  size_t num_cases = 0;
+};
+Result<SingleRelevantAggregate> AggregateSingleRelevant(
+    std::span<const int> ranks, int k);
+
+}  // namespace eval
+}  // namespace upskill
+
+#endif  // UPSKILL_EVAL_RANKING_H_

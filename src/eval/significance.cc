@@ -1,0 +1,125 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace eval {
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double BonferroniCorrect(double p_value, int num_comparisons) {
+  if (num_comparisons < 1) return p_value;
+  return std::min(1.0, p_value * static_cast<double>(num_comparisons));
+}
+
+Result<WilcoxonResult> WilcoxonSignedRank(std::span<const double> a,
+                                          std::span<const double> b) {
+  if (a.size() != b.size()) return Status::InvalidArgument("size mismatch");
+
+  std::vector<double> abs_diff;
+  std::vector<int> sign;
+  abs_diff.reserve(a.size());
+  sign.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d == 0.0) continue;
+    abs_diff.push_back(std::abs(d));
+    sign.push_back(d > 0.0 ? 1 : -1);
+  }
+  const size_t n = abs_diff.size();
+  if (n == 0) {
+    return Status::FailedPrecondition("all paired differences are zero");
+  }
+
+  const std::vector<double> ranks = AverageRanks(abs_diff);
+  double w_plus = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (sign[i] > 0) w_plus += ranks[i];
+  }
+
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  double variance = dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0;
+
+  // Tie correction: subtract sum(t^3 - t) / 48 over groups of tied
+  // absolute differences.
+  {
+    std::vector<double> sorted = abs_diff;
+    std::sort(sorted.begin(), sorted.end());
+    size_t i = 0;
+    double correction = 0.0;
+    while (i < sorted.size()) {
+      size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      correction += t * t * t - t;
+      i = j + 1;
+    }
+    variance -= correction / 48.0;
+  }
+
+  WilcoxonResult result;
+  result.w_plus = w_plus;
+  result.n_effective = n;
+  if (variance <= 0.0) {
+    // Every difference identical in magnitude and sign structure; treat
+    // the statistic as fully degenerate.
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  const double numerator = w_plus - mean;
+  const double cc = numerator > 0.0 ? -0.5 : (numerator < 0.0 ? 0.5 : 0.0);
+  result.z = (numerator + cc) / std::sqrt(variance);
+  result.p_value = 2.0 * (1.0 - NormalCdf(std::abs(result.z)));
+  result.p_value = std::min(1.0, std::max(0.0, result.p_value));
+  return result;
+}
+
+Result<PairedBootstrapResult> PairedBootstrapTest(std::span<const double> a,
+                                                  std::span<const double> b,
+                                                  int num_resamples,
+                                                  Rng& rng) {
+  if (a.size() != b.size()) return Status::InvalidArgument("size mismatch");
+  if (a.size() < 2) return Status::InvalidArgument("need at least 2 pairs");
+  if (num_resamples < 1) {
+    return Status::InvalidArgument("need at least 1 resample");
+  }
+  const size_t n = a.size();
+  std::vector<double> differences(n);
+  double observed = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    differences[i] = a[i] - b[i];
+    observed += differences[i];
+  }
+  observed /= static_cast<double>(n);
+  // Center under the null of zero mean difference.
+  for (double& d : differences) d -= observed;
+
+  int at_least_as_extreme = 0;
+  for (int resample = 0; resample < num_resamples; ++resample) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      mean += differences[static_cast<size_t>(
+          rng.NextInt(static_cast<int64_t>(n)))];
+    }
+    mean /= static_cast<double>(n);
+    if (std::abs(mean) >= std::abs(observed)) ++at_least_as_extreme;
+  }
+
+  PairedBootstrapResult result;
+  result.mean_difference = observed;
+  result.num_resamples = num_resamples;
+  // Add-one smoothing keeps p strictly positive (standard practice).
+  result.p_value = (static_cast<double>(at_least_as_extreme) + 1.0) /
+                   (static_cast<double>(num_resamples) + 1.0);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace upskill

@@ -1,0 +1,60 @@
+#ifndef UPSKILL_EVAL_SIGNIFICANCE_H_
+#define UPSKILL_EVAL_SIGNIFICANCE_H_
+
+#include <span>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace upskill {
+namespace eval {
+
+/// Result of a two-sided Wilcoxon signed-rank test (normal approximation
+/// with tie and zero corrections), the test the paper applies to paired
+/// squared errors (Section VI-D).
+struct WilcoxonResult {
+  /// Sum of positive-difference ranks.
+  double w_plus = 0.0;
+  /// Standardized statistic.
+  double z = 0.0;
+  /// Two-sided p-value.
+  double p_value = 1.0;
+  /// Pairs remaining after zero differences are dropped.
+  size_t n_effective = 0;
+};
+
+/// Tests whether paired samples `a` and `b` differ. Differences equal to
+/// zero are dropped (Wilcoxon's convention); tied absolute differences get
+/// average ranks and the variance correction. Requires equal sizes and at
+/// least one non-zero difference.
+Result<WilcoxonResult> WilcoxonSignedRank(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Bonferroni correction: min(1, p * num_comparisons).
+double BonferroniCorrect(double p_value, int num_comparisons);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// Result of a paired bootstrap test on mean difference.
+struct PairedBootstrapResult {
+  /// Observed mean(a) - mean(b).
+  double mean_difference = 0.0;
+  /// Two-sided p-value: the fraction of sign-flipped resampled mean
+  /// differences at least as extreme as the observed one.
+  double p_value = 1.0;
+  int num_resamples = 0;
+};
+
+/// Distribution-free alternative to the Wilcoxon test: resamples the
+/// paired differences with replacement under the null of zero mean
+/// (centering) and counts how often the resampled |mean| reaches the
+/// observed |mean|. Requires equal sizes and at least 2 pairs.
+Result<PairedBootstrapResult> PairedBootstrapTest(std::span<const double> a,
+                                                  std::span<const double> b,
+                                                  int num_resamples, Rng& rng);
+
+}  // namespace eval
+}  // namespace upskill
+
+#endif  // UPSKILL_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,142 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/inference.h"
+
+namespace upskill {
+namespace eval {
+
+Result<ItemPredictionReport> EvaluateItemPrediction(
+    const Dataset& train, const SkillAssignments& assignments,
+    const SkillModel& model, const std::vector<HeldOutAction>& test, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  ItemPredictionReport report;
+  size_t hits = 0;
+  double rr_sum = 0.0;
+  for (const HeldOutAction& held : test) {
+    const int level =
+        NearestActionLevel(train.sequence(held.user),
+                           assignments[static_cast<size_t>(held.user)],
+                           held.action.time);
+    Result<int> rank = ItemRankAtLevel(model, level, held.action.item);
+    if (!rank.ok()) return rank.status();
+    const double rr = 1.0 / static_cast<double>(rank.value());
+    if (rank.value() <= k) ++hits;
+    rr_sum += rr;
+    report.reciprocal_ranks.push_back(rr);
+  }
+  report.num_cases = test.size();
+  if (!test.empty()) {
+    report.accuracy_at_k =
+        static_cast<double>(hits) / static_cast<double>(test.size());
+    report.mean_reciprocal_rank =
+        rr_sum / static_cast<double>(test.size());
+  }
+  return report;
+}
+
+double RandomGuessAccuracyAtK(int num_items, int k) {
+  if (num_items <= 0) return 0.0;
+  return std::min(1.0, static_cast<double>(k) / num_items);
+}
+
+double RandomGuessMeanReciprocalRank(int num_items) {
+  // E[1/rank] for a uniformly random rank = H_n / n.
+  if (num_items <= 0) return 0.0;
+  double harmonic = 0.0;
+  for (int i = 1; i <= num_items; ++i) harmonic += 1.0 / i;
+  return harmonic / num_items;
+}
+
+namespace {
+
+// Difficulty lookup with a midpoint fallback for NaN (never-selected
+// items under the assignment-based estimator).
+double DifficultyOrMidpoint(std::span<const double> difficulty, ItemId item,
+                            int num_levels) {
+  const double value = difficulty[static_cast<size_t>(item)];
+  if (std::isnan(value)) return 0.5 * (1.0 + num_levels);
+  return value;
+}
+
+}  // namespace
+
+Result<RatingPredictionReport> EvaluateRatingPrediction(
+    const Dataset& train, const SkillAssignments& assignments,
+    const SkillModel& model, std::span<const double> difficulty,
+    const std::vector<HeldOutAction>& test, const RatingTaskOptions& options,
+    Rng& rng) {
+  if (static_cast<int>(difficulty.size()) != train.items().num_items()) {
+    return Status::InvalidArgument("difficulty vector size mismatch");
+  }
+  Result<ffm::RatingFeatureBuilder> builder = ffm::RatingFeatureBuilder::Create(
+      train.num_users(), train.items().num_items(), model.num_levels(),
+      options.features);
+  if (!builder.ok()) return builder.status();
+
+  // Assemble training examples from rated training actions.
+  std::vector<ffm::Example> train_examples;
+  double min_target = std::numeric_limits<double>::infinity();
+  double max_target = -std::numeric_limits<double>::infinity();
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const std::vector<Action>& seq = train.sequence(u);
+    const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
+    for (size_t n = 0; n < seq.size(); ++n) {
+      if (!seq[n].has_rating()) continue;
+      Result<ffm::Instance> instance = builder.value().Build(
+          u, seq[n].item, levels[n],
+          DifficultyOrMidpoint(difficulty, seq[n].item, model.num_levels()));
+      if (!instance.ok()) return instance.status();
+      train_examples.push_back(
+          ffm::Example{std::move(instance).value(), seq[n].rating});
+      min_target = std::min(min_target, seq[n].rating);
+      max_target = std::max(max_target, seq[n].rating);
+    }
+  }
+  if (train_examples.empty()) {
+    return Status::FailedPrecondition("no rated training actions");
+  }
+
+  Result<ffm::FfmModel> model_result = ffm::FfmModel::Create(
+      builder.value().num_fields(), builder.value().num_features(),
+      options.ffm);
+  if (!model_result.ok()) return model_result.status();
+  ffm::FfmModel ffm_model = std::move(model_result).value();
+
+  RatingPredictionReport report;
+  report.num_train = train_examples.size();
+  ffm_model.Train(std::move(train_examples), rng);
+
+  // Score rated held-out actions.
+  double squared_sum = 0.0;
+  for (const HeldOutAction& held : test) {
+    if (!held.action.has_rating()) continue;
+    const int level =
+        NearestActionLevel(train.sequence(held.user),
+                           assignments[static_cast<size_t>(held.user)],
+                           held.action.time);
+    Result<ffm::Instance> instance = builder.value().Build(
+        held.user, held.action.item, level,
+        DifficultyOrMidpoint(difficulty, held.action.item,
+                             model.num_levels()));
+    if (!instance.ok()) return instance.status();
+    const double predicted = std::clamp(
+        ffm_model.Predict(instance.value()), min_target, max_target);
+    const double error = predicted - held.action.rating;
+    squared_sum += error * error;
+    report.squared_errors.push_back(error * error);
+    ++report.num_test;
+  }
+  if (report.num_test == 0) {
+    return Status::FailedPrecondition("no rated held-out actions");
+  }
+  report.rmse =
+      std::sqrt(squared_sum / static_cast<double>(report.num_test));
+  return report;
+}
+
+}  // namespace eval
+}  // namespace upskill

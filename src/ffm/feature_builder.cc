@@ -1,0 +1,79 @@
+#include "ffm/feature_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace ffm {
+
+Result<RatingFeatureBuilder> RatingFeatureBuilder::Create(
+    int num_users, int num_items, int num_levels,
+    const RatingFeatureConfig& config) {
+  if (num_users < 1 || num_items < 1 || num_levels < 1) {
+    return Status::InvalidArgument("counts must be positive");
+  }
+  if (config.include_difficulty && config.difficulty_buckets < 1) {
+    return Status::InvalidArgument("difficulty_buckets must be positive");
+  }
+  RatingFeatureBuilder builder;
+  builder.config_ = config;
+  builder.num_users_ = num_users;
+  builder.num_items_ = num_items;
+  builder.num_levels_ = num_levels;
+  builder.item_offset_ = num_users;
+  int next_offset = num_users + num_items;
+  int next_field = 2;
+  if (config.include_skill) {
+    builder.skill_field_ = next_field++;
+    builder.skill_offset_ = next_offset;
+    next_offset += num_levels;
+  }
+  if (config.include_difficulty) {
+    builder.difficulty_field_ = next_field++;
+    builder.difficulty_offset_ = next_offset;
+    next_offset += config.difficulty_buckets;
+  }
+  builder.num_fields_ = next_field;
+  builder.num_features_ = next_offset;
+  return builder;
+}
+
+Result<Instance> RatingFeatureBuilder::Build(UserId user, ItemId item,
+                                             int skill_level,
+                                             double difficulty) const {
+  if (user < 0 || user >= num_users_) {
+    return Status::OutOfRange(StringPrintf("user %d", user));
+  }
+  if (item < 0 || item >= num_items_) {
+    return Status::OutOfRange(StringPrintf("item %d", item));
+  }
+  Instance instance;
+  instance.reserve(4);
+  instance.push_back(Feature{0, user, 1.0});
+  instance.push_back(Feature{1, item_offset_ + item, 1.0});
+  if (config_.include_skill) {
+    if (skill_level < 1 || skill_level > num_levels_) {
+      return Status::OutOfRange(StringPrintf("skill level %d", skill_level));
+    }
+    instance.push_back(
+        Feature{skill_field_, skill_offset_ + skill_level - 1, 1.0});
+  }
+  if (config_.include_difficulty) {
+    const double clamped = std::clamp(
+        difficulty, 1.0, static_cast<double>(num_levels_));
+    // Map [1, S] onto [0, buckets-1].
+    const double unit =
+        num_levels_ > 1 ? (clamped - 1.0) / (num_levels_ - 1.0) : 0.0;
+    const int bucket = std::min(
+        config_.difficulty_buckets - 1,
+        static_cast<int>(unit * config_.difficulty_buckets));
+    instance.push_back(
+        Feature{difficulty_field_, difficulty_offset_ + bucket, 1.0});
+  }
+  return instance;
+}
+
+}  // namespace ffm
+}  // namespace upskill

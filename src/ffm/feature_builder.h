@@ -1,0 +1,61 @@
+#ifndef UPSKILL_FFM_FEATURE_BUILDER_H_
+#define UPSKILL_FFM_FEATURE_BUILDER_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "ffm/ffm.h"
+
+namespace upskill {
+namespace ffm {
+
+/// Which side information the rating model consumes, matching the four
+/// columns of Table XII: U+I (neither), U+I+S, U+I+D, U+I+S+D.
+struct RatingFeatureConfig {
+  bool include_skill = false;
+  bool include_difficulty = false;
+  /// Difficulty in [1, S] is one-hot discretized into this many buckets.
+  int difficulty_buckets = 10;
+};
+
+/// Maps (user, item, skill level, difficulty) tuples to sparse FFM
+/// instances. Field layout: 0 = user, 1 = item, 2 = skill level (when
+/// enabled), then difficulty bucket. Feature indices are disjoint across
+/// fields.
+class RatingFeatureBuilder {
+ public:
+  /// `num_levels` is the skill-model S; difficulty values are expected in
+  /// [1, num_levels].
+  static Result<RatingFeatureBuilder> Create(int num_users, int num_items,
+                                             int num_levels,
+                                             const RatingFeatureConfig& config);
+
+  /// Builds one instance. `skill_level` is 1-based; `difficulty` is
+  /// clamped into [1, num_levels]. The skill/difficulty arguments are
+  /// ignored when the corresponding config flag is off.
+  Result<Instance> Build(UserId user, ItemId item, int skill_level,
+                         double difficulty) const;
+
+  int num_fields() const { return num_fields_; }
+  int num_features() const { return num_features_; }
+  const RatingFeatureConfig& config() const { return config_; }
+
+ private:
+  RatingFeatureBuilder() = default;
+
+  RatingFeatureConfig config_;
+  int num_users_ = 0;
+  int num_items_ = 0;
+  int num_levels_ = 0;
+  int num_fields_ = 0;
+  int num_features_ = 0;
+  int item_offset_ = 0;
+  int skill_offset_ = -1;
+  int difficulty_offset_ = -1;
+  int skill_field_ = -1;
+  int difficulty_field_ = -1;
+};
+
+}  // namespace ffm
+}  // namespace upskill
+
+#endif  // UPSKILL_FFM_FEATURE_BUILDER_H_

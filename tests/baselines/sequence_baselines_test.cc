@@ -1,0 +1,123 @@
+#include "baselines/sequence_baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+Dataset MakeDataset(int num_items) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(num_items).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < num_items; ++i) {
+    const double row[] = {-1.0};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  return Dataset(std::move(items));
+}
+
+TEST(PopularityModelTest, RanksByCountWithIdTies) {
+  Dataset train = MakeDataset(4);
+  const UserId u = train.AddUser();
+  // Item 2 x3, item 0 x2, items 1 and 3 x0 (tie broken by id).
+  ASSERT_TRUE(train.AddAction(u, 1, 2).ok());
+  ASSERT_TRUE(train.AddAction(u, 2, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 3, 2).ok());
+  ASSERT_TRUE(train.AddAction(u, 4, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 5, 2).ok());
+  const PopularityModel model = PopularityModel::Train(train);
+  EXPECT_EQ(model.Rank(2).value(), 1);
+  EXPECT_EQ(model.Rank(0).value(), 2);
+  EXPECT_EQ(model.Rank(1).value(), 3);
+  EXPECT_EQ(model.Rank(3).value(), 4);
+  EXPECT_FALSE(model.Rank(99).ok());
+  EXPECT_EQ(model.TopItems(2), (std::vector<ItemId>{2, 0}));
+}
+
+TEST(MarkovChainModelTest, TransitionProbabilities) {
+  Dataset train = MakeDataset(3);
+  const UserId u = train.AddUser();
+  // Sequence 0 -> 1 -> 0 -> 2: transitions 0->1, 1->0, 0->2.
+  ASSERT_TRUE(train.AddAction(u, 1, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 2, 1).ok());
+  ASSERT_TRUE(train.AddAction(u, 3, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 4, 2).ok());
+  const MarkovChainModel model = MarkovChainModel::Train(train, 0.01);
+  // From 0: one transition each to 1 and 2; smoothed over 3 items.
+  const double denom = 2.0 + 0.01 * 3;
+  EXPECT_NEAR(model.TransitionProbability(0, 1), 1.01 / denom, 1e-12);
+  EXPECT_NEAR(model.TransitionProbability(0, 2), 1.01 / denom, 1e-12);
+  EXPECT_NEAR(model.TransitionProbability(0, 0), 0.01 / denom, 1e-12);
+  // The full row is a distribution.
+  double total = 0.0;
+  for (int i = 0; i < 3; ++i) total += model.TransitionProbability(0, i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MarkovChainModelTest, RankOrdersSuccessorsThenFloor) {
+  Dataset train = MakeDataset(4);
+  const UserId u = train.AddUser();
+  // From item 0: to 2 twice, to 1 once; items 0 and 3 never follow 0.
+  ASSERT_TRUE(train.AddAction(u, 1, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 2, 2).ok());
+  ASSERT_TRUE(train.AddAction(u, 3, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 4, 2).ok());
+  ASSERT_TRUE(train.AddAction(u, 5, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 6, 1).ok());
+  const MarkovChainModel model = MarkovChainModel::Train(train);
+  EXPECT_EQ(model.Rank(0, 2).value(), 1);  // most frequent successor
+  EXPECT_EQ(model.Rank(0, 1).value(), 2);
+  // Floor ties: items 0 and 3, ordered by id after the 2 observed rows.
+  EXPECT_EQ(model.Rank(0, 0).value(), 3);
+  EXPECT_EQ(model.Rank(0, 3).value(), 4);
+  EXPECT_FALSE(model.Rank(0, 99).ok());
+  EXPECT_FALSE(model.Rank(-1, 0).ok());
+}
+
+TEST(MarkovChainModelTest, UnseenPredecessorFallsBackToPopularity) {
+  Dataset train = MakeDataset(3);
+  const UserId u0 = train.AddUser();
+  const UserId u1 = train.AddUser();
+  // Item 2 is globally most popular; item 1 was never a predecessor.
+  ASSERT_TRUE(train.AddAction(u0, 1, 2).ok());
+  ASSERT_TRUE(train.AddAction(u0, 2, 2).ok());
+  ASSERT_TRUE(train.AddAction(u1, 1, 0).ok());
+  const MarkovChainModel model = MarkovChainModel::Train(train);
+  EXPECT_EQ(model.Rank(1, 2).value(), 1);  // popularity order
+  EXPECT_EQ(model.Rank(1, 0).value(), 2);
+}
+
+TEST(EvaluateSequenceBaselinesTest, ScoresKnownScenario) {
+  Dataset train = MakeDataset(3);
+  const UserId u = train.AddUser();
+  // Train: 0 -> 1 -> 0 -> 1 (0 and 1 equally popular; 0 -> 1 dominant).
+  ASSERT_TRUE(train.AddAction(u, 1, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 2, 1).ok());
+  ASSERT_TRUE(train.AddAction(u, 3, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 4, 1).ok());
+  // Held out at time 5 after predecessor 1: true item 0 (1 -> 0 is the
+  // dominant transition).
+  const std::vector<HeldOutAction> test = {{u, Action{5, 0, 0.0}, 4}};
+  const auto report = EvaluateSequenceBaselines(train, test, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().num_cases, 1u);
+  // Popularity: 0 and 1 tie at 2 selections; id tie-break ranks 0 first.
+  EXPECT_DOUBLE_EQ(report.value().popularity_accuracy_at_k, 1.0);
+  // Markov: predecessor is the last train action before t=5, which is
+  // item 1; 1 -> 0 is its only observed transition.
+  EXPECT_DOUBLE_EQ(report.value().markov_accuracy_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(report.value().markov_mrr, 1.0);
+  EXPECT_FALSE(EvaluateSequenceBaselines(train, test, 0).ok());
+}
+
+TEST(EvaluateSequenceBaselinesTest, EmptyTestIsZero) {
+  Dataset train = MakeDataset(2);
+  const UserId u = train.AddUser();
+  ASSERT_TRUE(train.AddAction(u, 1, 0).ok());
+  const auto report = EvaluateSequenceBaselines(train, {}, 10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().num_cases, 0u);
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,110 @@
+#include "baselines/uniform_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "dist/poisson.h"
+
+namespace upskill {
+namespace {
+
+datagen::GeneratedData MakeData() {
+  datagen::SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 100;
+  config.mean_sequence_length = 20.0;
+  auto data = datagen::GenerateSynthetic(config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(TrainUniformBaselineTest, SegmentsEverySequence) {
+  const datagen::GeneratedData data = MakeData();
+  SkillModelConfig config;
+  config.num_levels = 5;
+  const auto result = TrainUniformBaseline(data.dataset, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().assignments.size(),
+            static_cast<size_t>(data.dataset.num_users()));
+  for (UserId u = 0; u < data.dataset.num_users(); ++u) {
+    const auto& levels = result.value().assignments[static_cast<size_t>(u)];
+    EXPECT_EQ(levels, SegmentUniformly(data.dataset.sequence(u).size(), 5));
+  }
+  EXPECT_TRUE(AssignmentsAreMonotone(result.value().assignments, 5));
+}
+
+TEST(TrainUniformBaselineTest, FitsParametersFromSegments) {
+  const datagen::GeneratedData data = MakeData();
+  SkillModelConfig config;
+  config.num_levels = 5;
+  const auto result = TrainUniformBaseline(data.dataset, config);
+  ASSERT_TRUE(result.ok());
+  // The Poisson "complexity" component must have been fitted away from its
+  // default rate of 1.
+  const auto idx = data.dataset.schema().FeatureIndex("complexity");
+  ASSERT_TRUE(idx.ok());
+  const auto& poisson = static_cast<const Poisson&>(
+      result.value().model.component(idx.value(), 1));
+  EXPECT_NE(poisson.rate(), 1.0);
+}
+
+TEST(TrainUniformBaselineTest, RejectsEmptyDataset) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("x").ok());
+  Dataset dataset((ItemTable(std::move(schema))));
+  EXPECT_FALSE(TrainUniformBaseline(dataset, SkillModelConfig{}).ok());
+}
+
+TEST(ProjectToIdOnlyTest, KeepsOnlyIdFeature) {
+  const datagen::GeneratedData data = MakeData();
+  const auto projected = ProjectToIdOnly(data.dataset);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().schema().num_features(), 1);
+  EXPECT_EQ(projected.value().schema().id_feature(), 0);
+  EXPECT_EQ(projected.value().items().num_items(),
+            data.dataset.items().num_items());
+  EXPECT_EQ(projected.value().num_actions(), data.dataset.num_actions());
+  // Sequences are preserved exactly.
+  for (UserId u = 0; u < data.dataset.num_users(); ++u) {
+    const auto& original = data.dataset.sequence(u);
+    const auto& copy = projected.value().sequence(u);
+    ASSERT_EQ(copy.size(), original.size());
+    for (size_t n = 0; n < original.size(); ++n) {
+      EXPECT_EQ(copy[n].item, original[n].item);
+      EXPECT_EQ(copy[n].time, original[n].time);
+    }
+  }
+}
+
+TEST(ProjectToFeaturesTest, KeepsRequestedSubset) {
+  const datagen::GeneratedData data = MakeData();
+  const auto projected = ProjectToFeatures(data.dataset, {"intensity"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().schema().num_features(), 2);  // id + intensity
+  EXPECT_TRUE(projected.value().schema().FeatureIndex("intensity").ok());
+  EXPECT_FALSE(projected.value().schema().FeatureIndex("category").ok());
+  // Feature values survive the projection.
+  const int src = data.dataset.schema().FeatureIndex("intensity").value();
+  const int dst = projected.value().schema().FeatureIndex("intensity").value();
+  for (ItemId i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(projected.value().items().value(i, dst),
+                     data.dataset.items().value(i, src));
+  }
+}
+
+TEST(ProjectToFeaturesTest, UnknownNamesAreIgnored) {
+  const datagen::GeneratedData data = MakeData();
+  const auto projected = ProjectToFeatures(data.dataset, {"no-such-feature"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().schema().num_features(), 1);  // id only
+}
+
+TEST(ProjectToFeaturesTest, RequiresIdFeature) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("x").ok());
+  Dataset dataset((ItemTable(std::move(schema))));
+  EXPECT_FALSE(ProjectToFeatures(dataset, {}).ok());
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,108 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace upskill {
+namespace {
+
+TEST(ParseCsvLineTest, PlainFields) {
+  const auto fields = ParseCsvLine("a,b,c").value();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  const auto fields = ParseCsvLine(",,").value();
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_EQ(f, "");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  const auto fields = ParseCsvLine("x,\"a,b\",y").value();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+}
+
+TEST(ParseCsvLineTest, EscapedQuote) {
+  const auto fields = ParseCsvLine("\"he said \"\"hi\"\"\"").value();
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "he said \"hi\"");
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"oops").ok());
+}
+
+TEST(ParseCsvLineTest, QuoteInsideUnquotedFieldFails) {
+  EXPECT_FALSE(ParseCsvLine("ab\"cd").ok());
+}
+
+TEST(FormatCsvLineTest, RoundTripsThroughParse) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with\"quote", ""};
+  const auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), fields);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("upskill_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteAndReadBack) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"a", "1"}, {"b,x", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path_.string(), rows).ok());
+  const auto read = ReadCsvFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+}
+
+TEST_F(CsvFileTest, MissingFileFails) {
+  const auto read = ReadCsvFile(path_.string() + ".does-not-exist");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvFileTest, SkipsBlankLinesAndCarriageReturns) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\r\n\r\nc,d\n\n", f);
+    std::fclose(f);
+  }
+  const auto read = ReadCsvFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 2u);
+  EXPECT_EQ(read.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(read.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST_F(CsvFileTest, CorruptFileSurfacesError) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("good,row\nbad\"row\n", f);
+    std::fclose(f);
+  }
+  const auto read = ReadCsvFile(path_.string());
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace upskill

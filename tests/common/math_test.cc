@@ -1,0 +1,108 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace upskill {
+namespace {
+
+TEST(MathTest, LogGammaKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(MathTest, DigammaKnownValues) {
+  // psi(1) = -gamma (Euler-Mascheroni).
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649015329, 1e-10);
+  // psi(0.5) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -0.5772156649015329 - 2.0 * std::log(2.0), 1e-10);
+  // psi(2) = 1 - gamma.
+  EXPECT_NEAR(Digamma(2.0), 1.0 - 0.5772156649015329, 1e-10);
+}
+
+TEST(MathTest, DigammaRecurrence) {
+  // psi(x+1) = psi(x) + 1/x across a range of magnitudes.
+  for (double x : {0.1, 0.7, 1.3, 4.2, 11.0, 123.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(MathTest, TrigammaKnownValues) {
+  // psi'(1) = pi^2 / 6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-10);
+  // psi'(0.5) = pi^2 / 2.
+  EXPECT_NEAR(Trigamma(0.5), M_PI * M_PI / 2.0, 1e-10);
+}
+
+TEST(MathTest, TrigammaRecurrence) {
+  for (double x : {0.2, 1.1, 3.3, 9.0, 77.0}) {
+    EXPECT_NEAR(Trigamma(x + 1.0), Trigamma(x) - 1.0 / (x * x), 1e-10)
+        << "x=" << x;
+  }
+}
+
+TEST(MathTest, TrigammaIsDigammaDerivative) {
+  // Central difference check.
+  for (double x : {0.8, 2.5, 6.0, 40.0}) {
+    const double h = 1e-5;
+    const double numeric = (Digamma(x + h) - Digamma(x - h)) / (2.0 * h);
+    EXPECT_NEAR(Trigamma(x), numeric, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(MathTest, LogFactorialSmall) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathTest, LogFactorialLargeMatchesLgamma) {
+  for (long long k : {255LL, 256LL, 1000LL, 1000000LL}) {
+    EXPECT_NEAR(LogFactorial(k), std::lgamma(static_cast<double>(k) + 1.0),
+                1e-8)
+        << "k=" << k;
+  }
+}
+
+TEST(MathTest, LogFactorialTableBoundaryConsistent) {
+  // Values straddling the internal table boundary must agree on the
+  // recurrence log(k!) = log((k-1)!) + log(k).
+  for (long long k = 250; k <= 260; ++k) {
+    EXPECT_NEAR(LogFactorial(k),
+                LogFactorial(k - 1) + std::log(static_cast<double>(k)), 1e-9);
+  }
+}
+
+TEST(MathTest, LogSumExpBasics) {
+  const std::vector<double> values = {std::log(1.0), std::log(2.0),
+                                      std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(values), std::log(6.0), 1e-12);
+}
+
+TEST(MathTest, LogSumExpHandlesLargeMagnitudes) {
+  const std::vector<double> values = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(values), 1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> tiny = {-1000.0, -1001.0};
+  EXPECT_NEAR(LogSumExp(tiny), -1000.0 + std::log(1.0 + std::exp(-1.0)),
+              1e-9);
+}
+
+TEST(MathTest, LogSumExpEmptyAndInfinite) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+  const std::vector<double> with_neg_inf = {
+      -std::numeric_limits<double>::infinity(), 0.0};
+  EXPECT_NEAR(LogSumExp(with_neg_inf), 0.0, 1e-12);
+  const std::vector<double> all_neg_inf = {
+      -std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(LogSumExp(all_neg_inf), -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace upskill

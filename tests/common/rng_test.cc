@@ -1,0 +1,179 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace upskill {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntRespectsBound) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const int64_t v = rng.NextInt(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, NextIntInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextIntInRange(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+class PoissonMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMomentsTest, MeanAndVarianceMatchRate) {
+  const double lambda = GetParam();
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(rng.NextPoisson(lambda)));
+  }
+  EXPECT_NEAR(stats.mean(), lambda, 0.05 * lambda + 0.05);
+  EXPECT_NEAR(stats.variance(), lambda, 0.1 * lambda + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonMomentsTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+struct GammaCase {
+  double shape;
+  double scale;
+};
+
+class GammaMomentsTest : public ::testing::TestWithParam<GammaCase> {};
+
+TEST_P(GammaMomentsTest, MeanAndVarianceMatch) {
+  const GammaCase param = GetParam();
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextGamma(param.shape, param.scale);
+    ASSERT_GT(x, 0.0);
+    stats.Add(x);
+  }
+  const double mean = param.shape * param.scale;
+  const double variance = param.shape * param.scale * param.scale;
+  EXPECT_NEAR(stats.mean(), mean, 0.05 * mean);
+  EXPECT_NEAR(stats.variance(), variance, 0.1 * variance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMomentsTest,
+                         ::testing::Values(GammaCase{0.5, 1.0},
+                                           GammaCase{1.0, 2.0},
+                                           GammaCase{4.0, 0.5},
+                                           GammaCase{20.0, 3.0}));
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[static_cast<size_t>(rng.NextCategorical(weights))];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.01);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(37);
+  std::vector<double> samples;
+  for (int i = 0; i < 50001; ++i) samples.push_back(rng.NextLogNormal(1.0, 0.5));
+  std::nth_element(samples.begin(), samples.begin() + 25000, samples.end());
+  EXPECT_NEAR(samples[25000], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Split();
+  // The child stream should not mirror the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace upskill {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> values(64, 0);
+  ParallelFor(nullptr, 0, values.size(), [&values](size_t i) {
+    values[i] = static_cast<int>(i);
+  });
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 5, 5, [&calls](size_t) { ++calls; });
+  ParallelFor(&pool, 7, 3, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SubrangeOffsets) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(20);
+  ParallelFor(&pool, 5, 15, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<long long> contributions(n, 0);
+  ParallelFor(&pool, 0, n, [&contributions](size_t i) {
+    contributions[i] = static_cast<long long>(i) * 3 - 1;
+  });
+  long long expected = 0;
+  for (size_t i = 0; i < n; ++i) expected += static_cast<long long>(i) * 3 - 1;
+  EXPECT_EQ(std::accumulate(contributions.begin(), contributions.end(), 0LL),
+            expected);
+}
+
+}  // namespace
+}  // namespace upskill

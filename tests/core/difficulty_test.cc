@@ -1,0 +1,211 @@
+#include "core/difficulty.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/categorical.h"
+#include "dist/poisson.h"
+
+namespace upskill {
+namespace {
+
+Dataset MakeDataset(int num_items) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(num_items).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < num_items; ++i) {
+    const double row[] = {-1.0};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  return Dataset(std::move(items));
+}
+
+TEST(AssignmentDifficultyTest, AveragesSelectingLevels) {
+  Dataset dataset = MakeDataset(3);
+  const UserId u0 = dataset.AddUser();
+  const UserId u1 = dataset.AddUser();
+  // Item 0 selected at levels 1 and 5 -> difficulty 3 (the paper's
+  // illustration below Equation 8). Item 1 selected once at level 2.
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u0, 2, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 1, 0).ok());
+  const SkillAssignments assignments = {{1, 2}, {5}};
+  const std::vector<double> difficulty =
+      EstimateDifficultyByAssignment(dataset, assignments);
+  ASSERT_EQ(difficulty.size(), 3u);
+  EXPECT_DOUBLE_EQ(difficulty[0], 3.0);
+  EXPECT_DOUBLE_EQ(difficulty[1], 2.0);
+  EXPECT_TRUE(std::isnan(difficulty[2]));  // never selected
+}
+
+TEST(PriorTest, UniformPrior) {
+  const std::vector<double> prior = UniformSkillPrior(4);
+  ASSERT_EQ(prior.size(), 4u);
+  for (double p : prior) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(PriorTest, EmpiricalPriorCountsLevels) {
+  const SkillAssignments assignments = {{1, 1, 2}, {3}};
+  const std::vector<double> prior = EmpiricalSkillPrior(assignments, 3);
+  ASSERT_EQ(prior.size(), 3u);
+  EXPECT_DOUBLE_EQ(prior[0], 0.5);
+  EXPECT_DOUBLE_EQ(prior[1], 0.25);
+  EXPECT_DOUBLE_EQ(prior[2], 0.25);
+}
+
+TEST(PriorTest, EmpiricalPriorFallsBackToUniform) {
+  const std::vector<double> prior = EmpiricalSkillPrior({}, 2);
+  EXPECT_DOUBLE_EQ(prior[0], 0.5);
+  EXPECT_DOUBLE_EQ(prior[1], 0.5);
+}
+
+// Model where item generation cleanly separates two levels.
+class GenerationDifficultyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FeatureSchema schema;
+    ASSERT_TRUE(schema.AddIdFeature(2).ok());
+    SkillModelConfig config;
+    config.num_levels = 2;
+    auto created = SkillModel::Create(schema, config);
+    ASSERT_TRUE(created.ok());
+    model_ = std::make_unique<SkillModel>(std::move(created).value());
+    auto* level1 = static_cast<Categorical*>(model_->mutable_component(0, 1));
+    ASSERT_TRUE(level1->SetProbabilities(std::vector<double>{0.9, 0.1}).ok());
+    auto* level2 = static_cast<Categorical*>(model_->mutable_component(0, 2));
+    ASSERT_TRUE(level2->SetProbabilities(std::vector<double>{0.1, 0.9}).ok());
+
+    FeatureSchema item_schema;
+    ASSERT_TRUE(item_schema.AddIdFeature(2).ok());
+    items_ = std::make_unique<ItemTable>(std::move(item_schema));
+    for (int i = 0; i < 2; ++i) {
+      const double row[] = {-1.0};
+      ASSERT_TRUE(items_->AddItem(row).ok());
+    }
+  }
+
+  std::unique_ptr<SkillModel> model_;
+  std::unique_ptr<ItemTable> items_;
+};
+
+TEST_F(GenerationDifficultyTest, UniformPriorMatchesBayesByHand) {
+  const auto difficulty = EstimateDifficultyByGeneration(
+      *items_, *model_, UniformSkillPrior(2));
+  ASSERT_TRUE(difficulty.ok());
+  // Item 0: P(s=1|i) = 0.9 / (0.9 + 0.1) = 0.9 -> d = 1*0.9 + 2*0.1 = 1.1.
+  EXPECT_NEAR(difficulty.value()[0], 1.1, 1e-9);
+  EXPECT_NEAR(difficulty.value()[1], 1.9, 1e-9);
+}
+
+TEST_F(GenerationDifficultyTest, SkewedPriorShiftsEstimates) {
+  const std::vector<double> prior = {0.99, 0.01};
+  const auto difficulty =
+      EstimateDifficultyByGeneration(*items_, *model_, prior);
+  ASSERT_TRUE(difficulty.ok());
+  // Posterior for item 1: P(2|i) = 0.9*0.01 / (0.1*0.99 + 0.9*0.01).
+  const double p2 = 0.9 * 0.01 / (0.1 * 0.99 + 0.9 * 0.01);
+  EXPECT_NEAR(difficulty.value()[1], 1.0 + p2, 1e-9);
+  EXPECT_LT(difficulty.value()[1], 1.9);  // pulled toward the prior
+}
+
+TEST_F(GenerationDifficultyTest, EnumOverloadWiresPriors) {
+  const SkillAssignments assignments = {{1, 1, 1, 2}};
+  const auto uniform = EstimateDifficultyByGeneration(
+      *items_, *model_, DifficultyPrior::kUniform, assignments);
+  const auto empirical = EstimateDifficultyByGeneration(
+      *items_, *model_, DifficultyPrior::kEmpirical, assignments);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(empirical.ok());
+  // The empirical prior (75% level 1) pulls difficulty down.
+  EXPECT_LT(empirical.value()[1], uniform.value()[1]);
+}
+
+TEST_F(GenerationDifficultyTest, ValidatesPrior) {
+  EXPECT_FALSE(EstimateDifficultyByGeneration(*items_, *model_,
+                                              std::vector<double>{1.0})
+                   .ok());
+  EXPECT_FALSE(EstimateDifficultyByGeneration(
+                   *items_, *model_, std::vector<double>{-0.5, 1.5})
+                   .ok());
+  EXPECT_FALSE(EstimateDifficultyByGeneration(*items_, *model_,
+                                              std::vector<double>{0.0, 0.0})
+                   .ok());
+}
+
+TEST_F(GenerationDifficultyTest, ShrunkenBlendsBySupport) {
+  // Dataset: item 0 selected 8 times at level 2, item 1 never selected.
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddIdFeature(2).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < 2; ++i) {
+    const double row[] = {-1.0};
+    ASSERT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset dataset(std::move(items));
+  const UserId u = dataset.AddUser();
+  for (int n = 0; n < 8; ++n) {
+    ASSERT_TRUE(dataset.AddAction(u, n, 0).ok());
+  }
+  const SkillAssignments assignments = {{2, 2, 2, 2, 2, 2, 2, 2}};
+
+  const auto generation = EstimateDifficultyByGeneration(
+      dataset.items(), *model_, DifficultyPrior::kUniform, assignments);
+  ASSERT_TRUE(generation.ok());
+  const auto shrunken = EstimateDifficultyShrunken(
+      dataset, *model_, assignments, DifficultyPrior::kUniform,
+      /*generation_weight=*/4.0);
+  ASSERT_TRUE(shrunken.ok());
+
+  // Item 0: blend of assignment (2.0, weight 8) and generation (weight 4).
+  const double expected0 =
+      (8.0 * 2.0 + 4.0 * generation.value()[0]) / 12.0;
+  EXPECT_NEAR(shrunken.value()[0], expected0, 1e-9);
+  // Item 1 (unseen): pure generation estimate.
+  EXPECT_DOUBLE_EQ(shrunken.value()[1], generation.value()[1]);
+  // Weight must be positive.
+  EXPECT_FALSE(EstimateDifficultyShrunken(dataset, *model_, assignments,
+                                          DifficultyPrior::kUniform, 0.0)
+                   .ok());
+}
+
+TEST_F(GenerationDifficultyTest, ShrunkenLimitsRecoverComponents) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddIdFeature(2).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < 2; ++i) {
+    const double row[] = {-1.0};
+    ASSERT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset dataset(std::move(items));
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 0, 0).ok());
+  const SkillAssignments assignments = {{1}};
+
+  // Tiny weight ~ assignment value for selected items.
+  const auto tiny = EstimateDifficultyShrunken(
+      dataset, *model_, assignments, DifficultyPrior::kUniform, 1e-9);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_NEAR(tiny.value()[0], 1.0, 1e-6);
+  // Huge weight ~ generation value.
+  const auto generation = EstimateDifficultyByGeneration(
+      dataset.items(), *model_, DifficultyPrior::kUniform, assignments);
+  ASSERT_TRUE(generation.ok());
+  const auto huge = EstimateDifficultyShrunken(
+      dataset, *model_, assignments, DifficultyPrior::kUniform, 1e9);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_NEAR(huge.value()[0], generation.value()[0], 1e-6);
+}
+
+TEST_F(GenerationDifficultyTest, DifficultyStaysOnScale) {
+  const auto difficulty = EstimateDifficultyByGeneration(
+      *items_, *model_, UniformSkillPrior(2));
+  ASSERT_TRUE(difficulty.ok());
+  for (double d : difficulty.value()) {
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,90 @@
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/categorical.h"
+
+namespace upskill {
+namespace {
+
+class DominanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FeatureSchema schema;
+    ASSERT_TRUE(
+        schema.AddCategorical("style", 4, {"lager", "ale", "ipa", "stout"})
+            .ok());
+    ASSERT_TRUE(schema.AddCount("steps").ok());
+    SkillModelConfig config;
+    config.num_levels = 3;
+    auto created = SkillModel::Create(schema, config);
+    ASSERT_TRUE(created.ok());
+    model_ = std::make_unique<SkillModel>(std::move(created).value());
+    auto* low = static_cast<Categorical*>(model_->mutable_component(0, 1));
+    ASSERT_TRUE(
+        low->SetProbabilities(std::vector<double>{0.6, 0.2, 0.1, 0.1}).ok());
+    auto* high = static_cast<Categorical*>(model_->mutable_component(0, 3));
+    ASSERT_TRUE(
+        high->SetProbabilities(std::vector<double>{0.1, 0.2, 0.4, 0.3}).ok());
+  }
+
+  std::unique_ptr<SkillModel> model_;
+};
+
+TEST_F(DominanceTest, SkilledDominanceIsHighMinusLow) {
+  const auto top = TopDominantCategories(*model_, 0, 2, /*skilled=*/true);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].label, "ipa");      // +0.3
+  EXPECT_NEAR(top.value()[0].score, 0.3, 1e-12);
+  EXPECT_EQ(top.value()[1].label, "stout");    // +0.2
+}
+
+TEST_F(DominanceTest, UnskilledDominanceIsMostNegative) {
+  const auto top = TopDominantCategories(*model_, 0, 2, /*skilled=*/false);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value()[0].label, "lager");    // -0.5
+  EXPECT_NEAR(top.value()[0].score, -0.5, 1e-12);
+  EXPECT_EQ(top.value()[1].label, "ale");      // 0.0 (least positive left)
+}
+
+TEST_F(DominanceTest, KLargerThanCardinalityIsClamped) {
+  const auto top = TopDominantCategories(*model_, 0, 99, true);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value().size(), 4u);
+}
+
+TEST_F(DominanceTest, RejectsNonCategoricalFeature) {
+  EXPECT_FALSE(TopDominantCategories(*model_, 1, 3, true).ok());
+  EXPECT_FALSE(TopFrequentCategories(*model_, 1, 1, 3).ok());
+  EXPECT_FALSE(TopDominantCategories(*model_, 9, 3, true).ok());
+}
+
+TEST_F(DominanceTest, TopFrequentCategoriesSortsByProbability) {
+  const auto top = TopFrequentCategories(*model_, 0, 1, 3);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 3u);
+  EXPECT_EQ(top.value()[0].label, "lager");
+  EXPECT_NEAR(top.value()[0].score, 0.6, 1e-12);
+  EXPECT_EQ(top.value()[1].label, "ale");
+}
+
+TEST_F(DominanceTest, TopFrequentValidatesLevel) {
+  EXPECT_FALSE(TopFrequentCategories(*model_, 0, 0, 3).ok());
+  EXPECT_FALSE(TopFrequentCategories(*model_, 0, 4, 3).ok());
+}
+
+TEST_F(DominanceTest, MissingLabelsYieldEmptyStrings) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCategorical("unlabeled", 3).ok());
+  SkillModelConfig config;
+  config.num_levels = 2;
+  auto model = SkillModel::Create(schema, config);
+  ASSERT_TRUE(model.ok());
+  const auto top = TopFrequentCategories(model.value(), 0, 1, 2);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value()[0].label, "");
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,213 @@
+#include "core/dp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace {
+
+// Brute-force reference: enumerate all monotone unit-step paths.
+double BestPathByEnumeration(const std::vector<double>& log_probs, size_t n,
+                             int levels) {
+  double best = -std::numeric_limits<double>::infinity();
+  // A path is determined by the start level and the (sorted) set of
+  // positions where it steps up; enumerate recursively.
+  struct Enumerator {
+    const std::vector<double>& lp;
+    size_t n;
+    int levels;
+    double best = -std::numeric_limits<double>::infinity();
+    void Visit(size_t t, int level, double sum) {
+      sum += lp[t * static_cast<size_t>(levels) + static_cast<size_t>(level - 1)];
+      if (t + 1 == n) {
+        best = std::max(best, sum);
+        return;
+      }
+      Visit(t + 1, level, sum);
+      if (level < levels) Visit(t + 1, level + 1, sum);
+    }
+  };
+  Enumerator enumerator{log_probs, n, levels};
+  for (int start = 1; start <= levels; ++start) {
+    enumerator.Visit(0, start, 0.0);
+  }
+  best = enumerator.best;
+  return best;
+}
+
+double PathScore(const std::vector<double>& log_probs,
+                 const std::vector<int>& path, int levels) {
+  double sum = 0.0;
+  for (size_t t = 0; t < path.size(); ++t) {
+    sum += log_probs[t * static_cast<size_t>(levels) +
+                     static_cast<size_t>(path[t] - 1)];
+  }
+  return sum;
+}
+
+bool IsMonotoneUnitStep(const std::vector<int>& path, int levels) {
+  for (size_t t = 0; t < path.size(); ++t) {
+    if (path[t] < 1 || path[t] > levels) return false;
+    if (t > 0 && (path[t] < path[t - 1] || path[t] > path[t - 1] + 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SolveMonotonePathTest, EmptyInput) {
+  const MonotonePath path = SolveMonotonePath({}, 3);
+  EXPECT_TRUE(path.levels.empty());
+  EXPECT_EQ(path.log_likelihood, 0.0);
+}
+
+TEST(SolveMonotonePathTest, SingleActionPicksArgmax) {
+  const std::vector<double> lp = {-3.0, -1.0, -2.0};
+  const MonotonePath path = SolveMonotonePath(lp, 3);
+  ASSERT_EQ(path.levels.size(), 1u);
+  EXPECT_EQ(path.levels[0], 2);
+  EXPECT_DOUBLE_EQ(path.log_likelihood, -1.0);
+}
+
+TEST(SolveMonotonePathTest, SingleLevelIsTrivial) {
+  const std::vector<double> lp = {-1.0, -2.0, -3.0};
+  const MonotonePath path = SolveMonotonePath(lp, 1);
+  EXPECT_EQ(path.levels, (std::vector<int>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(path.log_likelihood, -6.0);
+}
+
+TEST(SolveMonotonePathTest, ClimbsWhenEvidenceDemands) {
+  // Three actions whose best levels are 1, 2, 3.
+  const std::vector<double> lp = {
+      -1.0, -9.0, -9.0,  // t=0 favors level 1
+      -9.0, -1.0, -9.0,  // t=1 favors level 2
+      -9.0, -9.0, -1.0,  // t=2 favors level 3
+  };
+  const MonotonePath path = SolveMonotonePath(lp, 3);
+  EXPECT_EQ(path.levels, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(path.log_likelihood, -3.0);
+}
+
+TEST(SolveMonotonePathTest, CanStartAboveLevelOne) {
+  const std::vector<double> lp = {
+      -9.0, -9.0, -1.0,
+      -9.0, -9.0, -1.0,
+  };
+  const MonotonePath path = SolveMonotonePath(lp, 3);
+  EXPECT_EQ(path.levels, (std::vector<int>{3, 3}));
+}
+
+TEST(SolveMonotonePathTest, CannotSkipLevels) {
+  // Evidence wants 1 then 3, but unit steps force an intermediate cost.
+  const std::vector<double> lp = {
+      0.0, -10.0, -10.0,
+      -10.0, -10.0, 0.0,
+  };
+  const MonotonePath path = SolveMonotonePath(lp, 3);
+  EXPECT_TRUE(IsMonotoneUnitStep(path.levels, 3));
+  // Either stay at 1->2 or start 2->3; both cost -10.
+  EXPECT_DOUBLE_EQ(path.log_likelihood, -10.0);
+}
+
+TEST(SolveMonotonePathTest, TiesPreferLowerLevel) {
+  // All entries equal: the path should hug level 1.
+  const std::vector<double> lp(4 * 3, -1.0);
+  const MonotonePath path = SolveMonotonePath(lp, 3);
+  EXPECT_EQ(path.levels, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(SolveMonotonePathTest, HandlesNegativeInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> lp = {
+      -inf, -1.0,
+      -2.0, -inf,
+  };
+  // Start at 2 then... cannot go down; -inf at t=1 level 2 forces the
+  // only finite path to be impossible — the solver must still return a
+  // valid monotone path.
+  const MonotonePath path = SolveMonotonePath(lp, 2);
+  EXPECT_TRUE(IsMonotoneUnitStep(path.levels, 2));
+}
+
+class DpRandomizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpRandomizedTest, MatchesBruteForceEnumeration) {
+  const int levels = GetParam();
+  Rng rng(static_cast<uint64_t>(levels) * 1000 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.NextInt(10));
+    std::vector<double> lp(n * static_cast<size_t>(levels));
+    for (double& v : lp) v = -5.0 * rng.NextDouble();
+    const MonotonePath path = SolveMonotonePath(lp, levels);
+    ASSERT_EQ(path.levels.size(), n);
+    EXPECT_TRUE(IsMonotoneUnitStep(path.levels, levels));
+    const double expected = BestPathByEnumeration(lp, n, levels);
+    EXPECT_NEAR(path.log_likelihood, expected, 1e-9);
+    EXPECT_NEAR(PathScore(lp, path.levels, levels), path.log_likelihood,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DpRandomizedTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(SolveMonotonePathWithTransitionsTest, ZeroWeightsMatchPlainSolver) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.NextInt(12));
+    std::vector<double> lp(n * 4);
+    for (double& v : lp) v = -8.0 * rng.NextDouble();
+    const MonotonePath plain = SolveMonotonePath(lp, 4);
+    const MonotonePath weighted =
+        SolveMonotonePathWithTransitions(lp, 4, {}, 0.0, 0.0);
+    EXPECT_EQ(plain.levels, weighted.levels);
+    EXPECT_DOUBLE_EQ(plain.log_likelihood, weighted.log_likelihood);
+  }
+}
+
+TEST(SolveMonotonePathWithTransitionsTest, InitialDistributionBiasesStart) {
+  // Emissions are flat; only the initial weights differ.
+  const std::vector<double> lp(3 * 3, -1.0);
+  const std::vector<double> favor_top = {std::log(0.05), std::log(0.05),
+                                         std::log(0.9)};
+  const MonotonePath path =
+      SolveMonotonePathWithTransitions(lp, 3, favor_top, std::log(0.9),
+                                       std::log(0.1));
+  EXPECT_EQ(path.levels, (std::vector<int>{3, 3, 3}));
+}
+
+TEST(SolveMonotonePathWithTransitionsTest, UpCostDiscouragesClimbing) {
+  // Evidence mildly prefers climbing 1 -> 2 (level 3 is implausible, so
+  // the free stay at the top cannot interfere); each up-step may cost.
+  const std::vector<double> lp = {
+      -1.0, -1.2, -9.0,
+      -1.2, -1.0, -9.0,
+  };
+  const MonotonePath cheap = SolveMonotonePathWithTransitions(
+      lp, 3, {}, std::log(0.5), std::log(0.5));
+  EXPECT_EQ(cheap.levels, (std::vector<int>{1, 2}));
+  const MonotonePath expensive = SolveMonotonePathWithTransitions(
+      lp, 3, {}, std::log(0.99), std::log(0.01));
+  EXPECT_EQ(expensive.levels, (std::vector<int>{1, 1}));
+}
+
+TEST(SolveMonotonePathWithTransitionsTest, TopLevelStayIsFree) {
+  // A path pinned at the top by the initial distribution must not pay the
+  // stay cost (there is no alternative move at the top).
+  const std::vector<double> lp(4 * 2, -1.0);
+  const std::vector<double> top_only = {
+      -std::numeric_limits<double>::infinity(), 0.0};
+  const MonotonePath path = SolveMonotonePathWithTransitions(
+      lp, 2, top_only, std::log(1e-9), std::log(1.0 - 1e-9));
+  EXPECT_EQ(path.levels, (std::vector<int>{2, 2, 2, 2}));
+  // Score: 4 emissions + initial 0; stays at the top cost nothing.
+  EXPECT_NEAR(path.log_likelihood, -4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,181 @@
+// Tests for the forgetting extension (Section VII future work): the
+// down-edge DP variant and the trainer integration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/dp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace {
+
+TEST(ForgettingDpTest, NoBreaksMatchesMonotoneSolver) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + static_cast<size_t>(rng.NextInt(10));
+    std::vector<double> lp(n * 4);
+    for (double& v : lp) v = -7.0 * rng.NextDouble();
+    const std::vector<uint8_t> no_breaks(n - 1, 0);
+    const MonotonePath plain = SolveMonotonePath(lp, 4);
+    const MonotonePath forgetting = SolveMonotonePathWithForgetting(
+        lp, 4, {}, 0.0, 0.0, no_breaks, std::log(0.05));
+    EXPECT_EQ(plain.levels, forgetting.levels);
+    EXPECT_DOUBLE_EQ(plain.log_likelihood, forgetting.log_likelihood);
+  }
+}
+
+TEST(ForgettingDpTest, DropsLevelAfterBreakWhenEvidenceDemands) {
+  // Strong evidence: 3, 3, then (after a break) 2, 2.
+  const std::vector<double> lp = {
+      -9.0, -9.0, -0.1,
+      -9.0, -9.0, -0.1,
+      -9.0, -0.1, -9.0,
+      -9.0, -0.1, -9.0,
+  };
+  const std::vector<uint8_t> breaks = {0, 1, 0};
+  const MonotonePath path = SolveMonotonePathWithForgetting(
+      lp, 3, {}, 0.0, 0.0, breaks, std::log(0.1));
+  EXPECT_EQ(path.levels, (std::vector<int>{3, 3, 2, 2}));
+}
+
+TEST(ForgettingDpTest, NoDropWithoutBreakEvenWithEvidence) {
+  const std::vector<double> lp = {
+      -9.0, -9.0, -0.1,
+      -9.0, -9.0, -0.1,
+      -9.0, -0.1, -9.0,
+      -9.0, -0.1, -9.0,
+  };
+  const std::vector<uint8_t> no_breaks = {0, 0, 0};
+  const MonotonePath path = SolveMonotonePathWithForgetting(
+      lp, 3, {}, 0.0, 0.0, no_breaks, std::log(0.1));
+  // The path must stay monotone: it either eats the bad emissions at 3 or
+  // never climbs; both are monotone.
+  for (size_t t = 1; t < path.levels.size(); ++t) {
+    EXPECT_GE(path.levels[t], path.levels[t - 1]);
+  }
+}
+
+TEST(ForgettingDpTest, DownCostWeighsAgainstDrop) {
+  // Mild evidence for a drop; prohibitive down cost keeps the level.
+  const std::vector<double> lp = {
+      -5.0, -1.0,
+      -1.0, -1.4,
+  };
+  const std::vector<uint8_t> breaks = {1};
+  const MonotonePath cheap = SolveMonotonePathWithForgetting(
+      lp, 2, {}, 0.0, 0.0, breaks, std::log(0.9));
+  EXPECT_EQ(cheap.levels, (std::vector<int>{2, 1}));
+  const MonotonePath expensive = SolveMonotonePathWithForgetting(
+      lp, 2, {}, 0.0, 0.0, breaks, -10.0);
+  EXPECT_EQ(expensive.levels, (std::vector<int>{2, 2}));
+}
+
+TEST(ForgettingDpTest, CanDropMultipleTimesAcrossBreaks) {
+  const std::vector<double> lp = {
+      -9.0, -9.0, -0.1,
+      -9.0, -0.1, -9.0,
+      -0.1, -9.0, -9.0,
+  };
+  const std::vector<uint8_t> breaks = {1, 1};
+  const MonotonePath path = SolveMonotonePathWithForgetting(
+      lp, 3, {}, 0.0, 0.0, breaks, std::log(0.2));
+  EXPECT_EQ(path.levels, (std::vector<int>{3, 2, 1}));
+}
+
+// Levels must never move by more than one, and only drop at break points.
+void ExpectValidForgetfulPath(const std::vector<int>& levels,
+                              const std::vector<Action>& seq,
+                              int64_t gap_threshold, int num_levels) {
+  for (size_t n = 0; n < levels.size(); ++n) {
+    EXPECT_GE(levels[n], 1);
+    EXPECT_LE(levels[n], num_levels);
+    if (n == 0) continue;
+    const int step = levels[n] - levels[n - 1];
+    EXPECT_LE(step, 1);
+    EXPECT_GE(step, -1);
+    if (step < 0) {
+      EXPECT_GT(seq[n].time - seq[n - 1].time, gap_threshold)
+          << "drop without a long break at position " << n;
+    }
+  }
+}
+
+TEST(ForgettingTrainerTest, RecoversDecayBetterThanMonotoneModel) {
+  datagen::SyntheticConfig gen;
+  gen.num_users = 250;
+  gen.num_items = 500;
+  gen.mean_sequence_length = 40.0;
+  gen.break_probability = 0.05;
+  gen.break_gap = 1000;
+  gen.forget_probability = 0.9;
+  gen.seed = 4242;
+  auto data = datagen::GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+
+  SkillModelConfig monotone_config;
+  monotone_config.num_levels = 5;
+  monotone_config.min_init_actions = 25;
+  SkillModelConfig forgetting_config = monotone_config;
+  forgetting_config.forgetting.enabled = true;
+  forgetting_config.forgetting.gap_threshold = 100;
+  forgetting_config.forgetting.drop_probability = 0.1;
+
+  const auto monotone = Trainer(monotone_config).Train(data.value().dataset);
+  const auto forgetting =
+      Trainer(forgetting_config).Train(data.value().dataset);
+  ASSERT_TRUE(monotone.ok());
+  ASSERT_TRUE(forgetting.ok());
+
+  // Structural validity of forgetful paths.
+  for (UserId u = 0; u < data.value().dataset.num_users(); ++u) {
+    ExpectValidForgetfulPath(
+        forgetting.value().assignments[static_cast<size_t>(u)],
+        data.value().dataset.sequence(u), 100, 5);
+  }
+
+  // The forgetful model should fit the decaying truth at least as well.
+  const auto flatten = [](const SkillAssignments& assignments) {
+    std::vector<double> flat;
+    for (const auto& seq : assignments) {
+      for (int level : seq) flat.push_back(level);
+    }
+    return flat;
+  };
+  std::vector<double> truth;
+  for (const auto& seq : data.value().truth.skill) {
+    for (int level : seq) truth.push_back(level);
+  }
+  const double r_monotone =
+      eval::PearsonCorrelation(flatten(monotone.value().assignments), truth);
+  const double r_forgetting = eval::PearsonCorrelation(
+      flatten(forgetting.value().assignments), truth);
+  EXPECT_GT(r_forgetting, r_monotone - 0.02)
+      << "forgetting model much worse on forgetful data";
+  // And its likelihood should be at least as high (extra edges can only
+  // help the optimal path).
+  EXPECT_GE(forgetting.value().final_log_likelihood,
+            monotone.value().final_log_likelihood - 1e-6);
+}
+
+TEST(ForgettingTrainerTest, DisabledForgettingKeepsMonotonicity) {
+  datagen::SyntheticConfig gen;
+  gen.num_users = 60;
+  gen.num_items = 200;
+  gen.break_probability = 0.05;
+  auto data = datagen::GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  SkillModelConfig config;
+  config.num_levels = 5;
+  config.min_init_actions = 25;
+  const auto result = Trainer(config).Train(data.value().dataset);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(AssignmentsAreMonotone(result.value().assignments, 5));
+}
+
+}  // namespace
+}  // namespace upskill

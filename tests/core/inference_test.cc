@@ -1,0 +1,132 @@
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/categorical.h"
+
+namespace upskill {
+namespace {
+
+TEST(NearestActionLevelTest, PicksChronologicallyClosest) {
+  const std::vector<Action> seq = {{10, 0, 0.0}, {20, 1, 0.0}, {30, 2, 0.0}};
+  const std::vector<int> levels = {1, 2, 3};
+  EXPECT_EQ(NearestActionLevel(seq, levels, 5), 1);    // before everything
+  EXPECT_EQ(NearestActionLevel(seq, levels, 100), 3);  // after everything
+  EXPECT_EQ(NearestActionLevel(seq, levels, 12), 1);
+  EXPECT_EQ(NearestActionLevel(seq, levels, 19), 2);
+  EXPECT_EQ(NearestActionLevel(seq, levels, 20), 2);   // exact hit
+}
+
+TEST(NearestActionLevelTest, TiesPreferEarlierAction) {
+  const std::vector<Action> seq = {{10, 0, 0.0}, {20, 1, 0.0}};
+  const std::vector<int> levels = {1, 2};
+  EXPECT_EQ(NearestActionLevel(seq, levels, 15), 1);  // equidistant
+}
+
+TEST(NearestActionLevelTest, EmptySequenceDefaultsToLevelOne) {
+  EXPECT_EQ(NearestActionLevel({}, {}, 42), 1);
+}
+
+// Fixture with a hand-crafted ID-feature model.
+class ItemRankingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FeatureSchema schema;
+    ASSERT_TRUE(schema.AddIdFeature(4).ok());
+    SkillModelConfig config;
+    config.num_levels = 2;
+    auto created = SkillModel::Create(schema, config);
+    ASSERT_TRUE(created.ok());
+    model_ = std::make_unique<SkillModel>(std::move(created).value());
+    // Level 1: item 2 most likely, then 0, then 1, then 3.
+    auto* level1 = static_cast<Categorical*>(model_->mutable_component(0, 1));
+    ASSERT_TRUE(
+        level1->SetProbabilities(std::vector<double>{0.3, 0.2, 0.4, 0.1})
+            .ok());
+    // Level 2: uniform (full tie).
+    auto* level2 = static_cast<Categorical*>(model_->mutable_component(0, 2));
+    ASSERT_TRUE(
+        level2->SetProbabilities(std::vector<double>{0.25, 0.25, 0.25, 0.25})
+            .ok());
+  }
+
+  std::unique_ptr<SkillModel> model_;
+};
+
+TEST_F(ItemRankingTest, RanksByProbability) {
+  EXPECT_EQ(ItemRankAtLevel(*model_, 1, 2).value(), 1);
+  EXPECT_EQ(ItemRankAtLevel(*model_, 1, 0).value(), 2);
+  EXPECT_EQ(ItemRankAtLevel(*model_, 1, 1).value(), 3);
+  EXPECT_EQ(ItemRankAtLevel(*model_, 1, 3).value(), 4);
+}
+
+TEST_F(ItemRankingTest, TiesBreakBySmallerId) {
+  EXPECT_EQ(ItemRankAtLevel(*model_, 2, 0).value(), 1);
+  EXPECT_EQ(ItemRankAtLevel(*model_, 2, 1).value(), 2);
+  EXPECT_EQ(ItemRankAtLevel(*model_, 2, 3).value(), 4);
+}
+
+TEST_F(ItemRankingTest, RejectsOutOfRangeItem) {
+  EXPECT_FALSE(ItemRankAtLevel(*model_, 1, 99).ok());
+  EXPECT_FALSE(ItemRankAtLevel(*model_, 1, -1).ok());
+}
+
+TEST_F(ItemRankingTest, TopItemsMatchesRanks) {
+  const auto top = TopItemsAtLevel(*model_, 1, 3);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value(), (std::vector<ItemId>{2, 0, 1}));
+  const auto all = TopItemsAtLevel(*model_, 1, 10);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 4u);
+}
+
+TEST(ItemRankingNoIdTest, FailsWithoutIdFeature) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("steps").ok());
+  SkillModelConfig config;
+  config.num_levels = 2;
+  auto model = SkillModel::Create(schema, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(ItemRankAtLevel(model.value(), 1, 0).ok());
+  EXPECT_FALSE(TopItemsAtLevel(model.value(), 1, 3).ok());
+}
+
+TEST(HeldOutLogLikelihoodTest, SumsNearestLevelLogProbs) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddIdFeature(2).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < 2; ++i) {
+    const double row[] = {-1.0};
+    ASSERT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset train(std::move(items));
+  const UserId u = train.AddUser();
+  ASSERT_TRUE(train.AddAction(u, 10, 0).ok());
+  ASSERT_TRUE(train.AddAction(u, 20, 1).ok());
+
+  SkillModelConfig config;
+  config.num_levels = 2;
+  auto created = SkillModel::Create(train.schema(), config);
+  ASSERT_TRUE(created.ok());
+  SkillModel model = std::move(created).value();
+  auto* level1 = static_cast<Categorical*>(model.mutable_component(0, 1));
+  ASSERT_TRUE(level1->SetProbabilities(std::vector<double>{0.9, 0.1}).ok());
+  auto* level2 = static_cast<Categorical*>(model.mutable_component(0, 2));
+  ASSERT_TRUE(level2->SetProbabilities(std::vector<double>{0.2, 0.8}).ok());
+
+  const SkillAssignments assignments = {{1, 2}};
+  // Test action at time 11 -> nearest train action at time 10 -> level 1;
+  // item 1 under level 1 has probability 0.1.
+  const std::vector<HeldOutAction> test = {{u, Action{11, 1, 0.0}, 0}};
+  EXPECT_NEAR(HeldOutLogLikelihood(train, assignments, model, test),
+              std::log(0.1), 1e-12);
+  // At time 19 the nearest is time-20 -> level 2 -> probability 0.8.
+  const std::vector<HeldOutAction> test2 = {{u, Action{19, 1, 0.0}, 0}};
+  EXPECT_NEAR(HeldOutLogLikelihood(train, assignments, model, test2),
+              std::log(0.8), 1e-12);
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,101 @@
+#include "core/information_criteria.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+
+namespace upskill {
+namespace {
+
+TEST(CountModelParametersTest, PerKindCounts) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCategorical("c", 10).ok());  // 9 free per level
+  ASSERT_TRUE(schema.AddCount("n").ok());            // 1 per level
+  ASSERT_TRUE(schema.AddReal("g").ok());             // 2 per level
+  ASSERT_TRUE(
+      schema.AddReal("l", DistributionKind::kLogNormal).ok());  // 2
+  EXPECT_EQ(CountModelParameters(schema, 1), 14);
+  EXPECT_EQ(CountModelParameters(schema, 5), 70);
+}
+
+TEST(CountModelParametersTest, IdFeatureCountsLikeCategorical) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddIdFeature(100).ok());
+  EXPECT_EQ(CountModelParameters(schema, 3), 3 * 99);
+}
+
+class InformationCriteriaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::SyntheticConfig gen;
+    gen.num_users = 120;
+    gen.num_items = 250;
+    gen.mean_sequence_length = 25.0;
+    auto data = datagen::GenerateSynthetic(gen);
+    ASSERT_TRUE(data.ok());
+    data_ = std::make_unique<datagen::GeneratedData>(std::move(data).value());
+  }
+
+  Result<InformationCriteria> CriteriaForLevels(int num_levels) {
+    SkillModelConfig config;
+    config.num_levels = num_levels;
+    config.min_init_actions = 15;
+    config.max_iterations = 15;
+    Trainer trainer(config);
+    auto trained = trainer.Train(data_->dataset);
+    if (!trained.ok()) return trained.status();
+    return ComputeInformationCriteria(data_->dataset,
+                                      trained.value().model);
+  }
+
+  std::unique_ptr<datagen::GeneratedData> data_;
+};
+
+TEST_F(InformationCriteriaTest, FormulasAreConsistent) {
+  const auto criteria = CriteriaForLevels(5);
+  ASSERT_TRUE(criteria.ok());
+  const auto& c = criteria.value();
+  EXPECT_LT(c.log_likelihood, 0.0);
+  EXPECT_GT(c.num_parameters, 0);
+  EXPECT_EQ(c.num_actions, data_->dataset.num_actions());
+  EXPECT_NEAR(c.bic,
+              -2.0 * c.log_likelihood +
+                  static_cast<double>(c.num_parameters) *
+                      std::log(static_cast<double>(c.num_actions)),
+              1e-6);
+  EXPECT_NEAR(c.aic,
+              -2.0 * c.log_likelihood +
+                  2.0 * static_cast<double>(c.num_parameters),
+              1e-6);
+  // BIC penalizes harder than AIC whenever ln(n) > 2.
+  EXPECT_GT(c.bic, c.aic);
+}
+
+TEST_F(InformationCriteriaTest, MoreLevelsFitBetterButPayPenalty) {
+  const auto small = CriteriaForLevels(2);
+  const auto large = CriteriaForLevels(8);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // Training likelihood is (weakly) better with more levels...
+  EXPECT_GE(large.value().log_likelihood,
+            small.value().log_likelihood - 1e-6);
+  // ...but the parameter count grows linearly in S.
+  EXPECT_EQ(large.value().num_parameters,
+            4 * small.value().num_parameters);
+}
+
+TEST_F(InformationCriteriaTest, RejectsEmptyDataset) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("x").ok());
+  Dataset empty((ItemTable(std::move(schema))));
+  SkillModelConfig config;
+  auto model = SkillModel::Create(empty.schema(), config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(ComputeInformationCriteria(empty, model.value()).ok());
+}
+
+}  // namespace
+}  // namespace upskill

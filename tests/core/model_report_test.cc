@@ -1,0 +1,64 @@
+#include "core/model_report.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/categorical.h"
+
+namespace upskill {
+namespace {
+
+TEST(ModelReportTest, IncludesAllFeaturesAndLevels) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddIdFeature(4).ok());
+  ASSERT_TRUE(schema.AddCategorical("style", 3, {"lager", "ale", "stout"}).ok());
+  ASSERT_TRUE(schema.AddCount("steps").ok());
+  ASSERT_TRUE(schema.AddReal("abv").ok());
+  SkillModelConfig config;
+  config.num_levels = 2;
+  auto created = SkillModel::Create(schema, config);
+  ASSERT_TRUE(created.ok());
+  SkillModel model = std::move(created).value();
+  auto* style = static_cast<Categorical*>(model.mutable_component(1, 2));
+  ASSERT_TRUE(
+      style->SetProbabilities(std::vector<double>{0.1, 0.2, 0.7}).ok());
+
+  const std::string report = FormatModelReport(model, 2);
+  EXPECT_NE(report.find("item_id"), std::string::npos);
+  EXPECT_NE(report.find("[item id]"), std::string::npos);
+  EXPECT_NE(report.find("style"), std::string::npos);
+  EXPECT_NE(report.find("steps"), std::string::npos);
+  EXPECT_NE(report.find("abv"), std::string::npos);
+  EXPECT_NE(report.find("level 1"), std::string::npos);
+  EXPECT_NE(report.find("level 2"), std::string::npos);
+  // The dominant category appears with its label and probability.
+  EXPECT_NE(report.find("stout=0.700"), std::string::npos) << report;
+  // Numeric components print their parameterization.
+  EXPECT_NE(report.find("Poisson"), std::string::npos);
+  EXPECT_NE(report.find("Gamma"), std::string::npos);
+}
+
+TEST(ModelReportTest, UnlabeledCategoriesUseIndices) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCategorical("c", 3).ok());
+  SkillModelConfig config;
+  config.num_levels = 1;
+  auto model = SkillModel::Create(schema, config);
+  ASSERT_TRUE(model.ok());
+  const std::string report = FormatModelReport(model.value(), 1);
+  EXPECT_NE(report.find("#0="), std::string::npos) << report;
+}
+
+TEST(ModelReportTest, TopCategoriesBounded) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCategorical("c", 10).ok());
+  SkillModelConfig config;
+  config.num_levels = 1;
+  auto model = SkillModel::Create(schema, config);
+  ASSERT_TRUE(model.ok());
+  const std::string one = FormatModelReport(model.value(), 1);
+  const std::string three = FormatModelReport(model.value(), 3);
+  EXPECT_LT(one.size(), three.size());
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,80 @@
+#include "core/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace upskill {
+namespace {
+
+TEST(SelectSkillCountTest, RejectsEmptyCandidates) {
+  datagen::SyntheticConfig gen;
+  gen.num_users = 20;
+  gen.num_items = 50;
+  const auto data = datagen::GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  Rng rng(1);
+  EXPECT_FALSE(SelectSkillCount(data.value().dataset, {},
+                                SkillModelConfig{}, 0.1, rng)
+                   .ok());
+}
+
+TEST(SelectSkillCountTest, ReturnsCurvePointPerCandidate) {
+  datagen::SyntheticConfig gen;
+  gen.num_users = 80;
+  gen.num_items = 200;
+  gen.mean_sequence_length = 25.0;
+  const auto data = datagen::GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  SkillModelConfig base;
+  base.min_init_actions = 15;
+  base.max_iterations = 10;
+  const std::vector<int> candidates = {2, 3, 5};
+  Rng rng(5);
+  const auto selection =
+      SelectSkillCount(data.value().dataset, candidates, base, 0.1, rng);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  ASSERT_EQ(selection.value().curve.size(), 3u);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(selection.value().curve[i].num_levels, candidates[i]);
+    EXPECT_LT(selection.value().curve[i].held_out_log_likelihood, 0.0);
+  }
+  // The winner is on the curve with the max likelihood.
+  double best = selection.value().curve[0].held_out_log_likelihood;
+  int best_s = selection.value().curve[0].num_levels;
+  for (const auto& point : selection.value().curve) {
+    if (point.held_out_log_likelihood > best) {
+      best = point.held_out_log_likelihood;
+      best_s = point.num_levels;
+    }
+  }
+  EXPECT_EQ(selection.value().best_num_levels, best_s);
+}
+
+TEST(SelectSkillCountTest, DeterministicGivenSeed) {
+  datagen::SyntheticConfig gen;
+  gen.num_users = 50;
+  gen.num_items = 100;
+  const auto data = datagen::GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  SkillModelConfig base;
+  base.min_init_actions = 15;
+  base.max_iterations = 5;
+  const std::vector<int> candidates = {2, 4};
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto a =
+      SelectSkillCount(data.value().dataset, candidates, base, 0.1, rng_a);
+  const auto b =
+      SelectSkillCount(data.value().dataset, candidates, base, 0.1, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().best_num_levels, b.value().best_num_levels);
+  for (size_t i = 0; i < a.value().curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().curve[i].held_out_log_likelihood,
+                     b.value().curve[i].held_out_log_likelihood);
+  }
+}
+
+}  // namespace
+}  // namespace upskill

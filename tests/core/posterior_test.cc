@@ -1,0 +1,169 @@
+#include "core/posterior.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/categorical.h"
+
+namespace upskill {
+namespace {
+
+// Two items, two levels, hand-set emission probabilities.
+class PosteriorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FeatureSchema schema;
+    ASSERT_TRUE(schema.AddIdFeature(2).ok());
+    ItemTable items(std::move(schema));
+    for (int i = 0; i < 2; ++i) {
+      const double row[] = {-1.0};
+      ASSERT_TRUE(items.AddItem(row).ok());
+    }
+    items_ = std::make_unique<ItemTable>(std::move(items));
+
+    SkillModelConfig config;
+    config.num_levels = 2;
+    auto model = SkillModel::Create(items_->schema(), config);
+    ASSERT_TRUE(model.ok());
+    model_ = std::make_unique<SkillModel>(std::move(model).value());
+    auto* level1 = static_cast<Categorical*>(model_->mutable_component(0, 1));
+    ASSERT_TRUE(level1->SetProbabilities(std::vector<double>{0.8, 0.2}).ok());
+    auto* level2 = static_cast<Categorical*>(model_->mutable_component(0, 2));
+    ASSERT_TRUE(level2->SetProbabilities(std::vector<double>{0.3, 0.7}).ok());
+  }
+
+  std::unique_ptr<ItemTable> items_;
+  std::unique_ptr<SkillModel> model_;
+};
+
+TEST_F(PosteriorTest, SingleActionMatchesBayesByHand) {
+  const std::vector<Action> seq = {{0, 0, 0.0}};  // item 0
+  const auto posterior = ComputeSequencePosterior(
+      *items_, seq, *model_, UninformativeTransitions(2));
+  ASSERT_TRUE(posterior.ok());
+  // P(s=1 | i=0) = 0.8 / (0.8 + 0.3) with a uniform initial distribution.
+  EXPECT_NEAR(posterior.value().Probability(0, 1), 0.8 / 1.1, 1e-12);
+  EXPECT_NEAR(posterior.value().Probability(0, 2), 0.3 / 1.1, 1e-12);
+  // log marginal = log(0.5 * 0.8 + 0.5 * 0.3).
+  EXPECT_NEAR(posterior.value().log_marginal, std::log(0.55), 1e-12);
+  EXPECT_NEAR(posterior.value().MeanLevel(0), 1.0 + 0.3 / 1.1, 1e-12);
+}
+
+TEST_F(PosteriorTest, RowsAreDistributions) {
+  Rng rng(3);
+  std::vector<Action> seq;
+  for (int n = 0; n < 20; ++n) {
+    seq.push_back(Action{n, static_cast<ItemId>(rng.NextInt(2)), 0.0});
+  }
+  const auto posterior = ComputeSequencePosterior(
+      *items_, seq, *model_, UninformativeTransitions(2));
+  ASSERT_TRUE(posterior.ok());
+  for (size_t t = 0; t < seq.size(); ++t) {
+    double total = 0.0;
+    for (int s = 1; s <= 2; ++s) {
+      const double p = posterior.value().Probability(t, s);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST_F(PosteriorTest, MarginalMatchesPathEnumeration) {
+  // Brute-force: sum P(path) * P(items | path) over all monotone paths.
+  const std::vector<Action> seq = {{0, 0, 0.0}, {1, 1, 0.0}, {2, 1, 0.0}};
+  const TransitionWeights weights = UninformativeTransitions(2);
+  double total = 0.0;
+  for (int start = 1; start <= 2; ++start) {
+    // Enumerate paths by the position of the single possible up-step.
+    for (int up_at = 1; up_at <= 3; ++up_at) {  // 3 = never
+      std::vector<int> path(3);
+      int level = start;
+      double log_p = weights.log_initial[static_cast<size_t>(start - 1)];
+      path[0] = level;
+      bool valid = true;
+      for (int t = 1; t < 3; ++t) {
+        if (t == up_at) {
+          if (level == 2) {
+            valid = false;
+            break;
+          }
+          ++level;
+          log_p += weights.log_up;
+        } else {
+          log_p += level < 2 ? weights.log_stay : 0.0;
+        }
+        path[t] = level;
+      }
+      if (!valid) continue;
+      for (int t = 0; t < 3; ++t) {
+        log_p += model_->ItemLogProb(*items_, seq[static_cast<size_t>(t)].item,
+                                     path[static_cast<size_t>(t)]);
+      }
+      total += std::exp(log_p);
+    }
+  }
+  const auto posterior =
+      ComputeSequencePosterior(*items_, seq, *model_, weights);
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_NEAR(posterior.value().log_marginal, std::log(total), 1e-9);
+}
+
+TEST_F(PosteriorTest, MonotoneEvidenceShiftsPosteriorUpward) {
+  // Early actions favor level 1 (item 0), late ones level 2 (item 1).
+  const std::vector<Action> seq = {{0, 0, 0.0}, {1, 0, 0.0}, {2, 1, 0.0},
+                                   {3, 1, 0.0}};
+  const auto posterior = ComputeSequencePosterior(
+      *items_, seq, *model_, UninformativeTransitions(2));
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_GT(posterior.value().Probability(0, 1), 0.5);
+  EXPECT_GT(posterior.value().Probability(3, 2), 0.5);
+  // Posterior mean level is non-decreasing for this evidence pattern.
+  for (size_t t = 1; t < seq.size(); ++t) {
+    EXPECT_GE(posterior.value().MeanLevel(t),
+              posterior.value().MeanLevel(t - 1) - 1e-9);
+  }
+}
+
+TEST_F(PosteriorTest, ValidatesInput) {
+  EXPECT_FALSE(ComputeSequencePosterior(*items_, {}, *model_,
+                                        UninformativeTransitions(2))
+                   .ok());
+  const std::vector<Action> bad_item = {{0, 99, 0.0}};
+  EXPECT_FALSE(ComputeSequencePosterior(*items_, bad_item, *model_,
+                                        UninformativeTransitions(2))
+                   .ok());
+  const std::vector<Action> seq = {{0, 0, 0.0}};
+  EXPECT_FALSE(ComputeSequencePosterior(*items_, seq, *model_,
+                                        UninformativeTransitions(3))
+                   .ok());
+}
+
+TEST_F(PosteriorTest, ItemLevelPosteriorMatchesHandComputation) {
+  const std::vector<double> uniform = {0.5, 0.5};
+  const auto posterior =
+      ItemLevelPosterior(*items_, *model_, 1, uniform);
+  ASSERT_TRUE(posterior.ok());
+  // P(s=2 | item 1) = 0.7 / (0.2 + 0.7).
+  EXPECT_NEAR(posterior.value()[1], 0.7 / 0.9, 1e-12);
+  // Skewed prior pulls the posterior.
+  const std::vector<double> skewed = {0.9, 0.1};
+  const auto pulled = ItemLevelPosterior(*items_, *model_, 1, skewed);
+  ASSERT_TRUE(pulled.ok());
+  EXPECT_LT(pulled.value()[1], posterior.value()[1]);
+}
+
+TEST_F(PosteriorTest, ItemLevelPosteriorValidates) {
+  const std::vector<double> uniform = {0.5, 0.5};
+  EXPECT_FALSE(ItemLevelPosterior(*items_, *model_, 99, uniform).ok());
+  const std::vector<double> short_prior = {1.0};
+  EXPECT_FALSE(ItemLevelPosterior(*items_, *model_, 0, short_prior).ok());
+  const std::vector<double> negative = {1.5, -0.5};
+  EXPECT_FALSE(ItemLevelPosterior(*items_, *model_, 0, negative).ok());
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,148 @@
+#include "core/recommend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dist/categorical.h"
+
+namespace upskill {
+namespace {
+
+// Fixture: 5 items; user 0 is at level 1 (of 3) and has tried item 0.
+class RecommendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FeatureSchema schema;
+    ASSERT_TRUE(schema.AddIdFeature(5).ok());
+    ItemTable items(std::move(schema));
+    for (int i = 0; i < 5; ++i) {
+      const double row[] = {-1.0};
+      ASSERT_TRUE(items.AddItem(row).ok());
+    }
+    dataset_ = std::make_unique<Dataset>(std::move(items));
+    const UserId u = dataset_->AddUser();
+    ASSERT_TRUE(dataset_->AddAction(u, 1, 0).ok());
+    ASSERT_TRUE(dataset_->AddAction(u, 2, 0).ok());
+    assignments_ = {{1, 1}};
+
+    SkillModelConfig config;
+    config.num_levels = 3;
+    auto model = SkillModel::Create(dataset_->schema(), config);
+    ASSERT_TRUE(model.ok());
+    model_ = std::make_unique<SkillModel>(std::move(model).value());
+    // Level-2 taste: item 2 likeliest, then 1, 3, 4, 0.
+    auto* level2 = static_cast<Categorical*>(model_->mutable_component(0, 2));
+    ASSERT_TRUE(level2
+                    ->SetProbabilities(
+                        std::vector<double>{0.05, 0.25, 0.4, 0.2, 0.1})
+                    .ok());
+
+    difficulty_ = {1.0, 1.5, 1.8, 2.5, std::numeric_limits<double>::quiet_NaN()};
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<SkillModel> model_;
+  SkillAssignments assignments_;
+  std::vector<double> difficulty_;
+};
+
+TEST_F(RecommendTest, PicksStretchWindowRankedByNextLevel) {
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0);
+  ASSERT_TRUE(picks.ok());
+  // Eligible: difficulty in (1, 2]: items 1 (1.5) and 2 (1.8); item 3 is
+  // 2.5 (outside), item 4 is NaN, item 0 is at-level and tried anyway.
+  ASSERT_EQ(picks.value().size(), 2u);
+  // Ranked by level-2 plausibility: item 2 (0.4) above item 1 (0.25).
+  EXPECT_EQ(picks.value()[0].item, 2);
+  EXPECT_EQ(picks.value()[1].item, 1);
+  EXPECT_DOUBLE_EQ(picks.value()[0].difficulty, 1.8);
+  EXPECT_NEAR(picks.value()[0].log_prob, std::log(0.4), 1e-12);
+}
+
+TEST_F(RecommendTest, StretchControlsTheWindow) {
+  UpskillRecommendationOptions options;
+  options.stretch = 2.0;  // (1, 3]: items 1, 2, 3
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0, options);
+  ASSERT_TRUE(picks.ok());
+  EXPECT_EQ(picks.value().size(), 3u);
+  options.stretch = 0.4;  // (1, 1.4]: nothing
+  const auto none = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                           difficulty_, 0, options);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST_F(RecommendTest, MaxResultsTruncates) {
+  UpskillRecommendationOptions options;
+  options.max_results = 1;
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0, options);
+  ASSERT_TRUE(picks.ok());
+  ASSERT_EQ(picks.value().size(), 1u);
+  EXPECT_EQ(picks.value()[0].item, 2);
+}
+
+TEST_F(RecommendTest, TriedItemsCanBeIncluded) {
+  // Make the tried item 0 eligible by raising its difficulty.
+  difficulty_[0] = 1.5;
+  UpskillRecommendationOptions options;
+  options.exclude_tried = false;
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0, options);
+  ASSERT_TRUE(picks.ok());
+  bool found = false;
+  for (const auto& pick : picks.value()) found = found || pick.item == 0;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RecommendTest, RankByCurrentLevelUsesCurrentTaste) {
+  // Level-1 taste: item 1 likelier than item 2 (reversed vs level 2).
+  auto* level1 = static_cast<Categorical*>(model_->mutable_component(0, 1));
+  ASSERT_TRUE(level1
+                  ->SetProbabilities(
+                      std::vector<double>{0.05, 0.5, 0.2, 0.15, 0.1})
+                  .ok());
+  UpskillRecommendationOptions options;
+  options.rank_by_next_level = false;
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0, options);
+  ASSERT_TRUE(picks.ok());
+  ASSERT_EQ(picks.value().size(), 2u);
+  EXPECT_EQ(picks.value()[0].item, 1);
+}
+
+TEST_F(RecommendTest, ValidatesInputs) {
+  EXPECT_FALSE(RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                      difficulty_, 99)
+                   .ok());
+  const std::vector<double> short_difficulty = {1.0};
+  EXPECT_FALSE(RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                      short_difficulty, 0)
+                   .ok());
+  UpskillRecommendationOptions bad;
+  bad.max_results = 0;
+  EXPECT_FALSE(RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                      difficulty_, 0, bad)
+                   .ok());
+  bad = {};
+  bad.stretch = 0.0;
+  EXPECT_FALSE(RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                      difficulty_, 0, bad)
+                   .ok());
+}
+
+TEST_F(RecommendTest, TopLevelUserStillGetsWindowAboveCurrent) {
+  // A user already at the top has no items above; expect empty, not error.
+  assignments_ = {{3, 3}};
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0);
+  ASSERT_TRUE(picks.ok());
+  EXPECT_TRUE(picks.value().empty());
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,75 @@
+#include "core/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+TEST(SummarizeTrajectoriesTest, CountsEverything) {
+  const SkillAssignments assignments = {
+      {1, 1, 2, 3},  // two ups, one stay
+      {2, 2},        // one stay
+      {},            // skipped
+      {3},           // single action: no transitions
+  };
+  const auto summary = SummarizeTrajectories(assignments, 3);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().actions_per_level,
+            (std::vector<size_t>{2, 3, 2}));
+  EXPECT_EQ(summary.value().users_starting_at_level,
+            (std::vector<size_t>{1, 1, 1}));
+  EXPECT_EQ(summary.value().users_ending_at_level,
+            (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(summary.value().level_ups, 2u);
+  EXPECT_EQ(summary.value().level_downs, 0u);
+  EXPECT_EQ(summary.value().transitions, 4u);
+  EXPECT_DOUBLE_EQ(summary.value().actions_per_level_up, 2.0);
+}
+
+TEST(SummarizeTrajectoriesTest, CountsDowns) {
+  // Down-steps occur under the forgetting extension.
+  const SkillAssignments assignments = {{2, 3, 2, 3}};
+  const auto summary = SummarizeTrajectories(assignments, 3);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().level_ups, 2u);
+  EXPECT_EQ(summary.value().level_downs, 1u);
+}
+
+TEST(SummarizeTrajectoriesTest, NoLevelUps) {
+  const SkillAssignments assignments = {{2, 2, 2}};
+  const auto summary = SummarizeTrajectories(assignments, 3);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().level_ups, 0u);
+  EXPECT_DOUBLE_EQ(summary.value().actions_per_level_up, 0.0);
+}
+
+TEST(SummarizeTrajectoriesTest, ValidatesLevels) {
+  EXPECT_FALSE(SummarizeTrajectories({{0}}, 3).ok());
+  EXPECT_FALSE(SummarizeTrajectories({{4}}, 3).ok());
+  EXPECT_FALSE(SummarizeTrajectories({{1}}, 0).ok());
+}
+
+TEST(ActionsUntilLevelTest, FindsFirstReach) {
+  const SkillAssignments assignments = {
+      {1, 1, 2, 3},
+      {3, 3},
+      {1, 1},
+      {},
+  };
+  const std::vector<int64_t> until = ActionsUntilLevel(assignments, 3);
+  ASSERT_EQ(until.size(), 4u);
+  EXPECT_EQ(until[0], 3);   // reached 3 at position 3
+  EXPECT_EQ(until[1], 0);   // started at 3
+  EXPECT_EQ(until[2], -1);  // never reached
+  EXPECT_EQ(until[3], -1);  // empty sequence
+}
+
+TEST(ActionsUntilLevelTest, LevelOneIsImmediate) {
+  const SkillAssignments assignments = {{1, 2}, {2}};
+  const std::vector<int64_t> until = ActionsUntilLevel(assignments, 1);
+  EXPECT_EQ(until[0], 0);
+  EXPECT_EQ(until[1], 0);  // level 2 also satisfies >= 1
+}
+
+}  // namespace
+}  // namespace upskill

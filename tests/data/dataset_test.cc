@@ -1,0 +1,148 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace upskill {
+namespace {
+
+FeatureSchema MakeSchema(int num_items) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(num_items).ok());
+  EXPECT_TRUE(schema.AddCount("steps").ok());
+  EXPECT_TRUE(schema.AddReal("abv").ok());
+  return schema;
+}
+
+TEST(ItemTableTest, AddAndReadItems) {
+  ItemTable items(MakeSchema(3));
+  const double row0[] = {-1.0, 4.0, 5.5};
+  const double row1[] = {-1.0, 2.0, 7.25};
+  ASSERT_EQ(items.AddItem(row0, "first").value(), 0);
+  ASSERT_EQ(items.AddItem(row1).value(), 1);
+  EXPECT_EQ(items.num_items(), 2);
+  EXPECT_EQ(items.value(0, 0), 0.0);  // auto-filled ID
+  EXPECT_EQ(items.value(1, 0), 1.0);
+  EXPECT_EQ(items.value(0, 1), 4.0);
+  EXPECT_EQ(items.value(1, 2), 7.25);
+  EXPECT_EQ(items.name(0), "first");
+  EXPECT_EQ(items.name(1), "");
+  EXPECT_EQ(items.column(1).size(), 2u);
+}
+
+TEST(ItemTableTest, RejectsWrongArityAndInvalidValues) {
+  ItemTable items(MakeSchema(3));
+  const double short_row[] = {-1.0, 4.0};
+  EXPECT_FALSE(items.AddItem(short_row).ok());
+  const double bad_count[] = {-1.0, -4.0, 5.5};
+  EXPECT_FALSE(items.AddItem(bad_count).ok());
+  const double bad_real[] = {-1.0, 4.0, -5.5};
+  EXPECT_FALSE(items.AddItem(bad_real).ok());
+}
+
+TEST(ItemTableTest, ExplicitIdMustBeInRange) {
+  ItemTable items(MakeSchema(2));
+  const double explicit_id[] = {1.0, 4.0, 5.5};  // explicit id 1 for item 0
+  ASSERT_TRUE(items.AddItem(explicit_id).ok());
+  EXPECT_EQ(items.value(0, 0), 1.0);
+  const double out_of_range[] = {5.0, 4.0, 5.5};
+  EXPECT_FALSE(items.AddItem(out_of_range).ok());
+}
+
+TEST(ItemTableTest, Metadata) {
+  ItemTable items(MakeSchema(3));
+  const double row[] = {-1.0, 1.0, 2.0};
+  ASSERT_TRUE(items.AddItem(row).ok());
+  ASSERT_TRUE(items.AddItem(row).ok());
+  EXPECT_FALSE(items.SetMetadata("year", {1999.0}).ok());  // size mismatch
+  ASSERT_TRUE(items.SetMetadata("year", {1999.0, 2005.0}).ok());
+  EXPECT_TRUE(items.HasMetadata("year"));
+  EXPECT_FALSE(items.HasMetadata("missing"));
+  const auto column = items.Metadata("year");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column.value()[1], 2005.0);
+  EXPECT_FALSE(items.Metadata("missing").ok());
+}
+
+Dataset MakeDataset() {
+  ItemTable items(MakeSchema(4));
+  const double row[] = {-1.0, 1.0, 2.0};
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(items.AddItem(row).ok());
+  return Dataset(std::move(items));
+}
+
+TEST(DatasetTest, AddUsersAndActions) {
+  Dataset dataset = MakeDataset();
+  const UserId u0 = dataset.AddUser("alice");
+  const UserId u1 = dataset.AddUser();
+  EXPECT_EQ(dataset.num_users(), 2);
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u0, 2, 1, 4.5).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 5, 3).ok());
+  EXPECT_EQ(dataset.num_actions(), 3u);
+  EXPECT_EQ(dataset.sequence(u0).size(), 2u);
+  EXPECT_EQ(dataset.user_name(u0), "alice");
+  EXPECT_FALSE(dataset.sequence(u0)[0].has_rating());
+  EXPECT_TRUE(dataset.sequence(u0)[1].has_rating());
+  EXPECT_DOUBLE_EQ(dataset.sequence(u0)[1].rating, 4.5);
+}
+
+TEST(DatasetTest, RejectsBadActions) {
+  Dataset dataset = MakeDataset();
+  const UserId u = dataset.AddUser();
+  EXPECT_FALSE(dataset.AddAction(u, 1, 99).ok());   // unknown item
+  EXPECT_FALSE(dataset.AddAction(u, 1, -1).ok());   // negative item
+  EXPECT_FALSE(dataset.AddAction(7, 1, 0).ok());    // unknown user
+  ASSERT_TRUE(dataset.AddAction(u, 10, 0).ok());
+  EXPECT_FALSE(dataset.AddAction(u, 5, 0).ok());    // time goes backwards
+  ASSERT_TRUE(dataset.AddAction(u, 10, 1).ok());    // equal time is fine
+}
+
+TEST(DatasetTest, SortSequencesRestoresOrder) {
+  Dataset dataset = MakeDataset();
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 10, 0).ok());
+  // Simulate a bulk loader writing out of order via sort.
+  ASSERT_TRUE(dataset.AddAction(u, 20, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(u, 20, 2).ok());
+  dataset.SortSequences();
+  const auto& seq = dataset.sequence(u);
+  EXPECT_EQ(seq[0].time, 10);
+  // Stable sort keeps insertion order among equal times.
+  EXPECT_EQ(seq[1].item, 1);
+  EXPECT_EQ(seq[2].item, 2);
+}
+
+TEST(DatasetTest, CountUsedItemsAndMinTime) {
+  Dataset dataset = MakeDataset();
+  const UserId u0 = dataset.AddUser();
+  const UserId u1 = dataset.AddUser();
+  EXPECT_EQ(dataset.CountUsedItems(), 0);
+  EXPECT_EQ(dataset.MinActionTime(), 0);
+  ASSERT_TRUE(dataset.AddAction(u0, 7, 2).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 3, 2).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 9, 0).ok());
+  EXPECT_EQ(dataset.CountUsedItems(), 2);
+  EXPECT_EQ(dataset.MinActionTime(), 3);
+}
+
+TEST(DatasetTest, ForEachActionVisitsAllInOrder) {
+  Dataset dataset = MakeDataset();
+  const UserId u0 = dataset.AddUser();
+  const UserId u1 = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 2, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 3, 2).ok());
+  std::vector<std::pair<UserId, ItemId>> seen;
+  dataset.ForEachAction([&seen](UserId u, const Action& a) {
+    seen.emplace_back(u, a.item);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], std::make_pair(u0, ItemId{0}));
+  EXPECT_EQ(seen[1], std::make_pair(u1, ItemId{1}));
+  EXPECT_EQ(seen[2], std::make_pair(u1, ItemId{2}));
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,88 @@
+#include "data/describe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace upskill {
+namespace {
+
+Dataset MakeDataset() {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(3).ok());
+  EXPECT_TRUE(schema.AddCategorical("style", 3, {"lager", "ale", "stout"}).ok());
+  EXPECT_TRUE(schema.AddCount("steps").ok());
+  EXPECT_TRUE(schema.AddReal("abv").ok());
+  ItemTable items(std::move(schema));
+  const double rows[3][4] = {
+      {-1.0, 0.0, 2.0, 4.0},
+      {-1.0, 1.0, 4.0, 6.0},
+      {-1.0, 1.0, 6.0, 8.0},
+  };
+  for (const auto& row : rows) EXPECT_TRUE(items.AddItem(row).ok());
+  Dataset dataset(std::move(items));
+  const UserId u = dataset.AddUser();
+  // Item 0 selected twice, item 1 once, item 2 never.
+  EXPECT_TRUE(dataset.AddAction(u, 1, 0).ok());
+  EXPECT_TRUE(dataset.AddAction(u, 2, 0).ok());
+  EXPECT_TRUE(dataset.AddAction(u, 3, 1).ok());
+  return dataset;
+}
+
+TEST(DescribeDatasetTest, ActionWeightedSummaries) {
+  const Dataset dataset = MakeDataset();
+  const DatasetDescription description = DescribeDataset(dataset);
+  ASSERT_EQ(description.features.size(), 4u);
+  EXPECT_EQ(description.stats.num_actions, 3u);
+
+  // Style over actions: lager twice (item 0), ale once (item 1).
+  const FeatureSummary& style = description.features[1];
+  EXPECT_EQ(style.distinct_values, 2u);
+  ASSERT_GE(style.top_categories.size(), 1u);
+  EXPECT_EQ(style.top_categories[0].first, 0);
+  EXPECT_EQ(style.top_categories[0].second, 2u);
+
+  // Steps over actions: {2, 2, 4} -> mean 8/3.
+  const FeatureSummary& steps = description.features[2];
+  EXPECT_NEAR(steps.mean, 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(steps.min, 2.0);
+  EXPECT_DOUBLE_EQ(steps.max, 4.0);
+}
+
+TEST(DescribeDatasetTest, ItemWeightedSummaries) {
+  const Dataset dataset = MakeDataset();
+  const DatasetDescription description =
+      DescribeDataset(dataset, /*weight_by_actions=*/false);
+  // Steps over items: {2, 4, 6} -> mean 4, includes the never-selected
+  // item.
+  const FeatureSummary& steps = description.features[2];
+  EXPECT_DOUBLE_EQ(steps.mean, 4.0);
+  EXPECT_DOUBLE_EQ(steps.max, 6.0);
+  // Style over items: ale twice, lager once.
+  const FeatureSummary& style = description.features[1];
+  EXPECT_EQ(style.top_categories[0].first, 1);
+  EXPECT_EQ(style.top_categories[0].second, 2u);
+}
+
+TEST(DescribeDatasetTest, TopKBoundsCategories) {
+  const Dataset dataset = MakeDataset();
+  const DatasetDescription description =
+      DescribeDataset(dataset, true, /*top_k=*/1);
+  EXPECT_EQ(description.features[1].top_categories.size(), 1u);
+  const DatasetDescription none = DescribeDataset(dataset, true, 0);
+  EXPECT_TRUE(none.features[1].top_categories.empty());
+}
+
+TEST(DescribeDatasetTest, FormatIncludesLabelsAndMoments) {
+  const Dataset dataset = MakeDataset();
+  const DatasetDescription description = DescribeDataset(dataset);
+  const std::string text =
+      FormatDescription(description, dataset.schema());
+  EXPECT_NE(text.find("lager:2"), std::string::npos) << text;
+  EXPECT_NE(text.find("steps"), std::string::npos);
+  EXPECT_NE(text.find("abv"), std::string::npos);
+  EXPECT_NE(text.find("users: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upskill

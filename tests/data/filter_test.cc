@@ -1,0 +1,178 @@
+#include "data/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+// Builds a dataset with `num_items` trivially-featured items.
+Dataset MakeDataset(int num_items) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(num_items).ok());
+  EXPECT_TRUE(schema.AddCount("steps").ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < num_items; ++i) {
+    const double row[] = {-1.0, static_cast<double>(i)};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  return Dataset(std::move(items));
+}
+
+TEST(CompactDatasetTest, RemapsItemsAndUsers) {
+  Dataset dataset = MakeDataset(4);
+  const UserId u0 = dataset.AddUser("keepme");
+  const UserId u1 = dataset.AddUser("dropme");
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u0, 2, 3).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 1, 1).ok());
+
+  const std::vector<char> keep_user = {1, 0};
+  const std::vector<char> keep_item = {0, 1, 1, 1};
+  const auto result = CompactDataset(dataset, keep_user, keep_item);
+  ASSERT_TRUE(result.ok());
+  const Dataset& out = result.value().dataset;
+
+  EXPECT_EQ(out.items().num_items(), 3);
+  EXPECT_EQ(out.num_users(), 1);
+  EXPECT_EQ(out.user_name(0), "keepme");
+  // Item 0 dropped: u0's first action disappears, item 3 -> new id 2.
+  ASSERT_EQ(out.sequence(0).size(), 1u);
+  EXPECT_EQ(out.sequence(0)[0].item, 2);
+  // Maps reflect the compaction.
+  EXPECT_EQ(result.value().item_map[0], -1);
+  EXPECT_EQ(result.value().item_map[3], 2);
+  EXPECT_EQ(result.value().user_map[0], 0);
+  EXPECT_EQ(result.value().user_map[1], -1);
+  // The ID feature column matches the new ids, and its cardinality shrank.
+  EXPECT_EQ(out.items().value(2, 0), 2.0);
+  EXPECT_EQ(out.schema().feature(out.schema().id_feature()).cardinality, 3);
+  // Non-ID features carried over (item 3 had steps=3).
+  EXPECT_EQ(out.items().value(2, 1), 3.0);
+}
+
+TEST(CompactDatasetTest, CarriesMetadata) {
+  Dataset dataset = MakeDataset(3);
+  ASSERT_TRUE(dataset.mutable_items()
+                  .SetMetadata("year", {1990.0, 2000.0, 2010.0})
+                  .ok());
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 1, 1).ok());
+  const auto result = CompactDataset(dataset, {1}, {0, 1, 1});
+  ASSERT_TRUE(result.ok());
+  const auto metadata = result.value().dataset.items().Metadata("year");
+  ASSERT_TRUE(metadata.ok());
+  ASSERT_EQ(metadata.value().size(), 2u);
+  EXPECT_EQ(metadata.value()[0], 2000.0);
+  EXPECT_EQ(metadata.value()[1], 2010.0);
+}
+
+TEST(CompactDatasetTest, DropsEmptiedUsersOnlyWhenAsked) {
+  Dataset dataset = MakeDataset(2);
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 1, 0).ok());
+  const auto dropped = CompactDataset(dataset, {1}, {0, 1}, true);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped.value().dataset.num_users(), 0);
+  const auto kept = CompactDataset(dataset, {1}, {0, 1}, false);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value().dataset.num_users(), 1);
+  EXPECT_TRUE(kept.value().dataset.sequence(0).empty());
+}
+
+TEST(CompactDatasetTest, ValidatesMaskSizes) {
+  Dataset dataset = MakeDataset(2);
+  dataset.AddUser();
+  EXPECT_FALSE(CompactDataset(dataset, {1, 1}, {1, 1}).ok());
+  EXPECT_FALSE(CompactDataset(dataset, {1}, {1}).ok());
+}
+
+TEST(FilterByActivityTest, DropsInactiveUsersAndItems) {
+  Dataset dataset = MakeDataset(3);
+  const UserId active = dataset.AddUser();
+  const UserId casual = dataset.AddUser();
+  // active selects items 0 and 1; casual selects only item 2.
+  ASSERT_TRUE(dataset.AddAction(active, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(active, 2, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(active, 3, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(casual, 1, 2).ok());
+
+  // Users need >= 2 unique items; items need >= 1 unique (kept) user.
+  const auto result = FilterByActivity(dataset, 2, 1);
+  ASSERT_TRUE(result.ok());
+  const Dataset& out = result.value().dataset;
+  EXPECT_EQ(out.num_users(), 1);
+  EXPECT_EQ(out.items().num_items(), 2);  // item 2 lost its only user
+  EXPECT_EQ(out.num_actions(), 3u);
+}
+
+TEST(FilterByActivityTest, ItemThresholdCountsUniqueUsers) {
+  Dataset dataset = MakeDataset(2);
+  const UserId u0 = dataset.AddUser();
+  const UserId u1 = dataset.AddUser();
+  // Item 0: two unique users; item 1: one user selecting it twice.
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 2, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 3, 1).ok());
+  const auto result = FilterByActivity(dataset, 0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().dataset.items().num_items(), 1);
+  EXPECT_EQ(result.value().item_map[0], 0);
+  EXPECT_EQ(result.value().item_map[1], -1);
+}
+
+TEST(FilterByActivityTest, ZeroThresholdsKeepEverything) {
+  Dataset dataset = MakeDataset(2);
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 1, 0).ok());
+  const auto result = FilterByActivity(dataset, 0, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().dataset.num_users(), 1);
+  EXPECT_EQ(result.value().dataset.items().num_items(), 2);
+}
+
+TEST(FilterByActivityTest, MultipleRoundsReachFixpoint) {
+  Dataset dataset = MakeDataset(3);
+  const UserId u0 = dataset.AddUser();
+  const UserId u1 = dataset.AddUser();
+  // u0: items {0, 1}; u1: items {1, 2}. Dropping item 2 (one user) pushes
+  // u1 under the 2-unique-items bar in round 2, which then drops item 1's
+  // second user... but item 1 still has u0.
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u0, 2, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 1, 1).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 2, 2).ok());
+  const auto one_round = FilterByActivity(dataset, 2, 2, 1);
+  ASSERT_TRUE(one_round.ok());
+  const auto fixpoint = FilterByActivity(dataset, 2, 2, 10);
+  ASSERT_TRUE(fixpoint.ok());
+  // After enough rounds nothing survives: item 1 is the only 2-user item,
+  // but each user then has a single unique item.
+  EXPECT_EQ(fixpoint.value().dataset.num_actions(), 0u);
+}
+
+TEST(FilterOldItemsTest, RemovesItemsReleasedAfterFirstAction) {
+  Dataset dataset = MakeDataset(3);
+  ASSERT_TRUE(dataset.mutable_items()
+                  .SetMetadata("release_time", {5.0, 15.0, 8.0})
+                  .ok());
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 10, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u, 12, 1).ok());  // released at 15 > 10
+  ASSERT_TRUE(dataset.AddAction(u, 14, 2).ok());
+  const auto result = FilterOldItems(dataset, "release_time");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().dataset.items().num_items(), 2);
+  EXPECT_EQ(result.value().item_map[1], -1);
+  EXPECT_EQ(result.value().dataset.num_actions(), 2u);
+}
+
+TEST(FilterOldItemsTest, MissingMetadataFails) {
+  Dataset dataset = MakeDataset(1);
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 1, 0).ok());
+  EXPECT_FALSE(FilterOldItems(dataset, "release_time").ok());
+}
+
+}  // namespace
+}  // namespace upskill

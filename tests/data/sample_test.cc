@@ -1,0 +1,105 @@
+#include "data/sample.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+Dataset MakeDataset(int num_users, int actions_per_user) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(10).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < 10; ++i) {
+    const double row[] = {-1.0};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset dataset(std::move(items));
+  for (int u = 0; u < num_users; ++u) {
+    dataset.AddUser("user" + std::to_string(u));
+    for (int n = 0; n < actions_per_user; ++n) {
+      EXPECT_TRUE(dataset.AddAction(u, n, (u + n) % 10).ok());
+    }
+  }
+  return dataset;
+}
+
+TEST(SampleUsersTest, FractionEdges) {
+  const Dataset dataset = MakeDataset(40, 5);
+  Rng rng(1);
+  const auto none = SampleUsers(dataset, 0.0, rng);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().dataset.num_users(), 0);
+  const auto all = SampleUsers(dataset, 1.0, rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().dataset.num_users(), 40);
+  EXPECT_EQ(all.value().dataset.num_actions(), dataset.num_actions());
+  EXPECT_FALSE(SampleUsers(dataset, 1.5, rng).ok());
+}
+
+TEST(SampleUsersTest, ApproximatesFraction) {
+  const Dataset dataset = MakeDataset(400, 3);
+  Rng rng(7);
+  const auto half = SampleUsers(dataset, 0.5, rng);
+  ASSERT_TRUE(half.ok());
+  EXPECT_NEAR(half.value().dataset.num_users(), 200, 40);
+  // Kept users retain their full sequences and names.
+  const auto& result = half.value();
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const UserId mapped = result.user_map[static_cast<size_t>(u)];
+    if (mapped < 0) continue;
+    EXPECT_EQ(result.dataset.sequence(mapped).size(),
+              dataset.sequence(u).size());
+    EXPECT_EQ(result.dataset.user_name(mapped), dataset.user_name(u));
+  }
+}
+
+TEST(SampleUsersExactlyTest, TakesRequestedCount) {
+  const Dataset dataset = MakeDataset(30, 4);
+  Rng rng(11);
+  const auto ten = SampleUsersExactly(dataset, 10, rng);
+  ASSERT_TRUE(ten.ok());
+  EXPECT_EQ(ten.value().dataset.num_users(), 10);
+  // Requesting more than available keeps everyone.
+  const auto plenty = SampleUsersExactly(dataset, 100, rng);
+  ASSERT_TRUE(plenty.ok());
+  EXPECT_EQ(plenty.value().dataset.num_users(), 30);
+  EXPECT_FALSE(SampleUsersExactly(dataset, -1, rng).ok());
+}
+
+TEST(SampleUsersExactlyTest, DifferentSeedsPickDifferentUsers) {
+  const Dataset dataset = MakeDataset(50, 2);
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const auto a = SampleUsersExactly(dataset, 10, rng_a);
+  const auto b = SampleUsersExactly(dataset, 10, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().user_map, b.value().user_map);
+}
+
+TEST(TruncateSequencesTest, CapsLengths) {
+  const Dataset dataset = MakeDataset(5, 8);
+  const auto truncated = TruncateSequences(dataset, 3);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated.value().num_users(), 5);
+  for (UserId u = 0; u < 5; ++u) {
+    ASSERT_EQ(truncated.value().sequence(u).size(), 3u);
+    // Prefix preserved.
+    for (size_t n = 0; n < 3; ++n) {
+      EXPECT_EQ(truncated.value().sequence(u)[n].item,
+                dataset.sequence(u)[n].item);
+    }
+  }
+  // A cap above every length is a no-op.
+  const auto untouched = TruncateSequences(dataset, 100);
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(untouched.value().num_actions(), dataset.num_actions());
+  // Zero empties all sequences but keeps the users.
+  const auto empty = TruncateSequences(dataset, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().num_actions(), 0u);
+  EXPECT_EQ(empty.value().num_users(), 5);
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,110 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+TEST(FeatureSchemaTest, AddCategorical) {
+  FeatureSchema schema;
+  const auto index = schema.AddCategorical("genre", 5, {"a", "b", "c", "d", "e"});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value(), 0);
+  EXPECT_EQ(schema.num_features(), 1);
+  const FeatureSpec& spec = schema.feature(0);
+  EXPECT_EQ(spec.name, "genre");
+  EXPECT_EQ(spec.type, FeatureType::kCategorical);
+  EXPECT_EQ(spec.cardinality, 5);
+  EXPECT_EQ(spec.labels[2], "c");
+}
+
+TEST(FeatureSchemaTest, RejectsBadCategorical) {
+  FeatureSchema schema;
+  EXPECT_FALSE(schema.AddCategorical("x", 0).ok());
+  EXPECT_FALSE(schema.AddCategorical("", 3).ok());
+  EXPECT_FALSE(schema.AddCategorical("y", 3, {"only-one"}).ok());
+}
+
+TEST(FeatureSchemaTest, RejectsDuplicateNames) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("steps").ok());
+  EXPECT_FALSE(schema.AddCount("steps").ok());
+  EXPECT_FALSE(schema.AddCategorical("steps", 3).ok());
+}
+
+TEST(FeatureSchemaTest, CountAndRealKinds) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("steps").ok());
+  ASSERT_TRUE(schema.AddReal("abv").ok());
+  ASSERT_TRUE(schema.AddReal("pct", DistributionKind::kLogNormal).ok());
+  EXPECT_EQ(schema.feature(0).distribution, DistributionKind::kPoisson);
+  EXPECT_EQ(schema.feature(1).distribution, DistributionKind::kGamma);
+  EXPECT_EQ(schema.feature(2).distribution, DistributionKind::kLogNormal);
+}
+
+TEST(FeatureSchemaTest, RealRejectsDiscreteKinds) {
+  FeatureSchema schema;
+  EXPECT_FALSE(schema.AddReal("x", DistributionKind::kCategorical).ok());
+  EXPECT_FALSE(schema.AddReal("x", DistributionKind::kPoisson).ok());
+}
+
+TEST(FeatureSchemaTest, IdFeature) {
+  FeatureSchema schema;
+  EXPECT_EQ(schema.id_feature(), -1);
+  ASSERT_TRUE(schema.AddCount("steps").ok());
+  const auto id = schema.AddIdFeature(100);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(schema.id_feature(), 1);
+  EXPECT_EQ(schema.feature(1).name, kItemIdFeatureName);
+  EXPECT_EQ(schema.feature(1).cardinality, 100);
+  // Only one ID feature allowed.
+  EXPECT_FALSE(schema.AddIdFeature(100).ok());
+}
+
+TEST(FeatureSchemaTest, FeatureIndexLookup) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("a").ok());
+  ASSERT_TRUE(schema.AddReal("b").ok());
+  EXPECT_EQ(schema.FeatureIndex("b").value(), 1);
+  EXPECT_FALSE(schema.FeatureIndex("missing").ok());
+}
+
+TEST(FeatureSchemaTest, ValidateValue) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCategorical("c", 3).ok());
+  ASSERT_TRUE(schema.AddCount("n").ok());
+  ASSERT_TRUE(schema.AddReal("r").ok());
+
+  EXPECT_TRUE(schema.ValidateValue(0, 0.0).ok());
+  EXPECT_TRUE(schema.ValidateValue(0, 2.0).ok());
+  EXPECT_FALSE(schema.ValidateValue(0, 3.0).ok());
+  EXPECT_FALSE(schema.ValidateValue(0, -1.0).ok());
+  EXPECT_FALSE(schema.ValidateValue(0, 1.5).ok());
+
+  EXPECT_TRUE(schema.ValidateValue(1, 0.0).ok());
+  EXPECT_TRUE(schema.ValidateValue(1, 41.0).ok());
+  EXPECT_FALSE(schema.ValidateValue(1, -2.0).ok());
+  EXPECT_FALSE(schema.ValidateValue(1, 2.5).ok());
+
+  EXPECT_TRUE(schema.ValidateValue(2, 0.01).ok());
+  EXPECT_FALSE(schema.ValidateValue(2, 0.0).ok());
+  EXPECT_FALSE(schema.ValidateValue(2, -3.0).ok());
+
+  EXPECT_FALSE(schema.ValidateValue(3, 1.0).ok());  // out of range index
+  EXPECT_FALSE(schema.ValidateValue(-1, 1.0).ok());
+}
+
+TEST(FeatureSchemaTest, WithoutIdFeature) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddCount("a").ok());
+  ASSERT_TRUE(schema.AddIdFeature(10).ok());
+  ASSERT_TRUE(schema.AddReal("b").ok());
+  const FeatureSchema reduced = schema.WithoutIdFeature();
+  EXPECT_EQ(reduced.num_features(), 2);
+  EXPECT_EQ(reduced.feature(0).name, "a");
+  EXPECT_EQ(reduced.feature(1).name, "b");
+  EXPECT_EQ(reduced.id_feature(), -1);
+}
+
+}  // namespace
+}  // namespace upskill

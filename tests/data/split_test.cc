@@ -1,0 +1,169 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+Dataset MakeDataset(int num_items, const std::vector<int>& sequence_lengths) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(num_items).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < num_items; ++i) {
+    const double row[] = {-1.0};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset dataset(std::move(items));
+  for (int len : sequence_lengths) {
+    const UserId u = dataset.AddUser();
+    for (int n = 0; n < len; ++n) {
+      EXPECT_TRUE(dataset.AddAction(u, n, n % num_items).ok());
+    }
+  }
+  return dataset;
+}
+
+TEST(HoldoutSplitTest, LastPositionTakesTail) {
+  Dataset dataset = MakeDataset(5, {4, 3});
+  Rng rng(1);
+  const auto split = MakeHoldoutSplit(dataset, HoldoutPosition::kLast, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split.value().test.size(), 2u);
+  for (const HeldOutAction& held : split.value().test) {
+    const size_t original_len = dataset.sequence(held.user).size();
+    EXPECT_EQ(held.position, original_len - 1);
+    EXPECT_EQ(split.value().train.sequence(held.user).size(),
+              original_len - 1);
+  }
+  EXPECT_EQ(split.value().train.num_actions() + split.value().test.size(),
+            dataset.num_actions());
+}
+
+TEST(HoldoutSplitTest, RandomPositionStaysInBounds) {
+  Dataset dataset = MakeDataset(5, {10, 10, 10});
+  Rng rng(7);
+  const auto split = MakeHoldoutSplit(dataset, HoldoutPosition::kRandom, rng);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split.value().test.size(), 3u);
+  for (const HeldOutAction& held : split.value().test) {
+    EXPECT_LT(held.position, 10u);
+    // The held-out action matches the original at that position.
+    EXPECT_EQ(held.action.item,
+              dataset.sequence(held.user)[held.position].item);
+  }
+}
+
+TEST(HoldoutSplitTest, ShortSequencesContributeNoTest) {
+  Dataset dataset = MakeDataset(3, {1, 5});
+  Rng rng(3);
+  const auto split =
+      MakeHoldoutSplit(dataset, HoldoutPosition::kLast, rng, 3);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split.value().test.size(), 1u);
+  EXPECT_EQ(split.value().test[0].user, 1);
+  // The single-action user keeps all training actions.
+  EXPECT_EQ(split.value().train.sequence(0).size(), 1u);
+}
+
+TEST(HoldoutSplitTest, RejectsUnsafeMinLength) {
+  Dataset dataset = MakeDataset(3, {2});
+  Rng rng(3);
+  EXPECT_FALSE(
+      MakeHoldoutSplit(dataset, HoldoutPosition::kLast, rng, 1).ok());
+}
+
+TEST(HoldoutSplitTest, TrainPreservesChronology) {
+  Dataset dataset = MakeDataset(4, {8, 8});
+  Rng rng(11);
+  const auto split = MakeHoldoutSplit(dataset, HoldoutPosition::kRandom, rng);
+  ASSERT_TRUE(split.ok());
+  for (UserId u = 0; u < split.value().train.num_users(); ++u) {
+    const auto& seq = split.value().train.sequence(u);
+    for (size_t n = 1; n < seq.size(); ++n) {
+      EXPECT_LE(seq[n - 1].time, seq[n].time);
+    }
+  }
+}
+
+TEST(RandomSplitTest, ApproximatesFraction) {
+  Dataset dataset = MakeDataset(10, std::vector<int>(50, 40));
+  Rng rng(13);
+  const auto split = SplitActionsRandomly(dataset, 0.1, rng);
+  ASSERT_TRUE(split.ok());
+  const double fraction = static_cast<double>(split.value().test.size()) /
+                          static_cast<double>(dataset.num_actions());
+  EXPECT_NEAR(fraction, 0.1, 0.02);
+  EXPECT_EQ(split.value().train.num_actions() + split.value().test.size(),
+            dataset.num_actions());
+}
+
+TEST(RandomSplitTest, NeverEmptiesATrainSequence) {
+  Dataset dataset = MakeDataset(3, {1, 2, 3});
+  Rng rng(17);
+  const auto split = SplitActionsRandomly(dataset, 0.9, rng);
+  ASSERT_TRUE(split.ok());
+  for (UserId u = 0; u < split.value().train.num_users(); ++u) {
+    EXPECT_GE(split.value().train.sequence(u).size(), 1u) << "user " << u;
+  }
+}
+
+TEST(RandomSplitTest, ZeroFractionKeepsEverything) {
+  Dataset dataset = MakeDataset(3, {5, 5});
+  Rng rng(19);
+  const auto split = SplitActionsRandomly(dataset, 0.0, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split.value().test.empty());
+  EXPECT_EQ(split.value().train.num_actions(), dataset.num_actions());
+}
+
+TEST(TimeSplitTest, CutoffSeparatesTrainAndTest) {
+  Dataset dataset = MakeDataset(5, {6, 6});
+  const auto split = SplitActionsByTime(dataset, 2);  // times 0..5 per user
+  ASSERT_TRUE(split.ok());
+  // Per user: times 0,1,2 train; 3,4,5 test.
+  EXPECT_EQ(split.value().train.num_actions(), 6u);
+  EXPECT_EQ(split.value().test.size(), 6u);
+  for (const HeldOutAction& held : split.value().test) {
+    EXPECT_GT(held.action.time, 2);
+  }
+  for (UserId u = 0; u < split.value().train.num_users(); ++u) {
+    for (const Action& a : split.value().train.sequence(u)) {
+      EXPECT_LE(a.time, 2);
+    }
+  }
+}
+
+TEST(TimeSplitTest, AnchorsUsersEntirelyAfterCutoff) {
+  Dataset dataset = MakeDataset(3, {});
+  const UserId u = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u, 100, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u, 101, 1).ok());
+  const auto split = SplitActionsByTime(dataset, 50);
+  ASSERT_TRUE(split.ok());
+  // First action stays in train despite being past the cutoff.
+  ASSERT_EQ(split.value().train.sequence(u).size(), 1u);
+  EXPECT_EQ(split.value().train.sequence(u)[0].time, 100);
+  ASSERT_EQ(split.value().test.size(), 1u);
+}
+
+TEST(TimeSplitTest, QuantileApproximatesFraction) {
+  Dataset dataset = MakeDataset(10, std::vector<int>(40, 30));
+  const auto split = SplitActionsByTimeQuantile(dataset, 0.75);
+  ASSERT_TRUE(split.ok());
+  const double test_fraction =
+      static_cast<double>(split.value().test.size()) /
+      static_cast<double>(dataset.num_actions());
+  EXPECT_NEAR(test_fraction, 0.25, 0.08);
+  EXPECT_FALSE(SplitActionsByTimeQuantile(dataset, 0.0).ok());
+  EXPECT_FALSE(SplitActionsByTimeQuantile(dataset, 1.0).ok());
+}
+
+TEST(RandomSplitTest, RejectsBadFraction) {
+  Dataset dataset = MakeDataset(3, {5});
+  Rng rng(23);
+  EXPECT_FALSE(SplitActionsRandomly(dataset, 1.0, rng).ok());
+  EXPECT_FALSE(SplitActionsRandomly(dataset, -0.1, rng).ok());
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,61 @@
+#include "data/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace upskill {
+namespace {
+
+Dataset MakeDataset() {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddIdFeature(5).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < 5; ++i) {
+    const double row[] = {-1.0};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  return Dataset(std::move(items));
+}
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  const Dataset dataset = MakeDataset();
+  const DatasetStats stats = ComputeDatasetStats(dataset);
+  EXPECT_EQ(stats.num_users, 0);
+  EXPECT_EQ(stats.num_used_items, 0);
+  EXPECT_EQ(stats.num_table_items, 5);
+  EXPECT_EQ(stats.num_actions, 0u);
+  EXPECT_EQ(stats.mean_sequence_length, 0.0);
+  EXPECT_EQ(stats.rating_coverage, 0.0);
+}
+
+TEST(DatasetStatsTest, CountsActionsAndItems) {
+  Dataset dataset = MakeDataset();
+  const UserId u0 = dataset.AddUser();
+  const UserId u1 = dataset.AddUser();
+  ASSERT_TRUE(dataset.AddAction(u0, 1, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u0, 2, 1, 4.0).ok());
+  ASSERT_TRUE(dataset.AddAction(u0, 3, 0).ok());
+  ASSERT_TRUE(dataset.AddAction(u1, 1, 2).ok());
+  const DatasetStats stats = ComputeDatasetStats(dataset);
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_used_items, 3);
+  EXPECT_EQ(stats.num_actions, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_sequence_length, 2.0);
+  EXPECT_EQ(stats.min_sequence_length, 1u);
+  EXPECT_EQ(stats.max_sequence_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.rating_coverage, 0.25);
+}
+
+TEST(DatasetStatsTest, FormatRow) {
+  DatasetStats stats;
+  stats.num_users = 12;
+  stats.num_used_items = 34;
+  stats.num_actions = 56;
+  const std::string row = FormatStatsRow("Beer", stats);
+  EXPECT_NE(row.find("Beer"), std::string::npos);
+  EXPECT_NE(row.find("12"), std::string::npos);
+  EXPECT_NE(row.find("34"), std::string::npos);
+  EXPECT_NE(row.find("56"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upskill

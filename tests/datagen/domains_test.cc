@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "data/filter.h"
+#include "datagen/beer.h"
+#include "datagen/cooking.h"
+#include "datagen/film.h"
+#include "datagen/language.h"
+
+namespace upskill {
+namespace datagen {
+namespace {
+
+TEST(LanguageGeneratorTest, EachArticleSelectedOnce) {
+  LanguageConfig config;
+  config.num_users = 200;
+  const auto data = GenerateLanguage(config);
+  ASSERT_TRUE(data.ok());
+  // Items == actions in this domain (every action posts a new article).
+  EXPECT_EQ(static_cast<size_t>(data.value().dataset.items().num_items()),
+            data.value().dataset.num_actions());
+  // No item-ID feature (the property that breaks ID-only models here).
+  EXPECT_EQ(data.value().dataset.schema().id_feature(), -1);
+}
+
+TEST(LanguageGeneratorTest, CorrectionsFallWithSkill) {
+  LanguageConfig config;
+  config.num_users = 1500;
+  const auto data = GenerateLanguage(config);
+  ASSERT_TRUE(data.ok());
+  const Dataset& dataset = data.value().dataset;
+  const int f =
+      dataset.schema().FeatureIndex("corrections_per_corrector").value();
+  RunningStats by_level[3];
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const auto& levels = data.value().truth.skill[static_cast<size_t>(u)];
+    const auto& seq = dataset.sequence(u);
+    for (size_t n = 0; n < seq.size(); ++n) {
+      by_level[levels[n] - 1].Add(dataset.items().value(seq[n].item, f));
+    }
+  }
+  EXPECT_GT(by_level[0].mean(), by_level[2].mean());
+}
+
+TEST(LanguageGeneratorTest, TrueSkillIsMonotone) {
+  LanguageConfig config;
+  config.num_users = 300;
+  const auto data = GenerateLanguage(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(AssignmentsAreMonotone(data.value().truth.skill, 3));
+}
+
+TEST(CookingGeneratorTest, ShapeAndFeatureMix) {
+  CookingConfig config;
+  config.num_users = 200;
+  config.num_recipes = 500;
+  const auto data = GenerateCooking(config);
+  ASSERT_TRUE(data.ok());
+  const FeatureSchema& schema = data.value().dataset.schema();
+  EXPECT_EQ(schema.num_features(), 7);
+  EXPECT_GE(schema.id_feature(), 0);
+  EXPECT_TRUE(schema.FeatureIndex("time_class").ok());
+  EXPECT_TRUE(schema.FeatureIndex("num_steps").ok());
+  EXPECT_EQ(data.value().truth.difficulty.size(), 500u);
+}
+
+TEST(CookingGeneratorTest, HarderRecipesNeedMoreSteps) {
+  CookingConfig config;
+  config.num_users = 50;
+  config.num_recipes = 3000;
+  const auto data = GenerateCooking(config);
+  ASSERT_TRUE(data.ok());
+  const Dataset& dataset = data.value().dataset;
+  const int f = dataset.schema().FeatureIndex("num_steps").value();
+  RunningStats easy;
+  RunningStats hard;
+  for (ItemId i = 0; i < dataset.items().num_items(); ++i) {
+    const double d = data.value().truth.difficulty[static_cast<size_t>(i)];
+    if (d == 1.0) easy.Add(dataset.items().value(i, f));
+    if (d == 5.0) hard.Add(dataset.items().value(i, f));
+  }
+  EXPECT_GT(hard.mean(), easy.mean() + 3.0);
+}
+
+TEST(CookingGeneratorTest, NovicesOverreachByDesign) {
+  CookingConfig config;
+  config.num_users = 800;
+  config.num_recipes = 2000;
+  const auto data = GenerateCooking(config);
+  ASSERT_TRUE(data.ok());
+  // Mean selected difficulty at true level 1 should approximate the
+  // level-3 profile, i.e. clearly above 1 (the planted violation).
+  RunningStats level1_difficulty;
+  for (UserId u = 0; u < data.value().dataset.num_users(); ++u) {
+    const auto& levels = data.value().truth.skill[static_cast<size_t>(u)];
+    const auto& seq = data.value().dataset.sequence(u);
+    for (size_t n = 0; n < seq.size(); ++n) {
+      if (levels[n] == 1) {
+        level1_difficulty.Add(
+            data.value().truth.difficulty[static_cast<size_t>(seq[n].item)]);
+      }
+    }
+  }
+  EXPECT_GT(level1_difficulty.mean(), 1.6);
+}
+
+TEST(BeerGeneratorTest, AbvRisesWithTier) {
+  BeerConfig config;
+  config.num_users = 100;
+  config.num_beers = 1000;
+  const auto data = GenerateBeer(config);
+  ASSERT_TRUE(data.ok());
+  const Dataset& dataset = data.value().dataset;
+  const int f = dataset.schema().FeatureIndex("abv").value();
+  RunningStats tier1;
+  RunningStats tier5;
+  for (ItemId i = 0; i < dataset.items().num_items(); ++i) {
+    const double d = data.value().truth.difficulty[static_cast<size_t>(i)];
+    if (d == 1.0) tier1.Add(dataset.items().value(i, f));
+    if (d == 5.0) tier5.Add(dataset.items().value(i, f));
+  }
+  EXPECT_GT(tier5.mean(), tier1.mean() + 2.0);
+}
+
+TEST(BeerGeneratorTest, EveryActionHasARatingInRange) {
+  BeerConfig config;
+  config.num_users = 60;
+  config.num_beers = 200;
+  config.mean_sequence_length = 30.0;
+  const auto data = GenerateBeer(config);
+  ASSERT_TRUE(data.ok());
+  data.value().dataset.ForEachAction([](UserId, const Action& a) {
+    ASSERT_TRUE(a.has_rating());
+    EXPECT_GE(a.rating, 0.0);
+    EXPECT_LE(a.rating, 5.0);
+  });
+}
+
+TEST(BeerGeneratorTest, SkilledUsersDrinkStrongerStyles) {
+  BeerConfig config;
+  config.num_users = 300;
+  config.num_beers = 600;
+  config.mean_sequence_length = 60.0;
+  const auto data = GenerateBeer(config);
+  ASSERT_TRUE(data.ok());
+  RunningStats low;
+  RunningStats high;
+  for (UserId u = 0; u < data.value().dataset.num_users(); ++u) {
+    const auto& levels = data.value().truth.skill[static_cast<size_t>(u)];
+    const auto& seq = data.value().dataset.sequence(u);
+    for (size_t n = 0; n < seq.size(); ++n) {
+      const double d =
+          data.value().truth.difficulty[static_cast<size_t>(seq[n].item)];
+      if (levels[n] == 1) low.Add(d);
+      if (levels[n] == 5) high.Add(d);
+    }
+  }
+  EXPECT_GT(high.mean(), low.mean() + 1.0);
+}
+
+TEST(BeerGeneratorTest, StyleVocabularyHasAllTiers) {
+  bool tiers[5] = {false, false, false, false, false};
+  for (const BeerStyle& style : BeerStyles()) {
+    ASSERT_GE(style.tier, 1);
+    ASSERT_LE(style.tier, 5);
+    tiers[style.tier - 1] = true;
+  }
+  for (bool present : tiers) EXPECT_TRUE(present);
+}
+
+TEST(FilmGeneratorTest, ReleaseMetadataPresent) {
+  FilmConfig config;
+  config.num_users = 50;
+  config.num_filler_movies = 200;
+  config.mean_sequence_length = 20.0;
+  const auto data = GenerateFilm(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().dataset.items().HasMetadata(kFilmReleaseTimeKey));
+}
+
+TEST(FilmGeneratorTest, LastnessEffectPlanted) {
+  FilmConfig config;
+  config.num_users = 200;
+  config.num_filler_movies = 400;
+  config.mean_sequence_length = 40.0;
+  const auto data = GenerateFilm(config);
+  ASSERT_TRUE(data.ok());
+  const auto release =
+      data.value().dataset.items().Metadata(kFilmReleaseTimeKey).value();
+  // Mean release year of the first quarter of each sequence is well below
+  // that of the last quarter.
+  RunningStats early;
+  RunningStats late;
+  for (UserId u = 0; u < data.value().dataset.num_users(); ++u) {
+    const auto& seq = data.value().dataset.sequence(u);
+    if (seq.size() < 8) continue;
+    for (size_t n = 0; n < seq.size() / 4; ++n) {
+      early.Add(release[static_cast<size_t>(seq[n].item)]);
+    }
+    for (size_t n = seq.size() - seq.size() / 4; n < seq.size(); ++n) {
+      late.Add(release[static_cast<size_t>(seq[n].item)]);
+    }
+  }
+  EXPECT_GT(late.mean(), early.mean() + 2.0 * 365.25);  // years, in days
+}
+
+TEST(FilmGeneratorTest, PreprocessingRemovesPostEraReleases) {
+  FilmConfig config;
+  config.num_users = 100;
+  config.num_filler_movies = 300;
+  const auto data = GenerateFilm(config);
+  ASSERT_TRUE(data.ok());
+  const auto filtered =
+      FilterOldItems(data.value().dataset, kFilmReleaseTimeKey);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(filtered.value().dataset.items().num_items(),
+            data.value().dataset.items().num_items());
+  // Everything remaining was released no later than the first action.
+  const int64_t cutoff = data.value().dataset.MinActionTime();
+  const auto release = filtered.value()
+                           .dataset.items()
+                           .Metadata(kFilmReleaseTimeKey)
+                           .value();
+  for (double r : release) {
+    EXPECT_LE(r, static_cast<double>(cutoff));
+  }
+}
+
+// Every generator must be bit-deterministic in its seed and reject
+// nonsense configurations.
+
+TEST(DomainDeterminismTest, LanguageIsSeedDeterministic) {
+  LanguageConfig config;
+  config.num_users = 100;
+  const auto a = GenerateLanguage(config);
+  const auto b = GenerateLanguage(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().dataset.num_actions(), b.value().dataset.num_actions());
+  EXPECT_EQ(a.value().truth.skill, b.value().truth.skill);
+  config.seed = 999;
+  const auto c = GenerateLanguage(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().truth.skill, c.value().truth.skill);
+}
+
+TEST(DomainDeterminismTest, CookingIsSeedDeterministic) {
+  CookingConfig config;
+  config.num_users = 80;
+  config.num_recipes = 300;
+  const auto a = GenerateCooking(config);
+  const auto b = GenerateCooking(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().truth.skill, b.value().truth.skill);
+  for (ItemId i = 0; i < a.value().dataset.items().num_items(); ++i) {
+    for (int f = 0; f < a.value().dataset.schema().num_features(); ++f) {
+      ASSERT_DOUBLE_EQ(a.value().dataset.items().value(i, f),
+                       b.value().dataset.items().value(i, f));
+    }
+  }
+}
+
+TEST(DomainDeterminismTest, BeerAndFilmAreSeedDeterministic) {
+  BeerConfig beer;
+  beer.num_users = 50;
+  beer.num_beers = 100;
+  const auto beer_a = GenerateBeer(beer);
+  const auto beer_b = GenerateBeer(beer);
+  ASSERT_TRUE(beer_a.ok());
+  ASSERT_TRUE(beer_b.ok());
+  EXPECT_EQ(beer_a.value().truth.skill, beer_b.value().truth.skill);
+
+  FilmConfig film;
+  film.num_users = 40;
+  film.num_filler_movies = 100;
+  const auto film_a = GenerateFilm(film);
+  const auto film_b = GenerateFilm(film);
+  ASSERT_TRUE(film_a.ok());
+  ASSERT_TRUE(film_b.ok());
+  EXPECT_EQ(film_a.value().truth.skill, film_b.value().truth.skill);
+}
+
+TEST(DomainValidationTest, RejectsBadConfigs) {
+  LanguageConfig language;
+  language.num_levels = 1;
+  EXPECT_FALSE(GenerateLanguage(language).ok());
+  language = {};
+  language.num_users = 0;
+  EXPECT_FALSE(GenerateLanguage(language).ok());
+
+  CookingConfig cooking;
+  cooking.num_levels = 1;
+  EXPECT_FALSE(GenerateCooking(cooking).ok());
+  cooking = {};
+  cooking.novice_mimics_level = 99;
+  EXPECT_FALSE(GenerateCooking(cooking).ok());
+  cooking = {};
+  cooking.num_recipes = 0;
+  EXPECT_FALSE(GenerateCooking(cooking).ok());
+
+  BeerConfig beer;
+  beer.num_levels = 4;  // calibrated for 5 tiers
+  EXPECT_FALSE(GenerateBeer(beer).ok());
+  beer = {};
+  beer.num_beers = 3;  // fewer than the style vocabulary
+  EXPECT_FALSE(GenerateBeer(beer).ok());
+
+  FilmConfig film;
+  film.num_levels = 1;
+  EXPECT_FALSE(GenerateFilm(film).ok());
+  film = {};
+  film.recency_weight = 2.0;
+  EXPECT_FALSE(GenerateFilm(film).ok());
+}
+
+TEST(FilmGeneratorTest, NamedRosterSurvivesGeneration) {
+  FilmConfig config;
+  config.num_users = 20;
+  config.num_filler_movies = 50;
+  const auto data = GenerateFilm(config);
+  ASSERT_TRUE(data.ok());
+  bool found_casablanca = false;
+  for (ItemId i = 0; i < data.value().dataset.items().num_items(); ++i) {
+    if (data.value().dataset.items().name(i) == "Casablanca") {
+      found_casablanca = true;
+      // A canonical classic sits at the top of the difficulty scale.
+      EXPECT_GT(data.value().truth.difficulty[static_cast<size_t>(i)], 4.5);
+    }
+  }
+  EXPECT_TRUE(found_casablanca);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace upskill

@@ -1,0 +1,161 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace upskill {
+namespace datagen {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.num_users = 100;
+  config.num_items = 250;
+  config.mean_sequence_length = 20.0;
+  return config;
+}
+
+TEST(SyntheticTest, ValidatesConfig) {
+  SyntheticConfig config = SmallConfig();
+  config.num_items = 123;  // not a multiple of 5 levels
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SmallConfig();
+  config.categorical_cardinality = 1;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SmallConfig();
+  config.at_level_probability = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SmallConfig();
+  config.num_levels = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Dataset& dataset = data.value().dataset;
+  EXPECT_EQ(dataset.num_users(), 100);
+  EXPECT_EQ(dataset.items().num_items(), 250);
+  EXPECT_EQ(dataset.schema().num_features(), 4);  // id + cat + gamma + poisson
+  EXPECT_GE(dataset.schema().id_feature(), 0);
+  // Mean sequence length ~ Poisson(20).
+  const double mean = static_cast<double>(dataset.num_actions()) /
+                      dataset.num_users();
+  EXPECT_NEAR(mean, 20.0, 2.0);
+}
+
+TEST(SyntheticTest, EqualItemPoolsWithDifficultyEqualLevel) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const auto& difficulty = data.value().truth.difficulty;
+  ASSERT_EQ(difficulty.size(), 250u);
+  // 50 items per level, in level order.
+  for (int s = 1; s <= 5; ++s) {
+    for (int n = 0; n < 50; ++n) {
+      EXPECT_EQ(difficulty[static_cast<size_t>((s - 1) * 50 + n)],
+                static_cast<double>(s));
+    }
+  }
+}
+
+TEST(SyntheticTest, TrueSkillIsMonotone) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(AssignmentsAreMonotone(data.value().truth.skill, 5));
+  // Alignment between truth and sequences.
+  for (UserId u = 0; u < data.value().dataset.num_users(); ++u) {
+    EXPECT_EQ(data.value().truth.skill[static_cast<size_t>(u)].size(),
+              data.value().dataset.sequence(u).size());
+  }
+}
+
+TEST(SyntheticTest, UsersSelectWithinCapacity) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  data.value().dataset.ForEachAction([&](UserId u, const Action& a) {
+    // Difficulty of the selected item never exceeds the user's true level
+    // (the generator's within-capacity rule).
+    const size_t position =
+        &a - data.value().dataset.sequence(u).data();
+    const int level =
+        data.value().truth.skill[static_cast<size_t>(u)][position];
+    EXPECT_LE(data.value().truth.difficulty[static_cast<size_t>(a.item)],
+              static_cast<double>(level));
+  });
+}
+
+TEST(SyntheticTest, FeatureMeansIncreaseWithLevel) {
+  SyntheticConfig config = SmallConfig();
+  config.num_users = 400;
+  const auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  const Dataset& dataset = data.value().dataset;
+  const int gamma_f = dataset.schema().FeatureIndex("intensity").value();
+  const int poisson_f = dataset.schema().FeatureIndex("complexity").value();
+  double previous_gamma = -1.0;
+  double previous_poisson = -1.0;
+  for (int s = 1; s <= 5; ++s) {
+    RunningStats gamma_stats;
+    RunningStats poisson_stats;
+    for (ItemId i = (s - 1) * 50; i < s * 50; ++i) {
+      gamma_stats.Add(dataset.items().value(i, gamma_f));
+      poisson_stats.Add(dataset.items().value(i, poisson_f));
+    }
+    EXPECT_GT(gamma_stats.mean(), previous_gamma) << "level " << s;
+    EXPECT_GT(poisson_stats.mean(), previous_poisson) << "level " << s;
+    previous_gamma = gamma_stats.mean();
+    previous_poisson = poisson_stats.mean();
+  }
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  const auto a = GenerateSynthetic(SmallConfig());
+  const auto b = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().dataset.num_actions(), b.value().dataset.num_actions());
+  for (UserId u = 0; u < a.value().dataset.num_users(); ++u) {
+    const auto& seq_a = a.value().dataset.sequence(u);
+    const auto& seq_b = b.value().dataset.sequence(u);
+    ASSERT_EQ(seq_a.size(), seq_b.size());
+    for (size_t n = 0; n < seq_a.size(); ++n) {
+      EXPECT_EQ(seq_a[n].item, seq_b[n].item);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig other = SmallConfig();
+  other.seed = 999;
+  const auto a = GenerateSynthetic(SmallConfig());
+  const auto b = GenerateSynthetic(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference =
+      a.value().dataset.num_actions() != b.value().dataset.num_actions();
+  if (!any_difference) {
+    for (UserId u = 0; u < a.value().dataset.num_users() && !any_difference;
+         ++u) {
+      const auto& seq_a = a.value().dataset.sequence(u);
+      const auto& seq_b = b.value().dataset.sequence(u);
+      if (seq_a.size() != seq_b.size()) {
+        any_difference = true;
+        break;
+      }
+      for (size_t n = 0; n < seq_a.size(); ++n) {
+        if (seq_a[n].item != seq_b[n].item) {
+          any_difference = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace upskill

@@ -1,0 +1,158 @@
+#include "dist/categorical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace {
+
+TEST(CategoricalTest, StartsUniform) {
+  Categorical dist(4, 0.01);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(dist.Probability(c), 0.25);
+    EXPECT_NEAR(dist.LogProb(c), std::log(0.25), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(dist.Mean(), 1.5);
+}
+
+TEST(CategoricalTest, OutOfSupportIsImpossible) {
+  Categorical dist(3, 0.01);
+  EXPECT_EQ(dist.LogProb(-1.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.LogProb(3.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.LogProb(1.5), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.Probability(-1), 0.0);
+  EXPECT_EQ(dist.Probability(3), 0.0);
+}
+
+TEST(CategoricalTest, FitMatchesEquation6) {
+  // Equation 6: theta_c = (lambda + n_c) / (lambda C + n).
+  Categorical dist(3, 0.01);
+  const std::vector<double> values = {0, 0, 0, 1, 1, 2, 2, 2, 2, 2};
+  dist.Fit(values);
+  const double denom = 0.01 * 3 + 10;
+  EXPECT_NEAR(dist.Probability(0), (0.01 + 3) / denom, 1e-12);
+  EXPECT_NEAR(dist.Probability(1), (0.01 + 2) / denom, 1e-12);
+  EXPECT_NEAR(dist.Probability(2), (0.01 + 5) / denom, 1e-12);
+}
+
+TEST(CategoricalTest, SmoothingAvoidsZeroFrequency) {
+  Categorical dist(3, 0.01);
+  const std::vector<double> values = {0, 0, 0};
+  dist.Fit(values);
+  EXPECT_GT(dist.Probability(1), 0.0);
+  EXPECT_GT(dist.Probability(2), 0.0);
+  EXPECT_TRUE(std::isfinite(dist.LogProb(2.0)));
+}
+
+TEST(CategoricalTest, ZeroSmoothingGivesExactMle) {
+  Categorical dist(2, 0.0);
+  const std::vector<double> values = {0, 0, 1, 1, 1, 1};
+  dist.Fit(values);
+  EXPECT_NEAR(dist.Probability(0), 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(dist.Probability(1), 4.0 / 6.0, 1e-12);
+}
+
+TEST(CategoricalTest, EmptyFitKeepsParameters) {
+  Categorical dist(2, 0.01);
+  const std::vector<double> values = {1, 1, 1};
+  dist.Fit(values);
+  const double before = dist.Probability(1);
+  dist.Fit({});
+  EXPECT_DOUBLE_EQ(dist.Probability(1), before);
+}
+
+TEST(CategoricalTest, ProbabilitiesSumToOneAfterFit) {
+  Rng rng(5);
+  Categorical dist(7, 0.01);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<double>(rng.NextInt(7)));
+  }
+  dist.Fit(values);
+  double total = 0.0;
+  for (int c = 0; c < 7; ++c) total += dist.Probability(c);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CategoricalTest, WeightedFitMatchesUnweightedWithUnitWeights) {
+  Categorical a(3, 0.01);
+  Categorical b(3, 0.01);
+  const std::vector<double> values = {0, 1, 1, 2, 2, 2};
+  const std::vector<double> unit(values.size(), 1.0);
+  a.Fit(values);
+  b.FitWeighted(values, unit);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(a.Probability(c), b.Probability(c));
+  }
+}
+
+TEST(CategoricalTest, WeightedFitUsesFractionalWeights) {
+  Categorical dist(2, 0.0);
+  const std::vector<double> values = {0, 1};
+  const std::vector<double> weights = {0.25, 0.75};
+  dist.FitWeighted(values, weights);
+  EXPECT_NEAR(dist.Probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(dist.Probability(1), 0.75, 1e-12);
+}
+
+TEST(CategoricalTest, WeightedFitIgnoresZeroTotalWeight) {
+  Categorical dist(2, 0.0);
+  const std::vector<double> seed = {1, 1, 1};
+  dist.Fit(seed);
+  const double before = dist.Probability(1);
+  const std::vector<double> values = {0, 0};
+  const std::vector<double> weights = {0.0, 0.0};
+  dist.FitWeighted(values, weights);
+  EXPECT_DOUBLE_EQ(dist.Probability(1), before);
+}
+
+TEST(CategoricalTest, SampleFollowsFittedProbabilities) {
+  Categorical dist(3, 0.0);
+  ASSERT_TRUE(dist.SetProbabilities(std::vector<double>{0.2, 0.5, 0.3}).ok());
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 60000; ++i) {
+    ++counts[static_cast<size_t>(dist.Sample(rng))];
+  }
+  EXPECT_NEAR(counts[0] / 60000.0, 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / 60000.0, 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / 60000.0, 0.3, 0.01);
+}
+
+TEST(CategoricalTest, SetProbabilitiesValidates) {
+  Categorical dist(3, 0.01);
+  EXPECT_FALSE(dist.SetProbabilities(std::vector<double>{0.5, 0.5}).ok());
+  EXPECT_FALSE(
+      dist.SetProbabilities(std::vector<double>{0.5, 0.6, 0.2}).ok());
+  EXPECT_FALSE(
+      dist.SetProbabilities(std::vector<double>{-0.1, 0.6, 0.5}).ok());
+}
+
+TEST(CategoricalTest, CloneIsDeep) {
+  Categorical dist(2, 0.0);
+  ASSERT_TRUE(dist.SetProbabilities(std::vector<double>{0.9, 0.1}).ok());
+  auto clone = dist.Clone();
+  const std::vector<double> values = {1, 1};
+  dist.Fit(values);
+  EXPECT_NEAR(static_cast<Categorical*>(clone.get())->Probability(0), 0.9,
+              1e-12);
+}
+
+TEST(CategoricalTest, ParameterRoundTrip) {
+  Categorical dist(3, 0.01);
+  const std::vector<double> values = {0, 2, 2};
+  dist.Fit(values);
+  Categorical other(3, 0.01);
+  ASSERT_TRUE(other.SetParameters(dist.Parameters()).ok());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(other.Probability(c), dist.Probability(c));
+  }
+}
+
+}  // namespace
+}  // namespace upskill

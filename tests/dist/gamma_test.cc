@@ -1,0 +1,145 @@
+#include "dist/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace {
+
+TEST(GammaTest, LogProbMatchesClosedForm) {
+  // Gamma(1, theta) is Exponential(1/theta).
+  Gamma exponential(1.0, 2.0);
+  EXPECT_NEAR(exponential.LogProb(3.0), -3.0 / 2.0 - std::log(2.0), 1e-12);
+  // Gamma(2, 1): f(x) = x e^-x.
+  Gamma erlang(2.0, 1.0);
+  EXPECT_NEAR(erlang.LogProb(1.5), std::log(1.5) - 1.5, 1e-12);
+}
+
+TEST(GammaTest, OutOfSupport) {
+  Gamma dist(2.0, 1.0);
+  EXPECT_EQ(dist.LogProb(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.LogProb(-1.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(GammaTest, DensityIntegratesToOne) {
+  Gamma dist(3.5, 0.8);
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = dx / 2; x < 40.0; x += dx) {
+    integral += std::exp(dist.LogProb(x)) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GammaTest, MeanIsShapeTimesScale) {
+  Gamma dist(4.0, 2.5);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 10.0);
+}
+
+struct GammaCase {
+  double shape;
+  double scale;
+};
+
+class GammaRecoveryTest : public ::testing::TestWithParam<GammaCase> {};
+
+TEST_P(GammaRecoveryTest, NewtonMleRecoversParameters) {
+  const GammaCase param = GetParam();
+  Rng rng(31337);
+  Gamma generator(param.shape, param.scale);
+  std::vector<double> samples;
+  samples.reserve(50000);
+  for (int i = 0; i < 50000; ++i) samples.push_back(generator.Sample(rng));
+  Gamma fitted;
+  fitted.Fit(samples);
+  EXPECT_NEAR(fitted.shape(), param.shape, 0.06 * param.shape + 0.02);
+  EXPECT_NEAR(fitted.scale(), param.scale, 0.06 * param.scale + 0.02);
+  // The mean is recovered even more tightly.
+  EXPECT_NEAR(fitted.Mean(), param.shape * param.scale,
+              0.02 * param.shape * param.scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GammaRecoveryTest,
+    ::testing::Values(GammaCase{0.5, 2.0}, GammaCase{1.0, 1.0},
+                      GammaCase{2.0, 3.0}, GammaCase{8.0, 0.25},
+                      GammaCase{30.0, 1.5}));
+
+TEST(GammaTest, WeightedFitMatchesUnweightedWithUnitWeights) {
+  Rng rng(7);
+  Gamma generator(3.0, 1.5);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(generator.Sample(rng));
+  const std::vector<double> unit(values.size(), 1.0);
+  Gamma a;
+  Gamma b;
+  a.Fit(values);
+  b.FitWeighted(values, unit);
+  EXPECT_DOUBLE_EQ(a.shape(), b.shape());
+  EXPECT_DOUBLE_EQ(a.scale(), b.scale());
+}
+
+TEST(GammaTest, WeightedFitEquivalentToReplication) {
+  // Integer weights behave like repeating the observation.
+  const std::vector<double> replicated = {2.0, 2.0, 2.0, 8.0};
+  const std::vector<double> values = {2.0, 8.0};
+  const std::vector<double> weights = {3.0, 1.0};
+  Gamma a;
+  Gamma b;
+  a.Fit(replicated);
+  b.FitWeighted(values, weights);
+  EXPECT_NEAR(a.shape(), b.shape(), 1e-9);
+  EXPECT_NEAR(a.scale(), b.scale(), 1e-9);
+}
+
+TEST(GammaTest, WeightedFitIgnoresZeroTotalWeight) {
+  Gamma dist(3.0, 2.0);
+  const std::vector<double> values = {1.0, 1.0};
+  const std::vector<double> weights = {0.0, 0.0};
+  dist.FitWeighted(values, weights);
+  EXPECT_DOUBLE_EQ(dist.shape(), 3.0);
+  EXPECT_DOUBLE_EQ(dist.scale(), 2.0);
+}
+
+TEST(GammaTest, FitHandlesIdenticalObservations) {
+  Gamma dist;
+  const std::vector<double> values = {4.0, 4.0, 4.0, 4.0};
+  dist.Fit(values);
+  // Degenerate case: a very sharp distribution centered on 4.
+  EXPECT_NEAR(dist.Mean(), 4.0, 1e-3);
+  EXPECT_TRUE(std::isfinite(dist.LogProb(4.0)));
+}
+
+TEST(GammaTest, FitClampsNonPositiveObservations) {
+  Gamma dist;
+  const std::vector<double> values = {0.0, 1.0, 2.0};
+  dist.Fit(values);  // must not produce NaN parameters
+  EXPECT_TRUE(std::isfinite(dist.shape()));
+  EXPECT_TRUE(std::isfinite(dist.scale()));
+  EXPECT_GT(dist.shape(), 0.0);
+}
+
+TEST(GammaTest, EmptyFitKeepsParameters) {
+  Gamma dist(3.0, 2.0);
+  dist.Fit({});
+  EXPECT_DOUBLE_EQ(dist.shape(), 3.0);
+  EXPECT_DOUBLE_EQ(dist.scale(), 2.0);
+}
+
+TEST(GammaTest, ParameterRoundTrip) {
+  Gamma dist(5.5, 0.4);
+  Gamma other;
+  ASSERT_TRUE(other.SetParameters(dist.Parameters()).ok());
+  EXPECT_DOUBLE_EQ(other.shape(), 5.5);
+  EXPECT_DOUBLE_EQ(other.scale(), 0.4);
+  EXPECT_FALSE(other.SetParameters(std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(other.SetParameters(std::vector<double>{1.0, -1.0}).ok());
+}
+
+}  // namespace
+}  // namespace upskill

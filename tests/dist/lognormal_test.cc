@@ -1,0 +1,115 @@
+#include "dist/lognormal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace {
+
+TEST(LogNormalTest, LogProbMatchesClosedForm) {
+  LogNormal dist(0.0, 1.0);
+  // At x = 1: log x = 0, density = 1/(x sigma sqrt(2pi)).
+  EXPECT_NEAR(dist.LogProb(1.0), -0.5 * std::log(2.0 * M_PI), 1e-12);
+}
+
+TEST(LogNormalTest, OutOfSupport) {
+  LogNormal dist(0.0, 1.0);
+  EXPECT_EQ(dist.LogProb(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.LogProb(-2.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogNormalTest, DensityIntegratesToOne) {
+  LogNormal dist(0.5, 0.4);
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = dx / 2; x < 30.0; x += dx) {
+    integral += std::exp(dist.LogProb(x)) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LogNormalTest, MeanFormula) {
+  LogNormal dist(1.0, 0.5);
+  EXPECT_NEAR(dist.Mean(), std::exp(1.0 + 0.125), 1e-12);
+}
+
+struct LogNormalCase {
+  double mu;
+  double sigma;
+};
+
+class LogNormalRecoveryTest
+    : public ::testing::TestWithParam<LogNormalCase> {};
+
+TEST_P(LogNormalRecoveryTest, FitRecoversParameters) {
+  const LogNormalCase param = GetParam();
+  Rng rng(4242);
+  LogNormal generator(param.mu, param.sigma);
+  std::vector<double> samples;
+  samples.reserve(50000);
+  for (int i = 0; i < 50000; ++i) samples.push_back(generator.Sample(rng));
+  LogNormal fitted;
+  fitted.Fit(samples);
+  EXPECT_NEAR(fitted.mu(), param.mu, 0.03 * std::abs(param.mu) + 0.02);
+  EXPECT_NEAR(fitted.sigma(), param.sigma, 0.03 * param.sigma + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, LogNormalRecoveryTest,
+                         ::testing::Values(LogNormalCase{0.0, 1.0},
+                                           LogNormalCase{2.0, 0.3},
+                                           LogNormalCase{-1.0, 0.8}));
+
+TEST(LogNormalTest, WeightedFitMatchesUnweightedWithUnitWeights) {
+  Rng rng(9);
+  LogNormal generator(1.0, 0.6);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(generator.Sample(rng));
+  const std::vector<double> unit(values.size(), 1.0);
+  LogNormal a;
+  LogNormal b;
+  a.Fit(values);
+  b.FitWeighted(values, unit);
+  EXPECT_NEAR(a.mu(), b.mu(), 1e-12);
+  EXPECT_NEAR(a.sigma(), b.sigma(), 1e-9);
+}
+
+TEST(LogNormalTest, WeightedFitIgnoresZeroTotalWeight) {
+  LogNormal dist(1.5, 0.7);
+  const std::vector<double> values = {2.0};
+  const std::vector<double> weights = {0.0};
+  dist.FitWeighted(values, weights);
+  EXPECT_DOUBLE_EQ(dist.mu(), 1.5);
+}
+
+TEST(LogNormalTest, FitHandlesIdenticalObservations) {
+  LogNormal dist;
+  const std::vector<double> values = {2.0, 2.0, 2.0};
+  dist.Fit(values);
+  EXPECT_NEAR(dist.mu(), std::log(2.0), 1e-9);
+  EXPECT_GT(dist.sigma(), 0.0);  // sigma floor keeps the density proper
+  EXPECT_TRUE(std::isfinite(dist.LogProb(2.0)));
+}
+
+TEST(LogNormalTest, EmptyFitKeepsParameters) {
+  LogNormal dist(1.5, 0.7);
+  dist.Fit({});
+  EXPECT_DOUBLE_EQ(dist.mu(), 1.5);
+  EXPECT_DOUBLE_EQ(dist.sigma(), 0.7);
+}
+
+TEST(LogNormalTest, ParameterRoundTrip) {
+  LogNormal dist(0.3, 0.9);
+  LogNormal other;
+  ASSERT_TRUE(other.SetParameters(dist.Parameters()).ok());
+  EXPECT_DOUBLE_EQ(other.mu(), 0.3);
+  EXPECT_DOUBLE_EQ(other.sigma(), 0.9);
+  EXPECT_FALSE(other.SetParameters(std::vector<double>{0.0, 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace upskill

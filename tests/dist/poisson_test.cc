@@ -1,0 +1,121 @@
+#include "dist/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace {
+
+TEST(PoissonTest, LogProbMatchesFormula) {
+  Poisson dist(3.0);
+  // P(k) = lambda^k e^-lambda / k!
+  EXPECT_NEAR(dist.LogProb(0.0), -3.0, 1e-12);
+  EXPECT_NEAR(dist.LogProb(1.0), std::log(3.0) - 3.0, 1e-12);
+  EXPECT_NEAR(dist.LogProb(4.0),
+              4.0 * std::log(3.0) - 3.0 - std::log(24.0), 1e-10);
+}
+
+TEST(PoissonTest, OutOfSupport) {
+  Poisson dist(2.0);
+  EXPECT_EQ(dist.LogProb(-1.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dist.LogProb(2.5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(PoissonTest, ProbabilitiesSumToOne) {
+  Poisson dist(4.2);
+  double total = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    total += std::exp(dist.LogProb(static_cast<double>(k)));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PoissonTest, FitIsSampleMean) {
+  Poisson dist(1.0);
+  const std::vector<double> values = {2, 4, 6, 8};
+  dist.Fit(values);
+  EXPECT_DOUBLE_EQ(dist.rate(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 5.0);
+}
+
+TEST(PoissonTest, EmptyFitKeepsRate) {
+  Poisson dist(2.5);
+  dist.Fit({});
+  EXPECT_DOUBLE_EQ(dist.rate(), 2.5);
+}
+
+TEST(PoissonTest, AllZeroFitStaysFinite) {
+  Poisson dist(5.0);
+  const std::vector<double> values = {0, 0, 0};
+  dist.Fit(values);
+  EXPECT_GT(dist.rate(), 0.0);
+  EXPECT_TRUE(std::isfinite(dist.LogProb(1.0)));
+}
+
+TEST(PoissonTest, WeightedFitIsWeightedMean) {
+  Poisson dist(1.0);
+  const std::vector<double> values = {2, 10};
+  const std::vector<double> weights = {3.0, 1.0};
+  dist.FitWeighted(values, weights);
+  EXPECT_DOUBLE_EQ(dist.rate(), 4.0);  // (3*2 + 1*10) / 4
+}
+
+TEST(PoissonTest, WeightedFitMatchesUnweightedWithUnitWeights) {
+  Poisson a(1.0);
+  Poisson b(1.0);
+  const std::vector<double> values = {1, 4, 7};
+  const std::vector<double> unit(values.size(), 1.0);
+  a.Fit(values);
+  b.FitWeighted(values, unit);
+  EXPECT_DOUBLE_EQ(a.rate(), b.rate());
+}
+
+TEST(PoissonTest, WeightedFitIgnoresZeroTotalWeight) {
+  Poisson dist(6.0);
+  const std::vector<double> values = {1, 1};
+  const std::vector<double> weights = {0.0, 0.0};
+  dist.FitWeighted(values, weights);
+  EXPECT_DOUBLE_EQ(dist.rate(), 6.0);
+}
+
+class PoissonRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonRecoveryTest, FitRecoversGeneratingRate) {
+  const double rate = GetParam();
+  Rng rng(101);
+  Poisson generator(rate);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) samples.push_back(generator.Sample(rng));
+  Poisson fitted(1.0);
+  fitted.Fit(samples);
+  EXPECT_NEAR(fitted.rate(), rate, 0.05 * rate + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonRecoveryTest,
+                         ::testing::Values(0.3, 1.0, 4.0, 12.0, 80.0));
+
+TEST(PoissonTest, ParameterRoundTrip) {
+  Poisson dist(7.5);
+  Poisson other(1.0);
+  ASSERT_TRUE(other.SetParameters(dist.Parameters()).ok());
+  EXPECT_DOUBLE_EQ(other.rate(), 7.5);
+  EXPECT_FALSE(other.SetParameters(std::vector<double>{}).ok());
+  EXPECT_FALSE(other.SetParameters(std::vector<double>{-1.0}).ok());
+}
+
+TEST(PoissonTest, CloneIsDeep) {
+  Poisson dist(3.0);
+  auto clone = dist.Clone();
+  const std::vector<double> values = {10, 10};
+  dist.Fit(values);
+  EXPECT_DOUBLE_EQ(static_cast<Poisson*>(clone.get())->rate(), 3.0);
+}
+
+}  // namespace
+}  // namespace upskill

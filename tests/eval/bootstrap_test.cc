@@ -1,0 +1,121 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace upskill {
+namespace eval {
+namespace {
+
+PairedStatistic PearsonStatistic() {
+  return [](std::span<const double> x, std::span<const double> y) {
+    return PearsonCorrelation(x, y);
+  };
+}
+
+TEST(BootstrapTest, ValidatesArguments) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2};
+  Rng rng(1);
+  EXPECT_FALSE(BootstrapConfidenceInterval(x, y, PearsonStatistic(), 100,
+                                           0.05, rng)
+                   .ok());
+  const std::vector<double> both = {1, 2, 3};
+  EXPECT_FALSE(BootstrapConfidenceInterval({}, {}, PearsonStatistic(), 100,
+                                           0.05, rng)
+                   .ok());
+  EXPECT_FALSE(BootstrapConfidenceInterval(x, both, PearsonStatistic(), 1,
+                                           0.05, rng)
+                   .ok());
+  EXPECT_FALSE(BootstrapConfidenceInterval(x, both, PearsonStatistic(), 100,
+                                           1.5, rng)
+                   .ok());
+}
+
+TEST(BootstrapTest, IntervalContainsPointForStrongCorrelation) {
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng data_rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double v = data_rng.NextGaussian();
+    x.push_back(v);
+    y.push_back(v + 0.1 * data_rng.NextGaussian());
+  }
+  Rng rng(7);
+  const auto ci = BootstrapConfidenceInterval(x, y, PearsonStatistic(), 200,
+                                              0.05, rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LE(ci.value().lower, ci.value().point);
+  EXPECT_GE(ci.value().upper, ci.value().point);
+  EXPECT_GT(ci.value().lower, 0.95);  // strongly correlated data
+  EXPECT_LT(ci.value().upper - ci.value().lower, 0.05);
+}
+
+TEST(BootstrapTest, WiderIntervalsForSmallerSamples) {
+  Rng data_rng(11);
+  std::vector<double> x_small;
+  std::vector<double> y_small;
+  for (int i = 0; i < 20; ++i) {
+    const double v = data_rng.NextGaussian();
+    x_small.push_back(v);
+    y_small.push_back(v + 0.8 * data_rng.NextGaussian());
+  }
+  std::vector<double> x_large;
+  std::vector<double> y_large;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = data_rng.NextGaussian();
+    x_large.push_back(v);
+    y_large.push_back(v + 0.8 * data_rng.NextGaussian());
+  }
+  Rng rng(13);
+  const auto small = BootstrapConfidenceInterval(x_small, y_small,
+                                                 PearsonStatistic(), 300,
+                                                 0.05, rng);
+  const auto large = BootstrapConfidenceInterval(x_large, y_large,
+                                                 PearsonStatistic(), 300,
+                                                 0.05, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small.value().upper - small.value().lower,
+            large.value().upper - large.value().lower);
+}
+
+TEST(BootstrapTest, DeterministicGivenSeed) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> y = {2, 1, 4, 3, 6, 5, 8, 7};
+  Rng rng_a(17);
+  Rng rng_b(17);
+  const auto a =
+      BootstrapConfidenceInterval(x, y, PearsonStatistic(), 100, 0.1, rng_a);
+  const auto b =
+      BootstrapConfidenceInterval(x, y, PearsonStatistic(), 100, 0.1, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().lower, b.value().lower);
+  EXPECT_DOUBLE_EQ(a.value().upper, b.value().upper);
+}
+
+TEST(BootstrapTest, CustomStatistic) {
+  // Statistic = mean difference; data has a constant shift of 2.
+  const std::vector<double> x = {3, 4, 5, 6};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const PairedStatistic mean_diff = [](std::span<const double> a,
+                                       std::span<const double> b) {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) sum += a[i] - b[i];
+    return sum / static_cast<double>(a.size());
+  };
+  Rng rng(19);
+  const auto ci = BootstrapConfidenceInterval(x, y, mean_diff, 200, 0.05, rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci.value().point, 2.0);
+  EXPECT_DOUBLE_EQ(ci.value().lower, 2.0);  // constant shift: no variance
+  EXPECT_DOUBLE_EQ(ci.value().upper, 2.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace upskill

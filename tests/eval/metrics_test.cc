@@ -1,0 +1,181 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace eval {
+namespace {
+
+// O(n^2) reference implementation of tau-b.
+double KendallTauBReference(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  const size_t n = x.size();
+  long long concordant = 0;
+  long long discordant = 0;
+  long long ties_x = 0;
+  long long ties_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if (dx * dy > 0.0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  long long joint = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (x[i] == x[j] && y[i] == y[j]) ++joint;
+    }
+  }
+  const double denom_x = n0 - (static_cast<double>(ties_x) + joint);
+  const double denom_y = n0 - (static_cast<double>(ties_y) + joint);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+  return (concordant - discordant) / std::sqrt(denom_x * denom_y);
+}
+
+TEST(AverageRanksTest, NoTies) {
+  const std::vector<double> values = {30.0, 10.0, 20.0};
+  EXPECT_EQ(AverageRanks(values), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(AverageRanksTest, TiesGetMeanRank) {
+  const std::vector<double> values = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_EQ(AverageRanks(values), (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(AverageRanksTest, AllEqual) {
+  const std::vector<double> values = {5.0, 5.0, 5.0};
+  EXPECT_EQ(AverageRanks(values), (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  // Hand-computed: cov = 1.6, var_x = 2, var_y = 2 -> r = 0.8.
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.8, 1e-12);
+}
+
+TEST(PearsonTest, ConstantInputIsZero) {
+  const std::vector<double> x = {3, 3, 3};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+  EXPECT_EQ(PearsonCorrelation(y, x), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // x^3
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {1, 3, 2, 4};
+  // Ranks: x -> {1, 2.5, 2.5, 4}, y -> {1, 3, 2, 4}; Pearson of those.
+  const std::vector<double> rx = {1, 2.5, 2.5, 4};
+  const std::vector<double> ry = {1, 3, 2, 4};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), PearsonCorrelation(rx, ry), 1e-12);
+}
+
+TEST(KendallTest, PerfectAgreement) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {10, 20, 30, 40};
+  EXPECT_NEAR(KendallTauB(x, y), 1.0, 1e-12);
+  const std::vector<double> reversed = {40, 30, 20, 10};
+  EXPECT_NEAR(KendallTauB(x, reversed), -1.0, 1e-12);
+}
+
+TEST(KendallTest, KnownSmallCase) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 3, 2};
+  // Pairs: (1,2) concordant, (1,3) concordant, (2,3) discordant -> 1/3.
+  EXPECT_NEAR(KendallTauB(x, y), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTest, DegenerateInputs) {
+  EXPECT_EQ(KendallTauB({}, {}), 0.0);
+  const std::vector<double> single = {1.0};
+  EXPECT_EQ(KendallTauB(single, single), 0.0);
+  const std::vector<double> constant = {2, 2, 2};
+  const std::vector<double> varying = {1, 2, 3};
+  EXPECT_EQ(KendallTauB(constant, varying), 0.0);
+}
+
+TEST(KendallTest, MatchesQuadraticReferenceWithTies) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + static_cast<size_t>(rng.NextInt(60));
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse grids create plenty of ties in both coordinates.
+      x[i] = static_cast<double>(rng.NextInt(6));
+      y[i] = static_cast<double>(rng.NextInt(6));
+    }
+    EXPECT_NEAR(KendallTauB(x, y), KendallTauBReference(x, y), 1e-9)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(RmseTest, KnownValues) {
+  const std::vector<double> predicted = {1, 2, 3};
+  const std::vector<double> actual = {1, 2, 3};
+  EXPECT_EQ(Rmse(predicted, actual), 0.0);
+  const std::vector<double> off = {2, 3, 4};
+  EXPECT_NEAR(Rmse(off, actual), 1.0, 1e-12);
+  const std::vector<double> mixed = {0, 2, 6};
+  // Errors: -1, 0, 3 -> sqrt(10/3).
+  EXPECT_NEAR(Rmse(mixed, actual), std::sqrt(10.0 / 3.0), 1e-12);
+  EXPECT_EQ(Rmse({}, {}), 0.0);
+}
+
+TEST(MaeTest, KnownValues) {
+  const std::vector<double> predicted = {0, 2, 6};
+  const std::vector<double> actual = {1, 2, 3};
+  EXPECT_NEAR(MeanAbsoluteError(predicted, actual), 4.0 / 3.0, 1e-12);
+}
+
+TEST(CorrelationReportTest, PopulatesAllFour) {
+  const std::vector<double> estimated = {1.1, 1.9, 3.2, 3.9, 5.1};
+  const std::vector<double> truth = {1, 2, 3, 4, 5};
+  const auto report = ComputeCorrelationReport(estimated, truth);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().pearson, 0.99);
+  EXPECT_NEAR(report.value().spearman, 1.0, 1e-12);
+  EXPECT_NEAR(report.value().kendall, 1.0, 1e-12);
+  EXPECT_LT(report.value().rmse, 0.2);
+}
+
+TEST(CorrelationReportTest, ValidatesInput) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1};
+  EXPECT_FALSE(ComputeCorrelationReport(a, b).ok());
+  EXPECT_FALSE(ComputeCorrelationReport({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace upskill

@@ -1,0 +1,78 @@
+#include "eval/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace upskill {
+namespace eval {
+namespace {
+
+TEST(PrecisionRecallTest, KnownValues) {
+  const std::vector<int> ranks = {1, 3, 12};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranks, 10), 0.2);     // 2 of top 10
+  EXPECT_DOUBLE_EQ(RecallAtK(ranks, 10), 2.0 / 3.0);  // 2 of 3 relevant
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranks, 1), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranks, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 10), 0.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  const std::vector<int> ranks = {1, 2, 3};
+  EXPECT_NEAR(NdcgAtK(ranks, 10), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, KnownValue) {
+  // One relevant item at rank 3 of k=10: DCG = 1/log2(4), ideal = 1.
+  const std::vector<int> ranks = {3};
+  EXPECT_NEAR(NdcgAtK(ranks, 10), 1.0 / std::log2(4.0), 1e-12);
+  // Outside the cutoff contributes nothing.
+  const std::vector<int> outside = {11};
+  EXPECT_DOUBLE_EQ(NdcgAtK(outside, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, 10), 0.0);
+}
+
+TEST(NdcgTest, IdealTruncatesAtK) {
+  // 5 relevant items, k = 2: ideal DCG uses only the first 2 slots, so a
+  // ranking filling both top slots scores 1.
+  const std::vector<int> ranks = {1, 2, 30, 40, 50};
+  EXPECT_NEAR(NdcgAtK(ranks, 2), 1.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, KnownValues) {
+  // Relevant at ranks 1, 3: AP = (1/1 + 2/3) / 2.
+  const std::vector<int> ranks = {3, 1};  // unsorted on purpose
+  EXPECT_NEAR(AveragePrecision(ranks), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}), 0.0);
+  const std::vector<int> perfect = {1, 2, 3};
+  EXPECT_NEAR(AveragePrecision(perfect), 1.0, 1e-12);
+}
+
+TEST(AggregateSingleRelevantTest, MatchesHandComputation) {
+  // Three cases with the true item at ranks 1, 4, 20 and k = 10.
+  const std::vector<int> ranks = {1, 4, 20};
+  const auto aggregate = AggregateSingleRelevant(ranks, 10);
+  ASSERT_TRUE(aggregate.ok());
+  EXPECT_NEAR(aggregate.value().accuracy_at_k, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(aggregate.value().mean_reciprocal_rank,
+              (1.0 + 0.25 + 0.05) / 3.0, 1e-12);
+  EXPECT_NEAR(aggregate.value().ndcg_at_k,
+              (1.0 + 1.0 / std::log2(5.0) + 0.0) / 3.0, 1e-12);
+  EXPECT_EQ(aggregate.value().num_cases, 3u);
+}
+
+TEST(AggregateSingleRelevantTest, Validates) {
+  const std::vector<int> ranks = {1};
+  EXPECT_FALSE(AggregateSingleRelevant(ranks, 0).ok());
+  const std::vector<int> bad = {0};
+  EXPECT_FALSE(AggregateSingleRelevant(bad, 10).ok());
+  const auto empty = AggregateSingleRelevant({}, 10);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().num_cases, 0u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace upskill

@@ -1,0 +1,167 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upskill {
+namespace eval {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(BonferroniTest, MultipliesAndClamps) {
+  EXPECT_DOUBLE_EQ(BonferroniCorrect(0.01, 3), 0.03);
+  EXPECT_DOUBLE_EQ(BonferroniCorrect(0.5, 4), 1.0);
+  EXPECT_DOUBLE_EQ(BonferroniCorrect(0.2, 0), 0.2);
+}
+
+TEST(WilcoxonTest, RejectsSizeMismatch) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1};
+  EXPECT_FALSE(WilcoxonSignedRank(a, b).ok());
+}
+
+TEST(WilcoxonTest, AllZeroDifferencesFail) {
+  const std::vector<double> a = {1, 2, 3};
+  EXPECT_FALSE(WilcoxonSignedRank(a, a).ok());
+}
+
+TEST(WilcoxonTest, ZeroDifferencesAreDropped) {
+  const std::vector<double> a = {1, 2, 3, 10};
+  const std::vector<double> b = {1, 2, 3, 4};
+  const auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().n_effective, 1u);
+}
+
+TEST(WilcoxonTest, SymmetricDifferencesAreInsignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> b = {2, 1, 4, 3, 6, 5};  // +-1 alternating
+  const auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().p_value, 0.5);
+}
+
+TEST(WilcoxonTest, ConsistentLargeShiftIsSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double base = rng.NextDouble();
+    a.push_back(base + 1.0 + 0.1 * rng.NextDouble());
+    b.push_back(base);
+  }
+  const auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().p_value, 0.001);
+  EXPECT_GT(result.value().z, 3.0);
+  // W+ should be the full rank sum: every difference is positive.
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 50.0 * 51.0 / 4.0 * 2.0);
+}
+
+TEST(WilcoxonTest, DirectionDoesNotChangeMagnitude) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.NextDouble();
+    const double shift = 0.5 + rng.NextDouble();
+    a.push_back(base + shift);
+    b.push_back(base);
+  }
+  const auto forward = WilcoxonSignedRank(a, b);
+  const auto backward = WilcoxonSignedRank(b, a);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_NEAR(forward.value().p_value, backward.value().p_value, 1e-12);
+  EXPECT_NEAR(forward.value().z, -backward.value().z, 1e-12);
+}
+
+TEST(PairedBootstrapTest, Validates) {
+  Rng rng(1);
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> short_b = {1};
+  EXPECT_FALSE(PairedBootstrapTest(a, short_b, 100, rng).ok());
+  const std::vector<double> single = {1};
+  EXPECT_FALSE(PairedBootstrapTest(single, single, 100, rng).ok());
+  const std::vector<double> b = {1, 2};
+  EXPECT_FALSE(PairedBootstrapTest(a, b, 0, rng).ok());
+}
+
+TEST(PairedBootstrapTest, DetectsConsistentShift) {
+  Rng data_rng(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    const double base = data_rng.NextGaussian();
+    a.push_back(base + 1.0 + 0.1 * data_rng.NextGaussian());
+    b.push_back(base);
+  }
+  Rng rng(7);
+  const auto result = PairedBootstrapTest(a, b, 1000, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().mean_difference, 1.0, 0.15);
+  EXPECT_LT(result.value().p_value, 0.01);
+}
+
+TEST(PairedBootstrapTest, NullDataIsInsignificant) {
+  Rng data_rng(9);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(data_rng.NextGaussian());
+    b.push_back(data_rng.NextGaussian());
+  }
+  Rng rng(11);
+  const auto result = PairedBootstrapTest(a, b, 1000, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().p_value, 0.05);
+}
+
+TEST(PairedBootstrapTest, AgreesWithWilcoxonOnDirectionalData) {
+  // Both tests should call a clear shift significant and pure noise not.
+  Rng data_rng(13);
+  std::vector<double> shifted_a;
+  std::vector<double> shifted_b;
+  for (int i = 0; i < 40; ++i) {
+    const double base = data_rng.NextDouble();
+    shifted_a.push_back(base + 0.5 + 0.05 * data_rng.NextGaussian());
+    shifted_b.push_back(base);
+  }
+  Rng rng(17);
+  const auto bootstrap =
+      PairedBootstrapTest(shifted_a, shifted_b, 1000, rng);
+  const auto wilcoxon = WilcoxonSignedRank(shifted_a, shifted_b);
+  ASSERT_TRUE(bootstrap.ok());
+  ASSERT_TRUE(wilcoxon.ok());
+  EXPECT_LT(bootstrap.value().p_value, 0.01);
+  EXPECT_LT(wilcoxon.value().p_value, 0.01);
+}
+
+TEST(WilcoxonTest, MatchesTextbookExample) {
+  // Classic example (n = 10, one zero difference dropped is avoided here):
+  // differences with known W+ computed by hand.
+  const std::vector<double> a = {125, 115, 130, 140, 140, 115, 140, 125, 140, 135};
+  const std::vector<double> b = {110, 122, 125, 120, 140, 124, 123, 137, 135, 145};
+  // d = {15, -7, 5, 20, 0, -9, 17, -12, 5, -10}; drop the zero.
+  const auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().n_effective, 9u);
+  // |d| sorted: 5, 5, 7, 9, 10, 12, 15, 17, 20 with ranks 1.5, 1.5, 3...
+  // Positive: 15 (rank 7), 5 (1.5), 20 (9), 17 (8), 5 (1.5) -> W+ = 27.
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 27.0);
+  // Not significant at the 5% level.
+  EXPECT_GT(result.value().p_value, 0.3);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace upskill
