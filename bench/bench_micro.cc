@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/difficulty.h"
@@ -119,6 +120,56 @@ void BM_ItemLogProbCache(benchmark::State& state) {
 }
 BENCHMARK(BM_ItemLogProbCache);
 
+// The pre-batching cache construction: one virtual LogProb call per
+// (item, feature, level) through SkillModel::ItemLogProb. Baseline for
+// BM_ItemLogProbCache.
+void BM_ItemLogProbCacheReference(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const ItemTable& items = data.dataset.items();
+  const int levels = trained.model.num_levels();
+  for (auto _ : state) {
+    std::vector<double> cache(static_cast<size_t>(items.num_items()) *
+                              static_cast<size_t>(levels));
+    for (ItemId item = 0; item < items.num_items(); ++item) {
+      for (int s = 1; s <= levels; ++s) {
+        cache[static_cast<size_t>(item) * static_cast<size_t>(levels) +
+              static_cast<size_t>(s - 1)] =
+            trained.model.ItemLogProb(items, item, s);
+      }
+    }
+    benchmark::DoNotOptimize(cache.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          items.num_items());
+}
+BENCHMARK(BM_ItemLogProbCacheReference);
+
+// Steady-state trainer iteration: only one (feature, level) cell's
+// parameters change between Update() calls, so the incremental cache
+// recomputes a single column instead of the full grid.
+void BM_ItemLogProbCacheIncremental(benchmark::State& state) {
+  const auto& data = PipelineData();
+  SkillModel model = PipelineModel().model;
+  LogProbCache cache;
+  cache.Update(model, data.dataset.items());
+  std::vector<double> params = model.component(2, 3).Parameters();
+  double delta = 0.03125;
+  for (auto _ : state) {
+    params[0] += delta;
+    delta = -delta;
+    if (!model.mutable_component(2, 3)->SetParameters(params).ok()) {
+      state.SkipWithError("SetParameters failed");
+      break;
+    }
+    cache.Update(model, data.dataset.items());
+    benchmark::DoNotOptimize(cache.values().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          data.dataset.items().num_items());
+}
+BENCHMARK(BM_ItemLogProbCacheIncremental);
+
 void BM_AssignmentStep(benchmark::State& state) {
   const auto& data = PipelineData();
   const auto& trained = PipelineModel();
@@ -143,6 +194,52 @@ void BM_UpdateStep(benchmark::State& state) {
                           static_cast<int64_t>(data.dataset.num_actions()));
 }
 BENCHMARK(BM_UpdateStep);
+
+// Sufficient-statistics update step vs. the bucket-and-copy reference, at
+// 1 and 8 threads (levels+features parallel). Arg(0) is the thread count.
+void BM_FitParameters(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  ParallelOptions parallel;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    parallel.num_threads = threads;
+    parallel.levels = true;
+    parallel.features = true;
+  }
+  SkillModel model = trained.model;
+  for (auto _ : state) {
+    FitParameters(data.dataset, trained.assignments, &model, pool.get(),
+                  parallel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
+BENCHMARK(BM_FitParameters)->Arg(1)->Arg(8);
+
+void BM_FitParametersReference(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  ParallelOptions parallel;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    parallel.num_threads = threads;
+    parallel.levels = true;
+    parallel.features = true;
+  }
+  SkillModel model = trained.model;
+  for (auto _ : state) {
+    FitParametersReference(data.dataset, trained.assignments, &model,
+                           pool.get(), parallel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
+BENCHMARK(BM_FitParametersReference)->Arg(1)->Arg(8);
 
 void BM_DifficultyAssignment(benchmark::State& state) {
   const auto& data = PipelineData();

@@ -34,8 +34,15 @@ constexpr Condition kConditions[] = {
     {"users+feat+lvl ", true, true, true},
 };
 
-double TrainOnce(const Dataset& dataset, const Condition& condition,
-                 int num_threads) {
+struct PhaseSplit {
+  double total = -1.0;
+  double assignment = 0.0;
+  double cache = 0.0;
+  double update = 0.0;
+};
+
+PhaseSplit TrainOnce(const Dataset& dataset, const Condition& condition,
+                     int num_threads) {
   SkillModelConfig config = DefaultTrainConfig(/*num_levels=*/5);
   config.max_iterations = 40;  // fixed work per condition
   config.relative_tolerance = 0.0;
@@ -46,8 +53,13 @@ double TrainOnce(const Dataset& dataset, const Condition& condition,
   Trainer trainer(config);
   Stopwatch watch;
   const auto result = trainer.Train(dataset);
-  if (!result.ok()) return -1.0;
-  return watch.ElapsedSeconds();
+  PhaseSplit split;
+  if (!result.ok()) return split;
+  split.total = watch.ElapsedSeconds();
+  split.assignment = result.value().assignment_seconds;
+  split.cache = result.value().cache_seconds;
+  split.update = result.value().update_seconds;
+  return split;
 }
 
 int Run() {
@@ -68,28 +80,28 @@ int Run() {
   std::printf("dataset: %d users, %d items, %zu actions; threads = 5\n\n",
               multi_dataset.num_users(), multi_dataset.items().num_items(),
               multi_dataset.num_actions());
-  std::printf("%-18s %14s %14s\n", "Parallelized", "ID [6] (s)",
-              "Multi-faceted (s)");
+  std::printf("%-18s %14s %14s   %s\n", "Parallelized", "ID [6] (s)",
+              "Multi-faceted (s)", "Multi split: assign/cache/update (s)");
   for (const Condition& condition : kConditions) {
-    double id_seconds = -1.0;
+    PhaseSplit id_split;
     if (!condition.features || condition.users || condition.levels) {
       // The ID model has a single feature: feature-only parallelism is
       // N/A (paper marks it N/A as well).
       Condition id_condition = condition;
       id_condition.features = false;
-      if (condition.features && !condition.users && !condition.levels) {
-        id_seconds = -1.0;
-      } else {
-        id_seconds = TrainOnce(id_dataset.value(), id_condition, 5);
+      if (!(condition.features && !condition.users && !condition.levels)) {
+        id_split = TrainOnce(id_dataset.value(), id_condition, 5);
       }
     }
-    const double multi_seconds = TrainOnce(multi_dataset, condition, 5);
-    if (id_seconds < 0.0) {
-      std::printf("%-18s %14s %14.2f\n", condition.label, "N/A",
-                  multi_seconds);
+    const PhaseSplit multi = TrainOnce(multi_dataset, condition, 5);
+    if (id_split.total < 0.0) {
+      std::printf("%-18s %14s %14.2f   %.2f / %.2f / %.2f\n", condition.label,
+                  "N/A", multi.total, multi.assignment, multi.cache,
+                  multi.update);
     } else {
-      std::printf("%-18s %14.2f %14.2f\n", condition.label, id_seconds,
-                  multi_seconds);
+      std::printf("%-18s %14.2f %14.2f   %.2f / %.2f / %.2f\n",
+                  condition.label, id_split.total, multi.total,
+                  multi.assignment, multi.cache, multi.update);
     }
   }
 

@@ -74,11 +74,15 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
       static_cast<size_t>(dataset.num_users()));
   std::vector<double> initial_counts(levels);
 
+  // Persistent across iterations: only cells whose parameters changed in
+  // the last M-step are recomputed.
+  LogProbCache log_prob_cache;
+
   double previous_ll = kNegInf;
   for (int iteration = 0; iteration < config_.model.max_iterations;
        ++iteration) {
-    const std::vector<double> cache =
-        result.model.ItemLogProbCache(dataset.items(), user_pool);
+    log_prob_cache.Update(result.model, dataset.items(), user_pool);
+    const std::vector<double>& cache = log_prob_cache.values();
     std::vector<double> log_initial(levels);
     for (size_t s = 0; s < levels; ++s) {
       log_initial[s] = result.initial_distribution[s] > 0.0
@@ -223,26 +227,29 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
                        1.0 - kMinTransitionProb);
       }
     }
-    // Emission components: weighted refits. One task per (feature, level)
-    // cell, sharing the per-action value gather across levels.
+    // Emission components: weighted sufficient-statistics refits. One pass
+    // over the actions per feature feeds all S level statistics at once
+    // (gamma rows are action-major), replacing the former dense
+    // value/weight buffer copies.
     const int num_features = result.model.num_features();
-    std::vector<double> values(total_actions);
     for (int f = 0; f < num_features; ++f) {
-      {
-        size_t index = 0;
-        for (UserId u = 0; u < dataset.num_users(); ++u) {
-          for (const Action& a : dataset.sequence(u)) {
-            values[index++] = dataset.items().value(a.item, f);
-          }
+      const double* column = dataset.items().column(f).data();
+      std::vector<SufficientStats> stats(
+          levels, result.model.component(f, 1).MakeStats());
+      size_t index = 0;
+      for (UserId u = 0; u < dataset.num_users(); ++u) {
+        for (const Action& a : dataset.sequence(u)) {
+          const double x = column[a.item];
+          const double* weights = &gamma[index * levels];
+          for (size_t s = 0; s < levels; ++s) stats[s].Add(x, weights[s]);
+          ++index;
         }
       }
-      // Weights for level s are a strided view; copy into a dense buffer.
-      std::vector<double> weights(total_actions);
       for (int s = 1; s <= S; ++s) {
-        for (size_t i = 0; i < total_actions; ++i) {
-          weights[i] = gamma[i * levels + static_cast<size_t>(s - 1)];
+        const SufficientStats& cell = stats[static_cast<size_t>(s - 1)];
+        if (!cell.empty()) {
+          result.model.mutable_component(f, s)->FitFromStats(cell);
         }
-        result.model.mutable_component(f, s)->FitWeighted(values, weights);
       }
     }
   }
@@ -254,8 +261,8 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   }
   const double log_up = std::log(result.level_up_probability);
   const double log_stay = std::log(1.0 - result.level_up_probability);
-  const std::vector<double> cache =
-      result.model.ItemLogProbCache(dataset.items(), user_pool);
+  log_prob_cache.Update(result.model, dataset.items(), user_pool);
+  const std::vector<double>& cache = log_prob_cache.values();
   result.assignments.resize(static_cast<size_t>(dataset.num_users()));
   ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
               [&](size_t u) {

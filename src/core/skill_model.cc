@@ -1,6 +1,8 @@
 #include "core/skill_model.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/csv.h"
 #include "common/logging.h"
@@ -109,18 +111,84 @@ double SkillModel::ItemLogProb(const ItemTable& items, ItemId item,
 
 std::vector<double> SkillModel::ItemLogProbCache(const ItemTable& items,
                                                  ThreadPool* pool) const {
-  const int levels = num_levels();
-  std::vector<double> cache(static_cast<size_t>(items.num_items()) *
-                            static_cast<size_t>(levels));
-  ParallelFor(pool, 0, static_cast<size_t>(items.num_items()),
-              [&](size_t item) {
-                for (int s = 1; s <= levels; ++s) {
-                  cache[item * static_cast<size_t>(levels) +
-                        static_cast<size_t>(s - 1)] =
-                      ItemLogProb(items, static_cast<ItemId>(item), s);
-                }
-              });
-  return cache;
+  LogProbCache cache;
+  cache.Update(*this, items, pool);
+  return std::move(cache).TakeValues();
+}
+
+namespace {
+// Items per parallel task when refreshing cache columns/totals; large
+// enough to amortize dispatch, small enough to spread dirty cells over
+// every worker.
+constexpr size_t kCacheBlock = 2048;
+}  // namespace
+
+void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
+                          ThreadPool* pool) {
+  const int levels = model.num_levels();
+  const int features = model.num_features();
+  const size_t num_items = static_cast<size_t>(items.num_items());
+  const size_t num_cells =
+      static_cast<size_t>(features) * static_cast<size_t>(levels);
+  const bool reshaped = num_items_ != items.num_items() ||
+                        num_levels_ != levels || num_features_ != features;
+  if (reshaped) {
+    num_items_ = items.num_items();
+    num_levels_ = levels;
+    num_features_ = features;
+    cell_params_.assign(num_cells, {});
+    columns_.assign(num_cells * num_items, 0.0);
+    totals_.assign(num_items * static_cast<size_t>(levels), 0.0);
+  }
+
+  // A cell is clean iff its parameter vector is bitwise unchanged.
+  std::vector<size_t> dirty_cells;
+  std::vector<char> level_dirty(static_cast<size_t>(levels), 0);
+  for (int f = 0; f < features; ++f) {
+    for (int s = 1; s <= levels; ++s) {
+      const size_t cell = static_cast<size_t>(f) * levels + (s - 1);
+      std::vector<double> params = model.component(f, s).Parameters();
+      if (reshaped || params != cell_params_[cell]) {
+        dirty_cells.push_back(cell);
+        level_dirty[s - 1] = 1;
+        cell_params_[cell] = std::move(params);
+      }
+    }
+  }
+  last_dirty_cells_ = static_cast<int>(dirty_cells.size());
+  if (dirty_cells.empty() || num_items == 0) return;
+
+  const size_t blocks = (num_items + kCacheBlock - 1) / kCacheBlock;
+  ParallelFor(pool, 0, dirty_cells.size() * blocks, [&](size_t task) {
+    const size_t cell = dirty_cells[task / blocks];
+    const size_t begin = (task % blocks) * kCacheBlock;
+    const size_t count = std::min(num_items - begin, kCacheBlock);
+    const int f = static_cast<int>(cell / levels);
+    const int s = static_cast<int>(cell % levels) + 1;
+    model.component(f, s).LogProbBatch(
+        items.column(f).subspan(begin, count),
+        std::span<double>(columns_.data() + cell * num_items + begin, count));
+  });
+
+  std::vector<int> dirty_levels;
+  for (int s = 1; s <= levels; ++s) {
+    if (level_dirty[s - 1]) dirty_levels.push_back(s);
+  }
+  // Totals sum features in ascending order from 0.0 so they stay bitwise
+  // equal to ItemLogProb even for clean columns.
+  ParallelFor(pool, 0, dirty_levels.size() * blocks, [&](size_t task) {
+    const int s = dirty_levels[task / blocks];
+    const size_t begin = (task % blocks) * kCacheBlock;
+    const size_t end = std::min(num_items, begin + kCacheBlock);
+    for (size_t item = begin; item < end; ++item) {
+      double total = 0.0;
+      for (int f = 0; f < features; ++f) {
+        const size_t cell = static_cast<size_t>(f) * levels + (s - 1);
+        total += columns_[cell * num_items + item];
+      }
+      totals_[item * static_cast<size_t>(levels) + (s - 1)] = total;
+    }
+  });
 }
 
 Status SkillModel::Save(const std::string& path) const {

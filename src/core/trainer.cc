@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -50,41 +51,20 @@ SkillAssignments InitializeAssignments(const Dataset& dataset, int num_levels,
   return assignments;
 }
 
-void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
-                   SkillModel* model, ThreadPool* pool,
-                   ParallelOptions parallel) {
-  UPSKILL_CHECK(model != nullptr);
-  const int num_levels = model->num_levels();
-  const int num_features = model->num_features();
+namespace {
 
-  // Group item occurrences by assigned level (O(|A|), as in Section IV-C).
-  std::vector<std::vector<ItemId>> by_level(
-      static_cast<size_t>(num_levels));
-  for (UserId u = 0; u < dataset.num_users(); ++u) {
-    const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
-    if (levels.empty()) continue;  // user excluded (initialization)
-    const std::vector<Action>& seq = dataset.sequence(u);
-    UPSKILL_CHECK(levels.size() == seq.size());
-    for (size_t n = 0; n < seq.size(); ++n) {
-      by_level[static_cast<size_t>(levels[n] - 1)].push_back(seq[n].item);
-    }
-  }
+// Item count below which the per-item column transforms in FitParameters
+// (clamp + log) run inline: at ~5ns per item the work only outweighs a
+// pool dispatch for catalogs of tens of thousands of items.
+constexpr size_t kMinItemsForParallelTransform = 65536;
 
-  // One task per (level, feature) cell; which axis actually fans out across
-  // the pool is controlled by ParallelOptions. When only one axis is
-  // enabled, the other axis runs inside the task, mirroring the paper's
-  // separate "skill" and "feature" parallelization conditions.
-  const ItemTable& items = dataset.items();
-  auto fit_cell = [&](int feature, int level) {
-    const std::vector<ItemId>& members =
-        by_level[static_cast<size_t>(level - 1)];
-    if (members.empty()) return;  // keep current parameters
-    std::vector<double> values;
-    values.reserve(members.size());
-    for (ItemId item : members) values.push_back(items.value(item, feature));
-    model->mutable_component(feature, level)->Fit(values);
-  };
-
+// Runs fit_cell over the (level, feature) grid with the axis fan-out
+// selected by ParallelOptions: both axes flat, one axis with the other
+// nested inside the task, or fully sequential. Mirrors the paper's
+// separate "skill" and "feature" parallelization conditions.
+template <typename FitCell>
+void DispatchCells(ThreadPool* pool, ParallelOptions parallel, int num_levels,
+                   int num_features, const FitCell& fit_cell) {
   const bool parallel_levels = parallel.levels && pool != nullptr;
   const bool parallel_features = parallel.features && pool != nullptr;
   if (parallel_levels && parallel_features) {
@@ -114,17 +94,199 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
   }
 }
 
+}  // namespace
+
+void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
+                   SkillModel* model, ThreadPool* pool,
+                   ParallelOptions parallel) {
+  UPSKILL_CHECK(model != nullptr);
+  const int num_levels = model->num_levels();
+  const int num_features = model->num_features();
+  const size_t levels_sz = static_cast<size_t>(num_levels);
+
+  const ItemTable& items = dataset.items();
+  const size_t num_items = static_cast<size_t>(items.num_items());
+
+  // The accumulation pass fans out whenever the update step is parallel on
+  // either axis.
+  ThreadPool* update_pool =
+      (parallel.levels || parallel.features) ? pool : nullptr;
+  const int max_slots = ParallelMaxSlots(update_pool);
+
+  // Hard assignments weight every action equally, so the only thing the
+  // statistics need from the action stream is how many actions each
+  // (level, item) pair received: the cell statistic for feature f at level
+  // s is the count-weighted sum of f's per-item transforms. Pass 1 builds
+  // that count grid in one sweep over the actions; per-slot grids are safe
+  // under dynamic chunking because the counts are exact integer sums in
+  // doubles — order-independent — so the merged grid (and everything
+  // derived from it) is bitwise identical for any thread count.
+  // Slot 0 (the calling thread) writes the final grid directly; other
+  // slots get scratch grids that are merged in afterwards, so the serial
+  // path allocates and merges nothing extra. Fanning out costs one zeroed
+  // grid plus one merged grid per extra slot — O(grid) each — so it only
+  // pays when every potential slot's share of the action stream exceeds
+  // the grid itself.
+  const size_t grid_size = levels_sz * num_items;
+  size_t total_actions = 0;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    if (!assignments[static_cast<size_t>(u)].empty()) {
+      total_actions += dataset.sequence(u).size();
+    }
+  }
+  ThreadPool* count_pool =
+      total_actions >= grid_size * static_cast<size_t>(max_slots)
+          ? update_pool
+          : nullptr;
+  std::vector<double> level_counts(grid_size, 0.0);
+  std::vector<std::vector<double>> slot_counts(
+      static_cast<size_t>(ParallelMaxSlots(count_pool)));
+  ParallelForChunked(
+      count_pool, 0, static_cast<size_t>(dataset.num_users()),
+      [&](int slot, size_t user_begin, size_t user_end) {
+        double* counts = level_counts.data();
+        if (slot != 0) {
+          std::vector<double>& scratch =
+              slot_counts[static_cast<size_t>(slot)];
+          if (scratch.empty()) scratch.assign(grid_size, 0.0);
+          counts = scratch.data();
+        }
+        for (size_t u = user_begin; u < user_end; ++u) {
+          const std::vector<int>& levels = assignments[u];
+          if (levels.empty()) continue;  // excluded (initialization)
+          const std::vector<Action>& seq =
+              dataset.sequence(static_cast<UserId>(u));
+          UPSKILL_CHECK(levels.size() == seq.size());
+          for (size_t n = 0; n < seq.size(); ++n) {
+            counts[static_cast<size_t>(levels[n] - 1) * num_items +
+                   static_cast<size_t>(seq[n].item)] += 1.0;
+          }
+        }
+      });
+  const bool any_scratch =
+      std::any_of(slot_counts.begin(), slot_counts.end(),
+                  [](const std::vector<double>& s) { return !s.empty(); });
+  if (any_scratch) {
+    ParallelFor(update_pool, 0, levels_sz, [&](size_t s) {
+      double* row = level_counts.data() + s * num_items;
+      for (const std::vector<double>& scratch : slot_counts) {
+        if (scratch.empty()) continue;
+        const double* slot_row = scratch.data() + s * num_items;
+        for (size_t item = 0; item < num_items; ++item) {
+          row[item] += slot_row[item];
+        }
+      }
+    });
+  }
+
+  // Positive-support kinds take a log per observation in the flat
+  // formulation; hoisting log(max(x, floor)) per *item* makes the whole
+  // update O(|I|) logs instead of O(|A|). AddPositiveTransformedColumn
+  // consumes the precomputed pair without re-deriving either.
+  std::vector<SufficientStats> prototypes;
+  prototypes.reserve(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) {
+    prototypes.push_back(model->component(f, 1).MakeStats());
+  }
+  std::vector<std::vector<double>> clamped_cols(
+      static_cast<size_t>(num_features));
+  std::vector<std::vector<double>> log_cols(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) {
+    const DistributionKind kind = prototypes[static_cast<size_t>(f)].kind();
+    if (kind != DistributionKind::kGamma &&
+        kind != DistributionKind::kLogNormal) {
+      continue;
+    }
+    std::vector<double>& clamped = clamped_cols[static_cast<size_t>(f)];
+    std::vector<double>& logs = log_cols[static_cast<size_t>(f)];
+    clamped.resize(num_items);
+    logs.resize(num_items);
+    const double* column = items.column(f).data();
+    // One log per item is light work; fan out only for large catalogs
+    // where the column transform outweighs the dispatch.
+    ThreadPool* column_pool =
+        num_items >= kMinItemsForParallelTransform ? update_pool : nullptr;
+    ParallelFor(column_pool, 0, num_items, [&](size_t item) {
+      const double c = std::max(column[item], kPositiveObservationFloor);
+      clamped[item] = c;
+      logs[item] = std::log(c);
+    });
+  }
+
+  // Pass 2: every (feature, level) cell reduces its count row against the
+  // feature column in fixed item order — a dense weighted accumulation
+  // with no per-action work at all. Cells with no observations keep their
+  // current parameters.
+  auto fit_cell = [&](int feature, int level) {
+    const size_t fs = static_cast<size_t>(feature);
+    SufficientStats stats = prototypes[fs];
+    const std::span<const double> weights(
+        level_counts.data() + static_cast<size_t>(level - 1) * num_items,
+        num_items);
+    if (!clamped_cols[fs].empty()) {
+      stats.AddPositiveTransformedColumn(clamped_cols[fs], log_cols[fs],
+                                         weights);
+    } else {
+      stats.AddColumn(items.column(feature), weights);
+    }
+    if (!stats.empty()) {
+      model->mutable_component(feature, level)->FitFromStats(stats);
+    }
+  };
+  DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
+}
+
+void FitParametersReference(const Dataset& dataset,
+                            const SkillAssignments& assignments,
+                            SkillModel* model, ThreadPool* pool,
+                            ParallelOptions parallel) {
+  UPSKILL_CHECK(model != nullptr);
+  const int num_levels = model->num_levels();
+  const int num_features = model->num_features();
+
+  // Group item occurrences by assigned level (O(|A|), as in Section IV-C).
+  std::vector<std::vector<ItemId>> by_level(
+      static_cast<size_t>(num_levels));
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
+    if (levels.empty()) continue;  // user excluded (initialization)
+    const std::vector<Action>& seq = dataset.sequence(u);
+    UPSKILL_CHECK(levels.size() == seq.size());
+    for (size_t n = 0; n < seq.size(); ++n) {
+      by_level[static_cast<size_t>(levels[n] - 1)].push_back(seq[n].item);
+    }
+  }
+
+  const ItemTable& items = dataset.items();
+  auto fit_cell = [&](int feature, int level) {
+    const std::vector<ItemId>& members =
+        by_level[static_cast<size_t>(level - 1)];
+    if (members.empty()) return;  // keep current parameters
+    std::vector<double> values;
+    values.reserve(members.size());
+    for (ItemId item : members) values.push_back(items.value(item, feature));
+    model->mutable_component(feature, level)->Fit(values);
+  };
+  DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
+}
+
 SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
                               ThreadPool* pool, ParallelOptions parallel,
                               double* total_log_likelihood,
-                              const TransitionWeights* transitions) {
+                              const TransitionWeights* transitions,
+                              const std::vector<double>* item_log_probs) {
   const int num_levels = model.num_levels();
   ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
 
   // The per-(item, level) log-probability cache is shared across all
-  // occurrences of an item; computing it is part of the assignment step.
-  const std::vector<double> cache =
-      model.ItemLogProbCache(dataset.items(), user_pool);
+  // occurrences of an item; the trainer passes its incrementally
+  // maintained cache, standalone callers get a fresh one.
+  std::vector<double> computed;
+  if (item_log_probs == nullptr) {
+    computed = model.ItemLogProbCache(dataset.items(), user_pool);
+    item_log_probs = &computed;
+  }
+  const std::vector<double>& cache = *item_log_probs;
 
   SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
   std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()),
@@ -185,12 +347,17 @@ SkillAssignments AssignSkillsWithClasses(
     const Dataset& dataset, const SkillModel& model,
     std::span<const ProgressionClassWeights> classes, ThreadPool* pool,
     ParallelOptions parallel, double* total_log_likelihood,
-    std::vector<int>* user_classes) {
+    std::vector<int>* user_classes,
+    const std::vector<double>* item_log_probs) {
   UPSKILL_CHECK(!classes.empty());
   const int num_levels = model.num_levels();
   ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
-  const std::vector<double> cache =
-      model.ItemLogProbCache(dataset.items(), user_pool);
+  std::vector<double> computed;
+  if (item_log_probs == nullptr) {
+    computed = model.ItemLogProbCache(dataset.items(), user_pool);
+    item_log_probs = &computed;
+  }
+  const std::vector<double>& cache = *item_log_probs;
 
   SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
   std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()),
@@ -346,18 +513,31 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     result.init_seconds = watch.ElapsedSeconds();
   }
 
+  // The item log-prob cache lives across iterations: only the
+  // (feature, level) cells whose parameters changed in the last update
+  // step are recomputed (LogProbCache dirty tracking).
+  LogProbCache log_prob_cache;
+  ThreadPool* user_pool =
+      (config_.parallel.users && pool != nullptr) ? pool.get() : nullptr;
+
   double previous_ll = -std::numeric_limits<double>::infinity();
   for (int iteration = 0; iteration < config_.max_iterations; ++iteration) {
+    Stopwatch cache_watch;
+    log_prob_cache.Update(result.model, dataset.items(), user_pool);
+    result.cache_seconds += cache_watch.ElapsedSeconds();
+
     Stopwatch assign_watch;
     double ll = 0.0;
     SkillAssignments assignments =
         use_classes
             ? AssignSkillsWithClasses(dataset, result.model, classes,
                                       pool.get(), config_.parallel, &ll,
-                                      &result.user_classes)
+                                      &result.user_classes,
+                                      &log_prob_cache.values())
             : AssignSkills(dataset, result.model, pool.get(),
                            config_.parallel, &ll,
-                           use_transitions ? &transition_weights : nullptr);
+                           use_transitions ? &transition_weights : nullptr,
+                           &log_prob_cache.values());
     result.assignment_seconds += assign_watch.ElapsedSeconds();
 
     const bool unchanged =

@@ -40,7 +40,11 @@ struct TrainResult {
   bool converged = false;
   double final_log_likelihood = 0.0;
   /// Wall-clock split, for the efficiency experiments (Section VI-F).
+  /// `cache_seconds` is the per-iteration item log-prob cache refresh,
+  /// which the paper folds into the assignment step; it is kept separate
+  /// here so the incremental cache's effect is visible.
   double assignment_seconds = 0.0;
+  double cache_seconds = 0.0;
   double update_seconds = 0.0;
   double init_seconds = 0.0;
   /// Learned progression component (meaningful when the config enables
@@ -85,22 +89,49 @@ SkillAssignments InitializeAssignments(const Dataset& dataset, int num_levels,
 /// The update step (Equations 5-7): refits every component of `model` from
 /// the actions assigned to its level. Users with empty assignment vectors
 /// are skipped; levels with no assigned actions keep their current
-/// parameters. Parallelizes over levels and/or features per `parallel`
-/// using `pool`.
+/// parameters.
+///
+/// Implemented in two passes with no per-level value buffers: one sweep
+/// over the action sequences builds a per-(level, item) action-count grid
+/// (hard assignments weight every action equally, so the counts are the
+/// only thing the statistics need from the stream), then every (feature,
+/// level) cell reduces its count row against the feature's item column
+/// into sufficient statistics (Distribution::MakeStats / FitFromStats) and
+/// refits. The counts are exact integer sums — order-independent — and the
+/// per-cell reduction runs in fixed item order, so the fitted parameters
+/// are bitwise identical for any thread count (gamma/log-normal log-sums
+/// are reassociated relative to a flat loop, but deterministically so).
+/// Parallelizes the pass when `parallel` enables the level and/or feature
+/// axis.
 void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
                    SkillModel* model, ThreadPool* pool = nullptr,
                    ParallelOptions parallel = {});
+
+/// Reference implementation of the update step: groups item occurrences
+/// into per-level buckets, then copies each (feature, level) cell's values
+/// into a buffer and calls Distribution::Fit. Kept as the equivalence
+/// oracle for FitParameters and as the benchmark baseline; new code should
+/// call FitParameters.
+void FitParametersReference(const Dataset& dataset,
+                            const SkillAssignments& assignments,
+                            SkillModel* model, ThreadPool* pool = nullptr,
+                            ParallelOptions parallel = {});
 
 /// The assignment step (Equation 4): per-user DP against the item
 /// log-probability cache. Returns the new assignments and, via
 /// `total_log_likelihood`, the objective value of Equation 3 under them
 /// (including transition terms when `transitions` is non-null).
-/// Parallelizes over users per `parallel` using `pool`.
+/// Parallelizes over users per `parallel` using `pool`. When
+/// `item_log_probs` is non-null it must be a [item * S + (level-1)] cache
+/// (e.g. LogProbCache::values()) and is used as-is; otherwise the cache is
+/// computed internally.
 SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
                               ThreadPool* pool = nullptr,
                               ParallelOptions parallel = {},
                               double* total_log_likelihood = nullptr,
-                              const TransitionWeights* transitions = nullptr);
+                              const TransitionWeights* transitions = nullptr,
+                              const std::vector<double>* item_log_probs =
+                                  nullptr);
 
 /// Maximum-likelihood refit of the global progression component from hard
 /// assignments: pi from (smoothed) first-action level counts, p_up from
@@ -118,7 +149,8 @@ SkillAssignments AssignSkillsWithClasses(
     std::span<const ProgressionClassWeights> classes,
     ThreadPool* pool = nullptr, ParallelOptions parallel = {},
     double* total_log_likelihood = nullptr,
-    std::vector<int>* user_classes = nullptr);
+    std::vector<int>* user_classes = nullptr,
+    const std::vector<double>* item_log_probs = nullptr);
 
 }  // namespace upskill
 

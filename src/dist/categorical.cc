@@ -29,6 +29,20 @@ double Categorical::LogProb(double x) const {
   return log_probs_[static_cast<size_t>(c)];
 }
 
+void Categorical::LogProbBatch(std::span<const double> xs,
+                               std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  const double* log_probs = log_probs_.data();
+  const int cardinality = cardinality_;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    const int c = static_cast<int>(x);
+    out[i] = (c < 0 || c >= cardinality || static_cast<double>(c) != x)
+                 ? kNegInf
+                 : log_probs[static_cast<size_t>(c)];
+  }
+}
+
 void Categorical::Fit(std::span<const double> values) {
   if (values.empty()) return;
   std::vector<double> counts(static_cast<size_t>(cardinality_), 0.0);
@@ -69,6 +83,51 @@ void Categorical::FitWeighted(std::span<const double> values,
         (smoothing_ + counts[static_cast<size_t>(c)]) / denom;
   }
   RecomputeLogProbs();
+}
+
+SufficientStats Categorical::MakeStats() const {
+  return SufficientStats(DistributionKind::kCategorical, cardinality_);
+}
+
+void Categorical::FitFromStats(const SufficientStats& stats) {
+  UPSKILL_CHECK(stats.kind() == DistributionKind::kCategorical);
+  const std::span<const double> counts = stats.category_counts();
+  UPSKILL_CHECK(static_cast<int>(counts.size()) == cardinality_);
+  if (stats.empty()) return;  // keep current parameters
+  const double denom =
+      smoothing_ * static_cast<double>(cardinality_) + stats.count();
+  UPSKILL_CHECK(denom > 0.0);
+  log_probs_.resize(probs_.size());
+  // Hard-assignment statistics are small integer counts, so most cells
+  // share a handful of distinct count values; memoizing the normalized
+  // probability and its log per distinct small count turns the dominant
+  // O(cardinality) division-and-log loop into table lookups. The memo
+  // evaluates exactly the expressions of the direct path on the same
+  // inputs, so the result is bitwise identical.
+  constexpr int kMemoSize = 64;
+  double memo_p[kMemoSize];
+  double memo_log[kMemoSize];
+  bool have[kMemoSize] = {};
+  for (int c = 0; c < cardinality_; ++c) {
+    const double cnt = counts[static_cast<size_t>(c)];
+    double p;
+    double log_p;
+    const int k = static_cast<int>(cnt);
+    if (k >= 0 && k < kMemoSize && static_cast<double>(k) == cnt) {
+      if (!have[k]) {
+        have[k] = true;
+        memo_p[k] = (smoothing_ + cnt) / denom;
+        memo_log[k] = memo_p[k] > 0.0 ? std::log(memo_p[k]) : kNegInf;
+      }
+      p = memo_p[k];
+      log_p = memo_log[k];
+    } else {
+      p = (smoothing_ + cnt) / denom;
+      log_p = p > 0.0 ? std::log(p) : kNegInf;
+    }
+    probs_[static_cast<size_t>(c)] = p;
+    log_probs_[static_cast<size_t>(c)] = log_p;
+  }
 }
 
 double Categorical::Sample(Rng& rng) const {

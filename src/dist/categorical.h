@@ -26,9 +26,13 @@ class Categorical : public Distribution {
     return DistributionKind::kCategorical;
   }
   double LogProb(double x) const override;
+  void LogProbBatch(std::span<const double> xs,
+                    std::span<double> out) const override;
   void Fit(std::span<const double> values) override;
   void FitWeighted(std::span<const double> values,
                    std::span<const double> weights) override;
+  SufficientStats MakeStats() const override;
+  void FitFromStats(const SufficientStats& stats) override;
   double Sample(Rng& rng) const override;
   double Mean() const override;
   std::unique_ptr<Distribution> Clone() const override;

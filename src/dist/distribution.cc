@@ -1,5 +1,10 @@
 #include "dist/distribution.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
 namespace upskill {
 
 const char* DistributionKindToString(DistributionKind kind) {
@@ -22,6 +27,123 @@ Result<DistributionKind> DistributionKindFromString(const std::string& name) {
   if (name == "gamma") return DistributionKind::kGamma;
   if (name == "lognormal") return DistributionKind::kLogNormal;
   return Status::InvalidArgument("unknown distribution kind: " + name);
+}
+
+SufficientStats::SufficientStats(DistributionKind kind, int cardinality)
+    : kind_(kind) {
+  if (kind_ == DistributionKind::kCategorical) {
+    UPSKILL_CHECK(cardinality > 0);
+    counts_.assign(static_cast<size_t>(cardinality), 0.0);
+  }
+}
+
+void SufficientStats::Clear() {
+  count_ = 0.0;
+  sum_ = 0.0;
+  sum_log_ = 0.0;
+  sum_log_sq_ = 0.0;
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+}
+
+void SufficientStats::AddColumn(std::span<const double> xs,
+                                std::span<const double> weights) {
+  UPSKILL_CHECK(xs.size() == weights.size());
+  switch (kind_) {
+    case DistributionKind::kCategorical: {
+      double* counts = counts_.data();
+      const size_t cardinality = counts_.size();
+      for (size_t i = 0; i < xs.size(); ++i) {
+        const double w = weights[i];
+        UPSKILL_CHECK(w >= 0.0);
+        if (w == 0.0) continue;
+        const size_t c = static_cast<size_t>(static_cast<int>(xs[i]));
+        UPSKILL_CHECK(c < cardinality);
+        counts[c] += w;
+        count_ += w;
+      }
+      break;
+    }
+    case DistributionKind::kPoisson: {
+      for (size_t i = 0; i < xs.size(); ++i) {
+        const double w = weights[i];
+        UPSKILL_CHECK(w >= 0.0);
+        if (w == 0.0) continue;
+        UPSKILL_CHECK(xs[i] >= 0.0);
+        sum_ += w * xs[i];
+        count_ += w;
+      }
+      break;
+    }
+    case DistributionKind::kGamma: {
+      for (size_t i = 0; i < xs.size(); ++i) {
+        const double w = weights[i];
+        UPSKILL_CHECK(w >= 0.0);
+        if (w == 0.0) continue;
+        const double clamped = std::max(xs[i], kPositiveObservationFloor);
+        sum_ += w * clamped;
+        sum_log_ += w * std::log(clamped);
+        count_ += w;
+      }
+      break;
+    }
+    case DistributionKind::kLogNormal: {
+      for (size_t i = 0; i < xs.size(); ++i) {
+        const double w = weights[i];
+        UPSKILL_CHECK(w >= 0.0);
+        if (w == 0.0) continue;
+        const double log_x =
+            std::log(std::max(xs[i], kPositiveObservationFloor));
+        sum_log_ += w * log_x;
+        sum_log_sq_ += w * log_x * log_x;
+        count_ += w;
+      }
+      break;
+    }
+  }
+}
+
+void SufficientStats::AddPositiveTransformedColumn(
+    std::span<const double> clamped, std::span<const double> log_clamped,
+    std::span<const double> weights) {
+  UPSKILL_CHECK(clamped.size() == weights.size());
+  UPSKILL_CHECK(log_clamped.size() == weights.size());
+  if (kind_ == DistributionKind::kGamma) {
+    for (size_t i = 0; i < clamped.size(); ++i) {
+      const double w = weights[i];
+      sum_ += w * clamped[i];
+      sum_log_ += w * log_clamped[i];
+      count_ += w;
+    }
+  } else {
+    UPSKILL_CHECK(kind_ == DistributionKind::kLogNormal);
+    for (size_t i = 0; i < clamped.size(); ++i) {
+      const double w = weights[i];
+      const double log_x = log_clamped[i];
+      sum_log_ += w * log_x;
+      sum_log_sq_ += w * log_x * log_x;
+      count_ += w;
+    }
+  }
+}
+
+void SufficientStats::Merge(const SufficientStats& other) {
+  UPSKILL_CHECK(kind_ == other.kind_);
+  UPSKILL_CHECK(counts_.size() == other.counts_.size());
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_log_ += other.sum_log_;
+  sum_log_sq_ += other.sum_log_sq_;
+  for (size_t c = 0; c < counts_.size(); ++c) counts_[c] += other.counts_[c];
+}
+
+void Distribution::LogProbBatch(std::span<const double> xs,
+                                std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = LogProb(xs[i]);
+}
+
+SufficientStats Distribution::MakeStats() const {
+  return SufficientStats(kind());
 }
 
 }  // namespace upskill

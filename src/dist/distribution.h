@@ -1,11 +1,14 @@
 #ifndef UPSKILL_DIST_DISTRIBUTION_H_
 #define UPSKILL_DIST_DISTRIBUTION_H_
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -27,6 +30,116 @@ const char* DistributionKindToString(DistributionKind kind);
 /// Parses the serialized name back into a kind.
 Result<DistributionKind> DistributionKindFromString(const std::string& name);
 
+/// Floor applied to observations of positive-support distributions (gamma,
+/// log-normal) before taking logs, so degenerate inputs cannot poison a
+/// fit. Shared between the Fit implementations and SufficientStats::Add so
+/// both paths clamp identically.
+inline constexpr double kPositiveObservationFloor = 1e-10;
+
+/// Accumulated sufficient statistics for one component's maximum-likelihood
+/// update (Equations 5-7). Every kind's MLE consumes only a fixed-size
+/// summary of its observations, so the update step can stream over actions
+/// once instead of materializing per-(feature, level) value buffers:
+///
+///   categorical: per-category weighted counts
+///   Poisson:     (n, Σ w·x)
+///   gamma:       (n, Σ w·x, Σ w·log x)   — its Newton solve only needs
+///                the mean and mean-log, so the iterations are unchanged
+///   log-normal:  (n, Σ w·log x, Σ w·log² x)
+///
+/// `n` is the total weight (the observation count for unit weights).
+/// Zero-weight observations are skipped entirely. Accumulators for the
+/// same kind (and cardinality) merge associatively; merge order only
+/// matters at the level of floating-point rounding, and not at all for
+/// the integer-valued sums (categorical counts, Poisson counts).
+class SufficientStats {
+ public:
+  SufficientStats() = default;
+  /// Empty accumulator for `kind`; `cardinality` sizes the histogram and
+  /// is required for (and only used by) categorical.
+  explicit SufficientStats(DistributionKind kind, int cardinality = 0);
+
+  DistributionKind kind() const { return kind_; }
+  /// Total accumulated weight.
+  double count() const { return count_; }
+  bool empty() const { return count_ <= 0.0; }
+
+  /// Forgets all accumulated observations (keeps kind and cardinality).
+  void Clear();
+
+  /// Accumulates one observation with non-negative weight. The per-kind
+  /// transformation (clamping, logs, truncation to a category index)
+  /// mirrors the corresponding Fit/FitWeighted exactly. Inline: this is
+  /// the update step's innermost call (once per action per feature), and
+  /// unit-weight calls must fold the weight checks away.
+  void Add(double x, double weight = 1.0) {
+    UPSKILL_CHECK(weight >= 0.0);
+    if (weight == 0.0) return;
+    switch (kind_) {
+      case DistributionKind::kCategorical: {
+        const size_t c = static_cast<size_t>(static_cast<int>(x));
+        UPSKILL_CHECK(c < counts_.size());
+        counts_[c] += weight;
+        break;
+      }
+      case DistributionKind::kPoisson: {
+        UPSKILL_CHECK(x >= 0.0);
+        sum_ += weight * x;
+        break;
+      }
+      case DistributionKind::kGamma: {
+        const double clamped = std::max(x, kPositiveObservationFloor);
+        sum_ += weight * clamped;
+        sum_log_ += weight * std::log(clamped);
+        break;
+      }
+      case DistributionKind::kLogNormal: {
+        const double log_x =
+            std::log(std::max(x, kPositiveObservationFloor));
+        sum_log_ += weight * log_x;
+        sum_log_sq_ += weight * log_x * log_x;
+        break;
+      }
+    }
+    count_ += weight;
+  }
+
+  /// Bulk weighted accumulation over a dense column: element-by-element
+  /// identical (same operations, same order) to calling Add(xs[i],
+  /// weights[i]) for every i, with the kind dispatch hoisted out of the
+  /// loop. Spans must have equal length; zero-weight elements contribute
+  /// nothing.
+  void AddColumn(std::span<const double> xs, std::span<const double> weights);
+
+  /// Bulk weighted accumulation for the positive-support kinds (gamma,
+  /// log-normal) when the clamped observations and their logs are already
+  /// computed — the update step hoists both per *item*, turning O(|A|)
+  /// logs into O(|I|). Element i must satisfy
+  /// `clamped[i] == max(x_i, kPositiveObservationFloor)` and
+  /// `log_clamped[i] == log(clamped[i])`; the accumulated sums then equal
+  /// AddColumn(xs, weights) term by term (the loop is branchless, so zero
+  /// weights contribute exact ±0.0 terms instead of being skipped).
+  void AddPositiveTransformedColumn(std::span<const double> clamped,
+                                    std::span<const double> log_clamped,
+                                    std::span<const double> weights);
+
+  /// Adds another accumulator of the same kind into this one.
+  void Merge(const SufficientStats& other);
+
+  double sum() const { return sum_; }
+  double sum_log() const { return sum_log_; }
+  double sum_log_sq() const { return sum_log_sq_; }
+  std::span<const double> category_counts() const { return counts_; }
+
+ private:
+  DistributionKind kind_ = DistributionKind::kPoisson;
+  double count_ = 0.0;
+  double sum_ = 0.0;
+  double sum_log_ = 0.0;
+  double sum_log_sq_ = 0.0;
+  std::vector<double> counts_;  // categorical only
+};
+
 /// A univariate probability distribution P_f(x | theta_f(s)) for one item
 /// feature at one skill level. Implementations are value-semantic via
 /// Clone(); observations are passed as doubles (categorical values are
@@ -42,6 +155,13 @@ class Distribution {
   /// Equation 3.
   virtual double LogProb(double x) const = 0;
 
+  /// Batched log density: out[i] = LogProb(xs[i]), bitwise identical, with
+  /// the parameter-only subexpressions hoisted out of the loop. Spans must
+  /// have equal length. Overridden per kind with a tight non-virtual inner
+  /// loop; callers hoist the single virtual dispatch per column.
+  virtual void LogProbBatch(std::span<const double> xs,
+                            std::span<double> out) const;
+
   /// Maximum-likelihood re-fit from the given observations (the update
   /// step, Equations 5-7). Implementations must tolerate an empty span by
   /// keeping their current parameters, because a skill level can receive
@@ -54,6 +174,15 @@ class Distribution {
   /// (numerically) zero. Spans must have equal length.
   virtual void FitWeighted(std::span<const double> values,
                            std::span<const double> weights) = 0;
+
+  /// Empty sufficient-statistics accumulator matching this distribution
+  /// (categorical pre-sizes its histogram to the cardinality).
+  virtual SufficientStats MakeStats() const;
+
+  /// Maximum-likelihood re-fit from accumulated statistics; equivalent to
+  /// Fit (FitWeighted for weighted accumulation) over the same
+  /// observations. Keeps current parameters when `stats` is empty.
+  virtual void FitFromStats(const SufficientStats& stats) = 0;
 
   /// Draws one observation.
   virtual double Sample(Rng& rng) const = 0;

@@ -12,7 +12,8 @@ namespace upskill {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr double kEpsilon = 1e-10;    // clamp for non-positive observations
+// Clamp for non-positive observations, shared with SufficientStats::Add.
+constexpr double kEpsilon = kPositiveObservationFloor;
 constexpr double kMinShape = 1e-4;
 constexpr double kMaxShape = 1e6;
 constexpr int kMaxNewtonIters = 50;
@@ -27,6 +28,20 @@ double Gamma::LogProb(double x) const {
   if (x <= 0.0) return kNegInf;
   return (shape_ - 1.0) * std::log(x) - x / scale_ - LogGamma(shape_) -
          shape_ * std::log(scale_);
+}
+
+void Gamma::LogProbBatch(std::span<const double> xs,
+                         std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  const double shape_minus_one = shape_ - 1.0;
+  const double log_gamma_shape = LogGamma(shape_);
+  const double log_scale = std::log(scale_);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    out[i] = x <= 0.0 ? kNegInf
+                      : shape_minus_one * std::log(x) - x / scale_ -
+                            log_gamma_shape - shape_ * log_scale;
+  }
 }
 
 namespace {
@@ -89,6 +104,15 @@ void Gamma::FitWeighted(std::span<const double> values,
   shape_ = std::clamp(SolveShape(sum / total, sum_log / total), kMinShape,
                       kMaxShape);
   scale_ = std::max((sum / total) / shape_, kEpsilon);
+}
+
+void Gamma::FitFromStats(const SufficientStats& stats) {
+  UPSKILL_CHECK(stats.kind() == DistributionKind::kGamma);
+  if (stats.empty()) return;  // keep current parameters
+  const double n = stats.count();
+  shape_ = std::clamp(SolveShape(stats.sum() / n, stats.sum_log() / n),
+                      kMinShape, kMaxShape);
+  scale_ = std::max((stats.sum() / n) / shape_, kEpsilon);
 }
 
 double Gamma::Sample(Rng& rng) const { return rng.NextGamma(shape_, scale_); }

@@ -1,5 +1,6 @@
 #include "dist/lognormal.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -11,7 +12,8 @@ namespace upskill {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr double kEpsilon = 1e-10;
+// Shared with SufficientStats::Add so both paths clamp identically.
+constexpr double kEpsilon = kPositiveObservationFloor;
 constexpr double kMinSigma = 1e-4;
 }  // namespace
 
@@ -24,6 +26,25 @@ double LogNormal::LogProb(double x) const {
   const double z = (std::log(x) - mu_) / sigma_;
   return -0.5 * z * z - std::log(x) - std::log(sigma_) -
          0.5 * std::log(2.0 * M_PI);
+}
+
+void LogNormal::LogProbBatch(std::span<const double> xs,
+                             std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  const double mu = mu_;
+  const double sigma = sigma_;
+  const double log_sigma = std::log(sigma_);
+  const double half_log_two_pi = 0.5 * std::log(2.0 * M_PI);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    if (x <= 0.0) {
+      out[i] = kNegInf;
+      continue;
+    }
+    const double log_x = std::log(x);
+    const double z = (log_x - mu) / sigma;
+    out[i] = -0.5 * z * z - log_x - log_sigma - half_log_two_pi;
+  }
 }
 
 void LogNormal::Fit(std::span<const double> values) {
@@ -52,6 +73,19 @@ void LogNormal::FitWeighted(std::span<const double> values,
     variance += weights[i] * d * d;
   }
   variance /= total;
+  mu_ = mean;
+  sigma_ = std::max(kMinSigma, std::sqrt(variance));
+}
+
+void LogNormal::FitFromStats(const SufficientStats& stats) {
+  UPSKILL_CHECK(stats.kind() == DistributionKind::kLogNormal);
+  if (stats.empty()) return;  // keep current parameters
+  const double n = stats.count();
+  const double mean = stats.sum_log() / n;
+  // Moment form of the variance; clamp the (catastrophic-cancellation)
+  // negative tail to zero before the sigma floor takes over.
+  const double variance =
+      std::max(0.0, stats.sum_log_sq() / n - mean * mean);
   mu_ = mean;
   sigma_ = std::max(kMinSigma, std::sqrt(variance));
 }

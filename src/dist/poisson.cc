@@ -25,6 +25,20 @@ double Poisson::LogProb(double x) const {
   return static_cast<double>(k) * std::log(rate_) - rate_ - LogFactorial(k);
 }
 
+void Poisson::LogProbBatch(std::span<const double> xs,
+                           std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  const double log_rate = std::log(rate_);
+  const double rate = rate_;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    const long long k = static_cast<long long>(x);
+    out[i] = (k < 0 || static_cast<double>(k) != x)
+                 ? kNegInf
+                 : static_cast<double>(k) * log_rate - rate - LogFactorial(k);
+  }
+}
+
 void Poisson::Fit(std::span<const double> values) {
   if (values.empty()) return;
   double sum = 0.0;
@@ -48,6 +62,12 @@ void Poisson::FitWeighted(std::span<const double> values,
   }
   if (total <= 0.0) return;
   rate_ = std::max(kMinRate, weighted_sum / total);
+}
+
+void Poisson::FitFromStats(const SufficientStats& stats) {
+  UPSKILL_CHECK(stats.kind() == DistributionKind::kPoisson);
+  if (stats.empty()) return;  // keep current parameters
+  rate_ = std::max(kMinRate, stats.sum() / stats.count());
 }
 
 double Poisson::Sample(Rng& rng) const {

@@ -20,9 +20,12 @@ class Poisson : public Distribution {
 
   DistributionKind kind() const override { return DistributionKind::kPoisson; }
   double LogProb(double x) const override;
+  void LogProbBatch(std::span<const double> xs,
+                    std::span<double> out) const override;
   void Fit(std::span<const double> values) override;
   void FitWeighted(std::span<const double> values,
                    std::span<const double> weights) override;
+  void FitFromStats(const SufficientStats& stats) override;
   double Sample(Rng& rng) const override;
   double Mean() const override { return rate_; }
   std::unique_ptr<Distribution> Clone() const override;

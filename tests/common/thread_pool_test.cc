@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace upskill {
@@ -91,6 +92,114 @@ TEST(ParallelForTest, ParallelSumMatchesSequential) {
   for (size_t i = 0; i < n; ++i) expected += static_cast<long long>(i) * 3 - 1;
   EXPECT_EQ(std::accumulate(contributions.begin(), contributions.end(), 0LL),
             expected);
+}
+
+// Regression test: ParallelFor used to block on the pool-global Wait(),
+// so two concurrent loops on one pool could each return while the other's
+// iterations were still running (or deadlock when nested). The per-call
+// latch must make every loop observe exactly its own completed body.
+TEST(ParallelForTest, ConcurrentLoopsOnOnePoolSeeOwnCompletion) {
+  ThreadPool pool(4);
+  constexpr int kLoops = 8;
+  constexpr size_t kPerLoop = 500;
+  std::vector<std::vector<int>> results(kLoops,
+                                        std::vector<int>(kPerLoop, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kLoops);
+  for (int loop = 0; loop < kLoops; ++loop) {
+    callers.emplace_back([&pool, &results, loop] {
+      ParallelFor(&pool, 0, kPerLoop, [&results, loop](size_t i) {
+        results[loop][i] = loop + 1;
+      });
+      // The loop returned: all of *its* writes must be visible, even
+      // while the other loops are still in flight.
+      for (size_t i = 0; i < kPerLoop; ++i) {
+        EXPECT_EQ(results[loop][i], loop + 1) << "loop " << loop << " i " << i;
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+}
+
+TEST(ParallelForTest, NestedLoopsOnOnePoolComplete) {
+  ThreadPool pool(2);  // fewer workers than outer iterations
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(kOuter);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(kInner);
+  }
+  // Caller participation guarantees progress even when every worker is
+  // blocked inside an outer iteration waiting on its inner loop.
+  ParallelFor(&pool, 0, kOuter, [&](size_t outer) {
+    ParallelFor(&pool, 0, kInner, [&hits, outer](size_t inner) {
+      hits[outer][inner].fetch_add(1);
+    });
+  });
+  for (size_t outer = 0; outer < kOuter; ++outer) {
+    for (size_t inner = 0; inner < kInner; ++inner) {
+      EXPECT_EQ(hits[outer][inner].load(), 1) << outer << "," << inner;
+    }
+  }
+}
+
+TEST(ParallelForChunkedTest, ChunksTileRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kBegin = 17;
+  constexpr size_t kEnd = 4711;
+  std::vector<std::atomic<int>> hits(kEnd);
+  ParallelForChunked(&pool, kBegin, kEnd,
+                     [&](int /*slot*/, size_t chunk_begin, size_t chunk_end) {
+                       EXPECT_LT(chunk_begin, chunk_end);
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+  for (size_t i = 0; i < kEnd; ++i) {
+    EXPECT_EQ(hits[i].load(), i >= kBegin ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForChunkedTest, SlotsStayWithinMaxSlots) {
+  ThreadPool pool(3);
+  const int max_slots = ParallelMaxSlots(&pool);
+  EXPECT_EQ(max_slots, 4);  // 3 workers + calling thread
+  std::atomic<int> bad_slots{0};
+  std::vector<std::atomic<int>> slot_seen(static_cast<size_t>(max_slots));
+  ParallelForChunked(&pool, 0, 10000,
+                     [&](int slot, size_t chunk_begin, size_t chunk_end) {
+                       if (slot < 0 || slot >= max_slots) {
+                         bad_slots.fetch_add(1);
+                         return;
+                       }
+                       slot_seen[static_cast<size_t>(slot)].fetch_add(
+                           static_cast<int>(chunk_end - chunk_begin));
+                     });
+  EXPECT_EQ(bad_slots.load(), 0);
+  int total = 0;
+  for (auto& s : slot_seen) total += s.load();
+  EXPECT_EQ(total, 10000);
+}
+
+TEST(ParallelForChunkedTest, NullPoolRunsInlineOnSlotZero) {
+  EXPECT_EQ(ParallelMaxSlots(nullptr), 1);
+  std::vector<int> values(100, 0);
+  ParallelForChunked(nullptr, 0, values.size(),
+                     [&](int slot, size_t chunk_begin, size_t chunk_end) {
+                       EXPECT_EQ(slot, 0);
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                         values[i] = 1;
+                       }
+                     });
+  for (int v : values) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForChunkedTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelForChunked(&pool, 9, 9, [&](int, size_t, size_t) { ++calls; });
+  ParallelForChunked(&pool, 9, 4, [&](int, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
 }
 
 }  // namespace

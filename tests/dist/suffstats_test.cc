@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/categorical.h"
+#include "dist/distribution.h"
+#include "dist/gamma.h"
+#include "dist/lognormal.h"
+#include "dist/poisson.h"
+
+namespace upskill {
+namespace {
+
+// Relative tolerance for kinds whose statistics reassociate floating-point
+// sums relative to the flat Fit loop (gamma, log-normal). Categorical and
+// Poisson statistics are exact and compared with EXPECT_EQ instead.
+constexpr double kRelTol = 1e-12;
+
+void ExpectParamsNear(const std::vector<double>& actual,
+                      const std::vector<double>& expected, double rel_tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i],
+                rel_tol * std::max(1.0, std::abs(expected[i])))
+        << "parameter " << i;
+  }
+}
+
+std::vector<double> CategoricalValues() {
+  return {0, 2, 2, 1, 3, 2, 0, 1, 1, 2, 3, 3, 2, 0, 1};
+}
+
+std::vector<double> CountValues() {
+  return {0, 3, 1, 4, 2, 2, 7, 0, 1, 5, 3, 2};
+}
+
+std::vector<double> PositiveValues() {
+  Rng rng(1234);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.NextGamma(2.5, 1.7));
+  values.push_back(0.0);     // exercises the positive-observation floor
+  values.push_back(-0.25);   // likewise
+  return values;
+}
+
+std::vector<double> Weights(size_t n) {
+  Rng rng(99);
+  std::vector<double> weights;
+  for (size_t i = 0; i < n; ++i) {
+    weights.push_back(i % 7 == 0 ? 0.0 : rng.NextDouble());
+  }
+  return weights;
+}
+
+struct KindCase {
+  std::unique_ptr<Distribution> fit_dist;    // driven through Fit*
+  std::unique_ptr<Distribution> stats_dist;  // driven through FitFromStats
+  std::vector<double> values;
+  bool exact;
+};
+
+std::vector<KindCase> AllKinds() {
+  std::vector<KindCase> cases;
+  cases.push_back({std::make_unique<Categorical>(4, 0.01),
+                   std::make_unique<Categorical>(4, 0.01),
+                   CategoricalValues(), true});
+  cases.push_back({std::make_unique<Poisson>(), std::make_unique<Poisson>(),
+                   CountValues(), true});
+  cases.push_back({std::make_unique<Gamma>(), std::make_unique<Gamma>(),
+                   PositiveValues(), false});
+  cases.push_back({std::make_unique<LogNormal>(),
+                   std::make_unique<LogNormal>(), PositiveValues(), false});
+  return cases;
+}
+
+TEST(SufficientStatsTest, FitFromStatsMatchesFit) {
+  for (KindCase& c : AllKinds()) {
+    SufficientStats stats = c.stats_dist->MakeStats();
+    for (double x : c.values) stats.Add(x);
+    c.fit_dist->Fit(c.values);
+    c.stats_dist->FitFromStats(stats);
+    if (c.exact) {
+      EXPECT_EQ(c.stats_dist->Parameters(), c.fit_dist->Parameters())
+          << c.fit_dist->DebugString();
+    } else {
+      ExpectParamsNear(c.stats_dist->Parameters(), c.fit_dist->Parameters(),
+                       kRelTol);
+    }
+  }
+}
+
+TEST(SufficientStatsTest, WeightedFitFromStatsMatchesFitWeighted) {
+  for (KindCase& c : AllKinds()) {
+    const std::vector<double> weights = Weights(c.values.size());
+    SufficientStats stats = c.stats_dist->MakeStats();
+    for (size_t i = 0; i < c.values.size(); ++i) {
+      stats.Add(c.values[i], weights[i]);
+    }
+    c.fit_dist->FitWeighted(c.values, weights);
+    c.stats_dist->FitFromStats(stats);
+    // Weighted sums accumulate in the same order as FitWeighted, but
+    // LogNormal::FitWeighted centers its variance (two-pass) while the
+    // statistics use the moment form, so compare with tolerance
+    // throughout.
+    ExpectParamsNear(c.stats_dist->Parameters(), c.fit_dist->Parameters(),
+                     1e-9);
+  }
+}
+
+TEST(SufficientStatsTest, MergedSplitsMatchSingleAccumulator) {
+  for (KindCase& c : AllKinds()) {
+    SufficientStats whole = c.stats_dist->MakeStats();
+    for (double x : c.values) whole.Add(x);
+
+    // Same observations accumulated in three parts and merged in order.
+    SufficientStats parts[3] = {c.stats_dist->MakeStats(),
+                                c.stats_dist->MakeStats(),
+                                c.stats_dist->MakeStats()};
+    for (size_t i = 0; i < c.values.size(); ++i) {
+      parts[i % 3].Add(c.values[i]);
+    }
+    SufficientStats merged = c.stats_dist->MakeStats();
+    for (const SufficientStats& part : parts) merged.Merge(part);
+
+    std::unique_ptr<Distribution> from_whole = c.stats_dist->Clone();
+    c.stats_dist->FitFromStats(merged);
+    from_whole->FitFromStats(whole);
+    if (c.exact) {
+      EXPECT_EQ(c.stats_dist->Parameters(), from_whole->Parameters());
+    } else {
+      ExpectParamsNear(c.stats_dist->Parameters(), from_whole->Parameters(),
+                       kRelTol);
+    }
+  }
+}
+
+TEST(SufficientStatsTest, EmptyStatsKeepCurrentParameters) {
+  for (KindCase& c : AllKinds()) {
+    const std::vector<double> before = c.stats_dist->Parameters();
+    c.stats_dist->FitFromStats(c.stats_dist->MakeStats());
+    EXPECT_EQ(c.stats_dist->Parameters(), before)
+        << c.stats_dist->DebugString();
+  }
+}
+
+TEST(SufficientStatsTest, AddColumnMatchesPerElementAddBitwise) {
+  for (KindCase& c : AllKinds()) {
+    const std::vector<double> weights = Weights(c.values.size());
+    SufficientStats plain = c.stats_dist->MakeStats();
+    for (size_t i = 0; i < c.values.size(); ++i) {
+      plain.Add(c.values[i], weights[i]);
+    }
+    SufficientStats column = c.stats_dist->MakeStats();
+    column.AddColumn(c.values, weights);
+    EXPECT_EQ(column.count(), plain.count());
+    EXPECT_EQ(column.sum(), plain.sum());
+    EXPECT_EQ(column.sum_log(), plain.sum_log());
+    EXPECT_EQ(column.sum_log_sq(), plain.sum_log_sq());
+    ASSERT_EQ(column.category_counts().size(),
+              plain.category_counts().size());
+    for (size_t i = 0; i < column.category_counts().size(); ++i) {
+      EXPECT_EQ(column.category_counts()[i], plain.category_counts()[i]);
+    }
+  }
+}
+
+TEST(SufficientStatsTest, AddPositiveTransformedColumnMatchesAddColumn) {
+  const std::vector<double> values = PositiveValues();
+  std::vector<double> weights = Weights(values.size());
+  std::vector<double> clamped(values.size());
+  std::vector<double> logs(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    clamped[i] = std::max(values[i], kPositiveObservationFloor);
+    logs[i] = std::log(clamped[i]);
+  }
+  for (DistributionKind kind :
+       {DistributionKind::kGamma, DistributionKind::kLogNormal}) {
+    SufficientStats plain(kind);
+    plain.AddColumn(values, weights);
+    SufficientStats transformed(kind);
+    transformed.AddPositiveTransformedColumn(clamped, logs, weights);
+    EXPECT_EQ(transformed.count(), plain.count());
+    EXPECT_EQ(transformed.sum(), plain.sum());
+    EXPECT_EQ(transformed.sum_log(), plain.sum_log());
+    EXPECT_EQ(transformed.sum_log_sq(), plain.sum_log_sq());
+  }
+}
+
+TEST(SufficientStatsTest, ZeroWeightObservationsAreIgnored) {
+  for (KindCase& c : AllKinds()) {
+    SufficientStats weighted = c.stats_dist->MakeStats();
+    SufficientStats plain = c.stats_dist->MakeStats();
+    for (double x : c.values) {
+      weighted.Add(x, 1.0);
+      weighted.Add(x * 0.5 + 0.25, 0.0);  // must contribute nothing
+      plain.Add(x);
+    }
+    EXPECT_EQ(weighted.count(), plain.count());
+    EXPECT_EQ(weighted.sum(), plain.sum());
+    EXPECT_EQ(weighted.sum_log(), plain.sum_log());
+    EXPECT_EQ(weighted.sum_log_sq(), plain.sum_log_sq());
+  }
+}
+
+TEST(LogProbBatchTest, MatchesScalarLogProbBitwise) {
+  // Includes out-of-support probes per kind: negative reals, non-integers
+  // for Poisson, out-of-range and fractional indices for categorical.
+  for (KindCase& c : AllKinds()) {
+    c.fit_dist->Fit(c.values);
+    std::vector<double> probes = c.values;
+    probes.push_back(-1.0);
+    probes.push_back(0.0);
+    probes.push_back(2.5);
+    probes.push_back(1e9);
+    std::vector<double> batch(probes.size());
+    c.fit_dist->LogProbBatch(probes, batch);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const double scalar = c.fit_dist->LogProb(probes[i]);
+      EXPECT_EQ(batch[i], scalar)
+          << c.fit_dist->DebugString() << " x=" << probes[i];
+    }
+  }
+}
+
+TEST(LogProbBatchTest, DefaultImplementationCoversEveryKind) {
+  // The virtual default (loop over LogProb) and each override must agree;
+  // spot-check via a kind with a non-trivial support boundary.
+  Gamma gamma(2.0, 0.5);
+  const std::vector<double> xs = {0.1, 1.0, -3.0, 7.5};
+  std::vector<double> out(xs.size());
+  gamma.LogProbBatch(xs, out);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(out[i], gamma.LogProb(xs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace upskill
