@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_config"
+  "../bench/bench_ablation_config.pdb"
+  "CMakeFiles/bench_ablation_config.dir/bench_ablation_config.cc.o"
+  "CMakeFiles/bench_ablation_config.dir/bench_ablation_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

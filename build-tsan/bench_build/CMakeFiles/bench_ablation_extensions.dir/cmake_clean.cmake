@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_extensions"
+  "../bench/bench_ablation_extensions.pdb"
+  "CMakeFiles/bench_ablation_extensions.dir/bench_ablation_extensions.cc.o"
+  "CMakeFiles/bench_ablation_extensions.dir/bench_ablation_extensions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

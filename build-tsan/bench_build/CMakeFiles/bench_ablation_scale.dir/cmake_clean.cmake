@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scale"
+  "../bench/bench_ablation_scale.pdb"
+  "CMakeFiles/bench_ablation_scale.dir/bench_ablation_scale.cc.o"
+  "CMakeFiles/bench_ablation_scale.dir/bench_ablation_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_temporal"
+  "../bench/bench_ablation_temporal.pdb"
+  "CMakeFiles/bench_ablation_temporal.dir/bench_ablation_temporal.cc.o"
+  "CMakeFiles/bench_ablation_temporal.dir/bench_ablation_temporal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

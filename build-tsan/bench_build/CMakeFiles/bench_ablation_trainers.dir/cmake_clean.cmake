@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_trainers"
+  "../bench/bench_ablation_trainers.pdb"
+  "CMakeFiles/bench_ablation_trainers.dir/bench_ablation_trainers.cc.o"
+  "CMakeFiles/bench_ablation_trainers.dir/bench_ablation_trainers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trainers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

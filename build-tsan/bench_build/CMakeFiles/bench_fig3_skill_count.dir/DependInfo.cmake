@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_skill_count.cc" "bench_build/CMakeFiles/bench_fig3_skill_count.dir/bench_fig3_skill_count.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig3_skill_count.dir/bench_fig3_skill_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench_build/CMakeFiles/upskill_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/upskill.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_skill_count"
+  "../bench/bench_fig3_skill_count.pdb"
+  "CMakeFiles/bench_fig3_skill_count.dir/bench_fig3_skill_count.cc.o"
+  "CMakeFiles/bench_fig3_skill_count.dir/bench_fig3_skill_count.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_skill_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

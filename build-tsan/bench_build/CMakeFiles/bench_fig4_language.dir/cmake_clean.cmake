@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_language"
+  "../bench/bench_fig4_language.pdb"
+  "CMakeFiles/bench_fig4_language.dir/bench_fig4_language.cc.o"
+  "CMakeFiles/bench_fig4_language.dir/bench_fig4_language.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cooking"
+  "../bench/bench_fig5_cooking.pdb"
+  "CMakeFiles/bench_fig5_cooking.dir/bench_fig5_cooking.cc.o"
+  "CMakeFiles/bench_fig5_cooking.dir/bench_fig5_cooking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_beer_abv"
+  "../bench/bench_fig6_beer_abv.pdb"
+  "CMakeFiles/bench_fig6_beer_abv.dir/bench_fig6_beer_abv.cc.o"
+  "CMakeFiles/bench_fig6_beer_abv.dir/bench_fig6_beer_abv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_beer_abv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

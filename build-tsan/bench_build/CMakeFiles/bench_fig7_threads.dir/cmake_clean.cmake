@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_threads"
+  "../bench/bench_fig7_threads.pdb"
+  "CMakeFiles/bench_fig7_threads.dir/bench_fig7_threads.cc.o"
+  "CMakeFiles/bench_fig7_threads.dir/bench_fig7_threads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro"
+  "../bench/bench_micro.pdb"
+  "CMakeFiles/bench_micro.dir/bench_micro.cc.o"
+  "CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

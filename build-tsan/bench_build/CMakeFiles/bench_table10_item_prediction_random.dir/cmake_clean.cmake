@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_item_prediction_random"
+  "../bench/bench_table10_item_prediction_random.pdb"
+  "CMakeFiles/bench_table10_item_prediction_random.dir/bench_table10_item_prediction_random.cc.o"
+  "CMakeFiles/bench_table10_item_prediction_random.dir/bench_table10_item_prediction_random.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_item_prediction_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

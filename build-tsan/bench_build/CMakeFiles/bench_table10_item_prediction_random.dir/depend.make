@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table10_item_prediction_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_item_prediction_last"
+  "../bench/bench_table11_item_prediction_last.pdb"
+  "CMakeFiles/bench_table11_item_prediction_last.dir/bench_table11_item_prediction_last.cc.o"
+  "CMakeFiles/bench_table11_item_prediction_last.dir/bench_table11_item_prediction_last.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_item_prediction_last.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table11_item_prediction_last.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table12_rating_prediction"
+  "../bench/bench_table12_rating_prediction.pdb"
+  "CMakeFiles/bench_table12_rating_prediction.dir/bench_table12_rating_prediction.cc.o"
+  "CMakeFiles/bench_table12_rating_prediction.dir/bench_table12_rating_prediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_rating_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table13_parallel"
+  "../bench/bench_table13_parallel.pdb"
+  "CMakeFiles/bench_table13_parallel.dir/bench_table13_parallel.cc.o"
+  "CMakeFiles/bench_table13_parallel.dir/bench_table13_parallel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

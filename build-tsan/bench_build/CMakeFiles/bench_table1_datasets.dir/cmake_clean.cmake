@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_datasets"
+  "../bench/bench_table1_datasets.pdb"
+  "CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o"
+  "CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

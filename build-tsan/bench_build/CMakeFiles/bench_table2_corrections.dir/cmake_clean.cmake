@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_corrections"
+  "../bench/bench_table2_corrections.pdb"
+  "CMakeFiles/bench_table2_corrections.dir/bench_table2_corrections.cc.o"
+  "CMakeFiles/bench_table2_corrections.dir/bench_table2_corrections.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_corrections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

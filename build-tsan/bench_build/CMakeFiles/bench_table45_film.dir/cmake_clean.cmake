@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table45_film"
+  "../bench/bench_table45_film.pdb"
+  "CMakeFiles/bench_table45_film.dir/bench_table45_film.cc.o"
+  "CMakeFiles/bench_table45_film.dir/bench_table45_film.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table45_film.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

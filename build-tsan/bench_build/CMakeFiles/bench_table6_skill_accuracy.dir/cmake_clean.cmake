@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_skill_accuracy"
+  "../bench/bench_table6_skill_accuracy.pdb"
+  "CMakeFiles/bench_table6_skill_accuracy.dir/bench_table6_skill_accuracy.cc.o"
+  "CMakeFiles/bench_table6_skill_accuracy.dir/bench_table6_skill_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_skill_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_difficulty_accuracy"
+  "../bench/bench_table7_difficulty_accuracy.pdb"
+  "CMakeFiles/bench_table7_difficulty_accuracy.dir/bench_table7_difficulty_accuracy.cc.o"
+  "CMakeFiles/bench_table7_difficulty_accuracy.dir/bench_table7_difficulty_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_difficulty_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_difficulty_dense"
+  "../bench/bench_table9_difficulty_dense.pdb"
+  "CMakeFiles/bench_table9_difficulty_dense.dir/bench_table9_difficulty_dense.cc.o"
+  "CMakeFiles/bench_table9_difficulty_dense.dir/bench_table9_difficulty_dense.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_difficulty_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

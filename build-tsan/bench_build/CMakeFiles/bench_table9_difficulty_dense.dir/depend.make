@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_difficulty_dense.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upskill_bench_common.dir/accuracy_lib.cc.o"
+  "CMakeFiles/upskill_bench_common.dir/accuracy_lib.cc.o.d"
+  "CMakeFiles/upskill_bench_common.dir/common.cc.o"
+  "CMakeFiles/upskill_bench_common.dir/common.cc.o.d"
+  "CMakeFiles/upskill_bench_common.dir/prediction_lib.cc.o"
+  "CMakeFiles/upskill_bench_common.dir/prediction_lib.cc.o.d"
+  "libupskill_bench_common.a"
+  "libupskill_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upskill_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cooking_progression.dir/cooking_progression.cpp.o"
+  "CMakeFiles/example_cooking_progression.dir/cooking_progression.cpp.o.d"
+  "example_cooking_progression"
+  "example_cooking_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cooking_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_cooking_progression.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_film_confounder.dir/film_confounder.cpp.o"
+  "CMakeFiles/example_film_confounder.dir/film_confounder.cpp.o.d"
+  "example_film_confounder"
+  "example_film_confounder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_film_confounder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

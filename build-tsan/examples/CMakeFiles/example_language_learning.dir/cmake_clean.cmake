@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_language_learning.dir/language_learning.cpp.o"
+  "CMakeFiles/example_language_learning.dir/language_learning.cpp.o.d"
+  "example_language_learning"
+  "example_language_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_language_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_upskill_cli.dir/upskill_cli.cpp.o"
+  "CMakeFiles/example_upskill_cli.dir/upskill_cli.cpp.o.d"
+  "example_upskill_cli"
+  "example_upskill_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_upskill_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

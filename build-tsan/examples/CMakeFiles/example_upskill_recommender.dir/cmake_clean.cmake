@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_upskill_recommender.dir/upskill_recommender.cpp.o"
+  "CMakeFiles/example_upskill_recommender.dir/upskill_recommender.cpp.o.d"
+  "example_upskill_recommender"
+  "example_upskill_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_upskill_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

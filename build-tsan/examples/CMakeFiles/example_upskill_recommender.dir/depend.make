@@ -1,0 +1,2 @@
+# Empty dependencies file for example_upskill_recommender.
+# This may be replaced when dependencies are built.

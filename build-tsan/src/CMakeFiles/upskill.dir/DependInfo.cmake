@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/sequence_baselines.cc" "src/CMakeFiles/upskill.dir/baselines/sequence_baselines.cc.o" "gcc" "src/CMakeFiles/upskill.dir/baselines/sequence_baselines.cc.o.d"
+  "/root/repo/src/baselines/uniform_model.cc" "src/CMakeFiles/upskill.dir/baselines/uniform_model.cc.o" "gcc" "src/CMakeFiles/upskill.dir/baselines/uniform_model.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/upskill.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/upskill.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math.cc" "src/CMakeFiles/upskill.dir/common/math.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/math.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/upskill.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/upskill.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/upskill.dir/common/status.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/upskill.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/upskill.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/upskill.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/assignments_io.cc" "src/CMakeFiles/upskill.dir/core/assignments_io.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/assignments_io.cc.o.d"
+  "/root/repo/src/core/difficulty.cc" "src/CMakeFiles/upskill.dir/core/difficulty.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/difficulty.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/upskill.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/dp.cc" "src/CMakeFiles/upskill.dir/core/dp.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/dp.cc.o.d"
+  "/root/repo/src/core/em_trainer.cc" "src/CMakeFiles/upskill.dir/core/em_trainer.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/em_trainer.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/CMakeFiles/upskill.dir/core/inference.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/inference.cc.o.d"
+  "/root/repo/src/core/information_criteria.cc" "src/CMakeFiles/upskill.dir/core/information_criteria.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/information_criteria.cc.o.d"
+  "/root/repo/src/core/model_report.cc" "src/CMakeFiles/upskill.dir/core/model_report.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/model_report.cc.o.d"
+  "/root/repo/src/core/model_selection.cc" "src/CMakeFiles/upskill.dir/core/model_selection.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/model_selection.cc.o.d"
+  "/root/repo/src/core/posterior.cc" "src/CMakeFiles/upskill.dir/core/posterior.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/posterior.cc.o.d"
+  "/root/repo/src/core/recommend.cc" "src/CMakeFiles/upskill.dir/core/recommend.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/recommend.cc.o.d"
+  "/root/repo/src/core/skill_model.cc" "src/CMakeFiles/upskill.dir/core/skill_model.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/skill_model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/upskill.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/trainer.cc.o.d"
+  "/root/repo/src/core/trajectory.cc" "src/CMakeFiles/upskill.dir/core/trajectory.cc.o" "gcc" "src/CMakeFiles/upskill.dir/core/trajectory.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/upskill.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/describe.cc" "src/CMakeFiles/upskill.dir/data/describe.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/describe.cc.o.d"
+  "/root/repo/src/data/filter.cc" "src/CMakeFiles/upskill.dir/data/filter.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/filter.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/upskill.dir/data/io.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/io.cc.o.d"
+  "/root/repo/src/data/log_builder.cc" "src/CMakeFiles/upskill.dir/data/log_builder.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/log_builder.cc.o.d"
+  "/root/repo/src/data/sample.cc" "src/CMakeFiles/upskill.dir/data/sample.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/sample.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/upskill.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/upskill.dir/data/split.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/split.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/CMakeFiles/upskill.dir/data/statistics.cc.o" "gcc" "src/CMakeFiles/upskill.dir/data/statistics.cc.o.d"
+  "/root/repo/src/datagen/beer.cc" "src/CMakeFiles/upskill.dir/datagen/beer.cc.o" "gcc" "src/CMakeFiles/upskill.dir/datagen/beer.cc.o.d"
+  "/root/repo/src/datagen/cooking.cc" "src/CMakeFiles/upskill.dir/datagen/cooking.cc.o" "gcc" "src/CMakeFiles/upskill.dir/datagen/cooking.cc.o.d"
+  "/root/repo/src/datagen/film.cc" "src/CMakeFiles/upskill.dir/datagen/film.cc.o" "gcc" "src/CMakeFiles/upskill.dir/datagen/film.cc.o.d"
+  "/root/repo/src/datagen/language.cc" "src/CMakeFiles/upskill.dir/datagen/language.cc.o" "gcc" "src/CMakeFiles/upskill.dir/datagen/language.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/CMakeFiles/upskill.dir/datagen/synthetic.cc.o" "gcc" "src/CMakeFiles/upskill.dir/datagen/synthetic.cc.o.d"
+  "/root/repo/src/dist/categorical.cc" "src/CMakeFiles/upskill.dir/dist/categorical.cc.o" "gcc" "src/CMakeFiles/upskill.dir/dist/categorical.cc.o.d"
+  "/root/repo/src/dist/distribution.cc" "src/CMakeFiles/upskill.dir/dist/distribution.cc.o" "gcc" "src/CMakeFiles/upskill.dir/dist/distribution.cc.o.d"
+  "/root/repo/src/dist/gamma.cc" "src/CMakeFiles/upskill.dir/dist/gamma.cc.o" "gcc" "src/CMakeFiles/upskill.dir/dist/gamma.cc.o.d"
+  "/root/repo/src/dist/lognormal.cc" "src/CMakeFiles/upskill.dir/dist/lognormal.cc.o" "gcc" "src/CMakeFiles/upskill.dir/dist/lognormal.cc.o.d"
+  "/root/repo/src/dist/poisson.cc" "src/CMakeFiles/upskill.dir/dist/poisson.cc.o" "gcc" "src/CMakeFiles/upskill.dir/dist/poisson.cc.o.d"
+  "/root/repo/src/eval/bootstrap.cc" "src/CMakeFiles/upskill.dir/eval/bootstrap.cc.o" "gcc" "src/CMakeFiles/upskill.dir/eval/bootstrap.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/upskill.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/upskill.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/ranking.cc" "src/CMakeFiles/upskill.dir/eval/ranking.cc.o" "gcc" "src/CMakeFiles/upskill.dir/eval/ranking.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/CMakeFiles/upskill.dir/eval/significance.cc.o" "gcc" "src/CMakeFiles/upskill.dir/eval/significance.cc.o.d"
+  "/root/repo/src/eval/tasks.cc" "src/CMakeFiles/upskill.dir/eval/tasks.cc.o" "gcc" "src/CMakeFiles/upskill.dir/eval/tasks.cc.o.d"
+  "/root/repo/src/ffm/feature_builder.cc" "src/CMakeFiles/upskill.dir/ffm/feature_builder.cc.o" "gcc" "src/CMakeFiles/upskill.dir/ffm/feature_builder.cc.o.d"
+  "/root/repo/src/ffm/ffm.cc" "src/CMakeFiles/upskill.dir/ffm/ffm.cc.o" "gcc" "src/CMakeFiles/upskill.dir/ffm/ffm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_uniform_model_test.dir/baselines/uniform_model_test.cc.o"
+  "CMakeFiles/baselines_uniform_model_test.dir/baselines/uniform_model_test.cc.o.d"
+  "baselines_uniform_model_test"
+  "baselines_uniform_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_uniform_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

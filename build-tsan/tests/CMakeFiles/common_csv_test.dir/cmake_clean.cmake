@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_csv_test.dir/common/csv_test.cc.o"
+  "CMakeFiles/common_csv_test.dir/common/csv_test.cc.o.d"
+  "common_csv_test"
+  "common_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_logging_test.dir/common/logging_test.cc.o"
+  "CMakeFiles/common_logging_test.dir/common/logging_test.cc.o.d"
+  "common_logging_test"
+  "common_logging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

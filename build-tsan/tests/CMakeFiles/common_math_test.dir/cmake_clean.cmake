@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_math_test.dir/common/math_test.cc.o"
+  "CMakeFiles/common_math_test.dir/common/math_test.cc.o.d"
+  "common_math_test"
+  "common_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_rng_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_rng_test.dir/common/rng_test.cc.o.d"
+  "common_rng_test"
+  "common_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

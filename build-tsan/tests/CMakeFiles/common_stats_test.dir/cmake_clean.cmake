@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_stats_test.dir/common/stats_test.cc.o"
+  "CMakeFiles/common_stats_test.dir/common/stats_test.cc.o.d"
+  "common_stats_test"
+  "common_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

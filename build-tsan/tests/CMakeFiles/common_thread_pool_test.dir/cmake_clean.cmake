@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_thread_pool_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/common_thread_pool_test.dir/common/thread_pool_test.cc.o.d"
+  "common_thread_pool_test"
+  "common_thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

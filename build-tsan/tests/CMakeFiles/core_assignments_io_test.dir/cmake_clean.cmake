@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_assignments_io_test.dir/core/assignments_io_test.cc.o"
+  "CMakeFiles/core_assignments_io_test.dir/core/assignments_io_test.cc.o.d"
+  "core_assignments_io_test"
+  "core_assignments_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_assignments_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

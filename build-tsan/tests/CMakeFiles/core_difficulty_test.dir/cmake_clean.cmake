@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_difficulty_test.dir/core/difficulty_test.cc.o"
+  "CMakeFiles/core_difficulty_test.dir/core/difficulty_test.cc.o.d"
+  "core_difficulty_test"
+  "core_difficulty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_difficulty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dominance_test.dir/core/dominance_test.cc.o"
+  "CMakeFiles/core_dominance_test.dir/core/dominance_test.cc.o.d"
+  "core_dominance_test"
+  "core_dominance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dominance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

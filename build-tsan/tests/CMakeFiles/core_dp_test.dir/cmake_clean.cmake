@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dp_test.dir/core/dp_test.cc.o"
+  "CMakeFiles/core_dp_test.dir/core/dp_test.cc.o.d"
+  "core_dp_test"
+  "core_dp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_forgetting_test.dir/core/forgetting_test.cc.o"
+  "CMakeFiles/core_forgetting_test.dir/core/forgetting_test.cc.o.d"
+  "core_forgetting_test"
+  "core_forgetting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_forgetting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_inference_test.dir/core/inference_test.cc.o"
+  "CMakeFiles/core_inference_test.dir/core/inference_test.cc.o.d"
+  "core_inference_test"
+  "core_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_information_criteria_test.dir/core/information_criteria_test.cc.o"
+  "CMakeFiles/core_information_criteria_test.dir/core/information_criteria_test.cc.o.d"
+  "core_information_criteria_test"
+  "core_information_criteria_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_information_criteria_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_model_selection_test.dir/core/model_selection_test.cc.o"
+  "CMakeFiles/core_model_selection_test.dir/core/model_selection_test.cc.o.d"
+  "core_model_selection_test"
+  "core_model_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_model_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

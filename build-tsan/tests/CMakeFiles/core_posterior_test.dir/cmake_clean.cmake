@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_posterior_test.dir/core/posterior_test.cc.o"
+  "CMakeFiles/core_posterior_test.dir/core/posterior_test.cc.o.d"
+  "core_posterior_test"
+  "core_posterior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_posterior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_progression_class_test.dir/core/progression_class_test.cc.o"
+  "CMakeFiles/core_progression_class_test.dir/core/progression_class_test.cc.o.d"
+  "core_progression_class_test"
+  "core_progression_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_progression_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recommend_test.dir/core/recommend_test.cc.o"
+  "CMakeFiles/core_recommend_test.dir/core/recommend_test.cc.o.d"
+  "core_recommend_test"
+  "core_recommend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recommend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_skill_model_test.dir/core/skill_model_test.cc.o"
+  "CMakeFiles/core_skill_model_test.dir/core/skill_model_test.cc.o.d"
+  "core_skill_model_test"
+  "core_skill_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_skill_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

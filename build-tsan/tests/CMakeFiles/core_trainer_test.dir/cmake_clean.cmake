@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trainer_test.dir/core/trainer_test.cc.o"
+  "CMakeFiles/core_trainer_test.dir/core/trainer_test.cc.o.d"
+  "core_trainer_test"
+  "core_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

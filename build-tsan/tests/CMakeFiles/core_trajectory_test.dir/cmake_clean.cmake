@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trajectory_test.dir/core/trajectory_test.cc.o"
+  "CMakeFiles/core_trajectory_test.dir/core/trajectory_test.cc.o.d"
+  "core_trajectory_test"
+  "core_trajectory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

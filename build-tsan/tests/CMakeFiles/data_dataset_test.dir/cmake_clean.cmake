@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_dataset_test.dir/data/dataset_test.cc.o"
+  "CMakeFiles/data_dataset_test.dir/data/dataset_test.cc.o.d"
+  "data_dataset_test"
+  "data_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_describe_test.dir/data/describe_test.cc.o"
+  "CMakeFiles/data_describe_test.dir/data/describe_test.cc.o.d"
+  "data_describe_test"
+  "data_describe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_describe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

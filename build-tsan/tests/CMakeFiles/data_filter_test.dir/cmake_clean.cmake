@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_filter_test.dir/data/filter_test.cc.o"
+  "CMakeFiles/data_filter_test.dir/data/filter_test.cc.o.d"
+  "data_filter_test"
+  "data_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_io_test.dir/data/io_test.cc.o"
+  "CMakeFiles/data_io_test.dir/data/io_test.cc.o.d"
+  "data_io_test"
+  "data_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

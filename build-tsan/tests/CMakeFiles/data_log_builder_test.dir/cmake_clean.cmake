@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_log_builder_test.dir/data/log_builder_test.cc.o"
+  "CMakeFiles/data_log_builder_test.dir/data/log_builder_test.cc.o.d"
+  "data_log_builder_test"
+  "data_log_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_log_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

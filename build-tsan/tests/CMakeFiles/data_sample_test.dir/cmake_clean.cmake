@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_sample_test.dir/data/sample_test.cc.o"
+  "CMakeFiles/data_sample_test.dir/data/sample_test.cc.o.d"
+  "data_sample_test"
+  "data_sample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

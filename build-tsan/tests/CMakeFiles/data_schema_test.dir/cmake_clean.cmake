@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_schema_test.dir/data/schema_test.cc.o"
+  "CMakeFiles/data_schema_test.dir/data/schema_test.cc.o.d"
+  "data_schema_test"
+  "data_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

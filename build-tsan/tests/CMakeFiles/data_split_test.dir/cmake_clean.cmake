@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_split_test.dir/data/split_test.cc.o"
+  "CMakeFiles/data_split_test.dir/data/split_test.cc.o.d"
+  "data_split_test"
+  "data_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_statistics_test.dir/data/statistics_test.cc.o"
+  "CMakeFiles/data_statistics_test.dir/data/statistics_test.cc.o.d"
+  "data_statistics_test"
+  "data_statistics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_domains_test.dir/datagen/domains_test.cc.o"
+  "CMakeFiles/datagen_domains_test.dir/datagen/domains_test.cc.o.d"
+  "datagen_domains_test"
+  "datagen_domains_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_domains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_synthetic_test.dir/datagen/synthetic_test.cc.o"
+  "CMakeFiles/datagen_synthetic_test.dir/datagen/synthetic_test.cc.o.d"
+  "datagen_synthetic_test"
+  "datagen_synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

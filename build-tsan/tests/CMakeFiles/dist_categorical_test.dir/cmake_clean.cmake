@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_categorical_test.dir/dist/categorical_test.cc.o"
+  "CMakeFiles/dist_categorical_test.dir/dist/categorical_test.cc.o.d"
+  "dist_categorical_test"
+  "dist_categorical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_categorical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_gamma_test.dir/dist/gamma_test.cc.o"
+  "CMakeFiles/dist_gamma_test.dir/dist/gamma_test.cc.o.d"
+  "dist_gamma_test"
+  "dist_gamma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_gamma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

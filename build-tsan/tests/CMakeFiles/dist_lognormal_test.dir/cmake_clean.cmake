@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_lognormal_test.dir/dist/lognormal_test.cc.o"
+  "CMakeFiles/dist_lognormal_test.dir/dist/lognormal_test.cc.o.d"
+  "dist_lognormal_test"
+  "dist_lognormal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_lognormal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_poisson_test.dir/dist/poisson_test.cc.o"
+  "CMakeFiles/dist_poisson_test.dir/dist/poisson_test.cc.o.d"
+  "dist_poisson_test"
+  "dist_poisson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_poisson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_suffstats_test.dir/dist/suffstats_test.cc.o"
+  "CMakeFiles/dist_suffstats_test.dir/dist/suffstats_test.cc.o.d"
+  "dist_suffstats_test"
+  "dist_suffstats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_suffstats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

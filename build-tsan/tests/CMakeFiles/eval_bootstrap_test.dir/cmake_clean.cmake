@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_bootstrap_test.dir/eval/bootstrap_test.cc.o"
+  "CMakeFiles/eval_bootstrap_test.dir/eval/bootstrap_test.cc.o.d"
+  "eval_bootstrap_test"
+  "eval_bootstrap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

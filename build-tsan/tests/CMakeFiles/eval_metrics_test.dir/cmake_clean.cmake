@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_metrics_test.dir/eval/metrics_test.cc.o"
+  "CMakeFiles/eval_metrics_test.dir/eval/metrics_test.cc.o.d"
+  "eval_metrics_test"
+  "eval_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_ranking_test.dir/eval/ranking_test.cc.o"
+  "CMakeFiles/eval_ranking_test.dir/eval/ranking_test.cc.o.d"
+  "eval_ranking_test"
+  "eval_ranking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

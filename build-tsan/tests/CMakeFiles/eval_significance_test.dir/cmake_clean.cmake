@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_significance_test.dir/eval/significance_test.cc.o"
+  "CMakeFiles/eval_significance_test.dir/eval/significance_test.cc.o.d"
+  "eval_significance_test"
+  "eval_significance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_significance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tasks_test.dir/eval/tasks_test.cc.o"
+  "CMakeFiles/eval_tasks_test.dir/eval/tasks_test.cc.o.d"
+  "eval_tasks_test"
+  "eval_tasks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

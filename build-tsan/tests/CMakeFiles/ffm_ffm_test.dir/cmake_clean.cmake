@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffm_ffm_test.dir/ffm/ffm_test.cc.o"
+  "CMakeFiles/ffm_ffm_test.dir/ffm/ffm_test.cc.o.d"
+  "ffm_ffm_test"
+  "ffm_ffm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffm_ffm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ffm_ffm_test.
+# This may be replaced when dependencies are built.

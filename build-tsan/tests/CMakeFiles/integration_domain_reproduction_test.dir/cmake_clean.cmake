@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_domain_reproduction_test.dir/integration/domain_reproduction_test.cc.o"
+  "CMakeFiles/integration_domain_reproduction_test.dir/integration/domain_reproduction_test.cc.o.d"
+  "integration_domain_reproduction_test"
+  "integration_domain_reproduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_domain_reproduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

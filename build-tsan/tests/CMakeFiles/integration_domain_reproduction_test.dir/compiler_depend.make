@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for integration_domain_reproduction_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_end_to_end_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/integration_end_to_end_test.dir/integration/end_to_end_test.cc.o.d"
+  "integration_end_to_end_test"
+  "integration_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for integration_end_to_end_test.
+# This may be replaced when dependencies are built.

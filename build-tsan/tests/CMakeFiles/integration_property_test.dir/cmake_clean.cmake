@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_property_test.dir/integration/property_test.cc.o"
+  "CMakeFiles/integration_property_test.dir/integration/property_test.cc.o.d"
+  "integration_property_test"
+  "integration_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
