@@ -14,7 +14,13 @@ namespace upskill {
 namespace bench {
 namespace {
 
-double TrainOnce(const Dataset& dataset, int num_threads) {
+struct RunStats {
+  double seconds = -1.0;
+  size_t skipped_users = 0;
+  size_t reassigned_users = 0;
+};
+
+RunStats TrainOnce(const Dataset& dataset, int num_threads) {
   SkillModelConfig config = DefaultTrainConfig(/*num_levels=*/5);
   config.max_iterations = 40;
   config.relative_tolerance = 0.0;
@@ -25,8 +31,12 @@ double TrainOnce(const Dataset& dataset, int num_threads) {
   Trainer trainer(config);
   Stopwatch watch;
   const auto result = trainer.Train(dataset);
-  if (!result.ok()) return -1.0;
-  return watch.ElapsedSeconds();
+  RunStats stats;
+  if (!result.ok()) return stats;
+  stats.seconds = watch.ElapsedSeconds();
+  stats.skipped_users = result.value().skipped_users;
+  stats.reassigned_users = result.value().reassigned_users;
+  return stats;
 }
 
 int Run() {
@@ -45,12 +55,14 @@ int Run() {
   const auto id_dataset = ProjectToIdOnly(data.value().dataset);
   if (!id_dataset.ok()) return 1;
 
-  std::printf("%8s %14s %18s\n", "threads", "ID [6] (s)",
-              "Multi-faceted (s)");
+  std::printf("%8s %14s %18s   %s\n", "threads", "ID [6] (s)",
+              "Multi-faceted (s)", "skipped/reassigned (multi)");
   for (int threads = 1; threads <= 5; ++threads) {
-    const double id_seconds = TrainOnce(id_dataset.value(), threads);
-    const double multi_seconds = TrainOnce(data.value().dataset, threads);
-    std::printf("%8d %14.2f %18.2f\n", threads, id_seconds, multi_seconds);
+    const RunStats id_stats = TrainOnce(id_dataset.value(), threads);
+    const RunStats multi_stats = TrainOnce(data.value().dataset, threads);
+    std::printf("%8d %14.2f %18.2f   %zu / %zu\n", threads, id_stats.seconds,
+                multi_stats.seconds, multi_stats.skipped_users,
+                multi_stats.reassigned_users);
   }
 
   std::printf(

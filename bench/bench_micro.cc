@@ -183,6 +183,105 @@ void BM_AssignmentStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignmentStep);
 
+// Seed assignment path: materialize every user's n×S log-prob lattice
+// from the cache, then run the materialized DP, with one heap-allocated
+// buffer per user. Baseline for BM_AssignSkills. Arg(0) is the thread
+// count (users axis).
+void BM_AssignSkillsReference(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const Dataset& dataset = data.dataset;
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  const std::vector<double> cache =
+      trained.model.ItemLogProbCache(dataset.items());
+  const size_t levels = static_cast<size_t>(trained.model.num_levels());
+  SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
+  std::vector<double> user_ll(static_cast<size_t>(dataset.num_users()));
+  for (auto _ : state) {
+    ParallelFor(pool.get(), 0, static_cast<size_t>(dataset.num_users()),
+                [&](size_t u) {
+      const std::vector<Action>& seq =
+          dataset.sequence(static_cast<UserId>(u));
+      std::vector<double> log_probs(seq.size() * levels);
+      for (size_t t = 0; t < seq.size(); ++t) {
+        for (size_t s = 0; s < levels; ++s) {
+          log_probs[t * levels + s] =
+              cache[static_cast<size_t>(seq[t].item) * levels + s];
+        }
+      }
+      MonotonePath path =
+          SolveMonotonePath(log_probs, static_cast<int>(levels));
+      user_ll[u] = path.log_likelihood;
+      assignments[u] = std::move(path.levels);
+    });
+    double ll = 0.0;
+    for (double v : user_ll) ll += v;
+    benchmark::DoNotOptimize(ll);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.num_actions()));
+}
+BENCHMARK(BM_AssignSkillsReference)->Arg(1)->Arg(8);
+
+// Fused, arena-backed assignment pass: the engine reads the item-indexed
+// cache directly and reuses per-slot scratch, so steady-state iterations
+// allocate nothing. Arg(0) is the thread count.
+void BM_AssignSkills(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const Dataset& dataset = data.dataset;
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  ParallelOptions parallel;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    parallel.num_threads = threads;
+    parallel.users = true;
+  }
+  const std::vector<double> cache =
+      trained.model.ItemLogProbCache(dataset.items());
+  AssignmentEngine engine(dataset, trained.model.num_levels());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Assign(trained.model, cache, nullptr, pool.get(), parallel));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.num_actions()));
+}
+BENCHMARK(BM_AssignSkills)->Arg(1)->Arg(8);
+
+// Steady-state incremental pass: the update step left most items' cache
+// rows untouched (here: 1% of items flagged dirty, the late-training
+// regime), so the engine re-solves only the users playing a dirty item
+// and carries everyone else forward.
+void BM_AssignSkillsSkipping(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const Dataset& dataset = data.dataset;
+  const std::vector<double> cache =
+      trained.model.ItemLogProbCache(dataset.items());
+  const size_t num_items =
+      static_cast<size_t>(dataset.items().num_items());
+  std::vector<uint8_t> dirty(num_items, 0);
+  for (size_t i = 0; i < num_items; i += 100) dirty[i] = 1;
+  AssignmentEngine engine(dataset, trained.model.num_levels());
+  engine.Assign(trained.model, cache, nullptr, nullptr, {});  // warm pass
+  size_t skipped = 0;
+  for (auto _ : state) {
+    const AssignmentStats stats =
+        engine.Assign(trained.model, cache, nullptr, nullptr, {}, &dirty,
+                      /*weights_changed=*/false);
+    skipped = stats.skipped_users;
+    benchmark::DoNotOptimize(stats.log_likelihood);
+  }
+  state.counters["skipped_users"] = static_cast<double>(skipped);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.num_actions()));
+}
+BENCHMARK(BM_AssignSkillsSkipping);
+
 void BM_UpdateStep(benchmark::State& state) {
   const auto& data = PipelineData();
   const auto& trained = PipelineModel();

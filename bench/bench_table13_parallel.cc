@@ -39,6 +39,8 @@ struct PhaseSplit {
   double assignment = 0.0;
   double cache = 0.0;
   double update = 0.0;
+  size_t skipped_users = 0;
+  size_t reassigned_users = 0;
 };
 
 PhaseSplit TrainOnce(const Dataset& dataset, const Condition& condition,
@@ -59,6 +61,8 @@ PhaseSplit TrainOnce(const Dataset& dataset, const Condition& condition,
   split.assignment = result.value().assignment_seconds;
   split.cache = result.value().cache_seconds;
   split.update = result.value().update_seconds;
+  split.skipped_users = result.value().skipped_users;
+  split.reassigned_users = result.value().reassigned_users;
   return split;
 }
 
@@ -80,8 +84,9 @@ int Run() {
   std::printf("dataset: %d users, %d items, %zu actions; threads = 5\n\n",
               multi_dataset.num_users(), multi_dataset.items().num_items(),
               multi_dataset.num_actions());
-  std::printf("%-18s %14s %14s   %s\n", "Parallelized", "ID [6] (s)",
-              "Multi-faceted (s)", "Multi split: assign/cache/update (s)");
+  std::printf("%-18s %14s %14s   %s   %s\n", "Parallelized", "ID [6] (s)",
+              "Multi-faceted (s)", "Multi split: assign/cache/update (s)",
+              "skipped/reassigned");
   for (const Condition& condition : kConditions) {
     PhaseSplit id_split;
     if (!condition.features || condition.users || condition.levels) {
@@ -95,13 +100,15 @@ int Run() {
     }
     const PhaseSplit multi = TrainOnce(multi_dataset, condition, 5);
     if (id_split.total < 0.0) {
-      std::printf("%-18s %14s %14.2f   %.2f / %.2f / %.2f\n", condition.label,
-                  "N/A", multi.total, multi.assignment, multi.cache,
-                  multi.update);
+      std::printf("%-18s %14s %14.2f   %.2f / %.2f / %.2f   %zu / %zu\n",
+                  condition.label, "N/A", multi.total, multi.assignment,
+                  multi.cache, multi.update, multi.skipped_users,
+                  multi.reassigned_users);
     } else {
-      std::printf("%-18s %14.2f %14.2f   %.2f / %.2f / %.2f\n",
+      std::printf("%-18s %14.2f %14.2f   %.2f / %.2f / %.2f   %zu / %zu\n",
                   condition.label, id_split.total, multi.total,
-                  multi.assignment, multi.cache, multi.update);
+                  multi.assignment, multi.cache, multi.update,
+                  multi.skipped_users, multi.reassigned_users);
     }
   }
 

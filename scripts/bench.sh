@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Records the micro-benchmark suite from a dedicated Release build.
+#
+# Usage: scripts/bench.sh [PR_NUMBER] [BENCHMARK_FILTER]
+#
+# Produces BENCH_PR<N>.json at the repo root (google-benchmark JSON,
+# includes build context). Always benchmarks a -DCMAKE_BUILD_TYPE=Release
+# tree in build-bench/, independent of whatever ./build currently holds —
+# BENCH_PR1.json was recorded from a debug build and is superseded by the
+# Release rerecording in BENCH_PR2.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PR_NUMBER="${1:-2}"
+FILTER="${2:-}"
+BUILD_DIR=build-bench
+OUT="BENCH_PR${PR_NUMBER}.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DUPSKILL_SANITIZE= >/dev/null
+cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)"
+
+ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
+if [[ -n "$FILTER" ]]; then
+  ARGS+=(--benchmark_filter="$FILTER")
+fi
+"./$BUILD_DIR/bench/bench_micro" "${ARGS[@]}"
+
+echo "wrote $OUT"

@@ -1,6 +1,7 @@
 #include "core/dp.h"
 
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -139,6 +140,167 @@ MonotonePath SolveMonotonePathWithForgetting(
     }
   }
   return result;
+}
+
+namespace {
+
+// Backtracks through `from` (0 = stay, 1 = from below, 2 = from above)
+// starting at the argmax of the final row; ties prefer the lower level.
+// Shared by both item-indexed kernels.
+double BacktrackFused(const double* final_row, const uint8_t* from, size_t n,
+                      size_t levels, std::vector<int>* out) {
+  size_t level = 0;
+  double best_ll = final_row[0];
+  for (size_t s = 1; s < levels; ++s) {
+    if (final_row[s] > best_ll) {
+      best_ll = final_row[s];
+      level = s;
+    }
+  }
+  for (size_t t = n; t-- > 0;) {
+    (*out)[t] = static_cast<int>(level) + 1;
+    if (t > 0) {
+      const uint8_t step = from[t * levels + level];
+      if (step == 1) {
+        --level;
+      } else if (step == 2) {
+        ++level;
+      }
+    }
+  }
+  return best_ll;
+}
+
+}  // namespace
+
+double SolveMonotonePathItems(std::span<const double> item_log_probs,
+                              std::span<const int32_t> items, int num_levels,
+                              std::span<const double> log_initial,
+                              double log_stay, double log_up,
+                              DpScratch& scratch) {
+  UPSKILL_CHECK(num_levels >= 1);
+  UPSKILL_CHECK(log_initial.empty() ||
+                log_initial.size() == static_cast<size_t>(num_levels));
+  const size_t n = items.size();
+  scratch.levels.resize(n);
+  if (n == 0) return 0.0;
+  const size_t levels = static_cast<size_t>(num_levels);
+
+  scratch.best_rows.resize(2 * levels);
+  scratch.from.resize(n * levels);
+  double* prev = scratch.best_rows.data();
+  double* curr = prev + levels;
+
+  const double* first = item_log_probs.data() +
+                        static_cast<size_t>(items[0]) * levels;
+  for (size_t s = 0; s < levels; ++s) {
+    prev[s] = first[s] + (log_initial.empty() ? 0.0 : log_initial[s]);
+  }
+  for (size_t t = 1; t < n; ++t) {
+    const double* row = item_log_probs.data() +
+                        static_cast<size_t>(items[t]) * levels;
+    uint8_t* from_row = scratch.from.data() + t * levels;
+    // The bottom and top levels are peeled so the interior loop carries no
+    // stay-cost or boundary branch; the up-vs-stay choice compiles to a
+    // select (the comparison outcome is data-dependent and would otherwise
+    // mispredict roughly half the time). Strict > keeps ties on "stay",
+    // which keeps the path at the lowest attainable level; values and
+    // backpointers stay bitwise identical to the materialized solver.
+    curr[0] = prev[0] + (levels > 1 ? log_stay : 0.0) + row[0];
+    from_row[0] = 0;
+    for (size_t s = 1; s + 1 < levels; ++s) {
+      const double stay = prev[s] + log_stay;
+      const double up = prev[s - 1] + log_up;
+      const bool up_wins = up > stay;
+      curr[s] = (up_wins ? up : stay) + row[s];
+      from_row[s] = static_cast<uint8_t>(up_wins);
+    }
+    if (levels > 1) {
+      // Staying at the top level is the only move there, so it is free.
+      const size_t s = levels - 1;
+      const double stay = prev[s] + 0.0;
+      const double up = prev[s - 1] + log_up;
+      const bool up_wins = up > stay;
+      curr[s] = (up_wins ? up : stay) + row[s];
+      from_row[s] = static_cast<uint8_t>(up_wins);
+    }
+    std::swap(prev, curr);
+  }
+  return BacktrackFused(prev, scratch.from.data(), n, levels,
+                        &scratch.levels);
+}
+
+double SolveMonotonePathItemsWithForgetting(
+    std::span<const double> item_log_probs, std::span<const int32_t> items,
+    int num_levels, std::span<const double> log_initial, double log_stay,
+    double log_up, std::span<const uint8_t> allow_down, double log_down,
+    DpScratch& scratch) {
+  UPSKILL_CHECK(num_levels >= 1);
+  UPSKILL_CHECK(log_initial.empty() ||
+                log_initial.size() == static_cast<size_t>(num_levels));
+  const size_t n = items.size();
+  scratch.levels.resize(n);
+  if (n == 0) return 0.0;
+  UPSKILL_CHECK(allow_down.size() == n - 1);
+  const size_t levels = static_cast<size_t>(num_levels);
+
+  scratch.best_rows.resize(2 * levels);
+  scratch.from.resize(n * levels);
+  double* prev = scratch.best_rows.data();
+  double* curr = prev + levels;
+
+  const double* first = item_log_probs.data() +
+                        static_cast<size_t>(items[0]) * levels;
+  for (size_t s = 0; s < levels; ++s) {
+    prev[s] = first[s] + (log_initial.empty() ? 0.0 : log_initial[s]);
+  }
+  for (size_t t = 1; t < n; ++t) {
+    const double* row = item_log_probs.data() +
+                        static_cast<size_t>(items[t]) * levels;
+    uint8_t* from_row = scratch.from.data() + t * levels;
+    const bool down_open = allow_down[t - 1] != 0;
+    // Same peeled, branchless structure as SolveMonotonePathItems; the
+    // down-edge is checked after stay/up exactly as in the materialized
+    // solver so backpointers stay bitwise identical.
+    {
+      double incoming = prev[0] + (levels > 1 ? log_stay : 0.0);
+      uint8_t step = 0;
+      if (levels > 1 && down_open) {
+        const double down = prev[1] + log_down;
+        const bool down_wins = down > incoming;
+        incoming = down_wins ? down : incoming;
+        step = down_wins ? 2 : step;
+      }
+      curr[0] = incoming + row[0];
+      from_row[0] = step;
+    }
+    for (size_t s = 1; s + 1 < levels; ++s) {
+      const double stay = prev[s] + log_stay;
+      const double up = prev[s - 1] + log_up;
+      const bool up_wins = up > stay;
+      double incoming = up_wins ? up : stay;
+      uint8_t step = static_cast<uint8_t>(up_wins);
+      if (down_open) {
+        const double down = prev[s + 1] + log_down;
+        const bool down_wins = down > incoming;
+        incoming = down_wins ? down : incoming;
+        step = down_wins ? 2 : step;
+      }
+      curr[s] = incoming + row[s];
+      from_row[s] = step;
+    }
+    if (levels > 1) {
+      const size_t s = levels - 1;
+      const double stay = prev[s] + 0.0;
+      const double up = prev[s - 1] + log_up;
+      const bool up_wins = up > stay;
+      curr[s] = (up_wins ? up : stay) + row[s];
+      from_row[s] = static_cast<uint8_t>(up_wins);
+    }
+    std::swap(prev, curr);
+  }
+  return BacktrackFused(prev, scratch.from.data(), n, levels,
+                        &scratch.levels);
 }
 
 }  // namespace upskill

@@ -49,6 +49,53 @@ MonotonePath SolveMonotonePathWithForgetting(
     std::span<const double> log_initial, double log_stay, double log_up,
     std::span<const uint8_t> allow_down, double log_down);
 
+/// Reusable scratch arena for the item-indexed DP kernels below: two
+/// rolling S-sized best rows (the recurrence only ever reads the previous
+/// row), the n×S backpointer matrix, and per-sequence staging buffers for
+/// item ids and allow-down flags. Buffers grow on demand and never
+/// shrink, so one arena per thread slot makes repeated assignment passes
+/// allocation-free in the steady state.
+struct DpScratch {
+  /// Rolling best rows; laid out as [2 * S], ping-ponged by the kernels.
+  std::vector<double> best_rows;
+  /// Backpointers, [t * S + s]: 0 = stay, 1 = came from one level below
+  /// ("improve"), 2 = came from one level above (forgetting only).
+  std::vector<uint8_t> from;
+  /// Item id per action, filled by the caller before invoking a kernel.
+  std::vector<int32_t> items;
+  /// Per-transition down-edge flags (forgetting), filled by the caller.
+  std::vector<uint8_t> allow_down;
+  /// Kernel output staging: 1-based level per action.
+  std::vector<int> levels;
+  /// Secondary staging buffer for callers comparing candidate paths
+  /// (e.g. the per-class assignment step keeps its best path here).
+  std::vector<int> best_levels;
+};
+
+/// Fused, item-indexed form of SolveMonotonePathWithTransitions: instead
+/// of consuming a per-user n×S log-prob copy, reads rows of the shared
+/// per-(item, level) cache (`item_log_probs[item * num_levels + s]`,
+/// e.g. LogProbCache::values()) directly for the given item ids. Writes
+/// the path into `scratch.levels` (resized to items.size()) and returns
+/// its log-likelihood. Levels and log-likelihood are bitwise identical to
+/// the materialized solver on the gathered lattice, including the
+/// ties-to-lowest-level rule. Pass log_initial empty and zero costs to
+/// reproduce SolveMonotonePath.
+double SolveMonotonePathItems(std::span<const double> item_log_probs,
+                              std::span<const int32_t> items, int num_levels,
+                              std::span<const double> log_initial,
+                              double log_stay, double log_up,
+                              DpScratch& scratch);
+
+/// Item-indexed form of SolveMonotonePathWithForgetting; `allow_down` has
+/// one entry per transition (items.size() - 1, may alias
+/// scratch.allow_down). Same bitwise-equivalence guarantee.
+double SolveMonotonePathItemsWithForgetting(
+    std::span<const double> item_log_probs, std::span<const int32_t> items,
+    int num_levels, std::span<const double> log_initial, double log_stay,
+    double log_up, std::span<const uint8_t> allow_down, double log_down,
+    DpScratch& scratch);
+
 }  // namespace upskill
 
 #endif  // UPSKILL_CORE_DP_H_

@@ -264,21 +264,27 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   log_prob_cache.Update(result.model, dataset.items(), user_pool);
   const std::vector<double>& cache = log_prob_cache.values();
   result.assignments.resize(static_cast<size_t>(dataset.num_users()));
-  ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
-              [&](size_t u) {
-    const std::vector<Action>& seq = dataset.sequence(static_cast<UserId>(u));
-    std::vector<double> log_probs(seq.size() * levels);
-    for (size_t t = 0; t < seq.size(); ++t) {
-      for (size_t s = 0; s < levels; ++s) {
-        log_probs[t * levels + s] =
-            cache[static_cast<size_t>(seq[t].item) * levels + s];
-      }
-    }
-    result.assignments[u] =
-        SolveMonotonePathWithTransitions(log_probs, S, log_initial, log_stay,
-                                         log_up)
-            .levels;
-  });
+  // Fused item-indexed DP with one scratch arena per thread slot: no
+  // per-user n×S materialization of the cache.
+  std::vector<DpScratch> scratch_slots(
+      static_cast<size_t>(ParallelMaxSlots(user_pool)));
+  ParallelForChunked(
+      user_pool, 0, static_cast<size_t>(dataset.num_users()),
+      [&](int slot, size_t begin, size_t end) {
+        DpScratch& scratch = scratch_slots[static_cast<size_t>(slot)];
+        for (size_t u = begin; u < end; ++u) {
+          const std::vector<Action>& seq =
+              dataset.sequence(static_cast<UserId>(u));
+          scratch.items.resize(seq.size());
+          for (size_t t = 0; t < seq.size(); ++t) {
+            scratch.items[t] = seq[t].item;
+          }
+          SolveMonotonePathItems(cache, scratch.items, S, log_initial,
+                                 log_stay, log_up, scratch);
+          result.assignments[u].assign(scratch.levels.begin(),
+                                       scratch.levels.end());
+        }
+      });
   return result;
 }
 

@@ -156,6 +156,10 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
     }
   }
   last_dirty_cells_ = static_cast<int>(dirty_cells.size());
+  // After a reshape every item is dirty regardless of the old totals;
+  // otherwise items start clean and the totals rebuild marks the ones
+  // whose values actually moved.
+  item_dirty_.assign(num_items, reshaped ? 1 : 0);
   if (dirty_cells.empty() || num_items == 0) return;
 
   const size_t blocks = (num_items + kCacheBlock - 1) / kCacheBlock;
@@ -175,18 +179,29 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
     if (level_dirty[s - 1]) dirty_levels.push_back(s);
   }
   // Totals sum features in ascending order from 0.0 so they stay bitwise
-  // equal to ItemLogProb even for clean columns.
-  ParallelFor(pool, 0, dirty_levels.size() * blocks, [&](size_t task) {
-    const int s = dirty_levels[task / blocks];
-    const size_t begin = (task % blocks) * kCacheBlock;
+  // equal to ItemLogProb even for clean columns. Each item belongs to
+  // exactly one block task (dirty levels run inside the task), so the
+  // per-item dirty flags are written race-free; comparing the rebuilt
+  // total against the stored one is what refines cell-level dirt down to
+  // item granularity for the assignment step's dirty-user skipping.
+  ParallelFor(pool, 0, blocks, [&](size_t block) {
+    const size_t begin = block * kCacheBlock;
     const size_t end = std::min(num_items, begin + kCacheBlock);
     for (size_t item = begin; item < end; ++item) {
-      double total = 0.0;
-      for (int f = 0; f < features; ++f) {
-        const size_t cell = static_cast<size_t>(f) * levels + (s - 1);
-        total += columns_[cell * num_items + item];
+      for (const int s : dirty_levels) {
+        double total = 0.0;
+        for (int f = 0; f < features; ++f) {
+          const size_t cell = static_cast<size_t>(f) * levels + (s - 1);
+          total += columns_[cell * num_items + item];
+        }
+        double& stored = totals_[item * static_cast<size_t>(levels) + (s - 1)];
+        // Bitwise comparison: NaN never occurs (log-probs are finite or
+        // -inf), so total != stored exactly captures a changed value.
+        if (total != stored) {
+          stored = total;
+          item_dirty_[item] = 1;
+        }
       }
-      totals_[item * static_cast<size_t>(levels) + (s - 1)] = total;
     }
   });
 }

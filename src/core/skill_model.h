@@ -1,6 +1,7 @@
 #ifndef UPSKILL_CORE_SKILL_MODEL_H_
 #define UPSKILL_CORE_SKILL_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,12 @@ struct SkillModelConfig {
   int num_progression_classes = 2;
   /// Skill-decay extension (see ForgettingConfig).
   ForgettingConfig forgetting;
+  /// Dirty-user skipping in the assignment step: when the transition
+  /// weights are unchanged for an iteration, users none of whose items'
+  /// cache rows changed keep their previous path without re-running the
+  /// DP (results are provably identical either way). Disable to force a
+  /// full DP pass every iteration (equivalence tests, benchmarks).
+  bool incremental_assignment = true;
 };
 
 /// Per-action skill levels Sigma: assignments[u][n] is the 1-based level of
@@ -187,6 +194,15 @@ class LogProbCache {
   /// Number of (feature, level) cells recomputed by the last Update().
   int last_dirty_cells() const { return last_dirty_cells_; }
 
+  /// Per-item dirty flags from the last Update(): `dirty_items()[i]` is
+  /// non-zero iff any of item i's S totals changed bitwise (all-dirty
+  /// after a reshape). The assignment step's dirty-user skipping relies
+  /// on the converse being exact: a clean item's cache rows are bitwise
+  /// identical to the previous iteration's, so any DP over clean items
+  /// (and unchanged transition weights) provably reproduces its previous
+  /// path.
+  const std::vector<uint8_t>& dirty_items() const { return item_dirty_; }
+
  private:
   int num_items_ = -1;
   int num_levels_ = 0;
@@ -197,6 +213,8 @@ class LogProbCache {
   std::vector<double> columns_;
   // Item-major totals: [item * S + (s-1)].
   std::vector<double> totals_;
+  // Items whose totals changed in the last Update() (see dirty_items()).
+  std::vector<uint8_t> item_dirty_;
   int last_dirty_cells_ = 0;
 };
 

@@ -94,6 +94,27 @@ void DispatchCells(ThreadPool* pool, ParallelOptions parallel, int num_levels,
   }
 }
 
+// Bitwise comparison of transition weights; any difference invalidates
+// the dirty-user skip (a changed weight can move a path even when every
+// emission row is unchanged). -inf entries compare equal; NaN never
+// occurs in fitted weights.
+bool SameWeights(const TransitionWeights& a, const TransitionWeights& b) {
+  return a.log_stay == b.log_stay && a.log_up == b.log_up &&
+         a.log_initial == b.log_initial;
+}
+
+bool SameClasses(const std::vector<ProgressionClassWeights>& a,
+                 const std::vector<ProgressionClassWeights>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (a[c].log_prior != b[c].log_prior ||
+        !SameWeights(a[c].weights, b[c].weights)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
@@ -270,14 +291,211 @@ void FitParametersReference(const Dataset& dataset,
   DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
 }
 
+AssignmentEngine::AssignmentEngine(const Dataset& dataset, int num_levels)
+    : dataset_(&dataset),
+      num_levels_(num_levels),
+      assignments_(static_cast<size_t>(dataset.num_users())),
+      user_ll_(static_cast<size_t>(dataset.num_users()), 0.0),
+      user_classes_(static_cast<size_t>(dataset.num_users()), 0) {}
+
+void AssignmentEngine::EnsureInvertedIndex() {
+  if (index_built_) return;
+  const size_t num_items = static_cast<size_t>(dataset_->items().num_items());
+  // Counting sort into CSR with a last-seen-user dedup: a user's actions
+  // are scanned contiguously, so `last[item] == u` exactly detects repeat
+  // selections within one sequence.
+  std::vector<UserId> last(num_items, -1);
+  item_user_offsets_.assign(num_items + 1, 0);
+  for (UserId u = 0; u < dataset_->num_users(); ++u) {
+    for (const Action& action : dataset_->sequence(u)) {
+      const size_t item = static_cast<size_t>(action.item);
+      if (last[item] == u) continue;
+      last[item] = u;
+      ++item_user_offsets_[item + 1];
+    }
+  }
+  for (size_t item = 0; item < num_items; ++item) {
+    item_user_offsets_[item + 1] += item_user_offsets_[item];
+  }
+  item_users_.resize(item_user_offsets_[num_items]);
+  std::fill(last.begin(), last.end(), -1);
+  std::vector<size_t> cursor(item_user_offsets_.begin(),
+                             item_user_offsets_.end() - 1);
+  for (UserId u = 0; u < dataset_->num_users(); ++u) {
+    for (const Action& action : dataset_->sequence(u)) {
+      const size_t item = static_cast<size_t>(action.item);
+      if (last[item] == u) continue;
+      last[item] = u;
+      item_users_[cursor[item]++] = u;
+    }
+  }
+  index_built_ = true;
+}
+
+template <typename SolveUser>
+AssignmentStats AssignmentEngine::RunPass(
+    ThreadPool* user_pool, const std::vector<uint8_t>* dirty_items,
+    bool weights_changed, const SolveUser& solve_user) {
+  const size_t num_users = static_cast<size_t>(dataset_->num_users());
+  // Skipping is sound only when the previous pass exists, the transition
+  // weights are bitwise unchanged, and the caller knows which cache rows
+  // moved; then a user with no dirty item has a bitwise-identical DP
+  // input, hence an identical optimal path.
+  const bool incremental =
+      have_previous_ && !weights_changed && dirty_items != nullptr;
+  if (incremental) {
+    EnsureInvertedIndex();
+    user_dirty_.assign(num_users, 0);
+    const std::vector<uint8_t>& dirty = *dirty_items;
+    for (size_t item = 0; item < dirty.size(); ++item) {
+      if (!dirty[item]) continue;
+      for (size_t k = item_user_offsets_[item];
+           k < item_user_offsets_[item + 1]; ++k) {
+        user_dirty_[static_cast<size_t>(item_users_[k])] = 1;
+      }
+    }
+  }
+
+  const int max_slots = ParallelMaxSlots(user_pool);
+  if (slot_scratch_.size() < static_cast<size_t>(max_slots)) {
+    slot_scratch_.resize(static_cast<size_t>(max_slots));
+  }
+  struct alignas(64) SlotCounters {
+    size_t skipped = 0;
+    size_t reassigned = 0;
+    bool changed = false;
+  };
+  std::vector<SlotCounters> counters(static_cast<size_t>(max_slots));
+  ParallelForChunked(
+      user_pool, 0, num_users, [&](int slot, size_t begin, size_t end) {
+        DpScratch& scratch = slot_scratch_[static_cast<size_t>(slot)];
+        SlotCounters& local = counters[static_cast<size_t>(slot)];
+        for (size_t u = begin; u < end; ++u) {
+          if (incremental && !user_dirty_[u]) {
+            ++local.skipped;
+            continue;
+          }
+          const double ll = solve_user(scratch, u);
+          ++local.reassigned;
+          std::vector<int>& current = assignments_[u];
+          if (!have_previous_ || scratch.levels != current) {
+            local.changed = true;
+            current.assign(scratch.levels.begin(), scratch.levels.end());
+          }
+          user_ll_[u] = ll;
+        }
+      });
+
+  AssignmentStats stats;
+  stats.changed = !have_previous_;
+  stats.skipped_users = 0;
+  stats.reassigned_users = 0;
+  for (const SlotCounters& local : counters) {
+    stats.skipped_users += local.skipped;
+    stats.reassigned_users += local.reassigned;
+    stats.changed = stats.changed || local.changed;
+  }
+  // Fixed user-order reduction keeps the objective bitwise identical for
+  // any thread count (and to the pre-engine implementation).
+  double total = 0.0;
+  for (const double ll : user_ll_) total += ll;
+  stats.log_likelihood = total;
+  have_previous_ = true;
+  return stats;
+}
+
+AssignmentStats AssignmentEngine::Assign(
+    const SkillModel& model, const std::vector<double>& item_log_probs,
+    const TransitionWeights* transitions, ThreadPool* pool,
+    ParallelOptions parallel, const std::vector<uint8_t>* dirty_items,
+    bool weights_changed) {
+  ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
+  const int num_levels = num_levels_;
+  const ForgettingConfig& forgetting = model.config().forgetting;
+  const double log_down = std::log(forgetting.drop_probability);
+  const std::span<const double> log_initial =
+      transitions == nullptr ? std::span<const double>{}
+                             : std::span<const double>(transitions->log_initial);
+  const double log_stay = transitions == nullptr ? 0.0 : transitions->log_stay;
+  const double log_up = transitions == nullptr ? 0.0 : transitions->log_up;
+  const Dataset& dataset = *dataset_;
+  return RunPass(
+      user_pool, dirty_items, weights_changed,
+      [&](DpScratch& scratch, size_t u) {
+        const std::vector<Action>& seq =
+            dataset.sequence(static_cast<UserId>(u));
+        scratch.items.resize(seq.size());
+        for (size_t n = 0; n < seq.size(); ++n) {
+          scratch.items[n] = seq[n].item;
+        }
+        if (forgetting.enabled && seq.size() > 1) {
+          scratch.allow_down.resize(seq.size() - 1);
+          for (size_t n = 1; n < seq.size(); ++n) {
+            scratch.allow_down[n - 1] = (seq[n].time - seq[n - 1].time) >
+                                        forgetting.gap_threshold;
+          }
+          return SolveMonotonePathItemsWithForgetting(
+              item_log_probs, scratch.items, num_levels, log_initial,
+              log_stay, log_up, scratch.allow_down, log_down, scratch);
+        }
+        return SolveMonotonePathItems(item_log_probs, scratch.items,
+                                      num_levels, log_initial, log_stay,
+                                      log_up, scratch);
+      });
+}
+
+AssignmentStats AssignmentEngine::AssignWithClasses(
+    const SkillModel& model, const std::vector<double>& item_log_probs,
+    std::span<const ProgressionClassWeights> classes, ThreadPool* pool,
+    ParallelOptions parallel, const std::vector<uint8_t>* dirty_items,
+    bool weights_changed) {
+  UPSKILL_CHECK(!classes.empty());
+  (void)model;
+  ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
+  const int num_levels = num_levels_;
+  const Dataset& dataset = *dataset_;
+  return RunPass(
+      user_pool, dirty_items, weights_changed,
+      [&](DpScratch& scratch, size_t u) {
+        const std::vector<Action>& seq =
+            dataset.sequence(static_cast<UserId>(u));
+        scratch.items.resize(seq.size());
+        for (size_t n = 0; n < seq.size(); ++n) {
+          scratch.items[n] = seq[n].item;
+        }
+        double best_score = -std::numeric_limits<double>::infinity();
+        int best_class = 0;
+        bool any_best = false;
+        for (size_t c = 0; c < classes.size(); ++c) {
+          const double path_ll = SolveMonotonePathItems(
+              item_log_probs, scratch.items, num_levels,
+              classes[c].weights.log_initial, classes[c].weights.log_stay,
+              classes[c].weights.log_up, scratch);
+          const double score = path_ll + classes[c].log_prior;
+          // Strict improvement: ties keep the earlier class, matching the
+          // original implementation.
+          if (score > best_score) {
+            best_score = score;
+            best_class = static_cast<int>(c);
+            any_best = true;
+            std::swap(scratch.levels, scratch.best_levels);
+          }
+        }
+        std::swap(scratch.levels, scratch.best_levels);
+        // All-(-inf) scores leave no winner; the original implementation
+        // returned the default (empty) path in that pathological case.
+        if (!any_best) scratch.levels.clear();
+        user_classes_[u] = best_class;
+        return seq.empty() ? 0.0 : best_score;
+      });
+}
+
 SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
                               ThreadPool* pool, ParallelOptions parallel,
                               double* total_log_likelihood,
                               const TransitionWeights* transitions,
                               const std::vector<double>* item_log_probs) {
-  const int num_levels = model.num_levels();
   ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
-
   // The per-(item, level) log-probability cache is shared across all
   // occurrences of an item; the trainer passes its incrementally
   // maintained cache, standalone callers get a fresh one.
@@ -286,61 +504,13 @@ SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
     computed = model.ItemLogProbCache(dataset.items(), user_pool);
     item_log_probs = &computed;
   }
-  const std::vector<double>& cache = *item_log_probs;
-
-  SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
-  std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()),
-                                  0.0);
-  ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
-              [&](size_t u) {
-                const std::vector<Action>& seq =
-                    dataset.sequence(static_cast<UserId>(u));
-                std::vector<double> log_probs(seq.size() *
-                                              static_cast<size_t>(num_levels));
-                for (size_t n = 0; n < seq.size(); ++n) {
-                  const size_t row =
-                      static_cast<size_t>(seq[n].item) *
-                      static_cast<size_t>(num_levels);
-                  for (int s = 0; s < num_levels; ++s) {
-                    log_probs[n * static_cast<size_t>(num_levels) +
-                              static_cast<size_t>(s)] =
-                        cache[row + static_cast<size_t>(s)];
-                  }
-                }
-                const ForgettingConfig& forgetting =
-                    model.config().forgetting;
-                MonotonePath path;
-                if (forgetting.enabled && seq.size() > 1) {
-                  std::vector<uint8_t> allow_down(seq.size() - 1, 0);
-                  for (size_t n = 1; n < seq.size(); ++n) {
-                    allow_down[n - 1] = (seq[n].time - seq[n - 1].time) >
-                                        forgetting.gap_threshold;
-                  }
-                  path = SolveMonotonePathWithForgetting(
-                      log_probs, num_levels,
-                      transitions == nullptr
-                          ? std::span<const double>{}
-                          : std::span<const double>(transitions->log_initial),
-                      transitions == nullptr ? 0.0 : transitions->log_stay,
-                      transitions == nullptr ? 0.0 : transitions->log_up,
-                      allow_down, std::log(forgetting.drop_probability));
-                } else if (transitions == nullptr) {
-                  path = SolveMonotonePath(log_probs, num_levels);
-                } else {
-                  path = SolveMonotonePathWithTransitions(
-                      log_probs, num_levels, transitions->log_initial,
-                      transitions->log_stay, transitions->log_up);
-                }
-                per_user_ll[u] = seq.empty() ? 0.0 : path.log_likelihood;
-                assignments[u] = std::move(path.levels);
-              });
-
+  AssignmentEngine engine(dataset, model.num_levels());
+  const AssignmentStats stats =
+      engine.Assign(model, *item_log_probs, transitions, pool, parallel);
   if (total_log_likelihood != nullptr) {
-    double total = 0.0;
-    for (double ll : per_user_ll) total += ll;
-    *total_log_likelihood = total;
+    *total_log_likelihood = stats.log_likelihood;
   }
-  return assignments;
+  return std::move(engine).TakeAssignments();
 }
 
 SkillAssignments AssignSkillsWithClasses(
@@ -349,63 +519,20 @@ SkillAssignments AssignSkillsWithClasses(
     ParallelOptions parallel, double* total_log_likelihood,
     std::vector<int>* user_classes,
     const std::vector<double>* item_log_probs) {
-  UPSKILL_CHECK(!classes.empty());
-  const int num_levels = model.num_levels();
   ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
   std::vector<double> computed;
   if (item_log_probs == nullptr) {
     computed = model.ItemLogProbCache(dataset.items(), user_pool);
     item_log_probs = &computed;
   }
-  const std::vector<double>& cache = *item_log_probs;
-
-  SkillAssignments assignments(static_cast<size_t>(dataset.num_users()));
-  std::vector<double> per_user_ll(static_cast<size_t>(dataset.num_users()),
-                                  0.0);
-  std::vector<int> chosen(static_cast<size_t>(dataset.num_users()), 0);
-  ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
-              [&](size_t u) {
-                const std::vector<Action>& seq =
-                    dataset.sequence(static_cast<UserId>(u));
-                std::vector<double> log_probs(
-                    seq.size() * static_cast<size_t>(num_levels));
-                for (size_t n = 0; n < seq.size(); ++n) {
-                  const size_t row = static_cast<size_t>(seq[n].item) *
-                                     static_cast<size_t>(num_levels);
-                  for (int s = 0; s < num_levels; ++s) {
-                    log_probs[n * static_cast<size_t>(num_levels) +
-                              static_cast<size_t>(s)] =
-                        cache[row + static_cast<size_t>(s)];
-                  }
-                }
-                double best_score =
-                    -std::numeric_limits<double>::infinity();
-                MonotonePath best_path;
-                int best_class = 0;
-                for (size_t c = 0; c < classes.size(); ++c) {
-                  MonotonePath path = SolveMonotonePathWithTransitions(
-                      log_probs, num_levels, classes[c].weights.log_initial,
-                      classes[c].weights.log_stay, classes[c].weights.log_up);
-                  const double score =
-                      path.log_likelihood + classes[c].log_prior;
-                  if (score > best_score) {
-                    best_score = score;
-                    best_path = std::move(path);
-                    best_class = static_cast<int>(c);
-                  }
-                }
-                per_user_ll[u] = seq.empty() ? 0.0 : best_score;
-                assignments[u] = std::move(best_path.levels);
-                chosen[u] = best_class;
-              });
-
+  AssignmentEngine engine(dataset, model.num_levels());
+  const AssignmentStats stats = engine.AssignWithClasses(
+      model, *item_log_probs, classes, pool, parallel);
   if (total_log_likelihood != nullptr) {
-    double total = 0.0;
-    for (double ll : per_user_ll) total += ll;
-    *total_log_likelihood = total;
+    *total_log_likelihood = stats.log_likelihood;
   }
-  if (user_classes != nullptr) *user_classes = std::move(chosen);
-  return assignments;
+  if (user_classes != nullptr) *user_classes = engine.user_classes();
+  return std::move(engine).TakeAssignments();
 }
 
 TransitionWeights FitTransitionWeights(const SkillAssignments& assignments,
@@ -515,10 +642,19 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
 
   // The item log-prob cache lives across iterations: only the
   // (feature, level) cells whose parameters changed in the last update
-  // step are recomputed (LogProbCache dirty tracking).
+  // step are recomputed (LogProbCache dirty tracking). The assignment
+  // engine carries the previous iteration's paths, per-user likelihoods
+  // and per-slot DP arenas, and — fed the cache's per-item dirty flags —
+  // skips the DP for users whose lattice is provably unchanged.
   LogProbCache log_prob_cache;
+  AssignmentEngine engine(dataset, config_.num_levels);
   ThreadPool* user_pool =
       (config_.parallel.users && pool != nullptr) ? pool.get() : nullptr;
+
+  // Whether the transition weights fed to the assignment step changed
+  // since the previous iteration (always true before the first pass; the
+  // kNone model has no weights, so they never change).
+  bool weights_changed = true;
 
   double previous_ll = -std::numeric_limits<double>::infinity();
   for (int iteration = 0; iteration < config_.max_iterations; ++iteration) {
@@ -527,22 +663,25 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     result.cache_seconds += cache_watch.ElapsedSeconds();
 
     Stopwatch assign_watch;
-    double ll = 0.0;
-    SkillAssignments assignments =
+    const std::vector<uint8_t>* dirty_items =
+        config_.incremental_assignment ? &log_prob_cache.dirty_items()
+                                       : nullptr;
+    const AssignmentStats stats =
         use_classes
-            ? AssignSkillsWithClasses(dataset, result.model, classes,
-                                      pool.get(), config_.parallel, &ll,
-                                      &result.user_classes,
-                                      &log_prob_cache.values())
-            : AssignSkills(dataset, result.model, pool.get(),
-                           config_.parallel, &ll,
-                           use_transitions ? &transition_weights : nullptr,
-                           &log_prob_cache.values());
+            ? engine.AssignWithClasses(result.model, log_prob_cache.values(),
+                                       classes, pool.get(), config_.parallel,
+                                       dirty_items, weights_changed)
+            : engine.Assign(result.model, log_prob_cache.values(),
+                            use_transitions ? &transition_weights : nullptr,
+                            pool.get(), config_.parallel, dirty_items,
+                            weights_changed);
     result.assignment_seconds += assign_watch.ElapsedSeconds();
+    result.skipped_users += stats.skipped_users;
+    result.reassigned_users += stats.reassigned_users;
+    const double ll = stats.log_likelihood;
+    weights_changed = false;
 
-    const bool unchanged =
-        iteration > 0 && assignments == result.assignments;
-    result.assignments = std::move(assignments);
+    const bool unchanged = iteration > 0 && !stats.changed;
     result.log_likelihood_trace.push_back(ll);
     result.iterations = iteration + 1;
     if (config_.verbose) {
@@ -561,23 +700,28 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     previous_ll = ll;
 
     Stopwatch update_watch;
-    FitParameters(dataset, result.assignments, &result.model, pool.get(),
+    const SkillAssignments& assignments = engine.assignments();
+    FitParameters(dataset, assignments, &result.model, pool.get(),
                   config_.parallel);
     if (use_transitions) {
-      transition_weights = FitTransitionWeights(
-          result.assignments, config_.num_levels, config_.smoothing);
+      TransitionWeights next = FitTransitionWeights(
+          assignments, config_.num_levels, config_.smoothing);
+      weights_changed = !SameWeights(next, transition_weights);
+      transition_weights = std::move(next);
     }
     if (use_classes) {
       // Refit each class from its current members (classes that lost all
       // members keep their previous weights).
+      const std::vector<ProgressionClassWeights> previous_classes = classes;
+      const std::vector<int>& user_classes = engine.user_classes();
       const int k = config_.num_progression_classes;
       std::vector<size_t> members(static_cast<size_t>(k), 0);
       for (int c = 0; c < k; ++c) {
-        SkillAssignments subset(result.assignments.size());
+        SkillAssignments subset(assignments.size());
         size_t count = 0;
-        for (size_t u = 0; u < result.assignments.size(); ++u) {
-          if (result.user_classes[u] == c) {
-            subset[u] = result.assignments[u];
+        for (size_t u = 0; u < assignments.size(); ++u) {
+          if (user_classes[u] == c) {
+            subset[u] = assignments[u];
             ++count;
           }
         }
@@ -595,10 +739,13 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
              config_.smoothing + 1e-12) /
             (total + 1e-12));
       }
+      weights_changed = !SameClasses(classes, previous_classes);
     }
     result.update_seconds += update_watch.ElapsedSeconds();
     result.final_log_likelihood = ll;
   }
+  result.assignments = engine.assignments();
+  if (use_classes) result.user_classes = engine.user_classes();
 
   if (use_transitions) {
     result.level_up_probability = std::exp(transition_weights.log_up);

@@ -1,11 +1,13 @@
 #ifndef UPSKILL_CORE_TRAINER_H_
 #define UPSKILL_CORE_TRAINER_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/dp.h"
 #include "core/skill_model.h"
 #include "data/dataset.h"
 
@@ -47,6 +49,13 @@ struct TrainResult {
   double cache_seconds = 0.0;
   double update_seconds = 0.0;
   double init_seconds = 0.0;
+  /// Dirty-user skipping totals across all assignment iterations:
+  /// `skipped_users` counts user-iterations whose DP was skipped because
+  /// no item in their sequence had a dirtied cache row (and the
+  /// transition weights were unchanged); `reassigned_users` counts DPs
+  /// actually solved. Their sum is num_users * iterations.
+  size_t skipped_users = 0;
+  size_t reassigned_users = 0;
   /// Learned progression component (meaningful when the config enables
   /// TransitionModel::kGlobal; otherwise left at defaults).
   std::vector<double> initial_distribution;
@@ -139,6 +148,88 @@ SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
 /// level in [1, num_levels].
 TransitionWeights FitTransitionWeights(const SkillAssignments& assignments,
                                        int num_levels, double smoothing);
+
+/// Outcome of one AssignmentEngine pass.
+struct AssignmentStats {
+  /// Objective value of Equation 3 under the new assignments (including
+  /// transition terms when enabled); carried-forward users contribute
+  /// their previous per-user log-likelihood.
+  double log_likelihood = 0.0;
+  /// Users whose DP was skipped (previous path carried forward).
+  size_t skipped_users = 0;
+  /// Users whose DP was solved this pass.
+  size_t reassigned_users = 0;
+  /// True when any user's levels differ from the previous pass (always
+  /// true on the first pass).
+  bool changed = true;
+};
+
+/// Fused, arena-backed assignment step with incremental reassignment.
+/// Owns the state that makes repeated passes over one dataset cheap:
+///  - one DpScratch arena per thread slot (zero steady-state allocation;
+///    the user loop runs under ParallelForChunked);
+///  - the persistent assignments + per-user log-likelihoods of the
+///    previous pass, so users untouched by the last update step carry
+///    their path forward without re-running the DP;
+///  - an item -> users inverted index (built lazily on the first
+///    incremental pass) that maps LogProbCache::dirty_items() to the set
+///    of users that must be re-solved.
+/// Results are bitwise identical to the one-shot AssignSkills* functions
+/// for any thread count and any skipping pattern. The dataset must
+/// outlive the engine and keep its sequences unchanged.
+class AssignmentEngine {
+ public:
+  AssignmentEngine(const Dataset& dataset, int num_levels);
+
+  /// One assignment pass (Equation 4), plain or with global transition
+  /// weights (`transitions` may be null). `dirty_items` enables skipping:
+  /// when non-null and `weights_changed` is false, users none of whose
+  /// items are flagged keep their previous path. Pass null / true to
+  /// force a full pass. Forgetting is honored per `model.config()`.
+  AssignmentStats Assign(const SkillModel& model,
+                         const std::vector<double>& item_log_probs,
+                         const TransitionWeights* transitions,
+                         ThreadPool* pool, ParallelOptions parallel,
+                         const std::vector<uint8_t>* dirty_items = nullptr,
+                         bool weights_changed = true);
+
+  /// Per-class variant (one DP per class per user, best pair wins); the
+  /// chosen class is carried forward for skipped users.
+  AssignmentStats AssignWithClasses(
+      const SkillModel& model, const std::vector<double>& item_log_probs,
+      std::span<const ProgressionClassWeights> classes, ThreadPool* pool,
+      ParallelOptions parallel,
+      const std::vector<uint8_t>* dirty_items = nullptr,
+      bool weights_changed = true);
+
+  /// Assignments of the most recent pass.
+  const SkillAssignments& assignments() const { return assignments_; }
+  /// Per-user class labels of the most recent AssignWithClasses pass.
+  const std::vector<int>& user_classes() const { return user_classes_; }
+  /// Moves the assignments out (one-shot use); the engine must not be
+  /// reused afterwards.
+  SkillAssignments TakeAssignments() && { return std::move(assignments_); }
+
+ private:
+  template <typename SolveUser>
+  AssignmentStats RunPass(ThreadPool* user_pool,
+                          const std::vector<uint8_t>* dirty_items,
+                          bool weights_changed, const SolveUser& solve_user);
+  void EnsureInvertedIndex();
+
+  const Dataset* dataset_;
+  int num_levels_;
+  SkillAssignments assignments_;
+  std::vector<double> user_ll_;
+  std::vector<int> user_classes_;
+  bool have_previous_ = false;
+  std::vector<DpScratch> slot_scratch_;
+  // CSR item -> users index (each user listed once per item it selects).
+  bool index_built_ = false;
+  std::vector<size_t> item_user_offsets_;
+  std::vector<UserId> item_users_;
+  std::vector<uint8_t> user_dirty_;
+};
 
 /// The per-class assignment step (Yang et al.'s progression classes):
 /// for every user, solves one DP per class (transition weights + class

@@ -1,0 +1,214 @@
+// Dirty-user skipping in the assignment step must be invisible in the
+// results: a trainer run with incremental_assignment enabled produces the
+// exact assignments, likelihood trace, and model of a run that re-solves
+// every user's DP each iteration. These tests pin that invariant across
+// transition models and the forgetting extension, and exercise the
+// AssignmentEngine's skip machinery directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+
+namespace upskill {
+namespace {
+
+datagen::GeneratedData MakeData(uint64_t seed = 42) {
+  datagen::SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 200;
+  config.mean_sequence_length = 25.0;
+  config.seed = seed;
+  auto data = datagen::GenerateSynthetic(config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+// Trains twice — skipping on vs. off — and requires bitwise-identical
+// outcomes. Returns the skipping run's result for further checks.
+TrainResult ExpectSkippingInvisible(SkillModelConfig config,
+                                    const Dataset& dataset) {
+  config.incremental_assignment = true;
+  auto with_skip = Trainer(config).Train(dataset);
+  EXPECT_TRUE(with_skip.ok());
+
+  config.incremental_assignment = false;
+  auto without_skip = Trainer(config).Train(dataset);
+  EXPECT_TRUE(without_skip.ok());
+
+  const TrainResult& a = with_skip.value();
+  const TrainResult& b = without_skip.value();
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.log_likelihood_trace.size(), b.log_likelihood_trace.size());
+  for (size_t i = 0; i < std::min(a.log_likelihood_trace.size(),
+                                  b.log_likelihood_trace.size());
+       ++i) {
+    // Bitwise: carried-forward per-user log-likelihoods feed the same
+    // serial reduction as freshly solved ones.
+    EXPECT_EQ(a.log_likelihood_trace[i], b.log_likelihood_trace[i])
+        << "iteration " << i;
+  }
+  EXPECT_EQ(a.user_classes, b.user_classes);
+
+  // The full-pass run never skips; both account for every user-iteration.
+  EXPECT_EQ(b.skipped_users, 0u);
+  const size_t user_iterations =
+      static_cast<size_t>(dataset.num_users()) *
+      static_cast<size_t>(a.iterations);
+  EXPECT_EQ(a.skipped_users + a.reassigned_users, user_iterations);
+  EXPECT_EQ(b.reassigned_users, user_iterations);
+  return a;
+}
+
+TEST(AssignmentSkipTest, InvisibleWithoutTransitions) {
+  const datagen::GeneratedData data = MakeData(1);
+  SkillModelConfig config;
+  config.num_levels = 4;
+  config.min_init_actions = 10;
+  config.parallel.num_threads = 4;
+  config.parallel.users = true;
+  ExpectSkippingInvisible(config, data.dataset);
+}
+
+TEST(AssignmentSkipTest, InvisibleWithGlobalTransitions) {
+  const datagen::GeneratedData data = MakeData(2);
+  SkillModelConfig config;
+  config.num_levels = 4;
+  config.min_init_actions = 10;
+  config.transitions = TransitionModel::kGlobal;
+  ExpectSkippingInvisible(config, data.dataset);
+}
+
+TEST(AssignmentSkipTest, InvisibleWithForgetting) {
+  const datagen::GeneratedData data = MakeData(3);
+  SkillModelConfig config;
+  config.num_levels = 4;
+  config.min_init_actions = 10;
+  config.forgetting.enabled = true;
+  config.forgetting.gap_threshold = 50;
+  config.forgetting.drop_probability = 0.1;
+  ExpectSkippingInvisible(config, data.dataset);
+}
+
+TEST(AssignmentSkipTest, InvisibleWithProgressionClasses) {
+  const datagen::GeneratedData data = MakeData(4);
+  SkillModelConfig config;
+  config.num_levels = 3;
+  config.min_init_actions = 10;
+  config.transitions = TransitionModel::kPerClass;
+  config.num_progression_classes = 2;
+  ExpectSkippingInvisible(config, data.dataset);
+}
+
+// A dataset whose uniform-segmentation initialization is already the DP
+// optimum: 3 groups of level-pure items, every user playing 4 items of
+// each group in order. Iteration 0 reproduces the initial assignments, so
+// the refit leaves every parameter bitwise unchanged, iteration 1 finds
+// zero dirty items, and the engine skips every user.
+TEST(AssignmentSkipTest, StableDatasetSkipsEveryUser) {
+  constexpr int kLevels = 3;
+  constexpr int kItemsPerLevel = 10;
+  constexpr int kUsers = 20;
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.AddIdFeature(kLevels * kItemsPerLevel).ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < kLevels * kItemsPerLevel; ++i) {
+    const double row[] = {static_cast<double>(i)};
+    ASSERT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset dataset(std::move(items));
+  for (int u = 0; u < kUsers; ++u) {
+    const UserId user = dataset.AddUser();
+    int64_t time = 0;
+    for (int group = 0; group < kLevels; ++group) {
+      for (int k = 0; k < 4; ++k) {
+        const ItemId item = static_cast<ItemId>(
+            group * kItemsPerLevel + (u + k) % kItemsPerLevel);
+        ASSERT_TRUE(dataset.AddAction(user, time++, item).ok());
+      }
+    }
+  }
+
+  SkillModelConfig config;
+  config.num_levels = kLevels;
+  config.min_init_actions = 5;
+  auto result = Trainer(config).Train(dataset);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().converged);
+  // Iteration 0 is a full pass; iteration 1 skips everyone and converges.
+  EXPECT_EQ(result.value().skipped_users, static_cast<size_t>(kUsers));
+  for (const std::vector<int>& levels : result.value().assignments) {
+    EXPECT_EQ(levels, (std::vector<int>{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}));
+  }
+}
+
+// Engine-level: a pass with no dirty items skips everyone and changes
+// nothing; dirtying one item re-solves exactly the users playing it, and
+// the result matches a from-scratch full pass over the perturbed cache.
+TEST(AssignmentSkipTest, EnginePartialDirtyPass) {
+  const datagen::GeneratedData data = MakeData(5);
+  const Dataset& dataset = data.dataset;
+  SkillModelConfig config;
+  config.num_levels = 4;
+  auto created = SkillModel::Create(dataset.schema(), config);
+  ASSERT_TRUE(created.ok());
+  const SkillModel& model = created.value();
+  std::vector<double> cache = model.ItemLogProbCache(dataset.items());
+  const size_t num_users = static_cast<size_t>(dataset.num_users());
+  const size_t num_items =
+      cache.size() / static_cast<size_t>(config.num_levels);
+  ASSERT_GE(num_items, 1u);
+
+  AssignmentEngine engine(dataset, config.num_levels);
+  const AssignmentStats full =
+      engine.Assign(model, cache, nullptr, nullptr, {});
+  EXPECT_EQ(full.reassigned_users, num_users);
+  const SkillAssignments baseline = engine.assignments();
+
+  // All-clean pass: every user skipped, results carried forward bitwise.
+  const std::vector<uint8_t> clean(num_items, 0);
+  const AssignmentStats skipped = engine.Assign(
+      model, cache, nullptr, nullptr, {}, &clean, /*weights_changed=*/false);
+  EXPECT_EQ(skipped.skipped_users, num_users);
+  EXPECT_EQ(skipped.reassigned_users, 0u);
+  EXPECT_FALSE(skipped.changed);
+  EXPECT_EQ(skipped.log_likelihood, full.log_likelihood);
+  EXPECT_EQ(engine.assignments(), baseline);
+
+  // Perturb one item's rows and flag it: only its players re-solve.
+  const ItemId dirty_item = static_cast<ItemId>(num_items / 2);
+  for (int s = 0; s < config.num_levels; ++s) {
+    cache[static_cast<size_t>(dirty_item) * config.num_levels + s] -=
+        0.5 * (s + 1);
+  }
+  std::vector<uint8_t> dirty(num_items, 0);
+  dirty[static_cast<size_t>(dirty_item)] = 1;
+  size_t players = 0;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    for (const Action& a : dataset.sequence(u)) {
+      if (a.item == dirty_item) {
+        ++players;
+        break;
+      }
+    }
+  }
+  const AssignmentStats partial = engine.Assign(
+      model, cache, nullptr, nullptr, {}, &dirty, /*weights_changed=*/false);
+  EXPECT_EQ(partial.reassigned_users, players);
+  EXPECT_EQ(partial.skipped_users, num_users - players);
+
+  AssignmentEngine fresh(dataset, config.num_levels);
+  const AssignmentStats oracle =
+      fresh.Assign(model, cache, nullptr, nullptr, {});
+  EXPECT_EQ(engine.assignments(), fresh.assignments());
+  EXPECT_EQ(partial.log_likelihood, oracle.log_likelihood);
+}
+
+}  // namespace
+}  // namespace upskill
