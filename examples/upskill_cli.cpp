@@ -13,6 +13,10 @@
 //   model          human-readable report of the learned components
 //   difficulty     per-item difficulty (CSV or --top list)
 //   recommend      upskilling shortlist for one user
+//   snapshot       package model + items + difficulty into a binary
+//                  serving snapshot
+//   serve          online serving loop over stdin/stdout (see README
+//                  "Serving" for the protocol)
 //
 // Run with no arguments for full flag syntax. Datasets are the CSV
 // directories written by SaveDataset (schema.csv, items.csv, users.csv,
@@ -22,7 +26,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,6 +51,9 @@
 #include "datagen/film.h"
 #include "datagen/language.h"
 #include "datagen/synthetic.h"
+#include "serve/server.h"
+#include "serve/serving_model.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -68,16 +78,34 @@ struct Args {
   }
 };
 
-Args ParseArgs(int argc, char** argv, int first) {
+// Every --flag is either a boolean switch or takes exactly one value.
+// Declaring which is which up front is what lets the parser reject a
+// value-taking flag whose value is missing or looks like another flag
+// (`train d m.csv --levels --em` used to silently train with default S).
+const std::set<std::string> kValueFlags = {
+    "users", "seed",    "levels", "threads", "user",  "out",
+    "top",   "stretch", "prior",  "min",     "max",   "shards",
+};
+const std::set<std::string> kSwitchFlags = {
+    "em", "verbose", "transitions", "detail",
+};
+
+Result<Args> ParseArgs(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string name = token.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (kValueFlags.count(name) > 0) {
+        if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " requires a value");
+        }
         args.flags[name] = argv[++i];
-      } else {
+      } else if (kSwitchFlags.count(name) > 0) {
         args.flags[name] = "";  // boolean switch
+      } else {
+        return Status::InvalidArgument("unknown flag --" + name);
       }
     } else {
       args.positional.push_back(token);
@@ -107,7 +135,11 @@ int Usage() {
       "  difficulty <data_dir> <model.csv> [--levels S]\n"
       "        [--prior empirical|uniform] [--top K]\n"
       "  recommend <data_dir> <model.csv> --user U [--levels S]\n"
-      "        [--stretch 1.0] [--top 10]\n");
+      "        [--stretch 1.0] [--top 10]\n"
+      "  snapshot <data_dir> <model.csv> <out.snap> [--levels S]\n"
+      "        [--prior empirical|uniform] [--transitions] [--threads N]\n"
+      "  serve <snapshot.snap> [--threads N] [--shards N]\n"
+      "        (newline-delimited protocol on stdin/stdout; see README)\n");
   return 2;
 }
 
@@ -440,6 +472,123 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+int CmdSnapshot(const Args& args) {
+  if (args.positional.size() != 3) return Usage();
+  const auto dataset = LoadDataset(args.positional[0]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  SkillModelConfig config = ConfigFromArgs(args);
+  const auto model =
+      SkillModel::Load(args.positional[1], dataset.value().schema(), config);
+  if (!model.ok()) return Fail(model.status());
+
+  const int threads = static_cast<int>(args.IntFlag("threads", 1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  const SkillAssignments assignments = AssignSkills(
+      dataset.value(), model.value(), pool.get(), config.parallel);
+  const std::string prior = args.StringFlag("prior", "empirical");
+  const auto difficulty = EstimateDifficultyByGeneration(
+      dataset.value().items(), model.value(),
+      prior == "uniform" ? DifficultyPrior::kUniform
+                         : DifficultyPrior::kEmpirical,
+      assignments);
+  if (!difficulty.ok()) return Fail(difficulty.status());
+
+  TransitionWeights transitions;
+  const bool with_transitions = args.HasFlag("transitions");
+  if (with_transitions) {
+    transitions = FitTransitionWeights(assignments, config.num_levels,
+                                       config.smoothing);
+  }
+  const auto snapshot = serve::MakeSnapshot(
+      model.value(), dataset.value().items(), difficulty.value(),
+      with_transitions ? &transitions : nullptr);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  const Status saved = serve::SaveSnapshot(snapshot.value(),
+                                           args.positional[2]);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("snapshot -> %s (%d levels, %d items%s)\n",
+              args.positional[2].c_str(), config.num_levels,
+              dataset.value().items().num_items(),
+              with_transitions ? ", transitions" : "");
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const int threads = static_cast<int>(args.IntFlag("threads", 1));
+  const int shards = static_cast<int>(args.IntFlag("shards", 64));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  const auto model =
+      serve::ServingModel::FromSnapshotFile(args.positional[0], pool.get());
+  if (!model.ok()) return Fail(model.status());
+  serve::Server server(model.value(), shards);
+  std::fprintf(stderr, "serving %s: %d levels, %d items, %d shards\n",
+               args.positional[0].c_str(), model.value()->num_levels(),
+               model.value()->num_items(), shards);
+
+  // Line-at-a-time request/response loop, plus the `batch <N>` directive:
+  // the next N lines form one batch executed in parallel over the pool,
+  // responses emitted in request order. Unparseable lines get an error
+  // response; only `quit` or EOF ends the session.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> head = Split(
+        std::string(StripWhitespace(line)), ' ');
+    if (head.size() == 2 && head[0] == "batch") {
+      const Result<long long> count = ParseInt(head[1]);
+      if (!count.ok() || count.value() < 0) {
+        std::printf("error InvalidArgument: batch expects: batch <N>\n");
+        std::fflush(stdout);
+        continue;
+      }
+      std::vector<serve::ServeRequest> requests;
+      std::vector<std::string> parse_errors(
+          static_cast<size_t>(count.value()));
+      std::vector<int> request_index(static_cast<size_t>(count.value()), -1);
+      for (long long i = 0; i < count.value(); ++i) {
+        if (!std::getline(std::cin, line)) break;
+        const auto request = serve::ParseServeRequest(line);
+        if (request.ok()) {
+          request_index[static_cast<size_t>(i)] =
+              static_cast<int>(requests.size());
+          requests.push_back(request.value());
+        } else {
+          parse_errors[static_cast<size_t>(i)] =
+              "error " + request.status().ToString();
+        }
+      }
+      const std::vector<std::string> responses =
+          server.ExecuteBatch(requests, pool.get());
+      for (size_t i = 0; i < request_index.size(); ++i) {
+        if (request_index[i] >= 0) {
+          std::printf("%s\n",
+                      responses[static_cast<size_t>(request_index[i])]
+                          .c_str());
+        } else {
+          std::printf("%s\n", parse_errors[i].c_str());
+        }
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    const auto request = serve::ParseServeRequest(line);
+    if (!request.ok()) {
+      std::printf("error %s\n", request.status().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    std::printf("%s\n", server.Execute(request.value()).c_str());
+    std::fflush(stdout);
+    if (request.value().kind == serve::ServeRequest::Kind::kQuit) break;
+  }
+  return 0;
+}
+
 int CmdSelectLevels(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   const auto dataset = LoadDataset(args.positional[0]);
@@ -468,7 +617,12 @@ int CmdSelectLevels(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Args args = ParseArgs(argc, argv, 2);
+  const Result<Args> parsed = ParseArgs(argc, argv, 2);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return Usage();
+  }
+  const Args& args = parsed.value();
   if (command == "generate") return CmdGenerate(args);
   if (command == "import") return CmdImport(args);
   if (command == "stats") return CmdStats(args);
@@ -478,6 +632,8 @@ int main(int argc, char** argv) {
   if (command == "model") return CmdModel(args);
   if (command == "difficulty") return CmdDifficulty(args);
   if (command == "recommend") return CmdRecommend(args);
+  if (command == "snapshot") return CmdSnapshot(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "select-levels") return CmdSelectLevels(args);
   return Usage();
 }

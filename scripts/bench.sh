@@ -1,30 +1,40 @@
 #!/usr/bin/env bash
-# Records the micro-benchmark suite from a dedicated Release build.
+# Records a benchmark suite from a dedicated Release build.
 #
-# Usage: scripts/bench.sh [PR_NUMBER] [BENCHMARK_FILTER]
+# Usage: scripts/bench.sh [PR_NUMBER] [SUITE] [BENCHMARK_FILTER]
+#
+#   SUITE is `micro` (bench_micro: training/eval kernels) or `serve`
+#   (bench_serve: snapshot IO, streaming observe, BM_ServeThroughput).
 #
 # Produces BENCH_PR<N>.json at the repo root (google-benchmark JSON,
 # includes build context). Always benchmarks a -DCMAKE_BUILD_TYPE=Release
 # tree in build-bench/, independent of whatever ./build currently holds —
 # BENCH_PR1.json was recorded from a debug build and is superseded by the
-# Release rerecording in BENCH_PR2.json.
+# Release rerecording in BENCH_PR2.json; BENCH_PR3.json records the serve
+# suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR_NUMBER="${1:-2}"
-FILTER="${2:-}"
+PR_NUMBER="${1:-3}"
+SUITE="${2:-serve}"
+FILTER="${3:-}"
 BUILD_DIR=build-bench
 OUT="BENCH_PR${PR_NUMBER}.json"
 
+case "$SUITE" in
+  micro|serve) ;;
+  *) echo "unknown suite '$SUITE' (want micro or serve)" >&2; exit 2 ;;
+esac
+
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
   -DUPSKILL_SANITIZE= >/dev/null
-cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target "bench_${SUITE}" -j "$(nproc)"
 
 ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
 if [[ -n "$FILTER" ]]; then
   ARGS+=(--benchmark_filter="$FILTER")
 fi
-"./$BUILD_DIR/bench/bench_micro" "${ARGS[@]}"
+"./$BUILD_DIR/bench/bench_${SUITE}" "${ARGS[@]}"
 
 echo "wrote $OUT"

@@ -61,7 +61,16 @@ Result<SkillAssignments> LoadAssignments(const std::string& path,
     std::vector<int>& levels = assignments[u];
     levels.assign(pending[u].size(), 0);
     for (const auto& [position, level] : pending[u]) {
-      if (position >= levels.size() || levels[position] != 0) {
+      // Levels are validated >= 1 above, so 0 is a safe "unseen" sentinel;
+      // a non-zero slot means this (user, position) appeared twice. Report
+      // that distinctly from a gap — a duplicate is a corrupt writer, a
+      // gap is a missing row, and the two are debugged differently.
+      if (position < levels.size() && levels[position] != 0) {
+        return Status::Corruption(StringPrintf(
+            "duplicate (user, position) row: user %zu position %zu", u,
+            position));
+      }
+      if (position >= levels.size()) {
         return Status::Corruption(StringPrintf(
             "user %zu: positions are not a gapless 0..n-1 range", u));
       }

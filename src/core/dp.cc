@@ -303,4 +303,70 @@ double SolveMonotonePathItemsWithForgetting(
                         &scratch.levels);
 }
 
+void MonotoneForwardStart(std::span<const double> item_row,
+                          std::span<const double> log_initial,
+                          std::span<double> column) {
+  const size_t levels = column.size();
+  UPSKILL_CHECK(levels >= 1);
+  UPSKILL_CHECK(item_row.size() >= levels);
+  UPSKILL_CHECK(log_initial.empty() || log_initial.size() == levels);
+  for (size_t s = 0; s < levels; ++s) {
+    column[s] = item_row[s] + (log_initial.empty() ? 0.0 : log_initial[s]);
+  }
+}
+
+void MonotoneForwardStep(std::span<const double> prev_column,
+                         std::span<const double> item_row, double log_stay,
+                         double log_up, bool allow_down, double log_down,
+                         std::span<double> next_column) {
+  const size_t levels = prev_column.size();
+  UPSKILL_CHECK(levels >= 1);
+  UPSKILL_CHECK(item_row.size() >= levels);
+  UPSKILL_CHECK(next_column.size() == levels);
+  UPSKILL_CHECK(next_column.data() != prev_column.data());
+  const double* prev = prev_column.data();
+  const double* row = item_row.data();
+  double* curr = next_column.data();
+  // Mirrors the peeled structure of the item-indexed kernels exactly
+  // (stay/up select with strict >, down-edge checked after, free stay at
+  // the top) so the column stays bitwise equal to the batch best-row.
+  {
+    double incoming = prev[0] + (levels > 1 ? log_stay : 0.0);
+    if (levels > 1 && allow_down) {
+      const double down = prev[1] + log_down;
+      incoming = down > incoming ? down : incoming;
+    }
+    curr[0] = incoming + row[0];
+  }
+  for (size_t s = 1; s + 1 < levels; ++s) {
+    const double stay = prev[s] + log_stay;
+    const double up = prev[s - 1] + log_up;
+    double incoming = up > stay ? up : stay;
+    if (allow_down) {
+      const double down = prev[s + 1] + log_down;
+      incoming = down > incoming ? down : incoming;
+    }
+    curr[s] = incoming + row[s];
+  }
+  if (levels > 1) {
+    const size_t s = levels - 1;
+    const double stay = prev[s] + 0.0;
+    const double up = prev[s - 1] + log_up;
+    curr[s] = (up > stay ? up : stay) + row[s];
+  }
+}
+
+int MonotoneForwardLevel(std::span<const double> column) {
+  UPSKILL_CHECK(!column.empty());
+  size_t level = 0;
+  double best = column[0];
+  for (size_t s = 1; s < column.size(); ++s) {
+    if (column[s] > best) {
+      best = column[s];
+      level = s;
+    }
+  }
+  return static_cast<int>(level) + 1;
+}
+
 }  // namespace upskill

@@ -96,6 +96,43 @@ double SolveMonotonePathItemsWithForgetting(
     double log_up, std::span<const uint8_t> allow_down, double log_down,
     DpScratch& scratch);
 
+/// Streaming forward-column primitives for the serving subsystem. The
+/// batch solvers above materialize all n columns of the lattice because
+/// they need backpointers for the full path; an online session only needs
+/// the *tail* level after each action, and the recurrence of Equation 4
+/// reads nothing but the previous column — so a live session can carry a
+/// single S-sized column and update it in O(S) per observed action.
+///
+/// The arithmetic (operation order, peeled bottom/top rows, strict-`>`
+/// tie-breaking toward "stay", free self-transition at the top level, the
+/// down-edge checked after stay/up) mirrors SolveMonotonePathItems /
+/// SolveMonotonePathItemsWithForgetting term by term, so after feeding a
+/// prefix of a user's item rows through Start + Step the column is bitwise
+/// equal to the final best-row of the batch kernel on that prefix, and
+/// MonotoneForwardLevel equals the tail level of the batch path (the
+/// batch backtrack starts at exactly this argmax-ties-low).
+///
+/// Initializes `column` (size = num_levels) for the first action:
+/// column[s] = item_row[s] + log_initial[s] (log_initial may be empty for
+/// a free start). `item_row` is the item's S-sized slice of a
+/// [item * S + (level-1)] cache.
+void MonotoneForwardStart(std::span<const double> item_row,
+                          std::span<const double> log_initial,
+                          std::span<double> column);
+
+/// Advances `prev_column` by one action with item row `item_row`, writing
+/// the next column into `next_column` (must not alias `prev_column`).
+/// `allow_down` opens the forgetting down-edge at cost `log_down` for this
+/// transition; pass false (and any log_down) when forgetting is disabled.
+void MonotoneForwardStep(std::span<const double> prev_column,
+                         std::span<const double> item_row, double log_stay,
+                         double log_up, bool allow_down, double log_down,
+                         std::span<double> next_column);
+
+/// 1-based argmax level of a forward column, ties to the lowest level —
+/// the rule the batch backtrack applies to its final row.
+int MonotoneForwardLevel(std::span<const double> column);
+
 }  // namespace upskill
 
 #endif  // UPSKILL_CORE_DP_H_

@@ -14,6 +14,11 @@ Result<std::vector<UpskillRecommendation>> RecommendForUpskilling(
   if (user < 0 || user >= dataset.num_users()) {
     return Status::OutOfRange(StringPrintf("user %d", user));
   }
+  if (assignments.size() != static_cast<size_t>(dataset.num_users())) {
+    return Status::InvalidArgument(StringPrintf(
+        "assignments cover %zu users, dataset has %d", assignments.size(),
+        dataset.num_users()));
+  }
   if (static_cast<int>(difficulty.size()) != dataset.items().num_items()) {
     return Status::InvalidArgument("difficulty vector size mismatch");
   }

@@ -1,0 +1,296 @@
+#include "serve/server.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/dp.h"
+
+namespace upskill {
+namespace serve {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : Split(line, ' ')) {
+    const std::string_view stripped = StripWhitespace(token);
+    if (!stripped.empty()) tokens.emplace_back(stripped);
+  }
+  return tokens;
+}
+
+Status WrongArity(const char* command, const char* usage) {
+  return Status::InvalidArgument(
+      StringPrintf("%s expects: %s", command, usage));
+}
+
+}  // namespace
+
+Result<ServeRequest> ParseServeRequest(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::InvalidArgument("empty request");
+  ServeRequest request;
+  const std::string& command = tokens[0];
+  if (command == "observe") {
+    if (tokens.size() < 3 || tokens.size() > 4) {
+      return WrongArity("observe", "observe <user> <item> [<time>]");
+    }
+    request.kind = ServeRequest::Kind::kObserve;
+    request.user = tokens[1];
+    const Result<long long> item = ParseInt(tokens[2]);
+    if (!item.ok()) return item.status();
+    request.item = static_cast<ItemId>(item.value());
+    if (tokens.size() == 4) {
+      const Result<long long> time = ParseInt(tokens[3]);
+      if (!time.ok()) return time.status();
+      request.time = time.value();
+      request.has_time = true;
+    }
+    return request;
+  }
+  if (command == "level") {
+    if (tokens.size() != 2) return WrongArity("level", "level <user>");
+    request.kind = ServeRequest::Kind::kLevel;
+    request.user = tokens[1];
+    return request;
+  }
+  if (command == "recommend") {
+    if (tokens.size() < 2 || tokens.size() > 4) {
+      return WrongArity("recommend", "recommend <user> [<top>] [<stretch>]");
+    }
+    request.kind = ServeRequest::Kind::kRecommend;
+    request.user = tokens[1];
+    if (tokens.size() >= 3) {
+      const Result<long long> top = ParseInt(tokens[2]);
+      if (!top.ok()) return top.status();
+      request.top_k = static_cast<int>(top.value());
+    }
+    if (tokens.size() == 4) {
+      const Result<double> stretch = ParseDouble(tokens[3]);
+      if (!stretch.ok()) return stretch.status();
+      request.stretch = stretch.value();
+    }
+    return request;
+  }
+  if (command == "difficulty") {
+    if (tokens.size() != 2) {
+      return WrongArity("difficulty", "difficulty <item>");
+    }
+    request.kind = ServeRequest::Kind::kDifficulty;
+    const Result<long long> item = ParseInt(tokens[1]);
+    if (!item.ok()) return item.status();
+    request.item = static_cast<ItemId>(item.value());
+    return request;
+  }
+  if (command == "swap") {
+    if (tokens.size() != 2) return WrongArity("swap", "swap <snapshot_path>");
+    request.kind = ServeRequest::Kind::kSwap;
+    request.path = tokens[1];
+    return request;
+  }
+  if (command == "stats") {
+    if (tokens.size() != 1) return WrongArity("stats", "stats");
+    request.kind = ServeRequest::Kind::kStats;
+    return request;
+  }
+  if (command == "reset") {
+    if (tokens.size() != 1) return WrongArity("reset", "reset");
+    request.kind = ServeRequest::Kind::kReset;
+    return request;
+  }
+  if (command == "quit") {
+    if (tokens.size() != 1) return WrongArity("quit", "quit");
+    request.kind = ServeRequest::Kind::kQuit;
+    return request;
+  }
+  return Status::InvalidArgument("unknown command: " + command);
+}
+
+Server::Server(std::shared_ptr<const ServingModel> model, int num_shards)
+    : model_(std::move(model)), sessions_(num_shards) {}
+
+std::shared_ptr<const ServingModel> Server::model() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+Result<SessionLevel> Server::Observe(const std::string& user, ItemId item,
+                                     int64_t time, bool has_time) {
+  const std::shared_ptr<const ServingModel> model = this->model();
+  if (item < 0 || item >= model->num_items()) {
+    return Status::OutOfRange(StringPrintf("item %d", item));
+  }
+  const TransitionWeights* transitions = model->transitions();
+  const std::span<const double> log_initial =
+      transitions == nullptr
+          ? std::span<const double>{}
+          : std::span<const double>(transitions->log_initial);
+  const double log_stay =
+      transitions == nullptr ? 0.0 : transitions->log_stay;
+  const double log_up = transitions == nullptr ? 0.0 : transitions->log_up;
+  const ForgettingConfig& forgetting = model->forgetting();
+  const size_t levels = static_cast<size_t>(model->num_levels());
+
+  Status error = Status::OK();
+  SessionLevel result;
+  sessions_.WithSession(user, [&](SessionState& session) {
+    // A swap that changed S resets the store, but a racing observe can
+    // still carry a stale-width column into this shard; restart it.
+    if (session.actions > 0 && session.column.size() != levels) {
+      session = SessionState{};
+    }
+    const int64_t t = has_time ? time : session.last_time;
+    if (session.actions > 0 && t < session.last_time) {
+      error = Status::InvalidArgument(StringPrintf(
+          "time %lld goes backwards (session is at %lld)",
+          static_cast<long long>(t),
+          static_cast<long long>(session.last_time)));
+      return;
+    }
+    if (session.actions == 0) {
+      session.column.resize(levels);
+      session.next_column.resize(levels);
+      MonotoneForwardStart(model->ItemRow(item), log_initial,
+                           session.column);
+    } else {
+      const bool allow_down =
+          forgetting.enabled &&
+          (t - session.last_time) > forgetting.gap_threshold;
+      MonotoneForwardStep(session.column, model->ItemRow(item), log_stay,
+                          log_up, allow_down, model->log_down(),
+                          session.next_column);
+      std::swap(session.column, session.next_column);
+    }
+    session.last_time = t;
+    ++session.actions;
+    session.level = MonotoneForwardLevel(session.column);
+    result.level = session.level;
+    result.actions = session.actions;
+  });
+  if (!error.ok()) return error;
+  return result;
+}
+
+Result<SessionLevel> Server::CurrentLevel(const std::string& user) const {
+  SessionState session;
+  if (!sessions_.Lookup(user, &session) || session.actions == 0) {
+    return Status::NotFound("no observed actions for user " + user);
+  }
+  return SessionLevel{session.level, session.actions};
+}
+
+Result<std::vector<UpskillRecommendation>> Server::Recommend(
+    const std::string& user,
+    const UpskillRecommendationOptions& options) const {
+  SessionState session;
+  if (!sessions_.Lookup(user, &session) || session.actions == 0) {
+    return Status::NotFound("no observed actions for user " + user);
+  }
+  const std::shared_ptr<const ServingModel> model = this->model();
+  // A swap that changed S may have raced the lookup; the copied level is
+  // still a valid 1-based level under the *old* S, so clamp it.
+  const int level = std::min(session.level, model->num_levels());
+  return model->Recommend(level, options);
+}
+
+Result<double> Server::ItemDifficulty(ItemId item) const {
+  const std::shared_ptr<const ServingModel> model = this->model();
+  if (item < 0 || item >= model->num_items()) {
+    return Status::OutOfRange(StringPrintf("item %d", item));
+  }
+  return model->difficulty()[static_cast<size_t>(item)];
+}
+
+void Server::SwapSnapshot(std::shared_ptr<const ServingModel> next) {
+  bool reset = false;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    reset = next->num_levels() != model_->num_levels();
+    model_ = std::move(next);
+  }
+  if (reset) sessions_.Clear();
+}
+
+Status Server::SwapSnapshotFile(const std::string& path, ThreadPool* pool) {
+  Result<std::shared_ptr<const ServingModel>> next =
+      ServingModel::FromSnapshotFile(path, pool);
+  if (!next.ok()) return next.status();
+  SwapSnapshot(std::move(next).value());
+  return Status::OK();
+}
+
+std::string Server::Execute(const ServeRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (request.kind) {
+    case ServeRequest::Kind::kObserve: {
+      const Result<SessionLevel> result =
+          Observe(request.user, request.item, request.time, request.has_time);
+      if (!result.ok()) return "error " + result.status().ToString();
+      return StringPrintf("ok level=%d actions=%llu", result.value().level,
+                          static_cast<unsigned long long>(
+                              result.value().actions));
+    }
+    case ServeRequest::Kind::kLevel: {
+      const Result<SessionLevel> result = CurrentLevel(request.user);
+      if (!result.ok()) return "error " + result.status().ToString();
+      return StringPrintf("ok level=%d actions=%llu", result.value().level,
+                          static_cast<unsigned long long>(
+                              result.value().actions));
+    }
+    case ServeRequest::Kind::kRecommend: {
+      UpskillRecommendationOptions options;
+      options.max_results = request.top_k;
+      options.stretch = request.stretch;
+      const Result<std::vector<UpskillRecommendation>> picks =
+          Recommend(request.user, options);
+      if (!picks.ok()) return "error " + picks.status().ToString();
+      std::string response =
+          StringPrintf("ok n=%zu", picks.value().size());
+      for (const UpskillRecommendation& pick : picks.value()) {
+        response += StringPrintf(" %d:%.6g:%.6g", pick.item, pick.difficulty,
+                                 pick.log_prob);
+      }
+      return response;
+    }
+    case ServeRequest::Kind::kDifficulty: {
+      const Result<double> difficulty = ItemDifficulty(request.item);
+      if (!difficulty.ok()) return "error " + difficulty.status().ToString();
+      return StringPrintf("ok difficulty=%.17g", difficulty.value());
+    }
+    case ServeRequest::Kind::kSwap: {
+      const Status swapped = SwapSnapshotFile(request.path);
+      if (!swapped.ok()) return "error " + swapped.ToString();
+      const std::shared_ptr<const ServingModel> model = this->model();
+      return StringPrintf("ok swapped levels=%d items=%d",
+                          model->num_levels(), model->num_items());
+    }
+    case ServeRequest::Kind::kStats: {
+      const std::shared_ptr<const ServingModel> model = this->model();
+      return StringPrintf(
+          "ok sessions=%zu shards=%d levels=%d items=%d requests=%llu",
+          num_sessions(), sessions_.num_shards(), model->num_levels(),
+          model->num_items(),
+          static_cast<unsigned long long>(requests_served()));
+    }
+    case ServeRequest::Kind::kReset: {
+      ResetSessions();
+      return "ok reset";
+    }
+    case ServeRequest::Kind::kQuit:
+      return "ok bye";
+  }
+  return "error Internal: unhandled request kind";
+}
+
+std::vector<std::string> Server::ExecuteBatch(
+    std::span<const ServeRequest> requests, ThreadPool* pool) {
+  std::vector<std::string> responses(requests.size());
+  ParallelFor(pool, 0, requests.size(), [&](size_t i) {
+    responses[i] = Execute(requests[i]);
+  });
+  return responses;
+}
+
+}  // namespace serve
+}  // namespace upskill

@@ -1,0 +1,133 @@
+#ifndef UPSKILL_SERVE_SERVER_H_
+#define UPSKILL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "serve/serving_model.h"
+#include "serve/session_store.h"
+
+namespace upskill {
+namespace serve {
+
+/// One parsed request of the newline-delimited serving protocol
+/// (grammar in README.md, "Serving"):
+///
+///   observe <user> <item> [<time>]
+///   level <user>
+///   recommend <user> [<top>] [<stretch>]
+///   difficulty <item>
+///   swap <snapshot_path>
+///   stats
+///   reset
+///   quit
+struct ServeRequest {
+  enum class Kind {
+    kObserve,
+    kLevel,
+    kRecommend,
+    kDifficulty,
+    kSwap,
+    kStats,
+    kReset,
+    kQuit,
+  };
+  Kind kind = Kind::kStats;
+  std::string user;
+  ItemId item = -1;
+  /// Action timestamp; when absent the session's last time is reused
+  /// (zero gap, so forgetting never triggers).
+  int64_t time = 0;
+  bool has_time = false;
+  int top_k = 10;
+  double stretch = 1.0;
+  std::string path;
+};
+
+/// Parses one protocol line (leading/trailing whitespace ignored).
+Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+/// Level and observation count reported by Observe / CurrentLevel.
+struct SessionLevel {
+  int level = 0;
+  uint64_t actions = 0;
+};
+
+/// The online serving front end: an immutable ServingModel (swappable at
+/// runtime) plus the sharded SessionStore. Every method is thread-safe;
+/// requests for distinct users proceed in parallel, and a snapshot swap
+/// never blocks readers — in-flight requests finish against the view they
+/// started with.
+class Server {
+ public:
+  Server(std::shared_ptr<const ServingModel> model, int num_shards = 64);
+
+  /// Current model view (atomically readable while swaps happen).
+  std::shared_ptr<const ServingModel> model() const;
+
+  /// Folds one observed action into `user`'s session: O(S) forward DP
+  /// step, then reports the session's new level. Creates the session on
+  /// first observation. Rejects out-of-range items and timestamps that go
+  /// backwards within the session.
+  Result<SessionLevel> Observe(const std::string& user, ItemId item,
+                               int64_t time, bool has_time);
+
+  /// Level of an existing session; fails for users never observed.
+  Result<SessionLevel> CurrentLevel(const std::string& user) const;
+
+  /// Difficulty-windowed recommendations at the session's current level
+  /// (see ServingModel::Recommend). A user at the top level gets an empty
+  /// list. Unlike the batch RecommendForUpskilling, the session does not
+  /// carry item history, so already-tried items are not excluded.
+  Result<std::vector<UpskillRecommendation>> Recommend(
+      const std::string& user,
+      const UpskillRecommendationOptions& options) const;
+
+  Result<double> ItemDifficulty(ItemId item) const;
+
+  /// Zero-downtime model swap: readers that already grabbed the old view
+  /// finish on it; new requests see `next`. Sessions carry their forward
+  /// columns across the swap (levels stay monotone; the column simply
+  /// continues under the new scores) unless the level count S changed, in
+  /// which case every session is reset.
+  void SwapSnapshot(std::shared_ptr<const ServingModel> next);
+
+  /// LoadSnapshot + ServingModel::FromSnapshot + SwapSnapshot.
+  Status SwapSnapshotFile(const std::string& path, ThreadPool* pool = nullptr);
+
+  size_t num_sessions() const { return sessions_.size(); }
+  void ResetSessions() { sessions_.Clear(); }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Executes one request, rendering the response line ("ok ..." on
+  /// success, "error ..." on failure; one line either way).
+  std::string Execute(const ServeRequest& request);
+
+  /// Executes a batch, responses in request order, fanning out over
+  /// `pool` (inline when null). Requests touching the same user are safe
+  /// (the session store serializes them per shard) but their relative
+  /// order within a batch is unspecified; a swap inside a batch applies
+  /// to whichever requests observe it.
+  std::vector<std::string> ExecuteBatch(std::span<const ServeRequest> requests,
+                                        ThreadPool* pool = nullptr);
+
+ private:
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const ServingModel> model_;
+  SessionStore sessions_;
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace serve
+}  // namespace upskill
+
+#endif  // UPSKILL_SERVE_SERVER_H_

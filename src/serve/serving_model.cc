@@ -1,0 +1,106 @@
+#include "serve/serving_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace serve {
+
+Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshot(
+    ModelSnapshot snapshot, ThreadPool* pool) {
+  const int levels = snapshot.config.num_levels;
+  if (levels < 1) {
+    return Status::InvalidArgument("snapshot has no skill levels");
+  }
+  if (snapshot.model.num_levels() != levels ||
+      snapshot.model.num_features() != snapshot.schema.num_features()) {
+    return Status::InvalidArgument("snapshot model/config shape mismatch");
+  }
+  if (static_cast<int>(snapshot.difficulty.size()) !=
+      snapshot.items.num_items()) {
+    return Status::InvalidArgument("snapshot difficulty size mismatch");
+  }
+  if (snapshot.has_transitions &&
+      !snapshot.transitions.log_initial.empty() &&
+      static_cast<int>(snapshot.transitions.log_initial.size()) != levels) {
+    return Status::InvalidArgument("snapshot transition weights mismatch");
+  }
+
+  std::shared_ptr<ServingModel> model(new ServingModel());
+  model->snapshot_ = std::move(snapshot);
+  model->log_down_ =
+      std::log(model->snapshot_.config.forgetting.drop_probability);
+  model->log_probs_ =
+      model->snapshot_.model.ItemLogProbCache(model->snapshot_.items, pool);
+
+  const size_t num_items =
+      static_cast<size_t>(model->snapshot_.items.num_items());
+  model->ranked_.resize(static_cast<size_t>(levels) * num_items);
+  const std::vector<double>& log_probs = model->log_probs_;
+  ParallelFor(pool, 0, static_cast<size_t>(levels), [&](size_t s) {
+    ItemId* order = model->ranked_.data() + s * num_items;
+    for (size_t i = 0; i < num_items; ++i) {
+      order[i] = static_cast<ItemId>(i);
+    }
+    const size_t stride = static_cast<size_t>(levels);
+    std::sort(order, order + num_items, [&](ItemId a, ItemId b) {
+      const double pa = log_probs[static_cast<size_t>(a) * stride + s];
+      const double pb = log_probs[static_cast<size_t>(b) * stride + s];
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+  });
+  return std::shared_ptr<const ServingModel>(std::move(model));
+}
+
+Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshotFile(
+    const std::string& path, ThreadPool* pool) {
+  Result<ModelSnapshot> snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return FromSnapshot(std::move(snapshot).value(), pool);
+}
+
+std::span<const ItemId> ServingModel::RankedItems(int level) const {
+  const size_t num_items = static_cast<size_t>(this->num_items());
+  return std::span<const ItemId>(
+      ranked_.data() + static_cast<size_t>(level - 1) * num_items, num_items);
+}
+
+Result<std::vector<UpskillRecommendation>> ServingModel::Recommend(
+    int current_level, const UpskillRecommendationOptions& options) const {
+  if (current_level < 1 || current_level > num_levels()) {
+    return Status::OutOfRange(
+        StringPrintf("level %d of %d", current_level, num_levels()));
+  }
+  if (options.max_results < 1) {
+    return Status::InvalidArgument("max_results must be >= 1");
+  }
+  if (!(options.stretch > 0.0)) {
+    return Status::InvalidArgument("stretch must be positive");
+  }
+  const int target = options.rank_by_next_level
+                         ? std::min(current_level + 1, num_levels())
+                         : current_level;
+  const double lo = static_cast<double>(current_level);
+  const double hi = lo + options.stretch;
+  const std::vector<double>& difficulty = snapshot_.difficulty;
+  const size_t stride = static_cast<size_t>(num_levels());
+
+  std::vector<UpskillRecommendation> picks;
+  picks.reserve(static_cast<size_t>(options.max_results));
+  for (const ItemId item : RankedItems(target)) {
+    const double d = difficulty[static_cast<size_t>(item)];
+    if (std::isnan(d) || d <= lo || d > hi) continue;
+    picks.push_back(UpskillRecommendation{
+        item, d,
+        log_probs_[static_cast<size_t>(item) * stride +
+                   static_cast<size_t>(target - 1)]});
+    if (static_cast<int>(picks.size()) == options.max_results) break;
+  }
+  return picks;
+}
+
+}  // namespace serve
+}  // namespace upskill

@@ -1,0 +1,51 @@
+#include "serve/session_store.h"
+
+#include <bit>
+
+namespace upskill {
+namespace serve {
+
+namespace {
+size_t RoundUpToPowerOfTwo(int n) {
+  if (n < 1) return 1;
+  return std::bit_ceil(static_cast<size_t>(n));
+}
+}  // namespace
+
+SessionStore::SessionStore(int num_shards)
+    : shards_(RoundUpToPowerOfTwo(num_shards)),
+      mask_(shards_.size() - 1) {}
+
+bool SessionStore::Lookup(const std::string& user, SessionState* out) const {
+  const Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(user);
+  if (it == shard.sessions.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool SessionStore::Erase(const std::string& user) {
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.sessions.erase(user) > 0;
+}
+
+size_t SessionStore::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.sessions.size();
+  }
+  return total;
+}
+
+void SessionStore::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.sessions.clear();
+  }
+}
+
+}  // namespace serve
+}  // namespace upskill

@@ -1,0 +1,93 @@
+#ifndef UPSKILL_SERVE_SESSION_STORE_H_
+#define UPSKILL_SERVE_SESSION_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace upskill {
+namespace serve {
+
+/// Live state of one user's session: the rolling S-sized forward column
+/// of the monotone assignment DP (Equation 4) plus the bookkeeping the
+/// streaming update needs. The column is the *entire* memory of the
+/// user's history the DP requires — O(S) per user regardless of how many
+/// actions have been observed — and its argmax (ties to the lowest level)
+/// is provably the tail level of re-running the batch DP on the full
+/// history (see DESIGN.md, "Streaming skill inference").
+struct SessionState {
+  /// Forward DP column, one entry per level; empty until the first
+  /// observation.
+  std::vector<double> column;
+  /// Scratch for the ping-pong step (avoids per-request allocation).
+  std::vector<double> next_column;
+  /// Timestamp of the most recent observation (drives forgetting gaps).
+  int64_t last_time = 0;
+  /// Observations folded into the column so far.
+  uint64_t actions = 0;
+  /// Cached MonotoneForwardLevel(column); 0 before any observation.
+  int level = 0;
+};
+
+/// Sharded map of user key -> SessionState guarded by striped mutexes:
+/// the key hashes to one of `num_shards` shards, each an independent
+/// mutex + hash map, so concurrent requests for different users contend
+/// only when they collide on a shard. This is the one mutable, shared
+/// data structure in the serving layer — everything else is immutable
+/// snapshots — and the piece the ThreadSanitizer suite exercises hardest.
+class SessionStore {
+ public:
+  /// `num_shards` is rounded up to a power of two (minimum 1).
+  explicit SessionStore(int num_shards = 64);
+
+  /// Runs `fn` on the (created-if-absent) session for `user`, holding the
+  /// shard lock for the duration. Keep `fn` short: it serializes every
+  /// session on the same shard.
+  template <typename Fn>
+  void WithSession(const std::string& user, Fn&& fn) {
+    Shard& shard = ShardFor(user);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    fn(shard.sessions[user]);
+  }
+
+  /// Copies the session for `user` into `out`; false when absent.
+  bool Lookup(const std::string& user, SessionState* out) const;
+
+  /// Removes the session for `user`; false when absent.
+  bool Erase(const std::string& user);
+
+  /// Total live sessions (takes every shard lock; O(shards)).
+  size_t size() const;
+
+  /// Drops every session (e.g. after a snapshot swap changed S).
+  void Clear();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, SessionState> sessions;
+  };
+
+  Shard& ShardFor(const std::string& user) {
+    return shards_[std::hash<std::string>{}(user)&mask_];
+  }
+  const Shard& ShardFor(const std::string& user) const {
+    return shards_[std::hash<std::string>{}(user)&mask_];
+  }
+
+  // unique_ptr-free fixed array: shards are neither copyable nor movable
+  // (mutex), so the vector is sized once in the constructor.
+  std::vector<Shard> shards_;
+  size_t mask_ = 0;
+};
+
+}  // namespace serve
+}  // namespace upskill
+
+#endif  // UPSKILL_SERVE_SESSION_STORE_H_

@@ -1,0 +1,427 @@
+#include "serve/snapshot.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace serve {
+
+// The format commits to little-endian on-disk layout; raw memcpy of host
+// integers/doubles is only correct on little-endian hosts (every platform
+// this library targets). A big-endian port would add byte swaps here.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot serialization assumes a little-endian host");
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Standard reflected CRC-32 (IEEE 802.3), nibble-table variant: small
+  // enough to build at first use, fast enough for multi-megabyte payloads.
+  static const uint32_t kTable[16] = {
+      0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac,
+      0x76dc4190, 0x6b6b51f4, 0x4db26158, 0x5005713c,
+      0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+      0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= bytes[i];
+    crc = (crc >> 4) ^ kTable[crc & 0xf];
+    crc = (crc >> 4) ^ kTable[crc & 0xf];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+namespace {
+
+// Fixed-size header preceding the payload.
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;  // zero; room for future flags
+  uint64_t payload_size;
+  uint32_t payload_crc;
+};
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8 + 4;
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { Raw(&v, sizeof v); }
+  void I64(int64_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void VecF64(const std::vector<double>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    Raw(v.data(), v.size() * sizeof(double));
+  }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  std::string buffer_;
+};
+
+// Bounds-checked sequential reader; every getter returns false once the
+// payload is exhausted, and the loader converts that into Corruption.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) { return Raw(v, 1); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
+  bool I32(int32_t* v) { return Raw(v, sizeof *v); }
+  bool I64(int64_t* v) { return Raw(v, sizeof *v); }
+  bool F64(double* v) { return Raw(v, sizeof *v); }
+  bool Str(std::string* s) {
+    uint32_t n = 0;
+    if (!U32(&n) || size_ - pos_ < n) return false;
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool VecF64(std::vector<double>* v) {
+    uint32_t n = 0;
+    if (!U32(&n) || size_ - pos_ < static_cast<size_t>(n) * sizeof(double)) {
+      return false;
+    }
+    v->resize(n);
+    std::memcpy(v->data(), data_ + pos_, n * sizeof(double));
+    pos_ += static_cast<size_t>(n) * sizeof(double);
+    return true;
+  }
+  bool Doubles(std::span<double> out) {
+    return Raw(out.data(), out.size() * sizeof(double));
+  }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  bool Raw(void* out, size_t size) {
+    if (size_ - pos_ < size) return false;
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void WriteConfig(const SkillModelConfig& config, ByteWriter* out) {
+  // Only the fields that define model *semantics* are persisted; trainer
+  // knobs (iterations, tolerances, parallelism) are not part of a model.
+  out->I32(config.num_levels);
+  out->F64(config.smoothing);
+  out->I32(static_cast<int32_t>(config.transitions));
+  out->I32(config.num_progression_classes);
+  out->U8(config.forgetting.enabled ? 1 : 0);
+  out->I64(config.forgetting.gap_threshold);
+  out->F64(config.forgetting.drop_probability);
+}
+
+bool ReadConfig(ByteReader* in, SkillModelConfig* config) {
+  int32_t transitions = 0;
+  uint8_t forgetting = 0;
+  if (!in->I32(&config->num_levels) || !in->F64(&config->smoothing) ||
+      !in->I32(&transitions) || !in->I32(&config->num_progression_classes) ||
+      !in->U8(&forgetting) || !in->I64(&config->forgetting.gap_threshold) ||
+      !in->F64(&config->forgetting.drop_probability)) {
+    return false;
+  }
+  if (transitions < 0 ||
+      transitions > static_cast<int32_t>(TransitionModel::kPerClass)) {
+    return false;
+  }
+  config->transitions = static_cast<TransitionModel>(transitions);
+  config->forgetting.enabled = forgetting != 0;
+  return true;
+}
+
+void WriteSchema(const FeatureSchema& schema, ByteWriter* out) {
+  out->I32(schema.num_features());
+  out->I32(schema.id_feature());
+  for (int f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.feature(f);
+    out->Str(spec.name);
+    out->U8(static_cast<uint8_t>(spec.type));
+    out->U8(static_cast<uint8_t>(spec.distribution));
+    out->I32(spec.cardinality);
+    out->U32(static_cast<uint32_t>(spec.labels.size()));
+    for (const std::string& label : spec.labels) out->Str(label);
+  }
+}
+
+Result<FeatureSchema> ReadSchema(ByteReader* in) {
+  int32_t num_features = 0;
+  int32_t id_feature = 0;
+  if (!in->I32(&num_features) || !in->I32(&id_feature) || num_features < 0) {
+    return Status::Corruption("snapshot schema header");
+  }
+  FeatureSchema schema;
+  for (int32_t f = 0; f < num_features; ++f) {
+    std::string name;
+    uint8_t type = 0;
+    uint8_t distribution = 0;
+    int32_t cardinality = 0;
+    uint32_t num_labels = 0;
+    if (!in->Str(&name) || !in->U8(&type) || !in->U8(&distribution) ||
+        !in->I32(&cardinality) || !in->U32(&num_labels)) {
+      return Status::Corruption(StringPrintf("snapshot schema feature %d", f));
+    }
+    std::vector<std::string> labels(num_labels);
+    for (std::string& label : labels) {
+      if (!in->Str(&label)) {
+        return Status::Corruption(
+            StringPrintf("snapshot schema labels of feature %d", f));
+      }
+    }
+    Result<int> added = [&]() -> Result<int> {
+      if (f == id_feature) return schema.AddIdFeature(cardinality);
+      switch (static_cast<FeatureType>(type)) {
+        case FeatureType::kCategorical:
+          return schema.AddCategorical(std::move(name), cardinality,
+                                       std::move(labels));
+        case FeatureType::kCount:
+          return schema.AddCount(std::move(name));
+        case FeatureType::kReal:
+          return schema.AddReal(std::move(name),
+                                static_cast<DistributionKind>(distribution));
+      }
+      return Status::Corruption("snapshot schema feature type");
+    }();
+    if (!added.ok()) return added.status();
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<ModelSnapshot> MakeSnapshot(const SkillModel& model,
+                                   const ItemTable& items,
+                                   std::vector<double> difficulty,
+                                   const TransitionWeights* transitions) {
+  if (static_cast<int>(difficulty.size()) != items.num_items()) {
+    return Status::InvalidArgument(StringPrintf(
+        "difficulty has %zu entries for %d items", difficulty.size(),
+        items.num_items()));
+  }
+  if (transitions != nullptr && !transitions->log_initial.empty() &&
+      static_cast<int>(transitions->log_initial.size()) !=
+          model.num_levels()) {
+    return Status::InvalidArgument("transition weights level mismatch");
+  }
+  ModelSnapshot snapshot;
+  snapshot.config = model.config();
+  snapshot.schema = model.schema();
+  snapshot.model = model;
+  snapshot.items = items;
+  snapshot.difficulty = std::move(difficulty);
+  if (transitions != nullptr) {
+    snapshot.has_transitions = true;
+    snapshot.transitions = *transitions;
+  }
+  return snapshot;
+}
+
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  const int levels = snapshot.config.num_levels;
+  const int features = snapshot.schema.num_features();
+  const int num_items = snapshot.items.num_items();
+  if (snapshot.model.num_levels() != levels ||
+      snapshot.model.num_features() != features) {
+    return Status::InvalidArgument("snapshot model/config shape mismatch");
+  }
+  if (static_cast<int>(snapshot.difficulty.size()) != num_items) {
+    return Status::InvalidArgument("snapshot difficulty size mismatch");
+  }
+
+  ByteWriter payload;
+  WriteConfig(snapshot.config, &payload);
+  WriteSchema(snapshot.schema, &payload);
+  for (int f = 0; f < features; ++f) {
+    for (int s = 1; s <= levels; ++s) {
+      payload.VecF64(snapshot.model.component(f, s).Parameters());
+    }
+  }
+  payload.U8(snapshot.has_transitions ? 1 : 0);
+  if (snapshot.has_transitions) {
+    payload.VecF64(snapshot.transitions.log_initial);
+    payload.F64(snapshot.transitions.log_stay);
+    payload.F64(snapshot.transitions.log_up);
+  }
+  payload.I32(num_items);
+  for (int f = 0; f < features; ++f) {
+    const std::span<const double> column = snapshot.items.column(f);
+    for (double v : column) payload.F64(v);
+  }
+  bool any_name = false;
+  for (ItemId i = 0; i < num_items; ++i) {
+    any_name = any_name || !snapshot.items.name(i).empty();
+  }
+  payload.U8(any_name ? 1 : 0);
+  if (any_name) {
+    for (ItemId i = 0; i < num_items; ++i) payload.Str(snapshot.items.name(i));
+  }
+  payload.VecF64(snapshot.difficulty);
+
+  SnapshotHeader header;
+  std::memcpy(header.magic, kSnapshotMagic, sizeof header.magic);
+  header.version = kSnapshotVersion;
+  header.reserved = 0;
+  header.payload_size = payload.buffer().size();
+  header.payload_crc =
+      Crc32(payload.buffer().data(), payload.buffer().size());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out.write(header.magic, sizeof header.magic);
+  out.write(reinterpret_cast<const char*>(&header.version),
+            sizeof header.version);
+  out.write(reinterpret_cast<const char*>(&header.reserved),
+            sizeof header.reserved);
+  out.write(reinterpret_cast<const char*>(&header.payload_size),
+            sizeof header.payload_size);
+  out.write(reinterpret_cast<const char*>(&header.payload_crc),
+            sizeof header.payload_crc);
+  out.write(payload.buffer().data(),
+            static_cast<std::streamsize>(payload.buffer().size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ModelSnapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("snapshot shorter than header");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof kSnapshotMagic) != 0) {
+    return Status::Corruption("not a snapshot file (bad magic)");
+  }
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof version);
+  std::memcpy(&payload_size, bytes.data() + 16, sizeof payload_size);
+  std::memcpy(&payload_crc, bytes.data() + 24, sizeof payload_crc);
+  if (version != kSnapshotVersion) {
+    return Status::Corruption(
+        StringPrintf("unsupported snapshot version %u", version));
+  }
+  if (bytes.size() - kHeaderSize != payload_size) {
+    return Status::Corruption(StringPrintf(
+        "snapshot truncated: header claims %llu payload bytes, file has %zu",
+        static_cast<unsigned long long>(payload_size),
+        bytes.size() - kHeaderSize));
+  }
+  const char* payload = bytes.data() + kHeaderSize;
+  if (Crc32(payload, payload_size) != payload_crc) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+
+  ByteReader reader(payload, payload_size);
+  ModelSnapshot snapshot;
+  if (!ReadConfig(&reader, &snapshot.config)) {
+    return Status::Corruption("snapshot config section");
+  }
+  Result<FeatureSchema> schema = ReadSchema(&reader);
+  if (!schema.ok()) return schema.status();
+  snapshot.schema = std::move(schema).value();
+
+  Result<SkillModel> model =
+      SkillModel::Create(snapshot.schema, snapshot.config);
+  if (!model.ok()) return model.status();
+  snapshot.model = std::move(model).value();
+  for (int f = 0; f < snapshot.schema.num_features(); ++f) {
+    for (int s = 1; s <= snapshot.config.num_levels; ++s) {
+      std::vector<double> params;
+      if (!reader.VecF64(&params)) {
+        return Status::Corruption(
+            StringPrintf("snapshot component (%d, %d)", f, s));
+      }
+      UPSKILL_RETURN_IF_ERROR(
+          snapshot.model.mutable_component(f, s)->SetParameters(params));
+    }
+  }
+
+  uint8_t has_transitions = 0;
+  if (!reader.U8(&has_transitions)) {
+    return Status::Corruption("snapshot transitions section");
+  }
+  snapshot.has_transitions = has_transitions != 0;
+  if (snapshot.has_transitions) {
+    if (!reader.VecF64(&snapshot.transitions.log_initial) ||
+        !reader.F64(&snapshot.transitions.log_stay) ||
+        !reader.F64(&snapshot.transitions.log_up)) {
+      return Status::Corruption("snapshot transitions section");
+    }
+    if (!snapshot.transitions.log_initial.empty() &&
+        static_cast<int>(snapshot.transitions.log_initial.size()) !=
+            snapshot.config.num_levels) {
+      return Status::Corruption("snapshot transition weights level mismatch");
+    }
+  }
+
+  int32_t num_items = 0;
+  if (!reader.I32(&num_items) || num_items < 0) {
+    return Status::Corruption("snapshot item section");
+  }
+  const int features = snapshot.schema.num_features();
+  std::vector<std::vector<double>> columns(
+      static_cast<size_t>(features),
+      std::vector<double>(static_cast<size_t>(num_items)));
+  for (int f = 0; f < features; ++f) {
+    if (!reader.Doubles(columns[static_cast<size_t>(f)])) {
+      return Status::Corruption(StringPrintf("snapshot item column %d", f));
+    }
+  }
+  uint8_t has_names = 0;
+  if (!reader.U8(&has_names)) {
+    return Status::Corruption("snapshot item names section");
+  }
+  std::vector<std::string> names(static_cast<size_t>(num_items));
+  if (has_names != 0) {
+    for (std::string& name : names) {
+      if (!reader.Str(&name)) {
+        return Status::Corruption("snapshot item names section");
+      }
+    }
+  }
+  snapshot.items = ItemTable(snapshot.schema);
+  std::vector<double> row(static_cast<size_t>(features));
+  for (int32_t i = 0; i < num_items; ++i) {
+    for (int f = 0; f < features; ++f) {
+      row[static_cast<size_t>(f)] =
+          columns[static_cast<size_t>(f)][static_cast<size_t>(i)];
+    }
+    Result<ItemId> added =
+        snapshot.items.AddItem(row, std::move(names[static_cast<size_t>(i)]));
+    if (!added.ok()) return added.status();
+  }
+
+  if (!reader.VecF64(&snapshot.difficulty)) {
+    return Status::Corruption("snapshot difficulty section");
+  }
+  if (static_cast<int>(snapshot.difficulty.size()) != num_items) {
+    return Status::Corruption("snapshot difficulty size mismatch");
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("snapshot has trailing bytes");
+  }
+  return snapshot;
+}
+
+}  // namespace serve
+}  // namespace upskill

@@ -65,6 +65,30 @@ TEST_F(AssignmentsIoTest, RejectsBadRows) {
   EXPECT_FALSE(LoadAssignments(path_, -1, 3).ok());
 }
 
+TEST_F(AssignmentsIoTest, DuplicateRowsAreAHardErrorDistinctFromGaps) {
+  // A repeated (user, position) pair is reported as a duplicate, even when
+  // the repeated row carries the same level (a silent last-writer-wins
+  // here would mask corrupt writers).
+  Write("user,position,level\n0,0,1\n0,1,2\n0,1,2\n");
+  const auto duplicate = LoadAssignments(path_, 1, 3);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().ToString().find("duplicate"),
+            std::string::npos)
+      << duplicate.status().ToString();
+
+  // A gap keeps its own message.
+  Write("user,position,level\n0,0,1\n0,2,1\n");
+  const auto gap = LoadAssignments(path_, 1, 3);
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().ToString().find("duplicate"), std::string::npos);
+  EXPECT_NE(gap.status().ToString().find("gapless"), std::string::npos)
+      << gap.status().ToString();
+
+  // Duplicates on other users are caught too.
+  Write("user,position,level\n0,0,1\n1,0,2\n1,0,2\n");
+  EXPECT_FALSE(LoadAssignments(path_, 2, 3).ok());
+}
+
 TEST_F(AssignmentsIoTest, MissingFileFails) {
   EXPECT_FALSE(LoadAssignments(path_ + ".missing", 1, 3).ok());
 }

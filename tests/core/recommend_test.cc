@@ -144,5 +144,48 @@ TEST_F(RecommendTest, TopLevelUserStillGetsWindowAboveCurrent) {
   EXPECT_TRUE(picks.value().empty());
 }
 
+TEST_F(RecommendTest, TopLevelUserClampsRankingLevelToS) {
+  // An item whose estimated difficulty exceeds S keeps the window
+  // non-empty even at the top level; ranking must clamp the "next" level
+  // to S instead of asking the model for level S + 1.
+  assignments_ = {{3, 3}};
+  difficulty_[3] = 3.4;  // in (3, 4]
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0);
+  ASSERT_TRUE(picks.ok());
+  ASSERT_EQ(picks.value().size(), 1u);
+  EXPECT_EQ(picks.value()[0].item, 3);
+}
+
+TEST_F(RecommendTest, NanDifficultyItemsAreSkippedNotReturned) {
+  // Item 4 (NaN difficulty) would otherwise dominate: give it the highest
+  // level-2 plausibility and keep everything else in the window.
+  auto* level2 = static_cast<Categorical*>(model_->mutable_component(0, 2));
+  ASSERT_TRUE(level2
+                  ->SetProbabilities(
+                      std::vector<double>{0.05, 0.1, 0.1, 0.05, 0.7})
+                  .ok());
+  UpskillRecommendationOptions options;
+  options.stretch = 5.0;  // every non-NaN difficulty is eligible
+  options.exclude_tried = false;
+  const auto picks = RecommendForUpskilling(*dataset_, *model_, assignments_,
+                                            difficulty_, 0, options);
+  ASSERT_TRUE(picks.ok());
+  ASSERT_FALSE(picks.value().empty());
+  for (const auto& pick : picks.value()) {
+    EXPECT_NE(pick.item, 4);
+    EXPECT_FALSE(std::isnan(pick.difficulty));
+  }
+}
+
+TEST_F(RecommendTest, RejectsAssignmentsThatDoNotCoverTheDataset) {
+  // In-range user, but the assignments table is too short — previously an
+  // out-of-bounds read, now a validation error.
+  const SkillAssignments empty;
+  EXPECT_FALSE(RecommendForUpskilling(*dataset_, *model_, empty, difficulty_,
+                                      0)
+                   .ok());
+}
+
 }  // namespace
 }  // namespace upskill

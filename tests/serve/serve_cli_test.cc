@@ -1,0 +1,129 @@
+// End-to-end integration test of the serving pipeline through the real
+// binary: generate -> train -> snapshot -> `upskill_cli serve` over a
+// scripted stdin session, including a mid-session snapshot swap (same-S
+// swap keeps the session; an S-changing swap resets it). The binary path
+// is injected by CMake as UPSKILL_CLI_PATH.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace upskill {
+namespace {
+
+class ServeCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("upskill_serve_cli_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Runs the CLI with `argv_tail`, stdout+stderr to a log file; fails the
+  // test (with the log) on a non-zero exit.
+  void Run(const std::string& argv_tail) {
+    const std::string log = dir_ + "/cmd.log";
+    const std::string command = std::string(UPSKILL_CLI_PATH) + " " +
+                                argv_tail + " > " + log + " 2>&1";
+    const int status = std::system(command.c_str());
+    ASSERT_EQ(status, 0) << command << "\n" << Slurp(log);
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static std::vector<std::string> Lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(text);
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServeCliTest, TrainSnapshotServeRoundTripWithMidSessionSwap) {
+  Run("generate synthetic " + dir_ + "/data --users 40 --seed 11");
+  Run("train " + dir_ + "/data " + dir_ + "/model.csv --levels 4");
+  Run("snapshot " + dir_ + "/data " + dir_ + "/model.csv " + dir_ +
+      "/model.snap --levels 4 --transitions");
+  Run("train " + dir_ + "/data " + dir_ + "/model3.csv --levels 3");
+  Run("snapshot " + dir_ + "/data " + dir_ + "/model3.csv " + dir_ +
+      "/model3.snap --levels 3");
+
+  {
+    std::ofstream script(dir_ + "/input.txt");
+    script << "observe alice 3 100\n"
+           << "observe alice 5 200\n"
+           << "level alice\n"
+           << "recommend alice 5\n"
+           << "difficulty 3\n"
+           << "stats\n"
+           << "swap " << dir_ << "/model.snap\n"   // same S: session lives
+           << "level alice\n"
+           << "swap " << dir_ << "/model3.snap\n"  // S change: sessions reset
+           << "level alice\n"                       // -> error
+           << "observe alice 3 300\n"               // fresh session, S = 3
+           << "batch 2\n"
+           << "observe bob 1 10\n"
+           << "observe carol 2 20\n"
+           << "no-such-command\n"
+           << "quit\n";
+  }
+  const std::string out = dir_ + "/output.txt";
+  const std::string command = std::string(UPSKILL_CLI_PATH) + " serve " +
+                              dir_ + "/model.snap < " + dir_ +
+                              "/input.txt > " + out + " 2> /dev/null";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const std::vector<std::string> lines = Lines(Slurp(out));
+  ASSERT_EQ(lines.size(), 15u) << Slurp(out);
+  EXPECT_EQ(lines[0].substr(0, 9), "ok level=");           // observe alice
+  EXPECT_EQ(lines[1].substr(0, 9), "ok level=");           // observe alice
+  EXPECT_EQ(lines[2].substr(0, 9), "ok level=");           // level alice
+  EXPECT_NE(lines[2].find("actions=2"), std::string::npos) << lines[2];
+  EXPECT_EQ(lines[3].substr(0, 5), "ok n=");               // recommend
+  EXPECT_EQ(lines[4].substr(0, 14), "ok difficulty=");     // difficulty
+  EXPECT_NE(lines[5].find("ok sessions=1"), std::string::npos) << lines[5];
+  EXPECT_EQ(lines[6].substr(0, 20), "ok swapped levels=4 ");
+  EXPECT_NE(lines[7].find("actions=2"), std::string::npos)
+      << "same-S swap must keep the session: " << lines[7];
+  EXPECT_EQ(lines[8].substr(0, 20), "ok swapped levels=3 ");
+  EXPECT_EQ(lines[9].substr(0, 6), "error ")
+      << "S-changing swap must reset sessions: " << lines[9];
+  EXPECT_NE(lines[10].find("actions=1"), std::string::npos) << lines[10];
+  EXPECT_EQ(lines[11].substr(0, 9), "ok level=");          // batch: bob
+  EXPECT_EQ(lines[12].substr(0, 9), "ok level=");          // batch: carol
+  EXPECT_EQ(lines[13].substr(0, 6), "error ");             // unknown command
+  EXPECT_EQ(lines[14], "ok bye");
+}
+
+TEST_F(ServeCliTest, ServeRejectsMissingSnapshot) {
+  const std::string command = std::string(UPSKILL_CLI_PATH) + " serve " +
+                              dir_ + "/nope.snap < /dev/null > /dev/null 2>&1";
+  EXPECT_NE(std::system(command.c_str()), 0);
+}
+
+TEST_F(ServeCliTest, ValueFlagsWithoutValuesAreUsageErrors) {
+  const std::string log = dir_ + "/flag.log";
+  const std::string command = std::string(UPSKILL_CLI_PATH) +
+                              " train somewhere model.csv --levels --em > " +
+                              log + " 2>&1";
+  EXPECT_NE(std::system(command.c_str()), 0);
+  EXPECT_NE(Slurp(log).find("--levels requires a value"), std::string::npos)
+      << Slurp(log);
+}
+
+}  // namespace
+}  // namespace upskill

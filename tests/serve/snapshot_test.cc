@@ -1,0 +1,213 @@
+// Snapshot round-trip guarantees: bitwise parity of every parameter,
+// rejection of corrupted / truncated / foreign files, and equivalence of
+// the CSV model path and the snapshot path under the assignment DP.
+
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/difficulty.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "serve/serving_model.h"
+
+namespace upskill {
+namespace serve {
+namespace {
+
+// Bitwise comparison that treats NaN == NaN (memcmp on the payload), the
+// same notion of equality the snapshot format promises.
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::SyntheticConfig data_config;
+    data_config.num_users = 60;
+    data_config.num_items = 120;
+    data_config.mean_sequence_length = 25.0;
+    data_config.seed = 2026;
+    auto data = datagen::GenerateSynthetic(data_config);
+    ASSERT_TRUE(data.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(data).value().dataset);
+
+    SkillModelConfig config;
+    config.num_levels = 4;
+    config.min_init_actions = 15;
+    config.max_iterations = 8;
+    auto trained = Trainer(config).Train(*dataset_);
+    ASSERT_TRUE(trained.ok());
+    model_ = std::make_unique<SkillModel>(std::move(trained).value().model);
+    assignments_ = AssignSkills(*dataset_, *model_);
+    auto difficulty = EstimateDifficultyByGeneration(
+        dataset_->items(), *model_, DifficultyPrior::kEmpirical, assignments_);
+    ASSERT_TRUE(difficulty.ok());
+    difficulty_ = std::move(difficulty).value();
+    transitions_ = FitTransitionWeights(assignments_, config.num_levels,
+                                        config.smoothing);
+
+    path_ = (std::filesystem::temp_directory_path() /
+             ("upskill_snap_" + std::to_string(::getpid()) + ".snap"))
+                .string();
+    auto snapshot =
+        MakeSnapshot(*model_, dataset_->items(), difficulty_, &transitions_);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    ASSERT_TRUE(SaveSnapshot(snapshot.value(), path_).ok());
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string ReadBytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  void WriteBytes(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<SkillModel> model_;
+  SkillAssignments assignments_;
+  std::vector<double> difficulty_;
+  TransitionWeights transitions_;
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, RoundTripIsBitwise) {
+  const auto loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ModelSnapshot& snap = loaded.value();
+
+  EXPECT_EQ(snap.config.num_levels, model_->config().num_levels);
+  EXPECT_EQ(snap.config.smoothing, model_->config().smoothing);
+  EXPECT_EQ(snap.config.transitions, model_->config().transitions);
+  EXPECT_EQ(snap.schema.num_features(), dataset_->schema().num_features());
+  EXPECT_EQ(snap.items.num_items(), dataset_->items().num_items());
+
+  // Every component's parameter vector survives bit for bit.
+  for (int f = 0; f < model_->num_features(); ++f) {
+    for (int s = 1; s <= model_->num_levels(); ++s) {
+      EXPECT_TRUE(BitwiseEqual(snap.model.component(f, s).Parameters(),
+                               model_->component(f, s).Parameters()))
+          << "feature " << f << " level " << s;
+    }
+  }
+  // Item feature columns and names survive.
+  for (int f = 0; f < snap.schema.num_features(); ++f) {
+    const auto col = snap.items.column(f);
+    const auto original = dataset_->items().column(f);
+    ASSERT_EQ(col.size(), original.size());
+    EXPECT_EQ(std::memcmp(col.data(), original.data(),
+                          col.size() * sizeof(double)),
+              0);
+  }
+  for (ItemId i = 0; i < snap.items.num_items(); ++i) {
+    EXPECT_EQ(snap.items.name(i), dataset_->items().name(i));
+  }
+  EXPECT_TRUE(BitwiseEqual(snap.difficulty, difficulty_));
+  ASSERT_TRUE(snap.has_transitions);
+  EXPECT_TRUE(BitwiseEqual(snap.transitions.log_initial,
+                           transitions_.log_initial));
+  EXPECT_EQ(snap.transitions.log_stay, transitions_.log_stay);
+  EXPECT_EQ(snap.transitions.log_up, transitions_.log_up);
+
+  // The strongest single check: the derived scoring surface is identical.
+  EXPECT_TRUE(BitwiseEqual(snap.model.ItemLogProbCache(snap.items),
+                           model_->ItemLogProbCache(dataset_->items())));
+}
+
+TEST_F(SnapshotTest, SnapshotModelAssignsIdenticallyToCsvModel) {
+  // CSV path: Save + Load (the interchange format)...
+  const std::string csv = path_ + ".csv";
+  ASSERT_TRUE(model_->Save(csv).ok());
+  const auto csv_model =
+      SkillModel::Load(csv, dataset_->schema(), model_->config());
+  ASSERT_TRUE(csv_model.ok());
+  // ...snapshot path: LoadSnapshot (the serving format).
+  const auto snap = LoadSnapshot(path_);
+  ASSERT_TRUE(snap.ok());
+
+  double ll_csv = 0.0;
+  double ll_snap = 0.0;
+  const SkillAssignments from_csv =
+      AssignSkills(*dataset_, csv_model.value(), nullptr, {}, &ll_csv);
+  const SkillAssignments from_snap =
+      AssignSkills(*dataset_, snap.value().model, nullptr, {}, &ll_snap);
+  EXPECT_EQ(from_csv, from_snap);
+  EXPECT_EQ(ll_csv, ll_snap);
+  std::filesystem::remove(csv);
+}
+
+TEST_F(SnapshotTest, RejectsCorruptedPayload) {
+  std::string bytes = ReadBytes();
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  WriteBytes(bytes);
+  const auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  const std::string bytes = ReadBytes();
+  // Truncated payload.
+  WriteBytes(bytes.substr(0, bytes.size() - 9));
+  EXPECT_FALSE(LoadSnapshot(path_).ok());
+  // Truncated inside the header.
+  WriteBytes(bytes.substr(0, 11));
+  EXPECT_FALSE(LoadSnapshot(path_).ok());
+  // Empty file.
+  WriteBytes("");
+  EXPECT_FALSE(LoadSnapshot(path_).ok());
+}
+
+TEST_F(SnapshotTest, RejectsBadMagicAndUnknownVersion) {
+  std::string bytes = ReadBytes();
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  WriteBytes(bad_magic);
+  ASSERT_FALSE(LoadSnapshot(path_).ok());
+
+  std::string bad_version = bytes;
+  bad_version[8] = static_cast<char>(0xEF);  // version u32 at offset 8
+  WriteBytes(bad_version);
+  const auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, MissingFileFails) {
+  EXPECT_FALSE(LoadSnapshot(path_ + ".does-not-exist").ok());
+}
+
+TEST_F(SnapshotTest, MakeSnapshotValidatesDifficultyCoverage) {
+  std::vector<double> short_table(difficulty_.begin(),
+                                  difficulty_.end() - 1);
+  EXPECT_FALSE(
+      MakeSnapshot(*model_, dataset_->items(), short_table).ok());
+}
+
+TEST_F(SnapshotTest, ServingModelMatchesBatchCache) {
+  const auto model = ServingModel::FromSnapshotFile(path_);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_TRUE(BitwiseEqual(model.value()->item_log_probs(),
+                           model_->ItemLogProbCache(dataset_->items())));
+  EXPECT_EQ(model.value()->num_levels(), model_->num_levels());
+  EXPECT_EQ(model.value()->num_items(), dataset_->items().num_items());
+  ASSERT_NE(model.value()->transitions(), nullptr);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace upskill

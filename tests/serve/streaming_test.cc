@@ -1,0 +1,147 @@
+// Streaming-vs-batch equivalence: after every observed action, the level
+// reported by the O(S) forward-column update (MonotoneForwardStart / Step /
+// Level) must equal the tail level of re-running the full batch assignment
+// DP on the prefix observed so far — for the plain monotone DP, the
+// transition-weighted DP, and the forgetting-weighted DP, on randomized
+// datasets. This is the invariant that makes the serving layer's per-user
+// state O(S) instead of O(n).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/dp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+
+namespace upskill {
+namespace {
+
+class StreamingEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::SyntheticConfig config;
+    config.num_users = 40;
+    config.num_items = 90;
+    config.mean_sequence_length = 35.0;
+    config.seed = 555;
+    auto data = datagen::GenerateSynthetic(config);
+    ASSERT_TRUE(data.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(data).value().dataset);
+
+    SkillModelConfig model_config;
+    model_config.num_levels = 5;
+    model_config.min_init_actions = 20;
+    model_config.max_iterations = 6;
+    auto trained = Trainer(model_config).Train(*dataset_);
+    ASSERT_TRUE(trained.ok());
+    model_ = std::make_unique<SkillModel>(std::move(trained).value().model);
+    log_probs_ = model_->ItemLogProbCache(dataset_->items());
+    num_levels_ = model_->num_levels();
+    transitions_ = FitTransitionWeights(AssignSkills(*dataset_, *model_),
+                                        num_levels_, model_config.smoothing);
+  }
+
+  // Feeds user `u`'s sequence one action at a time through the forward
+  // column and checks the streamed level against the batch DP tail on each
+  // prefix. `log_initial` empty + zero costs = the plain monotone DP;
+  // `gap_threshold >= 0` additionally opens forgetting down-edges.
+  void CheckUser(UserId u, std::span<const double> log_initial,
+                 double log_stay, double log_up, bool forgetting,
+                 int64_t gap_threshold, double log_down) {
+    const std::vector<Action>& seq = dataset_->sequence(u);
+    const size_t levels = static_cast<size_t>(num_levels_);
+    std::vector<double> column(levels);
+    std::vector<double> next(levels);
+    std::vector<int32_t> prefix_items;
+    std::vector<uint8_t> allow_down;
+    DpScratch scratch;
+
+    for (size_t n = 0; n < seq.size(); ++n) {
+      const ItemId item = seq[n].item;
+      const std::span<const double> item_row(
+          log_probs_.data() + static_cast<size_t>(item) * levels, levels);
+      if (n == 0) {
+        MonotoneForwardStart(item_row, log_initial, column);
+      } else {
+        const bool down =
+            forgetting && (seq[n].time - seq[n - 1].time) > gap_threshold;
+        allow_down.push_back(down ? 1 : 0);
+        MonotoneForwardStep(column, item_row, log_stay, log_up, down,
+                            log_down, next);
+        std::swap(column, next);
+      }
+      prefix_items.push_back(item);
+
+      // Batch DP over the prefix observed so far.
+      if (forgetting) {
+        SolveMonotonePathItemsWithForgetting(
+            log_probs_, prefix_items, num_levels_, log_initial, log_stay,
+            log_up, allow_down, log_down, scratch);
+      } else {
+        SolveMonotonePathItems(log_probs_, prefix_items, num_levels_,
+                               log_initial, log_stay, log_up, scratch);
+      }
+      ASSERT_EQ(MonotoneForwardLevel(column), scratch.levels.back())
+          << "user " << u << " action " << n;
+    }
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<SkillModel> model_;
+  std::vector<double> log_probs_;
+  int num_levels_ = 0;
+  TransitionWeights transitions_;
+};
+
+TEST_F(StreamingEquivalenceTest, PlainDpMatchesBatchTailOnEveryPrefix) {
+  for (UserId u = 0; u < dataset_->num_users(); ++u) {
+    CheckUser(u, {}, 0.0, 0.0, /*forgetting=*/false, 0, 0.0);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, TransitionWeightedMatchesBatchTail) {
+  for (UserId u = 0; u < dataset_->num_users(); ++u) {
+    CheckUser(u, transitions_.log_initial, transitions_.log_stay,
+              transitions_.log_up, /*forgetting=*/false, 0, 0.0);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, ForgettingWeightedMatchesBatchTail) {
+  const double log_down = std::log(0.05);
+  // A zero threshold opens the down-edge on every positive gap, the
+  // adversarial case for the streaming update.
+  for (UserId u = 0; u < dataset_->num_users(); ++u) {
+    CheckUser(u, transitions_.log_initial, transitions_.log_stay,
+              transitions_.log_up, /*forgetting=*/true, 0, log_down);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, SingleLevelModelStaysAtLevelOne) {
+  // S = 1 degenerates every rule (no up, no down, free stay); the forward
+  // column must still work.
+  std::vector<double> column(1);
+  std::vector<double> next(1);
+  const std::vector<double> row = {-2.5};
+  MonotoneForwardStart(row, {}, column);
+  EXPECT_EQ(MonotoneForwardLevel(column), 1);
+  MonotoneForwardStep(column, row, -0.1, -2.3, false, 0.0, next);
+  EXPECT_EQ(MonotoneForwardLevel(next), 1);
+  EXPECT_DOUBLE_EQ(next[0], -5.0);  // top-level self-transition is free
+}
+
+TEST_F(StreamingEquivalenceTest, TiesResolveToLowestLevel) {
+  // Identical scores at every level: the batch backtrack picks the lowest
+  // level, and so must the streamed argmax.
+  std::vector<double> column(4, -1.0);
+  EXPECT_EQ(MonotoneForwardLevel(column), 1);
+  column[2] = -0.5;
+  EXPECT_EQ(MonotoneForwardLevel(column), 3);
+  column[1] = -0.5;
+  EXPECT_EQ(MonotoneForwardLevel(column), 2);
+}
+
+}  // namespace
+}  // namespace upskill
