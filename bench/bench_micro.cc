@@ -7,10 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/difficulty.h"
+#include "exec/shard.h"
 #include "core/dp.h"
 #include "core/posterior.h"
 #include "core/recommend.h"
@@ -247,10 +250,44 @@ void BM_AssignSkills(benchmark::State& state) {
     benchmark::DoNotOptimize(
         engine.Assign(trained.model, cache, nullptr, pool.get(), parallel));
   }
+  state.counters["threads"] = threads;
+  state.counters["shards"] = exec::ResolveShardCount(
+      0, pool.get(), static_cast<size_t>(dataset.num_users()));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(dataset.num_actions()));
 }
 BENCHMARK(BM_AssignSkills)->Arg(1)->Arg(8);
+
+// Thread x shard sweep over the same fused pass: registered dynamically
+// in main() for every thread count in UPSKILL_BENCH_THREADS (see
+// scripts/bench.sh --threads) crossed with shard counts {1, 4, 16}.
+// Results are bitwise identical across the whole grid; only throughput
+// moves.
+void AssignSkillsSharded(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const Dataset& dataset = data.dataset;
+  const int threads = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  ParallelOptions parallel;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    parallel.num_threads = threads;
+    parallel.users = true;
+  }
+  const std::vector<double> cache =
+      trained.model.ItemLogProbCache(dataset.items());
+  AssignmentEngine engine(dataset, trained.model.num_levels(), shards);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Assign(trained.model, cache, nullptr, pool.get(), parallel));
+  }
+  state.counters["threads"] = threads;
+  state.counters["shards"] = shards;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.num_actions()));
+}
 
 // Steady-state incremental pass: the update step left most items' cache
 // rows untouched (here: 1% of items flagged dirty, the late-training
@@ -313,10 +350,47 @@ void BM_FitParameters(benchmark::State& state) {
     FitParameters(data.dataset, trained.assignments, &model, pool.get(),
                   parallel);
   }
+  state.counters["threads"] = threads;
+  state.counters["shards"] = exec::ResolveShardCount(
+      0, pool.get(), static_cast<size_t>(data.dataset.num_users()));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(data.dataset.num_actions()));
 }
 BENCHMARK(BM_FitParameters)->Arg(1)->Arg(8);
+
+// Thread x shard sweep over the update step, sharing one ExecContext
+// across iterations like Trainer::Train does (registered in main(), same
+// grid as AssignSkillsSharded).
+void FitParametersSharded(benchmark::State& state) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const int threads = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  ParallelOptions parallel;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    parallel.num_threads = threads;
+    parallel.levels = true;
+    parallel.features = true;
+  }
+  SkillModelConfig config = trained.model.config();
+  config.num_shards = shards;
+  auto model = SkillModel::Create(trained.model.schema(), config);
+  if (!model.ok()) {
+    state.SkipWithError("SkillModel::Create failed");
+    return;
+  }
+  exec::ExecContext context;
+  for (auto _ : state) {
+    FitParameters(data.dataset, trained.assignments, &model.value(),
+                  pool.get(), parallel, &context);
+  }
+  state.counters["threads"] = threads;
+  state.counters["shards"] = shards;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
 
 void BM_FitParametersReference(benchmark::State& state) {
   const auto& data = PipelineData();
@@ -442,7 +516,43 @@ void BM_FfmEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_FfmEpoch);
 
+// Thread counts for the sharded sweeps: a space-separated list in
+// UPSKILL_BENCH_THREADS (exported by scripts/bench.sh --threads),
+// defaulting to {1, 8} to match the static benches.
+std::vector<int> SweepThreadCounts() {
+  std::vector<int> threads;
+  if (const char* env = std::getenv("UPSKILL_BENCH_THREADS")) {
+    std::istringstream in(env);
+    int value = 0;
+    while (in >> value) {
+      if (value > 0) threads.push_back(value);
+    }
+  }
+  if (threads.empty()) threads = {1, 8};
+  return threads;
+}
+
+void RegisterShardedSweeps() {
+  for (const int threads : SweepThreadCounts()) {
+    for (const int shards : {1, 4, 16}) {
+      benchmark::RegisterBenchmark("BM_AssignSkillsSharded",
+                                   AssignSkillsSharded)
+          ->Args({threads, shards});
+      benchmark::RegisterBenchmark("BM_FitParametersSharded",
+                                   FitParametersSharded)
+          ->Args({threads, shards});
+    }
+  }
+}
+
 }  // namespace
 }  // namespace upskill
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  upskill::RegisterShardedSweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,22 +2,43 @@
 # Records a benchmark suite from a dedicated Release build.
 #
 # Usage: scripts/bench.sh [PR_NUMBER] [SUITE] [BENCHMARK_FILTER]
+#                         [--threads "T1 T2 ..."]
 #
 #   SUITE is `micro` (bench_micro: training/eval kernels) or `serve`
 #   (bench_serve: snapshot IO, streaming observe, BM_ServeThroughput).
+#
+#   --threads sweeps the sharded micro benches (BM_AssignSkillsSharded,
+#   BM_FitParametersSharded) over the given thread counts; each emitted
+#   entry records its thread and shard count in the `threads` / `shards`
+#   counters. Default sweep is "1 8".
 #
 # Produces BENCH_PR<N>.json at the repo root (google-benchmark JSON,
 # includes build context). Always benchmarks a -DCMAKE_BUILD_TYPE=Release
 # tree in build-bench/, independent of whatever ./build currently holds —
 # BENCH_PR1.json was recorded from a debug build and is superseded by the
 # Release rerecording in BENCH_PR2.json; BENCH_PR3.json records the serve
-# suite.
+# suite; BENCH_PR4.json rerecords micro with the thread x shard sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR_NUMBER="${1:-3}"
-SUITE="${2:-serve}"
+THREADS=""
+POSITIONAL=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threads)
+      [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
+      THREADS="$2"; shift 2 ;;
+    --threads=*)
+      THREADS="${1#--threads=}"; shift ;;
+    *)
+      POSITIONAL+=("$1"); shift ;;
+  esac
+done
+set -- "${POSITIONAL[@]:-}"
+
+PR_NUMBER="${1:-4}"
+SUITE="${2:-micro}"
 FILTER="${3:-}"
 BUILD_DIR=build-bench
 OUT="BENCH_PR${PR_NUMBER}.json"
@@ -34,6 +55,9 @@ cmake --build "$BUILD_DIR" --target "bench_${SUITE}" -j "$(nproc)"
 ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
 if [[ -n "$FILTER" ]]; then
   ARGS+=(--benchmark_filter="$FILTER")
+fi
+if [[ -n "$THREADS" ]]; then
+  export UPSKILL_BENCH_THREADS="$THREADS"
 fi
 "./$BUILD_DIR/bench/bench_${SUITE}" "${ARGS[@]}"
 

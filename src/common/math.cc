@@ -8,9 +8,26 @@
 
 namespace upskill {
 
+namespace {
+
+// std::lgamma writes the process-global `signgam`, which is a data race
+// when batched log-prob kernels fan out across threads. Use the
+// reentrant form where available; the sign is discarded (callers require
+// x > 0, where gamma(x) > 0).
+double ThreadSafeLogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double LogGamma(double x) {
   UPSKILL_CHECK(x > 0.0);
-  return std::lgamma(x);
+  return ThreadSafeLogGamma(x);
 }
 
 double Digamma(double x) {
@@ -62,7 +79,7 @@ double LogFactorial(long long k) {
     return table;
   }();
   if (k < kTableSize) return kTable[static_cast<size_t>(k)];
-  return std::lgamma(static_cast<double>(k) + 1.0);
+  return ThreadSafeLogGamma(static_cast<double>(k) + 1.0);
 }
 
 double LogSumExp(std::span<const double> values) {

@@ -8,6 +8,8 @@
 #include "common/math.h"
 #include "core/dp.h"
 #include "core/trainer.h"
+#include "exec/map_reduce.h"
+#include "exec/workspace.h"
 
 namespace upskill {
 
@@ -54,13 +56,20 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   ThreadPool* user_pool =
       (config_.model.parallel.users && pool != nullptr) ? pool.get() : nullptr;
 
+  // One sharded-execution context for the run: the E-step, the hard
+  // readout, and the update step's count sweep share the same user-axis
+  // shard plan and per-shard workspaces (forward/backward arenas, DP
+  // arenas) across all iterations.
+  exec::ExecContext exec_context;
+  exec_context.EnsureUserShards(dataset, config_.model.num_shards, pool.get());
+
   // Initialization: same uniform-segmentation hard fit as the hard
   // trainer, so the two are directly comparable.
   {
     const SkillAssignments init = InitializeAssignments(
         dataset, S, config_.model.min_init_actions);
     FitParameters(dataset, init, &result.model, pool.get(),
-                  config_.model.parallel);
+                  config_.model.parallel, &exec_context);
   }
   result.initial_distribution.assign(levels, 1.0 / static_cast<double>(S));
   result.level_up_probability = config_.initial_level_up_probability;
@@ -72,6 +81,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   std::vector<double> per_user_ups(static_cast<size_t>(dataset.num_users()));
   std::vector<double> per_user_stays(
       static_cast<size_t>(dataset.num_users()));
+  std::vector<double> masked_ll(static_cast<size_t>(dataset.num_users()));
   std::vector<double> initial_counts(levels);
 
   // Persistent across iterations: only cells whose parameters changed in
@@ -92,15 +102,22 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
     const double log_up = std::log(result.level_up_probability);
     const double log_stay = std::log(1.0 - result.level_up_probability);
 
-    // ---- E-step: forward-backward per user. --------------------------
-    ParallelFor(user_pool, 0, static_cast<size_t>(dataset.num_users()),
-                [&](size_t u) {
-      const std::vector<Action>& seq =
-          dataset.sequence(static_cast<UserId>(u));
+    // ---- E-step: forward-backward per user, one task per user shard.
+    // Each shard's workspace keeps the forward/backward arenas alive
+    // across users and iterations; all outputs (gamma, the per-user
+    // ll/ups/stays vectors) are written at user granularity, so nothing
+    // depends on which thread ran which shard.
+    exec::MapShards(user_pool, exec_context.num_shards(), [&](int shard_index) {
+      const exec::DatasetShard& shard =
+          exec_context.shards()[static_cast<size_t>(shard_index)];
+      exec::ShardWorkspace& ws = exec_context.workspace(shard_index);
+      for (UserId user = shard.user_begin(); user < shard.user_end(); ++user) {
+      const size_t u = static_cast<size_t>(user);
+      const std::vector<Action>& seq = shard.sequence(user);
       per_user_ll[u] = 0.0;
       per_user_ups[u] = 0.0;
       per_user_stays[u] = 0.0;
-      if (seq.empty()) return;
+      if (seq.empty()) continue;
       const size_t n = seq.size();
       auto lp = [&](size_t t, size_t s) {
         return cache[static_cast<size_t>(seq[t].item) * levels + s];
@@ -110,8 +127,10 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
         return s + 1 < levels ? log_stay : 0.0;
       };
 
-      std::vector<double> alpha(n * levels);
-      std::vector<double> beta(n * levels);
+      ws.alpha.resize(n * levels);
+      ws.beta.resize(n * levels);
+      std::vector<double>& alpha = ws.alpha;
+      std::vector<double>& beta = ws.beta;
       for (size_t s = 0; s < levels; ++s) {
         alpha[s] = log_initial[s] + lp(0, s);
       }
@@ -151,7 +170,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
         // Sequence impossible under the current parameters (can happen
         // with zero smoothing); contribute nothing this round.
         std::fill(user_gamma, user_gamma + n * levels, 0.0);
-        return;
+        continue;
       }
       for (size_t t = 0; t < n; ++t) {
         for (size_t s = 0; s < levels; ++s) {
@@ -171,12 +190,17 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
           per_user_ups[u] += std::exp(up - log_z);
         }
       }
+      }
     });
 
-    double ll = 0.0;
-    for (double user_ll : per_user_ll) {
-      if (std::isfinite(user_ll)) ll += user_ll;
+    // Mask non-finite per-user terms to zero, then reduce with the fixed
+    // per-user tree: the objective is a pure function of the per-user
+    // values in index order — bitwise identical for any thread count and
+    // any shard count.
+    for (size_t u = 0; u < per_user_ll.size(); ++u) {
+      masked_ll[u] = std::isfinite(per_user_ll[u]) ? per_user_ll[u] : 0.0;
     }
+    const double ll = exec::ReduceOrderedSum(masked_ll);
     result.log_likelihood_trace.push_back(ll);
     result.iterations = iteration + 1;
     result.final_log_likelihood = ll;
@@ -195,7 +219,10 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
     previous_ll = ll;
 
     // ---- M-step. ------------------------------------------------------
-    // Initial distribution from first-action posteriors.
+    // Initial distribution from first-action posteriors. Intentionally
+    // serial: S accumulators over a float (not exact-integer) stream, so
+    // sharding it would change summation order with the shard count. One
+    // read per user is cheap next to the E-step anyway.
     std::fill(initial_counts.begin(), initial_counts.end(), 0.0);
     for (UserId u = 0; u < dataset.num_users(); ++u) {
       if (dataset.sequence(u).empty()) continue;
@@ -213,14 +240,13 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
              config_.model.smoothing * static_cast<double>(S));
       }
     }
-    // Level-up probability from expected transition counts.
+    // Level-up probability from expected transition counts, reduced with
+    // the same fixed per-user tree as the objective. (Below
+    // kReduceLeafElements users this matches the old serial sum bitwise;
+    // above it the reassociation is deterministic.)
     if (config_.learn_transitions) {
-      double ups = 0.0;
-      double stays = 0.0;
-      for (UserId u = 0; u < dataset.num_users(); ++u) {
-        ups += per_user_ups[static_cast<size_t>(u)];
-        stays += per_user_stays[static_cast<size_t>(u)];
-      }
+      const double ups = exec::ReduceOrderedSum(per_user_ups);
+      const double stays = exec::ReduceOrderedSum(per_user_stays);
       if (ups + stays > 0.0) {
         result.level_up_probability =
             std::clamp(ups / (ups + stays), kMinTransitionProb,
@@ -230,9 +256,16 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
     // Emission components: weighted sufficient-statistics refits. One pass
     // over the actions per feature feeds all S level statistics at once
     // (gamma rows are action-major), replacing the former dense
-    // value/weight buffer copies.
+    // value/weight buffer copies. Each feature's pass is intentionally
+    // serial in global action order — the gamma-weighted sums are inexact,
+    // so sharding the user axis here would make the fitted parameters
+    // depend on the shard count. Parallelism comes from the feature axis
+    // only (independent components, disjoint writes).
     const int num_features = result.model.num_features();
-    for (int f = 0; f < num_features; ++f) {
+    ThreadPool* feature_pool =
+        (config_.model.parallel.features && pool != nullptr) ? pool.get()
+                                                             : nullptr;
+    exec::MapShards(feature_pool, num_features, [&](int f) {
       const double* column = dataset.items().column(f).data();
       std::vector<SufficientStats> stats(
           levels, result.model.component(f, 1).MakeStats());
@@ -251,7 +284,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
           result.model.mutable_component(f, s)->FitFromStats(cell);
         }
       }
-    }
+    });
   }
 
   // Hard readout with the learned transition weights.
@@ -264,27 +297,28 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   log_prob_cache.Update(result.model, dataset.items(), user_pool);
   const std::vector<double>& cache = log_prob_cache.values();
   result.assignments.resize(static_cast<size_t>(dataset.num_users()));
-  // Fused item-indexed DP with one scratch arena per thread slot: no
-  // per-user n×S materialization of the cache.
-  std::vector<DpScratch> scratch_slots(
-      static_cast<size_t>(ParallelMaxSlots(user_pool)));
-  ParallelForChunked(
-      user_pool, 0, static_cast<size_t>(dataset.num_users()),
-      [&](int slot, size_t begin, size_t end) {
-        DpScratch& scratch = scratch_slots[static_cast<size_t>(slot)];
-        for (size_t u = begin; u < end; ++u) {
-          const std::vector<Action>& seq =
-              dataset.sequence(static_cast<UserId>(u));
-          scratch.items.resize(seq.size());
-          for (size_t t = 0; t < seq.size(); ++t) {
-            scratch.items[t] = seq[t].item;
-          }
-          SolveMonotonePathItems(cache, scratch.items, S, log_initial,
-                                 log_stay, log_up, scratch);
-          result.assignments[u].assign(scratch.levels.begin(),
-                                       scratch.levels.end());
-        }
-      });
+  // Fused item-indexed DP over the same user shards as the E-step, each
+  // reusing its shard workspace's DP arena: no per-user n×S
+  // materialization of the cache. (Deliberately NOT routed through
+  // AssignmentEngine::Assign — the engine honors the forgetting config,
+  // which the EM E-step ignores; the readout must score the exact model
+  // EM fitted.)
+  exec::MapShards(user_pool, exec_context.num_shards(), [&](int shard_index) {
+    const exec::DatasetShard& shard =
+        exec_context.shards()[static_cast<size_t>(shard_index)];
+    exec::ShardWorkspace& ws = exec_context.workspace(shard_index);
+    for (UserId user = shard.user_begin(); user < shard.user_end(); ++user) {
+      const std::vector<Action>& seq = shard.sequence(user);
+      ws.dp.items.resize(seq.size());
+      for (size_t t = 0; t < seq.size(); ++t) {
+        ws.dp.items[t] = seq[t].item;
+      }
+      SolveMonotonePathItems(cache, ws.dp.items, S, log_initial, log_stay,
+                             log_up, ws.dp);
+      result.assignments[static_cast<size_t>(user)].assign(
+          ws.dp.levels.begin(), ws.dp.levels.end());
+    }
+  });
   return result;
 }
 

@@ -162,6 +162,10 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
   item_dirty_.assign(num_items, reshaped ? 1 : 0);
   if (dirty_cells.empty() || num_items == 0) return;
 
+  // Raw ParallelFor on purpose (parallelism audit): the cache is indexed
+  // by (cell, item-block) — not by user — so the exec-layer user shards
+  // don't apply; every task writes a disjoint column slice and no floats
+  // are reduced across tasks, so scheduling cannot affect the values.
   const size_t blocks = (num_items + kCacheBlock - 1) / kCacheBlock;
   ParallelFor(pool, 0, dirty_cells.size() * blocks, [&](size_t task) {
     const size_t cell = dirty_cells[task / blocks];
@@ -184,6 +188,8 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
   // per-item dirty flags are written race-free; comparing the rebuilt
   // total against the stored one is what refines cell-level dirt down to
   // item granularity for the assignment step's dirty-user skipping.
+  // Raw ParallelFor on purpose (parallelism audit): item-block indexed,
+  // per-item serial feature sums — thread count cannot move a rounding.
   ParallelFor(pool, 0, blocks, [&](size_t block) {
     const size_t begin = block * kCacheBlock;
     const size_t end = std::min(num_items, begin + kCacheBlock);

@@ -84,6 +84,14 @@ struct SkillModelConfig {
   int num_progression_classes = 2;
   /// Skill-decay extension (see ForgettingConfig).
   ForgettingConfig forgetting;
+  /// Number of user-axis shards for the sharded execution core
+  /// (src/exec): the dataset's user range is cut into this many
+  /// contiguous, action-count-balanced runs, each with its own persistent
+  /// workspace. 0 resolves automatically from the thread count. Fitted
+  /// parameters, assignments, and objectives are bitwise identical for
+  /// ANY value — sharding only changes scheduling, never reduction order
+  /// (see DESIGN.md, "Sharded execution core").
+  int num_shards = 0;
   /// Dirty-user skipping in the assignment step: when the transition
   /// weights are unchanged for an iteration, users none of whose items'
   /// cache rows changed keep their previous path without re-running the

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/dp.h"
+#include "exec/map_reduce.h"
+#include "exec/shard.h"
 
 namespace upskill {
 
@@ -62,6 +64,10 @@ constexpr size_t kMinItemsForParallelTransform = 65536;
 // selected by ParallelOptions: both axes flat, one axis with the other
 // nested inside the task, or fully sequential. Mirrors the paper's
 // separate "skill" and "feature" parallelization conditions.
+// Raw ParallelFor on purpose (parallelism audit): cell-indexed, not
+// user-indexed — each cell refits its own component (disjoint writes)
+// from an already-merged count grid, so the exec-layer user shards don't
+// apply and scheduling cannot affect the fitted parameters.
 template <typename FitCell>
 void DispatchCells(ThreadPool* pool, ParallelOptions parallel, int num_levels,
                    int num_features, const FitCell& fit_cell) {
@@ -119,7 +125,7 @@ bool SameClasses(const std::vector<ProgressionClassWeights>& a,
 
 void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
                    SkillModel* model, ThreadPool* pool,
-                   ParallelOptions parallel) {
+                   ParallelOptions parallel, exec::ExecContext* exec_context) {
   UPSKILL_CHECK(model != nullptr);
   const int num_levels = model->num_levels();
   const int num_features = model->num_features();
@@ -132,22 +138,22 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
   // either axis.
   ThreadPool* update_pool =
       (parallel.levels || parallel.features) ? pool : nullptr;
-  const int max_slots = ParallelMaxSlots(update_pool);
 
   // Hard assignments weight every action equally, so the only thing the
   // statistics need from the action stream is how many actions each
   // (level, item) pair received: the cell statistic for feature f at level
   // s is the count-weighted sum of f's per-item transforms. Pass 1 builds
-  // that count grid in one sweep over the actions; per-slot grids are safe
-  // under dynamic chunking because the counts are exact integer sums in
-  // doubles — order-independent — so the merged grid (and everything
-  // derived from it) is bitwise identical for any thread count.
-  // Slot 0 (the calling thread) writes the final grid directly; other
-  // slots get scratch grids that are merged in afterwards, so the serial
-  // path allocates and merges nothing extra. Fanning out costs one zeroed
-  // grid plus one merged grid per extra slot — O(grid) each — so it only
-  // pays when every potential slot's share of the action stream exceeds
-  // the grid itself.
+  // that count grid in one sweep over the actions, sharded on the user
+  // axis through the ExecContext (the caller's, so one training run keeps
+  // a single plan and workspace set, or a call-local one). Per-shard grids
+  // are safe because the counts are exact integer sums in doubles —
+  // order-independent — so the merged grid (and everything derived from
+  // it) is bitwise identical for any thread count and any shard count.
+  // Shard 0 writes the final grid directly; other shards fill their
+  // workspace grid, merged in fixed shard order afterwards. Fanning out
+  // costs one zeroed plus one merged grid per extra shard — O(grid) each —
+  // so it only pays when every shard's share of the action stream exceeds
+  // the grid itself; otherwise a plain serial sweep runs.
   const size_t grid_size = levels_sz * num_items;
   size_t total_actions = 0;
   for (UserId u = 0; u < dataset.num_users(); ++u) {
@@ -155,46 +161,51 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
       total_actions += dataset.sequence(u).size();
     }
   }
+  exec::ExecContext local_context;
+  exec::ExecContext& ctx =
+      exec_context != nullptr ? *exec_context : local_context;
+  ctx.EnsureUserShards(dataset, model->config().num_shards, update_pool);
+  const int num_shards = ctx.num_shards();
   ThreadPool* count_pool =
-      total_actions >= grid_size * static_cast<size_t>(max_slots)
+      total_actions >= grid_size * static_cast<size_t>(num_shards)
           ? update_pool
           : nullptr;
   std::vector<double> level_counts(grid_size, 0.0);
-  std::vector<std::vector<double>> slot_counts(
-      static_cast<size_t>(ParallelMaxSlots(count_pool)));
-  ParallelForChunked(
-      count_pool, 0, static_cast<size_t>(dataset.num_users()),
-      [&](int slot, size_t user_begin, size_t user_end) {
-        double* counts = level_counts.data();
-        if (slot != 0) {
-          std::vector<double>& scratch =
-              slot_counts[static_cast<size_t>(slot)];
-          if (scratch.empty()) scratch.assign(grid_size, 0.0);
-          counts = scratch.data();
-        }
-        for (size_t u = user_begin; u < user_end; ++u) {
-          const std::vector<int>& levels = assignments[u];
-          if (levels.empty()) continue;  // excluded (initialization)
-          const std::vector<Action>& seq =
-              dataset.sequence(static_cast<UserId>(u));
-          UPSKILL_CHECK(levels.size() == seq.size());
-          for (size_t n = 0; n < seq.size(); ++n) {
-            counts[static_cast<size_t>(levels[n] - 1) * num_items +
-                   static_cast<size_t>(seq[n].item)] += 1.0;
-          }
-        }
-      });
-  const bool any_scratch =
-      std::any_of(slot_counts.begin(), slot_counts.end(),
-                  [](const std::vector<double>& s) { return !s.empty(); });
-  if (any_scratch) {
+  const auto accumulate_users = [&](double* counts, UserId begin, UserId end) {
+    for (UserId user = begin; user < end; ++user) {
+      const std::vector<int>& levels = assignments[static_cast<size_t>(user)];
+      if (levels.empty()) continue;  // excluded (initialization)
+      const std::vector<Action>& seq = dataset.sequence(user);
+      UPSKILL_CHECK(levels.size() == seq.size());
+      for (size_t n = 0; n < seq.size(); ++n) {
+        counts[static_cast<size_t>(levels[n] - 1) * num_items +
+               static_cast<size_t>(seq[n].item)] += 1.0;
+      }
+    }
+  };
+  if (count_pool == nullptr) {
+    accumulate_users(level_counts.data(), 0, dataset.num_users());
+  } else {
+    exec::MapShards(count_pool, num_shards, [&](int shard_index) {
+      const exec::DatasetShard& shard =
+          ctx.shards()[static_cast<size_t>(shard_index)];
+      double* counts = level_counts.data();
+      if (shard_index != 0) {
+        exec::ShardWorkspace& ws = ctx.workspace(shard_index);
+        ws.grid.assign(grid_size, 0.0);
+        counts = ws.grid.data();
+      }
+      accumulate_users(counts, shard.user_begin(), shard.user_end());
+    });
+    // Merge the shard partials in fixed shard order, one level row per
+    // task (raw ParallelFor on purpose: level-indexed, disjoint rows,
+    // exact integer sums — order-independent either way).
     ParallelFor(update_pool, 0, levels_sz, [&](size_t s) {
       double* row = level_counts.data() + s * num_items;
-      for (const std::vector<double>& scratch : slot_counts) {
-        if (scratch.empty()) continue;
-        const double* slot_row = scratch.data() + s * num_items;
+      for (int k = 1; k < num_shards; ++k) {
+        const double* shard_row = ctx.workspace(k).grid.data() + s * num_items;
         for (size_t item = 0; item < num_items; ++item) {
-          row[item] += slot_row[item];
+          row[item] += shard_row[item];
         }
       }
     });
@@ -224,7 +235,9 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
     logs.resize(num_items);
     const double* column = items.column(f).data();
     // One log per item is light work; fan out only for large catalogs
-    // where the column transform outweighs the dispatch.
+    // where the column transform outweighs the dispatch. Raw ParallelFor
+    // on purpose (parallelism audit): item-indexed with one independent
+    // write per item — no reduction, no user axis.
     ThreadPool* column_pool =
         num_items >= kMinItemsForParallelTransform ? update_pool : nullptr;
     ParallelFor(column_pool, 0, num_items, [&](size_t item) {
@@ -291,12 +304,21 @@ void FitParametersReference(const Dataset& dataset,
   DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
 }
 
-AssignmentEngine::AssignmentEngine(const Dataset& dataset, int num_levels)
+AssignmentEngine::AssignmentEngine(const Dataset& dataset, int num_levels,
+                                   int num_shards,
+                                   exec::ExecContext* context)
     : dataset_(&dataset),
       num_levels_(num_levels),
+      num_shards_request_(num_shards),
       assignments_(static_cast<size_t>(dataset.num_users())),
       user_ll_(static_cast<size_t>(dataset.num_users()), 0.0),
-      user_classes_(static_cast<size_t>(dataset.num_users()), 0) {}
+      user_classes_(static_cast<size_t>(dataset.num_users()), 0),
+      context_(context) {
+  if (context_ == nullptr) {
+    owned_context_ = std::make_unique<exec::ExecContext>();
+    context_ = owned_context_.get();
+  }
+}
 
 void AssignmentEngine::EnsureInvertedIndex() {
   if (index_built_) return;
@@ -356,50 +378,51 @@ AssignmentStats AssignmentEngine::RunPass(
     }
   }
 
-  const int max_slots = ParallelMaxSlots(user_pool);
-  if (slot_scratch_.size() < static_cast<size_t>(max_slots)) {
-    slot_scratch_.resize(static_cast<size_t>(max_slots));
-  }
-  struct alignas(64) SlotCounters {
-    size_t skipped = 0;
-    size_t reassigned = 0;
-    bool changed = false;
-  };
-  std::vector<SlotCounters> counters(static_cast<size_t>(max_slots));
-  ParallelForChunked(
-      user_pool, 0, num_users, [&](int slot, size_t begin, size_t end) {
-        DpScratch& scratch = slot_scratch_[static_cast<size_t>(slot)];
-        SlotCounters& local = counters[static_cast<size_t>(slot)];
-        for (size_t u = begin; u < end; ++u) {
-          if (incremental && !user_dirty_[u]) {
-            ++local.skipped;
-            continue;
-          }
-          const double ll = solve_user(scratch, u);
-          ++local.reassigned;
-          std::vector<int>& current = assignments_[u];
-          if (!have_previous_ || scratch.levels != current) {
-            local.changed = true;
-            current.assign(scratch.levels.begin(), scratch.levels.end());
-          }
-          user_ll_[u] = ll;
-        }
-      });
+  // One MapShards task per balanced user shard; each task owns its
+  // shard's persistent workspace (DP arena + counters), so the loop body
+  // is lock-free and allocation-free in the steady state.
+  exec::ExecContext& ctx = *context_;
+  ctx.EnsureUserShards(*dataset_, num_shards_request_, user_pool);
+  const int num_shards = ctx.num_shards();
+  exec::MapShards(user_pool, num_shards, [&](int shard_index) {
+    const exec::DatasetShard& shard =
+        ctx.shards()[static_cast<size_t>(shard_index)];
+    exec::ShardWorkspace& ws = ctx.workspace(shard_index);
+    ws.skipped = 0;
+    ws.reassigned = 0;
+    ws.changed = false;
+    for (UserId user = shard.user_begin(); user < shard.user_end(); ++user) {
+      const size_t u = static_cast<size_t>(user);
+      if (incremental && !user_dirty_[u]) {
+        ++ws.skipped;
+        continue;
+      }
+      const double ll = solve_user(ws.dp, u);
+      ++ws.reassigned;
+      std::vector<int>& current = assignments_[u];
+      if (!have_previous_ || ws.dp.levels != current) {
+        ws.changed = true;
+        current.assign(ws.dp.levels.begin(), ws.dp.levels.end());
+      }
+      user_ll_[u] = ll;
+    }
+  });
 
   AssignmentStats stats;
   stats.changed = !have_previous_;
   stats.skipped_users = 0;
   stats.reassigned_users = 0;
-  for (const SlotCounters& local : counters) {
-    stats.skipped_users += local.skipped;
-    stats.reassigned_users += local.reassigned;
-    stats.changed = stats.changed || local.changed;
+  // Exact integer counters, gathered in fixed shard order.
+  for (int k = 0; k < num_shards; ++k) {
+    const exec::ShardWorkspace& ws = ctx.workspace(k);
+    stats.skipped_users += ws.skipped;
+    stats.reassigned_users += ws.reassigned;
+    stats.changed = stats.changed || ws.changed;
   }
-  // Fixed user-order reduction keeps the objective bitwise identical for
-  // any thread count (and to the pre-engine implementation).
-  double total = 0.0;
-  for (const double ll : user_ll_) total += ll;
-  stats.log_likelihood = total;
+  // Per-user fixed-shape tree reduction: the objective is a pure function
+  // of user_ll_ in index order — bitwise identical for any thread count
+  // and any shard count. Shard partials never enter a float sum.
+  stats.log_likelihood = exec::ReduceOrderedSum(user_ll_);
   have_previous_ = true;
   return stats;
 }
@@ -504,7 +527,8 @@ SkillAssignments AssignSkills(const Dataset& dataset, const SkillModel& model,
     computed = model.ItemLogProbCache(dataset.items(), user_pool);
     item_log_probs = &computed;
   }
-  AssignmentEngine engine(dataset, model.num_levels());
+  AssignmentEngine engine(dataset, model.num_levels(),
+                          model.config().num_shards);
   const AssignmentStats stats =
       engine.Assign(model, *item_log_probs, transitions, pool, parallel);
   if (total_log_likelihood != nullptr) {
@@ -525,7 +549,8 @@ SkillAssignments AssignSkillsWithClasses(
     computed = model.ItemLogProbCache(dataset.items(), user_pool);
     item_log_probs = &computed;
   }
-  AssignmentEngine engine(dataset, model.num_levels());
+  AssignmentEngine engine(dataset, model.num_levels(),
+                          model.config().num_shards);
   const AssignmentStats stats = engine.AssignWithClasses(
       model, *item_log_probs, classes, pool, parallel);
   if (total_log_likelihood != nullptr) {
@@ -606,13 +631,20 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
   TransitionWeights transition_weights;
   std::vector<ProgressionClassWeights> classes;
 
+  // One sharded-execution context for the whole run: the assignment
+  // engine and the update step's count sweep share the same user-axis
+  // shard plan and per-shard workspaces across all iterations.
+  exec::ExecContext exec_context;
+  exec_context.EnsureUserShards(dataset, config_.num_shards, pool.get());
+
   Stopwatch total_watch;
   // Initialization (Section IV-B): uniform segmentation of long sequences.
   {
     Stopwatch watch;
     const SkillAssignments init = InitializeAssignments(
         dataset, config_.num_levels, config_.min_init_actions);
-    FitParameters(dataset, init, &result.model, pool.get(), config_.parallel);
+    FitParameters(dataset, init, &result.model, pool.get(), config_.parallel,
+                  &exec_context);
     if (use_transitions) {
       transition_weights =
           FitTransitionWeights(init, config_.num_levels, config_.smoothing);
@@ -644,10 +676,11 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
   // (feature, level) cells whose parameters changed in the last update
   // step are recomputed (LogProbCache dirty tracking). The assignment
   // engine carries the previous iteration's paths, per-user likelihoods
-  // and per-slot DP arenas, and — fed the cache's per-item dirty flags —
+  // and per-shard DP arenas, and — fed the cache's per-item dirty flags —
   // skips the DP for users whose lattice is provably unchanged.
   LogProbCache log_prob_cache;
-  AssignmentEngine engine(dataset, config_.num_levels);
+  AssignmentEngine engine(dataset, config_.num_levels, config_.num_shards,
+                          &exec_context);
   ThreadPool* user_pool =
       (config_.parallel.users && pool != nullptr) ? pool.get() : nullptr;
 
@@ -702,7 +735,7 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     Stopwatch update_watch;
     const SkillAssignments& assignments = engine.assignments();
     FitParameters(dataset, assignments, &result.model, pool.get(),
-                  config_.parallel);
+                  config_.parallel, &exec_context);
     if (use_transitions) {
       TransitionWeights next = FitTransitionWeights(
           assignments, config_.num_levels, config_.smoothing);

@@ -2,6 +2,7 @@
 #define UPSKILL_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/dp.h"
 #include "core/skill_model.h"
 #include "data/dataset.h"
+#include "exec/workspace.h"
 
 namespace upskill {
 
@@ -111,10 +113,14 @@ SkillAssignments InitializeAssignments(const Dataset& dataset, int num_levels,
 /// are bitwise identical for any thread count (gamma/log-normal log-sums
 /// are reassociated relative to a flat loop, but deterministically so).
 /// Parallelizes the pass when `parallel` enables the level and/or feature
-/// axis.
+/// axis; the count sweep shards the user axis through `exec_context` (a
+/// shared one from Trainer::Train, or a call-local one) when the dataset
+/// is large enough, merging the exact per-shard count grids in fixed
+/// shard order — bitwise identical for any thread and shard count.
 void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
                    SkillModel* model, ThreadPool* pool = nullptr,
-                   ParallelOptions parallel = {});
+                   ParallelOptions parallel = {},
+                   exec::ExecContext* exec_context = nullptr);
 
 /// Reference implementation of the update step: groups item occurrences
 /// into per-level buckets, then copies each (feature, level) cell's values
@@ -166,8 +172,10 @@ struct AssignmentStats {
 
 /// Fused, arena-backed assignment step with incremental reassignment.
 /// Owns the state that makes repeated passes over one dataset cheap:
-///  - one DpScratch arena per thread slot (zero steady-state allocation;
-///    the user loop runs under ParallelForChunked);
+///  - an exec::ExecContext (borrowed from the caller or owned) whose
+///    per-shard workspaces hold the DP arenas — zero steady-state
+///    allocation; the user loop runs as exec::MapShards over the
+///    context's balanced user shards;
 ///  - the persistent assignments + per-user log-likelihoods of the
 ///    previous pass, so users untouched by the last update step carry
 ///    their path forward without re-running the DP;
@@ -175,11 +183,19 @@ struct AssignmentStats {
 ///    incremental pass) that maps LogProbCache::dirty_items() to the set
 ///    of users that must be re-solved.
 /// Results are bitwise identical to the one-shot AssignSkills* functions
-/// for any thread count and any skipping pattern. The dataset must
-/// outlive the engine and keep its sequences unchanged.
+/// for any thread count, any shard count, and any skipping pattern: the
+/// objective is reduced per-user by exec::ReduceOrderedSum, never from
+/// per-shard partials. The dataset must outlive the engine and keep its
+/// sequences unchanged.
 class AssignmentEngine {
  public:
-  AssignmentEngine(const Dataset& dataset, int num_levels);
+  /// `num_shards` <= 0 resolves automatically from the pool of the first
+  /// pass. `context` (optional) shares one ExecContext across drivers —
+  /// e.g. Trainer::Train hands the same context to the engine and
+  /// FitParameters so they reuse one shard plan and one workspace set.
+  explicit AssignmentEngine(const Dataset& dataset, int num_levels,
+                            int num_shards = 0,
+                            exec::ExecContext* context = nullptr);
 
   /// One assignment pass (Equation 4), plain or with global transition
   /// weights (`transitions` may be null). `dirty_items` enables skipping:
@@ -219,11 +235,14 @@ class AssignmentEngine {
 
   const Dataset* dataset_;
   int num_levels_;
+  int num_shards_request_;
   SkillAssignments assignments_;
   std::vector<double> user_ll_;
   std::vector<int> user_classes_;
   bool have_previous_ = false;
-  std::vector<DpScratch> slot_scratch_;
+  // Sharded-execution state: borrowed from the caller or owned here.
+  exec::ExecContext* context_;
+  std::unique_ptr<exec::ExecContext> owned_context_;
   // CSR item -> users index (each user listed once per item it selects).
   bool index_built_ = false;
   std::vector<size_t> item_user_offsets_;

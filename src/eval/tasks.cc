@@ -5,35 +5,61 @@
 #include <limits>
 
 #include "core/inference.h"
+#include "exec/map_reduce.h"
+#include "exec/shard.h"
 
 namespace upskill {
 namespace eval {
 
 Result<ItemPredictionReport> EvaluateItemPrediction(
     const Dataset& train, const SkillAssignments& assignments,
-    const SkillModel& model, const std::vector<HeldOutAction>& test, int k) {
+    const SkillModel& model, const std::vector<HeldOutAction>& test, int k,
+    ThreadPool* pool) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   ItemPredictionReport report;
+  report.reciprocal_ranks.assign(test.size(), 0.0);
+  // Test cases are independent and uniform-cost, so an equal-count plan
+  // over the case index space is right. Per-shard state is limited to
+  // things whose aggregation is exact (hit counts) or order-fixed
+  // (first error in shard order); the reciprocal ranks land per-case.
+  const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
+      test.size(), exec::ResolveShardCount(0, pool, test.size()));
+  const int num_shards = plan.num_shards();
+  std::vector<size_t> shard_hits(static_cast<size_t>(num_shards), 0);
+  std::vector<Status> shard_errors(static_cast<size_t>(num_shards),
+                                   Status::OK());
+  exec::MapShards(pool, num_shards, [&](int shard) {
+    const exec::IndexRange range = plan.range(shard);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const HeldOutAction& held = test[i];
+      const int level =
+          NearestActionLevel(train.sequence(held.user),
+                             assignments[static_cast<size_t>(held.user)],
+                             held.action.time);
+      Result<int> rank = ItemRankAtLevel(model, level, held.action.item);
+      if (!rank.ok()) {
+        shard_errors[static_cast<size_t>(shard)] = rank.status();
+        return;
+      }
+      if (rank.value() <= k) ++shard_hits[static_cast<size_t>(shard)];
+      report.reciprocal_ranks[i] = 1.0 / static_cast<double>(rank.value());
+    }
+  });
   size_t hits = 0;
-  double rr_sum = 0.0;
-  for (const HeldOutAction& held : test) {
-    const int level =
-        NearestActionLevel(train.sequence(held.user),
-                           assignments[static_cast<size_t>(held.user)],
-                           held.action.time);
-    Result<int> rank = ItemRankAtLevel(model, level, held.action.item);
-    if (!rank.ok()) return rank.status();
-    const double rr = 1.0 / static_cast<double>(rank.value());
-    if (rank.value() <= k) ++hits;
-    rr_sum += rr;
-    report.reciprocal_ranks.push_back(rr);
+  for (int shard = 0; shard < num_shards; ++shard) {
+    if (!shard_errors[static_cast<size_t>(shard)].ok()) {
+      return shard_errors[static_cast<size_t>(shard)];
+    }
+    hits += shard_hits[static_cast<size_t>(shard)];
   }
   report.num_cases = test.size();
   if (!test.empty()) {
     report.accuracy_at_k =
         static_cast<double>(hits) / static_cast<double>(test.size());
+    // Fixed per-case tree over the index order: thread-count-invariant.
     report.mean_reciprocal_rank =
-        rr_sum / static_cast<double>(test.size());
+        exec::ReduceOrderedSum(report.reciprocal_ranks) /
+        static_cast<double>(test.size());
   }
   return report;
 }

@@ -28,11 +28,15 @@ struct ItemPredictionReport {
 /// The item prediction protocol of Section VI-E: for each held-out action,
 /// infer the user's level from the chronologically nearest training
 /// action, rank all items by the ID-feature probability at that level, and
-/// score the true item's rank.
+/// score the true item's rank. When `pool` is given the test cases run
+/// sharded (exec::ShardPlan over the case index space); metrics are
+/// reduced per-case in index order, so the report is bitwise identical
+/// for any thread count, and a failing case reports the same
+/// (shard-order-first) error either way.
 Result<ItemPredictionReport> EvaluateItemPrediction(
     const Dataset& train, const SkillAssignments& assignments,
     const SkillModel& model, const std::vector<HeldOutAction>& test,
-    int k = 10);
+    int k = 10, ThreadPool* pool = nullptr);
 
 /// Expected Acc@k and mean RR of ranking items uniformly at random (the
 /// sanity floor quoted in Section VI-E).

@@ -1,0 +1,36 @@
+#include "exec/map_reduce.h"
+
+namespace upskill {
+namespace exec {
+
+void MapShards(ThreadPool* pool, int num_shards,
+               const std::function<void(int shard)>& body) {
+  if (num_shards <= 0) return;
+  // ParallelFor's chunk size collapses to one index per chunk whenever
+  // num_shards <= 8 * threads (the common case by construction of
+  // ResolveShardCount), so shards are claimed one at a time off the
+  // atomic counter — dynamic balancing with a per-call completion latch.
+  ParallelFor(pool, 0, static_cast<size_t>(num_shards),
+              [&body](size_t shard) { body(static_cast<int>(shard)); });
+}
+
+namespace {
+
+double SumRange(const double* values, size_t count) {
+  if (count <= kReduceLeafElements) {
+    double total = 0.0;
+    for (size_t i = 0; i < count; ++i) total += values[i];
+    return total;
+  }
+  const size_t half = count / 2;
+  return SumRange(values, half) + SumRange(values + half, count - half);
+}
+
+}  // namespace
+
+double ReduceOrderedSum(std::span<const double> values) {
+  return SumRange(values.data(), values.size());
+}
+
+}  // namespace exec
+}  // namespace upskill

@@ -1,0 +1,64 @@
+#ifndef UPSKILL_EXEC_MAP_REDUCE_H_
+#define UPSKILL_EXEC_MAP_REDUCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "common/thread_pool.h"
+
+namespace upskill {
+namespace exec {
+
+/// Runs `body(shard)` once for every shard index in [0, num_shards),
+/// dynamically scheduled across the pool's workers and the calling thread
+/// (inline when `pool` is null). Each shard index is visited exactly once,
+/// so per-shard state (a ShardWorkspace) is safe without locking; which
+/// *thread* runs which shard is nondeterministic, which is exactly why
+/// results must never depend on it — reduce per-element (ReduceOrderedSum)
+/// or with exact order-independent sums.
+void MapShards(ThreadPool* pool, int num_shards,
+               const std::function<void(int shard)>& body);
+
+/// Elements folded serially (left to right) at each leaf of the ordered
+/// reductions below. Sums over fewer than this many elements are bitwise
+/// equal to a plain serial accumulation.
+inline constexpr size_t kReduceLeafElements = 16;
+
+/// Deterministic fixed-shape pairwise tree sum. The split points depend
+/// only on values.size(), so the result is a pure function of the element
+/// values in index order: bitwise identical for any thread count and any
+/// shard count that produced them, unlike a reduction over per-thread or
+/// per-shard partials (whose boundaries move with the configuration).
+/// This is the one reduction shape every float accumulation in the
+/// training/eval stack funnels through.
+double ReduceOrderedSum(std::span<const double> values);
+
+/// Generic fixed-order tree reduction: folds items[1..n) into items[0]
+/// with `fold(into, from)`, pairing sub-ranges by the same fixed shape as
+/// ReduceOrderedSum. For associative-but-inexact combines (SufficientStats
+/// over float weights, partial grids) this pins the rounding pattern to
+/// the element count alone. No-op on empty spans.
+template <typename T, typename Fold>
+void ReduceOrdered(std::span<T> items, Fold&& fold) {
+  if (items.empty()) return;
+  // Recursive lambda over [begin, end): folds everything into items[begin].
+  const auto reduce = [&items, &fold](const auto& self, size_t begin,
+                                      size_t end) -> void {
+    const size_t count = end - begin;
+    if (count <= kReduceLeafElements) {
+      for (size_t i = begin + 1; i < end; ++i) fold(items[begin], items[i]);
+      return;
+    }
+    const size_t mid = begin + count / 2;
+    self(self, begin, mid);
+    self(self, mid, end);
+    fold(items[begin], items[mid]);
+  };
+  reduce(reduce, 0, items.size());
+}
+
+}  // namespace exec
+}  // namespace upskill
+
+#endif  // UPSKILL_EXEC_MAP_REDUCE_H_

@@ -1,0 +1,86 @@
+#include "exec/shard.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace upskill {
+namespace exec {
+
+ShardPlan ShardPlan::Contiguous(size_t count, int num_shards) {
+  const size_t shards = static_cast<size_t>(std::max(1, num_shards));
+  std::vector<size_t> bounds(shards + 1, 0);
+  for (size_t k = 1; k <= shards; ++k) {
+    bounds[k] = (count * k) / shards;
+  }
+  bounds[shards] = count;
+  return ShardPlan(std::move(bounds));
+}
+
+ShardPlan ShardPlan::Balanced(std::span<const size_t> weights,
+                              int num_shards) {
+  const size_t shards = static_cast<size_t>(std::max(1, num_shards));
+  const size_t count = weights.size();
+  size_t total = 0;
+  for (const size_t w : weights) total += w;
+  if (total == 0) return Contiguous(count, num_shards);
+
+  // Shard k ends at the first index whose inclusive prefix weight reaches
+  // k+1 ideal shares. One forward scan; cut points are a pure function of
+  // (weights, shards).
+  std::vector<size_t> bounds(shards + 1, 0);
+  size_t prefix = 0;
+  size_t index = 0;
+  for (size_t k = 1; k < shards; ++k) {
+    // Overflow-safe form of prefix >= total * k / shards.
+    const size_t target = (total * k + shards - 1) / shards;
+    while (index < count && prefix < target) {
+      prefix += weights[index];
+      ++index;
+    }
+    bounds[k] = index;
+  }
+  bounds[shards] = count;
+  return ShardPlan(std::move(bounds));
+}
+
+int ResolveShardCount(int requested, const ThreadPool* pool, size_t count) {
+  if (requested > 0) return requested;
+  const size_t slots = static_cast<size_t>(ParallelMaxSlots(pool));
+  const size_t automatic = slots * static_cast<size_t>(kDefaultShardsPerSlot);
+  return static_cast<int>(std::max<size_t>(1, std::min(automatic, count)));
+}
+
+DatasetShard::DatasetShard(const Dataset& dataset, IndexRange users)
+    : dataset_(&dataset), users_(users) {
+  UPSKILL_CHECK(users.end <= static_cast<size_t>(dataset.num_users()));
+  for (size_t u = users.begin; u < users.end; ++u) {
+    num_actions_ += dataset.sequence(static_cast<UserId>(u)).size();
+  }
+}
+
+ShardPlan PlanDatasetShards(const Dataset& dataset, int num_shards,
+                            PartitionStrategy strategy) {
+  const size_t num_users = static_cast<size_t>(dataset.num_users());
+  if (strategy == PartitionStrategy::kContiguous) {
+    return ShardPlan::Contiguous(num_users, num_shards);
+  }
+  std::vector<size_t> weights(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    weights[u] = dataset.sequence(static_cast<UserId>(u)).size();
+  }
+  return ShardPlan::Balanced(weights, num_shards);
+}
+
+std::vector<DatasetShard> MakeDatasetShards(const Dataset& dataset,
+                                            const ShardPlan& plan) {
+  std::vector<DatasetShard> shards;
+  shards.reserve(static_cast<size_t>(plan.num_shards()));
+  for (int k = 0; k < plan.num_shards(); ++k) {
+    shards.emplace_back(dataset, plan.range(k));
+  }
+  return shards;
+}
+
+}  // namespace exec
+}  // namespace upskill

@@ -1,0 +1,84 @@
+#ifndef UPSKILL_EXEC_WORKSPACE_H_
+#define UPSKILL_EXEC_WORKSPACE_H_
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/dp.h"
+#include "exec/shard.h"
+
+namespace upskill {
+namespace exec {
+
+/// Per-shard scratch owned across iterations. One workspace is bound to
+/// one shard index for the lifetime of an ExecContext, so buffers grown
+/// for a shard's longest sequence are reused on every subsequent pass —
+/// what used to be per-call (or per-thread-slot) scratch in the trainer,
+/// EM, and readout loops. Workspaces are only ever touched by the single
+/// MapShards task running their shard, never concurrently.
+struct ShardWorkspace {
+  /// Assignment-step / readout DP arena (core/dp.h).
+  DpScratch dp;
+  /// Update-step (level, item) count-grid partial; sized lazily by
+  /// FitParameters, zeroed per pass. Sums are exact integer counts in
+  /// doubles, so merging partials in fixed shard order is bitwise
+  /// shard-count-invariant.
+  std::vector<double> grid;
+  /// EM forward/backward arenas (n x S per user, resized per sequence).
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  /// Assignment-pass outcome counters, gathered in shard order.
+  size_t skipped = 0;
+  size_t reassigned = 0;
+  bool changed = false;
+};
+
+/// The sharded-execution state one driver (a Trainer run, an EM run, a
+/// standalone assignment pass) carries across iterations: the user-axis
+/// ShardPlan, the DatasetShard views, and one ShardWorkspace per shard.
+/// EnsureUserShards is idempotent for an unchanged (dataset, shard count,
+/// strategy) triple, so calling it at the top of every pass costs nothing
+/// in the steady state while keeping workspaces (and their grown arenas)
+/// alive between passes.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// (Re)builds the plan/shards/workspaces for `dataset`'s user axis.
+  /// `requested_shards <= 0` resolves against the pool via
+  /// ResolveShardCount — but reuses ANY existing plan for the same
+  /// (dataset, user count, strategy) first, so drivers whose phases run
+  /// under different pools never thrash the plan. An explicit request
+  /// rebuilds when it differs from the built count. Workspaces are kept
+  /// (grow-only) so arenas persist across rebuilds.
+  void EnsureUserShards(const Dataset& dataset, int requested_shards,
+                        const ThreadPool* pool,
+                        PartitionStrategy strategy =
+                            PartitionStrategy::kBalanced);
+
+  const ShardPlan& plan() const { return plan_; }
+  std::span<const DatasetShard> shards() const { return shards_; }
+  int num_shards() const { return plan_.num_shards(); }
+
+  ShardWorkspace& workspace(int shard) {
+    return workspaces_[static_cast<size_t>(shard)];
+  }
+
+ private:
+  const Dataset* dataset_ = nullptr;
+  int built_users_ = -1;
+  int built_shards_ = 0;
+  PartitionStrategy built_strategy_ = PartitionStrategy::kBalanced;
+  ShardPlan plan_;
+  std::vector<DatasetShard> shards_;
+  // deque: stable addresses while growing, no moves of live arenas.
+  std::deque<ShardWorkspace> workspaces_;
+};
+
+}  // namespace exec
+}  // namespace upskill
+
+#endif  // UPSKILL_EXEC_WORKSPACE_H_

@@ -5,6 +5,8 @@
 
 #include "common/string_util.h"
 #include "core/dp.h"
+#include "exec/map_reduce.h"
+#include "exec/shard.h"
 
 namespace upskill {
 namespace serve {
@@ -92,6 +94,15 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   if (command == "stats") {
     if (tokens.size() != 1) return WrongArity("stats", "stats");
     request.kind = ServeRequest::Kind::kStats;
+    return request;
+  }
+  if (command == "evict") {
+    if (tokens.size() != 2) return WrongArity("evict", "evict <min_time>");
+    request.kind = ServeRequest::Kind::kEvict;
+    const Result<long long> min_time = ParseInt(tokens[1]);
+    if (!min_time.ok()) return min_time.status();
+    request.time = min_time.value();
+    request.has_time = true;
     return request;
   }
   if (command == "reset") {
@@ -273,6 +284,11 @@ std::string Server::Execute(const ServeRequest& request) {
           model->num_items(),
           static_cast<unsigned long long>(requests_served()));
     }
+    case ServeRequest::Kind::kEvict: {
+      const size_t evicted = EvictIdleSessions(request.time);
+      return StringPrintf("ok evicted=%zu sessions=%zu", evicted,
+                          num_sessions());
+    }
     case ServeRequest::Kind::kReset: {
       ResetSessions();
       return "ok reset";
@@ -286,8 +302,16 @@ std::string Server::Execute(const ServeRequest& request) {
 std::vector<std::string> Server::ExecuteBatch(
     std::span<const ServeRequest> requests, ThreadPool* pool) {
   std::vector<std::string> responses(requests.size());
-  ParallelFor(pool, 0, requests.size(), [&](size_t i) {
-    responses[i] = Execute(requests[i]);
+  // Same contiguous shard plan as the rest of the stack: each shard owns
+  // a disjoint run of the request/response arrays, so the only shared
+  // mutable state is inside Execute (the session store's striped locks).
+  const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
+      requests.size(), exec::ResolveShardCount(0, pool, requests.size()));
+  exec::MapShards(pool, plan.num_shards(), [&](int shard) {
+    const exec::IndexRange range = plan.range(shard);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      responses[i] = Execute(requests[i]);
+    }
   });
   return responses;
 }

@@ -26,6 +26,7 @@ namespace serve {
 ///   difficulty <item>
 ///   swap <snapshot_path>
 ///   stats
+///   evict <min_time>
 ///   reset
 ///   quit
 struct ServeRequest {
@@ -36,6 +37,7 @@ struct ServeRequest {
     kDifficulty,
     kSwap,
     kStats,
+    kEvict,
     kReset,
     kQuit,
   };
@@ -104,6 +106,11 @@ class Server {
 
   size_t num_sessions() const { return sessions_.size(); }
   void ResetSessions() { sessions_.Clear(); }
+  /// Drops sessions whose last observation predates `min_last_time`
+  /// (SessionStore::EvictIdleSessions); returns the eviction count.
+  size_t EvictIdleSessions(int64_t min_last_time) {
+    return sessions_.EvictIdleSessions(min_last_time);
+  }
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }

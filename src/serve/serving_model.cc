@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "exec/map_reduce.h"
+#include "exec/shard.h"
 
 namespace upskill {
 namespace serve {
@@ -39,18 +41,27 @@ Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshot(
       static_cast<size_t>(model->snapshot_.items.num_items());
   model->ranked_.resize(static_cast<size_t>(levels) * num_items);
   const std::vector<double>& log_probs = model->log_probs_;
-  ParallelFor(pool, 0, static_cast<size_t>(levels), [&](size_t s) {
-    ItemId* order = model->ranked_.data() + s * num_items;
-    for (size_t i = 0; i < num_items; ++i) {
-      order[i] = static_cast<ItemId>(i);
+  // Per-level rankings are independent full sorts (uniform cost), so the
+  // level axis gets the same contiguous shard plan the batch executor
+  // uses; each shard writes a disjoint slice of ranked_.
+  const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
+      static_cast<size_t>(levels),
+      exec::ResolveShardCount(0, pool, static_cast<size_t>(levels)));
+  exec::MapShards(pool, plan.num_shards(), [&](int shard) {
+    const exec::IndexRange range = plan.range(shard);
+    for (size_t s = range.begin; s < range.end; ++s) {
+      ItemId* order = model->ranked_.data() + s * num_items;
+      for (size_t i = 0; i < num_items; ++i) {
+        order[i] = static_cast<ItemId>(i);
+      }
+      const size_t stride = static_cast<size_t>(levels);
+      std::sort(order, order + num_items, [&](ItemId a, ItemId b) {
+        const double pa = log_probs[static_cast<size_t>(a) * stride + s];
+        const double pb = log_probs[static_cast<size_t>(b) * stride + s];
+        if (pa != pb) return pa > pb;
+        return a < b;
+      });
     }
-    const size_t stride = static_cast<size_t>(levels);
-    std::sort(order, order + num_items, [&](ItemId a, ItemId b) {
-      const double pa = log_probs[static_cast<size_t>(a) * stride + s];
-      const double pb = log_probs[static_cast<size_t>(b) * stride + s];
-      if (pa != pb) return pa > pb;
-      return a < b;
-    });
   });
   return std::shared_ptr<const ServingModel>(std::move(model));
 }

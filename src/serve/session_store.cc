@@ -40,6 +40,17 @@ size_t SessionStore::size() const {
   return total;
 }
 
+size_t SessionStore::EvictIdleSessions(int64_t min_last_time) {
+  size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    evicted += std::erase_if(shard.sessions, [&](const auto& entry) {
+      return entry.second.last_time < min_last_time;
+    });
+  }
+  return evicted;
+}
+
 void SessionStore::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);

@@ -63,6 +63,14 @@ class SessionStore {
   /// Total live sessions (takes every shard lock; O(shards)).
   size_t size() const;
 
+  /// Drops every session whose last observation is strictly older than
+  /// `min_last_time` (sessions with no observation yet have last_time 0
+  /// and are evicted by any positive threshold). Returns the number of
+  /// sessions removed. Locks one shard at a time, so it can run
+  /// concurrently with live traffic; a session observed while its shard
+  /// is still pending eviction is judged by its fresh timestamp.
+  size_t EvictIdleSessions(int64_t min_last_time);
+
   /// Drops every session (e.g. after a snapshot swap changed S).
   void Clear();
 

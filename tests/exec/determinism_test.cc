@@ -1,0 +1,235 @@
+// The sharded execution core's contract: fitted parameters, assignments,
+// per-iteration objectives, and serialized snapshots are bitwise
+// identical for ANY thread count and ANY shard count. These tests sweep
+// threads {1, 2, 8} x shards {1, 3, 7} over the hard trainer (with and
+// without the global progression component), the EM trainer, and the
+// eval harness, comparing everything with operator== (no tolerances).
+// The suite also runs under UPSKILL_SANITIZE=thread, where the same
+// sweeps double as race detectors for the shard workspaces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/difficulty.h"
+#include "core/em_trainer.h"
+#include "core/trainer.h"
+#include "data/split.h"
+#include "datagen/synthetic.h"
+#include "eval/tasks.h"
+#include "serve/snapshot.h"
+
+namespace upskill {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+constexpr int kShardCounts[] = {1, 3, 7};
+
+datagen::GeneratedData MakeData() {
+  datagen::SyntheticConfig config;
+  config.num_users = 120;
+  config.num_items = 100;
+  config.mean_sequence_length = 20.0;
+  config.seed = 20260806;
+  auto data = datagen::GenerateSynthetic(config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+SkillModelConfig MakeConfig(int threads, int shards) {
+  SkillModelConfig config;
+  config.num_levels = 4;
+  config.max_iterations = 6;
+  config.min_init_actions = 10;
+  config.num_shards = shards;
+  config.parallel.num_threads = threads;
+  config.parallel.users = threads > 1;
+  config.parallel.levels = threads > 1;
+  config.parallel.features = threads > 1;
+  return config;
+}
+
+// Every component's parameter vector, in (feature, level) order. Bitwise
+// vector equality here means the fitted model is bitwise identical.
+std::vector<std::vector<double>> ModelParams(const SkillModel& model) {
+  std::vector<std::vector<double>> params;
+  for (int f = 0; f < model.num_features(); ++f) {
+    for (int s = 1; s <= model.num_levels(); ++s) {
+      params.push_back(model.component(f, s).Parameters());
+    }
+  }
+  return params;
+}
+
+std::string SnapshotBytes(const TrainResult& result, const Dataset& dataset,
+                          const TransitionWeights* transitions,
+                          const std::string& path) {
+  auto snapshot = serve::MakeSnapshot(
+      result.model, dataset.items(),
+      EstimateDifficultyByAssignment(dataset, result.assignments),
+      transitions);
+  EXPECT_TRUE(snapshot.ok());
+  EXPECT_TRUE(serve::SaveSnapshot(snapshot.value(), path).ok());
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TransitionWeights WeightsFromResult(const TrainResult& result) {
+  TransitionWeights weights;
+  weights.log_initial.reserve(result.initial_distribution.size());
+  for (const double p : result.initial_distribution) {
+    weights.log_initial.push_back(std::log(p));
+  }
+  weights.log_up = std::log(result.level_up_probability);
+  weights.log_stay = std::log(1.0 - result.level_up_probability);
+  return weights;
+}
+
+void ExpectSameTrainResult(const TrainResult& base, const TrainResult& run,
+                           const std::string& label) {
+  EXPECT_EQ(base.log_likelihood_trace, run.log_likelihood_trace) << label;
+  EXPECT_EQ(base.assignments, run.assignments) << label;
+  EXPECT_EQ(ModelParams(base.model), ModelParams(run.model)) << label;
+  EXPECT_EQ(base.iterations, run.iterations) << label;
+  EXPECT_EQ(base.converged, run.converged) << label;
+  EXPECT_EQ(base.final_log_likelihood, run.final_log_likelihood) << label;
+  EXPECT_EQ(base.skipped_users, run.skipped_users) << label;
+  EXPECT_EQ(base.reassigned_users, run.reassigned_users) << label;
+}
+
+TEST(ShardDeterminismTest, TrainerBitwiseInvariantAcrossThreadsAndShards) {
+  const datagen::GeneratedData data = MakeData();
+  const std::string path = testing::TempDir() + "/det_trainer.snap";
+
+  TrainResult base;
+  std::string base_bytes;
+  bool have_base = false;
+  for (const int threads : kThreadCounts) {
+    for (const int shards : kShardCounts) {
+      const Trainer trainer(MakeConfig(threads, shards));
+      auto result = trainer.Train(data.dataset);
+      ASSERT_TRUE(result.ok());
+      const std::string bytes =
+          SnapshotBytes(result.value(), data.dataset, nullptr, path);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " shards=" + std::to_string(shards);
+      if (!have_base) {
+        base = std::move(result).value();
+        base_bytes = bytes;
+        have_base = true;
+        ASSERT_FALSE(base.log_likelihood_trace.empty());
+        continue;
+      }
+      ExpectSameTrainResult(base, result.value(), label);
+      EXPECT_EQ(base_bytes, bytes) << label;
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, TrainerWithGlobalTransitionsBitwiseInvariant) {
+  const datagen::GeneratedData data = MakeData();
+  const std::string path = testing::TempDir() + "/det_transitions.snap";
+
+  TrainResult base;
+  std::string base_bytes;
+  bool have_base = false;
+  for (const int threads : kThreadCounts) {
+    for (const int shards : kShardCounts) {
+      SkillModelConfig config = MakeConfig(threads, shards);
+      config.transitions = TransitionModel::kGlobal;
+      const Trainer trainer(config);
+      auto result = trainer.Train(data.dataset);
+      ASSERT_TRUE(result.ok());
+      const TransitionWeights weights = WeightsFromResult(result.value());
+      const std::string bytes =
+          SnapshotBytes(result.value(), data.dataset, &weights, path);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " shards=" + std::to_string(shards);
+      if (!have_base) {
+        base = std::move(result).value();
+        base_bytes = bytes;
+        have_base = true;
+        continue;
+      }
+      ExpectSameTrainResult(base, result.value(), label);
+      EXPECT_EQ(base.initial_distribution, result.value().initial_distribution)
+          << label;
+      EXPECT_EQ(base.level_up_probability,
+                result.value().level_up_probability)
+          << label;
+      EXPECT_EQ(base_bytes, bytes) << label;
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, EmTrainerBitwiseInvariantAcrossThreadsAndShards) {
+  const datagen::GeneratedData data = MakeData();
+
+  EmTrainResult base;
+  bool have_base = false;
+  for (const int threads : kThreadCounts) {
+    for (const int shards : kShardCounts) {
+      EmTrainerConfig config;
+      config.model = MakeConfig(threads, shards);
+      config.model.max_iterations = 4;
+      const EmTrainer trainer(config);
+      auto result = trainer.Train(data.dataset);
+      ASSERT_TRUE(result.ok());
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " shards=" + std::to_string(shards);
+      if (!have_base) {
+        base = std::move(result).value();
+        have_base = true;
+        ASSERT_FALSE(base.log_likelihood_trace.empty());
+        continue;
+      }
+      const EmTrainResult& run = result.value();
+      EXPECT_EQ(base.log_likelihood_trace, run.log_likelihood_trace) << label;
+      EXPECT_EQ(base.assignments, run.assignments) << label;
+      EXPECT_EQ(ModelParams(base.model), ModelParams(run.model)) << label;
+      EXPECT_EQ(base.initial_distribution, run.initial_distribution) << label;
+      EXPECT_EQ(base.level_up_probability, run.level_up_probability) << label;
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, EvalReportBitwiseInvariantAcrossThreads) {
+  const datagen::GeneratedData data = MakeData();
+  Rng rng(7);
+  auto split = MakeHoldoutSplit(data.dataset, HoldoutPosition::kLast, rng);
+  ASSERT_TRUE(split.ok());
+
+  const Trainer trainer(MakeConfig(1, 1));
+  auto trained = trainer.Train(split.value().train);
+  ASSERT_TRUE(trained.ok());
+
+  auto serial = eval::EvaluateItemPrediction(
+      split.value().train, trained.value().assignments, trained.value().model,
+      split.value().test, /*k=*/10, nullptr);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial.value().num_cases, 0u);
+
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    auto parallel = eval::EvaluateItemPrediction(
+        split.value().train, trained.value().assignments,
+        trained.value().model, split.value().test, /*k=*/10, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial.value().accuracy_at_k, parallel.value().accuracy_at_k);
+    EXPECT_EQ(serial.value().mean_reciprocal_rank,
+              parallel.value().mean_reciprocal_rank);
+    EXPECT_EQ(serial.value().reciprocal_ranks,
+              parallel.value().reciprocal_ranks);
+    EXPECT_EQ(serial.value().num_cases, parallel.value().num_cases);
+  }
+}
+
+}  // namespace
+}  // namespace upskill

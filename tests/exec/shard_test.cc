@@ -1,0 +1,227 @@
+// Unit tests for the sharded execution core: plan coverage and balance,
+// shard-count resolution, dataset shard views, the fixed-shape ordered
+// reductions, MapShards dispatch, and ExecContext reuse.
+
+#include "exec/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "exec/map_reduce.h"
+#include "exec/workspace.h"
+
+namespace upskill {
+namespace exec {
+namespace {
+
+Dataset MakeDataset(const std::vector<int>& sequence_lengths,
+                    int num_items = 8) {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddCount("steps").ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < num_items; ++i) {
+    const double row[] = {static_cast<double>(i + 1)};
+    EXPECT_TRUE(items.AddItem(row).ok());
+  }
+  Dataset dataset(std::move(items));
+  for (const int length : sequence_lengths) {
+    const UserId user = dataset.AddUser();
+    for (int n = 0; n < length; ++n) {
+      EXPECT_TRUE(
+          dataset.AddAction(user, n, static_cast<ItemId>(n % num_items)).ok());
+    }
+  }
+  return dataset;
+}
+
+void ExpectCoversExactly(const ShardPlan& plan, size_t count) {
+  ASSERT_GT(plan.num_shards(), 0);
+  EXPECT_EQ(plan.total(), count);
+  size_t expected_begin = 0;
+  for (int k = 0; k < plan.num_shards(); ++k) {
+    const IndexRange range = plan.range(k);
+    EXPECT_EQ(range.begin, expected_begin) << "shard " << k;
+    EXPECT_LE(range.begin, range.end) << "shard " << k;
+    expected_begin = range.end;
+  }
+  EXPECT_EQ(expected_begin, count);
+}
+
+TEST(ShardPlanTest, ContiguousCoversEverySplit) {
+  for (const size_t count : {0u, 1u, 2u, 7u, 16u, 100u}) {
+    for (const int shards : {1, 2, 3, 7, 16}) {
+      const ShardPlan plan = ShardPlan::Contiguous(count, shards);
+      EXPECT_EQ(plan.num_shards(), shards);
+      ExpectCoversExactly(plan, count);
+      // Equal counts up to one element.
+      for (int k = 0; k < shards; ++k) {
+        const size_t size = plan.range(k).size();
+        EXPECT_LE(size, count / static_cast<size_t>(shards) + 1);
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanElementsLeavesEmptyShards) {
+  const ShardPlan plan = ShardPlan::Contiguous(3, 8);
+  ExpectCoversExactly(plan, 3);
+  int non_empty = 0;
+  for (int k = 0; k < plan.num_shards(); ++k) {
+    if (!plan.range(k).empty()) ++non_empty;
+  }
+  EXPECT_EQ(non_empty, 3);
+}
+
+TEST(ShardPlanTest, BalancedIsolatesHeavyPrefix) {
+  // One user holds ~95% of the weight: it must get a shard of its own
+  // instead of serializing half the index space.
+  const std::vector<size_t> weights = {100, 1, 1, 1, 1, 1};
+  const ShardPlan plan = ShardPlan::Balanced(weights, 2);
+  ExpectCoversExactly(plan, weights.size());
+  EXPECT_EQ(plan.range(0).end, 1u);
+  EXPECT_EQ(plan.range(1).begin, 1u);
+}
+
+TEST(ShardPlanTest, BalancedCoversAndIsDeterministic) {
+  const std::vector<size_t> weights = {3, 9, 1, 1, 4, 7, 2, 2, 8, 1};
+  for (const int shards : {1, 2, 3, 4, 7, 12}) {
+    const ShardPlan plan = ShardPlan::Balanced(weights, shards);
+    ExpectCoversExactly(plan, weights.size());
+    // Same inputs, same cuts: the plan is a pure function of the weights.
+    const ShardPlan again = ShardPlan::Balanced(weights, shards);
+    for (int k = 0; k < shards; ++k) {
+      EXPECT_EQ(plan.range(k).begin, again.range(k).begin);
+      EXPECT_EQ(plan.range(k).end, again.range(k).end);
+    }
+  }
+}
+
+TEST(ShardPlanTest, BalancedAllZeroWeightsDegeneratesToContiguous) {
+  const std::vector<size_t> weights(10, 0);
+  const ShardPlan balanced = ShardPlan::Balanced(weights, 3);
+  const ShardPlan contiguous = ShardPlan::Contiguous(10, 3);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(balanced.range(k).begin, contiguous.range(k).begin);
+    EXPECT_EQ(balanced.range(k).end, contiguous.range(k).end);
+  }
+}
+
+TEST(ResolveShardCountTest, HonorsExplicitRequest) {
+  EXPECT_EQ(ResolveShardCount(7, nullptr, 3), 7);
+  EXPECT_EQ(ResolveShardCount(1, nullptr, 1000), 1);
+}
+
+TEST(ResolveShardCountTest, AutoScalesWithPoolAndClampsToCount) {
+  // No pool still gets kDefaultShardsPerSlot shards (one slot): shard
+  // count only affects scheduling granularity, never results.
+  EXPECT_EQ(ResolveShardCount(0, nullptr, 100), kDefaultShardsPerSlot);
+  EXPECT_EQ(ResolveShardCount(0, nullptr, 0), 1);
+  ThreadPool pool(3);  // 4 slots (workers + caller)
+  EXPECT_EQ(ResolveShardCount(0, &pool, 1000), 4 * kDefaultShardsPerSlot);
+  EXPECT_EQ(ResolveShardCount(0, &pool, 5), 5);
+  EXPECT_EQ(ResolveShardCount(-1, &pool, 0), 1);
+}
+
+TEST(DatasetShardTest, ViewsPartitionUsersAndActions) {
+  const Dataset dataset = MakeDataset({5, 0, 9, 2, 14, 1});
+  const ShardPlan plan = PlanDatasetShards(dataset, 3);
+  const std::vector<DatasetShard> shards = MakeDatasetShards(dataset, plan);
+  ASSERT_EQ(shards.size(), 3u);
+  size_t users = 0;
+  size_t actions = 0;
+  for (const DatasetShard& shard : shards) {
+    users += shard.num_users();
+    actions += shard.num_actions();
+    for (UserId u = shard.user_begin(); u < shard.user_end(); ++u) {
+      EXPECT_EQ(&shard.sequence(u), &dataset.sequence(u));
+    }
+    EXPECT_EQ(&shard.items(), &dataset.items());
+  }
+  EXPECT_EQ(users, static_cast<size_t>(dataset.num_users()));
+  EXPECT_EQ(actions, dataset.num_actions());
+}
+
+TEST(ReduceOrderedSumTest, MatchesSerialBelowLeafSize) {
+  std::vector<double> values;
+  for (size_t i = 0; i < kReduceLeafElements; ++i) {
+    values.push_back(0.1 * static_cast<double>(i + 1));
+    double serial = 0.0;
+    for (const double v : values) serial += v;
+    // Bitwise: small sums must be indistinguishable from the plain loop.
+    EXPECT_EQ(ReduceOrderedSum(values), serial) << values.size();
+  }
+}
+
+TEST(ReduceOrderedSumTest, FixedShapeIsPureFunctionOfValues) {
+  std::vector<double> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 3);
+  }
+  const double once = ReduceOrderedSum(values);
+  EXPECT_EQ(ReduceOrderedSum(values), once);
+  // Sanity: close to the serial sum even though reassociated.
+  double serial = 0.0;
+  for (const double v : values) serial += v;
+  EXPECT_NEAR(once, serial, 1e-9);
+  EXPECT_EQ(ReduceOrderedSum(std::vector<double>{}), 0.0);
+}
+
+TEST(ReduceOrderedTest, FoldsEverythingIntoFirstElement) {
+  std::vector<int64_t> items(100);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int64_t>(i + 1);
+  }
+  ReduceOrdered(std::span<int64_t>(items),
+                [](int64_t& into, const int64_t& from) { into += from; });
+  EXPECT_EQ(items[0], 100 * 101 / 2);
+}
+
+TEST(MapShardsTest, VisitsEveryShardExactlyOnce) {
+  for (const bool threaded : {false, true}) {
+    ThreadPool pool(4);
+    constexpr int kShards = 23;
+    std::vector<std::atomic<int>> visits(kShards);
+    MapShards(threaded ? &pool : nullptr, kShards, [&](int shard) {
+      visits[static_cast<size_t>(shard)].fetch_add(1);
+    });
+    for (int k = 0; k < kShards; ++k) {
+      EXPECT_EQ(visits[static_cast<size_t>(k)].load(), 1) << k;
+    }
+  }
+}
+
+TEST(ExecContextTest, EnsureIsIdempotentAndWorkspacesAreStable) {
+  const Dataset dataset = MakeDataset({4, 6, 2, 8, 3});
+  ExecContext context;
+  context.EnsureUserShards(dataset, 3, nullptr);
+  ASSERT_EQ(context.num_shards(), 3);
+  ShardWorkspace* first = &context.workspace(0);
+  first->dp.items.resize(64);  // grow an arena; it must survive re-Ensure
+
+  context.EnsureUserShards(dataset, 3, nullptr);
+  EXPECT_EQ(context.num_shards(), 3);
+  EXPECT_EQ(&context.workspace(0), first);
+  EXPECT_EQ(context.workspace(0).dp.items.size(), 64u);
+
+  // An auto request sticks to the existing plan even under a different
+  // pool (drivers whose phases use different pools must not thrash).
+  ThreadPool pool(4);
+  context.EnsureUserShards(dataset, 0, &pool);
+  EXPECT_EQ(context.num_shards(), 3);
+  EXPECT_EQ(&context.workspace(0), first);
+
+  // An explicit different request rebuilds; workspaces grow but persist.
+  context.EnsureUserShards(dataset, 5, &pool);
+  EXPECT_EQ(context.num_shards(), 5);
+  EXPECT_EQ(&context.workspace(0), first);
+  EXPECT_EQ(context.workspace(0).dp.items.size(), 64u);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace upskill

@@ -248,6 +248,11 @@ TEST_F(ServerTest, ParseServeRequestCoversTheGrammar) {
             "/tmp/x.snap");
   EXPECT_EQ(ParseServeRequest("stats").value().kind,
             ServeRequest::Kind::kStats);
+  auto evict = ParseServeRequest("evict 500");
+  ASSERT_TRUE(evict.ok());
+  EXPECT_EQ(evict.value().kind, ServeRequest::Kind::kEvict);
+  EXPECT_EQ(evict.value().time, 500);
+  EXPECT_TRUE(evict.value().has_time);
   EXPECT_EQ(ParseServeRequest("reset").value().kind,
             ServeRequest::Kind::kReset);
   EXPECT_EQ(ParseServeRequest("quit").value().kind,
@@ -262,6 +267,8 @@ TEST_F(ServerTest, ParseServeRequestCoversTheGrammar) {
   EXPECT_FALSE(ParseServeRequest("level").ok());
   EXPECT_FALSE(ParseServeRequest("difficulty x").ok());
   EXPECT_FALSE(ParseServeRequest("stats extra").ok());
+  EXPECT_FALSE(ParseServeRequest("evict").ok());
+  EXPECT_FALSE(ParseServeRequest("evict soon").ok());
   EXPECT_FALSE(ParseServeRequest("make me a sandwich").ok());
 }
 
@@ -279,6 +286,25 @@ TEST_F(ServerTest, ExecuteRendersOneLinePerRequest) {
   EXPECT_EQ(server.Execute(ParseServeRequest("reset").value()), "ok reset");
   EXPECT_EQ(server.num_sessions(), 0u);
   EXPECT_EQ(server.requests_served(), 4u);
+}
+
+TEST_F(ServerTest, EvictCommandDropsIdleSessionsOnly) {
+  Server server(serving_);
+  ASSERT_TRUE(server.Observe("idle", 0, 10, true).ok());
+  ASSERT_TRUE(server.Observe("active", 0, 100, true).ok());
+  ASSERT_EQ(server.num_sessions(), 2u);
+
+  EXPECT_EQ(server.Execute(ParseServeRequest("evict 50").value()),
+            "ok evicted=1 sessions=1");
+  EXPECT_FALSE(server.CurrentLevel("idle").ok());
+  EXPECT_TRUE(server.CurrentLevel("active").ok());
+
+  // An evicted user starts over as a brand-new session.
+  const auto back = server.Observe("idle", 0, 200, true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().actions, 1u);
+  EXPECT_EQ(server.Execute(ParseServeRequest("evict 50").value()),
+            "ok evicted=0 sessions=2");
 }
 
 TEST_F(ServerTest, ExecuteBatchPreservesRequestOrder) {

@@ -128,6 +128,75 @@ TEST(SessionStoreTest, ConcurrentDistinctUsersDontInterfere) {
   }
 }
 
+TEST(SessionStoreTest, EvictIdleSessionsDropsStrictlyOlder) {
+  SessionStore store(4);
+  store.WithSession("stale", [](SessionState& session) {
+    session.actions = 1;
+    session.last_time = 10;
+  });
+  store.WithSession("boundary", [](SessionState& session) {
+    session.actions = 1;
+    session.last_time = 20;
+  });
+  store.WithSession("fresh", [](SessionState& session) {
+    session.actions = 1;
+    session.last_time = 30;
+  });
+
+  // Eviction is strictly-older-than: last_time == min_last_time survives.
+  EXPECT_EQ(store.EvictIdleSessions(20), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  SessionState copy;
+  EXPECT_FALSE(store.Lookup("stale", &copy));
+  EXPECT_TRUE(store.Lookup("boundary", &copy));
+  EXPECT_TRUE(store.Lookup("fresh", &copy));
+
+  EXPECT_EQ(store.EvictIdleSessions(100), 2u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.EvictIdleSessions(100), 0u);
+}
+
+TEST(SessionStoreTest, ConcurrentEvictionDuringLiveTraffic) {
+  // Eviction locks one shard at a time, so observes and evicts may
+  // interleave freely. A session touched after its eviction must come
+  // back as a fresh entry; nothing may crash or deadlock (the TSan suite
+  // runs this hardest).
+  SessionStore store(4);
+  constexpr int kWriters = 4;
+  constexpr int kUpdates = 1500;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&store, t] {
+      const std::string user = "live-" + std::to_string(t);
+      for (int i = 0; i < kUpdates; ++i) {
+        store.WithSession(user, [i](SessionState& session) {
+          ++session.actions;
+          session.last_time = i;
+        });
+      }
+    });
+  }
+  std::thread evictor([&store] {
+    for (int i = 0; i < 400; ++i) {
+      store.EvictIdleSessions(kUpdates / 2);
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  evictor.join();
+
+  // Every writer finishes at last_time = kUpdates - 1, past the eviction
+  // horizon, so a final sweep must keep all of them.
+  EXPECT_EQ(store.EvictIdleSessions(kUpdates / 2), 0u);
+  EXPECT_EQ(store.size(), static_cast<size_t>(kWriters));
+  for (int t = 0; t < kWriters; ++t) {
+    SessionState copy;
+    ASSERT_TRUE(store.Lookup("live-" + std::to_string(t), &copy));
+    EXPECT_EQ(copy.last_time, kUpdates - 1);
+    EXPECT_GE(copy.actions, 1u);
+  }
+}
+
 TEST(SessionStoreTest, ConcurrentReadersDuringWrites) {
   SessionStore store(8);
   store.WithSession("reader-target", [](SessionState& session) {
