@@ -23,6 +23,7 @@
 #include "dist/categorical.h"
 #include "dist/gamma.h"
 #include "dist/poisson.h"
+#include "bench/common.h"
 #include "eval/metrics.h"
 #include "ffm/ffm.h"
 
@@ -553,6 +554,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  // Registry dump alongside the benchmark JSON when
+  // UPSKILL_BENCH_METRICS_OUT is set (scripts/bench.sh --metrics).
+  upskill::bench::MaybeWriteMetricsDump();
   benchmark::Shutdown();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "common/rng.h"
 #include "core/difficulty.h"
 #include "core/trainer.h"
@@ -194,4 +195,13 @@ BENCHMARK(BM_ServeThroughput)
 }  // namespace serve
 }  // namespace upskill
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  // Registry dump alongside the benchmark JSON when
+  // UPSKILL_BENCH_METRICS_OUT is set (scripts/bench.sh --metrics).
+  upskill::bench::MaybeWriteMetricsDump();
+  benchmark::Shutdown();
+  return 0;
+}

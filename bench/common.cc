@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 
 namespace upskill {
 namespace bench {
@@ -98,6 +102,21 @@ std::vector<double> FlattenLevels(const SkillAssignments& assignments) {
     for (int level : seq) flat.push_back(static_cast<double>(level));
   }
   return flat;
+}
+
+void MaybeWriteMetricsDump() {
+  const char* path = std::getenv("UPSKILL_BENCH_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  const std::string text =
+      obs::RenderPrometheus(obs::MetricsRegistry::Global());
+  std::FILE* file = std::fopen(path, "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for metrics dump\n", path);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "bench: metrics -> %s\n", path);
 }
 
 }  // namespace bench

@@ -49,6 +49,12 @@ void PrintCorrelationRow(const std::string& name,
 /// ForEachAction order.
 std::vector<double> FlattenLevels(const SkillAssignments& assignments);
 
+/// If UPSKILL_BENCH_METRICS_OUT names a path, writes the Prometheus
+/// exposition of the process metrics registry there (call once, after
+/// the benchmarks have run — `scripts/bench.sh --metrics` sets the
+/// variable so registry dumps land next to the google-benchmark JSON).
+void MaybeWriteMetricsDump();
+
 }  // namespace bench
 }  // namespace upskill
 

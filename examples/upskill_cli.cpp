@@ -51,6 +51,9 @@
 #include "datagen/film.h"
 #include "datagen/language.h"
 #include "datagen/synthetic.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/serving_model.h"
 #include "serve/snapshot.h"
@@ -85,6 +88,7 @@ struct Args {
 const std::set<std::string> kValueFlags = {
     "users", "seed",    "levels", "threads", "user",  "out",
     "top",   "stretch", "prior",  "min",     "max",   "shards",
+    "metrics-out", "trace-out",
 };
 const std::set<std::string> kSwitchFlags = {
     "em", "verbose", "transitions", "detail",
@@ -119,6 +123,17 @@ int Fail(const Status& status) {
   return 1;
 }
 
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != content.size() || !closed) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -129,6 +144,7 @@ int Usage() {
       "  select-levels <data_dir> [--min 2] [--max 8]\n"
       "  train <data_dir> <model_out.csv> [--levels S] [--em]\n"
       "        [--transitions] [--threads N] [--verbose]\n"
+      "        [--metrics-out metrics.prom] [--trace-out trace.json]\n"
       "  assign <data_dir> <model.csv> [--levels S] [--user U] [--out f.csv]\n"
       "  summary <data_dir> <model.csv> [--levels S]\n"
       "  model <data_dir> <model.csv> [--levels S] [--top 3]\n"
@@ -262,6 +278,14 @@ int CmdTrain(const Args& args) {
   if (!dataset.ok()) return Fail(dataset.status());
   const SkillModelConfig config = ConfigFromArgs(args);
 
+  // Telemetry sinks: --trace-out captures one Chrome-tracing span per
+  // trainer phase per iteration; --metrics-out dumps the Prometheus
+  // exposition after training. Both are pure observers — the trained
+  // model is bitwise identical with or without them.
+  const std::string metrics_out = args.StringFlag("metrics-out", "");
+  const std::string trace_out = args.StringFlag("trace-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
+
   SkillModel model;
   double final_ll = 0.0;
   int iterations = 0;
@@ -282,6 +306,21 @@ int CmdTrain(const Args& args) {
   }
   const Status saved = model.Save(args.positional[1]);
   if (!saved.ok()) return Fail(saved);
+  if (!trace_out.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    recorder.Disable();
+    const Status wrote =
+        WriteTextFile(trace_out, obs::RenderChromeTrace(recorder));
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("trace -> %s (%zu spans)\n", trace_out.c_str(),
+                recorder.Events().size());
+  }
+  if (!metrics_out.empty()) {
+    const Status wrote = WriteTextFile(
+        metrics_out, obs::RenderPrometheus(obs::MetricsRegistry::Global()));
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
   std::printf("trained %d levels in %d iterations (log-likelihood %.1f); "
               "model -> %s\n",
               config.num_levels, iterations, final_ll,
@@ -542,7 +581,10 @@ int CmdServe(const Args& args) {
     if (head.size() == 2 && head[0] == "batch") {
       const Result<long long> count = ParseInt(head[1]);
       if (!count.ok() || count.value() < 0) {
-        std::printf("error InvalidArgument: batch expects: batch <N>\n");
+        std::printf("%s\n",
+                    serve::FormatErrorResponse(
+                        Status::InvalidArgument("batch expects: batch <N>"))
+                        .c_str());
         std::fflush(stdout);
         continue;
       }
@@ -559,7 +601,7 @@ int CmdServe(const Args& args) {
           requests.push_back(request.value());
         } else {
           parse_errors[static_cast<size_t>(i)] =
-              "error " + request.status().ToString();
+              serve::FormatErrorResponse(request.status());
         }
       }
       const std::vector<std::string> responses =
@@ -578,7 +620,8 @@ int CmdServe(const Args& args) {
     }
     const auto request = serve::ParseServeRequest(line);
     if (!request.ok()) {
-      std::printf("error %s\n", request.status().ToString().c_str());
+      std::printf("%s\n",
+                  serve::FormatErrorResponse(request.status()).c_str());
       std::fflush(stdout);
       continue;
     }

@@ -2,7 +2,7 @@
 # Records a benchmark suite from a dedicated Release build.
 #
 # Usage: scripts/bench.sh [PR_NUMBER] [SUITE] [BENCHMARK_FILTER]
-#                         [--threads "T1 T2 ..."]
+#                         [--threads "T1 T2 ..."] [--metrics]
 #
 #   SUITE is `micro` (bench_micro: training/eval kernels) or `serve`
 #   (bench_serve: snapshot IO, streaming observe, BM_ServeThroughput).
@@ -11,6 +11,10 @@
 #   BM_FitParametersSharded) over the given thread counts; each emitted
 #   entry records its thread and shard count in the `threads` / `shards`
 #   counters. Default sweep is "1 8".
+#
+#   --metrics attaches a Prometheus registry dump next to the benchmark
+#   JSON (BENCH_PR<N>.metrics.prom): the binary writes the process
+#   metrics registry on exit via UPSKILL_BENCH_METRICS_OUT.
 #
 # Produces BENCH_PR<N>.json at the repo root (google-benchmark JSON,
 # includes build context). Always benchmarks a -DCMAKE_BUILD_TYPE=Release
@@ -23,6 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS=""
+METRICS=0
 POSITIONAL=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -31,6 +36,8 @@ while [[ $# -gt 0 ]]; do
       THREADS="$2"; shift 2 ;;
     --threads=*)
       THREADS="${1#--threads=}"; shift ;;
+    --metrics)
+      METRICS=1; shift ;;
     *)
       POSITIONAL+=("$1"); shift ;;
   esac
@@ -59,6 +66,12 @@ fi
 if [[ -n "$THREADS" ]]; then
   export UPSKILL_BENCH_THREADS="$THREADS"
 fi
+if [[ "$METRICS" -eq 1 ]]; then
+  export UPSKILL_BENCH_METRICS_OUT="BENCH_PR${PR_NUMBER}.metrics.prom"
+fi
 "./$BUILD_DIR/bench/bench_${SUITE}" "${ARGS[@]}"
 
 echo "wrote $OUT"
+if [[ "$METRICS" -eq 1 ]]; then
+  echo "wrote $UPSKILL_BENCH_METRICS_OUT"
+fi

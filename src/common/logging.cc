@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -42,7 +43,64 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char c : name) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lowered == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lowered == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (lowered == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  static const bool applied = [] {
+    internal_logging::ApplyLogLevelFromEnv();
+    return true;
+  }();
+  (void)applied;
+}
+
+namespace {
+
+// Honors UPSKILL_LOG_LEVEL before main() so every binary linking the
+// library picks it up without explicit wiring.
+const bool g_env_log_level_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
+
+}  // namespace
+
 namespace internal_logging {
+
+bool ApplyLogLevelFromEnv() {
+  const char* value = std::getenv("UPSKILL_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return false;
+  LogLevel level;
+  if (!ParseLogLevel(value, &level)) {
+    // Plain fprintf: the threshold machinery is exactly what failed to
+    // configure, so don't route the complaint through it.
+    std::fprintf(stderr,
+                 "upskill: ignoring UPSKILL_LOG_LEVEL=\"%s\" "
+                 "(expected debug|info|warning|error)\n",
+                 value);
+    return false;
+  }
+  SetLogLevel(level);
+  return true;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {

@@ -16,7 +16,27 @@ void SetLogLevel(LogLevel level);
 /// Returns the current global minimum severity.
 LogLevel GetLogLevel();
 
+/// Parses a case-insensitive severity name ("debug", "info", "warning",
+/// "error") into `level`; returns false (and leaves `level` untouched)
+/// for anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// Applies the `UPSKILL_LOG_LEVEL` environment variable (debug|info|
+/// warning|error, case-insensitive) to the global threshold. The
+/// variable is read once per process — the first call wins, later calls
+/// are no-ops — and it runs automatically before main() via a static
+/// initializer, so exported binaries honor it with no wiring. An unset
+/// variable leaves the default (info); an unrecognized value is reported
+/// on stderr and ignored.
+void InitLogLevelFromEnv();
+
 namespace internal_logging {
+
+/// Unconditional re-read of UPSKILL_LOG_LEVEL (no once-guard); returns
+/// true when the variable was set to a valid level and applied. Exists so
+/// tests can exercise the override after setenv(); production code uses
+/// InitLogLevelFromEnv().
+bool ApplyLogLevelFromEnv();
 
 /// Stream-style log message; emits to stderr on destruction.
 class LogMessage {

@@ -6,7 +6,16 @@
 namespace upskill {
 
 /// Wall-clock stopwatch used by the efficiency experiments (Table XIII,
-/// Figure 7) and the training loop's progress logging.
+/// Figure 7), the training loop's progress logging, and the obs::Span
+/// timing primitives.
+///
+/// Timing is taken from std::chrono::steady_clock, which the standard
+/// guarantees is monotonic: it never jumps backwards on NTP slews,
+/// daylight-saving shifts, or manual wall-clock changes. Consequently
+/// ElapsedSeconds() is always >= 0, including immediately after Reset()
+/// and across Reset() boundaries (regression-tested in
+/// tests/common/logging_test.cc). Durations measured here are therefore
+/// safe to feed into histograms and trace spans without clamping.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

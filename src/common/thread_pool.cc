@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace upskill {
+
+namespace {
+
+// Pool telemetry: queue depth after every push/pop and the submit->start
+// wait per task. Shared by every pool in the process (the gauge is a
+// last-write-wins observation; the histogram aggregates). Registered
+// lazily so the registry exists before first use.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
+      "upskill_threadpool_queue_depth");
+  return gauge;
+}
+
+obs::Histogram& TaskWaitHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "upskill_threadpool_task_wait_seconds");
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
@@ -27,11 +50,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   UPSKILL_CHECK(task != nullptr);
+  if (obs::MetricsEnabled()) {
+    // Wrap to measure queue wait (submit -> first instruction). The
+    // wrapper is one extra std::function move per task; tasks here are
+    // coarse (a ParallelForChunked worker's whole share), so the cost is
+    // noise next to the work itself.
+    const auto enqueued = std::chrono::steady_clock::now();
+    task = [enqueued, inner = std::move(task)] {
+      TaskWaitHistogram().Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        enqueued)
+              .count());
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     UPSKILL_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    if (obs::MetricsEnabled()) {
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+    }
   }
   work_available_.notify_one();
 }
@@ -51,6 +91,9 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (obs::MetricsEnabled()) {
+        QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      }
     }
     task();
     {

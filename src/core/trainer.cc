@@ -9,6 +9,8 @@
 #include "core/dp.h"
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace upskill {
 
@@ -120,6 +122,40 @@ bool SameClasses(const std::vector<ProgressionClassWeights>& a,
   }
   return true;
 }
+
+// Registry instruments behind the TrainResult readouts. The per-phase
+// seconds histograms and the skip/reassign counters observe every
+// training run in the process; TrainResult's fields stay per-run (they
+// read the same Span clocks, not the cumulative registry totals).
+struct TrainInstruments {
+  obs::Histogram& init_seconds;
+  obs::Histogram& cache_seconds;
+  obs::Histogram& assignment_seconds;
+  obs::Histogram& update_seconds;
+  obs::Counter& iterations;
+  obs::Counter& skipped_users;
+  obs::Counter& reassigned_users;
+
+  static TrainInstruments& Get() {
+    static TrainInstruments* instruments = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new TrainInstruments{
+          registry.GetHistogram("upskill_train_phase_seconds",
+                                "phase=\"init\""),
+          registry.GetHistogram("upskill_train_phase_seconds",
+                                "phase=\"cache\""),
+          registry.GetHistogram("upskill_train_phase_seconds",
+                                "phase=\"assignment\""),
+          registry.GetHistogram("upskill_train_phase_seconds",
+                                "phase=\"update\""),
+          registry.GetCounter("upskill_train_iterations_total"),
+          registry.GetCounter("upskill_train_skipped_users_total"),
+          registry.GetCounter("upskill_train_reassigned_users_total"),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 }  // namespace
 
@@ -637,10 +673,17 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
   exec::ExecContext exec_context;
   exec_context.EnsureUserShards(dataset, config_.num_shards, pool.get());
 
+  // Phase telemetry: every phase below runs under an obs::Span, which
+  // yields the wall-clock seconds for TrainResult's per-run readouts,
+  // feeds the cumulative phase histograms, and — when the global
+  // TraceRecorder is enabled (train --trace-out) — emits one Chrome-trace
+  // span per phase per iteration.
+  TrainInstruments& instruments = TrainInstruments::Get();
+
   Stopwatch total_watch;
   // Initialization (Section IV-B): uniform segmentation of long sequences.
   {
-    Stopwatch watch;
+    obs::Span span("train/init");
     const SkillAssignments init = InitializeAssignments(
         dataset, config_.num_levels, config_.min_init_actions);
     FitParameters(dataset, init, &result.model, pool.get(), config_.parallel,
@@ -669,7 +712,8 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
             -std::log(static_cast<double>(k));
       }
     }
-    result.init_seconds = watch.ElapsedSeconds();
+    result.init_seconds = span.StopSeconds();
+    instruments.init_seconds.Observe(result.init_seconds);
   }
 
   // The item log-prob cache lives across iterations: only the
@@ -691,11 +735,16 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
 
   double previous_ll = -std::numeric_limits<double>::infinity();
   for (int iteration = 0; iteration < config_.max_iterations; ++iteration) {
-    Stopwatch cache_watch;
-    log_prob_cache.Update(result.model, dataset.items(), user_pool);
-    result.cache_seconds += cache_watch.ElapsedSeconds();
+    instruments.iterations.Increment();
+    {
+      obs::Span span("train/cache", -1, iteration);
+      log_prob_cache.Update(result.model, dataset.items(), user_pool);
+      const double seconds = span.StopSeconds();
+      result.cache_seconds += seconds;
+      instruments.cache_seconds.Observe(seconds);
+    }
 
-    Stopwatch assign_watch;
+    obs::Span assign_span("train/assignment", -1, iteration);
     const std::vector<uint8_t>* dirty_items =
         config_.incremental_assignment ? &log_prob_cache.dirty_items()
                                        : nullptr;
@@ -708,9 +757,15 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
                             use_transitions ? &transition_weights : nullptr,
                             pool.get(), config_.parallel, dirty_items,
                             weights_changed);
-    result.assignment_seconds += assign_watch.ElapsedSeconds();
+    {
+      const double seconds = assign_span.StopSeconds();
+      result.assignment_seconds += seconds;
+      instruments.assignment_seconds.Observe(seconds);
+    }
     result.skipped_users += stats.skipped_users;
     result.reassigned_users += stats.reassigned_users;
+    instruments.skipped_users.Increment(stats.skipped_users);
+    instruments.reassigned_users.Increment(stats.reassigned_users);
     const double ll = stats.log_likelihood;
     weights_changed = false;
 
@@ -732,7 +787,7 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     }
     previous_ll = ll;
 
-    Stopwatch update_watch;
+    obs::Span update_span("train/update", -1, iteration);
     const SkillAssignments& assignments = engine.assignments();
     FitParameters(dataset, assignments, &result.model, pool.get(),
                   config_.parallel, &exec_context);
@@ -774,7 +829,11 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
       }
       weights_changed = !SameClasses(classes, previous_classes);
     }
-    result.update_seconds += update_watch.ElapsedSeconds();
+    {
+      const double seconds = update_span.StopSeconds();
+      result.update_seconds += seconds;
+      instruments.update_seconds.Observe(seconds);
+    }
     result.final_log_likelihood = ll;
   }
   result.assignments = engine.assignments();

@@ -1,0 +1,149 @@
+#include "obs/exposition.h"
+
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace obs {
+
+namespace {
+
+// `name{labels}` or bare `name`; `extra` (the histogram `le` pair) is
+// merged into the label body when present.
+std::string SampleName(const std::string& name, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string body = labels;
+  if (!extra.empty()) {
+    if (!body.empty()) body += ',';
+    body += extra;
+  }
+  return name + "{" + body + "}";
+}
+
+// %.17g round-trips doubles; trim the noise for integral values so the
+// common counter-like gauges read naturally.
+std::string FormatValue(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value > -1e15 && value < 1e15) {
+    return StringPrintf("%lld", static_cast<long long>(value));
+  }
+  return StringPrintf("%.17g", value);
+}
+
+void AppendTypeLine(std::string* out, const std::string& name,
+                    const char* type, std::string* last_typed) {
+  if (*last_typed == name) return;
+  *last_typed = name;
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_typed;
+  for (const CounterSample& sample : snapshot.counters) {
+    AppendTypeLine(&out, sample.name, "counter", &last_typed);
+    out += SampleName(sample.name, sample.labels) +
+           StringPrintf(" %llu\n",
+                        static_cast<unsigned long long>(sample.value));
+  }
+  last_typed.clear();
+  for (const GaugeSample& sample : snapshot.gauges) {
+    AppendTypeLine(&out, sample.name, "gauge", &last_typed);
+    out += SampleName(sample.name, sample.labels) + " " +
+           FormatValue(sample.value) + "\n";
+  }
+  last_typed.clear();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    AppendTypeLine(&out, sample.name, "histogram", &last_typed);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < sample.counts.size(); ++b) {
+      cumulative += sample.counts[b];
+      const std::string le =
+          b < sample.bounds.size()
+              ? StringPrintf("le=\"%.9g\"", sample.bounds[b])
+              : std::string("le=\"+Inf\"");
+      out += SampleName(sample.name + "_bucket", sample.labels, le) +
+             StringPrintf(" %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+    }
+    out += SampleName(sample.name + "_sum", sample.labels) +
+           StringPrintf(" %.17g\n", sample.sum);
+    out += SampleName(sample.name + "_count", sample.labels) +
+           StringPrintf(" %llu\n",
+                        static_cast<unsigned long long>(sample.count));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  return RenderPrometheus(registry.Collect());
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const CounterSample& sample : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf(
+        "{\"name\":\"%s\",\"labels\":\"%s\",\"value\":%llu}",
+        JsonEscape(sample.name).c_str(), JsonEscape(sample.labels).c_str(),
+        static_cast<unsigned long long>(sample.value));
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const GaugeSample& sample : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf(
+        "{\"name\":\"%s\",\"labels\":\"%s\",\"value\":%.17g}",
+        JsonEscape(sample.name).c_str(), JsonEscape(sample.labels).c_str(),
+        sample.value);
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const HistogramSample& sample : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf("{\"name\":\"%s\",\"labels\":\"%s\",\"bounds\":[",
+                        JsonEscape(sample.name).c_str(),
+                        JsonEscape(sample.labels).c_str());
+    for (size_t b = 0; b < sample.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      out += StringPrintf("%.9g", sample.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (size_t b = 0; b < sample.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += StringPrintf("%llu",
+                          static_cast<unsigned long long>(sample.counts[b]));
+    }
+    out += StringPrintf("],\"count\":%llu,\"sum\":%.17g}",
+                        static_cast<unsigned long long>(sample.count),
+                        sample.sum);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsRegistry& registry) {
+  return RenderMetricsJson(registry.Collect());
+}
+
+}  // namespace obs
+}  // namespace upskill

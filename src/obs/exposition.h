@@ -1,0 +1,31 @@
+#ifndef UPSKILL_OBS_EXPOSITION_H_
+#define UPSKILL_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace upskill {
+namespace obs {
+
+/// Prometheus text exposition (one `# TYPE` line per metric name, then
+/// one sample line per (labels) instance; histograms expand to the
+/// cumulative `_bucket{le=...}` / `_sum` / `_count` series). Output is
+/// sorted by (name, labels) so successive dumps diff cleanly. Ends with
+/// a `# EOF` line (OpenMetrics-style terminator) so streaming consumers
+/// — the serve protocol's `stats` response in particular — know where
+/// the dump stops.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// The same snapshot as a single JSON object:
+/// {"counters":[{"name":...,"labels":...,"value":...}],
+///  "gauges":[...], "histograms":[...]}. For attaching registry dumps
+/// next to google-benchmark JSON and other machine consumers.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+std::string RenderMetricsJson(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace upskill
+
+#endif  // UPSKILL_OBS_EXPOSITION_H_

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace upskill {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// name + '\x01' + labels: '\x01' cannot appear in either part, so the key
+// is collision-free.
+std::string InstrumentKey(const std::string& name, const std::string& labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 1);
+  key += name;
+  key += '\x01';
+  key += labels;
+  return key;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal_metrics {
+
+size_t StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return index;
+}
+
+}  // namespace internal_metrics
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  if (options_.num_buckets < 1) options_.num_buckets = 1;
+  if (!(options_.min_bound > 0.0)) options_.min_bound = 1e-9;
+  if (!(options_.growth > 1.0)) options_.growth = 2.0;
+  log_min_ = std::log(options_.min_bound);
+  inv_log_growth_ = 1.0 / std::log(options_.growth);
+  bounds_.resize(static_cast<size_t>(options_.num_buckets));
+  double bound = options_.min_bound;
+  for (double& b : bounds_) {
+    b = bound;
+    bound *= options_.growth;
+  }
+  // Pad each stripe's slot run to a cache-line multiple so two stripes
+  // never share a line (8 uint64 per 64-byte line).
+  const size_t slots = bounds_.size() + 1;  // + overflow
+  stride_ = (slots + 7) & ~size_t{7};
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+      internal_metrics::kStripes * stride_);
+  for (size_t i = 0; i < internal_metrics::kStripes * stride_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  const size_t slots = bounds_.size() + 1;
+  for (size_t stripe = 0; stripe < internal_metrics::kStripes; ++stripe) {
+    for (size_t b = 0; b < slots; ++b) {
+      total += counts_[stripe * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& stripe : sums_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> totals(bounds_.size() + 1, 0);
+  for (size_t stripe = 0; stripe < internal_metrics::kStripes; ++stripe) {
+    for (size_t b = 0; b < totals.size(); ++b) {
+      totals[b] += counts_[stripe * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < internal_metrics::kStripes * stride_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& stripe : sums_) {
+    stripe.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments referenced from static call-site
+  // caches must outlive every other static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = InstrumentKey(name, labels);
+  const auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return *it->second;
+  counters_.emplace_back(name, labels);
+  Counter* counter = &counters_.back().instrument;
+  counter_index_.emplace(key, counter);
+  return *counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = InstrumentKey(name, labels);
+  const auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return *it->second;
+  gauges_.emplace_back(name, labels);
+  Gauge* gauge = &gauges_.back().instrument;
+  gauge_index_.emplace(key, gauge);
+  return *gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = InstrumentKey(name, labels);
+  const auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) return *it->second;
+  histograms_.emplace_back(name, labels, options);
+  Histogram* histogram = &histograms_.back().instrument;
+  histogram_index_.emplace(key, histogram);
+  return *histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Collect() const {
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.counters.reserve(counters_.size());
+    for (const auto& named : counters_) {
+      snapshot.counters.push_back(
+          {named.name, named.labels, named.instrument.Value()});
+    }
+    snapshot.gauges.reserve(gauges_.size());
+    for (const auto& named : gauges_) {
+      snapshot.gauges.push_back(
+          {named.name, named.labels, named.instrument.Value()});
+    }
+    snapshot.histograms.reserve(histograms_.size());
+    for (const auto& named : histograms_) {
+      HistogramSample sample;
+      sample.name = named.name;
+      sample.labels = named.labels;
+      sample.bounds = named.instrument.bucket_bounds();
+      sample.counts = named.instrument.BucketCounts();
+      sample.count = 0;
+      for (uint64_t c : sample.counts) sample.count += c;
+      sample.sum = named.instrument.Sum();
+      snapshot.histograms.push_back(std::move(sample));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& named : counters_) named.instrument.Reset();
+  for (auto& named : gauges_) named.instrument.Reset();
+  for (auto& named : histograms_) named.instrument.Reset();
+}
+
+}  // namespace obs
+}  // namespace upskill

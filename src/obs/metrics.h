@@ -1,0 +1,270 @@
+#ifndef UPSKILL_OBS_METRICS_H_
+#define UPSKILL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace upskill {
+namespace obs {
+
+/// Global switch for metric recording. When disabled, instrument updates
+/// are no-ops (a single relaxed atomic load) and the instrumented call
+/// sites skip their clock reads. Metrics are observation-only — they never
+/// feed back into any computation — so model outputs are bitwise identical
+/// either way (enforced by tests/obs/determinism_test.cc); the switch
+/// exists to take even the atomic traffic out of benchmarked hot loops.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal_metrics {
+
+/// Number of independent update stripes per instrument (power of two).
+/// Each writing thread hashes to one stripe, so concurrent updates from
+/// up to kStripes threads touch distinct cache lines — the hot path is a
+/// relaxed atomic add with no sharing in the common case. Reads reduce
+/// over all stripes.
+inline constexpr size_t kStripes = 16;
+
+/// Dense per-thread stripe slot, assigned on first use.
+size_t StripeIndex();
+
+/// Relaxed atomic accumulation for doubles (CAS loop; exact for the
+/// integer-valued sums the tests assert on, associative-only otherwise —
+/// metrics are diagnostics, never model inputs).
+inline void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+struct alignas(64) PaddedUint64 {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) PaddedDouble {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace internal_metrics
+
+/// Monotone event counter. Increment is a relaxed add on the calling
+/// thread's stripe; Value() sums the stripes (exact: integer arithmetic).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    stripes_[internal_metrics::StripeIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every stripe (registry Reset; not linearizable vs. writers).
+  void Reset() {
+    for (auto& stripe : stripes_) {
+      stripe.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  internal_metrics::PaddedUint64 stripes_[internal_metrics::kStripes];
+};
+
+/// Last-write-wins instantaneous value (queue depth, live sessions,
+/// imbalance ratio). Gauges are updated at coarse points, so a single
+/// atomic suffices; Add supports the delta-maintained gauges (sessions).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    if (!MetricsEnabled()) return;
+    internal_metrics::AtomicAdd(value_, delta);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a Histogram: fixed log-scale upper bounds
+/// min_bound * growth^i for i in [0, num_buckets), plus an implicit +Inf
+/// overflow bucket. The defaults span 1µs .. ~9 hours at 2x resolution,
+/// which covers every latency this system measures (serve requests,
+/// thread-pool task waits, trainer phases).
+struct HistogramOptions {
+  double min_bound = 1e-6;
+  double growth = 2.0;
+  int num_buckets = 45;
+};
+
+/// Fixed-bucket log-scale histogram. Observe is two relaxed atomic
+/// updates (bucket count + stripe sum) on the calling thread's stripe;
+/// bucket boundaries are fixed at construction so recording never
+/// allocates or locks.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value) {
+    if (!MetricsEnabled()) return;
+    const size_t stripe = internal_metrics::StripeIndex();
+    counts_[stripe * stride_ + BucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    internal_metrics::AtomicAdd(sums_[stripe].value, value);
+  }
+
+  /// Total observations (exact) and their sum (exact for integer-valued
+  /// observations; otherwise subject to float reassociation).
+  uint64_t Count() const;
+  double Sum() const;
+
+  /// Per-bucket totals reduced over the stripes; size num_buckets() + 1,
+  /// last entry is the +Inf overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  /// Finite upper bounds, size num_buckets().
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  int num_buckets() const { return static_cast<int>(bounds_.size()); }
+
+  void Reset();
+
+ private:
+  size_t BucketFor(double value) const {
+    // Bucket 0 is everything <= min_bound (including non-positive and NaN
+    // inputs — diagnostics must never branch to UB on a weird latency).
+    if (!(value > options_.min_bound)) return 0;
+    const double position =
+        (std::log(value) - log_min_) * inv_log_growth_;
+    size_t index = static_cast<size_t>(position) + 1;
+    const size_t overflow = bounds_.size();
+    if (index > overflow) index = overflow;
+    // The log arithmetic can round an exact boundary value into the
+    // neighboring bucket; snap back so every bound is le-inclusive
+    // (bucket i holds bounds[i-1] < value <= bounds[i]).
+    if (index < overflow && value > bounds_[index]) {
+      ++index;
+    } else if (value <= bounds_[index - 1]) {
+      --index;
+    }
+    return index;
+  }
+
+  HistogramOptions options_;
+  double log_min_ = 0.0;
+  double inv_log_growth_ = 0.0;
+  std::vector<double> bounds_;
+  size_t stride_ = 0;  // per-stripe slot count, padded to a cache line
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  internal_metrics::PaddedDouble sums_[internal_metrics::kStripes];
+};
+
+/// One collected sample of each instrument kind (stable value snapshot
+/// for the exposition renderers; reading concurrent instruments is
+/// per-stripe-atomic, not linearizable — fine for diagnostics).
+struct CounterSample {
+  std::string name;
+  std::string labels;  // raw Prometheus label body, e.g. kind="observe"
+  uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  std::string labels;
+  std::vector<double> bounds;    // finite upper bounds
+  std::vector<uint64_t> counts;  // bounds.size() + 1, last is +Inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Named-instrument registry. Get* registers on first use (mutex-guarded,
+/// cold path) and returns a stable reference the caller should cache; the
+/// returned instruments live as long as the registry, and their update
+/// paths are lock-free. `labels` is a raw Prometheus label body rendered
+/// verbatim inside {}, e.g. `kind="observe"` — empty for unlabelled
+/// instruments. The same (name, labels) pair always yields the same
+/// instrument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry every built-in instrument registers with.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge& GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& labels = "",
+                          HistogramOptions options = {});
+
+  /// Value snapshot of every registered instrument, sorted by
+  /// (name, labels) for stable exposition output.
+  MetricsSnapshot Collect() const;
+
+  /// Zeroes every instrument's value (instruments stay registered, so
+  /// cached references remain valid). For tests and per-run dumps.
+  void Reset();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::string labels;
+    T instrument;
+    Named(std::string n, std::string l) : name(std::move(n)), labels(std::move(l)) {}
+    Named(std::string n, std::string l, HistogramOptions options)
+        : name(std::move(n)), labels(std::move(l)), instrument(options) {}
+  };
+
+  mutable std::mutex mutex_;
+  // deques: stable instrument addresses while the registry grows.
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<Histogram>> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
+};
+
+}  // namespace obs
+}  // namespace upskill
+
+#endif  // UPSKILL_OBS_METRICS_H_

@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace obs {
+
+int CurrentThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked on purpose, like the metrics registry: span destructors in
+  // static-teardown paths must find a live recorder.
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+void TraceRecorder::Enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const char* name,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point end,
+                           int shard, int64_t iteration) {
+  TraceEvent event;
+  event.name = name;
+  event.duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  event.thread = CurrentThreadId();
+  event.shard = shard;
+  event.iteration = iteration;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_)
+          .count();
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+double Span::StopSeconds() {
+  if (stopped_) return elapsed_seconds_;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  elapsed_seconds_ =
+      std::chrono::duration<double>(end - start_).count();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.enabled()) {
+    recorder.Record(name_, start_, end, shard_, iteration_);
+  }
+  return elapsed_seconds_;
+}
+
+std::string RenderChromeTrace(const TraceRecorder& recorder) {
+  const std::vector<TraceEvent> events = recorder.Events();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f",
+        event.name, event.thread,
+        static_cast<double>(event.start_ns) / 1e3,
+        static_cast<double>(event.duration_ns) / 1e3);
+    if (event.shard >= 0 || event.iteration >= 0) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (event.shard >= 0) {
+        out += StringPrintf("\"shard\":%d", event.shard);
+        first_arg = false;
+      }
+      if (event.iteration >= 0) {
+        if (!first_arg) out += ',';
+        out += StringPrintf("\"iteration\":%lld",
+                            static_cast<long long>(event.iteration));
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace upskill

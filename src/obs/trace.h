@@ -1,0 +1,135 @@
+#ifndef UPSKILL_OBS_TRACE_H_
+#define UPSKILL_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace upskill {
+namespace obs {
+
+/// One completed span. `name` must be a string with static storage
+/// duration (span call sites use literals) so recording never copies or
+/// allocates per-character. Times are nanoseconds on the steady clock,
+/// relative to the recorder's Enable() epoch.
+struct TraceEvent {
+  const char* name = "";
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  /// Dense process-local thread id (0 = first thread that recorded).
+  int thread = 0;
+  /// Shard index for shard-scoped spans, -1 otherwise.
+  int shard = -1;
+  /// Training iteration for trainer-phase spans, -1 otherwise.
+  int64_t iteration = -1;
+};
+
+/// Dense small id for the calling thread, assigned on first use. Shared
+/// with nothing else; used so trace rows group by worker rather than by
+/// an opaque pthread handle.
+int CurrentThreadId();
+
+/// Collects phase-scoped spans while enabled. Spans are coarse by design
+/// (trainer phases, per-shard map tasks — not per-request), so a mutex
+/// push per completed span is cheap; the recorder is disabled by default
+/// and every span call site checks the flag with one relaxed load before
+/// touching the clock. Capacity is bounded: past kMaxEvents spans are
+/// counted but dropped, so a forgotten-enabled recorder cannot eat the
+/// heap.
+class TraceRecorder {
+ public:
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Process-wide recorder used by UPSKILL_SPAN.
+  static TraceRecorder& Global();
+
+  /// Clears previous events, stamps the epoch, starts recording.
+  void Enable();
+  /// Stops recording; collected events remain readable.
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Record(const char* name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end, int shard,
+              int64_t iteration);
+
+  /// Copy of the collected events (chronological by completion).
+  std::vector<TraceEvent> Events() const;
+  /// Spans rejected because the buffer was full.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII phase span. Always measures (two steady-clock reads bracketing
+/// the scope) and hands the elapsed seconds back through StopSeconds(),
+/// so instrumented code can feed latency histograms and the trainer's
+/// seconds readouts from the same clock reads; the trace event itself is
+/// only recorded when the global recorder is enabled.
+class Span {
+ public:
+  explicit Span(const char* name, int shard = -1, int64_t iteration = -1)
+      : name_(name),
+        shard_(shard),
+        iteration_(iteration),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (!stopped_) StopSeconds();
+  }
+
+  /// Ends the span (records it if tracing is enabled) and returns the
+  /// elapsed seconds. Idempotent: later calls return the first elapsed.
+  double StopSeconds();
+
+ private:
+  const char* name_;
+  int shard_;
+  int64_t iteration_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+  double elapsed_seconds_ = 0.0;
+};
+
+/// Chrome about://tracing JSON for the recorder's events: one complete
+/// ("ph":"X") event per span, microsecond timestamps, thread ids as tids,
+/// shard/iteration in args. Load via chrome://tracing or Perfetto.
+std::string RenderChromeTrace(const TraceRecorder& recorder);
+
+}  // namespace obs
+}  // namespace upskill
+
+/// Scoped span over the rest of the enclosing block:
+///   UPSKILL_SPAN("assignment");
+/// Shard- and iteration-scoped variants thread the extra ids into the
+/// trace event. The variable name embeds the line number so two spans can
+/// coexist in one scope.
+#define UPSKILL_SPAN(name) \
+  ::upskill::obs::Span UPSKILL_SPAN_CONCAT_(upskill_span_, __LINE__)(name)
+#define UPSKILL_SPAN_SHARD(name, shard)                                 \
+  ::upskill::obs::Span UPSKILL_SPAN_CONCAT_(upskill_span_, __LINE__)(   \
+      name, (shard))
+#define UPSKILL_SPAN_CONCAT_(a, b) UPSKILL_SPAN_CONCAT_IMPL_(a, b)
+#define UPSKILL_SPAN_CONCAT_IMPL_(a, b) a##b
+
+#endif  // UPSKILL_OBS_TRACE_H_

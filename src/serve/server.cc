@@ -7,11 +7,27 @@
 #include "core/dp.h"
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 
 namespace upskill {
 namespace serve {
 
 namespace {
+
+/// Trace span names per request kind (Span keeps the pointer, so these
+/// must be string literals).
+constexpr const char* kKindSpanNames[kNumServeRequestKinds] = {
+    "serve/observe", "serve/level", "serve/recommend",
+    "serve/difficulty", "serve/swap", "serve/stats",
+    "serve/evict", "serve/reset", "serve/quit",
+};
+
+obs::Counter& ParseErrorCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "upskill_serve_parse_errors_total");
+  return counter;
+}
 
 std::vector<std::string> Tokenize(const std::string& line) {
   std::vector<std::string> tokens;
@@ -27,9 +43,39 @@ Status WrongArity(const char* command, const char* usage) {
       StringPrintf("%s expects: %s", command, usage));
 }
 
+Result<ServeRequest> ParseServeRequestImpl(const std::string& line);
+
 }  // namespace
 
+const char* ServeRequestKindName(ServeRequest::Kind kind) {
+  switch (kind) {
+    case ServeRequest::Kind::kObserve: return "observe";
+    case ServeRequest::Kind::kLevel: return "level";
+    case ServeRequest::Kind::kRecommend: return "recommend";
+    case ServeRequest::Kind::kDifficulty: return "difficulty";
+    case ServeRequest::Kind::kSwap: return "swap";
+    case ServeRequest::Kind::kStats: return "stats";
+    case ServeRequest::Kind::kEvict: return "evict";
+    case ServeRequest::Kind::kReset: return "reset";
+    case ServeRequest::Kind::kQuit: return "quit";
+  }
+  return "unknown";
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  return StringPrintf("ERR %s %s", StatusCodeToString(status.code()),
+                      status.message().c_str());
+}
+
 Result<ServeRequest> ParseServeRequest(const std::string& line) {
+  Result<ServeRequest> result = ParseServeRequestImpl(line);
+  if (!result.ok()) ParseErrorCounter().Increment();
+  return result;
+}
+
+namespace {
+
+Result<ServeRequest> ParseServeRequestImpl(const std::string& line) {
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return Status::InvalidArgument("empty request");
   ServeRequest request;
@@ -118,8 +164,30 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   return Status::InvalidArgument("unknown command: " + command);
 }
 
+}  // namespace
+
 Server::Server(std::shared_ptr<const ServingModel> model, int num_shards)
-    : model_(std::move(model)), sessions_(num_shards) {}
+    : model_(std::move(model)),
+      sessions_(num_shards),
+      snapshot_swaps_(obs::MetricsRegistry::Global().GetCounter(
+          "upskill_serve_snapshot_swaps_total")) {
+  // Register the per-kind instruments up front: the request path then
+  // only touches lock-free instrument updates, never the registry mutex.
+  // Request latencies start at a 100ns bucket (requests are O(S) DP
+  // steps, often sub-microsecond).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::HistogramOptions latency_options;
+  latency_options.min_bound = 1e-7;
+  for (int i = 0; i < kNumServeRequestKinds; ++i) {
+    const std::string labels = StringPrintf(
+        "kind=\"%s\"", ServeRequestKindName(static_cast<ServeRequest::Kind>(i)));
+    instruments_[static_cast<size_t>(i)] = KindInstruments{
+        &registry.GetHistogram("upskill_serve_request_latency_seconds", labels,
+                               latency_options),
+        &registry.GetCounter("upskill_serve_requests_total", labels),
+        &registry.GetCounter("upskill_serve_request_errors_total", labels)};
+  }
+}
 
 std::shared_ptr<const ServingModel> Server::model() const {
   std::lock_guard<std::mutex> lock(model_mutex_);
@@ -221,6 +289,7 @@ void Server::SwapSnapshot(std::shared_ptr<const ServingModel> next) {
     model_ = std::move(next);
   }
   if (reset) sessions_.Clear();
+  snapshot_swaps_.Increment();
 }
 
 Status Server::SwapSnapshotFile(const std::string& path, ThreadPool* pool) {
@@ -233,18 +302,33 @@ Status Server::SwapSnapshotFile(const std::string& path, ThreadPool* pool) {
 
 std::string Server::Execute(const ServeRequest& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  const size_t kind = static_cast<size_t>(request.kind);
+  instruments_[kind].requests->Increment();
+  if (!obs::MetricsEnabled() && !obs::TraceRecorder::Global().enabled()) {
+    return ExecuteInternal(request);
+  }
+  obs::Span span(kKindSpanNames[kind]);
+  std::string response = ExecuteInternal(request);
+  instruments_[kind].latency->Observe(span.StopSeconds());
+  if (response.compare(0, 4, "ERR ") == 0) {
+    instruments_[kind].errors->Increment();
+  }
+  return response;
+}
+
+std::string Server::ExecuteInternal(const ServeRequest& request) {
   switch (request.kind) {
     case ServeRequest::Kind::kObserve: {
       const Result<SessionLevel> result =
           Observe(request.user, request.item, request.time, request.has_time);
-      if (!result.ok()) return "error " + result.status().ToString();
+      if (!result.ok()) return FormatErrorResponse(result.status());
       return StringPrintf("ok level=%d actions=%llu", result.value().level,
                           static_cast<unsigned long long>(
                               result.value().actions));
     }
     case ServeRequest::Kind::kLevel: {
       const Result<SessionLevel> result = CurrentLevel(request.user);
-      if (!result.ok()) return "error " + result.status().ToString();
+      if (!result.ok()) return FormatErrorResponse(result.status());
       return StringPrintf("ok level=%d actions=%llu", result.value().level,
                           static_cast<unsigned long long>(
                               result.value().actions));
@@ -255,7 +339,7 @@ std::string Server::Execute(const ServeRequest& request) {
       options.stretch = request.stretch;
       const Result<std::vector<UpskillRecommendation>> picks =
           Recommend(request.user, options);
-      if (!picks.ok()) return "error " + picks.status().ToString();
+      if (!picks.ok()) return FormatErrorResponse(picks.status());
       std::string response =
           StringPrintf("ok n=%zu", picks.value().size());
       for (const UpskillRecommendation& pick : picks.value()) {
@@ -266,23 +350,31 @@ std::string Server::Execute(const ServeRequest& request) {
     }
     case ServeRequest::Kind::kDifficulty: {
       const Result<double> difficulty = ItemDifficulty(request.item);
-      if (!difficulty.ok()) return "error " + difficulty.status().ToString();
+      if (!difficulty.ok()) return FormatErrorResponse(difficulty.status());
       return StringPrintf("ok difficulty=%.17g", difficulty.value());
     }
     case ServeRequest::Kind::kSwap: {
       const Status swapped = SwapSnapshotFile(request.path);
-      if (!swapped.ok()) return "error " + swapped.ToString();
+      if (!swapped.ok()) return FormatErrorResponse(swapped);
       const std::shared_ptr<const ServingModel> model = this->model();
       return StringPrintf("ok swapped levels=%d items=%d",
                           model->num_levels(), model->num_items());
     }
     case ServeRequest::Kind::kStats: {
       const std::shared_ptr<const ServingModel> model = this->model();
-      return StringPrintf(
-          "ok sessions=%zu shards=%d levels=%d items=%d requests=%llu",
+      // Summary line first (stable machine-parseable header), then the
+      // Prometheus exposition of the whole process registry. The "# EOF"
+      // terminator doubles as the protocol's end-of-response marker for
+      // this one multi-line response.
+      std::string response = StringPrintf(
+          "ok sessions=%zu shards=%d levels=%d items=%d requests=%llu\n",
           num_sessions(), sessions_.num_shards(), model->num_levels(),
           model->num_items(),
           static_cast<unsigned long long>(requests_served()));
+      response += obs::RenderPrometheus(obs::MetricsRegistry::Global());
+      // The transport layer appends the final newline.
+      while (!response.empty() && response.back() == '\n') response.pop_back();
+      return response;
     }
     case ServeRequest::Kind::kEvict: {
       const size_t evicted = EvictIdleSessions(request.time);
@@ -296,7 +388,7 @@ std::string Server::Execute(const ServeRequest& request) {
     case ServeRequest::Kind::kQuit:
       return "ok bye";
   }
-  return "error Internal: unhandled request kind";
+  return FormatErrorResponse(Status::Internal("unhandled request kind"));
 }
 
 std::vector<std::string> Server::ExecuteBatch(

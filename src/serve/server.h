@@ -1,6 +1,7 @@
 #ifndef UPSKILL_SERVE_SERVER_H_
 #define UPSKILL_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -11,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/serving_model.h"
 #include "serve/session_store.h"
 
@@ -53,8 +55,22 @@ struct ServeRequest {
   std::string path;
 };
 
+/// Number of ServeRequest::Kind values (for per-kind instrument arrays).
+inline constexpr int kNumServeRequestKinds = 9;
+
+/// Protocol keyword for `kind` ("observe", "level", ...). Used both for
+/// documentation strings and as the `kind` label on per-request metrics.
+const char* ServeRequestKindName(ServeRequest::Kind kind);
+
 /// Parses one protocol line (leading/trailing whitespace ignored).
+/// Parse failures are counted in `upskill_serve_parse_errors_total`.
 Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+/// Renders the machine-parseable error line of the serving protocol:
+/// `ERR <code> <message>` with `<code>` a StatusCodeToString name, e.g.
+/// `ERR NotFound no observed actions for user alice`. Everything after
+/// the second space is free-form message text.
+std::string FormatErrorResponse(const Status& status);
 
 /// Level and observation count reported by Observe / CurrentLevel.
 struct SessionLevel {
@@ -115,8 +131,13 @@ class Server {
     return requests_.load(std::memory_order_relaxed);
   }
 
-  /// Executes one request, rendering the response line ("ok ..." on
-  /// success, "error ..." on failure; one line either way).
+  /// Executes one request, rendering the response ("ok ..." on success,
+  /// "ERR <code> <message>" on failure). Every response is a single line
+  /// except `stats`, whose "ok ..." summary line is followed by the
+  /// Prometheus exposition of the process metrics registry (terminated by
+  /// "# EOF"). Each call observes its latency in the per-kind
+  /// `upskill_serve_request_latency_seconds` histogram and bumps the
+  /// per-kind request/error counters.
   std::string Execute(const ServeRequest& request);
 
   /// Executes a batch, responses in request order, fanning out over
@@ -128,10 +149,23 @@ class Server {
                                         ThreadPool* pool = nullptr);
 
  private:
+  /// Telemetry handles for one request kind, registered at construction
+  /// so the per-request path never touches the registry mutex.
+  struct KindInstruments {
+    obs::Histogram* latency = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+
+  /// Execute minus the telemetry wrapper (timing, per-kind counters).
+  std::string ExecuteInternal(const ServeRequest& request);
+
   mutable std::mutex model_mutex_;
   std::shared_ptr<const ServingModel> model_;
   SessionStore sessions_;
   std::atomic<uint64_t> requests_{0};
+  std::array<KindInstruments, kNumServeRequestKinds> instruments_;
+  obs::Counter& snapshot_swaps_;
 };
 
 }  // namespace serve

@@ -14,7 +14,21 @@ size_t RoundUpToPowerOfTwo(int n) {
 
 SessionStore::SessionStore(int num_shards)
     : shards_(RoundUpToPowerOfTwo(num_shards)),
-      mask_(shards_.size() - 1) {}
+      mask_(shards_.size() - 1),
+      live_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "upskill_serve_live_sessions")),
+      evictions_(obs::MetricsRegistry::Global().GetCounter(
+          "upskill_serve_sessions_evicted_total")) {}
+
+SessionStore::~SessionStore() {
+  const int64_t remaining = live_.load(std::memory_order_relaxed);
+  if (remaining != 0) live_gauge_.Add(static_cast<double>(-remaining));
+}
+
+void SessionStore::AddLive(int64_t delta) {
+  live_.fetch_add(delta, std::memory_order_relaxed);
+  live_gauge_.Add(static_cast<double>(delta));
+}
 
 bool SessionStore::Lookup(const std::string& user, SessionState* out) const {
   const Shard& shard = ShardFor(user);
@@ -28,7 +42,9 @@ bool SessionStore::Lookup(const std::string& user, SessionState* out) const {
 bool SessionStore::Erase(const std::string& user) {
   Shard& shard = ShardFor(user);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.sessions.erase(user) > 0;
+  const bool erased = shard.sessions.erase(user) > 0;
+  if (erased) AddLive(-1);
+  return erased;
 }
 
 size_t SessionStore::size() const {
@@ -48,14 +64,21 @@ size_t SessionStore::EvictIdleSessions(int64_t min_last_time) {
       return entry.second.last_time < min_last_time;
     });
   }
+  if (evicted > 0) {
+    AddLive(-static_cast<int64_t>(evicted));
+    evictions_.Increment(evicted);
+  }
   return evicted;
 }
 
 void SessionStore::Clear() {
+  size_t dropped = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    dropped += shard.sessions.size();
     shard.sessions.clear();
   }
+  if (dropped > 0) AddLive(-static_cast<int64_t>(dropped));
 }
 
 }  // namespace serve

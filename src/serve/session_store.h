@@ -1,6 +1,7 @@
 #ifndef UPSKILL_SERVE_SESSION_STORE_H_
 #define UPSKILL_SERVE_SESSION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -8,6 +9,8 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace upskill {
 namespace serve {
@@ -43,6 +46,7 @@ class SessionStore {
  public:
   /// `num_shards` is rounded up to a power of two (minimum 1).
   explicit SessionStore(int num_shards = 64);
+  ~SessionStore();
 
   /// Runs `fn` on the (created-if-absent) session for `user`, holding the
   /// shard lock for the duration. Keep `fn` short: it serializes every
@@ -51,7 +55,9 @@ class SessionStore {
   void WithSession(const std::string& user, Fn&& fn) {
     Shard& shard = ShardFor(user);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    fn(shard.sessions[user]);
+    const auto [it, inserted] = shard.sessions.try_emplace(user);
+    if (inserted) AddLive(1);
+    fn(it->second);
   }
 
   /// Copies the session for `user` into `out`; false when absent.
@@ -82,6 +88,12 @@ class SessionStore {
     std::unordered_map<std::string, SessionState> sessions;
   };
 
+  /// Adjusts the store's live-session count and the process-wide
+  /// `upskill_serve_live_sessions` gauge by `delta`. The gauge is
+  /// delta-maintained, so it totals across every live store; each store
+  /// retires its remaining sessions on destruction.
+  void AddLive(int64_t delta);
+
   Shard& ShardFor(const std::string& user) {
     return shards_[std::hash<std::string>{}(user)&mask_];
   }
@@ -93,6 +105,11 @@ class SessionStore {
   // (mutex), so the vector is sized once in the constructor.
   std::vector<Shard> shards_;
   size_t mask_ = 0;
+  // This store's share of the live-session gauge (subtracted on
+  // destruction so dead stores don't leak gauge mass).
+  std::atomic<int64_t> live_{0};
+  obs::Gauge& live_gauge_;
+  obs::Counter& evictions_;
 };
 
 }  // namespace serve

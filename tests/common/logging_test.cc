@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,56 @@ TEST(LoggingTest, ConcurrentLoggingDoesNotCrash) {
   SUCCEED();
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsAllNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("eRRoR", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("debu", &level));
+  EXPECT_FALSE(ParseLogLevel("errors", &level));
+  // A failed parse leaves the output untouched.
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+// Drives the UPSKILL_LOG_LEVEL machinery through the unguarded re-read
+// hook (the public InitLogLevelFromEnv applies only once per process, at
+// static-init time, so it cannot be re-tested after setenv).
+TEST(LoggingTest, EnvOverrideSetsThreshold) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("UPSKILL_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  EXPECT_TRUE(internal_logging::ApplyLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ASSERT_EQ(setenv("UPSKILL_LOG_LEVEL", "DEBUG", 1), 0);
+  EXPECT_TRUE(internal_logging::ApplyLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  unsetenv("UPSKILL_LOG_LEVEL");
+}
+
+TEST(LoggingTest, EnvOverrideIgnoresInvalidAndUnsetValues) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ASSERT_EQ(setenv("UPSKILL_LOG_LEVEL", "loud", 1), 0);
+  EXPECT_FALSE(internal_logging::ApplyLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  ASSERT_EQ(setenv("UPSKILL_LOG_LEVEL", "", 1), 0);
+  EXPECT_FALSE(internal_logging::ApplyLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  unsetenv("UPSKILL_LOG_LEVEL");
+  EXPECT_FALSE(internal_logging::ApplyLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
 TEST(CheckTest, PassingCheckIsNoOp) {
   UPSKILL_CHECK(1 + 1 == 2);
   SUCCEED();
@@ -95,6 +146,21 @@ TEST(StopwatchTest, ResetRestarts) {
   const double before = watch.ElapsedSeconds();
   watch.Reset();
   EXPECT_LE(watch.ElapsedSeconds(), before + 1e-3);
+}
+
+// Regression guard for the steady_clock monotonicity contract documented
+// in stopwatch.h: elapsed time is never negative, no matter how tightly
+// Reset() and ElapsedSeconds() are interleaved. (A wall-clock-backed
+// stopwatch can violate this under NTP adjustments; steady_clock cannot.)
+TEST(StopwatchTest, ElapsedNeverNegativeAcrossRepeatedResets) {
+  Stopwatch watch;
+  for (int i = 0; i < 10000; ++i) {
+    watch.Reset();
+    EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+    EXPECT_GE(watch.ElapsedMillis(), 0.0);
+  }
+  // Also immediately after construction, with no work in between.
+  EXPECT_GE(Stopwatch().ElapsedSeconds(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// Telemetry must be observation-only: training with metrics and tracing
+// enabled produces bitwise-identical models, assignments, and objectives
+// to training with both disabled, including under a multi-threaded pool.
+// Runs under UPSKILL_SANITIZE=thread as a race detector for the
+// instrumented MapShards / ThreadPool paths.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace upskill {
+namespace {
+
+datagen::GeneratedData MakeData() {
+  datagen::SyntheticConfig config;
+  config.num_users = 100;
+  config.num_items = 90;
+  config.mean_sequence_length = 18.0;
+  config.seed = 20260808;
+  auto data = datagen::GenerateSynthetic(config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+SkillModelConfig MakeConfig(int threads) {
+  SkillModelConfig config;
+  config.num_levels = 4;
+  config.max_iterations = 6;
+  config.min_init_actions = 8;
+  config.parallel.num_threads = threads;
+  config.parallel.users = threads > 1;
+  config.parallel.levels = threads > 1;
+  config.parallel.features = threads > 1;
+  return config;
+}
+
+// Every component's parameter vector, in (feature, level) order; bitwise
+// equality of these vectors means the fitted model is bitwise identical.
+std::vector<std::vector<double>> ModelParams(const SkillModel& model) {
+  std::vector<std::vector<double>> params;
+  for (int f = 0; f < model.num_features(); ++f) {
+    for (int s = 1; s <= model.num_levels(); ++s) {
+      params.push_back(model.component(f, s).Parameters());
+    }
+  }
+  return params;
+}
+
+TEST(ObsDeterminismTest, MetricsAndTracingDoNotPerturbTraining) {
+  const datagen::GeneratedData data = MakeData();
+  for (const int threads : {1, 8}) {
+    const SkillModelConfig config = MakeConfig(threads);
+
+    // Baseline: all telemetry off.
+    obs::SetMetricsEnabled(false);
+    obs::TraceRecorder::Global().Disable();
+    const auto baseline = Trainer(config).Train(data.dataset);
+    ASSERT_TRUE(baseline.ok());
+
+    // Instrumented: metrics on, recorder capturing every span.
+    obs::SetMetricsEnabled(true);
+    obs::TraceRecorder::Global().Enable();
+    const auto instrumented = Trainer(config).Train(data.dataset);
+    obs::TraceRecorder::Global().Disable();
+    ASSERT_TRUE(instrumented.ok());
+    EXPECT_FALSE(obs::TraceRecorder::Global().Events().empty());
+
+    EXPECT_EQ(baseline.value().iterations, instrumented.value().iterations)
+        << "threads=" << threads;
+    // Bitwise, not approximate: telemetry may not reorder a single
+    // floating-point operation.
+    EXPECT_EQ(baseline.value().final_log_likelihood,
+              instrumented.value().final_log_likelihood)
+        << "threads=" << threads;
+    EXPECT_EQ(ModelParams(baseline.value().model),
+              ModelParams(instrumented.value().model))
+        << "threads=" << threads;
+    EXPECT_EQ(baseline.value().assignments, instrumented.value().assignments)
+        << "threads=" << threads;
+  }
+}
+
+// The phase-seconds readout (TrainResult) must stay populated whether or
+// not the registry is recording: the Span clock runs regardless.
+TEST(ObsDeterminismTest, PhaseSecondsPopulatedWithMetricsDisabled) {
+  const datagen::GeneratedData data = MakeData();
+  obs::SetMetricsEnabled(false);
+  const auto result = Trainer(MakeConfig(1)).Train(data.dataset);
+  obs::SetMetricsEnabled(true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().init_seconds, 0.0);
+  EXPECT_GT(result.value().assignment_seconds, 0.0);
+  EXPECT_GT(result.value().update_seconds, 0.0);
+  EXPECT_GT(result.value().cache_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace upskill

@@ -1,0 +1,277 @@
+// The metrics registry's contract: instruments are exact under
+// concurrency (the per-thread stripes lose no updates), bucket boundaries
+// are le-inclusive, the registry hands back stable identities, and the
+// whole thing degrades to a no-op when disabled. The 8-thread hammer
+// tests double as race detectors under UPSKILL_SANITIZE=thread.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+
+namespace upskill {
+namespace obs {
+namespace {
+
+// Metrics are enabled by default; tests that flip the switch restore it.
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() : saved_(MetricsEnabled()) {}
+  ~MetricsEnabledGuard() { SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(CounterTest, ExactTotalsFromEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, DeltaIncrements) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment();
+  counter.Increment(0);
+  EXPECT_EQ(counter.Value(), 6u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.Value(), 3.5);
+  gauge.Add(1.5);
+  gauge.Add(-2.0);
+  EXPECT_EQ(gauge.Value(), 3.0);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, ExactCountAndSumFromEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Small integers: their double sum is exact, so the total is
+        // asserted with operator==, not a tolerance.
+        histogram.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  // Sum of (t+1) over t in [0,8) is 36 per round of one observation each.
+  EXPECT_EQ(histogram.Sum(), 36.0 * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t count : histogram.BucketCounts()) bucket_total += count;
+  EXPECT_EQ(bucket_total, histogram.Count());
+}
+
+TEST(HistogramTest, BucketBoundariesAreLeInclusive) {
+  HistogramOptions options;
+  options.min_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 3;  // bounds 1, 2, 4 (+Inf overflow)
+  Histogram histogram(options);
+  ASSERT_EQ(histogram.bucket_bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+
+  histogram.Observe(0.5);   // bucket 0 (<= 1)
+  histogram.Observe(1.0);   // bucket 0 (boundary is inclusive)
+  histogram.Observe(1.5);   // bucket 1
+  histogram.Observe(2.0);   // bucket 1 (boundary)
+  histogram.Observe(3.0);   // bucket 2
+  histogram.Observe(4.0);   // bucket 2 (boundary)
+  histogram.Observe(4.001); // overflow
+  histogram.Observe(-1.0);  // bucket 0 (non-positive clamps low)
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, DefaultCoversMicrosecondsToHours) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.num_buckets(), 45);
+  EXPECT_DOUBLE_EQ(histogram.bucket_bounds().front(), 1e-6);
+  EXPECT_GT(histogram.bucket_bounds().back(), 3600.0);
+  histogram.Observe(1e-9);
+  histogram.Observe(0.25);
+  histogram.Observe(1e9);
+  EXPECT_EQ(histogram.Count(), 3u);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsYieldSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests", "kind=\"x\"");
+  Counter& b = registry.GetCounter("requests", "kind=\"x\"");
+  Counter& c = registry.GetCounter("requests", "kind=\"y\"");
+  Counter& d = registry.GetCounter("other");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_NE(&a, &d);
+  // Gauges and histograms live in separate namespaces.
+  Gauge& g = registry.GetGauge("requests");
+  Histogram& h = registry.GetHistogram("requests");
+  EXPECT_EQ(&g, &registry.GetGauge("requests"));
+  EXPECT_EQ(&h, &registry.GetHistogram("requests"));
+}
+
+TEST(MetricsRegistryTest, CollectIsSortedAndReflectsValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta").Increment(7);
+  registry.GetCounter("alpha", "kind=\"b\"").Increment(1);
+  registry.GetCounter("alpha", "kind=\"a\"").Increment(2);
+  registry.GetGauge("depth").Set(4.0);
+  registry.GetHistogram("lat").Observe(0.5);
+
+  const MetricsSnapshot snapshot = registry.Collect();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[0].labels, "kind=\"a\"");
+  EXPECT_EQ(snapshot.counters[0].value, 2u);
+  EXPECT_EQ(snapshot.counters[1].labels, "kind=\"b\"");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, 4.0);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+  EXPECT_EQ(snapshot.histograms[0].sum, 0.5);
+  EXPECT_EQ(snapshot.histograms[0].counts.size(),
+            snapshot.histograms[0].bounds.size() + 1);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsIdentity) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("hits");
+  counter.Increment(9);
+  registry.GetGauge("depth").Set(2.0);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(registry.Collect().gauges[0].value, 0.0);
+  EXPECT_EQ(&counter, &registry.GetCounter("hits"));
+}
+
+TEST(MetricsEnabledTest, DisabledInstrumentsAreNoOps) {
+  MetricsEnabledGuard guard;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  counter.Increment();
+  gauge.Set(5.0);
+  gauge.Add(1.0);
+  histogram.Observe(1.0);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(histogram.Count(), 0u);
+  SetMetricsEnabled(true);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+TEST(ExpositionTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("upskill_requests_total", "kind=\"observe\"")
+      .Increment(3);
+  registry.GetGauge("upskill_depth").Set(2.5);
+  HistogramOptions options;
+  options.min_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 2;  // bounds 1, 2
+  Histogram& histogram =
+      registry.GetHistogram("upskill_lat_seconds", "", options);
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  histogram.Observe(9.0);
+
+  const std::string text = RenderPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE upskill_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_requests_total{kind=\"observe\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE upskill_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("upskill_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE upskill_lat_seconds histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative; +Inf equals the total count.
+  EXPECT_NE(text.find("upskill_lat_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_lat_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("upskill_lat_seconds_sum 11\n"), std::string::npos);
+  // Terminated by the OpenMetrics-style EOF marker.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(ExpositionTest, JsonContainsEverySection) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", "kind=\"a\"").Increment(2);
+  registry.GetGauge("g").Set(1.25);
+  registry.GetHistogram("h").Observe(3.0);
+  const std::string json = RenderMetricsJson(registry);
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":\"kind=\\\"a\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// Concurrent writers against *registry-owned* instruments while a reader
+// collects: no torn values, and the final totals are exact.
+TEST(MetricsRegistryTest, ConcurrentWritersAndCollector) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("hammered_total");
+  Histogram& histogram = registry.GetHistogram("hammered_seconds");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(1.0);
+      }
+    });
+  }
+  // Interleaved reads; values observed mid-flight just have to be sane.
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snapshot = registry.Collect();
+    EXPECT_LE(snapshot.counters[0].value,
+              static_cast<uint64_t>(kThreads * kPerThread));
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram.Sum(), static_cast<double>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace upskill

@@ -69,7 +69,6 @@ TEST_F(ServeCliTest, TrainSnapshotServeRoundTripWithMidSessionSwap) {
            << "level alice\n"
            << "recommend alice 5\n"
            << "difficulty 3\n"
-           << "stats\n"
            << "swap " << dir_ << "/model.snap\n"   // same S: session lives
            << "level alice\n"
            << "swap " << dir_ << "/model3.snap\n"  // S change: sessions reset
@@ -88,25 +87,102 @@ TEST_F(ServeCliTest, TrainSnapshotServeRoundTripWithMidSessionSwap) {
   ASSERT_EQ(std::system(command.c_str()), 0) << command;
 
   const std::vector<std::string> lines = Lines(Slurp(out));
-  ASSERT_EQ(lines.size(), 15u) << Slurp(out);
+  ASSERT_EQ(lines.size(), 14u) << Slurp(out);
   EXPECT_EQ(lines[0].substr(0, 9), "ok level=");           // observe alice
   EXPECT_EQ(lines[1].substr(0, 9), "ok level=");           // observe alice
   EXPECT_EQ(lines[2].substr(0, 9), "ok level=");           // level alice
   EXPECT_NE(lines[2].find("actions=2"), std::string::npos) << lines[2];
   EXPECT_EQ(lines[3].substr(0, 5), "ok n=");               // recommend
   EXPECT_EQ(lines[4].substr(0, 14), "ok difficulty=");     // difficulty
-  EXPECT_NE(lines[5].find("ok sessions=1"), std::string::npos) << lines[5];
-  EXPECT_EQ(lines[6].substr(0, 20), "ok swapped levels=4 ");
-  EXPECT_NE(lines[7].find("actions=2"), std::string::npos)
-      << "same-S swap must keep the session: " << lines[7];
-  EXPECT_EQ(lines[8].substr(0, 20), "ok swapped levels=3 ");
-  EXPECT_EQ(lines[9].substr(0, 6), "error ")
-      << "S-changing swap must reset sessions: " << lines[9];
-  EXPECT_NE(lines[10].find("actions=1"), std::string::npos) << lines[10];
-  EXPECT_EQ(lines[11].substr(0, 9), "ok level=");          // batch: bob
-  EXPECT_EQ(lines[12].substr(0, 9), "ok level=");          // batch: carol
-  EXPECT_EQ(lines[13].substr(0, 6), "error ");             // unknown command
-  EXPECT_EQ(lines[14], "ok bye");
+  EXPECT_EQ(lines[5].substr(0, 20), "ok swapped levels=4 ");
+  EXPECT_NE(lines[6].find("actions=2"), std::string::npos)
+      << "same-S swap must keep the session: " << lines[6];
+  EXPECT_EQ(lines[7].substr(0, 20), "ok swapped levels=3 ");
+  EXPECT_EQ(lines[8].substr(0, 13), "ERR NotFound ")
+      << "S-changing swap must reset sessions: " << lines[8];
+  EXPECT_NE(lines[9].find("actions=1"), std::string::npos) << lines[9];
+  EXPECT_EQ(lines[10].substr(0, 9), "ok level=");          // batch: bob
+  EXPECT_EQ(lines[11].substr(0, 9), "ok level=");          // batch: carol
+  EXPECT_EQ(lines[12].substr(0, 20), "ERR InvalidArgument ")
+      << "unknown command must use the machine-parseable ERR line: "
+      << lines[12];
+  EXPECT_EQ(lines[13], "ok bye");
+}
+
+TEST_F(ServeCliTest, StatsEmitsPrometheusExposition) {
+  Run("generate synthetic " + dir_ + "/data --users 30 --seed 13");
+  Run("train " + dir_ + "/data " + dir_ + "/model.csv --levels 3");
+  Run("snapshot " + dir_ + "/data " + dir_ + "/model.csv " + dir_ +
+      "/model.snap --levels 3");
+
+  {
+    std::ofstream script(dir_ + "/input.txt");
+    script << "observe alice 1 100\n"
+           << "observe bob 2 200\n"
+           << "level ghost\n"   // NotFound -> error counter for kind=level
+           << "evict 150\n"     // evicts alice (last_time 100 < 150)
+           << "stats\n"
+           << "quit\n";
+  }
+  const std::string out = dir_ + "/output.txt";
+  const std::string command = std::string(UPSKILL_CLI_PATH) + " serve " +
+                              dir_ + "/model.snap < " + dir_ +
+                              "/input.txt > " + out + " 2> /dev/null";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const std::string text = Slurp(out);
+  const std::vector<std::string> lines = Lines(text);
+  ASSERT_GE(lines.size(), 6u) << text;
+  EXPECT_EQ(lines[2].substr(0, 13), "ERR NotFound ") << lines[2];
+  EXPECT_EQ(lines[3], "ok evicted=1 sessions=1");
+  // The stats response: summary header line, then the full Prometheus
+  // exposition terminated by "# EOF", then quit's "ok bye".
+  EXPECT_NE(text.find("ok sessions=1 shards="), std::string::npos) << text;
+  EXPECT_NE(
+      text.find("# TYPE upskill_serve_request_latency_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(text.find("upskill_serve_request_latency_seconds_bucket{"
+                      "kind=\"observe\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_serve_request_latency_seconds_count{"
+                      "kind=\"observe\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_serve_live_sessions 1"), std::string::npos);
+  EXPECT_NE(text.find("upskill_serve_sessions_evicted_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_serve_snapshot_swaps_total 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("upskill_serve_request_errors_total{kind=\"level\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("\n# EOF\n"), std::string::npos);
+  EXPECT_EQ(lines.back(), "ok bye");
+}
+
+TEST_F(ServeCliTest, TrainWritesTraceAndMetricsDumps) {
+  Run("generate synthetic " + dir_ + "/data --users 30 --seed 17");
+  Run("train " + dir_ + "/data " + dir_ + "/model.csv --levels 3 " +
+      "--trace-out " + dir_ + "/trace.json --metrics-out " + dir_ +
+      "/metrics.prom");
+
+  const std::string trace = Slurp(dir_ + "/trace.json");
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
+  // One span per trainer phase per iteration.
+  EXPECT_NE(trace.find("\"name\":\"train/init\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"train/cache\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"train/assignment\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string metrics = Slurp(dir_ + "/metrics.prom");
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_NE(metrics.find("# TYPE upskill_train_phase_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("upskill_train_phase_seconds_count{"
+                         "phase=\"assignment\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("upskill_train_iterations_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.rfind("# EOF\n"), std::string::npos);
 }
 
 TEST_F(ServeCliTest, ServeRejectsMissingSnapshot) {

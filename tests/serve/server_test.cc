@@ -278,8 +278,8 @@ TEST_F(ServerTest, ExecuteRendersOneLinePerRequest) {
                 .substr(0, 9),
             "ok level=");
   EXPECT_EQ(server.Execute(ParseServeRequest("level nobody").value())
-                .substr(0, 6),
-            "error ");
+                .substr(0, 13),
+            "ERR NotFound ");
   const std::string stats =
       server.Execute(ParseServeRequest("stats").value());
   EXPECT_NE(stats.find("sessions=1"), std::string::npos) << stats;
@@ -324,7 +324,7 @@ TEST_F(ServerTest, ExecuteBatchPreservesRequestOrder) {
     EXPECT_EQ(responses[static_cast<size_t>(i)].substr(0, 9), "ok level=");
   }
   EXPECT_EQ(responses[64].substr(0, 9), "ok level=");
-  EXPECT_EQ(responses[65].substr(0, 6), "error ");
+  EXPECT_EQ(responses[65].substr(0, 4), "ERR ");
   EXPECT_EQ(server.num_sessions(), 64u);
 }
 
