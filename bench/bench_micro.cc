@@ -7,9 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/difficulty.h"
@@ -22,10 +26,12 @@
 #include "datagen/synthetic.h"
 #include "dist/categorical.h"
 #include "dist/gamma.h"
+#include "dist/lognormal.h"
 #include "dist/poisson.h"
 #include "bench/common.h"
 #include "eval/metrics.h"
 #include "ffm/ffm.h"
+#include "simd/simd.h"
 
 namespace upskill {
 namespace {
@@ -517,6 +523,151 @@ void BM_FfmEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_FfmEpoch);
 
+// ---------------------------------------------------------------------
+// SIMD kernel benches (scripts/bench.sh --suites simd). Every bench is
+// registered twice in main(): the ".../scalar" variant forces the
+// fallback kernels through simd::ForceScalarForTest, the ".../vector"
+// variant runs the compiled backend (identical to scalar on hosts
+// without AVX2/NEON), so a single run carries the scalar-vs-vector pair
+// BENCH_PR6.json is audited against.
+
+constexpr size_t kSimdBatch = 4096;
+
+// Poisson/Categorical batches consume small integer counts; Gamma and
+// LogNormal consume positive reals. The WithLogs variants additionally
+// take the precomputed element logs — the form LogProbCache uses to
+// share one scalar log pass across all S levels of an item column.
+const std::vector<double>& SimdCountInputs() {
+  static const std::vector<double>* inputs = [] {
+    Rng rng(17);
+    auto* values = new std::vector<double>(kSimdBatch);
+    for (double& x : *values) x = static_cast<double>(rng.NextInt(60));
+    return values;
+  }();
+  return *inputs;
+}
+
+const std::vector<double>& SimdPositiveInputs() {
+  static const std::vector<double>* inputs = [] {
+    Rng rng(19);
+    auto* values = new std::vector<double>(kSimdBatch);
+    for (double& x : *values) x = rng.NextGamma(3.0, 2.0);
+    return values;
+  }();
+  return *inputs;
+}
+
+const std::vector<double>& SimdPositiveLogs() {
+  static const std::vector<double>* logs = [] {
+    auto* values = new std::vector<double>(SimdPositiveInputs());
+    for (double& x : *values) x = std::log(x);
+    return values;
+  }();
+  return *logs;
+}
+
+void LogProbBatchBench(benchmark::State& state, const Distribution& dist,
+                       const std::vector<double>& xs, bool with_logs,
+                       bool force_scalar) {
+  simd::ForceScalarForTest(force_scalar);
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    if (with_logs) {
+      dist.LogProbBatchWithLogs(xs, SimdPositiveLogs(), out);
+    } else {
+      dist.LogProbBatch(xs, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::ForceScalarForTest(false);
+  state.SetLabel(force_scalar ? "scalar" : simd::BackendName());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+
+// The serve-side double-precision streaming DP: one O(S) forward-column
+// update per observed action against a shared [item * S] log-prob cache.
+// This is the scalar/vector double baseline the quantized serve bench
+// (bench_serve.cc BM_ServeQuantized) is compared against.
+void ForwardStepStreamingBench(benchmark::State& state, int levels,
+                               bool force_scalar) {
+  simd::ForceScalarForTest(force_scalar);
+  Rng rng(23);
+  const size_t num_items = 512;
+  const size_t seq_len = 1024;
+  std::vector<double> cache(num_items * static_cast<size_t>(levels));
+  for (double& v : cache) v = -10.0 * rng.NextDouble();
+  std::vector<int32_t> items(seq_len);
+  for (int32_t& item : items) {
+    item = static_cast<int32_t>(rng.NextInt(static_cast<int64_t>(num_items)));
+  }
+  const double log_stay = std::log(0.9);
+  const double log_up = std::log(0.1);
+  std::vector<double> column(static_cast<size_t>(levels));
+  std::vector<double> next(static_cast<size_t>(levels));
+  const auto row = [&](size_t t) {
+    return std::span<const double>(
+        cache.data() +
+            static_cast<size_t>(items[t]) * static_cast<size_t>(levels),
+        static_cast<size_t>(levels));
+  };
+  for (auto _ : state) {
+    MonotoneForwardStart(row(0), {}, column);
+    for (size_t t = 1; t < seq_len; ++t) {
+      MonotoneForwardStep(column, row(t), log_stay, log_up,
+                          /*allow_down=*/false, 0.0, next);
+      column.swap(next);
+    }
+    benchmark::DoNotOptimize(column.data());
+  }
+  simd::ForceScalarForTest(false);
+  state.SetLabel(force_scalar ? "scalar" : simd::BackendName());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(seq_len));
+}
+
+void RegisterSimdBenches() {
+  static const Poisson* poisson = new Poisson(7.3);
+  static const Categorical* categorical = new Categorical(64, 0.01);
+  static const Gamma* gamma = new Gamma(3.0, 2.0);
+  static const LogNormal* lognormal = new LogNormal(0.5, 0.9);
+  struct BatchCase {
+    const char* name;
+    const Distribution* dist;
+    const std::vector<double>* xs;
+    bool with_logs;
+  };
+  static const std::vector<BatchCase>* cases = new std::vector<BatchCase>{
+      {"poisson", poisson, &SimdCountInputs(), false},
+      {"categorical", categorical, &SimdCountInputs(), false},
+      {"gamma", gamma, &SimdPositiveInputs(), false},
+      {"lognormal", lognormal, &SimdPositiveInputs(), false},
+      {"gamma_with_logs", gamma, &SimdPositiveInputs(), true},
+      {"lognormal_with_logs", lognormal, &SimdPositiveInputs(), true},
+  };
+  for (const bool force_scalar : {true, false}) {
+    const std::string backend = force_scalar ? "scalar" : "vector";
+    for (const BatchCase& batch_case : *cases) {
+      benchmark::RegisterBenchmark(
+          ("BM_LogProbBatch/" + std::string(batch_case.name) + "/" + backend)
+              .c_str(),
+          [&batch_case, force_scalar](benchmark::State& state) {
+            LogProbBatchBench(state, *batch_case.dist, *batch_case.xs,
+                              batch_case.with_logs, force_scalar);
+          });
+    }
+    for (const int levels : {5, 32, 64}) {
+      benchmark::RegisterBenchmark(
+          ("BM_ForwardStepStreaming/levels:" + std::to_string(levels) + "/" +
+           backend)
+              .c_str(),
+          [levels, force_scalar](benchmark::State& state) {
+            ForwardStepStreamingBench(state, levels, force_scalar);
+          });
+    }
+  }
+}
+
 // Thread counts for the sharded sweeps: a space-separated list in
 // UPSKILL_BENCH_THREADS (exported by scripts/bench.sh --threads),
 // defaulting to {1, 8} to match the static benches.
@@ -551,6 +702,7 @@ void RegisterShardedSweeps() {
 
 int main(int argc, char** argv) {
   upskill::RegisterShardedSweeps();
+  upskill::RegisterSimdBenches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

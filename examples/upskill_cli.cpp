@@ -91,7 +91,7 @@ const std::set<std::string> kValueFlags = {
     "metrics-out", "trace-out",
 };
 const std::set<std::string> kSwitchFlags = {
-    "em", "verbose", "transitions", "detail",
+    "em", "verbose", "transitions", "detail", "quantized",
 };
 
 Result<Args> ParseArgs(int argc, char** argv, int first) {
@@ -154,7 +154,7 @@ int Usage() {
       "        [--stretch 1.0] [--top 10]\n"
       "  snapshot <data_dir> <model.csv> <out.snap> [--levels S]\n"
       "        [--prior empirical|uniform] [--transitions] [--threads N]\n"
-      "  serve <snapshot.snap> [--threads N] [--shards N]\n"
+      "  serve <snapshot.snap> [--threads N] [--shards N] [--quantized]\n"
       "        (newline-delimited protocol on stdin/stdout; see README)\n");
   return 2;
 }
@@ -558,16 +558,18 @@ int CmdServe(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   const int threads = static_cast<int>(args.IntFlag("threads", 1));
   const int shards = static_cast<int>(args.IntFlag("shards", 64));
+  const bool quantized = args.HasFlag("quantized");
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
   const auto model =
       serve::ServingModel::FromSnapshotFile(args.positional[0], pool.get());
   if (!model.ok()) return Fail(model.status());
-  serve::Server server(model.value(), shards);
-  std::fprintf(stderr, "serving %s: %d levels, %d items, %d shards\n",
+  serve::Server server(model.value(), shards, quantized);
+  std::fprintf(stderr, "serving %s: %d levels, %d items, %d shards%s\n",
                args.positional[0].c_str(), model.value()->num_levels(),
-               model.value()->num_items(), shards);
+               model.value()->num_items(), shards,
+               quantized ? ", quantized int16 inference" : "");
 
   // Line-at-a-time request/response loop, plus the `batch <N>` directive:
   // the next N lines form one batch executed in parallel over the pool,

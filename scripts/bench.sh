@@ -2,10 +2,16 @@
 # Records a benchmark suite from a dedicated Release build.
 #
 # Usage: scripts/bench.sh [PR_NUMBER] [SUITE] [BENCHMARK_FILTER]
-#                         [--threads "T1 T2 ..."] [--metrics]
+#                         [--suites "S1 S2 ..."] [--threads "T1 T2 ..."]
+#                         [--metrics]
 #
-#   SUITE is `micro` (bench_micro: training/eval kernels) or `serve`
-#   (bench_serve: snapshot IO, streaming observe, BM_ServeThroughput).
+#   SUITE (or --suites, which accepts several) is one of:
+#     micro  bench_micro: training/eval kernels
+#     serve  bench_serve: snapshot IO, streaming observe, BM_ServeThroughput
+#     simd   the SIMD/quantized kernel slices of both binaries:
+#            BM_LogProbBatch + BM_ForwardStepStreaming from bench_micro and
+#            BM_ServeQuantized from bench_serve, merged into one JSON so the
+#            scalar-vs-vector-vs-quantized triples land in a single run.
 #
 #   --threads sweeps the sharded micro benches (BM_AssignSkillsSharded,
 #   BM_FitParametersSharded) over the given thread counts; each emitted
@@ -21,16 +27,23 @@
 # tree in build-bench/, independent of whatever ./build currently holds —
 # BENCH_PR1.json was recorded from a debug build and is superseded by the
 # Release rerecording in BENCH_PR2.json; BENCH_PR3.json records the serve
-# suite; BENCH_PR4.json rerecords micro with the thread x shard sweep.
+# suite; BENCH_PR4.json rerecords micro with the thread x shard sweep;
+# BENCH_PR6.json records the simd suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 THREADS=""
 METRICS=0
+SUITES=""
 POSITIONAL=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --suites)
+      [[ $# -ge 2 ]] || { echo "--suites needs a value" >&2; exit 2; }
+      SUITES="$2"; shift 2 ;;
+    --suites=*)
+      SUITES="${1#--suites=}"; shift ;;
     --threads)
       [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
       THREADS="$2"; shift 2 ;;
@@ -45,31 +58,96 @@ done
 set -- "${POSITIONAL[@]:-}"
 
 PR_NUMBER="${1:-4}"
-SUITE="${2:-micro}"
+[[ -n "$SUITES" ]] || SUITES="${2:-micro}"
 FILTER="${3:-}"
 BUILD_DIR=build-bench
 OUT="BENCH_PR${PR_NUMBER}.json"
 
-case "$SUITE" in
-  micro|serve) ;;
-  *) echo "unknown suite '$SUITE' (want micro or serve)" >&2; exit 2 ;;
-esac
+# Each suite expands to `binary:filter` run specs (empty filter = all).
+RUNS=()
+BINARIES=()
+for SUITE in $SUITES; do
+  case "$SUITE" in
+    micro) RUNS+=("bench_micro:"); BINARIES+=(bench_micro) ;;
+    serve) RUNS+=("bench_serve:"); BINARIES+=(bench_serve) ;;
+    simd)
+      RUNS+=("bench_micro:BM_LogProbBatch|BM_ForwardStepStreaming")
+      RUNS+=("bench_serve:BM_ServeQuantized")
+      BINARIES+=(bench_micro bench_serve) ;;
+    *)
+      echo "error: unknown suite '$SUITE' (want micro, serve, or simd)" >&2
+      exit 2 ;;
+  esac
+done
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
-  -DUPSKILL_SANITIZE= >/dev/null
-cmake --build "$BUILD_DIR" --target "bench_${SUITE}" -j "$(nproc)"
-
-ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
-if [[ -n "$FILTER" ]]; then
-  ARGS+=(--benchmark_filter="$FILTER")
+if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DUPSKILL_SANITIZE= >/dev/null; then
+  echo "error: cmake configure failed for '$BUILD_DIR'" >&2
+  exit 3
 fi
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build directory '$BUILD_DIR' is missing after configure" >&2
+  exit 3
+fi
+cmake --build "$BUILD_DIR" --target "${BINARIES[@]}" -j "$(nproc)"
+
+# Fail fast with a clear message if a requested bench binary never got
+# built (e.g. the target was renamed or the build partially failed),
+# instead of a bare "No such file or directory" halfway through a sweep.
+for BINARY in "${BINARIES[@]}"; do
+  if [[ ! -x "$BUILD_DIR/bench/$BINARY" ]]; then
+    echo "error: bench binary '$BUILD_DIR/bench/$BINARY' is missing or not" \
+         "executable; the '$BINARY' build target did not produce it" >&2
+    exit 3
+  fi
+done
+
 if [[ -n "$THREADS" ]]; then
   export UPSKILL_BENCH_THREADS="$THREADS"
 fi
 if [[ "$METRICS" -eq 1 ]]; then
   export UPSKILL_BENCH_METRICS_OUT="BENCH_PR${PR_NUMBER}.metrics.prom"
 fi
-"./$BUILD_DIR/bench/bench_${SUITE}" "${ARGS[@]}"
+
+# Run each spec into its own JSON, then merge (the merge is a no-op move
+# for single-run suites). An explicit FILTER argument narrows every run.
+PARTS=()
+INDEX=0
+for RUN in "${RUNS[@]}"; do
+  BINARY="${RUN%%:*}"
+  RUN_FILTER="${RUN#*:}"
+  if [[ -n "$FILTER" ]]; then
+    RUN_FILTER="$FILTER"
+  fi
+  PART="${OUT%.json}.part${INDEX}.json"
+  ARGS=(--benchmark_out="$PART" --benchmark_out_format=json)
+  if [[ -n "$RUN_FILTER" ]]; then
+    ARGS+=(--benchmark_filter="$RUN_FILTER")
+  fi
+  "./$BUILD_DIR/bench/$BINARY" "${ARGS[@]}"
+  PARTS+=("$PART")
+  INDEX=$((INDEX + 1))
+done
+
+if [[ "${#PARTS[@]}" -eq 1 ]]; then
+  mv "${PARTS[0]}" "$OUT"
+else
+  python3 - "$OUT" "${PARTS[@]}" <<'EOF'
+import json
+import sys
+
+out_path, *part_paths = sys.argv[1:]
+with open(part_paths[0]) as first:
+    merged = json.load(first)
+for path in part_paths[1:]:
+    with open(path) as part:
+        merged["benchmarks"].extend(json.load(part)["benchmarks"])
+with open(out_path, "w") as out:
+    json.dump(merged, out, indent=1)
+    out.write("\n")
+EOF
+  rm -f "${PARTS[@]}"
+fi
 
 echo "wrote $OUT"
 if [[ "$METRICS" -eq 1 ]]; then

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "simd/kernels.h"
 
 namespace upskill {
 
@@ -200,21 +201,16 @@ double SolveMonotonePathItems(std::span<const double> item_log_probs,
     const double* row = item_log_probs.data() +
                         static_cast<size_t>(items[t]) * levels;
     uint8_t* from_row = scratch.from.data() + t * levels;
-    // The bottom and top levels are peeled so the interior loop carries no
-    // stay-cost or boundary branch; the up-vs-stay choice compiles to a
-    // select (the comparison outcome is data-dependent and would otherwise
-    // mispredict roughly half the time). Strict > keeps ties on "stay",
-    // which keeps the path at the lowest attainable level; values and
-    // backpointers stay bitwise identical to the materialized solver.
+    // The bottom and top levels are peeled so the interior kernel carries
+    // no stay-cost or boundary branch; the up-vs-stay choice is a select
+    // (the comparison outcome is data-dependent and would otherwise
+    // mispredict roughly half the time), vectorized across levels by
+    // simd::DpRowInterior. Strict > keeps ties on "stay", which keeps the
+    // path at the lowest attainable level; values and backpointers stay
+    // bitwise identical to the materialized solver on every backend.
     curr[0] = prev[0] + (levels > 1 ? log_stay : 0.0) + row[0];
     from_row[0] = 0;
-    for (size_t s = 1; s + 1 < levels; ++s) {
-      const double stay = prev[s] + log_stay;
-      const double up = prev[s - 1] + log_up;
-      const bool up_wins = up > stay;
-      curr[s] = (up_wins ? up : stay) + row[s];
-      from_row[s] = static_cast<uint8_t>(up_wins);
-    }
+    simd::DpRowInterior(prev, row, levels, log_stay, log_up, curr, from_row);
     if (levels > 1) {
       // Staying at the top level is the only move there, so it is free.
       const size_t s = levels - 1;
@@ -274,20 +270,12 @@ double SolveMonotonePathItemsWithForgetting(
       curr[0] = incoming + row[0];
       from_row[0] = step;
     }
-    for (size_t s = 1; s + 1 < levels; ++s) {
-      const double stay = prev[s] + log_stay;
-      const double up = prev[s - 1] + log_up;
-      const bool up_wins = up > stay;
-      double incoming = up_wins ? up : stay;
-      uint8_t step = static_cast<uint8_t>(up_wins);
-      if (down_open) {
-        const double down = prev[s + 1] + log_down;
-        const bool down_wins = down > incoming;
-        incoming = down_wins ? down : incoming;
-        step = down_wins ? 2 : step;
-      }
-      curr[s] = incoming + row[s];
-      from_row[s] = step;
+    if (down_open) {
+      simd::DpRowInteriorWithDown(prev, row, levels, log_stay, log_up,
+                                  log_down, curr, from_row);
+    } else {
+      simd::DpRowInterior(prev, row, levels, log_stay, log_up, curr,
+                          from_row);
     }
     if (levels > 1) {
       const size_t s = levels - 1;
@@ -338,15 +326,12 @@ void MonotoneForwardStep(std::span<const double> prev_column,
     }
     curr[0] = incoming + row[0];
   }
-  for (size_t s = 1; s + 1 < levels; ++s) {
-    const double stay = prev[s] + log_stay;
-    const double up = prev[s - 1] + log_up;
-    double incoming = up > stay ? up : stay;
-    if (allow_down) {
-      const double down = prev[s + 1] + log_down;
-      incoming = down > incoming ? down : incoming;
-    }
-    curr[s] = incoming + row[s];
+  if (allow_down) {
+    simd::DpRowInteriorWithDown(prev, row, levels, log_stay, log_up, log_down,
+                                curr, /*from=*/nullptr);
+  } else {
+    simd::DpRowInterior(prev, row, levels, log_stay, log_up, curr,
+                        /*from=*/nullptr);
   }
   if (levels > 1) {
     const size_t s = levels - 1;

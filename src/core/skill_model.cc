@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <span>
 
 #include "common/csv.h"
@@ -162,20 +163,70 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
   item_dirty_.assign(num_items, reshaped ? 1 : 0);
   if (dirty_cells.empty() || num_items == 0) return;
 
+  // Log-support features (Gamma, LogNormal) pay for std::log over the
+  // item column once per dirty feature, not once per dirty cell: all S
+  // cells of a feature score the same column, so the logs are shared
+  // through LogProbBatchWithLogs. log_offset[f] indexes the feature's
+  // slice of log_scratch_ (SIZE_MAX: feature clean or not log-support).
+  const size_t blocks = (num_items + kCacheBlock - 1) / kCacheBlock;
+  std::vector<size_t> log_offset(static_cast<size_t>(features), SIZE_MAX);
+  {
+    size_t log_features = 0;
+    for (const size_t cell : dirty_cells) {
+      const int f = static_cast<int>(cell / levels);
+      const DistributionKind kind = model.component(f, 1).kind();
+      if ((kind == DistributionKind::kGamma ||
+           kind == DistributionKind::kLogNormal) &&
+          log_offset[static_cast<size_t>(f)] == SIZE_MAX) {
+        log_offset[static_cast<size_t>(f)] = log_features++ * num_items;
+      }
+    }
+    log_scratch_.resize(log_features * num_items);
+    std::vector<int> features_with_logs;
+    for (int f = 0; f < features; ++f) {
+      if (log_offset[static_cast<size_t>(f)] != SIZE_MAX) {
+        features_with_logs.push_back(f);
+      }
+    }
+    // Raw ParallelFor on purpose (parallelism audit): (feature, block)
+    // indexed, disjoint scratch slices, no cross-task reduction.
+    ParallelFor(pool, 0, features_with_logs.size() * blocks, [&](size_t task) {
+      const int f = features_with_logs[task / blocks];
+      const size_t begin = (task % blocks) * kCacheBlock;
+      const size_t count = std::min(num_items - begin, kCacheBlock);
+      const std::span<const double> values =
+          items.column(f).subspan(begin, count);
+      double* logs =
+          log_scratch_.data() + log_offset[static_cast<size_t>(f)] + begin;
+      for (size_t i = 0; i < count; ++i) {
+        logs[i] = values[i] > 0.0 ? std::log(values[i]) : 0.0;
+      }
+    });
+  }
+
   // Raw ParallelFor on purpose (parallelism audit): the cache is indexed
   // by (cell, item-block) — not by user — so the exec-layer user shards
   // don't apply; every task writes a disjoint column slice and no floats
   // are reduced across tasks, so scheduling cannot affect the values.
-  const size_t blocks = (num_items + kCacheBlock - 1) / kCacheBlock;
   ParallelFor(pool, 0, dirty_cells.size() * blocks, [&](size_t task) {
     const size_t cell = dirty_cells[task / blocks];
     const size_t begin = (task % blocks) * kCacheBlock;
     const size_t count = std::min(num_items - begin, kCacheBlock);
     const int f = static_cast<int>(cell / levels);
     const int s = static_cast<int>(cell % levels) + 1;
-    model.component(f, s).LogProbBatch(
-        items.column(f).subspan(begin, count),
-        std::span<double>(columns_.data() + cell * num_items + begin, count));
+    const std::span<const double> values =
+        items.column(f).subspan(begin, count);
+    const std::span<double> out(columns_.data() + cell * num_items + begin,
+                                count);
+    const size_t logs = log_offset[static_cast<size_t>(f)];
+    if (logs != SIZE_MAX) {
+      model.component(f, s).LogProbBatchWithLogs(
+          values,
+          std::span<const double>(log_scratch_.data() + logs + begin, count),
+          out);
+    } else {
+      model.component(f, s).LogProbBatch(values, out);
+    }
   });
 
   std::vector<int> dirty_levels;

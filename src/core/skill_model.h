@@ -219,6 +219,13 @@ class LogProbCache {
   std::vector<std::vector<double>> cell_params_;
   // Feature-major log-prob columns: [(f * S + (s-1)) * I + item].
   std::vector<double> columns_;
+  // Scratch for per-feature log(value) columns, shared by every level of
+  // the same feature within one Update (log-support kinds only): the
+  // std::log pass is the dominant cost of the Gamma/LogNormal batches,
+  // and the S cells of a feature score the same item column, so the
+  // cache computes each dirty feature's logs once and feeds
+  // LogProbBatchWithLogs instead of paying for them per cell.
+  std::vector<double> log_scratch_;
   // Item-major totals: [item * S + (s-1)].
   std::vector<double> totals_;
   // Items whose totals changed in the last Update() (see dirty_items()).

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "simd/kernels.h"
 
 namespace upskill {
 
@@ -32,15 +33,12 @@ double Categorical::LogProb(double x) const {
 void Categorical::LogProbBatch(std::span<const double> xs,
                                std::span<double> out) const {
   UPSKILL_CHECK(xs.size() == out.size());
-  const double* log_probs = log_probs_.data();
-  const int cardinality = cardinality_;
-  for (size_t i = 0; i < xs.size(); ++i) {
-    const double x = xs[i];
-    const int c = static_cast<int>(x);
-    out[i] = (c < 0 || c >= cardinality || static_cast<double>(c) != x)
-                 ? kNegInf
-                 : log_probs[static_cast<size_t>(c)];
-  }
+  // The per-category log table already exists, so the batch is exactly
+  // the kernel's gather shape: integral in-range lanes load
+  // log_probs_[c], everything else is -inf. Indices at or above the
+  // cardinality are invalid here, not an overflow to patch.
+  simd::LookupLogProbBatch(xs, log_probs_, out,
+                           /*any_table_overflow=*/nullptr);
 }
 
 void Categorical::Fit(std::span<const double> values) {

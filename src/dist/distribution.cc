@@ -142,6 +142,13 @@ void Distribution::LogProbBatch(std::span<const double> xs,
   for (size_t i = 0; i < xs.size(); ++i) out[i] = LogProb(xs[i]);
 }
 
+void Distribution::LogProbBatchWithLogs(std::span<const double> xs,
+                                        std::span<const double> log_xs,
+                                        std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == log_xs.size());
+  LogProbBatch(xs, out);
+}
+
 SufficientStats Distribution::MakeStats() const {
   return SufficientStats(kind());
 }

@@ -162,6 +162,18 @@ class Distribution {
   virtual void LogProbBatch(std::span<const double> xs,
                             std::span<double> out) const;
 
+  /// LogProbBatch with the element logs precomputed: log_xs[i] must equal
+  /// std::log(xs[i]) for every xs[i] > 0 (other entries are ignored).
+  /// Densities on log-transformed support (Gamma, LogNormal) override
+  /// this to skip the std::log call — the dominant cost of their batch —
+  /// so callers scoring the SAME column under many (level, feature)
+  /// parameter sets (SkillModel's log-prob cache: S levels per feature)
+  /// pay for the logs once. The default ignores `log_xs` and delegates to
+  /// LogProbBatch; results are bitwise identical either way.
+  virtual void LogProbBatchWithLogs(std::span<const double> xs,
+                                    std::span<const double> log_xs,
+                                    std::span<double> out) const;
+
   /// Maximum-likelihood re-fit from the given observations (the update
   /// step, Equations 5-7). Implementations must tolerate an empty span by
   /// keeping their current parameters, because a skill level can receive

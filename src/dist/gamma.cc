@@ -1,17 +1,21 @@
 #include "dist/gamma.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/math.h"
 #include "common/string_util.h"
+#include "simd/kernels.h"
 
 namespace upskill {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+// Stack chunk for the scalar-log pass feeding the vector kernel.
+constexpr size_t kLogChunk = 256;
 // Clamp for non-positive observations, shared with SufficientStats::Add.
 constexpr double kEpsilon = kPositiveObservationFloor;
 constexpr double kMinShape = 1e-4;
@@ -33,15 +37,30 @@ double Gamma::LogProb(double x) const {
 void Gamma::LogProbBatch(std::span<const double> xs,
                          std::span<double> out) const {
   UPSKILL_CHECK(xs.size() == out.size());
-  const double shape_minus_one = shape_ - 1.0;
-  const double log_gamma_shape = LogGamma(shape_);
-  const double log_scale = std::log(scale_);
-  for (size_t i = 0; i < xs.size(); ++i) {
-    const double x = xs[i];
-    out[i] = x <= 0.0 ? kNegInf
-                      : shape_minus_one * std::log(x) - x / scale_ -
-                            log_gamma_shape - shape_ * log_scale;
+  // Chunked scalar-log pass feeding the vector kernel: std::log stays
+  // scalar (a vectorized log could not be bitwise identical to libm), the
+  // surrounding arithmetic vectorizes. Lanes with x <= 0 never read their
+  // log slot.
+  std::array<double, kLogChunk> log_buf;
+  for (size_t begin = 0; begin < xs.size(); begin += kLogChunk) {
+    const size_t count = std::min(kLogChunk, xs.size() - begin);
+    for (size_t i = 0; i < count; ++i) {
+      const double x = xs[begin + i];
+      log_buf[i] = x > 0.0 ? std::log(x) : 0.0;
+    }
+    LogProbBatchWithLogs(xs.subspan(begin, count),
+                         std::span<const double>(log_buf.data(), count),
+                         out.subspan(begin, count));
   }
+}
+
+void Gamma::LogProbBatchWithLogs(std::span<const double> xs,
+                                 std::span<const double> log_xs,
+                                 std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  UPSKILL_CHECK(xs.size() == log_xs.size());
+  simd::GammaLogProbBatch(xs, log_xs, shape_ - 1.0, scale_, LogGamma(shape_),
+                          shape_ * std::log(scale_), out);
 }
 
 namespace {

@@ -1,17 +1,21 @@
 #include "dist/lognormal.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "simd/kernels.h"
 
 namespace upskill {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+// Stack chunk for the scalar-log pass feeding the vector kernel.
+constexpr size_t kLogChunk = 256;
 // Shared with SufficientStats::Add so both paths clamp identically.
 constexpr double kEpsilon = kPositiveObservationFloor;
 constexpr double kMinSigma = 1e-4;
@@ -31,20 +35,28 @@ double LogNormal::LogProb(double x) const {
 void LogNormal::LogProbBatch(std::span<const double> xs,
                              std::span<double> out) const {
   UPSKILL_CHECK(xs.size() == out.size());
-  const double mu = mu_;
-  const double sigma = sigma_;
-  const double log_sigma = std::log(sigma_);
-  const double half_log_two_pi = 0.5 * std::log(2.0 * M_PI);
-  for (size_t i = 0; i < xs.size(); ++i) {
-    const double x = xs[i];
-    if (x <= 0.0) {
-      out[i] = kNegInf;
-      continue;
+  // Chunked scalar-log pass feeding the vector kernel (std::log cannot be
+  // vectorized bitwise-identically); x <= 0 lanes never read their slot.
+  std::array<double, kLogChunk> log_buf;
+  for (size_t begin = 0; begin < xs.size(); begin += kLogChunk) {
+    const size_t count = std::min(kLogChunk, xs.size() - begin);
+    for (size_t i = 0; i < count; ++i) {
+      const double x = xs[begin + i];
+      log_buf[i] = x > 0.0 ? std::log(x) : 0.0;
     }
-    const double log_x = std::log(x);
-    const double z = (log_x - mu) / sigma;
-    out[i] = -0.5 * z * z - log_x - log_sigma - half_log_two_pi;
+    LogProbBatchWithLogs(xs.subspan(begin, count),
+                         std::span<const double>(log_buf.data(), count),
+                         out.subspan(begin, count));
   }
+}
+
+void LogNormal::LogProbBatchWithLogs(std::span<const double> xs,
+                                     std::span<const double> log_xs,
+                                     std::span<double> out) const {
+  UPSKILL_CHECK(xs.size() == out.size());
+  UPSKILL_CHECK(xs.size() == log_xs.size());
+  simd::LogNormalLogProbBatch(xs, log_xs, mu_, sigma_, std::log(sigma_),
+                              0.5 * std::log(2.0 * M_PI), out);
 }
 
 void LogNormal::Fit(std::span<const double> values) {

@@ -24,6 +24,9 @@ class LogNormal : public Distribution {
   double LogProb(double x) const override;
   void LogProbBatch(std::span<const double> xs,
                     std::span<double> out) const override;
+  void LogProbBatchWithLogs(std::span<const double> xs,
+                            std::span<const double> log_xs,
+                            std::span<double> out) const override;
   void Fit(std::span<const double> values) override;
   void FitWeighted(std::span<const double> values,
                    std::span<const double> weights) override;

@@ -1,11 +1,13 @@
 #include "dist/poisson.h"
 
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/math.h"
 #include "common/string_util.h"
+#include "simd/kernels.h"
 
 namespace upskill {
 
@@ -15,6 +17,12 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 // under an (almost) all-zero level stays finitely unlikely instead of
 // impossible.
 constexpr double kMinRate = 1e-8;
+// Per-call count table for the batched gather kernel: covers every count
+// the datasets realistically produce; the rare k >= kCountTable lanes are
+// recomputed in a scalar fixup pass. Below kMinBatchForTable elements the
+// table would cost more than it saves, so the plain loop runs instead.
+constexpr size_t kCountTable = 128;
+constexpr size_t kMinBatchForTable = 64;
 }  // namespace
 
 Poisson::Poisson(double rate) : rate_(rate) { UPSKILL_CHECK(rate_ > 0.0); }
@@ -30,12 +38,37 @@ void Poisson::LogProbBatch(std::span<const double> xs,
   UPSKILL_CHECK(xs.size() == out.size());
   const double log_rate = std::log(rate_);
   const double rate = rate_;
-  for (size_t i = 0; i < xs.size(); ++i) {
-    const double x = xs[i];
-    const long long k = static_cast<long long>(x);
-    out[i] = (k < 0 || static_cast<double>(k) != x)
-                 ? kNegInf
-                 : static_cast<double>(k) * log_rate - rate - LogFactorial(k);
+  if (xs.size() < kMinBatchForTable || !simd::VectorEnabled()) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double x = xs[i];
+      const long long k = static_cast<long long>(x);
+      out[i] = (k < 0 || static_cast<double>(k) != x)
+                   ? kNegInf
+                   : static_cast<double>(k) * log_rate - rate -
+                         LogFactorial(k);
+    }
+    return;
+  }
+  // Precompute the per-count values with the exact scalar expression, so
+  // the gathered results are bitwise identical to the loop above, then
+  // let the kernel turn the per-element mass evaluation into a table
+  // lookup. Counts beyond the table (flagged by the kernel) are rare
+  // enough to recompute in a scalar fixup pass.
+  std::array<double, kCountTable> table;
+  for (size_t k = 0; k < kCountTable; ++k) {
+    table[k] = static_cast<double>(k) * log_rate - rate -
+               LogFactorial(static_cast<long long>(k));
+  }
+  bool overflow = false;
+  simd::LookupLogProbBatch(xs, table, out, &overflow);
+  if (overflow) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double x = xs[i];
+      if (!(x >= static_cast<double>(kCountTable))) continue;
+      const long long k = static_cast<long long>(x);
+      if (k < 0 || static_cast<double>(k) != x) continue;
+      out[i] = static_cast<double>(k) * log_rate - rate - LogFactorial(k);
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "serve/quantized_model.h"
 #include "serve/serving_model.h"
 #include "serve/session_store.h"
 
@@ -85,10 +86,19 @@ struct SessionLevel {
 /// started with.
 class Server {
  public:
-  Server(std::shared_ptr<const ServingModel> model, int num_shards = 64);
+  /// `quantized` switches session state to the int16 fixed-point forward
+  /// DP (serve/quantized_model.h): each observation touches S int16
+  /// lanes instead of S doubles, at the cost of bounded level-inference
+  /// error (tests hold it to ±1 level and ≥ 99.9% top-1 recommendation
+  /// agreement). Recommendation rankings and difficulties always come
+  /// from the double view — only level inference is quantized.
+  Server(std::shared_ptr<const ServingModel> model, int num_shards = 64,
+         bool quantized = false);
 
   /// Current model view (atomically readable while swaps happen).
   std::shared_ptr<const ServingModel> model() const;
+
+  bool quantized() const { return quantized_; }
 
   /// Folds one observed action into `user`'s session: O(S) forward DP
   /// step, then reports the session's new level. Creates the session on
@@ -114,8 +124,12 @@ class Server {
   /// finish on it; new requests see `next`. Sessions carry their forward
   /// columns across the swap (levels stay monotone; the column simply
   /// continues under the new scores) unless the level count S changed, in
-  /// which case every session is reset.
-  void SwapSnapshot(std::shared_ptr<const ServingModel> next);
+  /// which case every session is reset. In quantized mode the new view is
+  /// requantized first (`pool` parallelizes that) and published together
+  /// with the double view; session accumulator columns carry over under
+  /// the same rule, because accumulator units are model-independent.
+  void SwapSnapshot(std::shared_ptr<const ServingModel> next,
+                    ThreadPool* pool = nullptr);
 
   /// LoadSnapshot + ServingModel::FromSnapshot + SwapSnapshot.
   Status SwapSnapshotFile(const std::string& path, ThreadPool* pool = nullptr);
@@ -160,8 +174,19 @@ class Server {
   /// Execute minus the telemetry wrapper (timing, per-kind counters).
   std::string ExecuteInternal(const ServeRequest& request);
 
+  /// Both views, read under one lock acquisition so a concurrent swap can
+  /// never hand out a double view paired with a stale quantized one.
+  /// `quantized` is null unless the server runs in quantized mode.
+  struct ModelViews {
+    std::shared_ptr<const ServingModel> model;
+    std::shared_ptr<const QuantizedModel> quantized;
+  };
+  ModelViews Views() const;
+
+  const bool quantized_;
   mutable std::mutex model_mutex_;
   std::shared_ptr<const ServingModel> model_;
+  std::shared_ptr<const QuantizedModel> qmodel_;
   SessionStore sessions_;
   std::atomic<uint64_t> requests_{0};
   std::array<KindInstruments, kNumServeRequestKinds> instruments_;

@@ -1,0 +1,169 @@
+#ifndef UPSKILL_SIMD_KERNELS_H_
+#define UPSKILL_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "simd/simd.h"
+
+namespace upskill {
+namespace simd {
+
+// Dispatched hot-loop kernels. Each function picks the ActiveBackend()
+// implementation; the `scalar::` namespace exposes the reference loops
+// directly so equivalence tests can compare the dispatched path against
+// the fallback bitwise (doubles) / bit-exact (integers) without touching
+// the process-wide backend switch.
+//
+// Bitwise-exactness contract for the double kernels: the vector bodies
+// perform exactly the scalar reference's operations (same IEEE adds,
+// multiplies, divides, compares and selects, in the same per-element
+// order) and never use FMA, so results are bitwise identical on every
+// backend. Where a compiler could contract a*b+c into an FMA in ordinary
+// code, these kernels are the anchor: the scalar references are written
+// so the vector lanes can mirror them operation for operation.
+
+// ---------------------------------------------------------------------------
+// Batched log-prob kernels (SoA spans, one call per (feature, level) cell).
+// ---------------------------------------------------------------------------
+
+/// Integer-table lookup: out[i] = table[(int)xs[i]] when xs[i] is an exact
+/// non-negative integer below table.size(), else -infinity. When
+/// `any_table_overflow` is non-null it is set to true if any xs[i] was an
+/// exact non-negative integer >= table.size() (those lanes still receive
+/// -infinity; the caller patches them — the Poisson kernel recomputes the
+/// rare counts beyond its precomputed table). Backs Categorical (table =
+/// per-category log-probs) and Poisson (table = precomputed per-count
+/// log-probs) batches.
+void LookupLogProbBatch(std::span<const double> xs,
+                        std::span<const double> table, std::span<double> out,
+                        bool* any_table_overflow);
+
+/// Gamma log-density body with the logs precomputed: for each i,
+///   out[i] = xs[i] <= 0 ? -inf
+///          : ((shape_minus_one * log_xs[i] - xs[i] / scale)
+///             - log_gamma_shape) - shape_log_scale
+/// log_xs[i] must equal std::log(xs[i]) for every xs[i] > 0 (other lanes
+/// are ignored). The expression order matches Gamma::LogProb term for
+/// term, so results are bitwise identical to the virtual scalar path.
+void GammaLogProbBatch(std::span<const double> xs,
+                       std::span<const double> log_xs, double shape_minus_one,
+                       double scale, double log_gamma_shape,
+                       double shape_log_scale, std::span<double> out);
+
+/// LogNormal log-density body with the logs precomputed: for each i,
+///   z      = (log_xs[i] - mu) / sigma
+///   out[i] = xs[i] <= 0 ? -inf
+///          : ((-0.5 * z * z - log_xs[i]) - log_sigma) - half_log_two_pi
+void LogNormalLogProbBatch(std::span<const double> xs,
+                           std::span<const double> log_xs, double mu,
+                           double sigma, double log_sigma,
+                           double half_log_two_pi, std::span<double> out);
+
+// ---------------------------------------------------------------------------
+// Two-row max-plus DP kernels (vectorized across the level dimension).
+// ---------------------------------------------------------------------------
+
+/// Interior of one DP row update (levels s in [1, levels - 1); the caller
+/// peels the bottom and top levels, which carry boundary rules):
+///   stay     = prev[s] + log_stay
+///   up       = prev[s - 1] + log_up
+///   up_wins  = up > stay            // strict: ties stay low
+///   curr[s]  = (up_wins ? up : stay) + row[s]
+///   from[s]  = up_wins ? 1 : 0
+/// `from` may be null (streaming forward step — no backtracking).
+void DpRowInterior(const double* prev, const double* row, size_t levels,
+                   double log_stay, double log_up, double* curr,
+                   uint8_t* from);
+
+/// Forgetting variant (the down-edge is open for this transition):
+///   down      = prev[s + 1] + log_down
+///   down_wins = down > (up_wins ? up : stay)   // checked after stay/up
+///   curr[s]   = (down_wins ? down : ...) + row[s]
+///   from[s]   = down_wins ? 2 : (up_wins ? 1 : 0)
+void DpRowInteriorWithDown(const double* prev, const double* row,
+                           size_t levels, double log_stay, double log_up,
+                           double log_down, double* curr, uint8_t* from);
+
+// ---------------------------------------------------------------------------
+// Quantized serving kernels (int16 column, NNUE-style fixed point).
+// ---------------------------------------------------------------------------
+// The session column lives in int16 "accumulator units" (a fixed global
+// scale of kQuantAccScale units per log-unit — see serve/quantized_model.h).
+// Item rows are stored as int16 residuals at a per-item scale; the Q15
+// multiplier `row_mult` (in [0, 32767]) converts a stored lane into
+// accumulator units, rounding to nearest:
+//   row_acc[s] = (int32(qrow[s]) * row_mult + 2^14) >> 15   (arith. shift)
+// which is exactly what vpmulhrsw computes for 16 lanes at once (the
+// instruction's lone divergence, -32768 * -32768, is unreachable with a
+// non-negative multiplier). The whole step stays in *saturating* int16
+// arithmetic — adds clamp at the int16 rails like NNUE accumulators — so
+// 16 levels move per instruction with no widening. Saturation only ever
+// fires on lanes >= 128 nats below the column maximum, which the
+// renormalize-and-clamp already pinned to the rail; argmax-relevant
+// lanes are computed exactly. Every step renormalizes the column by its
+// maximum (a uniform shift, which the argmax/relative DP is invariant
+// to; the invariant max(column) == 0 also makes the renorm subtraction
+// itself overflow-free), so the column never drifts no matter how long
+// the session runs. All arithmetic is integer, so scalar and vector
+// backends agree bit for bit.
+
+/// First observation: column[s] = sat16(row_acc[s] + q_initial[s] - max),
+/// with q_initial treated as all-zero when empty (free start).
+void QuantizedForwardInit(const int16_t* qrow, int16_t row_mult,
+                          const int16_t* q_initial, size_t levels,
+                          int16_t* column);
+
+/// One streaming step. Mirrors the double forward step's structure:
+/// stay/up select via max (exact on ties), optional down-edge folded into
+/// the same max, free stay at the top level; then renormalize by the row
+/// maximum. `next_column` must not alias `prev_column`. `prev_column`
+/// must satisfy the renormalized invariant (all lanes <= 0, maximum 0),
+/// which Init and Step both establish.
+void QuantizedForwardStep(const int16_t* prev_column, const int16_t* qrow,
+                          int16_t row_mult, int16_t q_stay, int16_t q_up,
+                          bool allow_down, int16_t q_down, size_t levels,
+                          int16_t* next_column);
+
+/// 1-based argmax of the int16 column, ties to the lowest level.
+int QuantizedForwardLevel(const int16_t* column, size_t levels);
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations (always available; the dispatchers
+// above fall back to these, and tests compare against them directly).
+// ---------------------------------------------------------------------------
+namespace scalar {
+
+void LookupLogProbBatch(std::span<const double> xs,
+                        std::span<const double> table, std::span<double> out,
+                        bool* any_table_overflow);
+void GammaLogProbBatch(std::span<const double> xs,
+                       std::span<const double> log_xs, double shape_minus_one,
+                       double scale, double log_gamma_shape,
+                       double shape_log_scale, std::span<double> out);
+void LogNormalLogProbBatch(std::span<const double> xs,
+                           std::span<const double> log_xs, double mu,
+                           double sigma, double log_sigma,
+                           double half_log_two_pi, std::span<double> out);
+void DpRowInterior(const double* prev, const double* row, size_t levels,
+                   double log_stay, double log_up, double* curr,
+                   uint8_t* from);
+void DpRowInteriorWithDown(const double* prev, const double* row,
+                           size_t levels, double log_stay, double log_up,
+                           double log_down, double* curr, uint8_t* from);
+void QuantizedForwardInit(const int16_t* qrow, int16_t row_mult,
+                          const int16_t* q_initial, size_t levels,
+                          int16_t* column);
+void QuantizedForwardStep(const int16_t* prev_column, const int16_t* qrow,
+                          int16_t row_mult, int16_t q_stay, int16_t q_up,
+                          bool allow_down, int16_t q_down, size_t levels,
+                          int16_t* next_column);
+int QuantizedForwardLevel(const int16_t* column, size_t levels);
+
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace upskill
+
+#endif  // UPSKILL_SIMD_KERNELS_H_

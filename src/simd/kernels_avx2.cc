@@ -1,0 +1,425 @@
+// AVX2 kernel bodies. This translation unit is compiled with -mavx2 (and
+// nothing more — in particular no -mfma, and the project builds with
+// -ffp-contract=off) so the vector code below uses exactly the IEEE
+// operations of the scalar references: vaddpd/vsubpd/vmulpd/vdivpd are
+// element-wise identical to their scalar counterparts, and cmp+blendv
+// reproduces `a > b ? a : b` including its NaN behavior (_CMP_GT_OQ is
+// false on unordered, like scalar >). kernels.cc only calls in here after
+// the runtime cpuid / UPSKILL_FORCE_SCALAR check.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstring>
+#include <limits>
+
+#include "simd/kernels.h"
+#include "simd/kernels_impl.h"
+
+namespace upskill {
+namespace simd {
+namespace avx2 {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Expands a 4-bit movemask into 4 little-endian bytes of 0/1 so DP
+// backpointer flags can be stored with one 32-bit write per vector.
+constexpr std::array<uint32_t, 16> kLaneBytes = [] {
+  std::array<uint32_t, 16> table{};
+  for (int mask = 0; mask < 16; ++mask) {
+    uint32_t value = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (mask & (1 << lane)) value |= 1u << (8 * lane);
+    }
+    table[static_cast<size_t>(mask)] = value;
+  }
+  return table;
+}();
+
+}  // namespace
+
+void LookupLogProbBatch(std::span<const double> xs,
+                        std::span<const double> table, std::span<double> out,
+                        bool* any_table_overflow) {
+  const size_t n = xs.size();
+  const __m256d neg_inf = _mm256_set1_pd(kNegInf);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d size_v = _mm256_set1_pd(static_cast<double>(table.size()));
+  __m256d overflow_acc = zero;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs.data() + i);
+    const __m256d truncated =
+        _mm256_round_pd(x, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    // NaN fails the EQ compare, so it lands in the invalid (-inf) lanes.
+    const __m256d integral = _mm256_and_pd(
+        _mm256_cmp_pd(truncated, x, _CMP_EQ_OQ),
+        _mm256_cmp_pd(x, zero, _CMP_GE_OQ));
+    const __m256d in_range = _mm256_cmp_pd(x, size_v, _CMP_LT_OQ);
+    const __m256d valid = _mm256_and_pd(integral, in_range);
+    overflow_acc =
+        _mm256_or_pd(overflow_acc, _mm256_andnot_pd(in_range, integral));
+    // Zero the invalid lanes' indices, and gather under the validity
+    // mask (masked-off lanes never touch memory and keep the -inf src).
+    const __m256d safe_x = _mm256_and_pd(x, valid);
+    const __m128i idx = _mm256_cvttpd_epi32(safe_x);
+    _mm256_storeu_pd(out.data() + i, _mm256_mask_i32gather_pd(
+                                         neg_inf, table.data(), idx, valid, 8));
+  }
+  if (any_table_overflow != nullptr && _mm256_movemask_pd(overflow_acc) != 0) {
+    *any_table_overflow = true;
+  }
+  if (i < n) {
+    scalar::LookupLogProbBatch(xs.subspan(i), table, out.subspan(i),
+                               any_table_overflow);
+  }
+}
+
+void GammaLogProbBatch(std::span<const double> xs,
+                       std::span<const double> log_xs, double shape_minus_one,
+                       double scale, double log_gamma_shape,
+                       double shape_log_scale, std::span<double> out) {
+  const size_t n = xs.size();
+  const __m256d neg_inf = _mm256_set1_pd(kNegInf);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d sm1_v = _mm256_set1_pd(shape_minus_one);
+  const __m256d scale_v = _mm256_set1_pd(scale);
+  const __m256d lgs_v = _mm256_set1_pd(log_gamma_shape);
+  const __m256d sls_v = _mm256_set1_pd(shape_log_scale);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs.data() + i);
+    const __m256d log_x = _mm256_loadu_pd(log_xs.data() + i);
+    // sm1 * log(x) - x / scale - log_gamma_shape - shape * log_scale,
+    // left to right exactly as in Gamma::LogProbBatch.
+    __m256d r = _mm256_sub_pd(_mm256_mul_pd(sm1_v, log_x),
+                              _mm256_div_pd(x, scale_v));
+    r = _mm256_sub_pd(r, lgs_v);
+    r = _mm256_sub_pd(r, sls_v);
+    const __m256d positive = _mm256_cmp_pd(x, zero, _CMP_GT_OQ);
+    _mm256_storeu_pd(out.data() + i, _mm256_blendv_pd(neg_inf, r, positive));
+  }
+  if (i < n) {
+    scalar::GammaLogProbBatch(xs.subspan(i), log_xs.subspan(i),
+                              shape_minus_one, scale, log_gamma_shape,
+                              shape_log_scale, out.subspan(i));
+  }
+}
+
+void LogNormalLogProbBatch(std::span<const double> xs,
+                           std::span<const double> log_xs, double mu,
+                           double sigma, double log_sigma,
+                           double half_log_two_pi, std::span<double> out) {
+  const size_t n = xs.size();
+  const __m256d neg_inf = _mm256_set1_pd(kNegInf);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d mu_v = _mm256_set1_pd(mu);
+  const __m256d sigma_v = _mm256_set1_pd(sigma);
+  const __m256d log_sigma_v = _mm256_set1_pd(log_sigma);
+  const __m256d hltp_v = _mm256_set1_pd(half_log_two_pi);
+  const __m256d neg_half = _mm256_set1_pd(-0.5);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs.data() + i);
+    const __m256d log_x = _mm256_loadu_pd(log_xs.data() + i);
+    const __m256d z = _mm256_div_pd(_mm256_sub_pd(log_x, mu_v), sigma_v);
+    // (-0.5 * z) * z - log_x - log_sigma - half_log_two_pi, matching the
+    // scalar association of -0.5 * z * z.
+    __m256d r = _mm256_mul_pd(_mm256_mul_pd(neg_half, z), z);
+    r = _mm256_sub_pd(r, log_x);
+    r = _mm256_sub_pd(r, log_sigma_v);
+    r = _mm256_sub_pd(r, hltp_v);
+    const __m256d positive = _mm256_cmp_pd(x, zero, _CMP_GT_OQ);
+    _mm256_storeu_pd(out.data() + i, _mm256_blendv_pd(neg_inf, r, positive));
+  }
+  if (i < n) {
+    scalar::LogNormalLogProbBatch(xs.subspan(i), log_xs.subspan(i), mu, sigma,
+                                  log_sigma, half_log_two_pi, out.subspan(i));
+  }
+}
+
+void DpRowInterior(const double* prev, const double* row, size_t levels,
+                   double log_stay, double log_up, double* curr,
+                   uint8_t* from) {
+  if (levels < 2) return;
+  const size_t end = levels - 1;
+  const __m256d stay_v = _mm256_set1_pd(log_stay);
+  const __m256d up_v = _mm256_set1_pd(log_up);
+  size_t s = 1;
+  for (; s + 4 <= end; s += 4) {
+    const __m256d stay = _mm256_add_pd(_mm256_loadu_pd(prev + s), stay_v);
+    const __m256d up = _mm256_add_pd(_mm256_loadu_pd(prev + s - 1), up_v);
+    const __m256d up_wins = _mm256_cmp_pd(up, stay, _CMP_GT_OQ);
+    const __m256d best = _mm256_blendv_pd(stay, up, up_wins);
+    _mm256_storeu_pd(curr + s, _mm256_add_pd(best, _mm256_loadu_pd(row + s)));
+    if (from != nullptr) {
+      const uint32_t flags =
+          kLaneBytes[static_cast<size_t>(_mm256_movemask_pd(up_wins))];
+      std::memcpy(from + s, &flags, sizeof(flags));
+    }
+  }
+  for (; s < end; ++s) {
+    const double stay = prev[s] + log_stay;
+    const double up = prev[s - 1] + log_up;
+    const bool up_wins = up > stay;
+    curr[s] = (up_wins ? up : stay) + row[s];
+    if (from != nullptr) from[s] = static_cast<uint8_t>(up_wins);
+  }
+}
+
+void DpRowInteriorWithDown(const double* prev, const double* row,
+                           size_t levels, double log_stay, double log_up,
+                           double log_down, double* curr, uint8_t* from) {
+  if (levels < 2) return;
+  const size_t end = levels - 1;
+  const __m256d stay_v = _mm256_set1_pd(log_stay);
+  const __m256d up_v = _mm256_set1_pd(log_up);
+  const __m256d down_v = _mm256_set1_pd(log_down);
+  size_t s = 1;
+  for (; s + 4 <= end; s += 4) {
+    const __m256d stay = _mm256_add_pd(_mm256_loadu_pd(prev + s), stay_v);
+    const __m256d up = _mm256_add_pd(_mm256_loadu_pd(prev + s - 1), up_v);
+    const __m256d down = _mm256_add_pd(_mm256_loadu_pd(prev + s + 1), down_v);
+    const __m256d up_wins = _mm256_cmp_pd(up, stay, _CMP_GT_OQ);
+    const __m256d best_su = _mm256_blendv_pd(stay, up, up_wins);
+    const __m256d down_wins = _mm256_cmp_pd(down, best_su, _CMP_GT_OQ);
+    const __m256d best = _mm256_blendv_pd(best_su, down, down_wins);
+    _mm256_storeu_pd(curr + s, _mm256_add_pd(best, _mm256_loadu_pd(row + s)));
+    if (from != nullptr) {
+      const uint32_t u =
+          static_cast<uint32_t>(_mm256_movemask_pd(up_wins)) & 0xFu;
+      const uint32_t d =
+          static_cast<uint32_t>(_mm256_movemask_pd(down_wins)) & 0xFu;
+      // Per-lane byte: down ? 2 : (up ? 1 : 0). Single-bit bytes, so the
+      // shifted add can never carry across lanes.
+      const uint32_t flags = kLaneBytes[u & ~d] | (kLaneBytes[d] << 1);
+      std::memcpy(from + s, &flags, sizeof(flags));
+    }
+  }
+  for (; s < end; ++s) {
+    const double stay = prev[s] + log_stay;
+    const double up = prev[s - 1] + log_up;
+    const bool up_wins = up > stay;
+    double incoming = up_wins ? up : stay;
+    uint8_t step = static_cast<uint8_t>(up_wins);
+    const double down = prev[s + 1] + log_down;
+    const bool down_wins = down > incoming;
+    incoming = down_wins ? down : incoming;
+    step = down_wins ? 2 : step;
+    curr[s] = incoming + row[s];
+    if (from != nullptr) from[s] = step;
+  }
+}
+
+namespace {
+
+inline __m256i Load16(const int16_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void Store16(int16_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+inline int16_t HorizontalMax16(__m256i v) {
+  __m128i m = _mm_max_epi16(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  m = _mm_max_epi16(m, _mm_unpackhi_epi64(m, m));
+  m = _mm_max_epi16(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(0, 0, 0, 1)));
+  m = _mm_max_epi16(m, _mm_shufflelo_epi16(m, _MM_SHUFFLE(0, 0, 0, 1)));
+  return static_cast<int16_t>(_mm_extract_epi16(m, 0));
+}
+
+}  // namespace
+
+namespace {
+
+// Spreads the maximum int16 lane of `v` to every lane: one cross-half
+// fold, then three in-lane rotations (alignr works per 128-bit lane,
+// which is enough once both halves agree). Keeping the reduction in ymm
+// avoids the extract -> scalar -> rebroadcast round trip on the step's
+// critical path.
+inline __m256i BroadcastMax16(__m256i v) {
+  v = _mm256_max_epi16(v, _mm256_permute2x128_si256(v, v, 1));
+  v = _mm256_max_epi16(v, _mm256_alignr_epi8(v, v, 8));
+  v = _mm256_max_epi16(v, _mm256_alignr_epi8(v, v, 4));
+  v = _mm256_max_epi16(v, _mm256_alignr_epi8(v, v, 2));
+  return v;
+}
+
+// Columns up to this many levels take the register-resident fast path
+// below (at most 8 interior blocks incl. the overlapped tail).
+constexpr size_t kRegisterPathMaxLevels = 128;
+
+}  // namespace
+
+void QuantizedForwardStep(const int16_t* prev_column, const int16_t* qrow,
+                          int16_t row_mult, int16_t q_stay, int16_t q_up,
+                          bool allow_down, int16_t q_down, size_t levels,
+                          int16_t* next_column) {
+  // Register-resident fast path: every interior block's value is held in
+  // a ymm register until the column max is known, so the step makes a
+  // single pass over memory — compute, reduce, subtract, store — instead
+  // of storing unnormalized values and re-walking them to renormalize.
+  // The serial step-to-step dependency in streaming serving makes that
+  // second memory pass (store -> reload -> subtract -> store) the
+  // dominant latency, not instruction throughput. Requires at least one
+  // full interior block (levels >= 18) so the overlapped tail is legal,
+  // and enough registers to hold the column (levels <= 128); everything
+  // else falls through to the general path after this block.
+  if (levels >= 18 && levels <= kRegisterPathMaxLevels) {
+    const __m256i mult_v = _mm256_set1_epi16(row_mult);
+    const __m256i stay_v = _mm256_set1_epi16(q_stay);
+    const __m256i up_v = _mm256_set1_epi16(q_up);
+    const __m256i down_v = _mm256_set1_epi16(q_down);
+
+    int16_t edge0 = detail::AddSat16(prev_column[0], q_stay);
+    if (allow_down) {
+      edge0 = std::max(edge0, detail::AddSat16(prev_column[1], q_down));
+    }
+    edge0 = detail::AddSat16(edge0, detail::RowAccUnit(qrow[0], row_mult));
+
+    const size_t top = levels - 1;
+    const int16_t edge_top = detail::AddSat16(
+        std::max(prev_column[top],
+                 detail::AddSat16(prev_column[top - 1], q_up)),
+        detail::RowAccUnit(qrow[top], row_mult));
+
+    __m256i buf[8];
+    size_t offs[8];
+    size_t nb = 0;
+    __m256i vmax = _mm256_set1_epi16(std::max(edge0, edge_top));
+    const auto block = [&](size_t at) {
+      const __m256i stay =
+          _mm256_adds_epi16(Load16(prev_column + at), stay_v);
+      const __m256i up =
+          _mm256_adds_epi16(Load16(prev_column + at - 1), up_v);
+      __m256i incoming = _mm256_max_epi16(stay, up);
+      if (allow_down) {
+        const __m256i down =
+            _mm256_adds_epi16(Load16(prev_column + at + 1), down_v);
+        incoming = _mm256_max_epi16(incoming, down);
+      }
+      const __m256i row_acc = _mm256_mulhrs_epi16(Load16(qrow + at), mult_v);
+      const __m256i value = _mm256_adds_epi16(incoming, row_acc);
+      buf[nb] = value;
+      offs[nb] = at;
+      ++nb;
+      vmax = _mm256_max_epi16(vmax, value);
+    };
+    const size_t end = top;
+    size_t s = 1;
+    for (; s + 16 <= end; s += 16) block(s);
+    if (s < end) block(end - 16);
+
+    // Overlapped blocks recompute identical values from prev_column and
+    // get the same subtrahend, so their overlapping stores agree.
+    const __m256i max_v = BroadcastMax16(vmax);
+    for (size_t k = 0; k < nb; ++k) {
+      Store16(next_column + offs[k], _mm256_sub_epi16(buf[k], max_v));
+    }
+    const int16_t smax = static_cast<int16_t>(
+        _mm_extract_epi16(_mm256_castsi256_si128(max_v), 0));
+    next_column[0] = static_cast<int16_t>(edge0 - smax);
+    next_column[top] = static_cast<int16_t>(edge_top - smax);
+    return;
+  }
+  // Pure saturating-int16 arithmetic, 16 levels per instruction:
+  // vpaddsw / vpmaxsw / vpmulhrsw are bit-exact twins of the scalar
+  // reference's AddSat16 / max / RowAccUnit, so the backends always
+  // produce identical columns. The bottom and top lanes carry boundary
+  // rules and are peeled; the last partial interior block re-runs 16
+  // lanes at an overlapping offset instead of a scalar tail (the step is
+  // a pure function of prev_column, so overlapped stores write identical
+  // bytes).
+  const __m256i mult_v = _mm256_set1_epi16(row_mult);
+  const __m256i stay_v = _mm256_set1_epi16(q_stay);
+  const __m256i up_v = _mm256_set1_epi16(q_up);
+  const __m256i down_v = _mm256_set1_epi16(q_down);
+
+  int16_t smax;
+  {
+    int16_t incoming = levels > 1 ? detail::AddSat16(prev_column[0], q_stay)
+                                  : prev_column[0];
+    if (levels > 1 && allow_down) {
+      incoming =
+          std::max(incoming, detail::AddSat16(prev_column[1], q_down));
+    }
+    const int16_t value =
+        detail::AddSat16(incoming, detail::RowAccUnit(qrow[0], row_mult));
+    next_column[0] = value;
+    smax = value;
+  }
+
+  const size_t end = levels > 0 ? levels - 1 : 0;
+  __m256i vmax = _mm256_set1_epi16(-32768);
+  const auto block = [&](size_t at) {
+    const __m256i stay =
+        _mm256_adds_epi16(Load16(prev_column + at), stay_v);
+    const __m256i up =
+        _mm256_adds_epi16(Load16(prev_column + at - 1), up_v);
+    __m256i incoming = _mm256_max_epi16(stay, up);
+    if (allow_down) {
+      const __m256i down =
+          _mm256_adds_epi16(Load16(prev_column + at + 1), down_v);
+      incoming = _mm256_max_epi16(incoming, down);
+    }
+    const __m256i row_acc = _mm256_mulhrs_epi16(Load16(qrow + at), mult_v);
+    const __m256i value = _mm256_adds_epi16(incoming, row_acc);
+    Store16(next_column + at, value);
+    vmax = _mm256_max_epi16(vmax, value);
+  };
+  size_t s = 1;
+  for (; s + 16 <= end; s += 16) block(s);
+  if (s < end && end > 16) {
+    block(end - 16);
+    s = end;
+  }
+  for (; s < end; ++s) {
+    const int16_t stay = detail::AddSat16(prev_column[s], q_stay);
+    const int16_t up = detail::AddSat16(prev_column[s - 1], q_up);
+    int16_t incoming = std::max(stay, up);
+    if (allow_down) {
+      incoming =
+          std::max(incoming, detail::AddSat16(prev_column[s + 1], q_down));
+    }
+    const int16_t value =
+        detail::AddSat16(incoming, detail::RowAccUnit(qrow[s], row_mult));
+    next_column[s] = value;
+    smax = std::max(smax, value);
+  }
+  if (levels > 1) {
+    const size_t top = levels - 1;
+    const int16_t incoming =
+        std::max(prev_column[top], detail::AddSat16(prev_column[top - 1], q_up));
+    const int16_t value = detail::AddSat16(
+        incoming, detail::RowAccUnit(qrow[top], row_mult));
+    next_column[top] = value;
+    smax = std::max(smax, value);
+  }
+  // Interior blocks only run when end > 16; skipping the horizontal
+  // reduce otherwise keeps tiny columns (S <= 17) on a short scalar path.
+  if (end > 16) smax = std::max(smax, HorizontalMax16(vmax));
+
+  // Renormalize in place. value - max >= value, so the plain subtract
+  // cannot overflow; no overlapped block here (the subtraction is not
+  // idempotent), the remainder runs scalar.
+  const __m256i max_v = _mm256_set1_epi16(smax);
+  size_t j = 0;
+  for (; j + 16 <= levels; j += 16) {
+    Store16(next_column + j, _mm256_sub_epi16(Load16(next_column + j), max_v));
+  }
+  for (; j < levels; ++j) {
+    next_column[j] = static_cast<int16_t>(next_column[j] - smax);
+  }
+}
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace upskill
+
+#endif  // x86-64

@@ -1,0 +1,160 @@
+// NEON kernel bodies (aarch64, where NEON is baseline — no extra compile
+// flags or runtime feature check needed). Two float64 lanes per vector.
+// Same exactness contract as the AVX2 TU: plain IEEE add/sub/mul/div plus
+// compare-and-select (vcgtq_f64 is false on unordered, like scalar >),
+// never FMA, so results are bitwise identical to the scalar references.
+// Gather-based and int16 kernels are not implemented here; kernels.cc
+// dispatches those to the scalar reference on aarch64.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <limits>
+
+#include "simd/kernels.h"
+#include "simd/kernels_impl.h"
+
+namespace upskill {
+namespace simd {
+namespace neon {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+void GammaLogProbBatch(std::span<const double> xs,
+                       std::span<const double> log_xs, double shape_minus_one,
+                       double scale, double log_gamma_shape,
+                       double shape_log_scale, std::span<double> out) {
+  const size_t n = xs.size();
+  const float64x2_t neg_inf = vdupq_n_f64(kNegInf);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t sm1_v = vdupq_n_f64(shape_minus_one);
+  const float64x2_t scale_v = vdupq_n_f64(scale);
+  const float64x2_t lgs_v = vdupq_n_f64(log_gamma_shape);
+  const float64x2_t sls_v = vdupq_n_f64(shape_log_scale);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t x = vld1q_f64(xs.data() + i);
+    const float64x2_t log_x = vld1q_f64(log_xs.data() + i);
+    float64x2_t r =
+        vsubq_f64(vmulq_f64(sm1_v, log_x), vdivq_f64(x, scale_v));
+    r = vsubq_f64(r, lgs_v);
+    r = vsubq_f64(r, sls_v);
+    const uint64x2_t positive = vcgtq_f64(x, zero);
+    vst1q_f64(out.data() + i, vbslq_f64(positive, r, neg_inf));
+  }
+  if (i < n) {
+    scalar::GammaLogProbBatch(xs.subspan(i), log_xs.subspan(i),
+                              shape_minus_one, scale, log_gamma_shape,
+                              shape_log_scale, out.subspan(i));
+  }
+}
+
+void LogNormalLogProbBatch(std::span<const double> xs,
+                           std::span<const double> log_xs, double mu,
+                           double sigma, double log_sigma,
+                           double half_log_two_pi, std::span<double> out) {
+  const size_t n = xs.size();
+  const float64x2_t neg_inf = vdupq_n_f64(kNegInf);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t mu_v = vdupq_n_f64(mu);
+  const float64x2_t sigma_v = vdupq_n_f64(sigma);
+  const float64x2_t log_sigma_v = vdupq_n_f64(log_sigma);
+  const float64x2_t hltp_v = vdupq_n_f64(half_log_two_pi);
+  const float64x2_t neg_half = vdupq_n_f64(-0.5);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t x = vld1q_f64(xs.data() + i);
+    const float64x2_t log_x = vld1q_f64(log_xs.data() + i);
+    const float64x2_t z = vdivq_f64(vsubq_f64(log_x, mu_v), sigma_v);
+    float64x2_t r = vmulq_f64(vmulq_f64(neg_half, z), z);
+    r = vsubq_f64(r, log_x);
+    r = vsubq_f64(r, log_sigma_v);
+    r = vsubq_f64(r, hltp_v);
+    const uint64x2_t positive = vcgtq_f64(x, zero);
+    vst1q_f64(out.data() + i, vbslq_f64(positive, r, neg_inf));
+  }
+  if (i < n) {
+    scalar::LogNormalLogProbBatch(xs.subspan(i), log_xs.subspan(i), mu, sigma,
+                                  log_sigma, half_log_two_pi, out.subspan(i));
+  }
+}
+
+void DpRowInterior(const double* prev, const double* row, size_t levels,
+                   double log_stay, double log_up, double* curr,
+                   uint8_t* from) {
+  if (levels < 2) return;
+  const size_t end = levels - 1;
+  const float64x2_t stay_v = vdupq_n_f64(log_stay);
+  const float64x2_t up_v = vdupq_n_f64(log_up);
+  size_t s = 1;
+  for (; s + 2 <= end; s += 2) {
+    const float64x2_t stay = vaddq_f64(vld1q_f64(prev + s), stay_v);
+    const float64x2_t up = vaddq_f64(vld1q_f64(prev + s - 1), up_v);
+    const uint64x2_t up_wins = vcgtq_f64(up, stay);
+    const float64x2_t best = vbslq_f64(up_wins, up, stay);
+    vst1q_f64(curr + s, vaddq_f64(best, vld1q_f64(row + s)));
+    if (from != nullptr) {
+      from[s] = static_cast<uint8_t>(vgetq_lane_u64(up_wins, 0) & 1u);
+      from[s + 1] = static_cast<uint8_t>(vgetq_lane_u64(up_wins, 1) & 1u);
+    }
+  }
+  for (; s < end; ++s) {
+    const double stay = prev[s] + log_stay;
+    const double up = prev[s - 1] + log_up;
+    const bool up_wins = up > stay;
+    curr[s] = (up_wins ? up : stay) + row[s];
+    if (from != nullptr) from[s] = static_cast<uint8_t>(up_wins);
+  }
+}
+
+void DpRowInteriorWithDown(const double* prev, const double* row,
+                           size_t levels, double log_stay, double log_up,
+                           double log_down, double* curr, uint8_t* from) {
+  if (levels < 2) return;
+  const size_t end = levels - 1;
+  const float64x2_t stay_v = vdupq_n_f64(log_stay);
+  const float64x2_t up_v = vdupq_n_f64(log_up);
+  const float64x2_t down_v = vdupq_n_f64(log_down);
+  size_t s = 1;
+  for (; s + 2 <= end; s += 2) {
+    const float64x2_t stay = vaddq_f64(vld1q_f64(prev + s), stay_v);
+    const float64x2_t up = vaddq_f64(vld1q_f64(prev + s - 1), up_v);
+    const float64x2_t down = vaddq_f64(vld1q_f64(prev + s + 1), down_v);
+    const uint64x2_t up_wins = vcgtq_f64(up, stay);
+    const float64x2_t best_su = vbslq_f64(up_wins, up, stay);
+    const uint64x2_t down_wins = vcgtq_f64(down, best_su);
+    const float64x2_t best = vbslq_f64(down_wins, down, best_su);
+    vst1q_f64(curr + s, vaddq_f64(best, vld1q_f64(row + s)));
+    if (from != nullptr) {
+      // down ? 2 : (up ? 1 : 0), per lane.
+      const uint64_t u0 = vgetq_lane_u64(up_wins, 0) & 1u;
+      const uint64_t u1 = vgetq_lane_u64(up_wins, 1) & 1u;
+      const uint64_t d0 = vgetq_lane_u64(down_wins, 0) & 1u;
+      const uint64_t d1 = vgetq_lane_u64(down_wins, 1) & 1u;
+      from[s] = static_cast<uint8_t>(d0 ? 2u : u0);
+      from[s + 1] = static_cast<uint8_t>(d1 ? 2u : u1);
+    }
+  }
+  for (; s < end; ++s) {
+    const double stay = prev[s] + log_stay;
+    const double up = prev[s - 1] + log_up;
+    const bool up_wins = up > stay;
+    double incoming = up_wins ? up : stay;
+    uint8_t step = static_cast<uint8_t>(up_wins);
+    const double down = prev[s + 1] + log_down;
+    const bool down_wins = down > incoming;
+    incoming = down_wins ? down : incoming;
+    step = down_wins ? 2 : step;
+    curr[s] = incoming + row[s];
+    if (from != nullptr) from[s] = step;
+  }
+}
+
+}  // namespace neon
+}  // namespace simd
+}  // namespace upskill
+
+#endif  // aarch64

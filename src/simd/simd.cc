@@ -1,0 +1,76 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace upskill {
+namespace simd {
+
+namespace {
+
+// Best backend this binary was compiled for. The AVX2 kernel bodies live
+// in kernels_avx2.cc (built with -mavx2); this TU only decides whether it
+// is safe and wanted to call into them.
+constexpr Backend CompiledBackend() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return Backend::kAvx2;
+#elif defined(__aarch64__)
+  return Backend::kNeon;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("UPSKILL_FORCE_SCALAR");
+  if (env == nullptr) return false;
+  return env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+bool CpuSupportsCompiledBackend() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  // NEON is baseline on aarch64; the scalar backend needs nothing.
+  return true;
+#endif
+}
+
+Backend DetectBackend() {
+  if (EnvForcesScalar()) return Backend::kScalar;
+  if (!CpuSupportsCompiledBackend()) return Backend::kScalar;
+  return CompiledBackend();
+}
+
+// 0 = undecided, otherwise 1 + static_cast<int>(Backend). Plain atomic:
+// racing first calls all compute the same value.
+std::atomic<int> g_backend{0};
+
+}  // namespace
+
+Backend ActiveBackend() {
+  int state = g_backend.load(std::memory_order_acquire);
+  if (state == 0) {
+    state = 1 + static_cast<int>(DetectBackend());
+    g_backend.store(state, std::memory_order_release);
+  }
+  return static_cast<Backend>(state - 1);
+}
+
+const char* BackendName() {
+  switch (ActiveBackend()) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+void ForceScalarForTest(bool force) {
+  const Backend backend = force ? Backend::kScalar : DetectBackend();
+  g_backend.store(1 + static_cast<int>(backend), std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace upskill

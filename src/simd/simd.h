@@ -1,0 +1,47 @@
+#ifndef UPSKILL_SIMD_SIMD_H_
+#define UPSKILL_SIMD_SIMD_H_
+
+namespace upskill {
+namespace simd {
+
+/// Vector backend driving the hot kernels (batched log-probs, the two-row
+/// assignment DP, the streaming forward column, the quantized serving
+/// step). The backend is picked once per process:
+///
+///   compile time  — kAvx2 on x86-64 (the AVX2 bodies live in a dedicated
+///                   translation unit built with -mavx2), kNeon on
+///                   aarch64, kScalar everywhere else;
+///   run time      — demoted to kScalar when the CPU lacks the compiled
+///                   instruction set (cpuid / baseline check) or when the
+///                   UPSKILL_FORCE_SCALAR environment variable is set to
+///                   anything but "" or "0" (the kill switch CI uses to
+///                   keep the fallback path green).
+///
+/// Every dispatched kernel is bitwise identical across backends for the
+/// double kernels and bit-exact (integer arithmetic) for the quantized
+/// ones, so the choice can never change results — only speed. That is
+/// what lets tests sweep backends and compare with operator==.
+enum class Backend {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+/// The backend every dispatched kernel uses right now.
+Backend ActiveBackend();
+
+/// Stable lowercase name of ActiveBackend(): "scalar", "avx2", "neon".
+const char* BackendName();
+
+/// True when ActiveBackend() != kScalar.
+inline bool VectorEnabled() { return ActiveBackend() != Backend::kScalar; }
+
+/// Test/bench hook: forces the scalar fallback on (true) or restores the
+/// detected backend (false), overriding UPSKILL_FORCE_SCALAR. Affects
+/// subsequent kernel dispatches process-wide; not for production code.
+void ForceScalarForTest(bool force);
+
+}  // namespace simd
+}  // namespace upskill
+
+#endif  // UPSKILL_SIMD_SIMD_H_

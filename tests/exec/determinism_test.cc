@@ -23,6 +23,7 @@
 #include "datagen/synthetic.h"
 #include "eval/tasks.h"
 #include "serve/snapshot.h"
+#include "simd/simd.h"
 
 namespace upskill {
 namespace {
@@ -197,6 +198,56 @@ TEST(ShardDeterminismTest, EmTrainerBitwiseInvariantAcrossThreadsAndShards) {
       EXPECT_EQ(base.initial_distribution, run.initial_distribution) << label;
       EXPECT_EQ(base.level_up_probability, run.level_up_probability) << label;
     }
+  }
+}
+
+TEST(ShardDeterminismTest, TrainerBitwiseInvariantAcrossSimdBackends) {
+  // The SIMD kernel layer's contract (src/simd): forcing the scalar
+  // fallback — what UPSKILL_FORCE_SCALAR=1 does at process start — must
+  // leave every training output bitwise unchanged, on every thread/shard
+  // combination, for the plain trainer and for the transitions+forgetting
+  // configuration that exercises the down-edge DP kernel. On scalar-only
+  // hardware both sweeps run the fallback and the test is vacuously
+  // green; on AVX2/NEON hosts it pins the vector kernels to the scalar
+  // reference through the full training stack.
+  const datagen::GeneratedData data = MakeData();
+  const std::string path = testing::TempDir() + "/det_simd.snap";
+
+  for (const bool forgetting : {false, true}) {
+    TrainResult base;
+    std::string base_bytes;
+    bool have_base = false;
+    for (const bool force_scalar : {false, true}) {
+      simd::ForceScalarForTest(force_scalar);
+      for (const int threads : {1, 8}) {
+        SkillModelConfig config = MakeConfig(threads, threads > 1 ? 7 : 1);
+        if (forgetting) {
+          config.transitions = TransitionModel::kGlobal;
+          config.forgetting.enabled = true;
+          config.forgetting.gap_threshold = 40;
+          config.forgetting.drop_probability = 0.05;
+        }
+        const Trainer trainer(config);
+        auto result = trainer.Train(data.dataset);
+        ASSERT_TRUE(result.ok());
+        const std::string bytes =
+            SnapshotBytes(result.value(), data.dataset, nullptr, path);
+        const std::string label =
+            std::string("backend=") +
+            (force_scalar ? "scalar" : simd::BackendName()) +
+            " threads=" + std::to_string(threads) +
+            " forgetting=" + (forgetting ? "on" : "off");
+        if (!have_base) {
+          base = std::move(result).value();
+          base_bytes = bytes;
+          have_base = true;
+          continue;
+        }
+        ExpectSameTrainResult(base, result.value(), label);
+        EXPECT_EQ(base_bytes, bytes) << label;
+      }
+    }
+    simd::ForceScalarForTest(false);
   }
 }
 

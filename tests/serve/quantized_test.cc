@@ -1,0 +1,370 @@
+// Quantized (--quantized) serving path: the int16 fixed-point forward DP
+// must track the double reference within the documented error budget —
+// levels within +/-1 at every step, top-1 recommendation agreement at or
+// above 99.9% — across datagen scenarios, and snapshot hot-swaps must
+// requantize and carry session accumulators with the same semantics as
+// the double path (carry on same-S swaps, reset on an S change; a swap to
+// an identical snapshot is observationally a no-op).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/difficulty.h"
+#include "core/dp.h"
+#include "core/recommend.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace upskill {
+namespace serve {
+namespace {
+
+struct Scenario {
+  std::string name;
+  datagen::SyntheticConfig data;
+  int train_levels = 0;  // 0: match data.num_levels
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "baseline";
+    s.data.num_levels = 4;
+    s.data.num_users = 60;
+    s.data.num_items = 80;
+    s.data.mean_sequence_length = 30.0;
+    s.data.seed = 71;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "breaks_and_fast_users";
+    s.data.num_levels = 5;
+    s.data.num_users = 50;
+    s.data.num_items = 100;
+    s.data.mean_sequence_length = 35.0;
+    s.data.fast_user_fraction = 0.3;
+    s.data.break_probability = 0.05;
+    s.data.seed = 72;
+    scenarios.push_back(s);
+  }
+  return scenarios;
+}
+
+// Trains on the scenario's dataset and snapshots the result; returns the
+// snapshot path (caller removes it).
+struct TrainedScenario {
+  std::unique_ptr<Dataset> dataset;
+  std::string snapshot_path;
+  std::shared_ptr<const ServingModel> serving;
+};
+
+TrainedScenario Materialize(const Scenario& scenario, const char* tag) {
+  TrainedScenario out;
+  auto data = datagen::GenerateSynthetic(scenario.data);
+  EXPECT_TRUE(data.ok());
+  out.dataset = std::make_unique<Dataset>(std::move(data).value().dataset);
+
+  SkillModelConfig config;
+  config.num_levels = scenario.train_levels > 0 ? scenario.train_levels
+                                                : scenario.data.num_levels;
+  config.min_init_actions = 15;
+  config.max_iterations = 5;
+  auto trained = Trainer(config).Train(*out.dataset);
+  EXPECT_TRUE(trained.ok());
+  const SkillModel& model = trained.value().model;
+  const SkillAssignments assignments = AssignSkills(*out.dataset, model);
+  auto difficulty = EstimateDifficultyByGeneration(
+      out.dataset->items(), model, DifficultyPrior::kEmpirical, assignments);
+  EXPECT_TRUE(difficulty.ok());
+  auto snapshot =
+      MakeSnapshot(model, out.dataset->items(), difficulty.value());
+  EXPECT_TRUE(snapshot.ok());
+  out.snapshot_path =
+      (std::filesystem::temp_directory_path() /
+       ("upskill_quantized_" + std::to_string(::getpid()) + "_" +
+        scenario.name + "_" + tag + ".snap"))
+          .string();
+  EXPECT_TRUE(SaveSnapshot(snapshot.value(), out.snapshot_path).ok());
+  auto serving = ServingModel::FromSnapshotFile(out.snapshot_path);
+  EXPECT_TRUE(serving.ok()) << serving.status().ToString();
+  out.serving = serving.value();
+  return out;
+}
+
+TEST(QuantizedServeTest, LevelsWithinOneAndTopPickAgreesAcrossScenarios) {
+  for (const Scenario& scenario : Scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    TrainedScenario t = Materialize(scenario, "main");
+    Server exact(t.serving);
+    Server quantized(t.serving, /*num_shards=*/64, /*quantized=*/true);
+    ASSERT_FALSE(exact.quantized());
+    ASSERT_TRUE(quantized.quantized());
+
+    UpskillRecommendationOptions options;
+    options.max_results = 5;
+    options.exclude_tried = false;
+
+    // The +/-1 bound is stated against the double forward column: when
+    // the double column has near-tied lanes (margin below the accumulated
+    // fixed-point error), the quantized argmax may legitimately land on
+    // any near-co-optimal level, even one further than +/-1 from the
+    // double argmax. The test therefore replays the double column itself
+    // (free start, zero costs — the snapshot carries no transitions) and
+    // accepts a distant level only when it is within kTieMargin of the
+    // column's maximum.
+    ASSERT_EQ(t.serving->transitions(), nullptr);
+    constexpr double kTieMargin = 0.25;  // nats; >> accumulated quant error
+    const int num_levels = t.serving->num_levels();
+    std::vector<std::vector<double>> columns(
+        static_cast<size_t>(t.dataset->num_users()));
+    std::vector<double> next(static_cast<size_t>(num_levels));
+
+    size_t steps = 0;
+    size_t level_exact_matches = 0;
+    size_t level_within_one = 0;
+    size_t top1_comparisons = 0;
+    size_t top1_matches = 0;
+    for (UserId u = 0; u < t.dataset->num_users(); ++u) {
+      const auto& sequence = t.dataset->sequence(u);
+      if (sequence.empty()) continue;
+      const std::string name = "user" + std::to_string(u);
+      std::vector<double>& column = columns[static_cast<size_t>(u)];
+      for (const Action& action : sequence) {
+        const auto exact_level =
+            exact.Observe(name, action.item, action.time, true);
+        const auto quantized_level =
+            quantized.Observe(name, action.item, action.time, true);
+        ASSERT_TRUE(exact_level.ok()) << exact_level.status().ToString();
+        ASSERT_TRUE(quantized_level.ok())
+            << quantized_level.status().ToString();
+        if (column.empty()) {
+          column.resize(static_cast<size_t>(num_levels));
+          MonotoneForwardStart(t.serving->ItemRow(action.item), {}, column);
+        } else {
+          MonotoneForwardStep(column, t.serving->ItemRow(action.item), 0.0,
+                              0.0, false, 0.0, next);
+          column.swap(next);
+        }
+        ASSERT_EQ(MonotoneForwardLevel(column), exact_level.value().level);
+        const int level_gap =
+            std::abs(quantized_level.value().level - exact_level.value().level);
+        if (level_gap > 1) {
+          const double max =
+              *std::max_element(column.begin(), column.end());
+          const double at_quantized =
+              column[static_cast<size_t>(quantized_level.value().level - 1)];
+          ASSERT_LE(max - at_quantized, kTieMargin)
+              << "user " << u << " after " << exact_level.value().actions
+              << " actions: quantized level "
+              << quantized_level.value().level << " vs double level "
+              << exact_level.value().level << " without a near-tie";
+        }
+        ++steps;
+        level_within_one += level_gap <= 1;
+        level_exact_matches +=
+            quantized_level.value().level == exact_level.value().level;
+
+        const auto exact_picks = exact.Recommend(name, options);
+        const auto quantized_picks = quantized.Recommend(name, options);
+        ASSERT_TRUE(exact_picks.ok());
+        ASSERT_TRUE(quantized_picks.ok());
+        ++top1_comparisons;
+        const bool both_empty =
+            exact_picks.value().empty() && quantized_picks.value().empty();
+        top1_matches +=
+            both_empty ||
+            (!exact_picks.value().empty() && !quantized_picks.value().empty() &&
+             exact_picks.value()[0].item == quantized_picks.value()[0].item);
+      }
+    }
+    ASSERT_GT(steps, 1000u) << "scenario too small to be meaningful";
+    // Top-1 agreement budget from the issue: >= 99.9%.
+    EXPECT_GE(static_cast<double>(top1_matches),
+              0.999 * static_cast<double>(top1_comparisons))
+        << top1_matches << "/" << top1_comparisons;
+    // Not a contract, but if exact-level agreement ever collapses the
+    // quantization is broken even when +/-1 still holds.
+    EXPECT_GE(static_cast<double>(level_exact_matches),
+              0.99 * static_cast<double>(steps))
+        << level_exact_matches << "/" << steps;
+    // The near-tie escape hatch above must stay an escape hatch: +/-1
+    // itself holds on (at least) 99.9% of steps.
+    EXPECT_GE(static_cast<double>(level_within_one),
+              0.999 * static_cast<double>(steps))
+        << level_within_one << "/" << steps;
+
+    std::filesystem::remove(t.snapshot_path);
+  }
+}
+
+TEST(QuantizedServeTest, RecommendationsComeFromTheDoubleView) {
+  // Rankings and difficulties are never quantized: whenever the two
+  // servers agree on the level, their shortlists must be identical down
+  // to the double-precision scores.
+  const Scenario scenario = Scenarios()[0];
+  TrainedScenario t = Materialize(scenario, "ranks");
+  Server exact(t.serving);
+  Server quantized(t.serving, 64, true);
+  UpskillRecommendationOptions options;
+  options.max_results = 10;
+  options.exclude_tried = false;
+  int compared = 0;
+  for (UserId u = 0; u < t.dataset->num_users() && compared < 500; ++u) {
+    const auto& sequence = t.dataset->sequence(u);
+    if (sequence.empty()) continue;
+    const std::string name = "user" + std::to_string(u);
+    for (const Action& action : sequence) {
+      const auto exact_level =
+          exact.Observe(name, action.item, action.time, true);
+      const auto quantized_level =
+          quantized.Observe(name, action.item, action.time, true);
+      ASSERT_TRUE(exact_level.ok());
+      ASSERT_TRUE(quantized_level.ok());
+      if (exact_level.value().level != quantized_level.value().level) continue;
+      const auto a = exact.Recommend(name, options);
+      const auto b = quantized.Recommend(name, options);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a.value().size(), b.value().size());
+      for (size_t i = 0; i < a.value().size(); ++i) {
+        EXPECT_EQ(a.value()[i].item, b.value()[i].item);
+        EXPECT_EQ(a.value()[i].difficulty, b.value()[i].difficulty);
+        EXPECT_EQ(a.value()[i].log_prob, b.value()[i].log_prob);
+      }
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 100);
+  std::filesystem::remove(t.snapshot_path);
+}
+
+TEST(QuantizedServeTest, MidSessionSwapMatchesFreshSessionReplay) {
+  // Swap to an identical snapshot halfway through every session, then
+  // finish the replay: every post-swap level must equal the one a server
+  // that never swapped reports for the same prefix. This is the
+  // observable form of the accumulator-carry rule — requantization plus
+  // the fixed global accumulator scale make the swap transparent.
+  const Scenario scenario = Scenarios()[0];
+  TrainedScenario t = Materialize(scenario, "swap");
+  Server swapped(t.serving, 64, true);
+  Server control(t.serving, 64, true);
+
+  // First half of every session.
+  std::vector<size_t> halves(static_cast<size_t>(t.dataset->num_users()));
+  for (UserId u = 0; u < t.dataset->num_users(); ++u) {
+    const auto& sequence = t.dataset->sequence(u);
+    halves[static_cast<size_t>(u)] = sequence.size() / 2;
+    const std::string name = "user" + std::to_string(u);
+    for (size_t n = 0; n < halves[static_cast<size_t>(u)]; ++n) {
+      ASSERT_TRUE(
+          swapped.Observe(name, sequence[n].item, sequence[n].time, true).ok());
+      ASSERT_TRUE(
+          control.Observe(name, sequence[n].item, sequence[n].time, true).ok());
+    }
+  }
+  const size_t sessions_before = swapped.num_sessions();
+  ASSERT_TRUE(swapped.SwapSnapshotFile(t.snapshot_path).ok());
+  EXPECT_EQ(swapped.num_sessions(), sessions_before);  // same S: carried
+
+  size_t post_swap_steps = 0;
+  for (UserId u = 0; u < t.dataset->num_users(); ++u) {
+    const auto& sequence = t.dataset->sequence(u);
+    const std::string name = "user" + std::to_string(u);
+    for (size_t n = halves[static_cast<size_t>(u)]; n < sequence.size(); ++n) {
+      const auto after =
+          swapped.Observe(name, sequence[n].item, sequence[n].time, true);
+      const auto fresh =
+          control.Observe(name, sequence[n].item, sequence[n].time, true);
+      ASSERT_TRUE(after.ok()) << after.status().ToString();
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_EQ(after.value().level, fresh.value().level)
+          << "user " << u << " action " << n;
+      ++post_swap_steps;
+    }
+  }
+  EXPECT_GT(post_swap_steps, 100u);
+  std::filesystem::remove(t.snapshot_path);
+}
+
+TEST(QuantizedServeTest, SwapToDifferentModelKeepsQuantizedNearDouble) {
+  // Cross-model swap: sessions carry their accumulator into the new view
+  // exactly like the double path carries its column. The quantized
+  // server must keep tracking a double server that performs the very
+  // same swap, within the usual +/-1 budget.
+  std::vector<Scenario> scenarios = Scenarios();
+  Scenario retrain = scenarios[0];
+  retrain.data.seed = 4242;  // different data -> different parameters
+  TrainedScenario first = Materialize(scenarios[0], "xswap_a");
+  TrainedScenario second = Materialize(retrain, "xswap_b");
+  ASSERT_EQ(first.serving->num_levels(), second.serving->num_levels());
+
+  Server exact(first.serving);
+  Server quantized(first.serving, 64, true);
+  for (UserId u = 0; u < first.dataset->num_users(); ++u) {
+    const auto& sequence = first.dataset->sequence(u);
+    const std::string name = "user" + std::to_string(u);
+    for (size_t n = 0; n < sequence.size() / 2; ++n) {
+      ASSERT_TRUE(
+          exact.Observe(name, sequence[n].item, sequence[n].time, true).ok());
+      ASSERT_TRUE(
+          quantized.Observe(name, sequence[n].item, sequence[n].time, true)
+              .ok());
+    }
+  }
+  ASSERT_TRUE(exact.SwapSnapshotFile(second.snapshot_path).ok());
+  ASSERT_TRUE(quantized.SwapSnapshotFile(second.snapshot_path).ok());
+  size_t checked = 0;
+  for (UserId u = 0; u < first.dataset->num_users(); ++u) {
+    const auto& sequence = first.dataset->sequence(u);
+    const std::string name = "user" + std::to_string(u);
+    for (size_t n = sequence.size() / 2; n < sequence.size(); ++n) {
+      const auto a = exact.Observe(name, sequence[n].item, sequence[n].time,
+                                   true);
+      const auto b = quantized.Observe(name, sequence[n].item,
+                                       sequence[n].time, true);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_NEAR(b.value().level, a.value().level, 1)
+          << "user " << u << " action " << n;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+  std::filesystem::remove(first.snapshot_path);
+  std::filesystem::remove(second.snapshot_path);
+}
+
+TEST(QuantizedServeTest, SwapAcrossLevelCountsResetsQuantizedSessions) {
+  std::vector<Scenario> scenarios = Scenarios();
+  TrainedScenario four = Materialize(scenarios[0], "reset4");  // S = 4
+  Scenario three = scenarios[0];
+  three.train_levels = 3;
+  TrainedScenario other = Materialize(three, "reset3");  // S = 3
+  ASSERT_NE(four.serving->num_levels(), other.serving->num_levels());
+
+  Server server(four.serving, 64, true);
+  ASSERT_TRUE(server.Observe("reset-me", 0, 1, true).ok());
+  ASSERT_EQ(server.num_sessions(), 1u);
+  ASSERT_TRUE(server.SwapSnapshotFile(other.snapshot_path).ok());
+  EXPECT_EQ(server.num_sessions(), 0u);
+  const auto fresh = server.Observe("reset-me", 0, 2, true);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GE(fresh.value().level, 1);
+  EXPECT_LE(fresh.value().level, 3);
+  std::filesystem::remove(four.snapshot_path);
+  std::filesystem::remove(other.snapshot_path);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace upskill
