@@ -54,6 +54,9 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/net_server.h"
 #include "serve/server.h"
 #include "serve/serving_model.h"
 #include "serve/snapshot.h"
@@ -89,9 +92,10 @@ const std::set<std::string> kValueFlags = {
     "users", "seed",    "levels", "threads", "user",  "out",
     "top",   "stretch", "prior",  "min",     "max",   "shards",
     "metrics-out", "trace-out",
+    "listen", "net-workers", "deadline-ms", "max-conns",
 };
 const std::set<std::string> kSwitchFlags = {
-    "em", "verbose", "transitions", "detail", "quantized",
+    "em", "verbose", "transitions", "detail", "quantized", "binary",
 };
 
 Result<Args> ParseArgs(int argc, char** argv, int first) {
@@ -155,7 +159,13 @@ int Usage() {
       "  snapshot <data_dir> <model.csv> <out.snap> [--levels S]\n"
       "        [--prior empirical|uniform] [--transitions] [--threads N]\n"
       "  serve <snapshot.snap> [--threads N] [--shards N] [--quantized]\n"
-      "        (newline-delimited protocol on stdin/stdout; see README)\n");
+      "        (newline-delimited protocol on stdin/stdout; see README)\n"
+      "        [--listen host:port] [--net-workers N] [--deadline-ms D]\n"
+      "        [--max-conns N]   (TCP front end instead of stdio; text and\n"
+      "        binary protocols share the port; runs until stdin closes)\n"
+      "  client <host:port> [--binary]\n"
+      "        (forward stdin request lines to a serve --listen process;\n"
+      "        --binary re-encodes them as binary frames)\n");
   return 2;
 }
 
@@ -571,6 +581,36 @@ int CmdServe(const Args& args) {
                model.value()->num_items(), shards,
                quantized ? ", quantized int16 inference" : "");
 
+  if (args.HasFlag("listen")) {
+    // TCP front end: epoll event loop with per-core SO_REUSEPORT workers
+    // (src/net). The process stays up until stdin reaches EOF, so a
+    // supervising test/script owns the lifetime through the pipe.
+    net::NetServerConfig config;
+    const Status parsed =
+        net::ParseListenAddress(args.StringFlag("listen", ""), &config);
+    if (!parsed.ok()) return Fail(parsed);
+    config.num_workers = static_cast<int>(args.IntFlag("net-workers", 1));
+    config.deadline_seconds =
+        static_cast<double>(args.IntFlag("deadline-ms", 0)) / 1000.0;
+    config.max_connections =
+        static_cast<int>(args.IntFlag("max-conns", 4096));
+    net::NetServer net_server(&server, pool.get(), config);
+    const Status started = net_server.Start();
+    if (!started.ok()) return Fail(started);
+    // Tests parse this line for the actual port (--listen host:0 binds an
+    // ephemeral one).
+    std::fprintf(stderr, "listening on %s:%u workers=%d\n",
+                 config.host.c_str(), net_server.port(),
+                 net_server.num_workers());
+    std::fflush(stderr);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (StripWhitespace(line) == "shutdown") break;
+    }
+    net_server.Stop();
+    return 0;
+  }
+
   // Line-at-a-time request/response loop, plus the `batch <N>` directive:
   // the next N lines form one batch executed in parallel over the pool,
   // responses emitted in request order. Unparseable lines get an error
@@ -634,6 +674,72 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdClient(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  net::NetServerConfig addr;
+  const Status parsed = net::ParseListenAddress(args.positional[0], &addr);
+  if (!parsed.ok()) return Fail(parsed);
+  net::NetClient client;
+  const Status connected = client.Connect(
+      addr.host == "0.0.0.0" ? "127.0.0.1" : addr.host, addr.port);
+  if (!connected.ok()) return Fail(connected);
+  const bool binary = args.HasFlag("binary");
+
+  // Same request grammar as the stdio serve loop, forwarded over TCP.
+  // In --binary mode each line is parsed locally, shipped as a framed
+  // request, and the typed response rendered back to the text form, so
+  // the output is interchangeable with the text-protocol path.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    if (binary) {
+      const auto request = serve::ParseServeRequest(line);
+      if (!request.ok()) {
+        std::printf("%s\n",
+                    serve::FormatErrorResponse(request.status()).c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      const auto response = client.Call(request.value());
+      if (!response.ok()) return Fail(response.status());
+      std::printf("%s\n",
+                  net::RenderResponseAsText(response.value(),
+                                            request.value().kind)
+                      .c_str());
+      std::fflush(stdout);
+      if (request.value().kind == serve::ServeRequest::Kind::kQuit) break;
+      continue;
+    }
+    // Text passthrough. `batch <N>` emits exactly N responses (one per
+    // collected line), every other line exactly one.
+    size_t expected = 1;
+    std::string payload = line + "\n";
+    const std::vector<std::string> head =
+        Split(std::string(StripWhitespace(line)), ' ');
+    if (head.size() == 2 && head[0] == "batch") {
+      const Result<long long> count = ParseInt(head[1]);
+      if (count.ok() && count.value() >= 0) {
+        expected = static_cast<size_t>(count.value());
+        std::string batch_line;
+        for (long long i = 0; i < count.value(); ++i) {
+          if (!std::getline(std::cin, batch_line)) break;
+          payload += batch_line + "\n";
+        }
+      }
+    }
+    const Status sent = client.SendRaw(payload);
+    if (!sent.ok()) return Fail(sent);
+    const auto responses = client.ReadLines(expected);
+    if (!responses.ok()) return Fail(responses.status());
+    for (const std::string& response : responses.value()) {
+      std::printf("%s\n", response.c_str());
+    }
+    std::fflush(stdout);
+    if (head.size() == 1 && head[0] == "quit") break;
+  }
+  return 0;
+}
+
 int CmdSelectLevels(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   const auto dataset = LoadDataset(args.positional[0]);
@@ -679,6 +785,7 @@ int main(int argc, char** argv) {
   if (command == "recommend") return CmdRecommend(args);
   if (command == "snapshot") return CmdSnapshot(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "client") return CmdClient(args);
   if (command == "select-levels") return CmdSelectLevels(args);
   return Usage();
 }

@@ -12,6 +12,8 @@
 #            BM_LogProbBatch + BM_ForwardStepStreaming from bench_micro and
 #            BM_ServeQuantized from bench_serve, merged into one JSON so the
 #            scalar-vs-vector-vs-quantized triples land in a single run.
+#     net    bench_net: epoll TCP front end over real loopback sockets
+#            (binary/text protocol waves, req/s-per-core counters)
 #
 #   --threads sweeps the sharded micro benches (BM_AssignSkillsSharded,
 #   BM_FitParametersSharded) over the given thread counts; each emitted
@@ -74,11 +76,17 @@ for SUITE in $SUITES; do
       RUNS+=("bench_micro:BM_LogProbBatch|BM_ForwardStepStreaming")
       RUNS+=("bench_serve:BM_ServeQuantized")
       BINARIES+=(bench_micro bench_serve) ;;
+    net) RUNS+=("bench_net:"); BINARIES+=(bench_net) ;;
     *)
-      echo "error: unknown suite '$SUITE' (want micro, serve, or simd)" >&2
+      echo "error: unknown suite '$SUITE' (want micro, serve, simd, or net)" >&2
       exit 2 ;;
   esac
 done
+
+if [[ "${#RUNS[@]}" -eq 0 ]]; then
+  echo "error: no suites requested (SUITE/--suites expanded to nothing)" >&2
+  exit 2
+fi
 
 if ! cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
     -DUPSKILL_SANITIZE= >/dev/null; then

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -19,6 +19,11 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kInternal,
+  /// Transient overload: the caller should back off and retry. Used by
+  /// the serving front ends for deadline-based load shedding and
+  /// connection-limit rejections — a distinct code so clients never
+  /// confuse "server is busy" with a malformed or unserviceable request.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -59,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,154 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StringPrintf("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Errno("connect");
+    Close();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  peer_closed_ = false;
+  rx_.clear();
+  tx_.clear();
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::FillBuffer() {
+  if (peer_closed_) return Status::IoError("peer closed connection");
+  char chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      rx_.append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      return Status::IoError("peer closed connection");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status NetClient::SendRaw(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+void NetClient::QueueRequest(const serve::ServeRequest& request) {
+  EncodeRequest(request, &tx_);
+}
+
+Status NetClient::Flush() {
+  const Status status = SendRaw(tx_);
+  tx_.clear();
+  return status;
+}
+
+Result<DecodedResponse> NetClient::ReadResponse(
+    serve::ServeRequest::Kind kind) {
+  while (true) {
+    DecodedResponse response;
+    std::string error;
+    const DecodeStatus status =
+        DecodeResponse(rx_.data(), rx_.size(), kind,
+                       kDefaultMaxPayloadBytes, &response, &error);
+    if (status == DecodeStatus::kFrame) {
+      rx_.erase(0, response.frame_bytes);
+      return response;
+    }
+    if (status == DecodeStatus::kError) {
+      return Status::InvalidArgument("bad response frame: " + error);
+    }
+    const Status filled = FillBuffer();
+    if (!filled.ok()) return filled;
+  }
+}
+
+Result<DecodedResponse> NetClient::Call(const serve::ServeRequest& request) {
+  QueueRequest(request);
+  const Status flushed = Flush();
+  if (!flushed.ok()) return flushed;
+  return ReadResponse(request.kind);
+}
+
+Result<std::vector<std::string>> NetClient::ReadLines(size_t n) {
+  std::vector<std::string> lines;
+  size_t offset = 0;
+  while (lines.size() < n) {
+    const size_t newline = rx_.find('\n', offset);
+    if (newline == std::string::npos) {
+      const Status filled = FillBuffer();
+      if (!filled.ok()) return filled;
+      continue;
+    }
+    lines.push_back(rx_.substr(offset, newline - offset));
+    offset = newline + 1;
+  }
+  rx_.erase(0, offset);
+  return lines;
+}
+
+std::string NetClient::ReadAll() {
+  while (FillBuffer().ok()) {
+  }
+  std::string all = std::move(rx_);
+  rx_.clear();
+  return all;
+}
+
+}  // namespace net
+}  // namespace upskill

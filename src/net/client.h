@@ -1,0 +1,65 @@
+#ifndef UPSKILL_NET_CLIENT_H_
+#define UPSKILL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "serve/protocol.h"
+
+namespace upskill {
+namespace net {
+
+/// Small blocking TCP client for the serving front end, used by the CLI
+/// `client` mode, the tests, and the network bench. Speaks either wire
+/// format: raw text passthrough (SendRaw/ReadLines) or framed binary
+/// (Call, or QueueRequest/Flush/ReadResponse for pipelining).
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// Raw socket, for callers that drive their own wave I/O (bench_net).
+  int fd() const { return fd_; }
+
+  /// One binary round trip: encode, send, block until the response frame
+  /// for `request.kind` arrives.
+  Result<DecodedResponse> Call(const serve::ServeRequest& request);
+
+  /// Pipelining: queue any number of requests, Flush() them in one (or a
+  /// few) writes, then read the responses back in request order.
+  void QueueRequest(const serve::ServeRequest& request);
+  Status Flush();
+  Result<DecodedResponse> ReadResponse(serve::ServeRequest::Kind kind);
+
+  /// Sends raw bytes (text protocol lines, or hand-built malformed
+  /// frames for the robustness tests).
+  Status SendRaw(const std::string& bytes);
+  /// Blocks until `n` newline-terminated lines have arrived; returns them
+  /// without the terminators. Fails if the peer closes first.
+  Result<std::vector<std::string>> ReadLines(size_t n);
+  /// Reads until the peer closes; returns everything received.
+  std::string ReadAll();
+
+ private:
+  /// One blocking recv appended to rx_; IoError on failure, with
+  /// `peer_closed_` latched on EOF.
+  Status FillBuffer();
+
+  int fd_ = -1;
+  bool peer_closed_ = false;
+  std::string tx_;
+  std::string rx_;
+};
+
+}  // namespace net
+}  // namespace upskill
+
+#endif  // UPSKILL_NET_CLIENT_H_

@@ -1,0 +1,88 @@
+#include "net/epoll_loop.h"
+
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StringPrintf("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+EpollLoop::EpollLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+EpollLoop::~EpollLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EpollLoop::Add(int fd, uint32_t events, void* data) {
+  epoll_event event{};
+  event.events = events;
+  event.data.ptr = data;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status EpollLoop::Modify(int fd, uint32_t events, void* data) {
+  epoll_event event{};
+  event.events = events;
+  event.data.ptr = data;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+void EpollLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EpollLoop::Wait(epoll_event* events, int max_events, int timeout_ms) {
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, max_events, timeout_ms);
+    if (n >= 0) return n;
+    if (errno != EINTR) return -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+WakeupFd::WakeupFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+WakeupFd::~WakeupFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WakeupFd::Signal() {
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the reader; ignore short writes.
+  [[maybe_unused]] const ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void WakeupFd::Drain() {
+  uint64_t value = 0;
+  while (::read(fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+}  // namespace net
+}  // namespace upskill

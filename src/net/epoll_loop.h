@@ -1,0 +1,64 @@
+#ifndef UPSKILL_NET_EPOLL_LOOP_H_
+#define UPSKILL_NET_EPOLL_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace upskill {
+namespace net {
+
+/// Thin RAII wrapper over a level-triggered epoll instance. One loop per
+/// worker thread; the loop itself holds no connection state — callers
+/// stash their per-fd object in the epoll data pointer.
+class EpollLoop {
+ public:
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  Status Add(int fd, uint32_t events, void* data);
+  Status Modify(int fd, uint32_t events, void* data);
+  /// Best-effort removal (the kernel also drops registrations on close).
+  void Remove(int fd);
+
+  /// epoll_wait with EINTR retry. Returns the number of ready events
+  /// written to `events`, or -1 on a non-EINTR failure.
+  int Wait(epoll_event* events, int max_events, int timeout_ms);
+
+ private:
+  int epoll_fd_ = -1;
+};
+
+/// Marks `fd` O_NONBLOCK (every fd in the event loop must be).
+Status SetNonBlocking(int fd);
+
+/// An eventfd the owner writes to wake a worker out of Wait (used for
+/// shutdown). Read-drained by the worker on wakeup.
+class WakeupFd {
+ public:
+  WakeupFd();
+  ~WakeupFd();
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Signals the owning loop (async-signal-safe, callable from any thread).
+  void Signal();
+  /// Consumes pending signals so a level-triggered loop stops waking.
+  void Drain();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace upskill
+
+#endif  // UPSKILL_NET_EPOLL_LOOP_H_

@@ -1,0 +1,384 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace net {
+
+namespace {
+
+// Fixed-width put/get via memcpy. Like the snapshot format, the wire
+// encoding is the host byte order of the supported targets (x86-64 and
+// aarch64 are both little-endian); doubles travel as raw IEEE-754 bits.
+template <typename T>
+void Put(T value, std::string* out) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+T Get(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+void PutString(const std::string& s, std::string* out) {
+  Put<uint16_t>(static_cast<uint16_t>(s.size()), out);
+  out->append(s);
+}
+
+/// Reads a u16-length-prefixed string; false when the payload is too
+/// short (malformed frame).
+bool GetString(const char* data, size_t size, size_t* offset,
+               std::string* out) {
+  if (*offset + sizeof(uint16_t) > size) return false;
+  const uint16_t len = Get<uint16_t>(data + *offset);
+  *offset += sizeof(uint16_t);
+  if (*offset + len > size) return false;
+  out->assign(data + *offset, len);
+  *offset += len;
+  return true;
+}
+
+template <typename T>
+bool GetValue(const char* data, size_t size, size_t* offset, T* out) {
+  if (*offset + sizeof(T) > size) return false;
+  *out = Get<T>(data + *offset);
+  *offset += sizeof(T);
+  return true;
+}
+
+void AppendHeader(uint8_t magic, uint8_t code, uint32_t payload_len,
+                  std::string* out) {
+  out->push_back(static_cast<char>(magic));
+  out->push_back(static_cast<char>(code));
+  Put<uint32_t>(payload_len, out);
+}
+
+/// Patches the payload length into a header written with a placeholder,
+/// once the payload has been appended after it.
+void PatchPayloadLength(std::string* out, size_t header_start) {
+  const uint32_t payload_len = static_cast<uint32_t>(
+      out->size() - header_start - kFrameHeaderBytes);
+  std::memcpy(out->data() + header_start + 2, &payload_len,
+              sizeof(payload_len));
+}
+
+DecodeStatus Malformed(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+  return DecodeStatus::kError;
+}
+
+/// Shared header validation: magic + length sanity, then payload
+/// availability. Sets `payload`/`payload_len` on kFrame.
+DecodeStatus DecodeHeader(const char* data, size_t size,
+                          uint8_t expected_magic, size_t max_payload_bytes,
+                          const char** payload, size_t* payload_len,
+                          std::string* error) {
+  if (size == 0) return DecodeStatus::kNeedMore;
+  if (static_cast<uint8_t>(data[0]) != expected_magic) {
+    return Malformed(error, "bad frame magic");
+  }
+  if (size < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  const uint32_t len = Get<uint32_t>(data + 2);
+  if (len > max_payload_bytes) {
+    return Malformed(error, "frame payload exceeds limit");
+  }
+  if (size < kFrameHeaderBytes + len) return DecodeStatus::kNeedMore;
+  *payload = data + kFrameHeaderBytes;
+  *payload_len = len;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace
+
+DecodeStatus DecodeRequest(const char* data, size_t size,
+                           size_t max_payload_bytes, DecodedRequest* out,
+                           std::string* error) {
+  const char* payload = nullptr;
+  size_t payload_len = 0;
+  const DecodeStatus header = DecodeHeader(
+      data, size, kRequestMagic, max_payload_bytes, &payload, &payload_len,
+      error);
+  if (header != DecodeStatus::kFrame) return header;
+  const uint8_t opcode = static_cast<uint8_t>(data[1]);
+  if (opcode >= static_cast<uint8_t>(serve::kNumServeRequestKinds)) {
+    return Malformed(error, "unknown opcode");
+  }
+  serve::ServeRequest& request = out->request;
+  request = serve::ServeRequest{};
+  request.kind = static_cast<serve::ServeRequest::Kind>(opcode);
+  size_t offset = 0;
+  using Kind = serve::ServeRequest::Kind;
+  switch (request.kind) {
+    case Kind::kObserve: {
+      uint8_t has_time = 0;
+      if (!GetString(payload, payload_len, &offset, &request.user) ||
+          !GetValue(payload, payload_len, &offset, &request.item) ||
+          !GetValue(payload, payload_len, &offset, &has_time) ||
+          !GetValue(payload, payload_len, &offset, &request.time)) {
+        return Malformed(error, "truncated observe payload");
+      }
+      request.has_time = has_time != 0;
+      break;
+    }
+    case Kind::kLevel:
+      if (!GetString(payload, payload_len, &offset, &request.user)) {
+        return Malformed(error, "truncated level payload");
+      }
+      break;
+    case Kind::kRecommend:
+      if (!GetString(payload, payload_len, &offset, &request.user) ||
+          !GetValue(payload, payload_len, &offset, &request.top_k) ||
+          !GetValue(payload, payload_len, &offset, &request.stretch)) {
+        return Malformed(error, "truncated recommend payload");
+      }
+      break;
+    case Kind::kDifficulty:
+      if (!GetValue(payload, payload_len, &offset, &request.item)) {
+        return Malformed(error, "truncated difficulty payload");
+      }
+      break;
+    case Kind::kSwap:
+      if (!GetString(payload, payload_len, &offset, &request.path)) {
+        return Malformed(error, "truncated swap payload");
+      }
+      break;
+    case Kind::kEvict:
+      if (!GetValue(payload, payload_len, &offset, &request.time)) {
+        return Malformed(error, "truncated evict payload");
+      }
+      request.has_time = true;
+      break;
+    case Kind::kStats:
+    case Kind::kReset:
+    case Kind::kQuit:
+      break;
+  }
+  if (offset != payload_len) {
+    return Malformed(error, "trailing bytes in request payload");
+  }
+  out->frame_bytes = kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+void EncodeRequest(const serve::ServeRequest& request, std::string* out) {
+  const size_t header_start = out->size();
+  AppendHeader(kRequestMagic, static_cast<uint8_t>(request.kind), 0, out);
+  using Kind = serve::ServeRequest::Kind;
+  switch (request.kind) {
+    case Kind::kObserve:
+      PutString(request.user, out);
+      Put<ItemId>(request.item, out);
+      Put<uint8_t>(request.has_time ? 1 : 0, out);
+      Put<int64_t>(request.time, out);
+      break;
+    case Kind::kLevel:
+      PutString(request.user, out);
+      break;
+    case Kind::kRecommend:
+      PutString(request.user, out);
+      Put<int32_t>(request.top_k, out);
+      Put<double>(request.stretch, out);
+      break;
+    case Kind::kDifficulty:
+      Put<ItemId>(request.item, out);
+      break;
+    case Kind::kSwap:
+      PutString(request.path, out);
+      break;
+    case Kind::kEvict:
+      Put<int64_t>(request.time, out);
+      break;
+    case Kind::kStats:
+    case Kind::kReset:
+    case Kind::kQuit:
+      break;
+  }
+  PatchPayloadLength(out, header_start);
+}
+
+void EncodeErrorResponse(const Status& status, std::string* out) {
+  AppendHeader(kResponseMagic, static_cast<uint8_t>(status.code()),
+               static_cast<uint32_t>(status.message().size()), out);
+  out->append(status.message());
+}
+
+void EncodeLevelResponse(const serve::SessionLevel& level, std::string* out) {
+  AppendHeader(kResponseMagic, 0,
+               static_cast<uint32_t>(sizeof(int32_t) + sizeof(uint64_t)),
+               out);
+  Put<int32_t>(level.level, out);
+  Put<uint64_t>(level.actions, out);
+}
+
+void EncodeRecommendResponse(
+    const std::vector<UpskillRecommendation>& picks, std::string* out) {
+  const size_t header_start = out->size();
+  AppendHeader(kResponseMagic, 0, 0, out);
+  Put<uint32_t>(static_cast<uint32_t>(picks.size()), out);
+  for (const UpskillRecommendation& pick : picks) {
+    Put<ItemId>(pick.item, out);
+    Put<double>(pick.difficulty, out);
+    Put<double>(pick.log_prob, out);
+  }
+  PatchPayloadLength(out, header_start);
+}
+
+void EncodeDifficultyResponse(double difficulty, std::string* out) {
+  AppendHeader(kResponseMagic, 0, static_cast<uint32_t>(sizeof(double)), out);
+  Put<double>(difficulty, out);
+}
+
+void EncodeSwapResponse(int levels, int items, std::string* out) {
+  AppendHeader(kResponseMagic, 0, static_cast<uint32_t>(2 * sizeof(int32_t)),
+               out);
+  Put<int32_t>(levels, out);
+  Put<int32_t>(items, out);
+}
+
+void EncodeEvictResponse(uint64_t evicted, uint64_t sessions,
+                         std::string* out) {
+  AppendHeader(kResponseMagic, 0, static_cast<uint32_t>(2 * sizeof(uint64_t)),
+               out);
+  Put<uint64_t>(evicted, out);
+  Put<uint64_t>(sessions, out);
+}
+
+void EncodeTextResponse(const std::string& text, std::string* out) {
+  AppendHeader(kResponseMagic, 0, static_cast<uint32_t>(text.size()), out);
+  out->append(text);
+}
+
+void EncodeEmptyResponse(std::string* out) {
+  AppendHeader(kResponseMagic, 0, 0, out);
+}
+
+DecodeStatus DecodeResponse(const char* data, size_t size,
+                            serve::ServeRequest::Kind kind,
+                            size_t max_payload_bytes, DecodedResponse* out,
+                            std::string* error) {
+  const char* payload = nullptr;
+  size_t payload_len = 0;
+  const DecodeStatus header = DecodeHeader(
+      data, size, kResponseMagic, max_payload_bytes, &payload, &payload_len,
+      error);
+  if (header != DecodeStatus::kFrame) return header;
+  *out = DecodedResponse{};
+  out->status_code = static_cast<StatusCode>(static_cast<uint8_t>(data[1]));
+  out->frame_bytes = kFrameHeaderBytes + payload_len;
+  if (out->status_code != StatusCode::kOk) {
+    out->message.assign(payload, payload_len);
+    return DecodeStatus::kFrame;
+  }
+  size_t offset = 0;
+  using Kind = serve::ServeRequest::Kind;
+  switch (kind) {
+    case Kind::kObserve:
+    case Kind::kLevel: {
+      int32_t level = 0;
+      if (!GetValue(payload, payload_len, &offset, &level) ||
+          !GetValue(payload, payload_len, &offset, &out->actions)) {
+        return Malformed(error, "truncated level response");
+      }
+      out->level = level;
+      break;
+    }
+    case Kind::kRecommend: {
+      uint32_t n = 0;
+      if (!GetValue(payload, payload_len, &offset, &n)) {
+        return Malformed(error, "truncated recommend response");
+      }
+      out->picks.resize(n);
+      for (UpskillRecommendation& pick : out->picks) {
+        if (!GetValue(payload, payload_len, &offset, &pick.item) ||
+            !GetValue(payload, payload_len, &offset, &pick.difficulty) ||
+            !GetValue(payload, payload_len, &offset, &pick.log_prob)) {
+          return Malformed(error, "truncated recommend response");
+        }
+      }
+      break;
+    }
+    case Kind::kDifficulty:
+      if (!GetValue(payload, payload_len, &offset, &out->difficulty)) {
+        return Malformed(error, "truncated difficulty response");
+      }
+      break;
+    case Kind::kSwap: {
+      int32_t levels = 0;
+      int32_t items = 0;
+      if (!GetValue(payload, payload_len, &offset, &levels) ||
+          !GetValue(payload, payload_len, &offset, &items)) {
+        return Malformed(error, "truncated swap response");
+      }
+      out->levels = levels;
+      out->items = items;
+      break;
+    }
+    case Kind::kEvict:
+      if (!GetValue(payload, payload_len, &offset, &out->evicted) ||
+          !GetValue(payload, payload_len, &offset, &out->sessions)) {
+        return Malformed(error, "truncated evict response");
+      }
+      break;
+    case Kind::kStats:
+      out->text.assign(payload, payload_len);
+      offset = payload_len;
+      break;
+    case Kind::kReset:
+    case Kind::kQuit:
+      break;
+  }
+  if (offset != payload_len) {
+    return Malformed(error, "trailing bytes in response payload");
+  }
+  return DecodeStatus::kFrame;
+}
+
+std::string RenderResponseAsText(const DecodedResponse& response,
+                                 serve::ServeRequest::Kind kind) {
+  if (response.status_code != StatusCode::kOk) {
+    return serve::FormatErrorResponse(
+        Status(response.status_code, response.message));
+  }
+  using Kind = serve::ServeRequest::Kind;
+  switch (kind) {
+    case Kind::kObserve:
+    case Kind::kLevel:
+      return StringPrintf(
+          "ok level=%d actions=%llu", response.level,
+          static_cast<unsigned long long>(response.actions));
+    case Kind::kRecommend: {
+      std::string text = StringPrintf("ok n=%zu", response.picks.size());
+      for (const UpskillRecommendation& pick : response.picks) {
+        text += StringPrintf(" %d:%.6g:%.6g", pick.item, pick.difficulty,
+                             pick.log_prob);
+      }
+      return text;
+    }
+    case Kind::kDifficulty:
+      return StringPrintf("ok difficulty=%.17g", response.difficulty);
+    case Kind::kSwap:
+      return StringPrintf("ok swapped levels=%d items=%d", response.levels,
+                          response.items);
+    case Kind::kEvict:
+      return StringPrintf(
+          "ok evicted=%llu sessions=%llu",
+          static_cast<unsigned long long>(response.evicted),
+          static_cast<unsigned long long>(response.sessions));
+    case Kind::kStats:
+      return response.text;
+    case Kind::kReset:
+      return "ok reset";
+    case Kind::kQuit:
+      return "ok bye";
+  }
+  return "ok";
+}
+
+}  // namespace net
+}  // namespace upskill

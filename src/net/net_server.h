@@ -1,0 +1,140 @@
+#ifndef UPSKILL_NET_NET_SERVER_H_
+#define UPSKILL_NET_NET_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace upskill {
+namespace net {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back with port().
+  uint16_t port = 0;
+  /// Worker threads, each with its own SO_REUSEPORT acceptor and epoll
+  /// loop (the kernel spreads incoming connections across them). A
+  /// connection is serviced by exactly one worker for its whole life, so
+  /// the only cross-worker state on the hot path is the striped
+  /// SessionStore inside serve::Server.
+  int num_workers = 1;
+  /// Accept ceiling across all workers; connections beyond it are closed
+  /// immediately (counted in upskill_net_connections_rejected_total).
+  int max_connections = 4096;
+  /// Request-deadline budget for load shedding, in seconds; 0 disables.
+  /// Within one event-loop drain, a data-plane request whose estimated
+  /// completion (time already spent in the drain + the per-kind mean
+  /// latency from the upskill_serve_request_latency_seconds histograms)
+  /// would exceed the budget is rejected with ERR Unavailable ("shed ..."),
+  /// never queued. Admin commands (swap/stats/evict/reset/quit) are
+  /// exempt so operators keep control of an overloaded server.
+  double deadline_seconds = 0.0;
+  /// Binary frames announcing a payload larger than this are a protocol
+  /// error (connection closed), not a buffering request.
+  size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Pending-response ceiling per connection: a client that pipelines
+  /// requests but never reads responses is closed once its output buffer
+  /// passes this (slow-consumer protection).
+  size_t max_output_buffer_bytes = 8u << 20;
+};
+
+/// The epoll TCP front end over a serve::Server. Both wire formats share
+/// the port: a connection's first byte selects binary framing (0xF5, see
+/// net/frame.h) or the newline text protocol (identical bytes to the
+/// stdio `serve` loop, including `batch <N>`). Text requests run through
+/// Server::Execute, so responses are byte-identical to stdio; binary
+/// requests skip string rendering entirely and encode typed payloads
+/// straight into the connection's output buffer.
+class NetServer {
+ public:
+  /// `server` must outlive this object. `swap_pool` (optional)
+  /// parallelizes snapshot rebuild/requantization on binary `swap`
+  /// requests, exactly like the stdio front end's pool.
+  NetServer(serve::Server* server, ThreadPool* swap_pool,
+            NetServerConfig config);
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds the per-worker listeners and starts the worker threads.
+  Status Start();
+  /// Stops accepting, closes every connection, joins workers. Idempotent.
+  void Stop();
+
+  /// Actual bound port (after Start with config.port == 0).
+  uint16_t port() const { return port_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  /// Live connection count across all workers.
+  int active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void RunWorker(Worker* worker);
+  void AcceptReady(Worker* worker);
+  /// Reads available bytes and executes every complete request; returns
+  /// false when the connection must be closed now.
+  bool HandleReadable(Worker* worker, Connection* conn);
+  bool FlushOutput(Worker* worker, Connection* conn);
+  void CloseConnection(Worker* worker, Connection* conn);
+
+  /// Drains complete frames/lines from conn->in; false on fatal protocol
+  /// error (caller closes after flushing the error response).
+  bool ProcessBuffer(Worker* worker, Connection* conn);
+  void ExecuteBinary(Worker* worker, Connection* conn,
+                     const serve::ServeRequest& request);
+  void ExecuteTextLine(Worker* worker, Connection* conn,
+                       const std::string& line);
+
+  /// True when the deadline budget says this request must be shed.
+  bool ShouldShed(Worker* worker, serve::ServeRequest::Kind kind);
+
+  serve::Server* const server_;
+  ThreadPool* const swap_pool_;
+  const NetServerConfig config_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};
+  bool started_ = false;
+  uint16_t port_ = 0;
+
+  // upskill_net_* instruments, registered once at construction.
+  obs::Counter& accepted_;
+  obs::Counter& rejected_;
+  obs::Gauge& active_gauge_;
+  obs::Counter& shed_;
+  obs::Counter& bytes_in_;
+  obs::Counter& bytes_out_;
+  obs::Counter& decode_errors_;
+  obs::Counter& requests_binary_;
+  obs::Counter& requests_text_;
+  // Per-kind serve latency histograms: the same registry instruments
+  // Server::Execute records into, shared so the shedding estimate and the
+  // exposition cover both front ends.
+  std::array<obs::Histogram*, serve::kNumServeRequestKinds> latency_;
+  std::array<obs::Counter*, serve::kNumServeRequestKinds> kind_requests_;
+  std::array<obs::Counter*, serve::kNumServeRequestKinds> kind_errors_;
+};
+
+/// Parses "host:port" (e.g. "127.0.0.1:9000"; ":9000" binds all
+/// interfaces; port 0 asks for an ephemeral port) into config host/port.
+Status ParseListenAddress(const std::string& address, NetServerConfig* config);
+
+}  // namespace net
+}  // namespace upskill
+
+#endif  // UPSKILL_NET_NET_SERVER_H_

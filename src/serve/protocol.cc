@@ -1,0 +1,154 @@
+#include "serve/protocol.h"
+
+#include <string_view>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace upskill {
+namespace serve {
+
+namespace {
+
+obs::Counter& ParseErrorCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "upskill_serve_parse_errors_total");
+  return counter;
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : Split(line, ' ')) {
+    const std::string_view stripped = StripWhitespace(token);
+    if (!stripped.empty()) tokens.emplace_back(stripped);
+  }
+  return tokens;
+}
+
+Status WrongArity(const char* command, const char* usage) {
+  return Status::InvalidArgument(
+      StringPrintf("%s expects: %s", command, usage));
+}
+
+Result<ServeRequest> ParseServeRequestImpl(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::InvalidArgument("empty request");
+  ServeRequest request;
+  const std::string& command = tokens[0];
+  if (command == "observe") {
+    if (tokens.size() < 3 || tokens.size() > 4) {
+      return WrongArity("observe", "observe <user> <item> [<time>]");
+    }
+    request.kind = ServeRequest::Kind::kObserve;
+    request.user = tokens[1];
+    const Result<long long> item = ParseInt(tokens[2]);
+    if (!item.ok()) return item.status();
+    request.item = static_cast<ItemId>(item.value());
+    if (tokens.size() == 4) {
+      const Result<long long> time = ParseInt(tokens[3]);
+      if (!time.ok()) return time.status();
+      request.time = time.value();
+      request.has_time = true;
+    }
+    return request;
+  }
+  if (command == "level") {
+    if (tokens.size() != 2) return WrongArity("level", "level <user>");
+    request.kind = ServeRequest::Kind::kLevel;
+    request.user = tokens[1];
+    return request;
+  }
+  if (command == "recommend") {
+    if (tokens.size() < 2 || tokens.size() > 4) {
+      return WrongArity("recommend", "recommend <user> [<top>] [<stretch>]");
+    }
+    request.kind = ServeRequest::Kind::kRecommend;
+    request.user = tokens[1];
+    if (tokens.size() >= 3) {
+      const Result<long long> top = ParseInt(tokens[2]);
+      if (!top.ok()) return top.status();
+      request.top_k = static_cast<int>(top.value());
+    }
+    if (tokens.size() == 4) {
+      const Result<double> stretch = ParseDouble(tokens[3]);
+      if (!stretch.ok()) return stretch.status();
+      request.stretch = stretch.value();
+    }
+    return request;
+  }
+  if (command == "difficulty") {
+    if (tokens.size() != 2) {
+      return WrongArity("difficulty", "difficulty <item>");
+    }
+    request.kind = ServeRequest::Kind::kDifficulty;
+    const Result<long long> item = ParseInt(tokens[1]);
+    if (!item.ok()) return item.status();
+    request.item = static_cast<ItemId>(item.value());
+    return request;
+  }
+  if (command == "swap") {
+    if (tokens.size() != 2) return WrongArity("swap", "swap <snapshot_path>");
+    request.kind = ServeRequest::Kind::kSwap;
+    request.path = tokens[1];
+    return request;
+  }
+  if (command == "stats") {
+    if (tokens.size() != 1) return WrongArity("stats", "stats");
+    request.kind = ServeRequest::Kind::kStats;
+    return request;
+  }
+  if (command == "evict") {
+    if (tokens.size() != 2) return WrongArity("evict", "evict <min_time>");
+    request.kind = ServeRequest::Kind::kEvict;
+    const Result<long long> min_time = ParseInt(tokens[1]);
+    if (!min_time.ok()) return min_time.status();
+    request.time = min_time.value();
+    request.has_time = true;
+    return request;
+  }
+  if (command == "reset") {
+    if (tokens.size() != 1) return WrongArity("reset", "reset");
+    request.kind = ServeRequest::Kind::kReset;
+    return request;
+  }
+  if (command == "quit") {
+    if (tokens.size() != 1) return WrongArity("quit", "quit");
+    request.kind = ServeRequest::Kind::kQuit;
+    return request;
+  }
+  // Stable `unknown_command` marker token (see header): clients and the
+  // protocol-robustness tests match on it rather than on prose.
+  return Status::InvalidArgument("unknown_command " + command);
+}
+
+}  // namespace
+
+const char* ServeRequestKindName(ServeRequest::Kind kind) {
+  switch (kind) {
+    case ServeRequest::Kind::kObserve: return "observe";
+    case ServeRequest::Kind::kLevel: return "level";
+    case ServeRequest::Kind::kRecommend: return "recommend";
+    case ServeRequest::Kind::kDifficulty: return "difficulty";
+    case ServeRequest::Kind::kSwap: return "swap";
+    case ServeRequest::Kind::kStats: return "stats";
+    case ServeRequest::Kind::kEvict: return "evict";
+    case ServeRequest::Kind::kReset: return "reset";
+    case ServeRequest::Kind::kQuit: return "quit";
+  }
+  return "unknown";
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  return StringPrintf("ERR %s %s", StatusCodeToString(status.code()),
+                      status.message().c_str());
+}
+
+Result<ServeRequest> ParseServeRequest(const std::string& line) {
+  Result<ServeRequest> result = ParseServeRequestImpl(line);
+  if (!result.ok()) ParseErrorCounter().Increment();
+  return result;
+}
+
+}  // namespace serve
+}  // namespace upskill

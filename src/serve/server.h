@@ -13,65 +13,13 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "serve/protocol.h"
 #include "serve/quantized_model.h"
 #include "serve/serving_model.h"
 #include "serve/session_store.h"
 
 namespace upskill {
 namespace serve {
-
-/// One parsed request of the newline-delimited serving protocol
-/// (grammar in README.md, "Serving"):
-///
-///   observe <user> <item> [<time>]
-///   level <user>
-///   recommend <user> [<top>] [<stretch>]
-///   difficulty <item>
-///   swap <snapshot_path>
-///   stats
-///   evict <min_time>
-///   reset
-///   quit
-struct ServeRequest {
-  enum class Kind {
-    kObserve,
-    kLevel,
-    kRecommend,
-    kDifficulty,
-    kSwap,
-    kStats,
-    kEvict,
-    kReset,
-    kQuit,
-  };
-  Kind kind = Kind::kStats;
-  std::string user;
-  ItemId item = -1;
-  /// Action timestamp; when absent the session's last time is reused
-  /// (zero gap, so forgetting never triggers).
-  int64_t time = 0;
-  bool has_time = false;
-  int top_k = 10;
-  double stretch = 1.0;
-  std::string path;
-};
-
-/// Number of ServeRequest::Kind values (for per-kind instrument arrays).
-inline constexpr int kNumServeRequestKinds = 9;
-
-/// Protocol keyword for `kind` ("observe", "level", ...). Used both for
-/// documentation strings and as the `kind` label on per-request metrics.
-const char* ServeRequestKindName(ServeRequest::Kind kind);
-
-/// Parses one protocol line (leading/trailing whitespace ignored).
-/// Parse failures are counted in `upskill_serve_parse_errors_total`.
-Result<ServeRequest> ParseServeRequest(const std::string& line);
-
-/// Renders the machine-parseable error line of the serving protocol:
-/// `ERR <code> <message>` with `<code>` a StatusCodeToString name, e.g.
-/// `ERR NotFound no observed actions for user alice`. Everything after
-/// the second space is free-form message text.
-std::string FormatErrorResponse(const Status& status);
 
 /// Level and observation count reported by Observe / CurrentLevel.
 struct SessionLevel {
@@ -144,6 +92,19 @@ class Server {
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Front ends that bypass Execute (the binary TCP path calls the typed
+  /// methods directly) report their requests here so the `stats` header
+  /// counts every request regardless of wire format.
+  void NoteRequestServed(uint64_t count = 1) {
+    requests_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// The `stats` response body: the "ok sessions=..." summary line
+  /// followed by the Prometheus exposition of the process registry,
+  /// "# EOF"-terminated, with no trailing newline (the transport appends
+  /// it). Shared by Execute's kStats case and the binary TCP front end,
+  /// so both wire formats report identical telemetry.
+  std::string StatsText() const;
 
   /// Executes one request, rendering the response ("ok ..." on success,
   /// "ERR <code> <message>" on failure). Every response is a single line

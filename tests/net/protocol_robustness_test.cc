@@ -1,0 +1,255 @@
+// Malformed-input robustness for both wire formats: truncated, oversized,
+// and garbage binary frames, plus malformed text lines, against a live
+// NetServer. The server must answer with the right ERR code (or close the
+// connection for unframeable streams) and keep serving other clients —
+// this is the ASan target for the net subsystem.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/difficulty.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/net_server.h"
+#include "serve/server.h"
+#include "serve/serving_model.h"
+#include "serve/snapshot.h"
+
+namespace upskill {
+namespace net {
+namespace {
+
+using Kind = serve::ServeRequest::Kind;
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::SyntheticConfig data_config;
+    data_config.num_users = 20;
+    data_config.num_items = 50;
+    data_config.mean_sequence_length = 15.0;
+    data_config.seed = 11;
+    auto data = datagen::GenerateSynthetic(data_config);
+    ASSERT_TRUE(data.ok());
+    const Dataset& dataset = data.value().dataset;
+
+    SkillModelConfig config;
+    config.num_levels = 3;
+    config.min_init_actions = 8;
+    config.max_iterations = 4;
+    auto trained = Trainer(config).Train(dataset);
+    ASSERT_TRUE(trained.ok());
+    const SkillAssignments assignments =
+        AssignSkills(dataset, trained.value().model);
+    auto difficulty = EstimateDifficultyByGeneration(
+        dataset.items(), trained.value().model, DifficultyPrior::kEmpirical,
+        assignments);
+    ASSERT_TRUE(difficulty.ok());
+    auto snapshot = serve::MakeSnapshot(trained.value().model, dataset.items(),
+                                 difficulty.value());
+    ASSERT_TRUE(snapshot.ok());
+    auto serving = serve::ServingModel::FromSnapshot(snapshot.value());
+    ASSERT_TRUE(serving.ok());
+    serving_ = new std::shared_ptr<const serve::ServingModel>(
+        serving.value());
+  }
+  static void TearDownTestSuite() {
+    delete serving_;
+    serving_ = nullptr;
+  }
+
+  void SetUp() override {
+    server_ = std::make_unique<serve::Server>(*serving_);
+    NetServerConfig config;
+    net_ = std::make_unique<NetServer>(server_.get(), nullptr, config);
+    ASSERT_TRUE(net_->Start().ok());
+  }
+  void TearDown() override { net_->Stop(); }
+
+  /// Asserts the server is still healthy by running a fresh, well-formed
+  /// request over a fresh connection.
+  void ExpectServerStillServes() {
+    NetClient probe;
+    ASSERT_TRUE(probe.Connect("127.0.0.1", net_->port()).ok());
+    serve::ServeRequest stats;
+    stats.kind = Kind::kStats;
+    const auto response = probe.Call(stats);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status_code, StatusCode::kOk);
+  }
+
+  static std::shared_ptr<const serve::ServingModel>* serving_;
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+std::shared_ptr<const serve::ServingModel>* RobustnessTest::serving_ =
+    nullptr;
+
+TEST_F(RobustnessTest, GarbageBinaryFrameGetsErrorAndClose) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  // Request magic followed by garbage: decodes as a bad opcode.
+  std::string garbage;
+  garbage.push_back(static_cast<char>(kRequestMagic));
+  garbage += std::string("\xFF\x01\x00\x00\x00Z", 6);  // NULs are payload
+  ASSERT_TRUE(client.SendRaw(garbage).ok());
+  const std::string reply = client.ReadAll();  // server closes after error
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  DecodedResponse response;
+  std::string error;
+  ASSERT_EQ(DecodeResponse(reply.data(), reply.size(), Kind::kObserve,
+                           kDefaultMaxPayloadBytes, &response, &error),
+            DecodeStatus::kFrame)
+      << error;
+  EXPECT_EQ(response.status_code, StatusCode::kInvalidArgument);
+  EXPECT_NE(response.message.find("bad frame"), std::string::npos);
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, OversizedFrameLengthGetsErrorAndClose) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  serve::ServeRequest observe;
+  observe.kind = Kind::kObserve;
+  observe.user = "u";
+  observe.item = 1;
+  std::string wire;
+  EncodeRequest(observe, &wire);
+  const uint32_t huge = 1u << 30;
+  wire[2] = static_cast<char>(huge & 0xFF);
+  wire[3] = static_cast<char>((huge >> 8) & 0xFF);
+  wire[4] = static_cast<char>((huge >> 16) & 0xFF);
+  wire[5] = static_cast<char>((huge >> 24) & 0xFF);
+  ASSERT_TRUE(client.SendRaw(wire).ok());
+  const std::string reply = client.ReadAll();
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  DecodedResponse response;
+  std::string error;
+  ASSERT_EQ(DecodeResponse(reply.data(), reply.size(), Kind::kObserve,
+                           kDefaultMaxPayloadBytes, &response, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(response.status_code, StatusCode::kInvalidArgument);
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, TruncatedFrameThenDisconnectIsClean) {
+  // A partial frame that never completes: the server must neither
+  // execute anything nor leak the buffered prefix when the client
+  // vanishes mid-frame.
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  serve::ServeRequest observe;
+  observe.kind = Kind::kObserve;
+  observe.user = "truncated_user";
+  observe.item = 1;
+  std::string wire;
+  EncodeRequest(observe, &wire);
+  ASSERT_TRUE(client.SendRaw(wire.substr(0, wire.size() - 3)).ok());
+  client.Close();
+  ExpectServerStillServes();
+  // The truncated observe must not have executed.
+  EXPECT_FALSE(server_->CurrentLevel("truncated_user").ok());
+}
+
+TEST_F(RobustnessTest, PayloadShorterThanStringLengthIsError) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  // A `level` frame whose u16 user-length field claims more bytes than
+  // the payload holds: the inner decoder must not read past the frame.
+  std::string wire;
+  wire.push_back(static_cast<char>(kRequestMagic));
+  wire.push_back(static_cast<char>(Kind::kLevel));
+  wire += std::string("\x04\x00\x00\x00", 4);  // payload length 4
+  wire += std::string("\xFF\xFF", 2);          // user length 65535
+  wire += "ab";                                // ...but only 2 bytes follow
+  ASSERT_TRUE(client.SendRaw(wire).ok());
+  const std::string reply = client.ReadAll();
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  DecodedResponse response;
+  std::string error;
+  ASSERT_EQ(DecodeResponse(reply.data(), reply.size(), Kind::kLevel,
+                           kDefaultMaxPayloadBytes, &response, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(response.status_code, StatusCode::kInvalidArgument);
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, MalformedTextLinesGetErrLinesAndSurvive) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  const std::vector<std::string> lines = {
+      "flarb",                    // unknown command
+      "observe",                  // wrong arity
+      "observe u notanint 1",     // bad integer
+      "difficulty -5",            // out of range
+      "recommend u xyz",          // bad top_k
+      "batch notanint",           // bad batch count
+  };
+  std::string payload;
+  for (const std::string& line : lines) payload += line + "\n";
+  ASSERT_TRUE(client.SendRaw(payload).ok());
+  const auto responses = client.ReadLines(lines.size());
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  for (size_t i = 0; i < responses.value().size(); ++i) {
+    EXPECT_EQ(responses.value()[i].rfind("ERR ", 0), 0u)
+        << "line " << i << ": " << responses.value()[i];
+  }
+  // Unknown commands carry the stable machine-parseable marker.
+  EXPECT_NE(responses.value()[0].find("unknown_command"), std::string::npos);
+  // The connection survives malformed text: a good request still works.
+  ASSERT_TRUE(client.SendRaw("observe mal_user 1 1\n").ok());
+  const auto ok_line = client.ReadLines(1);
+  ASSERT_TRUE(ok_line.ok());
+  EXPECT_EQ(ok_line.value()[0].rfind("ok level=", 0), 0u);
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, OverlongTextLineIsRejectedAndClosed) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+  // A text line longer than the payload limit with no newline in sight
+  // must not buffer without bound.
+  const std::string huge(kDefaultMaxPayloadBytes + 1024, 'a');
+  ASSERT_TRUE(client.SendRaw(huge).ok());
+  // The server rejects and closes; depending on timing the close can RST
+  // away the error line, so only require that any reply we did get is the
+  // right error (and, below, that the server survived).
+  const std::string reply = client.ReadAll();
+  if (!reply.empty()) {
+    EXPECT_NE(reply.find("ERR InvalidArgument"), std::string::npos);
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, RandomBytesNeverCrashTheServer) {
+  // Deterministic pseudo-random garbage across several connections; the
+  // only requirement is clean survival (error frame or close).
+  uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (int round = 0; round < 10; ++round) {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", net_->port()).ok());
+    std::string garbage;
+    // Half the rounds look binary (leading request magic), half text.
+    if (round % 2 == 0) garbage.push_back(static_cast<char>(kRequestMagic));
+    for (int i = 0; i < 512; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      garbage.push_back(static_cast<char>(state >> 56));
+    }
+    ASSERT_TRUE(client.SendRaw(garbage).ok());
+    // Garbage may be an incomplete frame/line the server rightly waits
+    // on; don't wait for a reply, just disconnect and move on.
+    client.Close();
+  }
+  ExpectServerStillServes();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace upskill
