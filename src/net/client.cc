@@ -55,6 +55,10 @@ void NetClient::Close() {
   }
 }
 
+void NetClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
 Status NetClient::FillBuffer() {
   if (peer_closed_) return Status::IoError("peer closed connection");
   char chunk[64 * 1024];

@@ -25,6 +25,9 @@ class NetClient {
 
   Status Connect(const std::string& host, uint16_t port);
   void Close();
+  /// Half-closes the sending direction (the server sees EOF) while the
+  /// receiving direction stays open for remaining responses.
+  void ShutdownWrite();
   bool connected() const { return fd_ >= 0; }
   /// Raw socket, for callers that drive their own wave I/O (bench_net).
   int fd() const { return fd_; }

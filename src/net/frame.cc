@@ -293,6 +293,13 @@ DecodeStatus DecodeResponse(const char* data, size_t size,
       if (!GetValue(payload, payload_len, &offset, &n)) {
         return Malformed(error, "truncated recommend response");
       }
+      // Validate the announced count against the bytes actually present
+      // before allocating: a corrupt/malicious peer must not get to size
+      // the allocation (n=0xFFFFFFFF would be ~100 GB).
+      constexpr size_t kPickBytes = sizeof(ItemId) + 2 * sizeof(double);
+      if (n > (payload_len - offset) / kPickBytes) {
+        return Malformed(error, "truncated recommend response");
+      }
       out->picks.resize(n);
       for (UpskillRecommendation& pick : out->picks) {
         if (!GetValue(payload, payload_len, &offset, &pick.item) ||

@@ -1,6 +1,7 @@
 #include "net/net_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -75,6 +76,10 @@ struct NetServer::Connection {
 struct NetServer::Worker {
   int index = 0;
   int listen_fd = -1;
+  /// Reserved fd slot (open on /dev/null) released under EMFILE/ENFILE
+  /// so the pending connection can be accepted and closed instead of
+  /// level-triggered epoll re-reporting it in a busy loop.
+  int spare_fd = -1;
   EpollLoop loop;
   WakeupFd wake;
   std::thread thread;
@@ -205,6 +210,7 @@ Status NetServer::Start() {
     auto worker = std::make_unique<Worker>();
     worker->index = i;
     worker->listen_fd = listeners[static_cast<size_t>(i)];
+    worker->spare_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
     if (!worker->loop.ok() || !worker->wake.ok()) {
       error = Status::IoError("epoll/eventfd setup failed");
     } else {
@@ -221,6 +227,11 @@ Status NetServer::Start() {
   if (!error.ok()) {
     for (auto& worker : workers_) {
       if (worker->listen_fd >= 0) ::close(worker->listen_fd);
+      if (worker->spare_fd >= 0) ::close(worker->spare_fd);
+    }
+    // Listeners bound above but not yet handed to a worker.
+    for (size_t j = workers_.size(); j < listeners.size(); ++j) {
+      ::close(listeners[j]);
     }
     workers_.clear();
     port_ = 0;
@@ -283,6 +294,10 @@ void NetServer::RunWorker(Worker* worker) {
     ::close(worker->listen_fd);
     worker->listen_fd = -1;
   }
+  if (worker->spare_fd >= 0) {
+    ::close(worker->spare_fd);
+    worker->spare_fd = -1;
+  }
 }
 
 void NetServer::AcceptReady(Worker* worker) {
@@ -291,6 +306,21 @@ void NetServer::AcceptReady(Worker* worker) {
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if ((errno == EMFILE || errno == ENFILE) && worker->spare_fd >= 0) {
+        // Out of fd slots: level-triggered epoll would re-report the
+        // pending connection forever and spin the worker. Release the
+        // reserved slot, accept just to close, then re-reserve.
+        ::close(worker->spare_fd);
+        worker->spare_fd = -1;
+        const int drained = ::accept4(worker->listen_fd, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (drained >= 0) {
+          rejected_.Increment();
+          ::close(drained);
+        }
+        worker->spare_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        continue;
+      }
       return;  // EAGAIN or transient accept failure: epoll will re-report
     }
     if (active_.fetch_add(1, std::memory_order_relaxed) >=
@@ -348,7 +378,13 @@ bool NetServer::HandleReadable(Worker* worker, Connection* conn) {
   }
   worker->drain_start = std::chrono::steady_clock::now();
   ProcessBuffer(worker, conn);
-  if (saw_eof) conn->want_close = true;
+  if (saw_eof) {
+    // EOF mid-batch: the stdio loop executes whatever was collected and
+    // emits every declared slot; do the same before closing (unless the
+    // connection is already dying from a protocol error).
+    if (!conn->want_close && conn->batch_total > 0) FinishBatch(conn);
+    conn->want_close = true;
+  }
   if (!FlushOutput(worker, conn)) return false;
   if (conn->want_close && conn->out_sent == conn->out.size()) return false;
   return true;
@@ -577,21 +613,7 @@ void NetServer::ExecuteTextLine(Worker* worker, Connection* conn,
           serve::FormatErrorResponse(request.status());
     }
     if (conn->batch_seen < conn->batch_total) return;
-    requests_text_.Increment(
-        static_cast<uint64_t>(conn->batch_requests.size()));
-    const std::vector<std::string> responses =
-        server_->ExecuteBatch(conn->batch_requests, nullptr);
-    for (size_t j = 0; j < conn->batch_index.size(); ++j) {
-      conn->out += conn->batch_index[j] >= 0
-                       ? responses[static_cast<size_t>(conn->batch_index[j])]
-                       : conn->batch_errors[j];
-      conn->out += '\n';
-    }
-    conn->batch_total = 0;
-    conn->batch_seen = 0;
-    conn->batch_requests.clear();
-    conn->batch_errors.clear();
-    conn->batch_index.clear();
+    FinishBatch(conn);
     return;
   }
   if (StripWhitespace(line).empty()) return;
@@ -602,6 +624,16 @@ void NetServer::ExecuteTextLine(Worker* worker, Connection* conn,
     if (!count.ok() || count.value() < 0) {
       conn->out += serve::FormatErrorResponse(
           Status::InvalidArgument("batch expects: batch <N>"));
+      conn->out += '\n';
+      return;
+    }
+    if (static_cast<unsigned long long>(count.value()) >
+        config_.max_batch_requests) {
+      // The directive preallocates per-line slots, so an unauthenticated
+      // peer must not get to pick the allocation size.
+      conn->out += serve::FormatErrorResponse(Status::InvalidArgument(
+          StringPrintf("batch count exceeds limit %zu",
+                       config_.max_batch_requests)));
       conn->out += '\n';
       return;
     }
@@ -631,6 +663,27 @@ void NetServer::ExecuteTextLine(Worker* worker, Connection* conn,
   conn->out += server_->Execute(request.value());
   conn->out += '\n';
   if (request.value().kind == Kind::kQuit) conn->want_close = true;
+}
+
+void NetServer::FinishBatch(Connection* conn) {
+  // Stdio emits one line per declared slot even when EOF cut the batch
+  // short (never-received slots render as empty lines), so a partial
+  // batch still produces batch_total responses.
+  requests_text_.Increment(
+      static_cast<uint64_t>(conn->batch_requests.size()));
+  const std::vector<std::string> responses =
+      server_->ExecuteBatch(conn->batch_requests, nullptr);
+  for (size_t j = 0; j < conn->batch_index.size(); ++j) {
+    conn->out += conn->batch_index[j] >= 0
+                     ? responses[static_cast<size_t>(conn->batch_index[j])]
+                     : conn->batch_errors[j];
+    conn->out += '\n';
+  }
+  conn->batch_total = 0;
+  conn->batch_seen = 0;
+  conn->batch_requests.clear();
+  conn->batch_errors.clear();
+  conn->batch_index.clear();
 }
 
 }  // namespace net

@@ -46,6 +46,11 @@ struct NetServerConfig {
   /// requests but never reads responses is closed once its output buffer
   /// passes this (slow-consumer protection).
   size_t max_output_buffer_bytes = 8u << 20;
+  /// Upper bound on `batch <N>` over TCP. The directive preallocates
+  /// per-line bookkeeping, so an unauthenticated peer declaring a huge N
+  /// must be rejected (ERR InvalidArgument), not allocated for. Stdio
+  /// `serve` has no such cap; below the cap behavior is identical.
+  size_t max_batch_requests = 65536;
 };
 
 /// The epoll TCP front end over a serve::Server. Both wire formats share
@@ -98,6 +103,10 @@ class NetServer {
                      const serve::ServeRequest& request);
   void ExecuteTextLine(Worker* worker, Connection* conn,
                        const std::string& line);
+  /// Executes the collected (possibly partial) text batch and emits one
+  /// response line per declared slot, mirroring the stdio loop's
+  /// end-of-batch (and EOF-mid-batch) behavior.
+  void FinishBatch(Connection* conn);
 
   /// True when the deadline budget says this request must be shed.
   bool ShouldShed(Worker* worker, serve::ServeRequest::Kind kind);

@@ -229,6 +229,26 @@ TEST(FrameTest, RecommendResponseRoundTrip) {
             "ok n=2 7:1.5:-2.25 9:2.5:-3.5");
 }
 
+TEST(FrameTest, RecommendResponseHugeCountRejectedBeforeAllocating) {
+  // A malicious/corrupt peer announcing n=0xFFFFFFFF with no entry bytes
+  // behind it must decode as malformed, not allocate ~100 GB of picks.
+  std::string wire;
+  wire.push_back(static_cast<char>(kResponseMagic));
+  wire.push_back('\0');  // StatusCode::kOk
+  const uint32_t payload_len = sizeof(uint32_t);
+  wire.append(reinterpret_cast<const char*>(&payload_len),
+              sizeof(payload_len));
+  const uint32_t n = 0xFFFFFFFFu;
+  wire.append(reinterpret_cast<const char*>(&n), sizeof(n));
+
+  DecodedResponse decoded;
+  std::string error;
+  EXPECT_EQ(DecodeResponse(wire.data(), wire.size(), Kind::kRecommend,
+                           kDefaultMaxPayloadBytes, &decoded, &error),
+            DecodeStatus::kError);
+  EXPECT_EQ(error, "truncated recommend response");
+}
+
 TEST(FrameTest, ErrorResponseRoundTrip) {
   std::string wire;
   EncodeErrorResponse(Status::Unavailable("shed deadline=0.001000s"), &wire);

@@ -176,6 +176,62 @@ TEST_F(NetServerTest, TextBatchDirectiveMatchesStdioSemantics) {
   net.Stop();
 }
 
+TEST_F(NetServerTest, TextBatchCountAboveLimitRejected) {
+  serve::Server server(serving_);
+  NetServerConfig config;
+  config.max_batch_requests = 8;
+  NetServer net(&server, nullptr, config);
+  ASSERT_TRUE(net.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net.port()).ok());
+  // The oversized directive is rejected up front (no batch mode entered),
+  // so the following line executes as an ordinary request.
+  ASSERT_TRUE(client.SendRaw("batch 9\ndifficulty 9\n").ok());
+  const auto responses = client.ReadLines(2);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  EXPECT_EQ(responses.value()[0],
+            serve::FormatErrorResponse(
+                Status::InvalidArgument("batch count exceeds limit 8")));
+  EXPECT_EQ(responses.value()[1].rfind("ok difficulty=", 0), 0u)
+      << responses.value()[1];
+
+  // An absurd count must not allocate for it: the connection answers
+  // normally afterwards instead of dying on bad_alloc.
+  ASSERT_TRUE(client.SendRaw("batch 9999999999\ndifficulty 9\n").ok());
+  const auto after = client.ReadLines(2);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value()[0].rfind("ERR InvalidArgument batch count", 0), 0u)
+      << after.value()[0];
+  EXPECT_EQ(after.value()[1].rfind("ok difficulty=", 0), 0u);
+  net.Stop();
+}
+
+TEST_F(NetServerTest, TextPartialBatchFlushedOnEof) {
+  serve::Server server(serving_);
+  NetServerConfig config;
+  NetServer net(&server, nullptr, config);
+  ASSERT_TRUE(net.Start().ok());
+
+  serve::Server reference(serving_);
+  const auto observe = serve::ParseServeRequest("observe eof_user 3 10");
+  ASSERT_TRUE(observe.ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net.port()).ok());
+  // EOF after 1 of 3 declared lines: stdio executes the partial batch and
+  // still emits one line per declared slot (missing slots are empty).
+  ASSERT_TRUE(client.SendRaw("batch 3\nobserve eof_user 3 10\n").ok());
+  client.ShutdownWrite();
+  const auto responses = client.ReadLines(3);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  EXPECT_EQ(responses.value()[0], reference.Execute(observe.value()));
+  EXPECT_EQ(responses.value()[1], "");
+  EXPECT_EQ(responses.value()[2], "");
+  EXPECT_EQ(client.ReadAll(), "");  // server closes after the flush
+  net.Stop();
+}
+
 TEST_F(NetServerTest, BinaryRoundTripEveryOpcode) {
   serve::Server server(serving_);
   NetServerConfig config;
