@@ -212,7 +212,7 @@ void BM_AssignSkillsReference(benchmark::State& state) {
   for (auto _ : state) {
     ParallelFor(pool.get(), 0, static_cast<size_t>(dataset.num_users()),
                 [&](size_t u) {
-      const std::vector<Action>& seq =
+      std::span<const Action> seq =
           dataset.sequence(static_cast<UserId>(u));
       std::vector<double> log_probs(seq.size() * levels);
       for (size_t t = 0; t < seq.size(); ++t) {

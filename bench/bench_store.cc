@@ -1,0 +1,310 @@
+// Out-of-core store benchmarks (google-benchmark): pack throughput, the
+// verified/unverified open split, zero-copy mapped scans against the
+// in-RAM baseline, ingest-log append rates across batch sizes, the
+// incremental online-EM refresh against full replay, and the headline
+// BM_OutOfCoreScan — a sequential sweep over a store deliberately built
+// larger than the configured RAM budget (UPSKILL_STORE_BUDGET_MB,
+// default 64), which is what `scripts/bench.sh <pr> store` records into
+// BENCH_PR8.json.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/online_trainer.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "datagen/synthetic.h"
+#include "store/compact.h"
+#include "store/ingest_log.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
+
+namespace upskill {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  return "/tmp/upskill_bench_store_" + std::to_string(::getpid()) + "_" +
+         stem;
+}
+
+// Shared mid-sized dataset: enough actions that pack/scan rates are
+// meaningful, small enough that the fixture builds in well under a second.
+const Dataset& BenchDataset() {
+  static const Dataset* dataset = [] {
+    datagen::SyntheticConfig config;
+    config.num_users = bench::Scaled(2000);
+    config.num_items = 500;
+    config.mean_sequence_length = 50.0;
+    config.seed = 20260808;
+    auto data = datagen::GenerateSynthetic(config);
+    return new Dataset(std::move(data).value().dataset);
+  }();
+  return *dataset;
+}
+
+// The same dataset packed once, for the open/scan benches.
+const std::string& BenchStorePath() {
+  static const std::string* path = [] {
+    auto* p = new std::string(TempPath("base.store"));
+    auto status = PackDataset(BenchDataset(), *p);
+    if (!status.ok()) {
+      std::fprintf(stderr, "pack failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+    return p;
+  }();
+  return *path;
+}
+
+void BM_PackDataset(benchmark::State& state) {
+  const Dataset& dataset = BenchDataset();
+  const std::string path = TempPath("pack.store");
+  for (auto _ : state) {
+    auto status = PackDataset(dataset, path);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.counters["actions_per_second"] = benchmark::Counter(
+      static_cast<double>(dataset.num_actions() * state.iterations()),
+      benchmark::Counter::kIsRate);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_PackDataset)->Unit(benchmark::kMillisecond);
+
+void StoreOpenBench(benchmark::State& state, bool verify) {
+  StoreReader::Options options;
+  options.verify_checksums = verify;
+  for (auto _ : state) {
+    auto reader = StoreReader::Open(BenchStorePath(), options);
+    if (!reader.ok()) state.SkipWithError(reader.status().ToString().c_str());
+    benchmark::DoNotOptimize(reader.value().header());
+  }
+}
+void BM_StoreOpenVerified(benchmark::State& state) {
+  StoreOpenBench(state, true);
+}
+void BM_StoreOpenUnverified(benchmark::State& state) {
+  StoreOpenBench(state, false);
+}
+BENCHMARK(BM_StoreOpenVerified)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StoreOpenUnverified)->Unit(benchmark::kMicrosecond);
+
+// Full sweep over every action — the access pattern of a training epoch's
+// count pass — on the owned dataset vs the zero-copy mapping.
+int64_t SweepActions(const Dataset& dataset) {
+  int64_t sum = 0;
+  dataset.ForEachAction(
+      [&sum](UserId, const Action& a) { sum += a.time + a.item; });
+  return sum;
+}
+
+void BM_ScanActionsInRam(benchmark::State& state) {
+  const Dataset& dataset = BenchDataset();
+  for (auto _ : state) benchmark::DoNotOptimize(SweepActions(dataset));
+  state.counters["actions_per_second"] = benchmark::Counter(
+      static_cast<double>(dataset.num_actions() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScanActionsInRam)->Unit(benchmark::kMicrosecond);
+
+void BM_ScanActionsMapped(benchmark::State& state) {
+  auto reader = StoreReader::Open(BenchStorePath());
+  auto mapped = reader.value().MapDataset();
+  if (!mapped.ok()) {
+    state.SkipWithError(mapped.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(SweepActions(mapped.value()));
+  state.counters["actions_per_second"] = benchmark::Counter(
+      static_cast<double>(mapped.value().num_actions() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScanActionsMapped)->Unit(benchmark::kMicrosecond);
+
+void BM_IngestAppend(benchmark::State& state) {
+  const std::string path = TempPath("append.ingest");
+  std::filesystem::remove(path);
+  IngestLogOptions options;
+  options.batch_records = static_cast<size_t>(state.range(0));
+  auto writer = IngestLogWriter::Open(path, options);
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    return;
+  }
+  const IngestRecord record{"bench-user-000017", 1722470400, 42};
+  int64_t appended = 0;
+  for (auto _ : state) {
+    auto status = writer.value()->Append(record);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    ++appended;
+  }
+  state.counters["records_per_second"] = benchmark::Counter(
+      static_cast<double>(appended), benchmark::Counter::kIsRate);
+  writer.value().reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_IngestAppend)->Arg(1)->Arg(64)->Arg(512);
+
+// One incremental Refresh with a fixed number of dirty users, alternating
+// between the base dataset and a grown twin so every iteration performs
+// real work from a valid previous state. The full-replay counterpart is
+// the cost the increment avoids.
+constexpr int kDirtyUsers = 16;
+
+Dataset GrownTwin(const Dataset& base) {
+  Dataset out(base.items());
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    out.AddUser(base.user_name(u));
+    for (const Action& a : base.sequence(u)) {
+      (void)out.AddAction(u, a.time, a.item, a.rating);
+    }
+  }
+  for (UserId u = 0; u < kDirtyUsers; ++u) {
+    const auto seq = base.sequence(u);
+    const int64_t start = seq.empty() ? 0 : seq.back().time + 1;
+    for (int k = 0; k < 8; ++k) {
+      (void)out.AddAction(u, start + k,
+                          (u * 13 + k) % base.items().num_items());
+    }
+  }
+  return out;
+}
+
+void BM_OnlineRefresh(benchmark::State& state) {
+  const Dataset& base = BenchDataset();
+  const Dataset grown = GrownTwin(base);
+  SkillModelConfig config = bench::DefaultTrainConfig(5);
+  OnlineTrainer online(config);
+  auto trained = online.TrainFullReplay(base);
+  if (!trained.ok()) {
+    state.SkipWithError(trained.status().ToString().c_str());
+    return;
+  }
+  bool on_base = true;
+  for (auto _ : state) {
+    const Dataset& previous = on_base ? base : grown;
+    const Dataset& current = on_base ? grown : base;
+    auto stats = online.Refresh(previous, current);
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    on_base = !on_base;
+  }
+  state.counters["dirty_users"] = kDirtyUsers;
+  state.counters["total_users"] = static_cast<double>(base.num_users());
+}
+BENCHMARK(BM_OnlineRefresh)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineFullReplay(benchmark::State& state) {
+  const Dataset& base = BenchDataset();
+  SkillModelConfig config = bench::DefaultTrainConfig(5);
+  for (auto _ : state) {
+    OnlineTrainer online(config);
+    auto trained = online.TrainFullReplay(base);
+    if (!trained.ok()) state.SkipWithError(trained.status().ToString().c_str());
+  }
+  state.counters["total_users"] = static_cast<double>(base.num_users());
+}
+BENCHMARK(BM_OnlineFullReplay)->Unit(benchmark::kMillisecond);
+
+// --- The out-of-core headline: a store larger than the RAM budget. ---
+//
+// The store is built by streaming synthetic actions straight through
+// StoreWriter — no in-RAM dataset ever exists — until the file exceeds
+// twice UPSKILL_STORE_BUDGET_MB (default 64). The scan then runs over the
+// mapping; the page cache, not the process, decides what is resident.
+
+uint64_t RamBudgetBytes() {
+  const char* env = std::getenv("UPSKILL_STORE_BUDGET_MB");
+  const long mb = env != nullptr ? std::atol(env) : 64;
+  return static_cast<uint64_t>(mb > 0 ? mb : 64) * (1ull << 20);
+}
+
+const std::string& BigStorePath() {
+  static const std::string* path = [] {
+    auto* p = new std::string(TempPath("big.store"));
+    const uint64_t target_bytes = 2 * RamBudgetBytes();
+    const uint64_t target_actions = target_bytes / sizeof(Action);
+    const uint64_t actions_per_user = 1000;
+
+    auto writer = StoreWriter::Create(*p);
+    if (!writer.ok()) std::abort();
+    uint64_t written = 0;
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    const int num_items = BenchDataset().items().num_items();
+    while (written < target_actions) {
+      (void)writer.value()->BeginUser(
+          "big-" + std::to_string(written / actions_per_user));
+      for (uint64_t k = 0; k < actions_per_user; ++k) {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        const ItemId item =
+            static_cast<ItemId>((seed >> 33) % static_cast<uint64_t>(num_items));
+        (void)writer.value()->Append(static_cast<int64_t>(k), item);
+      }
+      written += actions_per_user;
+    }
+    if (!writer.value()->Finish(BenchDataset().items()).ok()) std::abort();
+    return p;
+  }();
+  return *path;
+}
+
+void BM_OutOfCoreScan(benchmark::State& state) {
+  const std::string& path = BigStorePath();
+  const uint64_t store_bytes = std::filesystem::file_size(path);
+  if (store_bytes <= RamBudgetBytes()) {
+    state.SkipWithError("store did not exceed the RAM budget");
+    return;
+  }
+  // Unverified open: the verified pass would itself read the whole file
+  // and pre-warm the cache, hiding the out-of-core cost being measured.
+  StoreReader::Options options;
+  options.verify_checksums = false;
+  auto reader = StoreReader::Open(path, options);
+  if (!reader.ok()) {
+    state.SkipWithError(reader.status().ToString().c_str());
+    return;
+  }
+  auto mapped = reader.value().MapDataset();
+  if (!mapped.ok()) {
+    state.SkipWithError(mapped.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(SweepActions(mapped.value()));
+  state.counters["store_bytes"] = static_cast<double>(store_bytes);
+  state.counters["ram_budget_bytes"] = static_cast<double>(RamBudgetBytes());
+  state.counters["bytes_per_second"] = benchmark::Counter(
+      static_cast<double>(store_bytes * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OutOfCoreScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace store
+}  // namespace upskill
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  upskill::bench::MaybeWriteMetricsDump();
+  benchmark::Shutdown();
+  // Fixture files are keyed by pid; sweep them so repeated bench runs
+  // don't accumulate multi-hundred-MB stores in /tmp.
+  for (const auto& entry : std::filesystem::directory_iterator("/tmp")) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("upskill_bench_store_" + std::to_string(::getpid()), 0) ==
+        0) {
+      std::error_code ec;
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  return 0;
+}

@@ -15,8 +15,12 @@
 //   recommend      upskilling shortlist for one user
 //   snapshot       package model + items + difficulty into a binary
 //                  serving snapshot
+//   dataset        columnar store tooling: pack a CSV dataset into the
+//                  mmap format, inspect a store file, compact an ingest
+//                  log into a base store
 //   serve          online serving loop over stdin/stdout (see README
-//                  "Serving" for the protocol)
+//                  "Serving" for the protocol); --ingest-log tees
+//                  observed actions into the append-only store log
 //
 // Run with no arguments for full flag syntax. Datasets are the CSV
 // directories written by SaveDataset (schema.csv, items.csv, users.csv,
@@ -36,6 +40,7 @@
 #include "core/assignments_io.h"
 #include "core/difficulty.h"
 #include "core/em_trainer.h"
+#include "core/online_trainer.h"
 #include "core/model_report.h"
 #include "core/model_selection.h"
 #include "core/recommend.h"
@@ -60,6 +65,10 @@
 #include "serve/server.h"
 #include "serve/serving_model.h"
 #include "serve/snapshot.h"
+#include "store/compact.h"
+#include "store/ingest_log.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
 
 namespace {
 
@@ -93,9 +102,11 @@ const std::set<std::string> kValueFlags = {
     "top",   "stretch", "prior",  "min",     "max",   "shards",
     "metrics-out", "trace-out",
     "listen", "net-workers", "deadline-ms", "max-conns",
+    "checkpoint", "previous", "ingest-log",
 };
 const std::set<std::string> kSwitchFlags = {
     "em", "verbose", "transitions", "detail", "quantized", "binary",
+    "from-store", "online",
 };
 
 Result<Args> ParseArgs(int argc, char** argv, int first) {
@@ -149,6 +160,11 @@ int Usage() {
       "  train <data_dir> <model_out.csv> [--levels S] [--em]\n"
       "        [--transitions] [--threads N] [--verbose]\n"
       "        [--metrics-out metrics.prom] [--trace-out trace.json]\n"
+      "        [--from-store]   (read a packed .store instead of CSVs)\n"
+      "        [--online --checkpoint ck.bin [--previous prev.store]]\n"
+      "        (incremental refresh from an online-EM checkpoint when\n"
+      "        --previous names the dataset the checkpoint was trained\n"
+      "        on; full-batch replay that seeds the checkpoint otherwise)\n"
       "  assign <data_dir> <model.csv> [--levels S] [--user U] [--out f.csv]\n"
       "  summary <data_dir> <model.csv> [--levels S]\n"
       "  model <data_dir> <model.csv> [--levels S] [--top 3]\n"
@@ -158,7 +174,12 @@ int Usage() {
       "        [--stretch 1.0] [--top 10]\n"
       "  snapshot <data_dir> <model.csv> <out.snap> [--levels S]\n"
       "        [--prior empirical|uniform] [--transitions] [--threads N]\n"
+      "  dataset pack <data_dir> <out.store>\n"
+      "  dataset inspect <file.store>\n"
+      "  dataset compact <base.store> <log.ingest> <out.store>\n"
       "  serve <snapshot.snap> [--threads N] [--shards N] [--quantized]\n"
+      "        [--ingest-log log.ingest]   (tee observed actions into the\n"
+      "        append-only store log for later compaction + refresh)\n"
       "        (newline-delimited protocol on stdin/stdout; see README)\n"
       "        [--listen host:port] [--net-workers N] [--deadline-ms D]\n"
       "        [--max-conns N]   (TCP front end instead of stdio; text and\n"
@@ -282,11 +303,74 @@ SkillModelConfig ConfigFromArgs(const Args& args) {
   return config;
 }
 
+// `--from-store` swaps the CSV loader for the zero-copy mmap reader; the
+// returned Dataset keeps the mapping alive, so trainer/eval code runs on
+// it unmodified (and datasets larger than RAM page in on demand).
+Result<Dataset> LoadDatasetOrStore(const std::string& path, bool from_store) {
+  if (!from_store) return LoadDataset(path);
+  auto reader = store::StoreReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  return reader.value().MapDataset();
+}
+
+// `train --online`: seed or advance an OnlineTrainer checkpoint. With
+// --previous, one incremental Refresh over the delta between the two
+// dataset versions; without, a full-batch replay (bitwise identical to
+// plain `train`) that establishes the checkpoint.
+int TrainOnline(const Args& args, const Dataset& dataset,
+                const SkillModelConfig& config) {
+  const std::string checkpoint = args.StringFlag("checkpoint", "");
+  if (checkpoint.empty()) {
+    return Fail(Status::InvalidArgument("--online requires --checkpoint"));
+  }
+  if (args.HasFlag("em")) {
+    return Fail(Status::InvalidArgument(
+        "--online supports the hard-assignment trainer only"));
+  }
+  const int threads = static_cast<int>(args.IntFlag("threads", 1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  OnlineTrainer trainer(config);
+  if (args.HasFlag("previous")) {
+    const auto previous = LoadDatasetOrStore(
+        args.StringFlag("previous", ""), args.HasFlag("from-store"));
+    if (!previous.ok()) return Fail(previous.status());
+    auto loaded = OnlineTrainer::LoadCheckpoint(checkpoint, config);
+    if (!loaded.ok()) return Fail(loaded.status());
+    trainer = std::move(loaded).value();
+    const auto stats = trainer.Refresh(previous.value(), dataset, pool.get());
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("refreshed: %zu dirty users (%zu new), %zu clean; "
+                "%zu actions added, %zu replaced, %.3fs\n",
+                stats.value().dirty_users, stats.value().new_users,
+                stats.value().clean_users, stats.value().actions_added,
+                stats.value().actions_removed, stats.value().refresh_seconds);
+  } else {
+    const auto result = trainer.TrainFullReplay(dataset);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("full replay: %d iterations (log-likelihood %.1f)\n",
+                result.value().iterations,
+                result.value().final_log_likelihood);
+  }
+  const Status saved_ck = trainer.SaveCheckpoint(checkpoint);
+  if (!saved_ck.ok()) return Fail(saved_ck);
+  const Status saved = trainer.model().Save(args.positional[1]);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("checkpoint -> %s; model -> %s\n", checkpoint.c_str(),
+              args.positional[1].c_str());
+  return 0;
+}
+
 int CmdTrain(const Args& args) {
   if (args.positional.size() != 2) return Usage();
-  const auto dataset = LoadDataset(args.positional[0]);
+  const auto dataset =
+      LoadDatasetOrStore(args.positional[0], args.HasFlag("from-store"));
   if (!dataset.ok()) return Fail(dataset.status());
   const SkillModelConfig config = ConfigFromArgs(args);
+  if (args.HasFlag("online")) {
+    return TrainOnline(args, dataset.value(), config);
+  }
 
   // Telemetry sinks: --trace-out captures one Chrome-tracing span per
   // trainer phase per iteration; --metrics-out dumps the Prometheus
@@ -564,6 +648,47 @@ int CmdSnapshot(const Args& args) {
   return 0;
 }
 
+int CmdDataset(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& verb = args.positional[0];
+  if (verb == "pack") {
+    if (args.positional.size() != 3) return Usage();
+    const auto dataset = LoadDataset(args.positional[1]);
+    if (!dataset.ok()) return Fail(dataset.status());
+    const Status packed =
+        store::PackDataset(dataset.value(), args.positional[2]);
+    if (!packed.ok()) return Fail(packed);
+    std::printf("packed %d users, %llu actions, %d items -> %s\n",
+                dataset.value().num_users(),
+                static_cast<unsigned long long>(dataset.value().num_actions()),
+                dataset.value().items().num_items(),
+                args.positional[2].c_str());
+    return 0;
+  }
+  if (verb == "inspect") {
+    if (args.positional.size() != 2) return Usage();
+    auto reader = store::StoreReader::Open(args.positional[1]);
+    if (!reader.ok()) return Fail(reader.status());
+    std::printf("%s", reader.value().Describe().c_str());
+    return 0;
+  }
+  if (verb == "compact") {
+    if (args.positional.size() != 4) return Usage();
+    const auto stats = store::CompactStore(
+        args.positional[1], args.positional[2], args.positional[3]);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("compacted %llu log records into %llu base actions "
+                "(%llu new users) -> %s (%llu actions)\n",
+                static_cast<unsigned long long>(stats.value().log_records),
+                static_cast<unsigned long long>(stats.value().base_actions),
+                static_cast<unsigned long long>(stats.value().new_users),
+                args.positional[3].c_str(),
+                static_cast<unsigned long long>(stats.value().total_actions));
+    return 0;
+  }
+  return Usage();
+}
+
 int CmdServe(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   const int threads = static_cast<int>(args.IntFlag("threads", 1));
@@ -580,6 +705,37 @@ int CmdServe(const Args& args) {
                args.positional[0].c_str(), model.value()->num_levels(),
                model.value()->num_items(), shards,
                quantized ? ", quantized int16 inference" : "");
+
+  // --ingest-log tees every accepted observe into the append-only store
+  // log (crash-safe batched frames; recovery truncates a torn tail on
+  // open). The hook runs on request threads; the writer serializes
+  // appends internally. Synced before exit on every return path below.
+  std::unique_ptr<store::IngestLogWriter> ingest;
+  if (args.HasFlag("ingest-log")) {
+    auto opened =
+        store::IngestLogWriter::Open(args.StringFlag("ingest-log", ""));
+    if (!opened.ok()) return Fail(opened.status());
+    ingest = std::move(opened).value();
+    store::IngestLogWriter* log = ingest.get();
+    server.SetObserveHook(
+        [log](const std::string& user, ItemId item, int64_t time) {
+          const Status appended = log->Append({user, time, item});
+          if (!appended.ok()) {
+            std::fprintf(stderr, "ingest append failed: %s\n",
+                         appended.ToString().c_str());
+          }
+        });
+    std::fprintf(stderr, "ingest log -> %s\n",
+                 args.StringFlag("ingest-log", "").c_str());
+  }
+  const auto sync_ingest = [&ingest]() {
+    if (ingest == nullptr) return;
+    const Status synced = ingest->Sync();
+    if (!synced.ok()) {
+      std::fprintf(stderr, "ingest sync failed: %s\n",
+                   synced.ToString().c_str());
+    }
+  };
 
   if (args.HasFlag("listen")) {
     // TCP front end: epoll event loop with per-core SO_REUSEPORT workers
@@ -608,6 +764,7 @@ int CmdServe(const Args& args) {
       if (StripWhitespace(line) == "shutdown") break;
     }
     net_server.Stop();
+    sync_ingest();
     return 0;
   }
 
@@ -671,6 +828,7 @@ int CmdServe(const Args& args) {
     std::fflush(stdout);
     if (request.value().kind == serve::ServeRequest::Kind::kQuit) break;
   }
+  sync_ingest();
   return 0;
 }
 
@@ -784,6 +942,7 @@ int main(int argc, char** argv) {
   if (command == "difficulty") return CmdDifficulty(args);
   if (command == "recommend") return CmdRecommend(args);
   if (command == "snapshot") return CmdSnapshot(args);
+  if (command == "dataset") return CmdDataset(args);
   if (command == "serve") return CmdServe(args);
   if (command == "client") return CmdClient(args);
   if (command == "select-levels") return CmdSelectLevels(args);

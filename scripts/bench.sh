@@ -14,6 +14,11 @@
 #            scalar-vs-vector-vs-quantized triples land in a single run.
 #     net    bench_net: epoll TCP front end over real loopback sockets
 #            (binary/text protocol waves, req/s-per-core counters)
+#     store  bench_store: out-of-core store — pack throughput, verified
+#            vs unverified open, mapped vs in-RAM scans, ingest append
+#            rates, online refresh vs full replay, and BM_OutOfCoreScan
+#            over a store built larger than UPSKILL_STORE_BUDGET_MB
+#            (default 64; the fixture writes ~2x the budget to /tmp)
 #
 #   --threads sweeps the sharded micro benches (BM_AssignSkillsSharded,
 #   BM_FitParametersSharded) over the given thread counts; each emitted
@@ -30,7 +35,8 @@
 # BENCH_PR1.json was recorded from a debug build and is superseded by the
 # Release rerecording in BENCH_PR2.json; BENCH_PR3.json records the serve
 # suite; BENCH_PR4.json rerecords micro with the thread x shard sweep;
-# BENCH_PR6.json records the simd suite.
+# BENCH_PR6.json records the simd suite; BENCH_PR8.json records the
+# store suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -77,8 +83,10 @@ for SUITE in $SUITES; do
       RUNS+=("bench_serve:BM_ServeQuantized")
       BINARIES+=(bench_micro bench_serve) ;;
     net) RUNS+=("bench_net:"); BINARIES+=(bench_net) ;;
+    store) RUNS+=("bench_store:"); BINARIES+=(bench_store) ;;
     *)
-      echo "error: unknown suite '$SUITE' (want micro, serve, simd, or net)" >&2
+      echo "error: unknown suite '$SUITE'" \
+           "(want micro, serve, simd, net, or store)" >&2
       exit 2 ;;
   esac
 done

@@ -57,7 +57,7 @@ MarkovChainModel MarkovChainModel::Train(const Dataset& train,
   model.popularity_ = PopularityModel::Train(train);
 
   for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::vector<Action>& seq = train.sequence(u);
+    std::span<const Action> seq = train.sequence(u);
     for (size_t n = 1; n < seq.size(); ++n) {
       auto& row = model.transitions_[static_cast<size_t>(seq[n - 1].item)];
       const ItemId next = seq[n].item;
@@ -156,7 +156,7 @@ Result<BaselinePredictionReport> EvaluateSequenceBaselines(
   double popularity_rr = 0.0;
   double markov_rr = 0.0;
   for (const HeldOutAction& held : test) {
-    const std::vector<Action>& seq = train.sequence(held.user);
+    std::span<const Action> seq = train.sequence(held.user);
     if (seq.empty()) continue;
     // Predecessor: last training action strictly before the held-out
     // time; the first action when none precedes it.

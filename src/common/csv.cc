@@ -1,6 +1,10 @@
 #include "common/csv.h"
 
+#include <cstring>
 #include <fstream>
+#include <utility>
+
+#include "common/string_util.h"
 
 namespace upskill {
 
@@ -83,6 +87,53 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     rows.push_back(std::move(fields).value());
   }
   return rows;
+}
+
+CsvScanner::CsvScanner(FILE* file, std::string path, size_t max_line_bytes)
+    : file_(file), path_(std::move(path)), buffer_(max_line_bytes + 2) {}
+
+Result<CsvScanner> CsvScanner::Open(const std::string& path,
+                                    size_t max_line_bytes) {
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  return CsvScanner(file, path, max_line_bytes);
+}
+
+Status CsvScanner::CorruptionAt(const std::string& what) const {
+  return Status::Corruption(StringPrintf(
+      "%s:%zu (byte %llu): %s", path_.c_str(), line_number_,
+      static_cast<unsigned long long>(line_offset_), what.c_str()));
+}
+
+Result<bool> CsvScanner::Next(std::vector<std::string>* fields) {
+  // fgets into the fixed buffer: one line per call, memory bounded by
+  // the buffer regardless of file size. A line that fills the buffer
+  // without a terminator is over-long — rejected, never grown.
+  while (std::fgets(buffer_.data(), static_cast<int>(buffer_.size()),
+                    file_.get()) != nullptr) {
+    ++line_number_;
+    line_offset_ = next_offset_;
+    size_t length = std::strlen(buffer_.data());
+    next_offset_ += length;
+    const bool saw_newline = length > 0 && buffer_[length - 1] == '\n';
+    if (saw_newline) {
+      --length;
+    } else if (length + 1 == buffer_.size()) {
+      return CorruptionAt(StringPrintf("line exceeds %zu bytes",
+                                       buffer_.size() - 2));
+    }
+    if (length > 0 && buffer_[length - 1] == '\r') --length;
+    if (length == 0) continue;  // skip blank lines, like ReadCsvFile
+    Result<std::vector<std::string>> parsed =
+        ParseCsvLine(std::string_view(buffer_.data(), length));
+    if (!parsed.ok()) return CorruptionAt(parsed.status().message());
+    *fields = std::move(parsed).value();
+    return true;
+  }
+  if (std::ferror(file_.get())) {
+    return Status::IoError("read failed for " + path_);
+  }
+  return false;
 }
 
 Status WriteCsvFile(const std::string& path,

@@ -14,7 +14,7 @@ std::vector<double> EstimateDifficultyByAssignment(
   std::vector<double> level_sum(num_items, 0.0);
   std::vector<size_t> count(num_items, 0);
   for (UserId u = 0; u < dataset.num_users(); ++u) {
-    const std::vector<Action>& seq = dataset.sequence(u);
+    std::span<const Action> seq = dataset.sequence(u);
     const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
     UPSKILL_CHECK(levels.size() == seq.size());
     for (size_t n = 0; n < seq.size(); ++n) {

@@ -113,7 +113,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
       exec::ShardWorkspace& ws = exec_context.workspace(shard_index);
       for (UserId user = shard.user_begin(); user < shard.user_end(); ++user) {
       const size_t u = static_cast<size_t>(user);
-      const std::vector<Action>& seq = shard.sequence(user);
+      std::span<const Action> seq = shard.sequence(user);
       per_user_ll[u] = 0.0;
       per_user_ups[u] = 0.0;
       per_user_stays[u] = 0.0;
@@ -308,7 +308,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
         exec_context.shards()[static_cast<size_t>(shard_index)];
     exec::ShardWorkspace& ws = exec_context.workspace(shard_index);
     for (UserId user = shard.user_begin(); user < shard.user_end(); ++user) {
-      const std::vector<Action>& seq = shard.sequence(user);
+      std::span<const Action> seq = shard.sequence(user);
       ws.dp.items.resize(seq.size());
       for (size_t t = 0; t < seq.size(); ++t) {
         ws.dp.items[t] = seq[t].item;

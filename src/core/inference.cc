@@ -24,7 +24,7 @@ Result<const Categorical*> IdComponent(const SkillModel& model, int level) {
 
 }  // namespace
 
-int NearestActionLevel(const std::vector<Action>& train_sequence,
+int NearestActionLevel(std::span<const Action> train_sequence,
                        const std::vector<int>& train_levels, int64_t time) {
   UPSKILL_CHECK(train_sequence.size() == train_levels.size());
   if (train_sequence.empty()) return 1;

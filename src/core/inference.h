@@ -15,7 +15,7 @@ namespace upskill {
 /// action (the rule used for held-out likelihood and both prediction tasks,
 /// Sections VI-B and VI-E). Ties (equidistant neighbours) resolve to the
 /// earlier action. Returns 1 for a user with no training actions.
-int NearestActionLevel(const std::vector<Action>& train_sequence,
+int NearestActionLevel(std::span<const Action> train_sequence,
                        const std::vector<int>& train_levels, int64_t time);
 
 /// Log-likelihood of held-out actions under `model`, with each action's

@@ -159,13 +159,83 @@ struct TrainInstruments {
 
 }  // namespace
 
+void FitCellsFromCountGrid(const ItemTable& items,
+                           std::span<const double> level_counts,
+                           SkillModel* model, ThreadPool* pool,
+                           ParallelOptions parallel) {
+  UPSKILL_CHECK(model != nullptr);
+  const int num_levels = model->num_levels();
+  const int num_features = model->num_features();
+  const size_t num_items = static_cast<size_t>(items.num_items());
+  UPSKILL_CHECK(level_counts.size() ==
+                static_cast<size_t>(num_levels) * num_items);
+  ThreadPool* update_pool =
+      (parallel.levels || parallel.features) ? pool : nullptr;
+
+  // Positive-support kinds take a log per observation in the flat
+  // formulation; hoisting log(max(x, floor)) per *item* makes the whole
+  // update O(|I|) logs instead of O(|A|). AddPositiveTransformedColumn
+  // consumes the precomputed pair without re-deriving either.
+  std::vector<SufficientStats> prototypes;
+  prototypes.reserve(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) {
+    prototypes.push_back(model->component(f, 1).MakeStats());
+  }
+  std::vector<std::vector<double>> clamped_cols(
+      static_cast<size_t>(num_features));
+  std::vector<std::vector<double>> log_cols(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) {
+    const DistributionKind kind = prototypes[static_cast<size_t>(f)].kind();
+    if (kind != DistributionKind::kGamma &&
+        kind != DistributionKind::kLogNormal) {
+      continue;
+    }
+    std::vector<double>& clamped = clamped_cols[static_cast<size_t>(f)];
+    std::vector<double>& logs = log_cols[static_cast<size_t>(f)];
+    clamped.resize(num_items);
+    logs.resize(num_items);
+    const double* column = items.column(f).data();
+    // One log per item is light work; fan out only for large catalogs
+    // where the column transform outweighs the dispatch. Raw ParallelFor
+    // on purpose (parallelism audit): item-indexed with one independent
+    // write per item — no reduction, no user axis.
+    ThreadPool* column_pool =
+        num_items >= kMinItemsForParallelTransform ? update_pool : nullptr;
+    ParallelFor(column_pool, 0, num_items, [&](size_t item) {
+      const double c = std::max(column[item], kPositiveObservationFloor);
+      clamped[item] = c;
+      logs[item] = std::log(c);
+    });
+  }
+
+  // Every (feature, level) cell reduces its count row against the
+  // feature column in fixed item order — a dense weighted accumulation
+  // with no per-action work at all. Cells with no observations keep their
+  // current parameters.
+  auto fit_cell = [&](int feature, int level) {
+    const size_t fs = static_cast<size_t>(feature);
+    SufficientStats stats = prototypes[fs];
+    const std::span<const double> weights(
+        level_counts.data() + static_cast<size_t>(level - 1) * num_items,
+        num_items);
+    if (!clamped_cols[fs].empty()) {
+      stats.AddPositiveTransformedColumn(clamped_cols[fs], log_cols[fs],
+                                         weights);
+    } else {
+      stats.AddColumn(items.column(feature), weights);
+    }
+    if (!stats.empty()) {
+      model->mutable_component(feature, level)->FitFromStats(stats);
+    }
+  };
+  DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
+}
+
 void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
                    SkillModel* model, ThreadPool* pool,
                    ParallelOptions parallel, exec::ExecContext* exec_context) {
   UPSKILL_CHECK(model != nullptr);
-  const int num_levels = model->num_levels();
-  const int num_features = model->num_features();
-  const size_t levels_sz = static_cast<size_t>(num_levels);
+  const size_t levels_sz = static_cast<size_t>(model->num_levels());
 
   const ItemTable& items = dataset.items();
   const size_t num_items = static_cast<size_t>(items.num_items());
@@ -211,7 +281,7 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
     for (UserId user = begin; user < end; ++user) {
       const std::vector<int>& levels = assignments[static_cast<size_t>(user)];
       if (levels.empty()) continue;  // excluded (initialization)
-      const std::vector<Action>& seq = dataset.sequence(user);
+      std::span<const Action> seq = dataset.sequence(user);
       UPSKILL_CHECK(levels.size() == seq.size());
       for (size_t n = 0; n < seq.size(); ++n) {
         counts[static_cast<size_t>(levels[n] - 1) * num_items +
@@ -247,63 +317,9 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
     });
   }
 
-  // Positive-support kinds take a log per observation in the flat
-  // formulation; hoisting log(max(x, floor)) per *item* makes the whole
-  // update O(|I|) logs instead of O(|A|). AddPositiveTransformedColumn
-  // consumes the precomputed pair without re-deriving either.
-  std::vector<SufficientStats> prototypes;
-  prototypes.reserve(static_cast<size_t>(num_features));
-  for (int f = 0; f < num_features; ++f) {
-    prototypes.push_back(model->component(f, 1).MakeStats());
-  }
-  std::vector<std::vector<double>> clamped_cols(
-      static_cast<size_t>(num_features));
-  std::vector<std::vector<double>> log_cols(static_cast<size_t>(num_features));
-  for (int f = 0; f < num_features; ++f) {
-    const DistributionKind kind = prototypes[static_cast<size_t>(f)].kind();
-    if (kind != DistributionKind::kGamma &&
-        kind != DistributionKind::kLogNormal) {
-      continue;
-    }
-    std::vector<double>& clamped = clamped_cols[static_cast<size_t>(f)];
-    std::vector<double>& logs = log_cols[static_cast<size_t>(f)];
-    clamped.resize(num_items);
-    logs.resize(num_items);
-    const double* column = items.column(f).data();
-    // One log per item is light work; fan out only for large catalogs
-    // where the column transform outweighs the dispatch. Raw ParallelFor
-    // on purpose (parallelism audit): item-indexed with one independent
-    // write per item — no reduction, no user axis.
-    ThreadPool* column_pool =
-        num_items >= kMinItemsForParallelTransform ? update_pool : nullptr;
-    ParallelFor(column_pool, 0, num_items, [&](size_t item) {
-      const double c = std::max(column[item], kPositiveObservationFloor);
-      clamped[item] = c;
-      logs[item] = std::log(c);
-    });
-  }
-
-  // Pass 2: every (feature, level) cell reduces its count row against the
-  // feature column in fixed item order — a dense weighted accumulation
-  // with no per-action work at all. Cells with no observations keep their
-  // current parameters.
-  auto fit_cell = [&](int feature, int level) {
-    const size_t fs = static_cast<size_t>(feature);
-    SufficientStats stats = prototypes[fs];
-    const std::span<const double> weights(
-        level_counts.data() + static_cast<size_t>(level - 1) * num_items,
-        num_items);
-    if (!clamped_cols[fs].empty()) {
-      stats.AddPositiveTransformedColumn(clamped_cols[fs], log_cols[fs],
-                                         weights);
-    } else {
-      stats.AddColumn(items.column(feature), weights);
-    }
-    if (!stats.empty()) {
-      model->mutable_component(feature, level)->FitFromStats(stats);
-    }
-  };
-  DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
+  // Pass 2 lives in FitCellsFromCountGrid so the online trainer can refit
+  // from an incrementally maintained grid through the exact same code.
+  FitCellsFromCountGrid(items, level_counts, model, pool, parallel);
 }
 
 void FitParametersReference(const Dataset& dataset,
@@ -320,7 +336,7 @@ void FitParametersReference(const Dataset& dataset,
   for (UserId u = 0; u < dataset.num_users(); ++u) {
     const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
     if (levels.empty()) continue;  // user excluded (initialization)
-    const std::vector<Action>& seq = dataset.sequence(u);
+    std::span<const Action> seq = dataset.sequence(u);
     UPSKILL_CHECK(levels.size() == seq.size());
     for (size_t n = 0; n < seq.size(); ++n) {
       by_level[static_cast<size_t>(levels[n] - 1)].push_back(seq[n].item);
@@ -481,7 +497,7 @@ AssignmentStats AssignmentEngine::Assign(
   return RunPass(
       user_pool, dirty_items, weights_changed,
       [&](DpScratch& scratch, size_t u) {
-        const std::vector<Action>& seq =
+        std::span<const Action> seq =
             dataset.sequence(static_cast<UserId>(u));
         scratch.items.resize(seq.size());
         for (size_t n = 0; n < seq.size(); ++n) {
@@ -516,7 +532,7 @@ AssignmentStats AssignmentEngine::AssignWithClasses(
   return RunPass(
       user_pool, dirty_items, weights_changed,
       [&](DpScratch& scratch, size_t u) {
-        const std::vector<Action>& seq =
+        std::span<const Action> seq =
             dataset.sequence(static_cast<UserId>(u));
         scratch.items.resize(seq.size());
         for (size_t n = 0; n < seq.size(); ++n) {

@@ -122,6 +122,18 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
                    ParallelOptions parallel = {},
                    exec::ExecContext* exec_context = nullptr);
 
+/// Pass 2 of FitParameters on its own: refits every (feature, level) cell
+/// of `model` from an externally maintained per-(level, item) action-count
+/// grid (`level_counts` is [(level-1) * num_items + item], size
+/// num_levels * num_items). Because the grid holds exact integer sums, any
+/// path that produces the same grid — one full sweep or incremental
+/// subtract/add maintenance — refits to bitwise-identical parameters. This
+/// is the contract the online trainer builds on.
+void FitCellsFromCountGrid(const ItemTable& items,
+                           std::span<const double> level_counts,
+                           SkillModel* model, ThreadPool* pool = nullptr,
+                           ParallelOptions parallel = {});
+
 /// Reference implementation of the update step: groups item occurrences
 /// into per-level buckets, then copies each (feature, level) cell's values
 /// into a buffer and calls Distribution::Fit. Kept as the equivalence

@@ -1,7 +1,9 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace upskill {
@@ -54,7 +56,24 @@ Result<std::span<const double>> ItemTable::Metadata(
 
 Dataset::Dataset(ItemTable items) : items_(std::move(items)) {}
 
+Dataset Dataset::FromMappedSequences(
+    ItemTable items, std::vector<std::string> user_names,
+    std::vector<std::span<const Action>> views,
+    std::shared_ptr<const void> storage) {
+  UPSKILL_CHECK(storage != nullptr);
+  UPSKILL_CHECK(user_names.size() == views.size());
+  Dataset dataset(std::move(items));
+  dataset.user_names_ = std::move(user_names);
+  dataset.views_ = std::move(views);
+  dataset.storage_ = std::move(storage);
+  for (const std::span<const Action>& view : dataset.views_) {
+    dataset.num_actions_ += view.size();
+  }
+  return dataset;
+}
+
 UserId Dataset::AddUser(std::string name) {
+  UPSKILL_CHECK(!mapped());
   sequences_.emplace_back();
   user_names_.push_back(std::move(name));
   return static_cast<UserId>(sequences_.size() - 1);
@@ -62,6 +81,10 @@ UserId Dataset::AddUser(std::string name) {
 
 Status Dataset::AddAction(UserId user, int64_t time, ItemId item,
                           double rating) {
+  if (mapped()) {
+    return Status::FailedPrecondition(
+        "mapped datasets are immutable; compact into a new store instead");
+  }
   if (user < 0 || user >= num_users()) {
     return Status::OutOfRange(StringPrintf("user %d", user));
   }
@@ -81,6 +104,7 @@ Status Dataset::AddAction(UserId user, int64_t time, ItemId item,
 }
 
 void Dataset::SortSequences() {
+  UPSKILL_CHECK(!mapped());
   for (auto& seq : sequences_) {
     std::stable_sort(seq.begin(), seq.end(),
                      [](const Action& a, const Action& b) {

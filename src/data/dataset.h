@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -85,31 +86,60 @@ class ItemTable {
 /// (A = union of A_u, Section III). Sequences are kept in chronological
 /// order; AddAction enforces non-decreasing times per user, and
 /// SortSequences() re-establishes the invariant after bulk edits.
+///
+/// Two storage modes share one read API (`sequence()` returns a span
+/// either way, which is what lets every consumer — trainer, exec shards,
+/// eval, serve — run unchanged on either):
+///  - owned (the default): sequences live in per-user vectors, built by
+///    AddUser/AddAction;
+///  - mapped: sequences are borrowed views into external storage (the
+///    memory-mapped columnar store, src/store/), kept alive by a shared
+///    handle. Mapped datasets are immutable — the mutating entry points
+///    reject them — so a multi-GB store is readable without ever copying
+///    an action into RAM.
 class Dataset {
  public:
   Dataset() = default;
   explicit Dataset(ItemTable items);
 
+  /// Builds a mapped (immutable, zero-copy) dataset: `views[u]` is user
+  /// u's chronological sequence, pointing into memory owned by `storage`
+  /// (e.g. a store::MappedFile), which is kept alive for the dataset's
+  /// lifetime — including through copies.
+  static Dataset FromMappedSequences(
+      ItemTable items, std::vector<std::string> user_names,
+      std::vector<std::span<const Action>> views,
+      std::shared_ptr<const void> storage);
+
   const ItemTable& items() const { return items_; }
   ItemTable& mutable_items() { return items_; }
   const FeatureSchema& schema() const { return items_.schema(); }
 
-  /// Adds a user and returns their id.
+  /// True for datasets whose sequences borrow external (mapped) storage.
+  bool mapped() const { return storage_ != nullptr; }
+
+  /// Adds a user and returns their id. Rejects mapped datasets (checked).
   UserId AddUser(std::string name = "");
 
   /// Appends an action to `user`'s sequence. Fails when the item is out of
-  /// range or the time would break chronological order.
+  /// range, the time would break chronological order, or the dataset is
+  /// mapped.
   Status AddAction(UserId user, int64_t time, ItemId item,
                    double rating = std::numeric_limits<double>::quiet_NaN());
 
-  /// Stable-sorts every sequence by time (for bulk loaders).
+  /// Stable-sorts every sequence by time (for bulk loaders). No-op
+  /// requirement: must not be called on mapped datasets (checked).
   void SortSequences();
 
-  int num_users() const { return static_cast<int>(sequences_.size()); }
+  int num_users() const {
+    return static_cast<int>(mapped() ? views_.size() : sequences_.size());
+  }
   size_t num_actions() const { return num_actions_; }
 
-  const std::vector<Action>& sequence(UserId user) const {
-    return sequences_[static_cast<size_t>(user)];
+  std::span<const Action> sequence(UserId user) const {
+    return mapped() ? views_[static_cast<size_t>(user)]
+                    : std::span<const Action>(
+                          sequences_[static_cast<size_t>(user)]);
   }
   const std::string& user_name(UserId user) const {
     return user_names_[static_cast<size_t>(user)];
@@ -126,7 +156,7 @@ class Dataset {
   template <typename Fn>
   void ForEachAction(Fn&& fn) const {
     for (UserId u = 0; u < num_users(); ++u) {
-      for (const Action& a : sequences_[static_cast<size_t>(u)]) {
+      for (const Action& a : sequence(u)) {
         fn(u, a);
       }
     }
@@ -134,7 +164,12 @@ class Dataset {
 
  private:
   ItemTable items_;
+  // Owned mode.
   std::vector<std::vector<Action>> sequences_;
+  // Mapped mode: borrowed views plus the handle keeping them alive.
+  // `storage_ != nullptr` is the mode discriminant; copies share it.
+  std::vector<std::span<const Action>> views_;
+  std::shared_ptr<const void> storage_;
   std::vector<std::string> user_names_;
   size_t num_actions_ = 0;
 };

@@ -37,7 +37,7 @@ Result<FeatureSchema> RebuildSchema(const FeatureSchema& schema,
 }
 
 // Distinct items in a sequence.
-int CountUniqueItems(const std::vector<Action>& seq) {
+int CountUniqueItems(std::span<const Action> seq) {
   std::unordered_set<ItemId> items;
   for (const Action& a : seq) items.insert(a.item);
   return static_cast<int>(items.size());

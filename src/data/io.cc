@@ -31,22 +31,45 @@ Status SaveSchema(const FeatureSchema& schema, const std::string& path) {
   return WriteCsvFile(path, rows);
 }
 
+// Every loader below streams its file through a CsvScanner — one bounded
+// line buffer, no whole-file materialization — so loading scales to event
+// logs larger than RAM, and every parse error cites file:line (byte N).
+
+// Reads and discards the header row; a headerless file is Corruption.
+Result<bool> SkipHeader(CsvScanner* scanner, std::vector<std::string>* row,
+                        const char* what) {
+  Result<bool> header = scanner->Next(row);
+  if (!header.ok()) return header.status();
+  if (!header.value()) {
+    return Status::Corruption(scanner->path() + " is empty; expected a " +
+                              std::string(what) + " header");
+  }
+  return true;
+}
+
 Result<FeatureSchema> LoadSchema(const std::string& path) {
-  Result<std::vector<std::vector<std::string>>> rows = ReadCsvFile(path);
-  if (!rows.ok()) return rows.status();
+  Result<CsvScanner> opened = CsvScanner::Open(path);
+  if (!opened.ok()) return opened.status();
+  CsvScanner scanner = std::move(opened).value();
+  std::vector<std::string> row;
+  UPSKILL_RETURN_IF_ERROR(SkipHeader(&scanner, &row, "schema").status());
   FeatureSchema schema;
-  for (size_t r = 1; r < rows.value().size(); ++r) {
-    const std::vector<std::string>& row = rows.value()[r];
+  while (true) {
+    Result<bool> next = scanner.Next(&row);
+    if (!next.ok()) return next.status();
+    if (!next.value()) break;
     if (row.size() != 6) {
-      return Status::Corruption(
-          StringPrintf("schema row %zu has %zu fields", r, row.size()));
+      return scanner.CorruptionAt(
+          StringPrintf("schema row has %zu fields, want 6", row.size()));
     }
     const std::string& name = row[0];
     const std::string& type = row[1];
     Result<DistributionKind> dist = DistributionKindFromString(row[2]);
-    if (!dist.ok()) return dist.status();
+    if (!dist.ok()) return scanner.CorruptionAt(dist.status().message());
     Result<long long> cardinality = ParseInt(row[3]);
-    if (!cardinality.ok()) return cardinality.status();
+    if (!cardinality.ok()) {
+      return scanner.CorruptionAt("bad cardinality \"" + row[3] + "\"");
+    }
     const bool is_id = row[4] == "1";
     Result<int> added = [&]() -> Result<int> {
       if (is_id) return schema.AddIdFeature(static_cast<int>(cardinality.value()));
@@ -61,7 +84,7 @@ Result<FeatureSchema> LoadSchema(const std::string& path) {
       if (type == "real") return schema.AddReal(name, dist.value());
       return Status::Corruption("unknown feature type " + type);
     }();
-    if (!added.ok()) return added.status();
+    if (!added.ok()) return scanner.CorruptionAt(added.status().message());
   }
   return schema;
 }
@@ -91,16 +114,17 @@ Status SaveItems(const ItemTable& items, const std::string& path) {
 
 Result<ItemTable> LoadItems(const FeatureSchema& schema,
                             const std::string& path) {
-  Result<std::vector<std::vector<std::string>>> rows = ReadCsvFile(path);
-  if (!rows.ok()) return rows.status();
-  if (rows.value().empty()) return Status::Corruption("items.csv is empty");
-  const std::vector<std::string>& header = rows.value()[0];
+  Result<CsvScanner> opened = CsvScanner::Open(path);
+  if (!opened.ok()) return opened.status();
+  CsvScanner scanner = std::move(opened).value();
+  std::vector<std::string> header;
+  UPSKILL_RETURN_IF_ERROR(SkipHeader(&scanner, &header, "items").status());
   const int num_features = schema.num_features();
   const size_t base_columns = 1 + static_cast<size_t>(num_features);
   std::vector<std::string> metadata_keys;
   for (size_t c = base_columns; c < header.size(); ++c) {
     if (!StartsWith(header[c], "meta:")) {
-      return Status::Corruption("unexpected items column " + header[c]);
+      return scanner.CorruptionAt("unexpected items column " + header[c]);
     }
     metadata_keys.push_back(header[c].substr(5));
   }
@@ -108,22 +132,33 @@ Result<ItemTable> LoadItems(const FeatureSchema& schema,
   ItemTable items(schema);
   std::vector<std::vector<double>> metadata(metadata_keys.size());
   std::vector<double> values(static_cast<size_t>(num_features));
-  for (size_t r = 1; r < rows.value().size(); ++r) {
-    const std::vector<std::string>& row = rows.value()[r];
+  std::vector<std::string> row;
+  while (true) {
+    Result<bool> next = scanner.Next(&row);
+    if (!next.ok()) return next.status();
+    if (!next.value()) break;
     if (row.size() != base_columns + metadata_keys.size()) {
-      return Status::Corruption(
-          StringPrintf("items row %zu has %zu fields", r, row.size()));
+      return scanner.CorruptionAt(
+          StringPrintf("items row has %zu fields, want %zu", row.size(),
+                       base_columns + metadata_keys.size()));
     }
     for (int f = 0; f < num_features; ++f) {
       Result<double> value = ParseDouble(row[1 + static_cast<size_t>(f)]);
-      if (!value.ok()) return value.status();
+      if (!value.ok()) {
+        return scanner.CorruptionAt(
+            "bad value \"" + row[1 + static_cast<size_t>(f)] + "\" for " +
+            schema.feature(f).name);
+      }
       values[static_cast<size_t>(f)] = value.value();
     }
     Result<ItemId> added = items.AddItem(values, row[0]);
-    if (!added.ok()) return added.status();
+    if (!added.ok()) return scanner.CorruptionAt(added.status().message());
     for (size_t m = 0; m < metadata_keys.size(); ++m) {
       Result<double> value = ParseDouble(row[base_columns + m]);
-      if (!value.ok()) return value.status();
+      if (!value.ok()) {
+        return scanner.CorruptionAt("bad metadata value \"" +
+                                    row[base_columns + m] + "\"");
+      }
       metadata[m].push_back(value.value());
     }
   }
@@ -171,36 +206,63 @@ Result<Dataset> LoadDataset(const std::string& directory) {
   if (!items.ok()) return items.status();
   Dataset dataset(std::move(items).value());
 
-  Result<std::vector<std::vector<std::string>>> users =
-      ReadCsvFile(directory + "/users.csv");
-  if (!users.ok()) return users.status();
-  for (size_t r = 1; r < users.value().size(); ++r) {
-    const std::vector<std::string>& row = users.value()[r];
-    if (row.size() != 2) return Status::Corruption("bad users row");
-    dataset.AddUser(row[1]);
+  {
+    Result<CsvScanner> opened = CsvScanner::Open(directory + "/users.csv");
+    if (!opened.ok()) return opened.status();
+    CsvScanner scanner = std::move(opened).value();
+    std::vector<std::string> row;
+    UPSKILL_RETURN_IF_ERROR(SkipHeader(&scanner, &row, "users").status());
+    while (true) {
+      Result<bool> next = scanner.Next(&row);
+      if (!next.ok()) return next.status();
+      if (!next.value()) break;
+      if (row.size() != 2) {
+        return scanner.CorruptionAt(
+            StringPrintf("users row has %zu fields, want 2", row.size()));
+      }
+      dataset.AddUser(row[1]);
+    }
   }
 
-  Result<std::vector<std::vector<std::string>>> actions =
-      ReadCsvFile(directory + "/actions.csv");
-  if (!actions.ok()) return actions.status();
-  for (size_t r = 1; r < actions.value().size(); ++r) {
-    const std::vector<std::string>& row = actions.value()[r];
-    if (row.size() != 4) return Status::Corruption("bad actions row");
+  // The actions file is the one that grows without bound; it streams
+  // through the same bounded buffer, one action appended per row.
+  Result<CsvScanner> opened = CsvScanner::Open(directory + "/actions.csv");
+  if (!opened.ok()) return opened.status();
+  CsvScanner scanner = std::move(opened).value();
+  std::vector<std::string> row;
+  UPSKILL_RETURN_IF_ERROR(SkipHeader(&scanner, &row, "actions").status());
+  while (true) {
+    Result<bool> next = scanner.Next(&row);
+    if (!next.ok()) return next.status();
+    if (!next.value()) break;
+    if (row.size() != 4) {
+      return scanner.CorruptionAt(
+          StringPrintf("actions row has %zu fields, want 4", row.size()));
+    }
     Result<long long> user = ParseInt(row[0]);
     Result<long long> time = ParseInt(row[1]);
     Result<long long> item = ParseInt(row[2]);
-    if (!user.ok()) return user.status();
-    if (!time.ok()) return time.status();
-    if (!item.ok()) return item.status();
+    if (!user.ok()) {
+      return scanner.CorruptionAt("bad user \"" + row[0] + "\"");
+    }
+    if (!time.ok()) {
+      return scanner.CorruptionAt("bad time \"" + row[1] + "\"");
+    }
+    if (!item.ok()) {
+      return scanner.CorruptionAt("bad item \"" + row[2] + "\"");
+    }
     double rating = std::numeric_limits<double>::quiet_NaN();
     if (!row[3].empty()) {
       Result<double> parsed = ParseDouble(row[3]);
-      if (!parsed.ok()) return parsed.status();
+      if (!parsed.ok()) {
+        return scanner.CorruptionAt("bad rating \"" + row[3] + "\"");
+      }
       rating = parsed.value();
     }
-    UPSKILL_RETURN_IF_ERROR(dataset.AddAction(
+    const Status added = dataset.AddAction(
         static_cast<UserId>(user.value()), time.value(),
-        static_cast<ItemId>(item.value()), rating));
+        static_cast<ItemId>(item.value()), rating);
+    if (!added.ok()) return scanner.CorruptionAt(added.message());
   }
   return dataset;
 }

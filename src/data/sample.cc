@@ -44,7 +44,7 @@ Result<Dataset> TruncateSequences(const Dataset& dataset,
   Dataset out(dataset.items());
   for (UserId u = 0; u < dataset.num_users(); ++u) {
     out.AddUser(dataset.user_name(u));
-    const std::vector<Action>& seq = dataset.sequence(u);
+    std::span<const Action> seq = dataset.sequence(u);
     const size_t take = std::min(seq.size(), max_actions);
     for (size_t n = 0; n < take; ++n) {
       UPSKILL_RETURN_IF_ERROR(

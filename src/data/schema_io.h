@@ -1,0 +1,21 @@
+#ifndef UPSKILL_DATA_SCHEMA_IO_H_
+#define UPSKILL_DATA_SCHEMA_IO_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace upskill {
+
+/// Binary schema serialization shared by the serve snapshot format and the
+/// columnar store. The encoding is self-delimiting, so a schema can be
+/// embedded inside a larger payload.
+void SerializeSchema(const FeatureSchema& schema, ByteWriter* out);
+
+/// Inverse of SerializeSchema. Returns Corruption when the bytes are
+/// truncated or describe an impossible schema.
+Result<FeatureSchema> DeserializeSchema(ByteReader* in);
+
+}  // namespace upskill
+
+#endif  // UPSKILL_DATA_SCHEMA_IO_H_

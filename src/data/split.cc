@@ -27,7 +27,7 @@ Result<ActionSplit> MakeHoldoutSplit(const Dataset& dataset,
   ActionSplit split;
   split.train = CloneShell(dataset);
   for (UserId u = 0; u < dataset.num_users(); ++u) {
-    const std::vector<Action>& seq = dataset.sequence(u);
+    std::span<const Action> seq = dataset.sequence(u);
     size_t held_out = seq.size();  // sentinel: keep everything
     if (seq.size() >= min_sequence_length) {
       held_out = (position == HoldoutPosition::kLast)
@@ -55,7 +55,7 @@ Result<ActionSplit> SplitActionsRandomly(const Dataset& dataset,
   ActionSplit split;
   split.train = CloneShell(dataset);
   for (UserId u = 0; u < dataset.num_users(); ++u) {
-    const std::vector<Action>& seq = dataset.sequence(u);
+    std::span<const Action> seq = dataset.sequence(u);
     // Decide the test subset first so we can protect the last train action.
     std::vector<char> to_test(seq.size(), 0);
     size_t train_count = seq.size();
@@ -82,7 +82,7 @@ Result<ActionSplit> SplitActionsByTime(const Dataset& dataset,
   ActionSplit split;
   split.train = CloneShell(dataset);
   for (UserId u = 0; u < dataset.num_users(); ++u) {
-    const std::vector<Action>& seq = dataset.sequence(u);
+    std::span<const Action> seq = dataset.sequence(u);
     for (size_t n = 0; n < seq.size(); ++n) {
       // The user's first action anchors training even past the cutoff.
       const bool train = seq[n].time <= cutoff || n == 0;

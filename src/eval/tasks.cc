@@ -108,7 +108,7 @@ Result<RatingPredictionReport> EvaluateRatingPrediction(
   double min_target = std::numeric_limits<double>::infinity();
   double max_target = -std::numeric_limits<double>::infinity();
   for (UserId u = 0; u < train.num_users(); ++u) {
-    const std::vector<Action>& seq = train.sequence(u);
+    std::span<const Action> seq = train.sequence(u);
     const std::vector<int>& levels = assignments[static_cast<size_t>(u)];
     for (size_t n = 0; n < seq.size(); ++n) {
       if (!seq[n].has_rating()) continue;

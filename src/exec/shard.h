@@ -98,7 +98,7 @@ class DatasetShard {
   size_t num_actions() const { return num_actions_; }
 
   /// Sequence of a *global* user id; must lie in [user_begin, user_end).
-  const std::vector<Action>& sequence(UserId user) const {
+  std::span<const Action> sequence(UserId user) const {
     return dataset_->sequence(user);
   }
 

@@ -83,6 +83,7 @@ Result<SessionLevel> Server::Observe(const std::string& user, ItemId item,
 
   Status error = Status::OK();
   SessionLevel result;
+  int64_t effective_time = 0;
   sessions_.WithSession(user, [&](SessionState& session) {
     // A swap that changed S resets the store, but a racing observe can
     // still carry a stale-width column into this shard; restart it.
@@ -140,8 +141,12 @@ Result<SessionLevel> Server::Observe(const std::string& user, ItemId item,
     ++session.actions;
     result.level = session.level;
     result.actions = session.actions;
+    effective_time = t;
   });
   if (!error.ok()) return error;
+  // Tee the accepted observation to the ingest hook outside the shard
+  // lock, with the time the session actually recorded.
+  if (observe_hook_) observe_hook_(user, item, effective_time);
   return result;
 }
 

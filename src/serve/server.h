@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -54,6 +55,20 @@ class Server {
   /// backwards within the session.
   Result<SessionLevel> Observe(const std::string& user, ItemId item,
                                int64_t time, bool has_time);
+
+  /// Installs a callback fired after every *successful* Observe with the
+  /// user, item, and the effective timestamp the session recorded (the
+  /// request's time, or the session's previous time when the request
+  /// carried none). The ingest front end uses this to tee observations
+  /// into the append-only store log (store/ingest_log.h) — the write path
+  /// of the continuous-learning loop. The hook runs outside the session
+  /// shard lock, on the request thread; it must be internally thread-safe
+  /// and should be fast (the ingest writer batches in memory). Install
+  /// before serving traffic; swapping hooks mid-flight is not
+  /// synchronized.
+  using ObserveHook =
+      std::function<void(const std::string& user, ItemId item, int64_t time)>;
+  void SetObserveHook(ObserveHook hook) { observe_hook_ = std::move(hook); }
 
   /// Level of an existing session; fails for users never observed.
   Result<SessionLevel> CurrentLevel(const std::string& user) const;
@@ -149,6 +164,7 @@ class Server {
   std::shared_ptr<const ServingModel> model_;
   std::shared_ptr<const QuantizedModel> qmodel_;
   SessionStore sessions_;
+  ObserveHook observe_hook_;
   std::atomic<uint64_t> requests_{0};
   std::array<KindInstruments, kNumServeRequestKinds> instruments_;
   obs::Counter& snapshot_swaps_;

@@ -6,33 +6,16 @@
 #include <fstream>
 #include <utility>
 
+#include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/string_util.h"
+#include "data/schema_io.h"
 
 namespace upskill {
 namespace serve {
 
-// The format commits to little-endian on-disk layout; raw memcpy of host
-// integers/doubles is only correct on little-endian hosts (every platform
-// this library targets). A big-endian port would add byte swaps here.
-static_assert(std::endian::native == std::endian::little,
-              "snapshot serialization assumes a little-endian host");
-
 uint32_t Crc32(const void* data, size_t size) {
-  // Standard reflected CRC-32 (IEEE 802.3), nibble-table variant: small
-  // enough to build at first use, fast enough for multi-megabyte payloads.
-  static const uint32_t kTable[16] = {
-      0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac,
-      0x76dc4190, 0x6b6b51f4, 0x4db26158, 0x5005713c,
-      0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
-      0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
-  const uint8_t* bytes = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xffffffffu;
-  for (size_t i = 0; i < size; ++i) {
-    crc ^= bytes[i];
-    crc = (crc >> 4) ^ kTable[crc & 0xf];
-    crc = (crc >> 4) ^ kTable[crc & 0xf];
-  }
-  return crc ^ 0xffffffffu;
+  return ::upskill::Crc32(data, size);
 }
 
 namespace {
@@ -47,74 +30,7 @@ struct SnapshotHeader {
 };
 constexpr size_t kHeaderSize = 8 + 4 + 4 + 8 + 4;
 
-class ByteWriter {
- public:
-  void U8(uint8_t v) { Raw(&v, 1); }
-  void U32(uint32_t v) { Raw(&v, sizeof v); }
-  void I32(int32_t v) { Raw(&v, sizeof v); }
-  void I64(int64_t v) { Raw(&v, sizeof v); }
-  void F64(double v) { Raw(&v, sizeof v); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  void VecF64(const std::vector<double>& v) {
-    U32(static_cast<uint32_t>(v.size()));
-    Raw(v.data(), v.size() * sizeof(double));
-  }
-  const std::string& buffer() const { return buffer_; }
 
- private:
-  void Raw(const void* data, size_t size) {
-    buffer_.append(static_cast<const char*>(data), size);
-  }
-  std::string buffer_;
-};
-
-// Bounds-checked sequential reader; every getter returns false once the
-// payload is exhausted, and the loader converts that into Corruption.
-class ByteReader {
- public:
-  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  bool U8(uint8_t* v) { return Raw(v, 1); }
-  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
-  bool I32(int32_t* v) { return Raw(v, sizeof *v); }
-  bool I64(int64_t* v) { return Raw(v, sizeof *v); }
-  bool F64(double* v) { return Raw(v, sizeof *v); }
-  bool Str(std::string* s) {
-    uint32_t n = 0;
-    if (!U32(&n) || size_ - pos_ < n) return false;
-    s->assign(data_ + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool VecF64(std::vector<double>* v) {
-    uint32_t n = 0;
-    if (!U32(&n) || size_ - pos_ < static_cast<size_t>(n) * sizeof(double)) {
-      return false;
-    }
-    v->resize(n);
-    std::memcpy(v->data(), data_ + pos_, n * sizeof(double));
-    pos_ += static_cast<size_t>(n) * sizeof(double);
-    return true;
-  }
-  bool Doubles(std::span<double> out) {
-    return Raw(out.data(), out.size() * sizeof(double));
-  }
-  bool exhausted() const { return pos_ == size_; }
-
- private:
-  bool Raw(void* out, size_t size) {
-    if (size_ - pos_ < size) return false;
-    std::memcpy(out, data_ + pos_, size);
-    pos_ += size;
-    return true;
-  }
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
 
 void WriteConfig(const SkillModelConfig& config, ByteWriter* out) {
   // Only the fields that define model *semantics* are persisted; trainer
@@ -147,58 +63,13 @@ bool ReadConfig(ByteReader* in, SkillModelConfig* config) {
 }
 
 void WriteSchema(const FeatureSchema& schema, ByteWriter* out) {
-  out->I32(schema.num_features());
-  out->I32(schema.id_feature());
-  for (int f = 0; f < schema.num_features(); ++f) {
-    const FeatureSpec& spec = schema.feature(f);
-    out->Str(spec.name);
-    out->U8(static_cast<uint8_t>(spec.type));
-    out->U8(static_cast<uint8_t>(spec.distribution));
-    out->I32(spec.cardinality);
-    out->U32(static_cast<uint32_t>(spec.labels.size()));
-    for (const std::string& label : spec.labels) out->Str(label);
-  }
+  SerializeSchema(schema, out);
 }
 
 Result<FeatureSchema> ReadSchema(ByteReader* in) {
-  int32_t num_features = 0;
-  int32_t id_feature = 0;
-  if (!in->I32(&num_features) || !in->I32(&id_feature) || num_features < 0) {
-    return Status::Corruption("snapshot schema header");
-  }
-  FeatureSchema schema;
-  for (int32_t f = 0; f < num_features; ++f) {
-    std::string name;
-    uint8_t type = 0;
-    uint8_t distribution = 0;
-    int32_t cardinality = 0;
-    uint32_t num_labels = 0;
-    if (!in->Str(&name) || !in->U8(&type) || !in->U8(&distribution) ||
-        !in->I32(&cardinality) || !in->U32(&num_labels)) {
-      return Status::Corruption(StringPrintf("snapshot schema feature %d", f));
-    }
-    std::vector<std::string> labels(num_labels);
-    for (std::string& label : labels) {
-      if (!in->Str(&label)) {
-        return Status::Corruption(
-            StringPrintf("snapshot schema labels of feature %d", f));
-      }
-    }
-    Result<int> added = [&]() -> Result<int> {
-      if (f == id_feature) return schema.AddIdFeature(cardinality);
-      switch (static_cast<FeatureType>(type)) {
-        case FeatureType::kCategorical:
-          return schema.AddCategorical(std::move(name), cardinality,
-                                       std::move(labels));
-        case FeatureType::kCount:
-          return schema.AddCount(std::move(name));
-        case FeatureType::kReal:
-          return schema.AddReal(std::move(name),
-                                static_cast<DistributionKind>(distribution));
-      }
-      return Status::Corruption("snapshot schema feature type");
-    }();
-    if (!added.ok()) return added.status();
+  Result<FeatureSchema> schema = DeserializeSchema(in);
+  if (!schema.ok()) {
+    return Status::Corruption("snapshot " + schema.status().message());
   }
   return schema;
 }

@@ -1,0 +1,122 @@
+#include "store/compact.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/ingest_log.h"
+#include "store/store_writer.h"
+
+namespace upskill {
+namespace store {
+
+Result<CompactStats> CompactStore(const std::string& base_path,
+                                  const std::string& log_path,
+                                  const std::string& out_path,
+                                  const StoreReader::Options& options) {
+  obs::Span span("store/compact");
+  Result<StoreReader> base = StoreReader::Open(base_path, options);
+  if (!base.ok()) return base.status();
+  Result<Dataset> mapped = base.value().MapDataset();
+  if (!mapped.ok()) return mapped.status();
+  const Dataset& dataset = mapped.value();
+
+  CompactStats stats;
+  stats.base_users = static_cast<uint64_t>(dataset.num_users());
+  stats.base_actions = dataset.num_actions();
+
+  // Gather the log grouped by user. The log is the small delta (the base
+  // can be far larger than RAM; the log holds since-last-compaction
+  // observations), so buffering it is the intended memory profile.
+  std::unordered_map<std::string, UserId> user_ids;
+  user_ids.reserve(static_cast<size_t>(dataset.num_users()) * 2);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    user_ids.emplace(dataset.user_name(u), u);
+  }
+  std::vector<std::vector<Action>> pending(
+      static_cast<size_t>(dataset.num_users()));
+  std::vector<std::string> new_user_names;  // first-appearance order
+  std::vector<std::vector<Action>> new_user_actions;
+  const int num_items = dataset.items().num_items();
+  Result<IngestScan> replayed = ReplayIngestLog(
+      log_path, [&](const IngestRecord& record) -> Status {
+        if (record.item >= num_items) {
+          return Status::OutOfRange(
+              StringPrintf("log references item %d, base has %d items",
+                           record.item, num_items));
+        }
+        const auto [it, inserted] = user_ids.emplace(
+            record.user, static_cast<UserId>(user_ids.size()));
+        if (inserted) {
+          new_user_names.push_back(record.user);
+          new_user_actions.emplace_back();
+        }
+        const UserId id = it->second;
+        Action action{record.time, record.item, record.rating};
+        if (id < dataset.num_users()) {
+          pending[static_cast<size_t>(id)].push_back(action);
+        } else {
+          new_user_actions[static_cast<size_t>(id - dataset.num_users())]
+              .push_back(action);
+        }
+        return Status::OK();
+      });
+  if (!replayed.ok()) return replayed.status();
+  stats.log_records = replayed.value().num_records;
+  stats.new_users = new_user_names.size();
+
+  // Stable sort keeps append order among equal-time log actions.
+  const auto by_time = [](const Action& a, const Action& b) {
+    return a.time < b.time;
+  };
+  for (std::vector<Action>& actions : pending) {
+    std::stable_sort(actions.begin(), actions.end(), by_time);
+  }
+  for (std::vector<Action>& actions : new_user_actions) {
+    std::stable_sort(actions.begin(), actions.end(), by_time);
+  }
+
+  Result<std::unique_ptr<StoreWriter>> writer = StoreWriter::Create(out_path);
+  if (!writer.ok()) return writer.status();
+  StoreWriter& out = *writer.value();
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    UPSKILL_RETURN_IF_ERROR(out.BeginUser(dataset.user_name(u)));
+    const std::span<const Action> old_actions = dataset.sequence(u);
+    const std::vector<Action>& log_actions = pending[static_cast<size_t>(u)];
+    // Two-pointer stable merge: at equal times the base action wins, so
+    // replaying the same log twice (or compacting in two steps vs one)
+    // yields identical bytes.
+    size_t i = 0, j = 0;
+    while (i < old_actions.size() || j < log_actions.size()) {
+      const bool take_base =
+          j >= log_actions.size() ||
+          (i < old_actions.size() &&
+           old_actions[i].time <= log_actions[j].time);
+      const Action& action =
+          take_base ? old_actions[i++] : log_actions[j++];
+      UPSKILL_RETURN_IF_ERROR(
+          out.Append(action.time, action.item, action.rating));
+    }
+  }
+  for (size_t n = 0; n < new_user_names.size(); ++n) {
+    UPSKILL_RETURN_IF_ERROR(out.BeginUser(new_user_names[n]));
+    for (const Action& action : new_user_actions[n]) {
+      UPSKILL_RETURN_IF_ERROR(
+          out.Append(action.time, action.item, action.rating));
+    }
+  }
+  UPSKILL_RETURN_IF_ERROR(out.Finish(dataset.items()));
+  stats.total_actions = out.num_actions();
+  obs::MetricsRegistry::Global()
+      .GetCounter("upskill_store_compactions_total")
+      .Increment();
+  return stats;
+}
+
+}  // namespace store
+}  // namespace upskill

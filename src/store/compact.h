@@ -1,0 +1,46 @@
+#ifndef UPSKILL_STORE_COMPACT_H_
+#define UPSKILL_STORE_COMPACT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "store/store_reader.h"
+
+namespace upskill {
+namespace store {
+
+struct CompactStats {
+  uint64_t base_users = 0;
+  uint64_t base_actions = 0;
+  uint64_t log_records = 0;
+  uint64_t new_users = 0;     // log users unseen in the base
+  uint64_t total_actions = 0;  // actions in the compacted output
+};
+
+/// Folds the ingest log at `log_path` into the columnar base store at
+/// `base_path`, writing a new store to `out_path` (atomically, via the
+/// StoreWriter temp-and-rename protocol; `out_path` may equal
+/// `base_path` only on filesystems where the source mapping survives the
+/// rename, which is true on POSIX — the old mapping keeps the old inode
+/// alive).
+///
+/// Deterministic merge contract (DESIGN.md §10): per user, base actions
+/// and log actions are merged by time with a stable rule — at equal
+/// times, base actions precede log actions, and log actions keep append
+/// order. Users present only in the log are appended after all base
+/// users, in order of first appearance in the log. The output is
+/// therefore a pure function of (base bytes, log bytes), which is what
+/// makes online-EM full replay bitwise reproducible.
+///
+/// The log's torn tail, if any, is ignored (same rule as recovery): only
+/// intact frames are folded in.
+Result<CompactStats> CompactStore(const std::string& base_path,
+                                  const std::string& log_path,
+                                  const std::string& out_path,
+                                  const StoreReader::Options& options = {});
+
+}  // namespace store
+}  // namespace upskill
+
+#endif  // UPSKILL_STORE_COMPACT_H_

@@ -1,0 +1,56 @@
+#include "store/format.h"
+
+namespace upskill {
+namespace store {
+
+const char* SegmentKindName(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kUserOffsets:
+      return "user_offsets";
+    case SegmentKind::kActions:
+      return "actions";
+    case SegmentKind::kUserNames:
+      return "user_names";
+    case SegmentKind::kSchema:
+      return "schema";
+    case SegmentKind::kItemColumns:
+      return "item_columns";
+    case SegmentKind::kItemNames:
+      return "item_names";
+    case SegmentKind::kItemMetadata:
+      return "item_metadata";
+  }
+  return "unknown";
+}
+
+const char* StoreErrorToken(StoreError error) {
+  switch (error) {
+    case StoreError::kTruncated:
+      return "store_truncated";
+    case StoreError::kBadMagic:
+      return "store_bad_magic";
+    case StoreError::kBadVersion:
+      return "store_bad_version";
+    case StoreError::kHeaderCrc:
+      return "store_header_crc";
+    case StoreError::kBadSegment:
+      return "store_bad_segment";
+    case StoreError::kSegmentBounds:
+      return "store_segment_bounds";
+    case StoreError::kSegmentCrc:
+      return "store_segment_crc";
+    case StoreError::kBadShape:
+      return "store_bad_shape";
+    case StoreError::kBadValue:
+      return "store_bad_value";
+  }
+  return "store_error";
+}
+
+Status StoreCorruption(StoreError error, const std::string& detail) {
+  return Status::Corruption(std::string(StoreErrorToken(error)) + ": " +
+                            detail);
+}
+
+}  // namespace store
+}  // namespace upskill

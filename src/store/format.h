@@ -1,0 +1,123 @@
+#ifndef UPSKILL_STORE_FORMAT_H_
+#define UPSKILL_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+namespace store {
+
+// On-disk layout of a packed dataset (all values little-endian, see
+// common/bytes.h; DESIGN.md §10 has the diagram):
+//
+//   [StoreHeader 64B][SegmentEntry × kNumSegments][segment payloads …]
+//
+// Segment payloads start 16-byte aligned and appear in the order of the
+// directory. The directory is columnar — one contiguous segment per
+// column family — while the action segment itself stores fixed-width
+// 24-byte records whose layout is bit-identical to the in-memory
+// `Action` struct (static_asserts below). That identity is what makes
+// the reader zero-copy: `Dataset::sequence()` spans point straight into
+// the mapping, and trainer/eval/exec run unmodified on datasets larger
+// than RAM.
+
+inline constexpr char kStoreMagic[8] = {'U', 'P', 'S', 'K',
+                                        'C', 'O', 'L', '1'};
+inline constexpr uint32_t kStoreVersion = 1;
+inline constexpr size_t kSegmentAlignment = 16;
+
+/// Segment kinds; exactly one of each per store file.
+enum class SegmentKind : uint32_t {
+  kUserOffsets = 1,   // (num_users + 1) × u64 prefix offsets into kActions
+  kActions = 2,       // num_actions × 24B {i64 time, i32 item, pad, f64 rating}
+  kUserNames = 3,     // num_users × (u32 len + bytes)
+  kSchema = 4,        // SerializeSchema() bytes (data/schema_io.h)
+  kItemColumns = 5,   // num_features × num_items f64, feature-major
+  kItemNames = 6,     // num_items × (u32 len + bytes)
+  kItemMetadata = 7,  // u32 count, per column: u32 len + key + num_items f64
+};
+inline constexpr uint32_t kNumSegments = 7;
+
+const char* SegmentKindName(SegmentKind kind);
+
+/// Fixed 64-byte file header. `header_crc` covers the header bytes (with
+/// the crc field itself zeroed) followed by the segment directory, so a
+/// torn or bit-flipped prologue is detected before any segment is
+/// trusted.
+struct StoreHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t num_segments;
+  uint64_t file_size;
+  uint64_t num_users;
+  uint64_t num_actions;
+  uint32_t num_items;
+  uint32_t num_features;
+  uint32_t reserved;  // zero; room for future flags
+  uint32_t header_crc;
+  uint64_t reserved2;  // zero; pads the header to 64 bytes
+};
+static_assert(sizeof(StoreHeader) == 64, "header layout drifted");
+static_assert(std::is_trivially_copyable_v<StoreHeader>);
+
+/// One directory entry. `crc` is the CRC-32 of the segment payload bytes
+/// (alignment padding between segments is not covered — it is required
+/// to be zero by the writer but carries no data).
+struct SegmentEntry {
+  uint32_t kind;
+  uint32_t reserved;  // zero
+  uint64_t offset;    // from file start; 16-byte aligned
+  uint64_t length;    // payload bytes
+  uint32_t crc;
+  uint32_t reserved2;  // zero
+};
+static_assert(sizeof(SegmentEntry) == 32, "directory layout drifted");
+static_assert(std::is_trivially_copyable_v<SegmentEntry>);
+
+inline constexpr size_t kDirectoryOffset = sizeof(StoreHeader);
+inline constexpr size_t kFirstSegmentOffset =
+    kDirectoryOffset + kNumSegments * sizeof(SegmentEntry);
+static_assert(kFirstSegmentOffset % kSegmentAlignment == 0);
+
+// The zero-copy contract: an action record on disk is byte-identical to
+// the in-memory struct. The 4 padding bytes at offset 12 are written as
+// zero by the packer so file bytes — and therefore segment CRCs — are a
+// pure function of the logical content.
+static_assert(sizeof(Action) == 24, "action record layout drifted");
+static_assert(std::is_standard_layout_v<Action>);
+static_assert(std::is_trivially_copyable_v<Action>);
+static_assert(offsetof(Action, time) == 0);
+static_assert(offsetof(Action, item) == 8);
+static_assert(offsetof(Action, rating) == 16);
+
+/// Distinct machine-parseable corruption classes. Every validation
+/// failure in the reader maps to exactly one of these; the token is the
+/// first word of the Status message, so scripts (and tests) can match on
+/// it without parsing prose.
+enum class StoreError {
+  kTruncated,      // file shorter than the header/directory promise
+  kBadMagic,       // not a store file
+  kBadVersion,     // format version this build does not understand
+  kHeaderCrc,      // header/directory checksum mismatch
+  kBadSegment,     // missing, duplicate, unknown, or misaligned segment
+  kSegmentBounds,  // segment offset/length outside the file (or overflow)
+  kSegmentCrc,     // segment payload checksum mismatch
+  kBadShape,       // segment sizes/contents disagree with the header
+  kBadValue,       // decoded values fail domain validation
+};
+
+/// Stable token for `error` (e.g. "store_segment_bounds").
+const char* StoreErrorToken(StoreError error);
+
+/// Corruption status whose message is "<token>: <detail>".
+Status StoreCorruption(StoreError error, const std::string& detail);
+
+}  // namespace store
+}  // namespace upskill
+
+#endif  // UPSKILL_STORE_FORMAT_H_

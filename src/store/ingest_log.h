@@ -1,0 +1,113 @@
+#ifndef UPSKILL_STORE_INGEST_LOG_H_
+#define UPSKILL_STORE_INGEST_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+namespace store {
+
+/// One observed action, as appended by serve sessions. Users are keyed by
+/// name (the serving identity); compaction resolves names to ids against
+/// the base store, appending first-seen names as new users.
+struct IngestRecord {
+  std::string user;
+  int64_t time = 0;
+  ItemId item = -1;
+  double rating = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct IngestLogOptions {
+  /// Records buffered before a batch frame is written to the file. A
+  /// frame is all-or-nothing on recovery, so larger batches trade write
+  /// amplification against the amount of recent data a crash can lose.
+  size_t batch_records = 64;
+  /// fsync after every N batch frames (1 = every frame). This is the
+  /// durability bound: at most `batch_records * fsync_batches` appended
+  /// records can be lost to a power failure.
+  size_t fsync_batches = 8;
+};
+
+/// Append-only crash-safe log of observed actions. Thread-safe: serve
+/// worker threads append concurrently; frames are assembled under a mutex
+/// and written with a single write() each, so a crash can only ever tear
+/// the final frame — which recovery detects (length/CRC) and truncates.
+///
+/// Frame layout (little-endian):
+///   [u32 'UPSB'][u32 payload_bytes][u32 record_count][u32 crc32(payload)]
+///   [payload: per record u32 name_len + name + i64 time + i32 item +
+///             f64 rating]
+class IngestLogWriter {
+ public:
+  /// Opens `path` for appending, first running RecoverIngestLog so a
+  /// torn tail from a previous crash never gets appended after.
+  static Result<std::unique_ptr<IngestLogWriter>> Open(
+      const std::string& path, const IngestLogOptions& options = {});
+
+  ~IngestLogWriter();
+  IngestLogWriter(const IngestLogWriter&) = delete;
+  IngestLogWriter& operator=(const IngestLogWriter&) = delete;
+
+  /// Buffers one record; writes a frame when the batch fills.
+  Status Append(const IngestRecord& record);
+
+  /// Writes any buffered records as a (possibly short) frame.
+  Status Flush();
+
+  /// Flush + fsync: everything appended so far is durable on return.
+  Status Sync();
+
+  uint64_t appended() const;
+
+ private:
+  IngestLogWriter(int fd, std::string path, const IngestLogOptions& options);
+
+  Status FlushLocked();
+
+  const IngestLogOptions options_;
+  const std::string path_;
+  mutable std::mutex mutex_;
+  int fd_;
+  std::string frame_;  // serialized records of the open batch
+  uint32_t frame_records_ = 0;
+  size_t unsynced_batches_ = 0;
+  uint64_t appended_ = 0;
+};
+
+/// Result of scanning a log: the byte length of the longest valid prefix
+/// and what it contains.
+struct IngestScan {
+  uint64_t valid_bytes = 0;
+  uint64_t num_batches = 0;
+  uint64_t num_records = 0;
+};
+
+/// Streams every record of the longest valid frame prefix to `fn`,
+/// stopping cleanly at a torn or corrupt tail (that is the crash-recovery
+/// semantic, not an error). A missing file is an empty log. `fn` may
+/// return a non-OK status to abort the replay.
+Result<IngestScan> ReplayIngestLog(
+    const std::string& path,
+    const std::function<Status(const IngestRecord&)>& fn);
+
+struct IngestRecovery {
+  IngestScan scan;
+  uint64_t truncated_bytes = 0;  // torn-tail bytes dropped
+};
+
+/// Truncates `path` to its longest valid prefix. Idempotent; a missing
+/// file recovers to an empty log.
+Result<IngestRecovery> RecoverIngestLog(const std::string& path);
+
+}  // namespace store
+}  // namespace upskill
+
+#endif  // UPSKILL_STORE_INGEST_LOG_H_

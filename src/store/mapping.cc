@@ -1,0 +1,63 @@
+#include "store/mapping.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace upskill {
+namespace store {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound(
+        StringPrintf("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(
+        StringPrintf("fstat %s: %s", path.c_str(), std::strerror(err)));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(
+          StringPrintf("mmap %s: %s", path.c_str(), std::strerror(err)));
+    }
+    data = static_cast<uint8_t*>(mapping);
+  }
+  // The mapping keeps the inode alive; the descriptor is not needed.
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+void MappedFile::AdviseSequential() const {
+  if (data_ != nullptr) {
+    (void)::madvise(data_, size_, MADV_SEQUENTIAL);
+  }
+}
+
+void MappedFile::AdviseRandom() const {
+  if (data_ != nullptr) {
+    (void)::madvise(data_, size_, MADV_RANDOM);
+  }
+}
+
+}  // namespace store
+}  // namespace upskill

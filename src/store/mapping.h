@@ -1,0 +1,49 @@
+#ifndef UPSKILL_STORE_MAPPING_H_
+#define UPSKILL_STORE_MAPPING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace upskill {
+namespace store {
+
+/// Read-only memory mapping of a whole file. Shared ownership: mapped
+/// `Dataset`s hold a shared_ptr to the file so spans into the mapping
+/// stay valid for as long as any consumer is alive, no matter how the
+/// dataset is copied or moved across threads.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to a valid object with
+  /// size() == 0.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+  /// madvise hints. Sequential is right for the one-pass CRC/scan paths;
+  /// Random for shard-parallel training where users are visited out of
+  /// file order. Advisory only — failures are ignored.
+  void AdviseSequential() const;
+  void AdviseRandom() const;
+
+ private:
+  MappedFile(uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace store
+}  // namespace upskill
+
+#endif  // UPSKILL_STORE_MAPPING_H_

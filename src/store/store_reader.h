@@ -1,0 +1,65 @@
+#ifndef UPSKILL_STORE_STORE_READER_H_
+#define UPSKILL_STORE_STORE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "store/format.h"
+#include "store/mapping.h"
+
+namespace upskill {
+namespace store {
+
+/// Parsed view of one store file. Open() validates defensively — every
+/// rejection carries a distinct machine-parseable token (StoreError) —
+/// and MapDataset() then materializes a zero-copy `Dataset` whose
+/// sequences are spans straight into the mapping.
+class StoreReader {
+ public:
+  struct Options {
+    /// Verify every segment's CRC-32 on open (one sequential pass over
+    /// the file) and domain-check the action records. Turning this off
+    /// skips the full-file read — the header/directory checksum and all
+    /// structural bounds checks still run — for latency-sensitive opens
+    /// of stores that were just written locally.
+    bool verify_checksums = true;
+  };
+
+  static Result<StoreReader> Open(const std::string& path,
+                                  const Options& options);
+  static Result<StoreReader> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  const StoreHeader& header() const { return header_; }
+  const std::vector<SegmentEntry>& directory() const { return directory_; }
+  const std::shared_ptr<MappedFile>& file() const { return file_; }
+
+  /// Raw payload bytes of the segment of `kind`.
+  std::span<const uint8_t> segment(SegmentKind kind) const;
+
+  /// Builds the zero-copy mapped dataset: the item table, schema, names
+  /// and metadata are decoded into RAM (small), while action sequences
+  /// stay in the mapping, kept alive by a shared handle on the file.
+  Result<Dataset> MapDataset() const;
+
+  /// Human-readable multi-line description (the `dataset inspect` CLI).
+  std::string Describe() const;
+
+ private:
+  StoreReader() = default;
+
+  std::shared_ptr<MappedFile> file_;
+  StoreHeader header_ = {};
+  std::vector<SegmentEntry> directory_;
+};
+
+}  // namespace store
+}  // namespace upskill
+
+#endif  // UPSKILL_STORE_STORE_READER_H_

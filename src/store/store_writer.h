@@ -1,0 +1,80 @@
+#ifndef UPSKILL_STORE_STORE_WRITER_H_
+#define UPSKILL_STORE_STORE_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace upskill {
+namespace store {
+
+/// Streaming writer for the columnar store format (store/format.h).
+/// Actions are appended user by user and flow straight to disk through a
+/// bounded buffer, so packing never needs the dataset resident in RAM:
+///
+///   auto writer = StoreWriter::Create(path);
+///   for each user:   writer->BeginUser(name);
+///                    writer->Append(time, item, rating);  // chronological
+///   writer->Finish(items);   // trailing segments + header, fsync, rename
+///
+/// The file is built at `path + ".tmp"` and atomically renamed into place
+/// by Finish(), so a crashed pack never leaves a half-written store where
+/// a reader could find it.
+class StoreWriter {
+ public:
+  static Result<std::unique_ptr<StoreWriter>> Create(const std::string& path);
+
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Starts the next user's sequence.
+  Status BeginUser(const std::string& name);
+
+  /// Appends an action to the current user. Times must be non-decreasing
+  /// within a user; item range is validated against the table in Finish().
+  Status Append(int64_t time, ItemId item,
+                double rating = std::numeric_limits<double>::quiet_NaN());
+
+  /// Writes the remaining segments, directory, and header; fsyncs; renames
+  /// the temp file into place. The writer is unusable afterwards.
+  Status Finish(const ItemTable& items);
+
+  uint64_t num_users() const { return user_action_end_.size(); }
+  uint64_t num_actions() const { return num_actions_; }
+
+ private:
+  StoreWriter(std::FILE* file, std::string path, std::string tmp_path);
+
+  Status WriteRaw(const void* data, size_t size);
+  Status AlignSegment();
+
+  std::FILE* file_;
+  std::string path_;
+  std::string tmp_path_;
+  bool finished_ = false;
+  bool failed_ = false;
+
+  uint64_t num_actions_ = 0;
+  std::vector<uint64_t> user_action_end_;  // prefix sums, one per user
+  std::vector<std::string> user_names_;
+  int64_t last_time_ = 0;
+  ItemId max_item_ = -1;
+  Crc32Accumulator actions_crc_;
+  uint64_t file_offset_ = 0;
+};
+
+/// Packs an in-RAM dataset into a store file at `path`.
+Status PackDataset(const Dataset& dataset, const std::string& path);
+
+}  // namespace store
+}  // namespace upskill
+
+#endif  // UPSKILL_STORE_STORE_WRITER_H_

@@ -104,5 +104,82 @@ TEST_F(CsvFileTest, CorruptFileSurfacesError) {
   EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
 }
 
+TEST_F(CsvFileTest, ScannerStreamsRowsWithOffsets) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("h1,h2\na,1\r\n\nb,2", f);  // CRLF, blank line, no final \n
+    std::fclose(f);
+  }
+  auto opened = CsvScanner::Open(path_.string());
+  ASSERT_TRUE(opened.ok());
+  CsvScanner scanner = std::move(opened).value();
+  std::vector<std::string> row;
+  ASSERT_TRUE(scanner.Next(&row).value());
+  EXPECT_EQ(row, (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(scanner.line_number(), 1u);
+  EXPECT_EQ(scanner.line_offset(), 0u);
+  ASSERT_TRUE(scanner.Next(&row).value());
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "1"}));
+  EXPECT_EQ(scanner.line_offset(), 6u);  // after "h1,h2\n"
+  ASSERT_TRUE(scanner.Next(&row).value());  // blank line skipped
+  EXPECT_EQ(row, (std::vector<std::string>{"b", "2"}));
+  EXPECT_EQ(scanner.line_number(), 4u);
+  EXPECT_EQ(scanner.line_offset(), 12u);  // "h1,h2\n" + "a,1\r\n" + "\n"
+  EXPECT_FALSE(scanner.Next(&row).value());
+  EXPECT_FALSE(scanner.Next(&row).value());  // stays at EOF
+}
+
+TEST_F(CsvFileTest, ScannerCitesByteOffsetOnParseError) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("good,row\nbad\"row\n", f);
+    std::fclose(f);
+  }
+  auto opened = CsvScanner::Open(path_.string());
+  ASSERT_TRUE(opened.ok());
+  CsvScanner scanner = std::move(opened).value();
+  std::vector<std::string> row;
+  ASSERT_TRUE(scanner.Next(&row).value());
+  const auto bad = scanner.Next(&row);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  // "good,row\n" is 9 bytes; the bad row starts at line 2, byte 9.
+  EXPECT_NE(bad.status().message().find(":2 (byte 9)"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST_F(CsvFileTest, ScannerBoundsLineLength) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("short,line\n", f);
+    const std::string longline(100, 'x');
+    std::fputs((longline + "\n").c_str(), f);
+    std::fclose(f);
+  }
+  auto opened = CsvScanner::Open(path_.string(), /*max_line_bytes=*/64);
+  ASSERT_TRUE(opened.ok());
+  CsvScanner scanner = std::move(opened).value();
+  std::vector<std::string> row;
+  ASSERT_TRUE(scanner.Next(&row).value());
+  const auto bad = scanner.Next(&row);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(bad.status().message().find("exceeds"), std::string::npos)
+      << bad.status().message();
+
+  // The same file scans cleanly with a buffer that fits the long line,
+  // and a line of exactly max_line_bytes is accepted.
+  auto wide = CsvScanner::Open(path_.string(), /*max_line_bytes=*/100);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(wide.value().Next(&row).value());
+  ASSERT_TRUE(wide.value().Next(&row).value());
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], std::string(100, 'x'));
+  EXPECT_FALSE(wide.value().Next(&row).value());
+}
+
 }  // namespace
 }  // namespace upskill

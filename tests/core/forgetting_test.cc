@@ -89,7 +89,7 @@ TEST(ForgettingDpTest, CanDropMultipleTimesAcrossBreaks) {
 
 // Levels must never move by more than one, and only drop at break points.
 void ExpectValidForgetfulPath(const std::vector<int>& levels,
-                              const std::vector<Action>& seq,
+                              std::span<const Action> seq,
                               int64_t gap_threshold, int num_levels) {
   for (size_t n = 0; n < levels.size(); ++n) {
     EXPECT_GE(levels[n], 1);

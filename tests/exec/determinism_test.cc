@@ -24,6 +24,8 @@
 #include "eval/tasks.h"
 #include "serve/snapshot.h"
 #include "simd/simd.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
 
 namespace upskill {
 namespace {
@@ -248,6 +250,55 @@ TEST(ShardDeterminismTest, TrainerBitwiseInvariantAcrossSimdBackends) {
       }
     }
     simd::ForceScalarForTest(false);
+  }
+}
+
+TEST(ShardDeterminismTest, TrainingFromMappedStoreBitwiseMatchesInRam) {
+  // The out-of-core contract (src/store): training on the zero-copy
+  // mmap view of a packed dataset is bitwise identical — parameters,
+  // assignments, objective traces, serialized snapshot bytes — to
+  // training on the in-RAM dataset it was packed from, for any thread
+  // and shard count. The store changes where the actions live, never
+  // what the trainer computes.
+  const datagen::GeneratedData data = MakeData();
+  const std::string store_path = testing::TempDir() + "/det_store.store";
+  const std::string path = testing::TempDir() + "/det_store.snap";
+  ASSERT_TRUE(store::PackDataset(data.dataset, store_path).ok());
+  auto reader = store::StoreReader::Open(store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto mapped = reader.value().MapDataset();
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  for (const bool transitions : {false, true}) {
+    TrainResult base;
+    std::string base_bytes;
+    bool have_base = false;
+    for (const int threads : kThreadCounts) {
+      for (const int shards : kShardCounts) {
+        SkillModelConfig config = MakeConfig(threads, shards);
+        if (transitions) config.transitions = TransitionModel::kGlobal;
+        const Trainer trainer(config);
+        // The in-RAM run only for the first combination: the sweeps above
+        // already pin in-RAM results across threads/shards, so one anchor
+        // suffices and every combination compares mapped against it.
+        if (!have_base) {
+          auto in_ram = trainer.Train(data.dataset);
+          ASSERT_TRUE(in_ram.ok());
+          base = std::move(in_ram).value();
+          base_bytes = SnapshotBytes(base, data.dataset, nullptr, path);
+          have_base = true;
+        }
+        auto from_store = trainer.Train(mapped.value());
+        ASSERT_TRUE(from_store.ok());
+        const std::string bytes =
+            SnapshotBytes(from_store.value(), mapped.value(), nullptr, path);
+        const std::string label = "store threads=" + std::to_string(threads) +
+                                  " shards=" + std::to_string(shards) +
+                                  (transitions ? " transitions" : "");
+        ExpectSameTrainResult(base, from_store.value(), label);
+        EXPECT_EQ(base_bytes, bytes) << label;
+      }
+    }
   }
 }
 

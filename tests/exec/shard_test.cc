@@ -138,7 +138,9 @@ TEST(DatasetShardTest, ViewsPartitionUsersAndActions) {
     users += shard.num_users();
     actions += shard.num_actions();
     for (UserId u = shard.user_begin(); u < shard.user_end(); ++u) {
-      EXPECT_EQ(&shard.sequence(u), &dataset.sequence(u));
+      // Zero-copy: the shard's span aliases the dataset's storage.
+      EXPECT_EQ(shard.sequence(u).data(), dataset.sequence(u).data());
+      EXPECT_EQ(shard.sequence(u).size(), dataset.sequence(u).size());
     }
     EXPECT_EQ(&shard.items(), &dataset.items());
   }

@@ -51,7 +51,7 @@ class StreamingEquivalenceTest : public ::testing::Test {
   void CheckUser(UserId u, std::span<const double> log_initial,
                  double log_stay, double log_up, bool forgetting,
                  int64_t gap_threshold, double log_down) {
-    const std::vector<Action>& seq = dataset_->sequence(u);
+    std::span<const Action> seq = dataset_->sequence(u);
     const size_t levels = static_cast<size_t>(num_levels_);
     std::vector<double> column(levels);
     std::vector<double> next(levels);

@@ -1,0 +1,182 @@
+// Compaction: folding the ingest log into the columnar base must follow
+// the documented deterministic merge contract — per-user merge by time
+// (base wins ties, log keeps append order), new users appended in first
+// appearance order — and be a pure function of (base bytes, log bytes).
+
+#include "store/compact.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "store/ingest_log.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
+
+namespace upskill {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset MakeBase() {
+  FeatureSchema schema;
+  EXPECT_TRUE(schema.AddCount("steps").ok());
+  ItemTable items(std::move(schema));
+  for (int i = 0; i < 6; ++i) {
+    const double row[] = {static_cast<double>(i)};
+    EXPECT_TRUE(items.AddItem(row, "item-" + std::to_string(i)).ok());
+  }
+  Dataset dataset(std::move(items));
+  const UserId alice = dataset.AddUser("alice");
+  const UserId bob = dataset.AddUser("bob");
+  dataset.AddUser("carol");  // no actions yet
+  EXPECT_TRUE(dataset.AddAction(alice, 10, 0).ok());
+  EXPECT_TRUE(dataset.AddAction(alice, 20, 1).ok());
+  EXPECT_TRUE(dataset.AddAction(alice, 30, 2).ok());
+  EXPECT_TRUE(dataset.AddAction(bob, 15, 3).ok());
+  return dataset;
+}
+
+Status AppendAll(const std::string& log_path,
+                 const std::vector<IngestRecord>& records) {
+  Result<std::unique_ptr<IngestLogWriter>> writer =
+      IngestLogWriter::Open(log_path);
+  if (!writer.ok()) return writer.status();
+  for (const IngestRecord& record : records) {
+    UPSKILL_RETURN_IF_ERROR(writer.value()->Append(record));
+  }
+  return writer.value()->Sync();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CompactTest, MergesLogIntoBaseByTime) {
+  const std::string base_path = TempPath("merge_base.store");
+  const std::string log_path = TempPath("merge.ingest");
+  const std::string out_path = TempPath("merge_out.store");
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(PackDataset(MakeBase(), base_path).ok());
+  ASSERT_TRUE(AppendAll(log_path,
+                        {
+                            {"alice", 25, 4, 1.0},  // lands between 20 and 30
+                            {"dave", 7, 5, 2.0},    // new user
+                            {"alice", 5, 3, 3.0},   // before everything
+                            {"erin", 9, 0, 4.0},    // second new user
+                            {"alice", 20, 5, 5.0},  // ties base@20: base wins
+                            {"bob", 15, 1, 6.0},    // ties base@15: base wins
+                        })
+                  .ok());
+
+  Result<CompactStats> stats = CompactStore(base_path, log_path, out_path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().base_users, 3u);
+  EXPECT_EQ(stats.value().base_actions, 4u);
+  EXPECT_EQ(stats.value().log_records, 6u);
+  EXPECT_EQ(stats.value().new_users, 2u);
+  EXPECT_EQ(stats.value().total_actions, 10u);
+
+  Result<StoreReader> reader = StoreReader::Open(out_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  Result<Dataset> mapped = reader.value().MapDataset();
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const Dataset& merged = mapped.value();
+  ASSERT_EQ(merged.num_users(), 5);
+  EXPECT_EQ(merged.user_name(0), "alice");
+  EXPECT_EQ(merged.user_name(3), "dave");  // first-appearance order
+  EXPECT_EQ(merged.user_name(4), "erin");
+
+  // alice: log@5, base@10, base@20 then log@20 (base wins the tie),
+  // log@25, base@30.
+  const std::span<const Action> alice = merged.sequence(0);
+  ASSERT_EQ(alice.size(), 6u);
+  const int64_t times[] = {5, 10, 20, 20, 25, 30};
+  const ItemId items[] = {3, 0, 1, 5, 4, 2};
+  for (size_t n = 0; n < alice.size(); ++n) {
+    EXPECT_EQ(alice[n].time, times[n]) << n;
+    EXPECT_EQ(alice[n].item, items[n]) << n;
+  }
+  const std::span<const Action> bob = merged.sequence(1);
+  ASSERT_EQ(bob.size(), 2u);
+  EXPECT_EQ(bob[0].item, 3);  // base first at the tied time
+  EXPECT_EQ(bob[1].item, 1);
+  EXPECT_EQ(merged.sequence(2).size(), 0u);  // carol untouched
+  ASSERT_EQ(merged.sequence(3).size(), 1u);
+  EXPECT_EQ(merged.sequence(3)[0].item, 5);
+  EXPECT_EQ(merged.sequence(3)[0].rating, 2.0);
+}
+
+TEST(CompactTest, DeterministicAndStepwiseComposable) {
+  const std::string base_path = TempPath("steps_base.store");
+  ASSERT_TRUE(PackDataset(MakeBase(), base_path).ok());
+  const std::vector<IngestRecord> first = {
+      {"alice", 40, 0, 1.0}, {"frank", 1, 2, 2.0}, {"bob", 12, 4, 3.0}};
+  const std::vector<IngestRecord> second = {
+      {"frank", 2, 3, 4.0}, {"alice", 35, 5, 5.0}};
+
+  // One-shot: base + (first ++ second).
+  const std::string log_all = TempPath("steps_all.ingest");
+  std::remove(log_all.c_str());
+  std::vector<IngestRecord> all = first;
+  all.insert(all.end(), second.begin(), second.end());
+  ASSERT_TRUE(AppendAll(log_all, all).ok());
+  const std::string out_one = TempPath("steps_one.store");
+  ASSERT_TRUE(CompactStore(base_path, log_all, out_one).ok());
+
+  // Two-step: (base + first) + second.
+  const std::string log_first = TempPath("steps_first.ingest");
+  const std::string log_second = TempPath("steps_second.ingest");
+  std::remove(log_first.c_str());
+  std::remove(log_second.c_str());
+  ASSERT_TRUE(AppendAll(log_first, first).ok());
+  ASSERT_TRUE(AppendAll(log_second, second).ok());
+  const std::string mid = TempPath("steps_mid.store");
+  const std::string out_two = TempPath("steps_two.store");
+  ASSERT_TRUE(CompactStore(base_path, log_first, mid).ok());
+  ASSERT_TRUE(CompactStore(mid, log_second, out_two).ok());
+
+  EXPECT_EQ(ReadFile(out_one), ReadFile(out_two));
+
+  // And rerunning the one-shot compaction reproduces identical bytes.
+  const std::string out_again = TempPath("steps_again.store");
+  ASSERT_TRUE(CompactStore(base_path, log_all, out_again).ok());
+  EXPECT_EQ(ReadFile(out_one), ReadFile(out_again));
+}
+
+TEST(CompactTest, EmptyLogCopiesTheBase) {
+  const std::string base_path = TempPath("copy_base.store");
+  const std::string out_path = TempPath("copy_out.store");
+  ASSERT_TRUE(PackDataset(MakeBase(), base_path).ok());
+  const std::string log_path = TempPath("copy_missing.ingest");
+  std::remove(log_path.c_str());
+  Result<CompactStats> stats = CompactStore(base_path, log_path, out_path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().log_records, 0u);
+  EXPECT_EQ(ReadFile(out_path), ReadFile(base_path));
+}
+
+TEST(CompactTest, RejectsLogItemsOutsideTheBaseTable) {
+  const std::string base_path = TempPath("reject_base.store");
+  const std::string log_path = TempPath("reject.ingest");
+  const std::string out_path = TempPath("reject_out.store");
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(PackDataset(MakeBase(), base_path).ok());
+  ASSERT_TRUE(AppendAll(log_path, {{"alice", 50, 99, 1.0}}).ok());
+  Result<CompactStats> stats = CompactStore(base_path, log_path, out_path);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace upskill

@@ -1,0 +1,211 @@
+// The continuous-learning loop, end to end at the library level
+// (DESIGN.md §10): pack a base store → serve from a trained snapshot with
+// the ingest hook teeing observations into the append-only log → compact
+// base + log into a merged store → full-replay online training over the
+// merged mapping is bitwise equal (parameters, assignments, snapshot
+// bytes) to an offline retrain over the equivalent in-RAM dataset → an
+// incremental Refresh from the base state produces a servable snapshot
+// that hot-swaps into the running server.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/difficulty.h"
+#include "core/online_trainer.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "store/compact.h"
+#include "store/ingest_log.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
+
+namespace upskill {
+namespace {
+
+std::vector<std::vector<double>> ModelParams(const SkillModel& model) {
+  std::vector<std::vector<double>> params;
+  for (int f = 0; f < model.num_features(); ++f) {
+    for (int s = 1; s <= model.num_levels(); ++s) {
+      params.push_back(model.component(f, s).Parameters());
+    }
+  }
+  return params;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string SnapshotBytesFor(const SkillModel& model, const Dataset& dataset,
+                             const SkillAssignments& assignments,
+                             const std::string& path) {
+  auto snapshot = serve::MakeSnapshot(
+      model, dataset.items(),
+      EstimateDifficultyByAssignment(dataset, assignments));
+  EXPECT_TRUE(snapshot.ok());
+  EXPECT_TRUE(serve::SaveSnapshot(snapshot.value(), path).ok());
+  return FileBytes(path);
+}
+
+TEST(ContinuousLoopTest, ServeIngestCompactRetrainHotSwap) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("upskill_loop_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string base_store = dir + "/base.store";
+  const std::string log_path = dir + "/ingest.log";
+  const std::string merged_store = dir + "/merged.store";
+
+  // --- Base: synthetic dataset, packed store, trained snapshot. ---
+  datagen::SyntheticConfig data_config;
+  data_config.num_users = 50;
+  data_config.num_items = 40;
+  data_config.mean_sequence_length = 15.0;
+  data_config.seed = 20260808;
+  auto data = datagen::GenerateSynthetic(data_config);
+  ASSERT_TRUE(data.ok());
+  const Dataset& base = data.value().dataset;
+  ASSERT_TRUE(store::PackDataset(base, base_store).ok());
+
+  SkillModelConfig config;
+  config.num_levels = 3;
+  config.max_iterations = 5;
+  config.min_init_actions = 5;
+  auto trained = Trainer(config).Train(base);
+  ASSERT_TRUE(trained.ok());
+  const std::string serve_snap = dir + "/serve.snap";
+  SnapshotBytesFor(trained.value().model, base, trained.value().assignments,
+                   serve_snap);
+  auto serving = serve::ServingModel::FromSnapshotFile(serve_snap);
+  ASSERT_TRUE(serving.ok()) << serving.status().ToString();
+
+  // --- Serve with the ingest hook: every successful Observe is teed
+  // into the append-only log, exactly as `serve --ingest-log` wires it. ---
+  serve::Server server(serving.value(), /*num_shards=*/4);
+  auto log = store::IngestLogWriter::Open(log_path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  store::IngestLogWriter* log_writer = log.value().get();
+  server.SetObserveHook(
+      [log_writer](const std::string& user, ItemId item, int64_t time) {
+        ASSERT_TRUE(log_writer->Append({user, time, item}).ok());
+      });
+
+  // Observations: two existing users (appended strictly after their base
+  // history, so the expected merge is base-sequence + log-order tail) and
+  // one user the base store has never seen.
+  struct Observation {
+    std::string user;
+    int64_t time;
+    ItemId item;
+  };
+  std::vector<Observation> observations;
+  for (const UserId u : {UserId{0}, UserId{2}}) {
+    const auto seq = base.sequence(u);
+    ASSERT_FALSE(seq.empty());
+    for (int k = 0; k < 3; ++k) {
+      observations.push_back(
+          {base.user_name(u), seq.back().time + 1 + k,
+           static_cast<ItemId>((u * 11 + k * 3) % base.items().num_items())});
+    }
+  }
+  for (int k = 0; k < 5; ++k) {
+    observations.push_back({"brand-new", 100 + k,
+                            static_cast<ItemId>((k * 7) %
+                                                base.items().num_items())});
+  }
+  for (const Observation& ob : observations) {
+    auto level = server.Observe(ob.user, ob.item, ob.time, /*has_time=*/true);
+    ASSERT_TRUE(level.ok()) << level.status().ToString();
+  }
+  ASSERT_TRUE(log_writer->Sync().ok());
+  EXPECT_EQ(log_writer->appended(), observations.size());
+
+  // --- Compact: fold the log into the base store. ---
+  auto compacted = store::CompactStore(base_store, log_path, merged_store);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_EQ(compacted.value().log_records, observations.size());
+  EXPECT_EQ(compacted.value().new_users, 1u);
+  EXPECT_EQ(compacted.value().total_actions,
+            base.num_actions() + observations.size());
+
+  auto reader = store::StoreReader::Open(merged_store);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto mapped = reader.value().MapDataset();
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  // --- The determinism story: full replay over base + log, running on
+  // the zero-copy mapping, is bitwise equal to an offline retrain over
+  // the equivalent in-RAM dataset. ---
+  Dataset expected(base.items());
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    expected.AddUser(base.user_name(u));
+    for (const Action& a : base.sequence(u)) {
+      ASSERT_TRUE(expected.AddAction(u, a.time, a.item, a.rating).ok());
+    }
+  }
+  const UserId fresh = expected.AddUser("brand-new");
+  for (const Observation& ob : observations) {
+    const UserId u = ob.user == "brand-new"
+                         ? fresh
+                         : (ob.user == base.user_name(0) ? UserId{0}
+                                                         : UserId{2});
+    ASSERT_TRUE(expected.AddAction(u, ob.time, ob.item).ok());
+  }
+  ASSERT_EQ(mapped.value().num_users(), expected.num_users());
+  ASSERT_EQ(mapped.value().num_actions(), expected.num_actions());
+
+  auto offline = Trainer(config).Train(expected);
+  ASSERT_TRUE(offline.ok());
+  OnlineTrainer online(config);
+  auto replay = online.TrainFullReplay(mapped.value());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(ModelParams(offline.value().model), ModelParams(online.model()));
+  EXPECT_EQ(offline.value().assignments, online.assignments());
+  EXPECT_EQ(SnapshotBytesFor(offline.value().model, expected,
+                             offline.value().assignments,
+                             dir + "/offline.snap"),
+            SnapshotBytesFor(online.model(), mapped.value(),
+                             online.assignments(), dir + "/replay.snap"));
+
+  // --- The incremental path: refresh the base-trained state over the
+  // merged mapping (only the three dirty users pay), snapshot it, and
+  // hot-swap the running server. ---
+  OnlineTrainer incremental(config);
+  ASSERT_TRUE(incremental.TrainFullReplay(base).ok());
+  auto stats = incremental.Refresh(base, mapped.value());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().dirty_users, 3u);
+  EXPECT_EQ(stats.value().new_users, 1u);
+  // Dirty users are re-solved whole: their full sequences are subtracted
+  // and re-added, so the net grid growth is exactly the new observations.
+  EXPECT_EQ(stats.value().actions_added - stats.value().actions_removed,
+            observations.size());
+
+  const std::string refreshed_snap = dir + "/refreshed.snap";
+  SnapshotBytesFor(incremental.model(), mapped.value(),
+                   incremental.assignments(), refreshed_snap);
+  ASSERT_TRUE(server.SwapSnapshotFile(refreshed_snap).ok());
+  // Sessions carry across the same-S swap; serving continues.
+  auto after = server.Observe("brand-new", 1, 200, /*has_time=*/true);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GE(after.value().level, 1);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace upskill
