@@ -1,0 +1,193 @@
+// Per-backend exec-layer benchmarks: the two pipeline-level sharded
+// kernels (assignment DP sweep and the parameter refit) driven through
+// each registered exec::Backend — serial, pool, and numa. The kernels are
+// bitwise deterministic across backends (tests/exec/determinism_test.cc),
+// so the only thing these benches measure is scheduling: dispatch
+// overhead at shards=1, scaling at shards=4/16, and — on multi-socket
+// hosts — the NUMA backend's node-sticky placement. Every entry records
+// its backend in the benchmark name plus `threads` / `shards` / `nodes` /
+// `steals` counters so BENCH_PR9.json slices cleanly per backend.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/skill_model.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "exec/backend.h"
+#include "exec/backend_registry.h"
+#include "exec/workspace.h"
+
+namespace upskill {
+namespace {
+
+// Same synthetic fixture as bench_micro's pipeline benches, so the
+// per-backend numbers here are directly comparable against the pool-only
+// BM_AssignSkillsSharded / BM_FitParametersSharded entries recorded in
+// BENCH_PR4.json.
+const datagen::GeneratedData& PipelineData() {
+  static const datagen::GeneratedData* data = [] {
+    datagen::SyntheticConfig config;
+    config.num_users = 500;
+    config.num_items = 2000;
+    config.mean_sequence_length = 40.0;
+    auto result = datagen::GenerateSynthetic(config);
+    return new datagen::GeneratedData(std::move(result).value());
+  }();
+  return *data;
+}
+
+const TrainResult& PipelineModel() {
+  static const TrainResult* result = [] {
+    SkillModelConfig config;
+    config.num_levels = 5;
+    config.min_init_actions = 25;
+    config.max_iterations = 10;
+    Trainer trainer(config);
+    auto trained = trainer.Train(PipelineData().dataset);
+    return new TrainResult(std::move(trained).value());
+  }();
+  return *result;
+}
+
+// Builds the named backend sized for `threads` and installs it on a fresh
+// ExecContext; null on registry failure (reported through the state).
+std::shared_ptr<exec::Backend> MakeBackend(benchmark::State& state,
+                                           const std::string& name,
+                                           int threads) {
+  auto backend = exec::CreateBackend(name, threads);
+  if (!backend.ok()) {
+    state.SkipWithError(backend.status().message().c_str());
+    return nullptr;
+  }
+  return std::move(backend).value();
+}
+
+void RecordBackendCounters(benchmark::State& state,
+                           const exec::Backend& backend, int threads,
+                           int shards, uint64_t steals_before) {
+  state.counters["threads"] = threads;
+  state.counters["shards"] = shards;
+  state.counters["nodes"] = static_cast<double>(backend.num_nodes());
+  state.counters["steals"] =
+      static_cast<double>(backend.steal_count() - steals_before);
+}
+
+void ExecAssignSharded(benchmark::State& state, const std::string& name) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const int threads = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  std::shared_ptr<exec::Backend> backend = MakeBackend(state, name, threads);
+  if (backend == nullptr) return;
+  ParallelOptions parallel;
+  parallel.num_threads = threads;
+  parallel.users = true;
+  exec::ExecContext context;
+  context.SetBackend(backend);
+  const std::vector<double> cache =
+      trained.model.ItemLogProbCache(data.dataset.items());
+  AssignmentEngine engine(data.dataset, trained.model.num_levels(), shards,
+                          &context);
+  const uint64_t steals_before = backend->steal_count();
+  for (auto _ : state) {
+    engine.Assign(trained.model, cache, /*transitions=*/nullptr,
+                  /*pool=*/nullptr, parallel);
+  }
+  RecordBackendCounters(state, *backend, threads, shards, steals_before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
+
+void ExecFitSharded(benchmark::State& state, const std::string& name) {
+  const auto& data = PipelineData();
+  const auto& trained = PipelineModel();
+  const int threads = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  std::shared_ptr<exec::Backend> backend = MakeBackend(state, name, threads);
+  if (backend == nullptr) return;
+  ParallelOptions parallel;
+  parallel.num_threads = threads;
+  parallel.users = true;
+  parallel.levels = true;
+  parallel.features = true;
+  SkillModelConfig config = trained.model.config();
+  config.num_shards = shards;
+  auto model = SkillModel::Create(trained.model.schema(), config);
+  if (!model.ok()) {
+    state.SkipWithError("SkillModel::Create failed");
+    return;
+  }
+  exec::ExecContext context;
+  context.SetBackend(backend);
+  const uint64_t steals_before = backend->steal_count();
+  for (auto _ : state) {
+    FitParameters(data.dataset, trained.assignments, &model.value(),
+                  /*pool=*/nullptr, parallel, &context);
+  }
+  RecordBackendCounters(state, *backend, threads, shards, steals_before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_actions()));
+}
+
+// Same env knob as bench_micro's sharded sweeps (scripts/bench.sh
+// --threads exports it); defaults to {1, 8}.
+std::vector<int> SweepThreadCounts() {
+  std::vector<int> threads;
+  if (const char* env = std::getenv("UPSKILL_BENCH_THREADS")) {
+    std::istringstream in(env);
+    int value = 0;
+    while (in >> value) {
+      if (value > 0) threads.push_back(value);
+    }
+  }
+  if (threads.empty()) threads = {1, 8};
+  return threads;
+}
+
+void RegisterExecSweeps() {
+  static const char* kBackends[] = {"serial", "pool", "numa"};
+  for (const char* backend : kBackends) {
+    const std::string name(backend);
+    for (const int threads : SweepThreadCounts()) {
+      // The serial backend ignores the thread count; one entry per shard
+      // count is enough and keeps the sweep free of duplicate rows.
+      if (name == "serial" && threads != SweepThreadCounts().front()) {
+        continue;
+      }
+      const int effective_threads = name == "serial" ? 1 : threads;
+      for (const int shards : {1, 4, 16}) {
+        benchmark::RegisterBenchmark(
+            ("BM_AssignSkillsSharded/backend:" + name).c_str(),
+            [name](benchmark::State& state) {
+              ExecAssignSharded(state, name);
+            })
+            ->Args({effective_threads, shards});
+        benchmark::RegisterBenchmark(
+            ("BM_FitParametersSharded/backend:" + name).c_str(),
+            [name](benchmark::State& state) { ExecFitSharded(state, name); })
+            ->Args({effective_threads, shards});
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upskill
+
+int main(int argc, char** argv) {
+  upskill::RegisterExecSweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  upskill::bench::MaybeWriteMetricsDump();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -56,6 +56,8 @@
 #include "datagen/film.h"
 #include "datagen/language.h"
 #include "datagen/synthetic.h"
+#include "exec/backend.h"
+#include "exec/backend_registry.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -100,7 +102,7 @@ struct Args {
 const std::set<std::string> kValueFlags = {
     "users", "seed",    "levels", "threads", "user",  "out",
     "top",   "stretch", "prior",  "min",     "max",   "shards",
-    "metrics-out", "trace-out",
+    "backend", "metrics-out", "trace-out",
     "listen", "net-workers", "deadline-ms", "max-conns",
     "checkpoint", "previous", "ingest-log",
 };
@@ -159,6 +161,9 @@ int Usage() {
       "  select-levels <data_dir> [--min 2] [--max 8]\n"
       "  train <data_dir> <model_out.csv> [--levels S] [--em]\n"
       "        [--transitions] [--threads N] [--verbose]\n"
+      "        [--backend serial|pool|numa]   (execution backend; results\n"
+      "        are bitwise identical across backends — default picks pool\n"
+      "        when --threads > 1 and serial otherwise)\n"
       "        [--metrics-out metrics.prom] [--trace-out trace.json]\n"
       "        [--from-store]   (read a packed .store instead of CSVs)\n"
       "        [--online --checkpoint ck.bin [--previous prev.store]]\n"
@@ -178,6 +183,8 @@ int Usage() {
       "  dataset inspect <file.store>\n"
       "  dataset compact <base.store> <log.ingest> <out.store>\n"
       "  serve <snapshot.snap> [--threads N] [--shards N] [--quantized]\n"
+      "        [--backend serial|pool|numa]   (backend for snapshot\n"
+      "        builds, requantization, and batch fan-out)\n"
       "        [--ingest-log log.ingest]   (tee observed actions into the\n"
       "        append-only store log for later compaction + refresh)\n"
       "        (newline-delimited protocol on stdin/stdout; see README)\n"
@@ -300,6 +307,7 @@ SkillModelConfig ConfigFromArgs(const Args& args) {
   if (args.HasFlag("transitions")) {
     config.transitions = TransitionModel::kGlobal;
   }
+  config.backend = args.StringFlag("backend", "");
   return config;
 }
 
@@ -694,16 +702,23 @@ int CmdServe(const Args& args) {
   const int threads = static_cast<int>(args.IntFlag("threads", 1));
   const int shards = static_cast<int>(args.IntFlag("shards", 64));
   const bool quantized = args.HasFlag("quantized");
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  // One execution backend for the whole serving process: the initial
+  // snapshot build here, plus (installed on the server below) every
+  // later swap/requantization and batch fan-out.
+  auto backend_result =
+      exec::CreateBackend(args.StringFlag("backend", ""), threads);
+  if (!backend_result.ok()) return Fail(backend_result.status());
+  std::shared_ptr<exec::Backend> backend = std::move(backend_result).value();
 
   const auto model =
-      serve::ServingModel::FromSnapshotFile(args.positional[0], pool.get());
+      serve::ServingModel::FromSnapshotFile(args.positional[0], backend.get());
   if (!model.ok()) return Fail(model.status());
   serve::Server server(model.value(), shards, quantized);
-  std::fprintf(stderr, "serving %s: %d levels, %d items, %d shards%s\n",
+  server.SetBackend(backend);
+  std::fprintf(stderr,
+               "serving %s: %d levels, %d items, %d shards, backend=%s%s\n",
                args.positional[0].c_str(), model.value()->num_levels(),
-               model.value()->num_items(), shards,
+               model.value()->num_items(), shards, backend->name(),
                quantized ? ", quantized int16 inference" : "");
 
   // --ingest-log tees every accepted observe into the append-only store
@@ -750,7 +765,8 @@ int CmdServe(const Args& args) {
         static_cast<double>(args.IntFlag("deadline-ms", 0)) / 1000.0;
     config.max_connections =
         static_cast<int>(args.IntFlag("max-conns", 4096));
-    net::NetServer net_server(&server, pool.get(), config);
+    // Swaps route through the server's installed backend (null pool).
+    net::NetServer net_server(&server, nullptr, config);
     const Status started = net_server.Start();
     if (!started.ok()) return Fail(started);
     // Tests parse this line for the actual port (--listen host:0 binds an
@@ -804,7 +820,7 @@ int CmdServe(const Args& args) {
         }
       }
       const std::vector<std::string> responses =
-          server.ExecuteBatch(requests, pool.get());
+          server.ExecuteBatch(requests);
       for (size_t i = 0; i < request_index.size(); ++i) {
         if (request_index[i] >= 0) {
           std::printf("%s\n",

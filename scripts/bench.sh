@@ -19,6 +19,9 @@
 #            rates, online refresh vs full replay, and BM_OutOfCoreScan
 #            over a store built larger than UPSKILL_STORE_BUDGET_MB
 #            (default 64; the fixture writes ~2x the budget to /tmp)
+#     exec   bench_exec: the sharded assignment/fit kernels once per
+#            execution backend (serial | pool | numa); every entry names
+#            its backend and records threads/shards/nodes/steals counters
 #
 #   --threads sweeps the sharded micro benches (BM_AssignSkillsSharded,
 #   BM_FitParametersSharded) over the given thread counts; each emitted
@@ -36,7 +39,7 @@
 # Release rerecording in BENCH_PR2.json; BENCH_PR3.json records the serve
 # suite; BENCH_PR4.json rerecords micro with the thread x shard sweep;
 # BENCH_PR6.json records the simd suite; BENCH_PR8.json records the
-# store suite.
+# store suite; BENCH_PR9.json records the exec backend suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -84,9 +87,10 @@ for SUITE in $SUITES; do
       BINARIES+=(bench_micro bench_serve) ;;
     net) RUNS+=("bench_net:"); BINARIES+=(bench_net) ;;
     store) RUNS+=("bench_store:"); BINARIES+=(bench_store) ;;
+    exec) RUNS+=("bench_exec:"); BINARIES+=(bench_exec) ;;
     *)
       echo "error: unknown suite '$SUITE'" \
-           "(want micro, serve, simd, net, or store)" >&2
+           "(want micro, serve, simd, net, store, or exec)" >&2
       exit 2 ;;
   esac
 done

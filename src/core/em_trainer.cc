@@ -8,6 +8,8 @@
 #include "common/math.h"
 #include "core/dp.h"
 #include "core/trainer.h"
+#include "exec/backend.h"
+#include "exec/backend_registry.h"
 #include "exec/map_reduce.h"
 #include "exec/workspace.h"
 
@@ -49,26 +51,30 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   const int S = config_.model.num_levels;
   const size_t levels = static_cast<size_t>(S);
 
-  std::unique_ptr<ThreadPool> pool;
-  if (config_.model.parallel.any()) {
-    pool = std::make_unique<ThreadPool>(config_.model.parallel.num_threads);
-  }
-  ThreadPool* user_pool =
-      (config_.model.parallel.users && pool != nullptr) ? pool.get() : nullptr;
+  Result<std::shared_ptr<exec::Backend>> backend_result = exec::CreateBackend(
+      config_.model.backend,
+      config_.model.parallel.any() ? config_.model.parallel.num_threads : 1);
+  if (!backend_result.ok()) return backend_result.status();
+  std::shared_ptr<exec::Backend> backend = std::move(backend_result).value();
+  exec::Backend* user_backend =
+      (config_.model.parallel.users && backend->concurrency() > 1)
+          ? backend.get()
+          : exec::SerialBackend::Get();
 
   // One sharded-execution context for the run: the E-step, the hard
   // readout, and the update step's count sweep share the same user-axis
   // shard plan and per-shard workspaces (forward/backward arenas, DP
   // arenas) across all iterations.
   exec::ExecContext exec_context;
-  exec_context.EnsureUserShards(dataset, config_.model.num_shards, pool.get());
+  exec_context.SetBackend(backend);
+  exec_context.EnsureUserShards(dataset, config_.model.num_shards);
 
   // Initialization: same uniform-segmentation hard fit as the hard
   // trainer, so the two are directly comparable.
   {
     const SkillAssignments init = InitializeAssignments(
         dataset, S, config_.model.min_init_actions);
-    FitParameters(dataset, init, &result.model, pool.get(),
+    FitParameters(dataset, init, &result.model, nullptr,
                   config_.model.parallel, &exec_context);
   }
   result.initial_distribution.assign(levels, 1.0 / static_cast<double>(S));
@@ -91,7 +97,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   double previous_ll = kNegInf;
   for (int iteration = 0; iteration < config_.model.max_iterations;
        ++iteration) {
-    log_prob_cache.Update(result.model, dataset.items(), user_pool);
+    log_prob_cache.Update(result.model, dataset.items(), user_backend);
     const std::vector<double>& cache = log_prob_cache.values();
     std::vector<double> log_initial(levels);
     for (size_t s = 0; s < levels; ++s) {
@@ -107,7 +113,8 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
     // across users and iterations; all outputs (gamma, the per-user
     // ll/ups/stays vectors) are written at user granularity, so nothing
     // depends on which thread ran which shard.
-    exec::MapShards(user_pool, exec_context.num_shards(), [&](int shard_index) {
+    exec::MapShards(user_backend, exec_context.num_shards(),
+                    [&](int shard_index) {
       const exec::DatasetShard& shard =
           exec_context.shards()[static_cast<size_t>(shard_index)];
       exec::ShardWorkspace& ws = exec_context.workspace(shard_index);
@@ -262,10 +269,11 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
     // depend on the shard count. Parallelism comes from the feature axis
     // only (independent components, disjoint writes).
     const int num_features = result.model.num_features();
-    ThreadPool* feature_pool =
-        (config_.model.parallel.features && pool != nullptr) ? pool.get()
-                                                             : nullptr;
-    exec::MapShards(feature_pool, num_features, [&](int f) {
+    exec::Backend* feature_backend =
+        (config_.model.parallel.features && backend->concurrency() > 1)
+            ? backend.get()
+            : exec::SerialBackend::Get();
+    exec::MapShards(feature_backend, num_features, [&](int f) {
       const double* column = dataset.items().column(f).data();
       std::vector<SufficientStats> stats(
           levels, result.model.component(f, 1).MakeStats());
@@ -294,7 +302,7 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   }
   const double log_up = std::log(result.level_up_probability);
   const double log_stay = std::log(1.0 - result.level_up_probability);
-  log_prob_cache.Update(result.model, dataset.items(), user_pool);
+  log_prob_cache.Update(result.model, dataset.items(), user_backend);
   const std::vector<double>& cache = log_prob_cache.values();
   result.assignments.resize(static_cast<size_t>(dataset.num_users()));
   // Fused item-indexed DP over the same user shards as the E-step, each
@@ -303,7 +311,8 @@ Result<EmTrainResult> EmTrainer::Train(const Dataset& dataset) const {
   // AssignmentEngine::Assign — the engine honors the forgetting config,
   // which the EM E-step ignores; the readout must score the exact model
   // EM fitted.)
-  exec::MapShards(user_pool, exec_context.num_shards(), [&](int shard_index) {
+  exec::MapShards(user_backend, exec_context.num_shards(),
+                  [&](int shard_index) {
     const exec::DatasetShard& shard =
         exec_context.shards()[static_cast<size_t>(shard_index)];
     exec::ShardWorkspace& ws = exec_context.workspace(shard_index);

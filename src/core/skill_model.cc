@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "dist/categorical.h"
+#include "exec/backend.h"
 #include "dist/gamma.h"
 #include "dist/lognormal.h"
 #include "dist/poisson.h"
@@ -117,6 +118,13 @@ std::vector<double> SkillModel::ItemLogProbCache(const ItemTable& items,
   return std::move(cache).TakeValues();
 }
 
+std::vector<double> SkillModel::ItemLogProbCache(
+    const ItemTable& items, exec::Backend* backend) const {
+  LogProbCache cache;
+  cache.Update(*this, items, backend);
+  return std::move(cache).TakeValues();
+}
+
 namespace {
 // Items per parallel task when refreshing cache columns/totals; large
 // enough to amortize dispatch, small enough to spread dirty cells over
@@ -126,6 +134,13 @@ constexpr size_t kCacheBlock = 2048;
 
 void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
                           ThreadPool* pool) {
+  exec::BackendChoice choice;
+  Update(model, items, choice.Resolve(nullptr, pool));
+}
+
+void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
+                          exec::Backend* backend) {
+  if (backend == nullptr) backend = exec::SerialBackend::Get();
   const int levels = model.num_levels();
   const int features = model.num_features();
   const size_t num_items = static_cast<size_t>(items.num_items());
@@ -188,9 +203,9 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
         features_with_logs.push_back(f);
       }
     }
-    // Raw ParallelFor on purpose (parallelism audit): (feature, block)
+    // RunIndices on purpose (parallelism audit): (feature, block)
     // indexed, disjoint scratch slices, no cross-task reduction.
-    ParallelFor(pool, 0, features_with_logs.size() * blocks, [&](size_t task) {
+    backend->RunIndices(0, features_with_logs.size() * blocks, [&](size_t task) {
       const int f = features_with_logs[task / blocks];
       const size_t begin = (task % blocks) * kCacheBlock;
       const size_t count = std::min(num_items - begin, kCacheBlock);
@@ -204,11 +219,11 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
     });
   }
 
-  // Raw ParallelFor on purpose (parallelism audit): the cache is indexed
+  // RunIndices on purpose (parallelism audit): the cache is indexed
   // by (cell, item-block) — not by user — so the exec-layer user shards
   // don't apply; every task writes a disjoint column slice and no floats
   // are reduced across tasks, so scheduling cannot affect the values.
-  ParallelFor(pool, 0, dirty_cells.size() * blocks, [&](size_t task) {
+  backend->RunIndices(0, dirty_cells.size() * blocks, [&](size_t task) {
     const size_t cell = dirty_cells[task / blocks];
     const size_t begin = (task % blocks) * kCacheBlock;
     const size_t count = std::min(num_items - begin, kCacheBlock);
@@ -239,9 +254,9 @@ void LogProbCache::Update(const SkillModel& model, const ItemTable& items,
   // per-item dirty flags are written race-free; comparing the rebuilt
   // total against the stored one is what refines cell-level dirt down to
   // item granularity for the assignment step's dirty-user skipping.
-  // Raw ParallelFor on purpose (parallelism audit): item-block indexed,
+  // RunIndices on purpose (parallelism audit): item-block indexed,
   // per-item serial feature sums — thread count cannot move a rounding.
-  ParallelFor(pool, 0, blocks, [&](size_t block) {
+  backend->RunIndices(0, blocks, [&](size_t block) {
     const size_t begin = block * kCacheBlock;
     const size_t end = std::min(num_items, begin + kCacheBlock);
     for (size_t item = begin; item < end; ++item) {

@@ -13,6 +13,10 @@
 
 namespace upskill {
 
+namespace exec {
+class Backend;
+}  // namespace exec
+
 /// Which of the three parallelization axes from Section IV-C the trainer
 /// uses (Table XIII / Figure 7 sweep them independently):
 ///  - `users`:    the assignment step runs one user sequence per task;
@@ -98,6 +102,14 @@ struct SkillModelConfig {
   /// DP (results are provably identical either way). Disable to force a
   /// full DP pass every iteration (equivalence tests, benchmarks).
   bool incremental_assignment = true;
+  /// Execution backend name resolved through exec::BackendRegistry
+  /// ("serial", "pool", "numa", or a later-registered backend). Empty or
+  /// "auto" picks "pool" when parallel.any() and "serial" otherwise.
+  /// Backend choice only moves scheduling across threads and NUMA nodes;
+  /// fitted parameters, assignments, objectives, eval reports, and
+  /// snapshot bytes are bitwise identical for every backend (enforced by
+  /// the tests/exec backend sweep).
+  std::string backend;
 };
 
 /// Per-action skill levels Sigma: assignments[u][n] is the 1-based level of
@@ -151,6 +163,10 @@ class SkillModel {
   std::vector<double> ItemLogProbCache(const ItemTable& items,
                                        ThreadPool* pool = nullptr) const;
 
+  /// Backend form: parallelizes through `backend` (null = serial).
+  std::vector<double> ItemLogProbCache(const ItemTable& items,
+                                       exec::Backend* backend) const;
+
   /// Serializes all component parameters as CSV.
   Status Save(const std::string& path) const;
 
@@ -191,6 +207,11 @@ class LogProbCache {
   /// change (item count, levels, or features) invalidates everything.
   void Update(const SkillModel& model, const ItemTable& items,
               ThreadPool* pool = nullptr);
+
+  /// Backend form: the block loops below dispatch through `backend`
+  /// (null = serial). The ThreadPool overload wraps and forwards here.
+  void Update(const SkillModel& model, const ItemTable& items,
+              exec::Backend* backend);
 
   /// Item-major totals, valid after Update(); entry [item * S + (level-1)].
   const std::vector<double>& values() const { return totals_; }

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/dp.h"
+#include "exec/backend.h"
+#include "exec/backend_registry.h"
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
 #include "obs/metrics.h"
@@ -66,31 +68,32 @@ constexpr size_t kMinItemsForParallelTransform = 65536;
 // selected by ParallelOptions: both axes flat, one axis with the other
 // nested inside the task, or fully sequential. Mirrors the paper's
 // separate "skill" and "feature" parallelization conditions.
-// Raw ParallelFor on purpose (parallelism audit): cell-indexed, not
+// Backend::RunIndices on purpose (parallelism audit): cell-indexed, not
 // user-indexed — each cell refits its own component (disjoint writes)
 // from an already-merged count grid, so the exec-layer user shards don't
 // apply and scheduling cannot affect the fitted parameters.
 template <typename FitCell>
-void DispatchCells(ThreadPool* pool, ParallelOptions parallel, int num_levels,
-                   int num_features, const FitCell& fit_cell) {
-  const bool parallel_levels = parallel.levels && pool != nullptr;
-  const bool parallel_features = parallel.features && pool != nullptr;
+void DispatchCells(exec::Backend* backend, ParallelOptions parallel,
+                   int num_levels, int num_features, const FitCell& fit_cell) {
+  const bool concurrent = backend != nullptr && backend->concurrency() > 1;
+  const bool parallel_levels = parallel.levels && concurrent;
+  const bool parallel_features = parallel.features && concurrent;
   if (parallel_levels && parallel_features) {
-    ParallelFor(pool, 0,
-                static_cast<size_t>(num_levels) *
-                    static_cast<size_t>(num_features),
-                [&](size_t index) {
-                  fit_cell(static_cast<int>(index) % num_features,
-                           1 + static_cast<int>(index) / num_features);
-                });
+    backend->RunIndices(0,
+                        static_cast<size_t>(num_levels) *
+                            static_cast<size_t>(num_features),
+                        [&](size_t index) {
+                          fit_cell(static_cast<int>(index) % num_features,
+                                   1 + static_cast<int>(index) / num_features);
+                        });
   } else if (parallel_levels) {
-    ParallelFor(pool, 0, static_cast<size_t>(num_levels), [&](size_t s) {
+    backend->RunIndices(0, static_cast<size_t>(num_levels), [&](size_t s) {
       for (int f = 0; f < num_features; ++f) {
         fit_cell(f, static_cast<int>(s) + 1);
       }
     });
   } else if (parallel_features) {
-    ParallelFor(pool, 0, static_cast<size_t>(num_features), [&](size_t f) {
+    backend->RunIndices(0, static_cast<size_t>(num_features), [&](size_t f) {
       for (int s = 1; s <= num_levels; ++s) {
         fit_cell(static_cast<int>(f), s);
       }
@@ -161,7 +164,7 @@ struct TrainInstruments {
 
 void FitCellsFromCountGrid(const ItemTable& items,
                            std::span<const double> level_counts,
-                           SkillModel* model, ThreadPool* pool,
+                           SkillModel* model, exec::Backend* backend,
                            ParallelOptions parallel) {
   UPSKILL_CHECK(model != nullptr);
   const int num_levels = model->num_levels();
@@ -169,8 +172,11 @@ void FitCellsFromCountGrid(const ItemTable& items,
   const size_t num_items = static_cast<size_t>(items.num_items());
   UPSKILL_CHECK(level_counts.size() ==
                 static_cast<size_t>(num_levels) * num_items);
-  ThreadPool* update_pool =
-      (parallel.levels || parallel.features) ? pool : nullptr;
+  if (backend == nullptr) backend = exec::SerialBackend::Get();
+  exec::Backend* update_backend =
+      ((parallel.levels || parallel.features) && backend->concurrency() > 1)
+          ? backend
+          : exec::SerialBackend::Get();
 
   // Positive-support kinds take a log per observation in the flat
   // formulation; hoisting log(max(x, floor)) per *item* makes the whole
@@ -196,12 +202,13 @@ void FitCellsFromCountGrid(const ItemTable& items,
     logs.resize(num_items);
     const double* column = items.column(f).data();
     // One log per item is light work; fan out only for large catalogs
-    // where the column transform outweighs the dispatch. Raw ParallelFor
-    // on purpose (parallelism audit): item-indexed with one independent
+    // where the column transform outweighs the dispatch. RunIndices on
+    // purpose (parallelism audit): item-indexed with one independent
     // write per item — no reduction, no user axis.
-    ThreadPool* column_pool =
-        num_items >= kMinItemsForParallelTransform ? update_pool : nullptr;
-    ParallelFor(column_pool, 0, num_items, [&](size_t item) {
+    exec::Backend* column_backend = num_items >= kMinItemsForParallelTransform
+                                        ? update_backend
+                                        : exec::SerialBackend::Get();
+    column_backend->RunIndices(0, num_items, [&](size_t item) {
       const double c = std::max(column[item], kPositiveObservationFloor);
       clamped[item] = c;
       logs[item] = std::log(c);
@@ -228,7 +235,16 @@ void FitCellsFromCountGrid(const ItemTable& items,
       model->mutable_component(feature, level)->FitFromStats(stats);
     }
   };
-  DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
+  DispatchCells(backend, parallel, num_levels, num_features, fit_cell);
+}
+
+void FitCellsFromCountGrid(const ItemTable& items,
+                           std::span<const double> level_counts,
+                           SkillModel* model, ThreadPool* pool,
+                           ParallelOptions parallel) {
+  exec::BackendChoice choice;
+  FitCellsFromCountGrid(items, level_counts, model,
+                        choice.Resolve(nullptr, pool), parallel);
 }
 
 void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
@@ -240,10 +256,20 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
   const ItemTable& items = dataset.items();
   const size_t num_items = static_cast<size_t>(items.num_items());
 
-  // The accumulation pass fans out whenever the update step is parallel on
+  exec::ExecContext local_context;
+  exec::ExecContext& ctx =
+      exec_context != nullptr ? *exec_context : local_context;
+  // Backend resolution: a context-installed backend wins (Trainer/EM run
+  // everything through one registry-built backend); otherwise the legacy
+  // ThreadPool* argument is wrapped for the call's duration. The
+  // accumulation pass fans out whenever the update step is parallel on
   // either axis.
-  ThreadPool* update_pool =
-      (parallel.levels || parallel.features) ? pool : nullptr;
+  exec::BackendChoice choice;
+  exec::Backend* backend = exec::AxisBackend(&ctx, true, pool, choice);
+  exec::Backend* update_backend =
+      ((parallel.levels || parallel.features) && backend->concurrency() > 1)
+          ? backend
+          : exec::SerialBackend::Get();
 
   // Hard assignments weight every action equally, so the only thing the
   // statistics need from the action stream is how many actions each
@@ -267,15 +293,13 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
       total_actions += dataset.sequence(u).size();
     }
   }
-  exec::ExecContext local_context;
-  exec::ExecContext& ctx =
-      exec_context != nullptr ? *exec_context : local_context;
-  ctx.EnsureUserShards(dataset, model->config().num_shards, update_pool);
+  ctx.EnsureUserShards(dataset, model->config().num_shards,
+                       static_cast<const exec::Backend*>(update_backend));
   const int num_shards = ctx.num_shards();
-  ThreadPool* count_pool =
+  exec::Backend* count_backend =
       total_actions >= grid_size * static_cast<size_t>(num_shards)
-          ? update_pool
-          : nullptr;
+          ? update_backend
+          : exec::SerialBackend::Get();
   std::vector<double> level_counts(grid_size, 0.0);
   const auto accumulate_users = [&](double* counts, UserId begin, UserId end) {
     for (UserId user = begin; user < end; ++user) {
@@ -289,10 +313,10 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
       }
     }
   };
-  if (count_pool == nullptr) {
+  if (count_backend->concurrency() <= 1) {
     accumulate_users(level_counts.data(), 0, dataset.num_users());
   } else {
-    exec::MapShards(count_pool, num_shards, [&](int shard_index) {
+    exec::MapShards(count_backend, num_shards, [&](int shard_index) {
       const exec::DatasetShard& shard =
           ctx.shards()[static_cast<size_t>(shard_index)];
       double* counts = level_counts.data();
@@ -304,9 +328,9 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
       accumulate_users(counts, shard.user_begin(), shard.user_end());
     });
     // Merge the shard partials in fixed shard order, one level row per
-    // task (raw ParallelFor on purpose: level-indexed, disjoint rows,
-    // exact integer sums — order-independent either way).
-    ParallelFor(update_pool, 0, levels_sz, [&](size_t s) {
+    // task (RunIndices on purpose: level-indexed, disjoint rows, exact
+    // integer sums — order-independent either way).
+    update_backend->RunIndices(0, levels_sz, [&](size_t s) {
       double* row = level_counts.data() + s * num_items;
       for (int k = 1; k < num_shards; ++k) {
         const double* shard_row = ctx.workspace(k).grid.data() + s * num_items;
@@ -319,7 +343,7 @@ void FitParameters(const Dataset& dataset, const SkillAssignments& assignments,
 
   // Pass 2 lives in FitCellsFromCountGrid so the online trainer can refit
   // from an incrementally maintained grid through the exact same code.
-  FitCellsFromCountGrid(items, level_counts, model, pool, parallel);
+  FitCellsFromCountGrid(items, level_counts, model, backend, parallel);
 }
 
 void FitParametersReference(const Dataset& dataset,
@@ -353,7 +377,9 @@ void FitParametersReference(const Dataset& dataset,
     for (ItemId item : members) values.push_back(items.value(item, feature));
     model->mutable_component(feature, level)->Fit(values);
   };
-  DispatchCells(pool, parallel, num_levels, num_features, fit_cell);
+  exec::BackendChoice choice;
+  DispatchCells(choice.Resolve(nullptr, pool), parallel, num_levels,
+                num_features, fit_cell);
 }
 
 AssignmentEngine::AssignmentEngine(const Dataset& dataset, int num_levels,
@@ -408,7 +434,7 @@ void AssignmentEngine::EnsureInvertedIndex() {
 
 template <typename SolveUser>
 AssignmentStats AssignmentEngine::RunPass(
-    ThreadPool* user_pool, const std::vector<uint8_t>* dirty_items,
+    exec::Backend* user_backend, const std::vector<uint8_t>* dirty_items,
     bool weights_changed, const SolveUser& solve_user) {
   const size_t num_users = static_cast<size_t>(dataset_->num_users());
   // Skipping is sound only when the previous pass exists, the transition
@@ -434,9 +460,10 @@ AssignmentStats AssignmentEngine::RunPass(
   // shard's persistent workspace (DP arena + counters), so the loop body
   // is lock-free and allocation-free in the steady state.
   exec::ExecContext& ctx = *context_;
-  ctx.EnsureUserShards(*dataset_, num_shards_request_, user_pool);
+  ctx.EnsureUserShards(*dataset_, num_shards_request_,
+                       static_cast<const exec::Backend*>(user_backend));
   const int num_shards = ctx.num_shards();
-  exec::MapShards(user_pool, num_shards, [&](int shard_index) {
+  exec::MapShards(user_backend, num_shards, [&](int shard_index) {
     const exec::DatasetShard& shard =
         ctx.shards()[static_cast<size_t>(shard_index)];
     exec::ShardWorkspace& ws = ctx.workspace(shard_index);
@@ -484,7 +511,9 @@ AssignmentStats AssignmentEngine::Assign(
     const TransitionWeights* transitions, ThreadPool* pool,
     ParallelOptions parallel, const std::vector<uint8_t>* dirty_items,
     bool weights_changed) {
-  ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
+  exec::BackendChoice choice;
+  exec::Backend* user_backend =
+      exec::AxisBackend(context_, parallel.users, pool, choice);
   const int num_levels = num_levels_;
   const ForgettingConfig& forgetting = model.config().forgetting;
   const double log_down = std::log(forgetting.drop_probability);
@@ -495,7 +524,7 @@ AssignmentStats AssignmentEngine::Assign(
   const double log_up = transitions == nullptr ? 0.0 : transitions->log_up;
   const Dataset& dataset = *dataset_;
   return RunPass(
-      user_pool, dirty_items, weights_changed,
+      user_backend, dirty_items, weights_changed,
       [&](DpScratch& scratch, size_t u) {
         std::span<const Action> seq =
             dataset.sequence(static_cast<UserId>(u));
@@ -526,11 +555,13 @@ AssignmentStats AssignmentEngine::AssignWithClasses(
     bool weights_changed) {
   UPSKILL_CHECK(!classes.empty());
   (void)model;
-  ThreadPool* user_pool = (parallel.users && pool != nullptr) ? pool : nullptr;
+  exec::BackendChoice choice;
+  exec::Backend* user_backend =
+      exec::AxisBackend(context_, parallel.users, pool, choice);
   const int num_levels = num_levels_;
   const Dataset& dataset = *dataset_;
   return RunPass(
-      user_pool, dirty_items, weights_changed,
+      user_backend, dirty_items, weights_changed,
       [&](DpScratch& scratch, size_t u) {
         std::span<const Action> seq =
             dataset.sequence(static_cast<UserId>(u));
@@ -668,10 +699,16 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
   TrainResult result;
   result.model = std::move(created).value();
 
-  std::unique_ptr<ThreadPool> pool;
-  if (config_.parallel.any()) {
-    pool = std::make_unique<ThreadPool>(config_.parallel.num_threads);
-  }
+  // Build the execution backend from the registry: an explicit
+  // config_.backend name wins; "" / "auto" resolves to the thread pool
+  // when parallelism is requested and to serial otherwise (the old
+  // "create a pool iff parallel.any()" behavior). Backend choice only
+  // moves scheduling, never results — the determinism sweep in
+  // tests/exec enforces that bitwise.
+  Result<std::shared_ptr<exec::Backend>> backend_result = exec::CreateBackend(
+      config_.backend, config_.parallel.any() ? config_.parallel.num_threads : 1);
+  if (!backend_result.ok()) return backend_result.status();
+  std::shared_ptr<exec::Backend> backend = std::move(backend_result).value();
 
   // Optional progression components, refit each iteration.
   const bool use_transitions =
@@ -685,9 +722,11 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
 
   // One sharded-execution context for the whole run: the assignment
   // engine and the update step's count sweep share the same user-axis
-  // shard plan and per-shard workspaces across all iterations.
+  // shard plan and per-shard workspaces across all iterations, all
+  // dispatched through the installed backend.
   exec::ExecContext exec_context;
-  exec_context.EnsureUserShards(dataset, config_.num_shards, pool.get());
+  exec_context.SetBackend(backend);
+  exec_context.EnsureUserShards(dataset, config_.num_shards);
 
   // Phase telemetry: every phase below runs under an obs::Span, which
   // yields the wall-clock seconds for TrainResult's per-run readouts,
@@ -702,7 +741,7 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     obs::Span span("train/init");
     const SkillAssignments init = InitializeAssignments(
         dataset, config_.num_levels, config_.min_init_actions);
-    FitParameters(dataset, init, &result.model, pool.get(), config_.parallel,
+    FitParameters(dataset, init, &result.model, nullptr, config_.parallel,
                   &exec_context);
     if (use_transitions) {
       transition_weights =
@@ -741,8 +780,10 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
   LogProbCache log_prob_cache;
   AssignmentEngine engine(dataset, config_.num_levels, config_.num_shards,
                           &exec_context);
-  ThreadPool* user_pool =
-      (config_.parallel.users && pool != nullptr) ? pool.get() : nullptr;
+  exec::Backend* user_backend =
+      (config_.parallel.users && backend->concurrency() > 1)
+          ? backend.get()
+          : exec::SerialBackend::Get();
 
   // Whether the transition weights fed to the assignment step changed
   // since the previous iteration (always true before the first pass; the
@@ -754,7 +795,7 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     instruments.iterations.Increment();
     {
       obs::Span span("train/cache", -1, iteration);
-      log_prob_cache.Update(result.model, dataset.items(), user_pool);
+      log_prob_cache.Update(result.model, dataset.items(), user_backend);
       const double seconds = span.StopSeconds();
       result.cache_seconds += seconds;
       instruments.cache_seconds.Observe(seconds);
@@ -767,11 +808,11 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
     const AssignmentStats stats =
         use_classes
             ? engine.AssignWithClasses(result.model, log_prob_cache.values(),
-                                       classes, pool.get(), config_.parallel,
+                                       classes, nullptr, config_.parallel,
                                        dirty_items, weights_changed)
             : engine.Assign(result.model, log_prob_cache.values(),
                             use_transitions ? &transition_weights : nullptr,
-                            pool.get(), config_.parallel, dirty_items,
+                            nullptr, config_.parallel, dirty_items,
                             weights_changed);
     {
       const double seconds = assign_span.StopSeconds();
@@ -805,7 +846,7 @@ Result<TrainResult> Trainer::Train(const Dataset& dataset) const {
 
     obs::Span update_span("train/update", -1, iteration);
     const SkillAssignments& assignments = engine.assignments();
-    FitParameters(dataset, assignments, &result.model, pool.get(),
+    FitParameters(dataset, assignments, &result.model, nullptr,
                   config_.parallel, &exec_context);
     if (use_transitions) {
       TransitionWeights next = FitTransitionWeights(

@@ -134,6 +134,14 @@ void FitCellsFromCountGrid(const ItemTable& items,
                            SkillModel* model, ThreadPool* pool = nullptr,
                            ParallelOptions parallel = {});
 
+/// Backend form: dispatches the per-axis cell fan-out and the large-
+/// catalog column transforms through `backend` (null = serial). The
+/// ThreadPool overload above wraps its pool and forwards here.
+void FitCellsFromCountGrid(const ItemTable& items,
+                           std::span<const double> level_counts,
+                           SkillModel* model, exec::Backend* backend,
+                           ParallelOptions parallel);
+
 /// Reference implementation of the update step: groups item occurrences
 /// into per-level buckets, then copies each (feature, level) cell's values
 /// into a buffer and calls Distribution::Fit. Kept as the equivalence
@@ -240,7 +248,7 @@ class AssignmentEngine {
 
  private:
   template <typename SolveUser>
-  AssignmentStats RunPass(ThreadPool* user_pool,
+  AssignmentStats RunPass(exec::Backend* user_backend,
                           const std::vector<uint8_t>* dirty_items,
                           bool weights_changed, const SolveUser& solve_user);
   void EnsureInvertedIndex();

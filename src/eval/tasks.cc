@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/inference.h"
+#include "exec/backend.h"
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
 
@@ -15,7 +16,17 @@ Result<ItemPredictionReport> EvaluateItemPrediction(
     const Dataset& train, const SkillAssignments& assignments,
     const SkillModel& model, const std::vector<HeldOutAction>& test, int k,
     ThreadPool* pool) {
+  exec::BackendChoice choice;
+  return EvaluateItemPrediction(train, assignments, model, test, k,
+                                choice.Resolve(nullptr, pool));
+}
+
+Result<ItemPredictionReport> EvaluateItemPrediction(
+    const Dataset& train, const SkillAssignments& assignments,
+    const SkillModel& model, const std::vector<HeldOutAction>& test, int k,
+    exec::Backend* backend) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (backend == nullptr) backend = exec::SerialBackend::Get();
   ItemPredictionReport report;
   report.reciprocal_ranks.assign(test.size(), 0.0);
   // Test cases are independent and uniform-cost, so an equal-count plan
@@ -23,12 +34,14 @@ Result<ItemPredictionReport> EvaluateItemPrediction(
   // things whose aggregation is exact (hit counts) or order-fixed
   // (first error in shard order); the reciprocal ranks land per-case.
   const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
-      test.size(), exec::ResolveShardCount(0, pool, test.size()));
+      test.size(),
+      exec::ResolveShardCount(0, static_cast<const exec::Backend*>(backend),
+                              test.size()));
   const int num_shards = plan.num_shards();
   std::vector<size_t> shard_hits(static_cast<size_t>(num_shards), 0);
   std::vector<Status> shard_errors(static_cast<size_t>(num_shards),
                                    Status::OK());
-  exec::MapShards(pool, num_shards, [&](int shard) {
+  exec::MapShards(backend, num_shards, [&](int shard) {
     const exec::IndexRange range = plan.range(shard);
     for (size_t i = range.begin; i < range.end; ++i) {
       const HeldOutAction& held = test[i];

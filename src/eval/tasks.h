@@ -38,6 +38,14 @@ Result<ItemPredictionReport> EvaluateItemPrediction(
     const SkillModel& model, const std::vector<HeldOutAction>& test,
     int k = 10, ThreadPool* pool = nullptr);
 
+/// Backend form: shards the test cases through `backend` (null = serial).
+/// The ThreadPool overload wraps and forwards here; the report is bitwise
+/// identical for every backend.
+Result<ItemPredictionReport> EvaluateItemPrediction(
+    const Dataset& train, const SkillAssignments& assignments,
+    const SkillModel& model, const std::vector<HeldOutAction>& test, int k,
+    exec::Backend* backend);
+
 /// Expected Acc@k and mean RR of ranking items uniformly at random (the
 /// sanity floor quoted in Section VI-E).
 double RandomGuessAccuracyAtK(int num_items, int k);

@@ -1,0 +1,136 @@
+#ifndef UPSKILL_EXEC_BACKEND_H_
+#define UPSKILL_EXEC_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/thread_pool.h"
+
+namespace upskill {
+namespace exec {
+
+/// Abstract execution engine behind exec::MapShards. A backend owns the
+/// *scheduling* of shard bodies and nothing else: every caller already
+/// reduces per-element (ReduceOrderedSum) or with exact integer counts
+/// merged in fixed shard order, so which thread runs which shard — the
+/// only thing a backend controls — can never change results. That is
+/// the determinism contract: outputs are bitwise identical across
+/// backends, enforced by the backend sweep in tests/exec.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Runs body(shard) exactly once for every shard in [0, num_shards).
+  /// Non-virtual on purpose: the entry point guards degenerate counts
+  /// (num_shards <= 0 returns without dispatching, so a degenerate
+  /// ShardPlan over an empty mapped store cannot reach any
+  /// implementation) and owns the obs instrumentation — per-shard
+  /// "exec/shard" spans, the slowest/mean imbalance gauge, and the
+  /// per-backend upskill_exec_shard_seconds histogram — so every
+  /// implementation inherits both.
+  void Run(int num_shards, const std::function<void(int shard)>& body);
+
+  /// Runs body(i) exactly once for every i in [begin, end): the
+  /// index-loop shape of the audited cell/item/block ParallelFor sites
+  /// in core/trainer.cc and core/skill_model.cc. Chunking is
+  /// implementation-defined; an empty range returns without
+  /// dispatching. Not instrumented (the migrated sites never were).
+  void RunIndices(size_t begin, size_t end,
+                  const std::function<void(size_t index)>& body);
+
+  /// Stable identifier ("serial", "pool", "numa", ...); labels metrics
+  /// and names the factory in the BackendRegistry.
+  virtual const char* name() const = 0;
+
+  /// Maximum concurrent execution slots, counting the calling thread;
+  /// always >= 1. ResolveShardCount sizes automatic shard counts from
+  /// this, mirroring ParallelMaxSlots on the ThreadPool path.
+  virtual int concurrency() const = 0;
+
+  /// NUMA nodes the backend schedules across (1 for single-node and
+  /// topology-blind backends).
+  virtual int num_nodes() const { return 1; }
+
+  /// Cumulative cross-node shard steals (0 for backends without
+  /// node-sticky scheduling).
+  virtual uint64_t steal_count() const { return 0; }
+
+ protected:
+  /// Scheduling core: dispatch body over [0, num_shards). Only called
+  /// with num_shards >= 1.
+  virtual void RunShards(int num_shards,
+                         const std::function<void(int shard)>& body) = 0;
+
+  /// Index-loop core; the default splits the range into contiguous
+  /// chunks (several per slot, so skewed per-index costs cannot
+  /// serialize the tail) and dispatches them through RunShards.
+  /// ThreadPoolBackend overrides this to the existing ParallelFor
+  /// machinery. Only called with a non-empty range.
+  virtual void RunIndexLoop(size_t begin, size_t end,
+                            const std::function<void(size_t index)>& body);
+};
+
+/// Inline, pool-free execution: body runs on the calling thread in
+/// shard order. Replaces the `pool == nullptr` special case everywhere.
+class SerialBackend : public Backend {
+ public:
+  /// Shared process-wide instance (stateless; safe from any thread).
+  static SerialBackend* Get();
+
+  const char* name() const override { return "serial"; }
+  int concurrency() const override { return 1; }
+
+ protected:
+  void RunShards(int num_shards,
+                 const std::function<void(int shard)>& body) override;
+  void RunIndexLoop(size_t begin, size_t end,
+                    const std::function<void(size_t index)>& body) override;
+};
+
+/// Wraps the existing ThreadPool / ParallelForChunked machinery
+/// unchanged. Either owns its pool (registry-constructed) or borrows a
+/// caller's (the stack-lifetime adapter behind the ThreadPool*-taking
+/// compatibility overloads). A null borrowed pool degenerates to inline
+/// execution, exactly like ParallelFor with a null pool.
+class ThreadPoolBackend : public Backend {
+ public:
+  /// Borrows `pool`, which must outlive the backend; null is allowed.
+  explicit ThreadPoolBackend(ThreadPool* pool) : pool_(pool) {}
+  /// Owns a new pool with max(1, num_threads) workers.
+  explicit ThreadPoolBackend(int num_threads);
+
+  const char* name() const override { return "pool"; }
+  int concurrency() const override { return ParallelMaxSlots(pool_); }
+  ThreadPool* pool() const { return pool_; }
+
+ protected:
+  void RunShards(int num_shards,
+                 const std::function<void(int shard)>& body) override;
+  void RunIndexLoop(size_t begin, size_t end,
+                    const std::function<void(size_t index)>& body) override;
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+};
+
+/// Scoped resolver for call sites migrating from ThreadPool* plumbing:
+/// an explicit backend wins; otherwise a non-null pool is wrapped in a
+/// borrowing ThreadPoolBackend stored inside this object (valid for its
+/// scope); otherwise the shared SerialBackend. Keeps the pre-backend
+/// overloads working with their exact old scheduling.
+class BackendChoice {
+ public:
+  Backend* Resolve(Backend* backend, ThreadPool* pool);
+
+ private:
+  std::optional<ThreadPoolBackend> adapter_;
+};
+
+}  // namespace exec
+}  // namespace upskill
+
+#endif  // UPSKILL_EXEC_BACKEND_H_

@@ -1,60 +1,23 @@
 #include "exec/map_reduce.h"
 
-#include <vector>
-
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "exec/backend.h"
 
 namespace upskill {
 namespace exec {
 
-namespace {
-
-obs::Gauge& ShardImbalanceGauge() {
-  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
-      "upskill_exec_shard_imbalance_ratio");
-  return gauge;
+void MapShards(Backend* backend, int num_shards,
+               const std::function<void(int shard)>& body) {
+  (backend != nullptr ? backend : SerialBackend::Get())->Run(num_shards, body);
 }
-
-}  // namespace
 
 void MapShards(ThreadPool* pool, int num_shards,
                const std::function<void(int shard)>& body) {
-  if (num_shards <= 0) return;
-  // ParallelFor's chunk size collapses to one index per chunk whenever
-  // num_shards <= 8 * threads (the common case by construction of
-  // ResolveShardCount), so shards are claimed one at a time off the
-  // atomic counter — dynamic balancing with a per-call completion latch.
-  const bool tracing = obs::TraceRecorder::Global().enabled();
-  const bool metrics = obs::MetricsEnabled();
-  if (!tracing && !metrics) {
-    ParallelFor(pool, 0, static_cast<size_t>(num_shards),
-                [&body](size_t shard) { body(static_cast<int>(shard)); });
+  if (pool == nullptr) {
+    SerialBackend::Get()->Run(num_shards, body);
     return;
   }
-  // Instrumented dispatch: one span per shard (visible as "exec/shard"
-  // rows in the Chrome trace) and, from the same clock reads, the
-  // slowest-shard/mean ratio — the single number that says whether the
-  // balanced partitioner is doing its job. Each shard writes only its own
-  // slot, so the timing array needs no synchronization beyond the loop's
-  // completion latch. Scheduling is unchanged: the body runs exactly as
-  // in the uninstrumented path, so outputs cannot differ.
-  std::vector<double> shard_seconds(static_cast<size_t>(num_shards), 0.0);
-  ParallelFor(pool, 0, static_cast<size_t>(num_shards), [&](size_t shard) {
-    obs::Span span("exec/shard", static_cast<int>(shard));
-    body(static_cast<int>(shard));
-    shard_seconds[shard] = span.StopSeconds();
-  });
-  if (metrics) {
-    double slowest = 0.0;
-    double total = 0.0;
-    for (double seconds : shard_seconds) {
-      slowest = seconds > slowest ? seconds : slowest;
-      total += seconds;
-    }
-    const double mean = total / static_cast<double>(num_shards);
-    ShardImbalanceGauge().Set(mean > 0.0 ? slowest / mean : 1.0);
-  }
+  ThreadPoolBackend adapter(pool);
+  adapter.Run(num_shards, body);
 }
 
 namespace {

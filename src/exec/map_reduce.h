@@ -10,13 +10,22 @@
 namespace upskill {
 namespace exec {
 
+class Backend;
+
 /// Runs `body(shard)` once for every shard index in [0, num_shards),
-/// dynamically scheduled across the pool's workers and the calling thread
-/// (inline when `pool` is null). Each shard index is visited exactly once,
-/// so per-shard state (a ShardWorkspace) is safe without locking; which
-/// *thread* runs which shard is nondeterministic, which is exactly why
-/// results must never depend on it — reduce per-element (ReduceOrderedSum)
-/// or with exact order-independent sums.
+/// scheduled by `backend` (inline through the shared SerialBackend when
+/// null). Each shard index is visited exactly once, so per-shard state
+/// (a ShardWorkspace) is safe without locking; which *slot* runs which
+/// shard is nondeterministic, which is exactly why results must never
+/// depend on it — reduce per-element (ReduceOrderedSum) or with exact
+/// order-independent sums. This is a thin forward to Backend::Run,
+/// which owns the num_shards <= 0 guard and the obs instrumentation.
+void MapShards(Backend* backend, int num_shards,
+               const std::function<void(int shard)>& body);
+
+/// ThreadPool compatibility form: wraps `pool` in a scoped
+/// ThreadPoolBackend (the SerialBackend when null), preserving the
+/// pre-backend call sites and their exact scheduling.
 void MapShards(ThreadPool* pool, int num_shards,
                const std::function<void(int shard)>& body);
 

@@ -1,0 +1,278 @@
+#include "exec/numa.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace upskill {
+namespace exec {
+
+namespace {
+
+// A cpulist range wider than this is treated as malformed (protects
+// against a corrupt sysfs file allocating gigabytes of ids).
+constexpr long kMaxCpusPerRange = 4096;
+
+// Run currently executing on this thread, if any: a nested Run on the
+// same backend must execute inline instead of deadlocking on run_mutex_
+// or on its own completion latch.
+thread_local const NumaBackend* tls_running_backend = nullptr;
+
+}  // namespace
+
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string piece = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding whitespace (the sysfs file ends in a newline).
+    const size_t first = piece.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    const size_t last = piece.find_last_not_of(" \t\r\n");
+    piece = piece.substr(first, last - first + 1);
+
+    char* end = nullptr;
+    const long lo = std::strtol(piece.c_str(), &end, 10);
+    if (end == piece.c_str() || lo < 0) continue;
+    long hi = lo;
+    if (*end == '-') {
+      const char* hi_begin = end + 1;
+      hi = std::strtol(hi_begin, &end, 10);
+      if (end == hi_begin) continue;
+    }
+    if (*end != '\0' || hi < lo || hi - lo > kMaxCpusPerRange) continue;
+    for (long cpu = lo; cpu <= hi; ++cpu) cpus.push_back(static_cast<int>(cpu));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology NumaTopology::SingleNode() {
+  NumaTopology topology;
+  topology.node_cpus.push_back({});
+  return topology;
+}
+
+NumaTopology NumaTopology::FromSysfs(const std::string& root) {
+  NumaTopology topology;
+  // Node ids are contiguous from 0 on every kernel this targets; a gap
+  // (possible with offlined memory nodes) just truncates the list, which
+  // degrades to fewer nodes — never to a broken backend.
+  for (int node = 0; node < 1024; ++node) {
+    std::ifstream in(root + "/node" + std::to_string(node) + "/cpulist");
+    if (!in.good()) break;
+    std::string line;
+    std::getline(in, line);
+    topology.node_cpus.push_back(ParseCpuList(line));
+  }
+  if (topology.node_cpus.empty()) return SingleNode();
+  return topology;
+}
+
+NumaTopology NumaTopology::Detect() {
+  const char* force = std::getenv("UPSKILL_FORCE_SINGLE_NODE");
+  if (force != nullptr && force[0] == '1') return SingleNode();
+  return FromSysfs("/sys/devices/system/node");
+}
+
+// Per-Run scheduling state, stack-allocated in RunShards. Workers may
+// still be inside ExecuteAs (draining already-empty cursors) after the
+// last shard completes, so the caller waits for active_workers to drop
+// to zero before letting the frame die.
+struct NumaBackend::RunState {
+  const std::function<void(int)>* body = nullptr;
+  int num_shards = 0;
+  int num_nodes = 1;
+  // Node n's home shards are [bounds[n], bounds[n + 1]).
+  std::vector<int> bounds;
+  // Per-node claim cursor: offset into the node's home range.
+  std::unique_ptr<std::atomic<int>[]> cursors;
+  // Shards executed by each node's workers (for the imbalance gauge).
+  std::unique_ptr<std::atomic<int>[]> executed;
+  std::atomic<uint64_t> steals{0};
+  std::atomic<int> completed{0};
+  std::atomic<int> active_workers{0};
+};
+
+NumaBackend::NumaBackend(int num_threads, NumaTopology topology)
+    : nodes_(std::move(topology.node_cpus)) {
+  if (nodes_.empty()) nodes_.push_back({});
+  const int worker_count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(worker_count));
+  const int node_count = static_cast<int>(nodes_.size());
+  for (int i = 0; i < worker_count; ++i) {
+    const int node = i % node_count;
+    workers_.emplace_back([this, node] { WorkerLoop(node); });
+  }
+}
+
+NumaBackend::~NumaBackend() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int NumaBackend::HomeNode(int shard, int num_shards) const {
+  const int node_count = static_cast<int>(nodes_.size());
+  if (num_shards <= 0 || node_count <= 1) return 0;
+  // bounds[n] = num_shards * n / node_count; find the range holding
+  // `shard` (node counts are tiny, so a linear walk is fine).
+  int node = 0;
+  while (node + 1 < node_count &&
+         static_cast<int64_t>(num_shards) * (node + 1) / node_count <= shard) {
+    ++node;
+  }
+  return node;
+}
+
+void NumaBackend::WorkerLoop(int node) {
+  if (!nodes_[static_cast<size_t>(node)].empty()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    bool any = false;
+    for (const int cpu : nodes_[static_cast<size_t>(node)]) {
+      if (cpu >= 0 && cpu < CPU_SETSIZE) {
+        CPU_SET(cpu, &set);
+        any = true;
+      }
+    }
+    if (any) {
+      // Best effort: a sandbox or a shrunken cpuset rejecting the mask
+      // leaves the worker unpinned, never broken.
+      (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+  }
+  uint64_t seen = 0;
+  while (true) {
+    RunState* state = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return shutting_down_ || generation_ != seen; });
+      if (shutting_down_) return;
+      seen = generation_;
+      state = state_;
+      // A run can complete and be torn down between the notify and this
+      // wake-up; state_ is nulled under the same mutex, so a stale
+      // generation bump is just a missed (already finished) run.
+      if (state == nullptr) continue;
+      state->active_workers.fetch_add(1, std::memory_order_relaxed);
+    }
+    ExecuteAs(node, *state);
+    if (state->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void NumaBackend::ExecuteAs(int node, RunState& state) {
+  const NumaBackend* previous = tls_running_backend;
+  tls_running_backend = this;
+  const auto drain = [&](int victim) {
+    const int lo = state.bounds[static_cast<size_t>(victim)];
+    const int size = state.bounds[static_cast<size_t>(victim) + 1] - lo;
+    while (true) {
+      const int offset =
+          state.cursors[victim].fetch_add(1, std::memory_order_relaxed);
+      if (offset >= size) break;
+      if (victim != node) {
+        state.steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      state.executed[node].fetch_add(1, std::memory_order_relaxed);
+      (*state.body)(lo + offset);
+      if (state.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state.num_shards) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  };
+  // Home shards first (node-sticky: keeps each shard's first-touched
+  // workspace pages local), then steal from the other nodes.
+  drain(node);
+  for (int off = 1; off < state.num_nodes; ++off) {
+    drain((node + off) % state.num_nodes);
+  }
+  tls_running_backend = previous;
+}
+
+void NumaBackend::RunShards(int num_shards,
+                            const std::function<void(int shard)>& body) {
+  // Nested dispatch from inside a shard body runs inline: blocking a
+  // worker on its own pool's completion latch would deadlock.
+  if (workers_.empty() || tls_running_backend == this) {
+    for (int shard = 0; shard < num_shards; ++shard) body(shard);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const int node_count = static_cast<int>(nodes_.size());
+  RunState state;
+  state.body = &body;
+  state.num_shards = num_shards;
+  state.num_nodes = node_count;
+  state.bounds.resize(static_cast<size_t>(node_count) + 1);
+  for (int n = 0; n <= node_count; ++n) {
+    state.bounds[static_cast<size_t>(n)] = static_cast<int>(
+        static_cast<int64_t>(num_shards) * n / node_count);
+  }
+  state.cursors.reset(new std::atomic<int>[node_count]);
+  state.executed.reset(new std::atomic<int>[node_count]);
+  for (int n = 0; n < node_count; ++n) {
+    state.cursors[n].store(0, std::memory_order_relaxed);
+    state.executed[n].store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = &state;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates as a node-0 drainer, exactly like the
+  // ThreadPool's caller-as-slot-0 convention.
+  ExecuteAs(0, state);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return state.completed.load(std::memory_order_acquire) ==
+                 state.num_shards &&
+             state.active_workers.load(std::memory_order_acquire) == 0;
+    });
+    // Null the slot under the mutex so a worker waking late sees no run
+    // and goes back to sleep; RunState is safe to destroy after this.
+    state_ = nullptr;
+  }
+  const uint64_t run_steals = state.steals.load(std::memory_order_relaxed);
+  steals_.fetch_add(run_steals, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    if (run_steals > 0) {
+      registry.GetCounter("upskill_exec_steal_total").Increment(run_steals);
+    }
+    int busiest = 0;
+    for (int n = 0; n < node_count; ++n) {
+      busiest =
+          std::max(busiest, state.executed[n].load(std::memory_order_relaxed));
+    }
+    const double mean =
+        static_cast<double>(num_shards) / static_cast<double>(node_count);
+    registry.GetGauge("upskill_exec_node_imbalance_ratio")
+        .Set(mean > 0.0 ? static_cast<double>(busiest) / mean : 1.0);
+  }
+}
+
+}  // namespace exec
+}  // namespace upskill

@@ -1,0 +1,112 @@
+#ifndef UPSKILL_EXEC_NUMA_H_
+#define UPSKILL_EXEC_NUMA_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.h"
+
+namespace upskill {
+namespace exec {
+
+/// Parses the kernel cpulist format ("0-3,8,10-11") into sorted,
+/// deduplicated cpu ids. Malformed pieces are skipped, never fatal.
+/// Used by NumaTopology; exposed for tests.
+std::vector<int> ParseCpuList(const std::string& text);
+
+/// Physical NUMA layout: one cpu set per node, discovered by reading
+/// /sys/devices/system/node/node<k>/cpulist directly — no libnuma.
+/// Anything that fails (no sysfs, unparseable files, a single-node
+/// machine, or UPSKILL_FORCE_SINGLE_NODE=1) degrades to one node with an
+/// empty cpu set, which means "don't pin": NumaBackend always works.
+struct NumaTopology {
+  /// node_cpus[n] = cpu ids of node n. An empty cpu set disables
+  /// pinning for that node's workers.
+  std::vector<std::vector<int>> node_cpus;
+
+  int num_nodes() const {
+    return node_cpus.empty() ? 1 : static_cast<int>(node_cpus.size());
+  }
+
+  /// The fallback topology: one node, no pinning.
+  static NumaTopology SingleNode();
+  /// Reads `root`/node<k>/cpulist for k = 0, 1, ... until the first
+  /// missing node directory (testable with a synthetic tree).
+  static NumaTopology FromSysfs(const std::string& root);
+  /// FromSysfs("/sys/devices/system/node"), unless
+  /// UPSKILL_FORCE_SINGLE_NODE=1 forces the fallback.
+  static NumaTopology Detect();
+};
+
+/// NUMA-aware pool. Worker threads are distributed round-robin over the
+/// topology's nodes and pinned to their node's cpu set with
+/// pthread_setaffinity_np (failures are ignored, so sandboxes and
+/// shrunken cpusets degrade to an unpinned pool). Each Run maps shards
+/// to home nodes by contiguous range — the same map for the same
+/// (shards, nodes) pair, so a shard's persistent ShardWorkspace arenas
+/// are grown, and therefore first-touch page-placed, by workers pinned
+/// to its home node — and workers drain their own node's shards before
+/// stealing from the others (counted in steal_count() and the
+/// upskill_exec_steal_total metric). Every shard still runs exactly
+/// once; only scheduling is topology-aware, so outputs are bitwise
+/// identical to the serial and pool backends.
+class NumaBackend : public Backend {
+ public:
+  /// Spawns max(1, num_threads) workers over `topology`.
+  explicit NumaBackend(int num_threads,
+                       NumaTopology topology = NumaTopology::Detect());
+  ~NumaBackend() override;
+
+  NumaBackend(const NumaBackend&) = delete;
+  NumaBackend& operator=(const NumaBackend&) = delete;
+
+  const char* name() const override { return "numa"; }
+  int concurrency() const override {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+  int num_nodes() const override { return static_cast<int>(nodes_.size()); }
+  uint64_t steal_count() const override {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Home node of `shard` under this backend's node count: contiguous
+  /// ranges, every node non-empty when num_shards >= num_nodes.
+  /// Exposed for tests and for workspace-placement assertions.
+  int HomeNode(int shard, int num_shards) const;
+
+ protected:
+  void RunShards(int num_shards,
+                 const std::function<void(int shard)>& body) override;
+
+ private:
+  struct RunState;
+
+  void WorkerLoop(int node);
+  /// Drains `node`'s home shards, then steals from the other nodes in
+  /// round-robin order.
+  void ExecuteAs(int node, RunState& state);
+
+  std::vector<std::vector<int>> nodes_;  // cpu ids per node
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> steals_{0};
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  RunState* state_ = nullptr;
+  bool shutting_down_ = false;
+  /// Serializes Run calls from different external threads (there is one
+  /// RunState slot). Nested Runs from inside a body execute inline.
+  std::mutex run_mutex_;
+};
+
+}  // namespace exec
+}  // namespace upskill
+
+#endif  // UPSKILL_EXEC_NUMA_H_

@@ -72,12 +72,22 @@ class ShardPlan {
 /// skewed tail, few enough that per-shard workspaces stay cheap.
 inline constexpr int kDefaultShardsPerSlot = 4;
 
+class Backend;
+
 /// Resolves a shard-count request: `requested > 0` is honored as-is
-/// (empty shards are harmless), otherwise one shard per pool slot times
-/// kDefaultShardsPerSlot, clamped to `count` (minimum 1). The resolved
+/// (empty shards are harmless), otherwise kDefaultShardsPerSlot shards
+/// per execution slot, clamped to `count` (minimum 1). The resolved
 /// count never affects results — every consumer in this repository
 /// reduces at element granularity or with exact sums — only scheduling.
+int ResolveShardCountForSlots(int requested, int slots, size_t count);
+
+/// Slot count from ParallelMaxSlots(pool) (a null pool has one slot:
+/// the caller).
 int ResolveShardCount(int requested, const ThreadPool* pool, size_t count);
+
+/// Slot count from the backend's concurrency() (a null backend is
+/// serial: one slot).
+int ResolveShardCount(int requested, const Backend* backend, size_t count);
 
 /// Immutable zero-copy view over a contiguous run of a Dataset's users:
 /// the sequence spans stay owned by the Dataset, the ItemTable is shared.

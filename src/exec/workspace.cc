@@ -3,10 +3,27 @@
 namespace upskill {
 namespace exec {
 
-void ExecContext::EnsureUserShards(const Dataset& dataset,
-                                   int requested_shards,
-                                   const ThreadPool* pool,
-                                   PartitionStrategy strategy) {
+void ExecContext::SetBackend(std::shared_ptr<Backend> backend) {
+  if (backend_.get() == backend.get()) {
+    backend_ = std::move(backend);
+    return;
+  }
+  backend_ = std::move(backend);
+  // Workspace arenas were grown — and, under a NUMA backend, first-touch
+  // page-placed — by the previous backend's workers. A different backend
+  // (serve hot-swap after a --backend change, a registry rebuild) must
+  // start from fresh workspaces so placement follows the new topology.
+  workspaces_.clear();
+  dataset_ = nullptr;
+  built_users_ = -1;
+  built_shards_ = 0;
+  plan_ = ShardPlan();
+  shards_.clear();
+}
+
+void ExecContext::EnsureUserShardsForSlots(const Dataset& dataset,
+                                           int requested_shards, int slots,
+                                           PartitionStrategy strategy) {
   const int num_users = dataset.num_users();
   const bool same_dataset =
       dataset_ == &dataset && built_users_ == num_users &&
@@ -16,8 +33,8 @@ void ExecContext::EnsureUserShards(const Dataset& dataset,
   // vs. update axes) must not rebuild the plan every call, and since the
   // shard count never affects results, any existing plan is as good.
   if (same_dataset && requested_shards <= 0) return;
-  const int resolved = ResolveShardCount(requested_shards, pool,
-                                         static_cast<size_t>(num_users));
+  const int resolved = ResolveShardCountForSlots(
+      requested_shards, slots, static_cast<size_t>(num_users));
   if (same_dataset && built_shards_ == resolved) return;
   dataset_ = &dataset;
   built_users_ = num_users;
@@ -28,6 +45,40 @@ void ExecContext::EnsureUserShards(const Dataset& dataset,
   while (workspaces_.size() < static_cast<size_t>(resolved)) {
     workspaces_.emplace_back();
   }
+}
+
+void ExecContext::EnsureUserShards(const Dataset& dataset,
+                                   int requested_shards,
+                                   const ThreadPool* pool,
+                                   PartitionStrategy strategy) {
+  EnsureUserShardsForSlots(dataset, requested_shards, ParallelMaxSlots(pool),
+                           strategy);
+}
+
+void ExecContext::EnsureUserShards(const Dataset& dataset,
+                                   int requested_shards,
+                                   const Backend* ensure_backend,
+                                   PartitionStrategy strategy) {
+  EnsureUserShardsForSlots(
+      dataset, requested_shards,
+      ensure_backend != nullptr ? ensure_backend->concurrency() : 1, strategy);
+}
+
+void ExecContext::EnsureUserShards(const Dataset& dataset,
+                                   int requested_shards,
+                                   PartitionStrategy strategy) {
+  EnsureUserShards(dataset, requested_shards, backend_.get(), strategy);
+}
+
+Backend* AxisBackend(const ExecContext* context, bool axis_enabled,
+                     ThreadPool* pool, BackendChoice& choice) {
+  Backend* installed = context != nullptr ? context->backend() : nullptr;
+  if (installed != nullptr) {
+    return (axis_enabled && installed->concurrency() > 1)
+               ? installed
+               : SerialBackend::Get();
+  }
+  return choice.Resolve(nullptr, axis_enabled ? pool : nullptr);
 }
 
 }  // namespace exec

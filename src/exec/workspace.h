@@ -2,10 +2,12 @@
 #define UPSKILL_EXEC_WORKSPACE_H_
 
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/dp.h"
+#include "exec/backend.h"
 #include "exec/shard.h"
 
 namespace upskill {
@@ -47,6 +49,21 @@ class ExecContext {
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
 
+  /// Installs the execution backend this context's passes dispatch
+  /// through (shared so serve hot-swap and trainers can co-own it; null
+  /// resets to serial resolution). Switching to a *different* backend
+  /// instance drops all per-shard workspaces and the built plan:
+  /// arenas were sized — and, under NumaBackend, first-touch page-placed
+  /// — by the old backend's workers, so reusing them under a new
+  /// topology would silently keep every page on the wrong node.
+  /// Re-installing the same instance keeps everything (workspace
+  /// addresses stay stable across passes, as before).
+  void SetBackend(std::shared_ptr<Backend> backend);
+
+  /// The installed backend, or null when this context still resolves
+  /// through explicit ThreadPool* arguments.
+  Backend* backend() const { return backend_.get(); }
+
   /// (Re)builds the plan/shards/workspaces for `dataset`'s user axis.
   /// `requested_shards <= 0` resolves against the pool via
   /// ResolveShardCount — but reuses ANY existing plan for the same
@@ -59,6 +76,18 @@ class ExecContext {
                         PartitionStrategy strategy =
                             PartitionStrategy::kBalanced);
 
+  /// Same, resolving automatic shard counts against `ensure_backend`'s
+  /// concurrency (null = serial).
+  void EnsureUserShards(const Dataset& dataset, int requested_shards,
+                        const Backend* ensure_backend,
+                        PartitionStrategy strategy =
+                            PartitionStrategy::kBalanced);
+
+  /// Same, resolving against the installed backend (serial when unset).
+  void EnsureUserShards(const Dataset& dataset, int requested_shards,
+                        PartitionStrategy strategy =
+                            PartitionStrategy::kBalanced);
+
   const ShardPlan& plan() const { return plan_; }
   std::span<const DatasetShard> shards() const { return shards_; }
   int num_shards() const { return plan_.num_shards(); }
@@ -68,6 +97,10 @@ class ExecContext {
   }
 
  private:
+  void EnsureUserShardsForSlots(const Dataset& dataset, int requested_shards,
+                                int slots, PartitionStrategy strategy);
+
+  std::shared_ptr<Backend> backend_;
   const Dataset* dataset_ = nullptr;
   int built_users_ = -1;
   int built_shards_ = 0;
@@ -77,6 +110,15 @@ class ExecContext {
   // deque: stable addresses while growing, no moves of live arenas.
   std::deque<ShardWorkspace> workspaces_;
 };
+
+/// Per-axis backend gating for drivers migrating off ThreadPool*: when
+/// `context` carries an installed backend, an enabled axis runs on it
+/// (serial if its concurrency is 1 — the old `threads > 1` gate);
+/// otherwise falls back to wrapping `pool` through `choice`, preserving
+/// the legacy `axis_enabled && pool` behavior. `choice` must outlive
+/// every use of the returned pointer.
+Backend* AxisBackend(const ExecContext* context, bool axis_enabled,
+                     ThreadPool* pool, BackendChoice& choice);
 
 }  // namespace exec
 }  // namespace upskill

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/backend.h"
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
 
@@ -28,6 +29,13 @@ int16_t QuantizeCost(double log_value) {
 
 std::shared_ptr<const QuantizedModel> QuantizedModel::FromServingModel(
     const ServingModel& model, ThreadPool* pool) {
+  exec::BackendChoice choice;
+  return FromServingModel(model, choice.Resolve(nullptr, pool));
+}
+
+std::shared_ptr<const QuantizedModel> QuantizedModel::FromServingModel(
+    const ServingModel& model, exec::Backend* backend) {
+  if (backend == nullptr) backend = exec::SerialBackend::Get();
   std::shared_ptr<QuantizedModel> q(new QuantizedModel());
   q->num_levels_ = model.num_levels();
   q->num_items_ = model.num_items();
@@ -38,8 +46,10 @@ std::shared_ptr<const QuantizedModel> QuantizedModel::FromServingModel(
 
   const std::vector<double>& log_probs = model.item_log_probs();
   const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
-      num_items, exec::ResolveShardCount(0, pool, num_items));
-  exec::MapShards(pool, plan.num_shards(), [&](int shard) {
+      num_items,
+      exec::ResolveShardCount(0, static_cast<const exec::Backend*>(backend),
+                              num_items));
+  exec::MapShards(backend, plan.num_shards(), [&](int shard) {
     const exec::IndexRange range = plan.range(shard);
     for (size_t item = range.begin; item < range.end; ++item) {
       const double* row = log_probs.data() + item * levels;

@@ -65,6 +65,11 @@ class QuantizedModel {
   static std::shared_ptr<const QuantizedModel> FromServingModel(
       const ServingModel& model, ThreadPool* pool = nullptr);
 
+  /// Backend form: the per-item pass dispatches through `backend`
+  /// (null = serial); quantized bytes are identical either way.
+  static std::shared_ptr<const QuantizedModel> FromServingModel(
+      const ServingModel& model, exec::Backend* backend);
+
   int num_levels() const { return num_levels_; }
   int num_items() const { return num_items_; }
 

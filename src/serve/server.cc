@@ -180,12 +180,21 @@ Result<double> Server::ItemDifficulty(ItemId item) const {
   return model->difficulty()[static_cast<size_t>(item)];
 }
 
+exec::Backend* Server::ResolveExecBackend(ThreadPool* pool,
+                                          exec::BackendChoice& choice) const {
+  if (pool != nullptr) return choice.Resolve(nullptr, pool);
+  if (backend_ != nullptr) return backend_.get();
+  return exec::SerialBackend::Get();
+}
+
 void Server::SwapSnapshot(std::shared_ptr<const ServingModel> next,
                           ThreadPool* pool) {
+  exec::BackendChoice choice;
+  exec::Backend* backend = ResolveExecBackend(pool, choice);
   // Requantize outside the lock (it is the expensive part of the swap);
   // the two views are then published atomically together.
   std::shared_ptr<const QuantizedModel> qnext =
-      quantized_ ? QuantizedModel::FromServingModel(*next, pool) : nullptr;
+      quantized_ ? QuantizedModel::FromServingModel(*next, backend) : nullptr;
   bool reset = false;
   {
     std::lock_guard<std::mutex> lock(model_mutex_);
@@ -198,8 +207,9 @@ void Server::SwapSnapshot(std::shared_ptr<const ServingModel> next,
 }
 
 Status Server::SwapSnapshotFile(const std::string& path, ThreadPool* pool) {
+  exec::BackendChoice choice;
   Result<std::shared_ptr<const ServingModel>> next =
-      ServingModel::FromSnapshotFile(path, pool);
+      ServingModel::FromSnapshotFile(path, ResolveExecBackend(pool, choice));
   if (!next.ok()) return next.status();
   SwapSnapshot(std::move(next).value(), pool);
   return Status::OK();
@@ -302,12 +312,16 @@ std::string Server::StatsText() const {
 std::vector<std::string> Server::ExecuteBatch(
     std::span<const ServeRequest> requests, ThreadPool* pool) {
   std::vector<std::string> responses(requests.size());
+  exec::BackendChoice choice;
+  exec::Backend* backend = ResolveExecBackend(pool, choice);
   // Same contiguous shard plan as the rest of the stack: each shard owns
   // a disjoint run of the request/response arrays, so the only shared
   // mutable state is inside Execute (the session store's striped locks).
   const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
-      requests.size(), exec::ResolveShardCount(0, pool, requests.size()));
-  exec::MapShards(pool, plan.num_shards(), [&](int shard) {
+      requests.size(),
+      exec::ResolveShardCount(0, static_cast<const exec::Backend*>(backend),
+                              requests.size()));
+  exec::MapShards(backend, plan.num_shards(), [&](int shard) {
     const exec::IndexRange range = plan.range(shard);
     for (size_t i = range.begin; i < range.end; ++i) {
       responses[i] = Execute(requests[i]);

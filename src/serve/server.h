@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/backend.h"
 #include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/quantized_model.h"
@@ -97,6 +98,16 @@ class Server {
   /// LoadSnapshot + ServingModel::FromSnapshot + SwapSnapshot.
   Status SwapSnapshotFile(const std::string& path, ThreadPool* pool = nullptr);
 
+  /// Installs an execution backend for the server's parallel work
+  /// (requantization on swap, snapshot rebuilds, batch fan-out). When one
+  /// is installed, calls that pass no pool dispatch through it; an
+  /// explicit non-null pool argument still wins, so existing front ends
+  /// keep their behavior. Null uninstalls (back to inline/pool-arg).
+  void SetBackend(std::shared_ptr<exec::Backend> backend) {
+    backend_ = std::move(backend);
+  }
+  exec::Backend* backend() const { return backend_.get(); }
+
   size_t num_sessions() const { return sessions_.size(); }
   void ResetSessions() { sessions_.Clear(); }
   /// Drops sessions whose last observation predates `min_last_time`
@@ -159,7 +170,13 @@ class Server {
   };
   ModelViews Views() const;
 
+  /// Resolves the backend for one parallel entry point: explicit pool
+  /// argument first, then the installed backend, then serial.
+  exec::Backend* ResolveExecBackend(ThreadPool* pool,
+                                    exec::BackendChoice& choice) const;
+
   const bool quantized_;
+  std::shared_ptr<exec::Backend> backend_;
   mutable std::mutex model_mutex_;
   std::shared_ptr<const ServingModel> model_;
   std::shared_ptr<const QuantizedModel> qmodel_;

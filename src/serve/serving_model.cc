@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "exec/backend.h"
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
 
@@ -12,6 +13,13 @@ namespace serve {
 
 Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshot(
     ModelSnapshot snapshot, ThreadPool* pool) {
+  exec::BackendChoice choice;
+  return FromSnapshot(std::move(snapshot), choice.Resolve(nullptr, pool));
+}
+
+Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshot(
+    ModelSnapshot snapshot, exec::Backend* backend) {
+  if (backend == nullptr) backend = exec::SerialBackend::Get();
   const int levels = snapshot.config.num_levels;
   if (levels < 1) {
     return Status::InvalidArgument("snapshot has no skill levels");
@@ -35,7 +43,7 @@ Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshot(
   model->log_down_ =
       std::log(model->snapshot_.config.forgetting.drop_probability);
   model->log_probs_ =
-      model->snapshot_.model.ItemLogProbCache(model->snapshot_.items, pool);
+      model->snapshot_.model.ItemLogProbCache(model->snapshot_.items, backend);
 
   const size_t num_items =
       static_cast<size_t>(model->snapshot_.items.num_items());
@@ -46,8 +54,9 @@ Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshot(
   // uses; each shard writes a disjoint slice of ranked_.
   const exec::ShardPlan plan = exec::ShardPlan::Contiguous(
       static_cast<size_t>(levels),
-      exec::ResolveShardCount(0, pool, static_cast<size_t>(levels)));
-  exec::MapShards(pool, plan.num_shards(), [&](int shard) {
+      exec::ResolveShardCount(0, static_cast<const exec::Backend*>(backend),
+                              static_cast<size_t>(levels)));
+  exec::MapShards(backend, plan.num_shards(), [&](int shard) {
     const exec::IndexRange range = plan.range(shard);
     for (size_t s = range.begin; s < range.end; ++s) {
       ItemId* order = model->ranked_.data() + s * num_items;
@@ -71,6 +80,13 @@ Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshotFile(
   Result<ModelSnapshot> snapshot = LoadSnapshot(path);
   if (!snapshot.ok()) return snapshot.status();
   return FromSnapshot(std::move(snapshot).value(), pool);
+}
+
+Result<std::shared_ptr<const ServingModel>> ServingModel::FromSnapshotFile(
+    const std::string& path, exec::Backend* backend) {
+  Result<ModelSnapshot> snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return FromSnapshot(std::move(snapshot).value(), backend);
 }
 
 std::span<const ItemId> ServingModel::RankedItems(int level) const {

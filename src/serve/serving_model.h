@@ -35,9 +35,18 @@ class ServingModel {
   static Result<std::shared_ptr<const ServingModel>> FromSnapshot(
       ModelSnapshot snapshot, ThreadPool* pool = nullptr);
 
+  /// Backend form: precomputation dispatches through `backend` (null =
+  /// serial); the resulting view is bitwise identical either way.
+  static Result<std::shared_ptr<const ServingModel>> FromSnapshot(
+      ModelSnapshot snapshot, exec::Backend* backend);
+
   /// Convenience: LoadSnapshot + FromSnapshot.
   static Result<std::shared_ptr<const ServingModel>> FromSnapshotFile(
       const std::string& path, ThreadPool* pool = nullptr);
+
+  /// Backend form of FromSnapshotFile.
+  static Result<std::shared_ptr<const ServingModel>> FromSnapshotFile(
+      const std::string& path, exec::Backend* backend);
 
   int num_levels() const { return snapshot_.config.num_levels; }
   int num_items() const { return snapshot_.items.num_items(); }

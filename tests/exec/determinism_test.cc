@@ -22,6 +22,7 @@
 #include "data/split.h"
 #include "datagen/synthetic.h"
 #include "eval/tasks.h"
+#include "exec/backend_registry.h"
 #include "serve/snapshot.h"
 #include "simd/simd.h"
 #include "store/store_reader.h"
@@ -32,6 +33,7 @@ namespace {
 
 constexpr int kThreadCounts[] = {1, 2, 8};
 constexpr int kShardCounts[] = {1, 3, 7};
+constexpr const char* kExecBackends[] = {"serial", "pool", "numa"};
 
 datagen::GeneratedData MakeData() {
   datagen::SyntheticConfig config;
@@ -302,6 +304,159 @@ TEST(ShardDeterminismTest, TrainingFromMappedStoreBitwiseMatchesInRam) {
   }
 }
 
+TEST(BackendSweepTest, TrainerBitwiseInvariantAcrossExecBackends) {
+  // The acceptance bar for the pluggable backends: fitted parameters,
+  // assignments, per-iteration objectives, and snapshot bytes are bitwise
+  // identical across serial|pool|numa x threads {1,2,8} x shards {1,3,7}.
+  // Backends only move scheduling; every reduction is per-element or an
+  // exact integer count merged in fixed shard order, so this sweep holds
+  // with operator== and no tolerances.
+  const datagen::GeneratedData data = MakeData();
+  const std::string path = testing::TempDir() + "/det_backend.snap";
+
+  TrainResult base;
+  std::string base_bytes;
+  bool have_base = false;
+  for (const char* backend : kExecBackends) {
+    for (const int threads : kThreadCounts) {
+      for (const int shards : kShardCounts) {
+        SkillModelConfig config = MakeConfig(threads, shards);
+        config.backend = backend;
+        const Trainer trainer(config);
+        auto result = trainer.Train(data.dataset);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        const std::string bytes =
+            SnapshotBytes(result.value(), data.dataset, nullptr, path);
+        const std::string label = std::string("backend=") + backend +
+                                  " threads=" + std::to_string(threads) +
+                                  " shards=" + std::to_string(shards);
+        if (!have_base) {
+          base = std::move(result).value();
+          base_bytes = bytes;
+          have_base = true;
+          ASSERT_FALSE(base.log_likelihood_trace.empty());
+          continue;
+        }
+        ExpectSameTrainResult(base, result.value(), label);
+        EXPECT_EQ(base_bytes, bytes) << label;
+      }
+    }
+  }
+}
+
+TEST(BackendSweepTest, EmTrainerBitwiseInvariantAcrossExecBackends) {
+  const datagen::GeneratedData data = MakeData();
+
+  EmTrainResult base;
+  bool have_base = false;
+  for (const char* backend : kExecBackends) {
+    for (const int threads : {1, 8}) {
+      EmTrainerConfig config;
+      config.model = MakeConfig(threads, threads > 1 ? 7 : 1);
+      config.model.max_iterations = 4;
+      config.model.backend = backend;
+      const EmTrainer trainer(config);
+      auto result = trainer.Train(data.dataset);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const std::string label = std::string("backend=") + backend +
+                                " threads=" + std::to_string(threads);
+      if (!have_base) {
+        base = std::move(result).value();
+        have_base = true;
+        continue;
+      }
+      const EmTrainResult& run = result.value();
+      EXPECT_EQ(base.log_likelihood_trace, run.log_likelihood_trace) << label;
+      EXPECT_EQ(base.assignments, run.assignments) << label;
+      EXPECT_EQ(ModelParams(base.model), ModelParams(run.model)) << label;
+      EXPECT_EQ(base.initial_distribution, run.initial_distribution) << label;
+      EXPECT_EQ(base.level_up_probability, run.level_up_probability) << label;
+    }
+  }
+}
+
+TEST(BackendSweepTest, MappedStoreBitwiseMatchesInRamAcrossExecBackends) {
+  // The PR 8 mapped-store sweep, re-run through registry-constructed
+  // backends: training on the zero-copy mmap view must stay bitwise
+  // identical to the in-RAM anchor on every backend.
+  const datagen::GeneratedData data = MakeData();
+  const std::string store_path = testing::TempDir() + "/det_backend.store";
+  const std::string path = testing::TempDir() + "/det_backend_store.snap";
+  ASSERT_TRUE(store::PackDataset(data.dataset, store_path).ok());
+  auto reader = store::StoreReader::Open(store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto mapped = reader.value().MapDataset();
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  TrainResult base;
+  std::string base_bytes;
+  bool have_base = false;
+  for (const char* backend : kExecBackends) {
+    for (const int threads : {1, 8}) {
+      for (const int shards : {1, 7}) {
+        SkillModelConfig config = MakeConfig(threads, shards);
+        config.backend = backend;
+        const Trainer trainer(config);
+        if (!have_base) {
+          auto in_ram = trainer.Train(data.dataset);
+          ASSERT_TRUE(in_ram.ok());
+          base = std::move(in_ram).value();
+          base_bytes = SnapshotBytes(base, data.dataset, nullptr, path);
+          have_base = true;
+        }
+        auto from_store = trainer.Train(mapped.value());
+        ASSERT_TRUE(from_store.ok());
+        const std::string bytes =
+            SnapshotBytes(from_store.value(), mapped.value(), nullptr, path);
+        const std::string label = std::string("store backend=") + backend +
+                                  " threads=" + std::to_string(threads) +
+                                  " shards=" + std::to_string(shards);
+        ExpectSameTrainResult(base, from_store.value(), label);
+        EXPECT_EQ(base_bytes, bytes) << label;
+      }
+    }
+  }
+}
+
+TEST(BackendSweepTest, EvalReportBitwiseInvariantAcrossExecBackends) {
+  const datagen::GeneratedData data = MakeData();
+  Rng rng(7);
+  auto split = MakeHoldoutSplit(data.dataset, HoldoutPosition::kLast, rng);
+  ASSERT_TRUE(split.ok());
+
+  const Trainer trainer(MakeConfig(1, 1));
+  auto trained = trainer.Train(split.value().train);
+  ASSERT_TRUE(trained.ok());
+
+  auto base = eval::EvaluateItemPrediction(
+      split.value().train, trained.value().assignments, trained.value().model,
+      split.value().test, /*k=*/10, exec::SerialBackend::Get());
+  ASSERT_TRUE(base.ok());
+  ASSERT_GT(base.value().num_cases, 0u);
+
+  for (const char* name : kExecBackends) {
+    for (const int threads : {1, 8}) {
+      auto backend = exec::CreateBackend(name, threads);
+      ASSERT_TRUE(backend.ok());
+      auto report = eval::EvaluateItemPrediction(
+          split.value().train, trained.value().assignments,
+          trained.value().model, split.value().test, /*k=*/10,
+          backend.value().get());
+      ASSERT_TRUE(report.ok());
+      const std::string label = std::string("backend=") + name +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(base.value().accuracy_at_k, report.value().accuracy_at_k)
+          << label;
+      EXPECT_EQ(base.value().mean_reciprocal_rank,
+                report.value().mean_reciprocal_rank)
+          << label;
+      EXPECT_EQ(base.value().reciprocal_ranks, report.value().reciprocal_ranks)
+          << label;
+      EXPECT_EQ(base.value().num_cases, report.value().num_cases) << label;
+    }
+  }
+}
+
 TEST(ShardDeterminismTest, EvalReportBitwiseInvariantAcrossThreads) {
   const datagen::GeneratedData data = MakeData();
   Rng rng(7);
@@ -314,7 +469,7 @@ TEST(ShardDeterminismTest, EvalReportBitwiseInvariantAcrossThreads) {
 
   auto serial = eval::EvaluateItemPrediction(
       split.value().train, trained.value().assignments, trained.value().model,
-      split.value().test, /*k=*/10, nullptr);
+      split.value().test, /*k=*/10, static_cast<ThreadPool*>(nullptr));
   ASSERT_TRUE(serial.ok());
   ASSERT_GT(serial.value().num_cases, 0u);
 

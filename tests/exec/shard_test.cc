@@ -112,15 +112,15 @@ TEST(ShardPlanTest, BalancedAllZeroWeightsDegeneratesToContiguous) {
 }
 
 TEST(ResolveShardCountTest, HonorsExplicitRequest) {
-  EXPECT_EQ(ResolveShardCount(7, nullptr, 3), 7);
-  EXPECT_EQ(ResolveShardCount(1, nullptr, 1000), 1);
+  EXPECT_EQ(ResolveShardCount(7, static_cast<const ThreadPool*>(nullptr), 3), 7);
+  EXPECT_EQ(ResolveShardCount(1, static_cast<const ThreadPool*>(nullptr), 1000), 1);
 }
 
 TEST(ResolveShardCountTest, AutoScalesWithPoolAndClampsToCount) {
   // No pool still gets kDefaultShardsPerSlot shards (one slot): shard
   // count only affects scheduling granularity, never results.
-  EXPECT_EQ(ResolveShardCount(0, nullptr, 100), kDefaultShardsPerSlot);
-  EXPECT_EQ(ResolveShardCount(0, nullptr, 0), 1);
+  EXPECT_EQ(ResolveShardCount(0, static_cast<const ThreadPool*>(nullptr), 100), kDefaultShardsPerSlot);
+  EXPECT_EQ(ResolveShardCount(0, static_cast<const ThreadPool*>(nullptr), 0), 1);
   ThreadPool pool(3);  // 4 slots (workers + caller)
   EXPECT_EQ(ResolveShardCount(0, &pool, 1000), 4 * kDefaultShardsPerSlot);
   EXPECT_EQ(ResolveShardCount(0, &pool, 5), 5);
@@ -200,12 +200,12 @@ TEST(MapShardsTest, VisitsEveryShardExactlyOnce) {
 TEST(ExecContextTest, EnsureIsIdempotentAndWorkspacesAreStable) {
   const Dataset dataset = MakeDataset({4, 6, 2, 8, 3});
   ExecContext context;
-  context.EnsureUserShards(dataset, 3, nullptr);
+  context.EnsureUserShards(dataset, 3, static_cast<const ThreadPool*>(nullptr));
   ASSERT_EQ(context.num_shards(), 3);
   ShardWorkspace* first = &context.workspace(0);
   first->dp.items.resize(64);  // grow an arena; it must survive re-Ensure
 
-  context.EnsureUserShards(dataset, 3, nullptr);
+  context.EnsureUserShards(dataset, 3, static_cast<const ThreadPool*>(nullptr));
   EXPECT_EQ(context.num_shards(), 3);
   EXPECT_EQ(&context.workspace(0), first);
   EXPECT_EQ(context.workspace(0).dp.items.size(), 64u);
