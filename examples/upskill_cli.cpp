@@ -60,9 +60,11 @@
 #include "exec/backend_registry.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "net/client.h"
 #include "net/frame.h"
+#include "net/http_admin.h"
 #include "net/net_server.h"
 #include "serve/server.h"
 #include "serve/serving_model.h"
@@ -105,6 +107,7 @@ const std::set<std::string> kValueFlags = {
     "backend", "metrics-out", "trace-out",
     "listen", "net-workers", "deadline-ms", "max-conns",
     "checkpoint", "previous", "ingest-log",
+    "admin-listen", "flight-recorder-size", "flight-recorder-sample",
 };
 const std::set<std::string> kSwitchFlags = {
     "em", "verbose", "transitions", "detail", "quantized", "binary",
@@ -191,6 +194,15 @@ int Usage() {
       "        [--listen host:port] [--net-workers N] [--deadline-ms D]\n"
       "        [--max-conns N]   (TCP front end instead of stdio; text and\n"
       "        binary protocols share the port; runs until stdin closes)\n"
+      "        [--admin-listen host:port]   (HTTP admin plane on its own\n"
+      "        port: /metrics /healthz /statusz /tracez; works with both\n"
+      "        the stdio and --listen front ends)\n"
+      "        [--flight-recorder-size K]   (ring of the last K completed\n"
+      "        requests + tail-sampled errors/sheds/slowest, dumped by\n"
+      "        /tracez; default 4096, 0 disables)\n"
+      "        [--flight-recorder-sample N] (keep one in N completions in\n"
+      "        the ring; errors/sheds/slowest always kept; default 16,\n"
+      "        1 records everything)\n"
       "  client <host:port> [--binary]\n"
       "        (forward stdin request lines to a serve --listen process;\n"
       "        --binary re-encodes them as binary frames)\n");
@@ -751,6 +763,47 @@ int CmdServe(const Args& args) {
                    synced.ToString().c_str());
     }
   };
+
+  // Flight recorder: ring of the last K completed requests plus
+  // tail-sampled retention, shared by every front end through the
+  // server. K=0 turns it off (and /tracez reports an empty trace).
+  std::unique_ptr<obs::FlightRecorder> flight_recorder;
+  const long long recorder_size = args.IntFlag("flight-recorder-size", 4096);
+  if (recorder_size > 0) {
+    obs::FlightRecorderOptions recorder_options;
+    recorder_options.capacity = static_cast<size_t>(recorder_size);
+    // Thin the main ring to one record in N by default: errors, sheds,
+    // and the slowest requests per kind are always retained regardless,
+    // and the sampled-out path costs a single atomic increment.
+    // --flight-recorder-sample 1 records every completion.
+    const long long sample =
+        args.IntFlag("flight-recorder-sample", 16);
+    recorder_options.sample_every =
+        sample > 0 ? static_cast<uint64_t>(sample) : 1;
+    flight_recorder =
+        std::make_unique<obs::FlightRecorder>(recorder_options);
+    server.SetFlightRecorder(flight_recorder.get());
+  }
+
+  // Admin plane: its own port, its own thread, never sharing fate with
+  // the data plane. Works with the stdio loop too, so an operator can
+  // scrape a pipe-driven server.
+  std::unique_ptr<net::HttpAdminServer> admin;
+  if (args.HasFlag("admin-listen")) {
+    net::HttpAdminConfig admin_config;
+    const Status parsed =
+        net::ParseHostPort(args.StringFlag("admin-listen", ""),
+                           &admin_config.host, &admin_config.port);
+    if (!parsed.ok()) return Fail(parsed);
+    admin = std::make_unique<net::HttpAdminServer>(admin_config);
+    net::InstallAdminEndpoints(admin.get(), &server, flight_recorder.get());
+    const Status started = admin->Start();
+    if (!started.ok()) return Fail(started);
+    // Tests parse this line for the actual port (host:0 binds ephemeral).
+    std::fprintf(stderr, "admin listening on %s:%u\n",
+                 admin_config.host.c_str(), admin->port());
+    std::fflush(stderr);
+  }
 
   if (args.HasFlag("listen")) {
     // TCP front end: epoll event loop with per-core SO_REUSEPORT workers

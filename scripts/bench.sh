@@ -22,6 +22,10 @@
 #     exec   bench_exec: the sharded assignment/fit kernels once per
 #            execution backend (serial | pool | numa); every entry names
 #            its backend and records threads/shards/nodes/steals counters
+#     obs    bench_obs: request-trace overhead on the serving hot path —
+#            BM_RequestTraceOverhead with the flight recorder detached /
+#            tail-sampling / recording everything (the <= 2% overhead
+#            acceptance bar), plus raw and contended Record() cost
 #
 #   --threads sweeps the sharded micro benches (BM_AssignSkillsSharded,
 #   BM_FitParametersSharded) over the given thread counts; each emitted
@@ -39,7 +43,8 @@
 # Release rerecording in BENCH_PR2.json; BENCH_PR3.json records the serve
 # suite; BENCH_PR4.json rerecords micro with the thread x shard sweep;
 # BENCH_PR6.json records the simd suite; BENCH_PR8.json records the
-# store suite; BENCH_PR9.json records the exec backend suite.
+# store suite; BENCH_PR9.json records the exec backend suite;
+# BENCH_PR10.json records the obs request-trace overhead suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -88,9 +93,10 @@ for SUITE in $SUITES; do
     net) RUNS+=("bench_net:"); BINARIES+=(bench_net) ;;
     store) RUNS+=("bench_store:"); BINARIES+=(bench_store) ;;
     exec) RUNS+=("bench_exec:"); BINARIES+=(bench_exec) ;;
+    obs) RUNS+=("bench_obs:"); BINARIES+=(bench_obs) ;;
     *)
       echo "error: unknown suite '$SUITE'" \
-           "(want micro, serve, simd, net, store, or exec)" >&2
+           "(want micro, serve, simd, net, store, exec, or obs)" >&2
       exit 2 ;;
   esac
 done
@@ -143,6 +149,13 @@ for RUN in "${RUNS[@]}"; do
   ARGS=(--benchmark_out="$PART" --benchmark_out_format=json)
   if [[ -n "$RUN_FILTER" ]]; then
     ARGS+=(--benchmark_filter="$RUN_FILTER")
+  fi
+  if [[ "$BINARY" == bench_obs ]]; then
+    # The obs overhead suite compares medians of repeated runs whose
+    # deltas (~tens of ns) sit below slow thermal/frequency drift;
+    # interleaving the repetitions decorrelates that drift from the
+    # recorder mode being measured.
+    ARGS+=(--benchmark_enable_random_interleaving=true)
   fi
   "./$BUILD_DIR/bench/$BINARY" "${ARGS[@]}"
   PARTS+=("$PART")

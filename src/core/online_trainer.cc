@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "data/schema_io.h"
 #include "obs/metrics.h"
+#include "obs/model_health.h"
 #include "obs/trace.h"
 
 namespace upskill {
@@ -248,7 +249,13 @@ Result<OnlineRefreshStats> OnlineTrainer::Refresh(const Dataset& previous,
   }
 
   // M-step — but only if anything moved: a refresh over identical data is
-  // a strict no-op on the model.
+  // a strict no-op on the model. The flattened-parameter snapshot feeds
+  // the model-health delta gauge; it reads the model and never writes it,
+  // and is skipped entirely when metrics are off, so refresh outputs are
+  // bitwise identical either way.
+  std::vector<double> params_before;
+  const bool track_delta = obs::MetricsEnabled() && stats.dirty_users > 0;
+  if (track_delta) params_before = FlattenedParameters();
   if (stats.dirty_users > 0) {
     FitCellsFromCountGrid(current.items(), level_counts_, &model_, pool,
                           config_.parallel);
@@ -256,6 +263,16 @@ Result<OnlineRefreshStats> OnlineTrainer::Refresh(const Dataset& previous,
       transitions_ = FitTransitionWeights(assignments_, config_.num_levels,
                                           config_.smoothing);
     }
+  }
+  if (track_delta) {
+    const std::vector<double> params_after = FlattenedParameters();
+    double sum_sq = 0.0;
+    const size_t n = std::min(params_before.size(), params_after.size());
+    for (size_t i = 0; i < n; ++i) {
+      const double d = params_after[i] - params_before[i];
+      sum_sq += d * d;
+    }
+    stats.param_delta_l2 = std::sqrt(sum_sq);
   }
 
   stats.refresh_seconds = span.StopSeconds();
@@ -265,7 +282,20 @@ Result<OnlineRefreshStats> OnlineTrainer::Refresh(const Dataset& previous,
   instruments.clean_users.Increment(stats.clean_users);
   instruments.actions_added.Increment(stats.actions_added);
   instruments.refresh_seconds.Observe(stats.refresh_seconds);
+  obs::ModelHealth::Global().NoteRefresh(stats.dirty_users,
+                                         stats.param_delta_l2);
   return stats;
+}
+
+std::vector<double> OnlineTrainer::FlattenedParameters() const {
+  std::vector<double> flat;
+  for (int f = 0; f < model_.num_features(); ++f) {
+    for (int s = 1; s <= model_.num_levels(); ++s) {
+      const std::vector<double> params = model_.component(f, s).Parameters();
+      flat.insert(flat.end(), params.begin(), params.end());
+    }
+  }
+  return flat;
 }
 
 Status OnlineTrainer::SaveCheckpoint(const std::string& path) const {

@@ -26,6 +26,10 @@ struct OnlineRefreshStats {
   /// Actions removed from / added to the count grid.
   size_t actions_removed = 0;
   size_t actions_added = 0;
+  /// L2 norm of the flattened model-parameter change this refresh made
+  /// vs the previous fit (model-health telemetry; 0.0 when metrics are
+  /// disabled or nothing was dirty).
+  double param_delta_l2 = 0.0;
   double refresh_seconds = 0.0;
 };
 
@@ -111,6 +115,9 @@ class OnlineTrainer {
 
  private:
   Status ValidateConfig() const;
+  /// All component parameters concatenated in (feature, level) order —
+  /// the vector the refresh's param-delta L2 gauge is computed over.
+  std::vector<double> FlattenedParameters() const;
 
   SkillModelConfig config_;
   bool trained_ = false;

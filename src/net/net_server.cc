@@ -89,6 +89,10 @@ struct NetServer::Worker {
   std::chrono::steady_clock::time_point drain_start;
   double mean_cost[serve::kNumServeRequestKinds] = {};
   uint64_t executed_since_refresh = kShedRefreshPeriod;  // refresh on first
+  /// Per-core request sequence, the flight recorder's sampling clock
+  /// (RecordSampled): worker-private, so bumping it touches no shared
+  /// cache line on the hot path.
+  uint64_t trace_seq = 0;
 };
 
 NetServer::NetServer(serve::Server* server, ThreadPool* swap_pool,
@@ -498,16 +502,23 @@ void NetServer::ExecuteBinary(Worker* worker, Connection* conn,
   requests_binary_.Increment();
   kind_requests_[kind]->Increment();
   server_->NoteRequestServed();
+  obs::FlightRecorder* recorder = server_->flight_recorder();
   if (ShouldShed(worker, request.kind)) {
     shed_.Increment();
     kind_errors_[kind]->Increment();
+    if (recorder != nullptr) {
+      const auto now = std::chrono::steady_clock::now();
+      recorder->RecordSampled(worker->trace_seq++, static_cast<int>(kind),
+                              serve::ServeRequestKindSpanName(request.kind),
+                              now, now, /*error=*/true, /*shed=*/true);
+    }
     EncodeErrorResponse(
         Status::Unavailable(StringPrintf("shed deadline=%.6fs",
                                          config_.deadline_seconds)),
         &conn->out);
     return;
   }
-  const bool timed = obs::MetricsEnabled();
+  const bool timed = obs::MetricsEnabled() || recorder != nullptr;
   const auto start = timed ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point{};
   bool is_error = false;
@@ -591,7 +602,14 @@ void NetServer::ExecuteBinary(Worker* worker, Connection* conn,
   }
   if (is_error) kind_errors_[kind]->Increment();
   if (timed) {
-    latency_[kind]->Observe(SecondsSince(start));
+    const auto end = std::chrono::steady_clock::now();
+    latency_[kind]->Observe(
+        std::chrono::duration<double>(end - start).count());
+    if (recorder != nullptr) {
+      recorder->RecordSampled(worker->trace_seq++, static_cast<int>(kind),
+                              serve::ServeRequestKindSpanName(request.kind),
+                              start, end, is_error, /*shed=*/false);
+    }
   }
 }
 
@@ -655,6 +673,12 @@ void NetServer::ExecuteTextLine(Worker* worker, Connection* conn,
     shed_.Increment();
     kind_requests_[static_cast<size_t>(request.value().kind)]->Increment();
     kind_errors_[static_cast<size_t>(request.value().kind)]->Increment();
+    if (obs::FlightRecorder* recorder = server_->flight_recorder()) {
+      const auto now = std::chrono::steady_clock::now();
+      recorder->Record(static_cast<int>(request.value().kind),
+                       serve::ServeRequestKindSpanName(request.value().kind),
+                       now, now, /*error=*/true, /*shed=*/true);
+    }
     conn->out += serve::FormatErrorResponse(Status::Unavailable(
         StringPrintf("shed deadline=%.6fs", config_.deadline_seconds)));
     conn->out += '\n';

@@ -33,9 +33,14 @@ std::string FormatValue(double value) {
 }
 
 void AppendTypeLine(std::string* out, const std::string& name,
-                    const char* type, std::string* last_typed) {
+                    const char* type, std::string* last_typed,
+                    const std::map<std::string, std::string>& help) {
   if (*last_typed == name) return;
   *last_typed = name;
+  const auto it = help.find(name);
+  if (it != help.end()) {
+    *out += "# HELP " + name + " " + it->second + "\n";
+  }
   *out += "# TYPE " + name + " " + type + "\n";
 }
 
@@ -51,24 +56,42 @@ std::string JsonEscape(const std::string& raw) {
 
 }  // namespace
 
+std::string EscapeLabelValue(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   std::string last_typed;
   for (const CounterSample& sample : snapshot.counters) {
-    AppendTypeLine(&out, sample.name, "counter", &last_typed);
+    AppendTypeLine(&out, sample.name, "counter", &last_typed, snapshot.help);
     out += SampleName(sample.name, sample.labels) +
            StringPrintf(" %llu\n",
                         static_cast<unsigned long long>(sample.value));
   }
   last_typed.clear();
   for (const GaugeSample& sample : snapshot.gauges) {
-    AppendTypeLine(&out, sample.name, "gauge", &last_typed);
+    AppendTypeLine(&out, sample.name, "gauge", &last_typed, snapshot.help);
     out += SampleName(sample.name, sample.labels) + " " +
            FormatValue(sample.value) + "\n";
   }
   last_typed.clear();
   for (const HistogramSample& sample : snapshot.histograms) {
-    AppendTypeLine(&out, sample.name, "histogram", &last_typed);
+    AppendTypeLine(&out, sample.name, "histogram", &last_typed,
+                   snapshot.help);
     uint64_t cumulative = 0;
     for (size_t b = 0; b < sample.counts.size(); ++b) {
       cumulative += sample.counts[b];

@@ -8,15 +8,21 @@
 namespace upskill {
 namespace obs {
 
-/// Prometheus text exposition (one `# TYPE` line per metric name, then
-/// one sample line per (labels) instance; histograms expand to the
-/// cumulative `_bucket{le=...}` / `_sum` / `_count` series). Output is
-/// sorted by (name, labels) so successive dumps diff cleanly. Ends with
-/// a `# EOF` line (OpenMetrics-style terminator) so streaming consumers
-/// — the serve protocol's `stats` response in particular — know where
-/// the dump stops.
+/// Prometheus text exposition (an optional `# HELP` line and one
+/// `# TYPE` line per metric name, then one sample line per (labels)
+/// instance; histograms expand to the cumulative `_bucket{le=...}` /
+/// `_sum` / `_count` series). Output is sorted by (name, labels) so
+/// successive dumps diff cleanly. Ends with a `# EOF` line
+/// (OpenMetrics-style terminator) so streaming consumers — the serve
+/// protocol's `stats` response in particular — know where the dump
+/// stops.
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);
 std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Prometheus label-value escaping: backslash, double-quote, and newline
+/// become \\, \", and \n. Use when building label bodies from free-form
+/// strings (file paths, backend names).
+std::string EscapeLabelValue(const std::string& raw);
 
 /// The same snapshot as a single JSON object:
 /// {"counters":[{"name":...,"labels":...,"value":...}],

@@ -94,6 +94,42 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return totals;
 }
 
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  return QuantileFromBuckets(counts, bounds_, q);
+}
+
+double QuantileFromBuckets(std::span<const uint64_t> counts,
+                           std::span<const double> bounds, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * total), at least 1.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cumulative + counts[i];
+    if (rank <= next) {
+      const bool overflow = i >= bounds.size();
+      // Overflow bucket has no finite upper bound: clamp to the largest
+      // value the layout can resolve rather than inventing one.
+      if (overflow) return bounds.empty() ? 0.0 : bounds[bounds.size() - 1];
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double fraction = (static_cast<double>(rank - cumulative)) /
+                              static_cast<double>(counts[i]);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds[bounds.size() - 1];
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i < internal_metrics::kStripes * stride_; ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
@@ -147,10 +183,17 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *histogram;
 }
 
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = text;
+}
+
 MetricsSnapshot MetricsRegistry::Collect() const {
   MetricsSnapshot snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.help = help_;
     snapshot.counters.reserve(counters_.size());
     for (const auto& named : counters_) {
       snapshot.counters.push_back(

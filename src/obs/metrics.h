@@ -6,8 +6,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -154,6 +156,10 @@ class Histogram {
   const std::vector<double>& bucket_bounds() const { return bounds_; }
   int num_buckets() const { return static_cast<int>(bounds_.size()); }
 
+  /// Quantile estimate by linear interpolation within the bucket that
+  /// holds the q-th observation (see QuantileFromBuckets). `q` in [0, 1].
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -211,7 +217,20 @@ struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  /// Optional metric help strings (name -> text), rendered as `# HELP`
+  /// lines by the Prometheus exposition.
+  std::map<std::string, std::string> help;
 };
+
+/// Quantile estimate from fixed histogram buckets: finds the bucket
+/// holding the ceil(q * count)-th observation and interpolates linearly
+/// between the bucket's bounds (lower bound 0 for the first bucket; the
+/// +Inf overflow bucket clamps to the last finite bound, so a quantile
+/// landing there reports the largest value the layout can resolve).
+/// `counts` has one more entry than `bounds` (the overflow bucket).
+/// Returns 0 when there are no observations. Monotone in q.
+double QuantileFromBuckets(std::span<const uint64_t> counts,
+                           std::span<const double> bounds, double q);
 
 /// Named-instrument registry. Get* registers on first use (mutex-guarded,
 /// cold path) and returns a stable reference the caller should cache; the
@@ -235,6 +254,10 @@ class MetricsRegistry {
                           const std::string& labels = "",
                           HistogramOptions options = {});
 
+  /// Attach a help string to a metric name; rendered as a `# HELP` line
+  /// by the Prometheus exposition. Last writer wins.
+  void SetHelp(const std::string& name, const std::string& text);
+
   /// Value snapshot of every registered instrument, sorted by
   /// (name, labels) for stable exposition output.
   MetricsSnapshot Collect() const;
@@ -255,6 +278,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mutex_;
+  std::map<std::string, std::string> help_;
   // deques: stable instrument addresses while the registry grows.
   std::deque<Named<Counter>> counters_;
   std::deque<Named<Gauge>> gauges_;

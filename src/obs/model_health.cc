@@ -1,0 +1,147 @@
+#include "obs/model_health.h"
+
+#include "common/string_util.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace upskill {
+namespace obs {
+
+namespace {
+
+MetricsRegistry& Registry() { return MetricsRegistry::Global(); }
+
+}  // namespace
+
+ModelHealth::ModelHealth()
+    : snapshot_age_(Registry().GetGauge("upskill_model_snapshot_age_seconds")),
+      snapshot_version_(Registry().GetGauge("upskill_model_snapshot_version")),
+      snapshot_levels_(Registry().GetGauge("upskill_model_levels")),
+      snapshot_items_(Registry().GetGauge("upskill_model_items")),
+      refresh_dirty_users_(
+          Registry().GetGauge("upskill_online_last_dirty_users")),
+      refresh_param_delta_(
+          Registry().GetGauge("upskill_online_param_delta_l2")),
+      recommend_items_(
+          Registry().GetCounter("upskill_model_recommend_items_total")),
+      recommend_empty_(
+          Registry().GetCounter("upskill_model_recommend_empty_total")) {
+  Registry().SetHelp("upskill_model_snapshot_age_seconds",
+                     "Seconds since the serving snapshot was installed.");
+  Registry().SetHelp("upskill_model_snapshot_version",
+                     "Format version of the installed snapshot.");
+  Registry().SetHelp("upskill_model_levels",
+                     "Skill levels in the serving model.");
+  Registry().SetHelp("upskill_model_items",
+                     "Items in the serving model.");
+  Registry().SetHelp(
+      "upskill_model_session_level_count",
+      "Live sessions whose current maximum-likelihood skill level is "
+      "`level` (level 0 includes sessions with no observation yet).");
+  Registry().SetHelp("upskill_model_recommend_items_total",
+                     "Items returned across all recommend requests.");
+  Registry().SetHelp("upskill_model_recommend_empty_total",
+                     "Recommend requests that returned no items.");
+  Registry().SetHelp("upskill_online_last_dirty_users",
+                     "Users refit by the most recent online-EM refresh.");
+  Registry().SetHelp(
+      "upskill_online_param_delta_l2",
+      "L2 norm of the model parameter change in the most recent "
+      "online-EM refresh vs the previous fit.");
+  Registry().SetHelp("upskill_trace_dropped_total",
+                     "Phase spans dropped because the trace buffer was full.");
+  Registry().SetHelp("upskill_model_snapshot_info",
+                     "Installed snapshot identity (value is always 1).");
+}
+
+ModelHealth& ModelHealth::Global() {
+  // Leaked like the registry it writes into: wiring points may note
+  // refreshes during static teardown of CLI commands.
+  static ModelHealth* health = new ModelHealth;
+  return *health;
+}
+
+uint64_t ModelHealth::AddSampler(std::function<void()> sampler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t token = next_token_++;
+  samplers_.emplace_back(token, std::move(sampler));
+  return token;
+}
+
+void ModelHealth::RemoveSampler(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < samplers_.size(); ++i) {
+    if (samplers_[i].first == token) {
+      samplers_.erase(samplers_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void ModelHealth::Sample() {
+  // Copy the callbacks out so a sampler can touch the store (or even
+  // deregister itself) without holding our mutex.
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callbacks.reserve(samplers_.size());
+    for (const auto& entry : samplers_) callbacks.push_back(entry.second);
+  }
+  for (const auto& callback : callbacks) callback();
+  snapshot_age_.Set(SnapshotAgeSeconds());
+}
+
+void ModelHealth::SetSessionLevelCounts(const std::vector<uint64_t>& counts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t levels = counts.size();
+  if (levels > max_levels_seen_) max_levels_seen_ = levels;
+  for (size_t s = 0; s < max_levels_seen_; ++s) {
+    Gauge& gauge = Registry().GetGauge(
+        "upskill_model_session_level_count",
+        StringPrintf("level=\"%zu\"", s));
+    gauge.Set(s < levels ? static_cast<double>(counts[s]) : 0.0);
+  }
+}
+
+void ModelHealth::NoteSnapshotInstalled(const std::string& path, int version,
+                                        int num_levels, int num_items) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    have_snapshot_ = true;
+    snapshot_installed_at_ = std::chrono::steady_clock::now();
+  }
+  snapshot_version_.Set(version);
+  snapshot_levels_.Set(num_levels);
+  snapshot_items_.Set(num_items);
+  snapshot_age_.Set(0.0);
+  Registry().GetCounter("upskill_model_snapshot_installs_total").Increment();
+  if (!path.empty()) NoteSnapshotPath(path);
+}
+
+void ModelHealth::NoteSnapshotPath(const std::string& path) {
+  Registry()
+      .GetGauge("upskill_model_snapshot_info",
+                "path=\"" + EscapeLabelValue(path) + "\"")
+      .Set(1.0);
+}
+
+double ModelHealth::SnapshotAgeSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!have_snapshot_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       snapshot_installed_at_)
+      .count();
+}
+
+void ModelHealth::NoteRecommendation(size_t items) {
+  recommend_items_.Increment(static_cast<uint64_t>(items));
+  if (items == 0) recommend_empty_.Increment();
+}
+
+void ModelHealth::NoteRefresh(uint64_t dirty_users, double param_delta_l2) {
+  refresh_dirty_users_.Set(static_cast<double>(dirty_users));
+  refresh_param_delta_.Set(param_delta_l2);
+}
+
+}  // namespace obs
+}  // namespace upskill

@@ -1,0 +1,87 @@
+#ifndef UPSKILL_OBS_MODEL_HEALTH_H_
+#define UPSKILL_OBS_MODEL_HEALTH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace upskill {
+namespace obs {
+
+class Counter;
+class Gauge;
+
+/// Telemetry about the *model* rather than the machinery serving it:
+/// live-session skill-level distribution, per-kind recommendation
+/// volume, snapshot staleness, and online-EM refresh health. All state
+/// flows through the global MetricsRegistry, so the kill switch, the
+/// exposition renderers, and the determinism contract (observation-only,
+/// never read back by model code) apply unchanged.
+///
+/// Pull-style sources (the session store's level distribution) register
+/// a sampler callback; scrape points (/metrics, /statusz, `stats`) call
+/// Sample() first so gauges are fresh at read time instead of being
+/// maintained on the request hot path.
+class ModelHealth {
+ public:
+  ModelHealth();
+  ModelHealth(const ModelHealth&) = delete;
+  ModelHealth& operator=(const ModelHealth&) = delete;
+
+  /// Process-wide instance every wiring point uses.
+  static ModelHealth& Global();
+
+  /// Register a scrape-time callback (e.g. "walk the session store and
+  /// call SetSessionLevelCounts"). Returns a token for RemoveSampler.
+  uint64_t AddSampler(std::function<void()> sampler);
+  void RemoveSampler(uint64_t token);
+  /// Run all registered samplers, then refresh derived gauges
+  /// (snapshot age). Call before rendering any scrape.
+  void Sample();
+
+  /// Session skill-level distribution: counts[s] = live sessions whose
+  /// current maximum-likelihood level is s; counts[0] includes sessions
+  /// with no successful observation yet. Stale level gauges from a
+  /// previous (larger) model are zeroed.
+  void SetSessionLevelCounts(const std::vector<uint64_t>& counts);
+
+  /// A snapshot was installed (process start or hot swap).
+  void NoteSnapshotInstalled(const std::string& path, int version,
+                             int num_levels, int num_items);
+  /// Stamps the `upskill_model_snapshot_info{path="..."}` identity gauge
+  /// for callers that learn the path after the install (file swaps).
+  void NoteSnapshotPath(const std::string& path);
+  double SnapshotAgeSeconds() const;
+
+  /// A recommend request returned `items` items.
+  void NoteRecommendation(size_t items);
+
+  /// An online-EM refresh finished: how many users were refit and the L2
+  /// norm of the parameter change vs the previous fit.
+  void NoteRefresh(uint64_t dirty_users, double param_delta_l2);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<uint64_t, std::function<void()>>> samplers_;
+  uint64_t next_token_ = 1;
+  size_t max_levels_seen_ = 0;  // for zeroing stale level gauges
+  bool have_snapshot_ = false;
+  std::chrono::steady_clock::time_point snapshot_installed_at_{};
+
+  Gauge& snapshot_age_;
+  Gauge& snapshot_version_;
+  Gauge& snapshot_levels_;
+  Gauge& snapshot_items_;
+  Gauge& refresh_dirty_users_;
+  Gauge& refresh_param_delta_;
+  Counter& recommend_items_;
+  Counter& recommend_empty_;
+};
+
+}  // namespace obs
+}  // namespace upskill
+
+#endif  // UPSKILL_OBS_MODEL_HEALTH_H_

@@ -1,15 +1,22 @@
 #include "obs/trace.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace upskill {
 namespace obs {
 
-int CurrentThreadId() {
-  static std::atomic<int> next{0};
-  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
+namespace {
+
+// Registered once so the metric appears in scrapes (at zero) before the
+// first drop ever happens.
+Counter& TraceDroppedCounter() {
+  static Counter* counter =
+      &MetricsRegistry::Global().GetCounter("upskill_trace_dropped_total");
+  return *counter;
 }
+
+}  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
   // Leaked on purpose, like the metrics registry: span destructors in
@@ -44,8 +51,9 @@ void TraceRecorder::Record(const char* name,
   event.iteration = iteration;
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
-  if (events_.size() >= kMaxEvents) {
+  if (events_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    TraceDroppedCounter().Increment();
     return;
   }
   event.start_ns =
@@ -59,10 +67,16 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
   return events_;
 }
 
+void TraceRecorder::SetCapacityForTest(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+}
+
 double Span::StopSeconds() {
   if (stopped_) return elapsed_seconds_;
   stopped_ = true;
   const auto end = std::chrono::steady_clock::now();
+  end_ = end;
   elapsed_seconds_ =
       std::chrono::duration<double>(end - start_).count();
   TraceRecorder& recorder = TraceRecorder::Global();

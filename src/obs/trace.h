@@ -29,8 +29,15 @@ struct TraceEvent {
 
 /// Dense small id for the calling thread, assigned on first use. Shared
 /// with nothing else; used so trace rows group by worker rather than by
-/// an opaque pthread handle.
-int CurrentThreadId();
+/// an opaque pthread handle. Inline: the flight recorder's sampled-out
+/// fast path calls this once per request, so it must cost a TLS load
+/// and an init-guard test, not an out-of-line call.
+inline int CurrentThreadId() {
+  static std::atomic<int> next_thread_id{0};
+  thread_local const int id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 /// Collects phase-scoped spans while enabled. Spans are coarse by design
 /// (trainer phases, per-shard map tasks — not per-request), so a mutex
@@ -65,14 +72,21 @@ class TraceRecorder {
 
   /// Copy of the collected events (chronological by completion).
   std::vector<TraceEvent> Events() const;
-  /// Spans rejected because the buffer was full.
+  /// Spans rejected because the buffer was full. Also exported as the
+  /// `upskill_trace_dropped_total` counter.
   uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Shrinks the event capacity so tests can exercise the overflow path
+  /// without recording a million spans. Clamped to at least 1; resets to
+  /// kMaxEvents by passing kMaxEvents.
+  void SetCapacityForTest(size_t capacity);
+
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};
+  size_t capacity_ = kMaxEvents;  // guarded by mutex_
   std::chrono::steady_clock::time_point epoch_{};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
@@ -102,11 +116,20 @@ class Span {
   /// elapsed seconds. Idempotent: later calls return the first elapsed.
   double StopSeconds();
 
+  /// Steady-clock instant the span opened (for callers that also feed a
+  /// flight recorder from the same clock reads).
+  std::chrono::steady_clock::time_point start_time() const { return start_; }
+  /// Steady-clock instant StopSeconds() first ran (the span's end); the
+  /// epoch until then. Lets flight-recorder callers reuse the span's own
+  /// clock reads instead of reconstructing the end from elapsed seconds.
+  std::chrono::steady_clock::time_point stop_time() const { return end_; }
+
  private:
   const char* name_;
   int shard_;
   int64_t iteration_;
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point end_{};
   bool stopped_ = false;
   double elapsed_seconds_ = 0.0;
 };

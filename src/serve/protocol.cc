@@ -139,6 +139,21 @@ const char* ServeRequestKindName(ServeRequest::Kind kind) {
   return "unknown";
 }
 
+const char* ServeRequestKindSpanName(ServeRequest::Kind kind) {
+  switch (kind) {
+    case ServeRequest::Kind::kObserve: return "serve/observe";
+    case ServeRequest::Kind::kLevel: return "serve/level";
+    case ServeRequest::Kind::kRecommend: return "serve/recommend";
+    case ServeRequest::Kind::kDifficulty: return "serve/difficulty";
+    case ServeRequest::Kind::kSwap: return "serve/swap";
+    case ServeRequest::Kind::kStats: return "serve/stats";
+    case ServeRequest::Kind::kEvict: return "serve/evict";
+    case ServeRequest::Kind::kReset: return "serve/reset";
+    case ServeRequest::Kind::kQuit: return "serve/quit";
+  }
+  return "serve/unknown";
+}
+
 std::string FormatErrorResponse(const Status& status) {
   return StringPrintf("ERR %s %s", StatusCodeToString(status.code()),
                       status.message().c_str());

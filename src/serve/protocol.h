@@ -55,6 +55,11 @@ inline constexpr int kNumServeRequestKinds = 9;
 /// documentation strings and as the `kind` label on per-request metrics.
 const char* ServeRequestKindName(ServeRequest::Kind kind);
 
+/// Trace span name for `kind` ("serve/observe", ...): the name both
+/// Server::Execute's spans and the flight recorder's request records
+/// carry, so phase traces and /tracez dumps line up.
+const char* ServeRequestKindSpanName(ServeRequest::Kind kind);
+
 /// Parses one protocol line (leading/trailing whitespace ignored).
 /// Parse failures are counted in `upskill_serve_parse_errors_total`.
 /// An unrecognized command keyword fails with code InvalidArgument and a

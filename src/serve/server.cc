@@ -8,23 +8,13 @@
 #include "exec/map_reduce.h"
 #include "exec/shard.h"
 #include "obs/exposition.h"
+#include "obs/model_health.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 #include "simd/kernels.h"
 
 namespace upskill {
 namespace serve {
-
-namespace {
-
-/// Trace span names per request kind (Span keeps the pointer, so these
-/// must be string literals).
-constexpr const char* kKindSpanNames[kNumServeRequestKinds] = {
-    "serve/observe", "serve/level", "serve/recommend",
-    "serve/difficulty", "serve/swap", "serve/stats",
-    "serve/evict", "serve/reset", "serve/quit",
-};
-
-}  // namespace
 
 Server::Server(std::shared_ptr<const ServingModel> model, int num_shards,
                bool quantized)
@@ -50,6 +40,19 @@ Server::Server(std::shared_ptr<const ServingModel> model, int num_shards,
         &registry.GetCounter("upskill_serve_requests_total", labels),
         &registry.GetCounter("upskill_serve_request_errors_total", labels)};
   }
+  // Model-health wiring: the initial snapshot is an install too, and the
+  // session level distribution is sampled from the store at scrape time.
+  obs::ModelHealth& health = obs::ModelHealth::Global();
+  health.NoteSnapshotInstalled("", static_cast<int>(kSnapshotVersion),
+                               model_->num_levels(), model_->num_items());
+  health_sampler_token_ = health.AddSampler([this] {
+    obs::ModelHealth::Global().SetSessionLevelCounts(
+        sessions_.LevelCounts(this->model()->num_levels()));
+  });
+}
+
+Server::~Server() {
+  obs::ModelHealth::Global().RemoveSampler(health_sampler_token_);
 }
 
 std::shared_ptr<const ServingModel> Server::model() const {
@@ -169,7 +172,12 @@ Result<std::vector<UpskillRecommendation>> Server::Recommend(
   // A swap that changed S may have raced the lookup; the copied level is
   // still a valid 1-based level under the *old* S, so clamp it.
   const int level = std::min(session.level, model->num_levels());
-  return model->Recommend(level, options);
+  Result<std::vector<UpskillRecommendation>> picks =
+      model->Recommend(level, options);
+  if (picks.ok()) {
+    obs::ModelHealth::Global().NoteRecommendation(picks.value().size());
+  }
+  return picks;
 }
 
 Result<double> Server::ItemDifficulty(ItemId item) const {
@@ -204,6 +212,10 @@ void Server::SwapSnapshot(std::shared_ptr<const ServingModel> next,
   }
   if (reset) sessions_.Clear();
   snapshot_swaps_.Increment();
+  const std::shared_ptr<const ServingModel> installed = this->model();
+  obs::ModelHealth::Global().NoteSnapshotInstalled(
+      "", static_cast<int>(kSnapshotVersion), installed->num_levels(),
+      installed->num_items());
 }
 
 Status Server::SwapSnapshotFile(const std::string& path, ThreadPool* pool) {
@@ -212,21 +224,33 @@ Status Server::SwapSnapshotFile(const std::string& path, ThreadPool* pool) {
       ServingModel::FromSnapshotFile(path, ResolveExecBackend(pool, choice));
   if (!next.ok()) return next.status();
   SwapSnapshot(std::move(next).value(), pool);
+  obs::ModelHealth::Global().NoteSnapshotPath(path);
   return Status::OK();
 }
 
 std::string Server::Execute(const ServeRequest& request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  // The served-requests counter doubles as the flight recorder's
+  // sampling clock (RecordSampled below), so the steady-state trace
+  // decision costs no extra shared-counter traffic.
+  const uint64_t seq = requests_.fetch_add(1, std::memory_order_relaxed);
   const size_t kind = static_cast<size_t>(request.kind);
   instruments_[kind].requests->Increment();
-  if (!obs::MetricsEnabled() && !obs::TraceRecorder::Global().enabled()) {
+  obs::FlightRecorder* const recorder = flight_recorder();
+  if (!obs::MetricsEnabled() && !obs::TraceRecorder::Global().enabled() &&
+      recorder == nullptr) {
     return ExecuteInternal(request);
   }
-  obs::Span span(kKindSpanNames[kind]);
+  const char* span_name = ServeRequestKindSpanName(request.kind);
+  obs::Span span(span_name);
   std::string response = ExecuteInternal(request);
-  instruments_[kind].latency->Observe(span.StopSeconds());
-  if (response.compare(0, 4, "ERR ") == 0) {
-    instruments_[kind].errors->Increment();
+  const double elapsed_seconds = span.StopSeconds();
+  instruments_[kind].latency->Observe(elapsed_seconds);
+  const bool is_error = response.compare(0, 4, "ERR ") == 0;
+  if (is_error) instruments_[kind].errors->Increment();
+  if (recorder != nullptr) {
+    recorder->RecordSampled(seq, static_cast<int>(kind), span_name,
+                            span.start_time(), span.stop_time(), is_error,
+                            /*shed=*/false);
   }
   return response;
 }
@@ -292,17 +316,52 @@ std::string Server::ExecuteInternal(const ServeRequest& request) {
   return FormatErrorResponse(Status::Internal("unhandled request kind"));
 }
 
+std::string Server::LatencyQuantilesText() const {
+  std::string out;
+  for (int i = 0; i < kNumServeRequestKinds; ++i) {
+    const obs::Histogram* histogram = instruments_[static_cast<size_t>(i)].latency;
+    const uint64_t count = histogram->Count();
+    if (count == 0) continue;
+    out += StringPrintf(
+        "  %s: p50=%.3g p90=%.3g p99=%.3g count=%llu\n",
+        ServeRequestKindName(static_cast<ServeRequest::Kind>(i)),
+        histogram->Quantile(0.5), histogram->Quantile(0.9),
+        histogram->Quantile(0.99), static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+std::string Server::LatencyQuantilesInline() const {
+  std::string out;
+  for (int i = 0; i < kNumServeRequestKinds; ++i) {
+    const obs::Histogram* histogram = instruments_[static_cast<size_t>(i)].latency;
+    if (histogram->Count() == 0) continue;
+    const char* kind = ServeRequestKindName(static_cast<ServeRequest::Kind>(i));
+    out += StringPrintf(" %s_p50=%.3g %s_p90=%.3g %s_p99=%.3g", kind,
+                        histogram->Quantile(0.5), kind,
+                        histogram->Quantile(0.9), kind,
+                        histogram->Quantile(0.99));
+  }
+  return out;
+}
+
 std::string Server::StatsText() const {
+  obs::ModelHealth::Global().Sample();
   const std::shared_ptr<const ServingModel> model = this->model();
-  // Summary line first (stable machine-parseable header), then the
-  // Prometheus exposition of the whole process registry. The "# EOF"
-  // terminator doubles as the protocol's end-of-response marker for
-  // this one multi-line response.
+  // Summary line first (stable machine-parseable header; new fields are
+  // only ever appended at the end of the line), then the Prometheus
+  // exposition of the whole process registry. The "# EOF" terminator
+  // doubles as the protocol's end-of-response marker for this one
+  // multi-line response.
   std::string response = StringPrintf(
-      "ok sessions=%zu shards=%d levels=%d items=%d requests=%llu\n",
+      "ok sessions=%zu shards=%d levels=%d items=%d requests=%llu "
+      "trace_dropped=%llu",
       num_sessions(), sessions_.num_shards(), model->num_levels(),
       model->num_items(),
-      static_cast<unsigned long long>(requests_served()));
+      static_cast<unsigned long long>(requests_served()),
+      static_cast<unsigned long long>(obs::TraceRecorder::Global().dropped()));
+  response += LatencyQuantilesInline();
+  response += '\n';
   response += obs::RenderPrometheus(obs::MetricsRegistry::Global());
   // The transport layer appends the final newline.
   while (!response.empty() && response.back() == '\n') response.pop_back();

@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "exec/backend.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "serve/protocol.h"
 #include "serve/quantized_model.h"
 #include "serve/serving_model.h"
@@ -44,6 +45,7 @@ class Server {
   /// from the double view — only level inference is quantized.
   Server(std::shared_ptr<const ServingModel> model, int num_shards = 64,
          bool quantized = false);
+  ~Server();
 
   /// Current model view (atomically readable while swaps happen).
   std::shared_ptr<const ServingModel> model() const;
@@ -125,8 +127,31 @@ class Server {
     requests_.fetch_add(count, std::memory_order_relaxed);
   }
 
+  /// Attaches a flight recorder: every Execute (and the binary TCP
+  /// front end's typed calls, via the same pointer) records its
+  /// completion. The pointer is atomic, so attaching or detaching while
+  /// requests are in flight is safe — though the recorder itself must
+  /// outlive any request that might still use it; null detaches.
+  /// Purely observational — responses are byte-identical with or
+  /// without a recorder attached.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    flight_recorder_.store(recorder, std::memory_order_release);
+  }
+  obs::FlightRecorder* flight_recorder() const {
+    return flight_recorder_.load(std::memory_order_acquire);
+  }
+
+  /// Per-kind latency quantiles for kinds that have traffic, one
+  /// "  <kind>: p50=<s> p90=<s> p99=<s> count=<n>\n" row per kind.
+  /// Empty when nothing has been recorded (e.g. metrics disabled).
+  std::string LatencyQuantilesText() const;
+  /// The same quantiles as " <kind>_p50=<s> <kind>_p90=<s> <kind>_p99=<s>"
+  /// fields appended to the stats summary line (kinds with traffic only).
+  std::string LatencyQuantilesInline() const;
+
   /// The `stats` response body: the "ok sessions=..." summary line
-  /// followed by the Prometheus exposition of the process registry,
+  /// (including trace_dropped and per-kind latency quantiles) followed
+  /// by the Prometheus exposition of the process registry,
   /// "# EOF"-terminated, with no trailing newline (the transport appends
   /// it). Shared by Execute's kStats case and the binary TCP front end,
   /// so both wire formats report identical telemetry.
@@ -182,9 +207,13 @@ class Server {
   std::shared_ptr<const QuantizedModel> qmodel_;
   SessionStore sessions_;
   ObserveHook observe_hook_;
+  std::atomic<obs::FlightRecorder*> flight_recorder_{nullptr};
   std::atomic<uint64_t> requests_{0};
   std::array<KindInstruments, kNumServeRequestKinds> instruments_;
   obs::Counter& snapshot_swaps_;
+  /// ModelHealth sampler registration (session level distribution);
+  /// deregistered in the destructor.
+  uint64_t health_sampler_token_ = 0;
 };
 
 }  // namespace serve

@@ -71,6 +71,21 @@ size_t SessionStore::EvictIdleSessions(int64_t min_last_time) {
   return evicted;
 }
 
+std::vector<uint64_t> SessionStore::LevelCounts(int num_levels) const {
+  if (num_levels < 0) num_levels = 0;
+  std::vector<uint64_t> counts(static_cast<size_t>(num_levels) + 1, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& entry : shard.sessions) {
+      int level = entry.second.actions == 0 ? 0 : entry.second.level;
+      if (level < 0) level = 0;
+      if (level > num_levels) level = num_levels;
+      ++counts[static_cast<size_t>(level)];
+    }
+  }
+  return counts;
+}
+
 void SessionStore::Clear() {
   size_t dropped = 0;
   for (Shard& shard : shards_) {

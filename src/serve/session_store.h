@@ -86,6 +86,15 @@ class SessionStore {
   /// is still pending eviction is judged by its fresh timestamp.
   size_t EvictIdleSessions(int64_t min_last_time);
 
+  /// Histogram of live sessions by current level: out[s] = sessions at
+  /// level s, for s in [0, num_levels] (level 0 = no successful
+  /// observation yet); sessions reporting a level above `num_levels`
+  /// (stale vs. a smaller swapped-in model) are clamped into the top
+  /// bin. Locks one shard at a time, so it can run against live traffic;
+  /// the result is a consistent-per-shard estimate, which is all the
+  /// model-health gauges need.
+  std::vector<uint64_t> LevelCounts(int num_levels) const;
+
   /// Drops every session (e.g. after a snapshot swap changed S).
   void Clear();
 

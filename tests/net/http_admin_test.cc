@@ -1,0 +1,277 @@
+// The admin plane over a real TCP socket: /metrics, /healthz, /statusz,
+// and /tracez all answer well-formed HTTP/1.1 with Content-Length and
+// Connection: close, 404/405 behave, HEAD omits the body, and the
+// /metrics payload is the same Prometheus exposition `stats` embeds
+// (model-health gauges sampled at scrape time included).
+
+#include "net/http_admin.h"
+
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/difficulty.h"
+#include "core/trainer.h"
+#include "datagen/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/serving_model.h"
+#include "serve/snapshot.h"
+
+namespace upskill {
+namespace net {
+namespace {
+
+// Minimal blocking HTTP client: one request, read to EOF (the server
+// always closes after the response drains).
+std::string HttpRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return HttpRequest(port,
+                     "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t blank = response.find("\r\n\r\n");
+  EXPECT_NE(blank, std::string::npos) << response;
+  return blank == std::string::npos ? "" : response.substr(blank + 4);
+}
+
+class HttpAdminTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::SyntheticConfig data_config;
+    data_config.num_users = 40;
+    data_config.num_items = 80;
+    data_config.mean_sequence_length = 20.0;
+    data_config.seed = 321;
+    auto data = datagen::GenerateSynthetic(data_config);
+    ASSERT_TRUE(data.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(data).value().dataset);
+
+    SkillModelConfig config;
+    config.num_levels = 4;
+    config.min_init_actions = 10;
+    config.max_iterations = 5;
+    auto trained = Trainer(config).Train(*dataset_);
+    ASSERT_TRUE(trained.ok());
+    const SkillAssignments assignments =
+        AssignSkills(*dataset_, trained.value().model);
+    auto difficulty = EstimateDifficultyByGeneration(
+        dataset_->items(), trained.value().model, DifficultyPrior::kEmpirical,
+        assignments);
+    ASSERT_TRUE(difficulty.ok());
+    path_ = (std::filesystem::temp_directory_path() /
+             ("upskill_http_" + std::to_string(::getpid()) + ".snap"))
+                .string();
+    auto snapshot = serve::MakeSnapshot(trained.value().model,
+                                        dataset_->items(), difficulty.value());
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_TRUE(serve::SaveSnapshot(snapshot.value(), path_).ok());
+    auto serving = serve::ServingModel::FromSnapshotFile(path_);
+    ASSERT_TRUE(serving.ok()) << serving.status().ToString();
+    serving_ = serving.value();
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  // Drives a few requests through the server so every scrape target has
+  // data: sessions, latency histograms, a recommend, an error.
+  void DriveTraffic(serve::Server* server) {
+    for (const char* line :
+         {"observe admin_user 5 100", "observe admin_user 9 200",
+          "level admin_user", "recommend admin_user 5",
+          "difficulty 1000000"}) {
+      const auto request = serve::ParseServeRequest(line);
+      ASSERT_TRUE(request.ok());
+      server->Execute(request.value());
+    }
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::string path_;
+  std::shared_ptr<const serve::ServingModel> serving_;
+};
+
+TEST_F(HttpAdminTest, AllFourEndpointsAnswerOverRealTcp) {
+  serve::Server server(serving_);
+  obs::FlightRecorderOptions recorder_options;
+  obs::FlightRecorder recorder(recorder_options);
+  server.SetFlightRecorder(&recorder);
+  DriveTraffic(&server);
+
+  HttpAdminConfig config;  // 127.0.0.1, ephemeral port
+  HttpAdminServer admin(config);
+  InstallAdminEndpoints(&admin, &server, &recorder);
+  ASSERT_TRUE(admin.Start().ok());
+  ASSERT_NE(admin.port(), 0);
+
+  // /healthz: trivially alive.
+  const std::string healthz = HttpGet(admin.port(), "/healthz");
+  EXPECT_EQ(healthz.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << healthz;
+  EXPECT_NE(healthz.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(BodyOf(healthz), "ok\n");
+
+  // /metrics: Prometheus exposition with model-health sampled in.
+  const std::string metrics = HttpGet(admin.port(), "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string metrics_body = BodyOf(metrics);
+  EXPECT_NE(metrics_body.find("# TYPE upskill_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics_body.find("upskill_model_session_level_count{level=\"0\"}"),
+            std::string::npos)
+      << metrics_body.substr(0, 2000);
+  EXPECT_NE(metrics_body.find("upskill_model_snapshot_age_seconds"),
+            std::string::npos);
+  EXPECT_EQ(metrics_body.rfind("# EOF\n"), metrics_body.size() - 6);
+  // Content-Length is honest: body size matches the header.
+  const std::string marker = "Content-Length: ";
+  const size_t cl_pos = metrics.find(marker);
+  ASSERT_NE(cl_pos, std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(std::stoul(metrics.substr(
+                cl_pos + marker.size()))),
+            metrics_body.size());
+
+  // /statusz: the operator page names the load-bearing facts.
+  const std::string statusz_body = BodyOf(HttpGet(admin.port(), "/statusz"));
+  EXPECT_NE(statusz_body.find("snapshot_version:"), std::string::npos);
+  EXPECT_NE(statusz_body.find("snapshot_age_seconds:"), std::string::npos);
+  EXPECT_NE(statusz_body.find("sessions: 1"), std::string::npos)
+      << statusz_body;
+  EXPECT_NE(statusz_body.find("trace_dropped:"), std::string::npos);
+  EXPECT_NE(statusz_body.find("flight_recorder:"), std::string::npos);
+  EXPECT_NE(statusz_body.find("p99="), std::string::npos) << statusz_body;
+
+  // /tracez: Chrome-trace JSON with the driven requests in it.
+  const std::string tracez = HttpGet(admin.port(), "/tracez");
+  EXPECT_NE(tracez.find("Content-Type: application/json"), std::string::npos);
+  const std::string tracez_body = BodyOf(tracez);
+  EXPECT_EQ(tracez_body.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(tracez_body.find("\"name\":\"serve/observe\""), std::string::npos);
+  EXPECT_NE(tracez_body.find("\"name\":\"serve/recommend\""),
+            std::string::npos);
+  // The difficulty request failed (out of range): flagged in the dump.
+  EXPECT_NE(tracez_body.find("\"error\":true"), std::string::npos);
+
+  admin.Stop();
+}
+
+TEST_F(HttpAdminTest, UnknownPathMethodAndHeadSemantics) {
+  serve::Server server(serving_);
+  HttpAdminConfig config;
+  HttpAdminServer admin(config);
+  InstallAdminEndpoints(&admin, &server, nullptr);
+  ASSERT_TRUE(admin.Start().ok());
+
+  const std::string missing = HttpGet(admin.port(), "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u) << missing;
+  // The 404 body lists what does exist, so curl typos self-diagnose.
+  EXPECT_NE(BodyOf(missing).find("/metrics"), std::string::npos);
+
+  const std::string post = HttpRequest(
+      admin.port(), "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0), 0u) << post;
+
+  const std::string head = HttpRequest(
+      admin.port(), "HEAD /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+  EXPECT_EQ(head.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_EQ(BodyOf(head), "");  // headers only
+  EXPECT_NE(head.find("Content-Length: 3\r\n"), std::string::npos) << head;
+
+  // Query strings are stripped before path matching.
+  const std::string with_query = HttpGet(admin.port(), "/healthz?verbose=1");
+  EXPECT_EQ(with_query.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+
+  // /tracez with no flight recorder attached: valid empty trace.
+  EXPECT_EQ(BodyOf(HttpGet(admin.port(), "/tracez")),
+            "{\"traceEvents\":[]}\n");
+  admin.Stop();
+  admin.Stop();  // idempotent
+}
+
+TEST_F(HttpAdminTest, ConcurrentScrapersAllGetCompleteResponses) {
+  serve::Server server(serving_);
+  obs::FlightRecorder recorder;
+  server.SetFlightRecorder(&recorder);
+  DriveTraffic(&server);
+
+  HttpAdminConfig config;
+  HttpAdminServer admin(config);
+  InstallAdminEndpoints(&admin, &server, &recorder);
+  ASSERT_TRUE(admin.Start().ok());
+
+  constexpr int kScrapers = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  const char* paths[] = {"/metrics", "/healthz", "/statusz", "/tracez"};
+  for (int t = 0; t < kScrapers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        const std::string response =
+            HttpGet(admin.port(), paths[(t + i) % 4]);
+        if (response.rfind("HTTP/1.1 200 OK\r\n", 0) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  admin.Stop();
+}
+
+TEST(ParseHostPortTest, AcceptsTheListenGrammar) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:9100", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9100);
+  ASSERT_TRUE(ParseHostPort(":9100", &host, &port).ok());
+  EXPECT_EQ(host, "0.0.0.0");
+  ASSERT_TRUE(ParseHostPort("localhost:0", &host, &port).ok());
+  EXPECT_EQ(port, 0);
+  EXPECT_FALSE(ParseHostPort("nocolon", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("host:notaport", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("host:99999", &host, &port).ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace upskill

@@ -6,12 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "core/difficulty.h"
+#include "core/online_trainer.h"
 #include "core/trainer.h"
 #include "datagen/synthetic.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/serving_model.h"
+#include "serve/snapshot.h"
 
 namespace upskill {
 namespace {
@@ -97,6 +105,116 @@ TEST(ObsDeterminismTest, PhaseSecondsPopulatedWithMetricsDisabled) {
   EXPECT_GT(result.value().assignment_seconds, 0.0);
   EXPECT_GT(result.value().update_seconds, 0.0);
   EXPECT_GT(result.value().cache_seconds, 0.0);
+}
+
+// `base` plus appended actions on two users and one new user — a
+// deterministic "current" dataset for an online refresh.
+Dataset GrowDataset(const Dataset& base) {
+  Dataset out(base.items());
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    out.AddUser(base.user_name(u));
+    for (const Action& a : base.sequence(u)) {
+      EXPECT_TRUE(out.AddAction(u, a.time, a.item, a.rating).ok());
+    }
+  }
+  const int num_items = base.items().num_items();
+  for (UserId u : {UserId{0}, UserId{5}}) {
+    const auto seq = base.sequence(u);
+    const int64_t start = seq.empty() ? 0 : seq.back().time + 1;
+    for (int k = 0; k < 6; ++k) {
+      EXPECT_TRUE(out.AddAction(u, start + k, (u * 11 + k) % num_items).ok());
+    }
+  }
+  const UserId fresh = out.AddUser("det_newcomer");
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(out.AddAction(fresh, 1000 + k, (k * 3) % num_items).ok());
+  }
+  return out;
+}
+
+// The refresh's param-delta gauge must be a pure readout: computing it
+// (metrics on) cannot change a single bit of the refreshed model vs not
+// computing it (metrics off).
+TEST(ObsDeterminismTest, RefreshTelemetryDoesNotPerturbOnlineTraining) {
+  const datagen::GeneratedData data = MakeData();
+  const Dataset grown = GrowDataset(data.dataset);
+  SkillModelConfig config = MakeConfig(1);
+  config.transitions = TransitionModel::kNone;
+
+  obs::SetMetricsEnabled(false);
+  OnlineTrainer baseline(config);
+  ASSERT_TRUE(baseline.TrainFullReplay(data.dataset).ok());
+  const auto baseline_stats = baseline.Refresh(data.dataset, grown);
+  ASSERT_TRUE(baseline_stats.ok()) << baseline_stats.status().ToString();
+  // Disabled metrics: the delta is not computed at all.
+  EXPECT_EQ(baseline_stats.value().param_delta_l2, 0.0);
+
+  obs::SetMetricsEnabled(true);
+  OnlineTrainer instrumented(config);
+  ASSERT_TRUE(instrumented.TrainFullReplay(data.dataset).ok());
+  const auto instrumented_stats = instrumented.Refresh(data.dataset, grown);
+  ASSERT_TRUE(instrumented_stats.ok());
+  EXPECT_GT(instrumented_stats.value().dirty_users, 0u);
+  EXPECT_GE(instrumented_stats.value().param_delta_l2, 0.0);
+
+  EXPECT_EQ(baseline_stats.value().dirty_users,
+            instrumented_stats.value().dirty_users);
+  EXPECT_EQ(ModelParams(baseline.model()), ModelParams(instrumented.model()));
+  EXPECT_EQ(baseline.assignments(), instrumented.assignments());
+}
+
+// Attaching a flight recorder to a serving stack must be bitwise
+// invisible in every response byte (the recorder is written to, never
+// read from, on the request path).
+TEST(ObsDeterminismTest, FlightRecorderDoesNotPerturbServing) {
+  const datagen::GeneratedData data = MakeData();
+  SkillModelConfig config = MakeConfig(1);
+  const auto trained = Trainer(config).Train(data.dataset);
+  ASSERT_TRUE(trained.ok());
+  const SkillAssignments assignments =
+      AssignSkills(data.dataset, trained.value().model);
+  const auto difficulty = EstimateDifficultyByGeneration(
+      data.dataset.items(), trained.value().model, DifficultyPrior::kEmpirical,
+      assignments);
+  ASSERT_TRUE(difficulty.ok());
+  const auto snapshot = serve::MakeSnapshot(
+      trained.value().model, data.dataset.items(), difficulty.value());
+  ASSERT_TRUE(snapshot.ok());
+  const auto serving = serve::ServingModel::FromSnapshot(snapshot.value());
+  ASSERT_TRUE(serving.ok());
+
+  const std::vector<std::string> lines = {
+      "observe det_u 5 100",  "observe det_u 9 200", "level det_u",
+      "recommend det_u 5",    "difficulty 9",        "difficulty 1000000",
+      "recommend unknown_u 3", "evict 50",           "level det_u",
+  };
+
+  const auto run = [&](serve::Server& server) {
+    std::vector<std::string> responses;
+    for (const std::string& line : lines) {
+      const auto request = serve::ParseServeRequest(line);
+      EXPECT_TRUE(request.ok()) << line;
+      responses.push_back(server.Execute(request.value()));
+    }
+    return responses;
+  };
+
+  serve::Server plain(serving.value());
+  const std::vector<std::string> expected = run(plain);
+
+  obs::FlightRecorderOptions options;
+  options.capacity = 8;  // small enough to exercise overwrite too
+  obs::FlightRecorder recorder(options);
+  serve::Server recorded(serving.value());
+  recorded.SetFlightRecorder(&recorder);
+  EXPECT_EQ(run(recorded), expected);
+  EXPECT_GT(recorder.Stats().recorded, 0u);
+
+  // And with telemetry fully dark, the fast path answers identically.
+  obs::SetMetricsEnabled(false);
+  serve::Server dark(serving.value());
+  EXPECT_EQ(run(dark), expected);
+  obs::SetMetricsEnabled(true);
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// Golden-file lock on the Prometheus exposition format: HELP precedes
+// TYPE, samples group by family in sorted order, label values escape
+// backslash/quote/newline, histogram buckets are cumulative with the
+// labeled _sum/_count pair, and the payload ends with the OpenMetrics
+// `# EOF` marker. Scrapers parse this byte stream — any change here is a
+// compatibility decision, so it must show up as a golden diff, not as a
+// silently passing substring check.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+#ifndef UPSKILL_TESTDATA_DIR
+#error "UPSKILL_TESTDATA_DIR must be defined by the build"
+#endif
+
+namespace upskill {
+namespace obs {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ExpositionGoldenTest, PrometheusRenderingMatchesGoldenFile) {
+  // A local registry, populated exactly like the golden expects: two
+  // labeled counters in one family, a zero-valued bare counter, an
+  // identity gauge whose label value needs every escape class, and a
+  // small labeled histogram.
+  MetricsRegistry registry;
+  registry.SetHelp("upskill_requests_total",
+                   "Total serve requests by kind.");
+  registry.SetHelp("upskill_lat_seconds", "Request latency in seconds.");
+  registry.SetHelp("upskill_model_snapshot_info",
+                   "Identity of the installed snapshot.");
+
+  registry.GetCounter("upskill_requests_total", "kind=\"observe\"")
+      .Increment(3);
+  registry.GetCounter("upskill_requests_total", "kind=\"level\"").Increment(1);
+  registry.GetCounter("upskill_trace_dropped_total");
+
+  const std::string raw_path = "/tmp/we\"ird\\snap\n.v1";
+  registry
+      .GetGauge("upskill_model_snapshot_info",
+                "path=\"" + EscapeLabelValue(raw_path) + "\"")
+      .Set(1.0);
+  registry.GetGauge("upskill_uptime_seconds").Set(12.5);
+
+  HistogramOptions options;
+  options.min_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 3;  // bounds 1, 2, 4
+  Histogram& histogram =
+      registry.GetHistogram("upskill_lat_seconds", "kind=\"observe\"", options);
+  histogram.Observe(0.5);
+  histogram.Observe(3.0);
+  histogram.Observe(100.0);
+
+  const std::string actual = RenderPrometheus(registry);
+  const std::string golden = ReadFileOrDie(
+      std::string(UPSKILL_TESTDATA_DIR) + "/exposition_golden.prom");
+
+  if (actual != golden) {
+    // Byte-exact diff support: leave the actual rendering next to the
+    // golden name so `diff` explains the failure.
+    const std::string dump =
+        (std::filesystem::temp_directory_path() / "exposition_actual.prom")
+            .string();
+    std::ofstream(dump, std::ios::binary) << actual;
+    ADD_FAILURE() << "exposition drifted from golden; actual written to "
+                  << dump << "\n--- actual ---\n"
+                  << actual;
+  }
+}
+
+TEST(ExpositionGoldenTest, EscapeLabelValueCoversEveryClass) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace upskill

@@ -122,6 +122,55 @@ TEST(HistogramTest, DefaultCoversMicrosecondsToHours) {
   EXPECT_EQ(histogram.Count(), 3u);
 }
 
+TEST(HistogramQuantileTest, InterpolatesWithinTheOwningBucket) {
+  // Bounds 1, 2, 4: counts below place 4 observations in bucket 0,
+  // 4 in bucket 1, and 2 in bucket 2.
+  const std::vector<uint64_t> counts = {4, 4, 2, 0};
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // p50 -> rank ceil(0.5*10)=5, the 1st of 4 observations in [1,2].
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(counts, bounds, 0.5), 1.25);
+  // p90 -> rank 9, the 1st of 2 in (2,4].
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(counts, bounds, 0.9), 3.0);
+  // p99 -> rank 10, the 2nd of 2 in (2,4].
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(counts, bounds, 0.99), 4.0);
+  // Bucket 0 interpolates from a lower bound of zero.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(counts, bounds, 0.25), 0.75);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(counts, bounds, -1.0),
+                   QuantileFromBuckets(counts, bounds, 0.0));
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(counts, bounds, 2.0),
+                   QuantileFromBuckets(counts, bounds, 1.0));
+}
+
+TEST(HistogramQuantileTest, OverflowClampsToLastFiniteBound) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  // All mass in the +Inf bucket: no finite upper edge to interpolate
+  // toward, so the estimate saturates at the largest resolvable bound.
+  const std::vector<uint64_t> overflow_only = {0, 0, 5};
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(overflow_only, bounds, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(overflow_only, bounds, 0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZero) {
+  Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantileTest, MatchesExactValuesOnDegenerateBuckets) {
+  HistogramOptions options;
+  options.min_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 8;  // bounds 1..128
+  Histogram histogram(options);
+  // A single observation: every quantile lands in its bucket.
+  histogram.Observe(10.0);  // bucket (8,16]
+  const double p50 = histogram.Quantile(0.5);
+  EXPECT_GT(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.01), histogram.Quantile(0.99));
+}
+
 TEST(MetricsRegistryTest, SameNameAndLabelsYieldSameInstrument) {
   MetricsRegistry registry;
   Counter& a = registry.GetCounter("requests", "kind=\"x\"");

@@ -1,0 +1,350 @@
+// FlightRecorder: the main ring keeps exactly the last K completions,
+// tail sampling retains errors/sheds/slowest past ring overwrite,
+// sample_every thins only the main ring, the Chrome-trace dump carries
+// the request-id/kind/error args, and concurrent recorders lose nothing
+// (the TSan target for the request-trace subsystem). Also the satellite
+// regression for TraceRecorder overflow accounting:
+// upskill_trace_dropped_total must move with dropped().
+
+#include "obs/request_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace upskill {
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Record a completion of `duration_us` starting `start_us` after the
+// recorder's epoch, on the calling thread.
+void RecordAt(FlightRecorder& recorder, int kind, const char* name,
+              int64_t start_us, int64_t duration_us, bool error = false,
+              bool shed = false) {
+  const Clock::time_point start =
+      recorder.epoch() + std::chrono::microseconds(start_us);
+  recorder.Record(kind, name, start,
+                  start + std::chrono::microseconds(duration_us), error, shed);
+}
+
+TEST(NextRequestIdTest, UniqueNonZeroAndMonotoneWithinProcess) {
+  std::set<uint64_t> seen;
+  uint64_t previous = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = NextRequestId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    if (previous != 0) {
+      EXPECT_GT(id, previous);
+    }
+    previous = id;
+  }
+}
+
+TEST(FlightRecorderTest, RingKeepsLastKAndDropsOldest) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 0;  // isolate the ring from tail retention
+  FlightRecorder recorder(options);
+
+  for (int i = 0; i < 10; ++i) {
+    RecordAt(recorder, 0, "serve/observe", /*start_us=*/i, /*duration_us=*/1);
+  }
+  const std::vector<RequestRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Chronological, and only the last four completions survive.
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].start_ns, static_cast<int64_t>((6 + i) * 1000));
+    EXPECT_STREQ(recent[i].kind_name, "serve/observe");
+    EXPECT_NE(recent[i].id, 0u);
+  }
+  const FlightRecorderStats stats = recorder.Stats();
+  EXPECT_EQ(stats.recorded, 10u);
+  EXPECT_EQ(stats.ring_size, 4u);
+  EXPECT_EQ(stats.sampled_out, 0u);
+}
+
+TEST(FlightRecorderTest, ErrorsAndShedsSurviveRingOverwrite) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 0;
+  FlightRecorder recorder(options);
+
+  // One error and one shed early, then enough traffic to overwrite the
+  // ring many times over.
+  RecordAt(recorder, 0, "serve/observe", 0, 1, /*error=*/true);
+  RecordAt(recorder, 1, "serve/level", 1, 1, /*error=*/true, /*shed=*/true);
+  for (int i = 0; i < 100; ++i) {
+    RecordAt(recorder, 0, "serve/observe", 10 + i, 1);
+  }
+
+  const std::vector<RequestRecord> recent = recorder.Recent();
+  for (const RequestRecord& record : recent) EXPECT_FALSE(record.error);
+
+  const std::vector<RequestRecord> retained = recorder.Retained();
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_TRUE(retained[0].error);
+  EXPECT_FALSE(retained[0].shed);
+  EXPECT_TRUE(retained[1].error);
+  EXPECT_TRUE(retained[1].shed);
+  EXPECT_STREQ(retained[1].kind_name, "serve/level");
+
+  const FlightRecorderStats stats = recorder.Stats();
+  EXPECT_EQ(stats.errors_retained, 2u);
+  EXPECT_EQ(stats.sheds_retained, 1u);
+}
+
+TEST(FlightRecorderTest, SlowestPerKindSurvivesAndKeepsTrueMaxima) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 2;
+  FlightRecorder recorder(options);
+
+  // Durations 1..50us for kind 0; the slow table must end up holding
+  // exactly the two largest regardless of arrival order or overwrite.
+  std::vector<int64_t> durations;
+  for (int64_t d = 1; d <= 50; ++d) durations.push_back(d);
+  // Shuffle deterministically: odd durations first, then even descending.
+  std::vector<int64_t> order;
+  for (int64_t d : durations) {
+    if (d % 2 == 1) order.push_back(d);
+  }
+  for (auto it = durations.rbegin(); it != durations.rend(); ++it) {
+    if (*it % 2 == 0) order.push_back(*it);
+  }
+  int64_t start = 0;
+  for (int64_t d : order) {
+    RecordAt(recorder, 0, "serve/recommend", start++, d);
+  }
+
+  std::vector<int64_t> retained_durations;
+  for (const RequestRecord& record : recorder.Retained()) {
+    EXPECT_EQ(record.kind_index, 0);
+    retained_durations.push_back(record.duration_ns / 1000);
+  }
+  std::sort(retained_durations.begin(), retained_durations.end());
+  EXPECT_EQ(retained_durations, (std::vector<int64_t>{49, 50}));
+  EXPECT_EQ(recorder.Stats().slowest_size, 2u);
+
+  // A kind index past kMaxKinds still reaches the ring without crashing.
+  RecordAt(recorder, FlightRecorder::kMaxKinds + 3, "serve/unknown", 999, 1);
+  EXPECT_EQ(recorder.Stats().slowest_size, 2u);
+}
+
+TEST(FlightRecorderTest, SampleEveryThinsOnlyTheMainRing) {
+  FlightRecorderOptions options;
+  options.capacity = 64;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 0;
+  options.sample_every = 4;
+  FlightRecorder recorder(options);
+
+  for (int i = 0; i < 40; ++i) {
+    RecordAt(recorder, 0, "serve/observe", i, 1);
+  }
+  // One error mid-stream: always retained even while thinning.
+  RecordAt(recorder, 0, "serve/observe", 100, 1, /*error=*/true);
+
+  const FlightRecorderStats stats = recorder.Stats();
+  EXPECT_EQ(stats.recorded, 41u);
+  // Of 41 offered, every 4th lands: ceil(41 / 4) = 11 kept.
+  EXPECT_EQ(stats.ring_size, 11u);
+  EXPECT_EQ(stats.sampled_out, 30u);
+  EXPECT_EQ(stats.errors_retained, 1u);
+  ASSERT_EQ(recorder.Retained().size(), 1u);
+  EXPECT_TRUE(recorder.Retained()[0].error);
+}
+
+// Caller-sequenced recording: seqs on the sampling cadence land in the
+// main ring and account for their whole block, so Stats().recorded
+// tracks the true completion count even though sampled-out requests
+// never touch the recorder's counters.
+TEST(FlightRecorderTest, RecordSampledKeepsCadenceAndBlockAccounting) {
+  FlightRecorderOptions options;
+  options.capacity = 64;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 0;
+  options.sample_every = 4;
+  FlightRecorder recorder(options);
+
+  for (uint64_t seq = 0; seq < 16; ++seq) {
+    const Clock::time_point start =
+        recorder.epoch() + std::chrono::microseconds(seq);
+    recorder.RecordSampled(seq, 0, "serve/observe", start,
+                           start + std::chrono::microseconds(1), false, false);
+  }
+
+  const FlightRecorderStats stats = recorder.Stats();
+  // Seqs 0, 4, 8, 12 are cadence reps; each accounts for 4 offers.
+  EXPECT_EQ(stats.recorded, 16u);
+  EXPECT_EQ(stats.ring_size, 4u);
+  EXPECT_EQ(stats.sampled_out, 12u);
+}
+
+// Off-cadence errors and slowest candidates are still admitted — into
+// tail retention only, never the main ring, so cadence accounting
+// stays exact.
+TEST(FlightRecorderTest, RecordSampledAdmitsTailOffCadence) {
+  FlightRecorderOptions options;
+  options.capacity = 64;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 2;
+  options.sample_every = 8;
+  FlightRecorder recorder(options);
+
+  const auto at = [&](uint64_t seq, int64_t duration_us, bool error) {
+    const Clock::time_point start =
+        recorder.epoch() + std::chrono::microseconds(seq);
+    recorder.RecordSampled(seq, 0, "serve/observe", start,
+                           start + std::chrono::microseconds(duration_us),
+                           error, false);
+  };
+  at(1, 1, /*error=*/true);   // off-cadence error: error ring only
+  at(2, 500, /*error=*/false);  // off-cadence slow: slowest table only
+  at(8, 1, /*error=*/false);  // cadence rep: main ring
+
+  const FlightRecorderStats stats = recorder.Stats();
+  EXPECT_EQ(stats.errors_retained, 1u);
+  EXPECT_EQ(stats.ring_size, 1u);  // only the cadence rep
+  EXPECT_EQ(stats.recorded, 8u);   // one block accounted
+  const std::vector<RequestRecord> retained = recorder.Retained();
+  // Error + both slow-table rows (the error and the 500us request are
+  // candidates while the table fills).
+  EXPECT_GE(retained.size(), 2u);
+  bool saw_error = false;
+  bool saw_slow = false;
+  for (const RequestRecord& record : retained) {
+    if (record.error) saw_error = true;
+    if (record.duration_ns == 500 * 1000) saw_slow = true;
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(saw_slow);
+}
+
+TEST(FlightRecorderTest, JsonDumpCarriesArgsAndDeduplicatesRetained) {
+  FlightRecorderOptions options;
+  options.capacity = 8;
+  options.num_stripes = 1;
+  options.slowest_per_kind = 2;
+  FlightRecorder recorder(options);
+
+  RecordAt(recorder, 2, "serve/recommend", 5, 123);
+  RecordAt(recorder, 1, "serve/level", 50, 4, /*error=*/true, /*shed=*/true);
+
+  const std::string json = RenderFlightRecorderJson(recorder);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"serve/recommend\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serve/level\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"error\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"retained\":true"), std::string::npos);
+  // Both records sit in the ring AND the slow tables / error ring; the
+  // dump must emit each id exactly once.
+  size_t events = 0;
+  for (size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+}
+
+TEST(FlightRecorderTest, CapacitySmallerThanStripesStillWorks) {
+  FlightRecorderOptions options;
+  options.capacity = 2;
+  options.num_stripes = 16;  // shrunk until each stripe holds >= 1 record
+  FlightRecorder recorder(options);
+  EXPECT_LE(recorder.options().num_stripes, 2u);
+  for (int i = 0; i < 8; ++i) {
+    RecordAt(recorder, 0, "serve/observe", i, 1);
+  }
+  EXPECT_GE(recorder.Recent().size(), 1u);
+  EXPECT_LE(recorder.Recent().size(), 2u);
+}
+
+// 8 threads recording concurrently: totals are exact, every surviving
+// record is intact (no torn kind_name / id), and readers can snapshot
+// mid-flight. Doubles as the race detector under UPSKILL_SANITIZE=thread.
+TEST(FlightRecorderTest, ConcurrentRecordersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  FlightRecorderOptions options;
+  options.capacity = 1024;
+  options.num_stripes = 8;
+  FlightRecorder recorder(options);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const bool error = (i % 997) == 0;
+        RecordAt(recorder, t % FlightRecorder::kMaxKinds, "serve/observe",
+                 /*start_us=*/static_cast<int64_t>(t) * kPerThread + i,
+                 /*duration_us=*/1 + i % 7, error);
+      }
+    });
+  }
+  // Interleaved reads while writers run.
+  for (int i = 0; i < 20; ++i) {
+    const FlightRecorderStats stats = recorder.Stats();
+    EXPECT_LE(stats.recorded, static_cast<uint64_t>(kThreads * kPerThread));
+    (void)recorder.Recent();
+    (void)recorder.Retained();
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const FlightRecorderStats stats = recorder.Stats();
+  EXPECT_EQ(stats.recorded, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.errors_retained,
+            static_cast<uint64_t>(kThreads * ((kPerThread + 996) / 997)));
+  for (const RequestRecord& record : recorder.Recent()) {
+    EXPECT_STREQ(record.kind_name, "serve/observe");
+    EXPECT_NE(record.id, 0u);
+    EXPECT_GE(record.duration_ns, 1000);
+  }
+}
+
+// Satellite regression: overflowing the phase-trace buffer must bump
+// both the recorder's own dropped() counter and the exported
+// upskill_trace_dropped_total metric by the same amount.
+TEST(TraceDroppedTest, OverflowCountsDropsInMetricAndRecorder) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  Counter& dropped_total =
+      MetricsRegistry::Global().GetCounter("upskill_trace_dropped_total");
+
+  recorder.SetCapacityForTest(4);
+  recorder.Enable();
+  const uint64_t metric_before = dropped_total.Value();
+  for (int i = 0; i < 10; ++i) {
+    Span span("obs_test/overflow");
+  }
+  recorder.Disable();
+
+  EXPECT_EQ(recorder.Events().size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  EXPECT_EQ(dropped_total.Value() - metric_before, 6u);
+
+  // Enable() starts a fresh run: dropped() resets, the cumulative
+  // process-level counter does not.
+  recorder.Enable();
+  recorder.Disable();
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(dropped_total.Value() - metric_before, 6u);
+  recorder.SetCapacityForTest(TraceRecorder::kMaxEvents);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace upskill
